@@ -1,0 +1,79 @@
+"""Shared benchmark fixtures.
+
+The expensive part of every figure is the (NPU x workload x scheme)
+sweep; it is computed once per pytest session and shared across benchmark
+files. Individual benchmarks then time one representative pipeline run
+(so pytest-benchmark reports a meaningful number) and print the full
+paper-style table from the cached sweep.
+"""
+
+import json
+import os
+from typing import Dict, Tuple
+
+import pytest
+
+from repro import EDGE_NPU, Pipeline, SERVER_NPU, get_workload
+from repro.core.metrics import ComparisonResult, compare_schemes
+from repro.models.zoo import WORKLOAD_ABBREVIATIONS, WORKLOADS
+from repro.protection import SCHEME_NAMES
+
+#: Paper x-axis order (abbreviations), matching Figs. 1(d), 5 and 6.
+ABBREV_ORDER = list(WORKLOAD_ABBREVIATIONS)
+
+_SWEEP_CACHE: Dict[Tuple[str, str], ComparisonResult] = {}
+
+
+def _sweep(npu_name: str) -> Dict[str, ComparisonResult]:
+    npu = SERVER_NPU if npu_name == "server" else EDGE_NPU
+    pipeline = Pipeline(npu)
+    out = {}
+    for workload in WORKLOADS:
+        key = (npu_name, workload)
+        if key not in _SWEEP_CACHE:
+            _SWEEP_CACHE[key] = compare_schemes(
+                pipeline, get_workload(workload), SCHEME_NAMES)
+        out[workload] = _SWEEP_CACHE[key]
+    return out
+
+
+@pytest.fixture(scope="session")
+def server_sweep():
+    return _sweep("server")
+
+
+@pytest.fixture(scope="session")
+def edge_sweep():
+    return _sweep("edge")
+
+
+def workload_row(sweep, metric):
+    """Per-workload series in paper order plus the arithmetic mean.
+
+    ``metric`` is a callable (comparison, scheme) -> float.
+    """
+    def series(scheme):
+        values = [metric(sweep[WORKLOAD_ABBREVIATIONS[a]], scheme)
+                  for a in ABBREV_ORDER]
+        return values + [sum(values) / len(values)]
+    return {scheme: series(scheme) for scheme in SCHEME_NAMES}
+
+
+def print_figure(title, sweep, metric, fmt="{:6.3f}"):
+    """Render one figure's data as the paper's rows (workloads + avg)."""
+    header = " ".join(f"{a:>7s}" for a in ABBREV_ORDER + ["avg"])
+    print(f"\n=== {title} ===")
+    print(f"{'scheme':10s} {header}")
+    rows = workload_row(sweep, metric)
+    for scheme, values in rows.items():
+        cells = " ".join(fmt.format(v).rjust(7) for v in values)
+        print(f"{scheme:10s} {cells}")
+    return rows
+
+
+def dump_results(name, payload):
+    """Persist a figure's series for EXPERIMENTS.md bookkeeping."""
+    out_dir = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(out_dir, exist_ok=True)
+    with open(os.path.join(out_dir, f"{name}.json"), "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)

@@ -1,0 +1,46 @@
+"""Ablation: fixed weight-stationary dataflow vs per-layer selection.
+
+SCALE-Sim (and this reproduction's default) runs one dataflow for the
+whole model; this quantifies what per-layer WS/OS/IS selection would buy
+on each workload — context for how sensitive the Fig. 6 baselines are to
+the mapping assumption.
+"""
+
+from benchmarks.conftest import dump_results
+from repro.accel.dataflow_select import fixed_vs_best_cycles
+from repro.accel.systolic import Dataflow
+from repro.core.config import EDGE_NPU
+from repro.models.zoo import get_workload
+
+WORKLOADS = ["alexnet", "mobilenet", "resnet18", "transformer_fwd", "dlrm"]
+
+
+def test_ablation_dataflow_selection(benchmark):
+    def sweep():
+        out = {}
+        for workload in WORKLOADS:
+            topo = get_workload(workload)
+            totals = fixed_vs_best_cycles(
+                EDGE_NPU.pe_rows, EDGE_NPU.pe_cols, topo, fixed=Dataflow.WS)
+            out[workload] = {
+                "fixed_ws": totals["fixed"],
+                "best": totals["best"],
+                "speedup": totals["fixed"] / totals["best"],
+            }
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print("\n=== Ablation — fixed WS vs per-layer dataflow (edge array) ===")
+    print(f"{'workload':16s} {'WS cycles':>12s} {'best cycles':>12s} "
+          f"{'speedup':>8s}")
+    for workload, row in results.items():
+        print(f"{workload:16s} {row['fixed_ws']:12d} {row['best']:12d} "
+              f"{row['speedup']:8.3f}")
+
+    dump_results("ablation_dataflow", results)
+
+    for workload, row in results.items():
+        assert row["best"] <= row["fixed_ws"], workload
+        # Sanity: per-layer selection never wins by more than ~3x.
+        assert row["speedup"] < 3.0, workload

@@ -1,0 +1,45 @@
+"""Ablation (extension): energy overhead of each protection scheme.
+
+Not a paper figure — the natural companion metric for the edge NPU. The
+energy ordering mirrors Fig. 5/6 because DRAM traffic dominates, with
+SeDA additionally saving AES energy (1 op per 64 B vs 4).
+"""
+
+from benchmarks.conftest import dump_results
+from repro import EDGE_NPU, Pipeline, get_workload
+from repro.hwmodel.energy import EnergyModel
+from repro.protection import SCHEME_NAMES, make_scheme
+
+
+def test_ablation_energy_overhead(benchmark):
+    pipeline = Pipeline(EDGE_NPU)
+    topo = get_workload("mobilenet")
+    model = EnergyModel()
+
+    def run_all():
+        model_run = pipeline.simulate_model(topo)
+        energies = {}
+        for name in ["baseline"] + SCHEME_NAMES + ["securator"]:
+            scheme = make_scheme(name)
+            energies[name] = model.model_energy(scheme.protect_model(model_run))
+        return energies
+
+    energies = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    baseline = energies["baseline"]
+
+    print("\n=== Energy overhead (mobilenet, edge NPU) ===")
+    print(f"{'scheme':10s} {'total uJ':>10s} {'dram uJ':>10s} "
+          f"{'aes uJ':>8s} {'hash uJ':>8s} {'overhead':>9s}")
+    results = {}
+    for name, e in energies.items():
+        overhead = model.overhead_vs(e, baseline) * 100
+        results[name] = {"total_uj": e.total_uj, "overhead_pct": overhead}
+        print(f"{name:10s} {e.total_uj:10.1f} {e.dram_pj / 1e6:10.1f} "
+              f"{e.aes_pj / 1e6:8.2f} {e.hash_pj / 1e6:8.2f} {overhead:8.2f}%")
+
+    dump_results("ablation_energy", results)
+
+    assert results["sgx-64b"]["overhead_pct"] > \
+        results["mgx-64b"]["overhead_pct"] > \
+        results["seda"]["overhead_pct"]
+    assert results["seda"]["overhead_pct"] < 5.0

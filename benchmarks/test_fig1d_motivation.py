@@ -1,0 +1,41 @@
+"""Fig. 1(d): memory-access overhead of a typical secure accelerator.
+
+The motivation figure shows, per workload, the extra memory traffic and
+execution time a conventional protection scheme (SGX-style, 64 B units)
+costs on the server NPU — the 20-30% band that motivates SeDA.
+"""
+
+from benchmarks.conftest import ABBREV_ORDER, dump_results, print_figure
+from repro import Pipeline, SERVER_NPU, get_workload
+from repro.core.metrics import compare_schemes
+
+
+def test_fig1d_memory_access_overhead(benchmark, server_sweep):
+    def run_one():
+        return compare_schemes(Pipeline(SERVER_NPU), get_workload("resnet18"),
+                               ["sgx-64b"])
+
+    benchmark.pedantic(run_one, rounds=1, iterations=1)
+
+    traffic = print_figure(
+        "Fig. 1(d) — traffic overhead % (SGX-64B, server NPU)",
+        server_sweep,
+        lambda c, s: c.traffic_overhead_pct(s),
+        fmt="{:6.2f}",
+    )["sgx-64b"]
+    exec_time = print_figure(
+        "Fig. 1(d) — exec-time overhead % (SGX-64B, server NPU)",
+        server_sweep,
+        lambda c, s: c.slowdown_pct(s),
+        fmt="{:6.2f}",
+    )["sgx-64b"]
+
+    dump_results("fig1d", {
+        "workloads": ABBREV_ORDER + ["avg"],
+        "traffic_overhead_pct": traffic,
+        "exec_time_overhead_pct": exec_time,
+    })
+
+    # Paper: both series sit in the ~20-30% band on average.
+    assert 15.0 < traffic[-1] < 45.0
+    assert 15.0 < exec_time[-1] < 45.0

@@ -1,0 +1,35 @@
+"""Fig. 4: area and power vs AES-engine bandwidth requirement (28 nm).
+
+T-AES scales linearly with the bandwidth multiple; B-AES stays near-flat.
+"""
+
+from benchmarks.conftest import dump_results
+from repro.hwmodel.aes_cost import BAES_28NM, TAES_28NM, sweep_bandwidth
+
+
+def test_fig4_area_power_scaling(benchmark):
+    def sweep():
+        return (sweep_bandwidth(TAES_28NM, 8), sweep_bandwidth(BAES_28NM, 8))
+
+    taes, baes = benchmark(sweep)
+
+    print("\n=== Fig. 4 — area (um^2) and power (uW) vs bandwidth multiple ===")
+    print(f"{'x':>2s} {'T-AES area':>12s} {'B-AES area':>12s} "
+          f"{'T-AES power':>12s} {'B-AES power':>12s}")
+    for t, b in zip(taes, baes):
+        print(f"{t.bandwidth_multiple:2d} {t.area_um2:12.0f} {b.area_um2:12.0f} "
+              f"{t.power_uw:12.0f} {b.power_uw:12.0f}")
+
+    dump_results("fig4", {
+        "bandwidth_multiple": [p.bandwidth_multiple for p in taes],
+        "taes_area_um2": [p.area_um2 for p in taes],
+        "baes_area_um2": [p.area_um2 for p in baes],
+        "taes_power_uw": [p.power_uw for p in taes],
+        "baes_power_uw": [p.power_uw for p in baes],
+    })
+
+    # Paper shape: linear vs near-flat, ~8x ratio at the right edge.
+    assert taes[-1].area_um2 / taes[0].area_um2 == 8.0
+    assert baes[-1].area_um2 / baes[0].area_um2 < 1.3
+    assert taes[-1].area_um2 / baes[-1].area_um2 > 5.0
+    assert taes[-1].power_uw / baes[-1].power_uw > 5.0

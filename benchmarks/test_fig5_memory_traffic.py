@@ -1,0 +1,49 @@
+"""Fig. 5: normalized memory traffic, all schemes x all workloads.
+
+Fig. 5(a) is the server NPU, Fig. 5(b) the edge NPU. Values are total
+DRAM bytes normalized to the unprotected baseline (1.0).
+"""
+
+from benchmarks.conftest import (
+    ABBREV_ORDER,
+    dump_results,
+    print_figure,
+)
+from repro import Pipeline, SERVER_NPU, get_workload
+from repro.core.metrics import compare_schemes
+from repro.protection import SCHEME_NAMES
+
+
+def _check_paper_shape(rows):
+    avg = {scheme: rows[scheme][-1] for scheme in SCHEME_NAMES}
+    # Ordering of the evaluation: SGX-64B > MGX-64B > SGX-512B >
+    # MGX-512B > SeDA ~= 1.0.
+    assert avg["sgx-64b"] > avg["mgx-64b"] > avg["sgx-512b"] \
+        > avg["mgx-512b"] > avg["seda"]
+    # Magnitudes: SGX-64B ~ +30%, MGX-64B ~ +12.5%, SeDA near zero.
+    assert 1.20 < avg["sgx-64b"] < 1.45
+    assert 1.08 < avg["mgx-64b"] < 1.20
+    assert avg["seda"] < 1.01
+    return avg
+
+
+def test_fig5a_server_traffic(benchmark, server_sweep):
+    benchmark.pedantic(
+        lambda: compare_schemes(Pipeline(SERVER_NPU), get_workload("yolo_tiny"),
+                                SCHEME_NAMES),
+        rounds=1, iterations=1)
+    rows = print_figure("Fig. 5(a) — normalized memory traffic (server NPU)",
+                        server_sweep, lambda c, s: c.traffic(s))
+    avg = _check_paper_shape(rows)
+    dump_results("fig5a", {"workloads": ABBREV_ORDER + ["avg"], **rows})
+    print(f"averages: {avg}")
+
+
+def test_fig5b_edge_traffic(benchmark, edge_sweep):
+    benchmark.pedantic(
+        lambda: len(edge_sweep), rounds=1, iterations=1)
+    rows = print_figure("Fig. 5(b) — normalized memory traffic (edge NPU)",
+                        edge_sweep, lambda c, s: c.traffic(s))
+    avg = _check_paper_shape(rows)
+    dump_results("fig5b", {"workloads": ABBREV_ORDER + ["avg"], **rows})
+    print(f"averages: {avg}")

@@ -1,0 +1,50 @@
+"""Fig. 6: normalized performance, all schemes x all workloads.
+
+Values are baseline execution time over scheme execution time (1.0 = no
+slowdown), per workload plus the average, on both NPUs.
+"""
+
+from benchmarks.conftest import ABBREV_ORDER, dump_results, print_figure
+from repro import EDGE_NPU, Pipeline, get_workload
+from repro.core.metrics import compare_schemes
+from repro.protection import SCHEME_NAMES
+
+
+def _check_paper_shape(rows):
+    avg = {scheme: rows[scheme][-1] for scheme in SCHEME_NAMES}
+    # Performance ordering (paper Fig. 6): SGX-64B slowest, then MGX-64B,
+    # SGX-512B, MGX-512B; SeDA within 1% of baseline.
+    assert avg["sgx-64b"] < avg["mgx-64b"] < avg["sgx-512b"] \
+        < avg["mgx-512b"] < avg["seda"]
+    assert avg["seda"] > 0.99
+    assert avg["sgx-64b"] < 0.90
+    return avg
+
+
+def test_fig6a_server_performance(benchmark, server_sweep):
+    benchmark.pedantic(
+        lambda: compare_schemes(Pipeline(EDGE_NPU), get_workload("dlrm"),
+                                SCHEME_NAMES),
+        rounds=1, iterations=1)
+    rows = print_figure("Fig. 6(a) — normalized performance (server NPU)",
+                        server_sweep, lambda c, s: c.performance(s))
+    avg = _check_paper_shape(rows)
+    dump_results("fig6a", {"workloads": ABBREV_ORDER + ["avg"], **rows})
+    print(f"averages: {avg}")
+    # Headline claim: SeDA cuts performance overhead by >12 points vs the
+    # conventional 64 B schemes.
+    seda_overhead = (1 / avg["seda"] - 1) * 100
+    mgx_overhead = (1 / avg["mgx-64b"] - 1) * 100
+    assert mgx_overhead - seda_overhead > 12.0
+
+
+def test_fig6b_edge_performance(benchmark, edge_sweep):
+    benchmark.pedantic(lambda: len(edge_sweep), rounds=1, iterations=1)
+    rows = print_figure("Fig. 6(b) — normalized performance (edge NPU)",
+                        edge_sweep, lambda c, s: c.performance(s))
+    avg = _check_paper_shape(rows)
+    dump_results("fig6b", {"workloads": ABBREV_ORDER + ["avg"], **rows})
+    print(f"averages: {avg}")
+    seda_overhead = (1 / avg["seda"] - 1) * 100
+    mgx_overhead = (1 / avg["mgx-64b"] - 1) * 100
+    assert mgx_overhead - seda_overhead > 8.0

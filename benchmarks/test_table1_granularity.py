@@ -1,0 +1,81 @@
+"""Table I: multi-level integrity-verification granularity comparison.
+
+Quantifies, on a real workload, the qualitative cells of Table I:
+flexibility (redundant verifications avoided), off-chip access cost,
+and storage location/size for optBlk / layer / model MACs.
+"""
+
+from benchmarks.conftest import dump_results
+from repro import Pipeline, SERVER_NPU, get_workload
+from repro.crypto.mac import MAC_BYTES
+from repro.protection.seda import SedaScheme
+from repro.tiling.optblk import search_optblk
+
+
+def test_table1_granularity_comparison(benchmark):
+    pipeline = Pipeline(SERVER_NPU)
+    topo = get_workload("resnet18")
+
+    def run():
+        model_run = pipeline.simulate_model(topo)
+        scheme = SedaScheme()
+        scheme.begin_model(model_run)
+        return model_run, scheme
+
+    model_run, scheme = benchmark(run)
+
+    # optBlk level: per-layer block counts and straddle-free flexibility.
+    optblk_macs = 0
+    straddle_free = 0
+    for result in model_run.layers:
+        choice = scheme.optblk_choice(result.layer_id)
+        optblk_macs += choice.blocks_per_layer
+        straddle_free += choice.is_straddle_free
+
+    layers = len(model_run.layers)
+    layer_mac_bytes = layers * MAC_BYTES
+    model_mac_bytes = MAC_BYTES
+    optblk_store_bytes = optblk_macs * MAC_BYTES
+
+    offchip = SedaScheme(layer_macs_offchip=True)
+    offchip_traffic = sum(
+        p.metadata_bytes for p in offchip.protect_model(model_run))
+    onchip = SedaScheme(layer_macs_offchip=False)
+    onchip_traffic = sum(
+        p.metadata_bytes for p in onchip.protect_model(model_run))
+
+    print("\n=== Table I — granularity comparison (resnet18, server NPU) ===")
+    print(f"{'granularity':10s} {'count':>8s} {'storage B':>10s} "
+          f"{'location':>9s} {'offchip traffic B':>18s}")
+    print(f"{'optBlk':10s} {optblk_macs:8d} {optblk_store_bytes:10d} "
+          f"{'off-chip':>9s} {'(folded, 0 stored)':>18s}")
+    print(f"{'layer':10s} {layers:8d} {layer_mac_bytes:10d} "
+          f"{'either':>9s} {offchip_traffic:18d}")
+    print(f"{'model':10s} {1:8d} {model_mac_bytes:10d} "
+          f"{'on-chip':>9s} {0:18d}")
+
+    dump_results("table1", {
+        "optblk_macs": optblk_macs,
+        "optblk_straddle_free_layers": straddle_free,
+        "layer_macs": layers,
+        "layer_mac_bytes": layer_mac_bytes,
+        "model_mac_bytes": model_mac_bytes,
+        "offchip_layer_mac_traffic": offchip_traffic,
+        "onchip_layer_mac_traffic": onchip_traffic,
+    })
+
+    # Table I's qualitative claims, quantified:
+    # - layer MACs are tiny next to the per-64B MAC table an SGX/MGX
+    #   store needs for the same data footprint;
+    per_block_table = model_run.dram_bytes // 64 * MAC_BYTES
+    assert layer_mac_bytes < per_block_table / 1000
+    # - and no larger than the optBlk MAC set they fold.
+    assert layer_mac_bytes <= optblk_store_bytes
+    # - on-chip layer MACs eliminate off-chip access entirely;
+    assert onchip_traffic == 0
+    # - even off-chip layer MACs cost only 2 blocks per layer;
+    assert offchip_traffic == 2 * 64 * layers
+    # - the model MAC is a single value.
+    assert model_mac_bytes == MAC_BYTES
+    # - optBlk flexibility: the search eliminates straddles everywhere.
+    assert straddle_free == layers

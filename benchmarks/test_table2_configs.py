@@ -1,0 +1,27 @@
+"""Table II: DNN simulation configurations."""
+
+from benchmarks.conftest import dump_results
+from repro.core.config import EDGE_NPU, SERVER_NPU
+
+
+def test_table2_configurations(benchmark):
+    rows = benchmark(lambda: (SERVER_NPU.table_row(), EDGE_NPU.table_row()))
+    server, edge = rows
+
+    print("\n=== Table II — DNN simulation configurations ===")
+    print(f"{'Metrics':12s} {'Server (Google TPU v1)':30s} "
+          f"{'Edge (Samsung Exynos 990)':30s}")
+    for key in server:
+        print(f"{key:12s} {server[key]:30s} {edge[key]:30s}")
+
+    dump_results("table2", {"server": server, "edge": edge})
+
+    assert server["PE"] == "256 x 256 in systolic array"
+    assert edge["PE"] == "32 x 32 in systolic array"
+    assert server["Bandwidth"] == "20 GB/s with 4 channels"
+    assert edge["Bandwidth"] == "10 GB/s with 4 channels"
+    assert server["Frequency"] == "1 GHz"
+    assert edge["Frequency"] == "2.75 GHz"
+    assert server["SRAM"] == "24 MB"
+    assert edge["SRAM"] == "480 KB"
+    assert server["Precision"] == edge["Precision"] == "1-B for per element"

@@ -1,0 +1,41 @@
+"""Table III: feature comparison of the memory-protection schemes."""
+
+from benchmarks.conftest import dump_results
+from repro.protection import SCHEME_NAMES, make_scheme
+
+
+def test_table3_scheme_features(benchmark):
+    summaries = benchmark(
+        lambda: [make_scheme(name).summary() for name in SCHEME_NAMES])
+
+    print("\n=== Table III — comparison of memory protection schemes ===")
+    print(f"{'Scheme':10s} {'Enc. gran.':16s} {'Integ. gran.':14s} "
+          f"{'Off-chip access':20s} {'Tiling':7s} {'Scalable':8s}")
+    for s in summaries:
+        print(f"{s.name:10s} {s.encryption_granularity:16s} "
+              f"{s.integrity_granularity:14s} {s.offchip_metadata:20s} "
+              f"{str(s.tiling_aware):7s} {str(s.encryption_scalable):8s}")
+
+    dump_results("table3", {
+        s.name: {
+            "encryption_granularity": s.encryption_granularity,
+            "integrity_granularity": s.integrity_granularity,
+            "offchip_metadata": s.offchip_metadata,
+            "tiling_aware": s.tiling_aware,
+            "encryption_scalable": s.encryption_scalable,
+        } for s in summaries
+    })
+
+    by_name = {s.name: s for s in summaries}
+    # The paper's Table III rows.
+    assert by_name["SGX-64B"].offchip_metadata == "MAC,VN,IT"
+    assert by_name["SGX-512B"].offchip_metadata == "MAC,VN,IT"
+    assert by_name["MGX-64B"].offchip_metadata == "MAC"
+    assert by_name["MGX-512B"].offchip_metadata == "MAC"
+    assert by_name["SeDA"].offchip_metadata == "minimal to no cost"
+    assert by_name["SeDA"].encryption_granularity == "bandwidth-aware"
+    assert by_name["SeDA"].integrity_granularity == "multi-level"
+    only_seda = [s.name for s in summaries if s.tiling_aware]
+    assert only_seda == ["SeDA"]
+    only_scalable = [s.name for s in summaries if s.encryption_scalable]
+    assert only_scalable == ["SeDA"]

@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Attack demonstrations: SECA and RePA against real ciphertext.
+
+Reproduces both algorithms from the paper end to end:
+
+1. **SECA** (Algorithm 1) against a shared-OTP block — full plaintext
+   recovery — then against SeDA's B-AES — recovery fails.
+2. **RePA** (Algorithm 2) against a ciphertext-only XOR-MAC layer — the
+   shuffled layer passes verification — then against SeDA's
+   location-bound MACs — verification fails.
+3. The functional :class:`repro.integrity.verifier.SecureMemory` catching
+   tampering and replay on its untrusted backing store.
+"""
+
+import copy
+
+from repro.attacks.repa import run_repa
+from repro.attacks.seca import run_seca
+from repro.crypto.baes import BandwidthAwareAes
+from repro.crypto.ctr import AesCtr
+from repro.integrity.verifier import IntegrityError, SecureMemory
+
+KEY = b"\xa5" * 16
+
+
+def sparse_activation_block(nbytes: int = 512) -> bytes:
+    """A realistic post-ReLU activation block: mostly zeros."""
+    data = bytearray(nbytes)
+    for i in range(3, nbytes, 53):
+        data[i] = (i * 11) % 200 + 1
+    return bytes(data)
+
+
+def demo_seca() -> None:
+    print("=" * 64)
+    print("SECA — Single-Element Collision Attack (Algorithm 1)")
+    print("=" * 64)
+    plaintext = sparse_activation_block()
+
+    shared = AesCtr(KEY).encrypt_shared_otp(plaintext, pa=0x4000, vn=1)
+    result = run_seca(shared, plaintext)
+    print(f"shared-OTP strawman : recovered "
+          f"{result.recovered_fraction * 100:5.1f}% of the block "
+          f"-> {'ATTACK SUCCEEDS' if result.succeeded else 'attack fails'}")
+    assert result.succeeded
+
+    baes = BandwidthAwareAes(KEY).encrypt(plaintext, pa=0x4000, vn=1)
+    result = run_seca(baes, plaintext)
+    print(f"SeDA B-AES defense  : recovered "
+          f"{result.recovered_fraction * 100:5.1f}% of the block "
+          f"-> {'attack succeeds' if result.succeeded else 'ATTACK DEFEATED'}")
+    assert not result.succeeded
+
+
+def demo_repa() -> None:
+    print()
+    print("=" * 64)
+    print("RePA — Re-Permutation Attack (Algorithm 2)")
+    print("=" * 64)
+    blocks = [bytes([i + 1]) * 64 for i in range(32)]
+
+    vulnerable = run_repa(KEY, blocks, location_bound=False)
+    print(f"ciphertext-only MACs: shuffled {vulnerable.blocks_displaced} "
+          f"blocks, verification "
+          f"{'PASSED -> ATTACK SUCCEEDS' if vulnerable.verification_passed else 'failed'}")
+    assert vulnerable.succeeded
+
+    defended = run_repa(KEY, blocks, location_bound=True)
+    print(f"location-bound MACs : shuffled {defended.blocks_displaced} "
+          f"blocks, verification "
+          f"{'passed' if defended.verification_passed else 'FAILED -> ATTACK DEFEATED'}")
+    assert not defended.succeeded
+
+
+def demo_secure_memory() -> None:
+    print()
+    print("=" * 64)
+    print("SecureMemory — tamper and replay detection, end to end")
+    print("=" * 64)
+    memory = SecureMemory(enc_key=KEY, mac_key=b"\x5a" * 16)
+    memory.write(0x1000, sparse_activation_block(64), layer_id=2, blk_idx=0)
+    print("write + read back   :",
+          "ok" if memory.read(0x1000, layer_id=2) is not None else "fail")
+
+    # Bit-flip in untrusted DRAM.
+    stored = memory.dram[0x1000]
+    snapshot = copy.deepcopy(stored)
+    stored.ciphertext = bytes([stored.ciphertext[0] ^ 0x80]) + \
+        stored.ciphertext[1:]
+    try:
+        memory.read(0x1000, layer_id=2)
+        print("bit-flip tampering  : UNDETECTED (bug!)")
+    except IntegrityError as exc:
+        print(f"bit-flip tampering  : detected ({exc})")
+
+    # Replay of the stale-but-valid snapshot after an update.
+    memory.dram[0x1000] = snapshot
+    memory.write(0x1000, bytes(64), layer_id=2, blk_idx=0)
+    memory.dram[0x1000] = snapshot
+    try:
+        memory.read(0x1000, layer_id=2)
+        print("replay attack       : UNDETECTED (bug!)")
+    except IntegrityError as exc:
+        print(f"replay attack       : detected ({exc})")
+
+
+if __name__ == "__main__":
+    demo_seca()
+    demo_repa()
+    demo_secure_memory()
+    print("\nall attack demonstrations behaved as the paper describes.")

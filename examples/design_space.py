@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Design-space exploration: the knobs behind SeDA's design choices.
+
+Three sweeps on one workload:
+
+1. **SRAM capacity** — how tiling, halo overlap and optBlk choices react
+   as on-chip memory shrinks (edge regime) or grows (server regime).
+2. **Protection granularity** — fixed 64 B..4 KB units vs SeDA's
+   per-layer optBlk: metadata traffic and redundant verification work.
+3. **Crypto-engine organization** — T-AES engine count vs B-AES lane
+   count needed to match each layer's bandwidth demand, with 28 nm cost.
+"""
+
+import sys
+
+from repro import Pipeline, npu_config, get_workload
+from repro.hwmodel.aes_cost import BAES_28NM, TAES_28NM
+from repro.protection import make_scheme
+from repro.tiling.optblk import search_optblk
+from repro.tiling.overlap import analyze_overlap
+from repro.tiling.patterns import pattern_of, patterns_compatible
+from repro.utils.bitops import ceil_div
+from repro.utils.report import format_table
+
+
+def sweep_sram(workload: str) -> None:
+    print("### SRAM capacity sweep (edge NPU array, yolo-class workload)")
+    rows = []
+    for sram_kb in (128, 256, 480, 1024, 4096, 24 * 1024):
+        from repro.core.config import NpuConfig
+        npu = NpuConfig(name=f"{sram_kb}KB", pe_rows=32, pe_cols=32,
+                        bandwidth_gbps=10.0, dram_channels=4, freq_ghz=2.75,
+                        sram_bytes=sram_kb << 10)
+        run = Pipeline(npu).simulate_model(get_workload(workload))
+        tiles = sum(r.plan.num_tiles * r.plan.num_k_tiles for r in run.layers)
+        halo = sum(r.plan.halo_traffic for r in run.layers)
+        rows.append([
+            f"{sram_kb} KB", tiles,
+            run.dram_bytes / 1e6,
+            halo / 1e6,
+            run.compute_cycles / 1e6,
+        ])
+    print(format_table(
+        ["SRAM", "tiles", "DRAM MB", "halo-reread MB", "compute Mcyc"],
+        rows))
+
+
+def sweep_granularity(workload: str, npu_name: str) -> None:
+    print(f"\n### Integrity granularity sweep ({workload}, {npu_name})")
+    pipeline = Pipeline(npu_config(npu_name))
+    topo = get_workload(workload)
+    model_run = pipeline.simulate_model(topo)
+    baseline = pipeline.run(topo, make_scheme("baseline"), model_run=model_run)
+
+    rows = []
+    for name in ("mgx-64b", "mgx-512b"):
+        run = pipeline.run(topo, make_scheme(name), model_run=model_run)
+        rows.append([name, run.metadata_bytes / 1e6,
+                     run.total_bytes / baseline.total_bytes])
+    seda = pipeline.run(topo, make_scheme("seda"), model_run=model_run)
+    rows.append(["seda (optBlk)", seda.metadata_bytes / 1e6,
+                 seda.total_bytes / baseline.total_bytes])
+    print(format_table(["scheme", "metadata MB", "norm traffic"], rows))
+
+    print("\nper-layer optBlk choices (first 8 layers):")
+    opt_rows = []
+    for result in model_run.layers[:8]:
+        choice = search_optblk(result.layer, result.plan)
+        overlap = analyze_overlap(result.layer, result.plan)
+        opt_rows.append([
+            result.layer.name, choice.block_bytes, choice.blocks_per_layer,
+            choice.straddle_blocks, f"{overlap.overlap_fraction * 100:.1f}%",
+        ])
+    print(format_table(
+        ["layer", "optBlk B", "blocks", "straddles", "ifmap overlap"],
+        opt_rows))
+
+    mismatches = 0
+    plans = [r.plan for r in model_run.layers]
+    layers = [r.layer for r in model_run.layers]
+    for i in range(len(layers) - 1):
+        producer = pattern_of(plans[i], "ofmap")
+        consumer = pattern_of(plans[i + 1], "ifmap")
+        if not patterns_compatible(producer, consumer):
+            mismatches += 1
+    print(f"\ninter-layer tiling-pattern mismatches: {mismatches} of "
+          f"{len(layers) - 1} layer boundaries "
+          f"(each would break a naive producer-order layer MAC)")
+
+
+def sweep_crypto(workload: str, npu_name: str) -> None:
+    print(f"\n### Crypto-engine sizing ({workload}, {npu_name})")
+    npu = npu_config(npu_name)
+    run = Pipeline(npu).simulate_model(get_workload(workload))
+    peak = run.peak_demand_bytes_per_cycle
+    lanes = max(1, ceil_div(int(round(peak)), 16))
+    taes = TAES_28NM.cost(lanes)
+    baes = BAES_28NM.cost(lanes)
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["peak DRAM demand (B/cycle)", f"{peak:.1f}"],
+            ["engines/lanes to match", lanes],
+            ["T-AES area (um^2)", f"{taes.area_um2:.0f}"],
+            ["B-AES area (um^2)", f"{baes.area_um2:.0f}"],
+            ["area saved by B-AES", f"{taes.area_um2 - baes.area_um2:.0f}"],
+            ["T-AES power (uW)", f"{taes.power_uw:.0f}"],
+            ["B-AES power (uW)", f"{baes.power_uw:.0f}"],
+        ]))
+
+
+if __name__ == "__main__":
+    workload = sys.argv[1] if len(sys.argv) > 1 else "yolo_tiny"
+    sweep_sram(workload)
+    sweep_granularity(workload, "edge")
+    sweep_crypto(workload, "server")

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Regenerate every figure and table of the paper's evaluation as text.
+
+This is the example-sized version of the ``benchmarks/`` harness: it runs
+the full (NPU x workload x scheme) sweep and prints Fig. 1(d), Fig. 4,
+Fig. 5(a/b), Fig. 6(a/b) and Tables I-III in the paper's layout.
+
+Expect a couple of minutes of runtime for the full sweep; pass
+``--quick`` to use a four-workload subset.
+"""
+
+import sys
+
+from repro import EDGE_NPU, Pipeline, SERVER_NPU, get_workload
+from repro.core.metrics import compare_schemes
+from repro.hwmodel.aes_cost import BAES_28NM, TAES_28NM, sweep_bandwidth
+from repro.models.zoo import WORKLOAD_ABBREVIATIONS
+from repro.protection import SCHEME_NAMES, make_scheme
+from repro.utils.report import format_table
+
+QUICK_SET = ["let", "mob", "rest", "yolo"]
+
+
+def sweep(npu, abbrevs):
+    pipeline = Pipeline(npu)
+    out = {}
+    for abbrev in abbrevs:
+        workload = WORKLOAD_ABBREVIATIONS[abbrev]
+        out[abbrev] = compare_schemes(pipeline, get_workload(workload),
+                                      SCHEME_NAMES)
+        print(f"  simulated {workload} on {npu.name}", file=sys.stderr)
+    return out
+
+
+def figure_rows(results, metric):
+    rows = []
+    for scheme in SCHEME_NAMES:
+        values = [metric(results[a], scheme) for a in results]
+        rows.append([scheme] + values + [sum(values) / len(values)])
+    return rows
+
+
+def print_figure(title, results, metric):
+    headers = ["scheme"] + list(results) + ["avg"]
+    print(f"\n### {title}")
+    print(format_table(headers, figure_rows(results, metric)))
+
+
+def print_fig4():
+    print("\n### Fig. 4 — 28 nm area/power vs bandwidth requirement")
+    taes = sweep_bandwidth(TAES_28NM, 8)
+    baes = sweep_bandwidth(BAES_28NM, 8)
+    print(format_table(
+        ["x", "T-AES um^2", "B-AES um^2", "T-AES uW", "B-AES uW"],
+        [[t.bandwidth_multiple, t.area_um2, b.area_um2, t.power_uw, b.power_uw]
+         for t, b in zip(taes, baes)],
+        float_fmt="{:.0f}"))
+
+
+def print_tables():
+    print("\n### Table II — simulation configurations")
+    server_row = SERVER_NPU.table_row()
+    edge_row = EDGE_NPU.table_row()
+    print(format_table(
+        ["Metrics", "Server (TPU v1)", "Edge (Exynos 990)"],
+        [[k, server_row[k], edge_row[k]] for k in server_row]))
+
+    print("\n### Table III — protection scheme features")
+    rows = []
+    for name in SCHEME_NAMES:
+        s = make_scheme(name).summary()
+        rows.append([s.name, s.encryption_granularity,
+                     s.integrity_granularity, s.offchip_metadata,
+                     "yes" if s.tiling_aware else "no",
+                     "yes" if s.encryption_scalable else "no"])
+    print(format_table(
+        ["Scheme", "Encryption", "Integrity", "Off-chip access",
+         "Tiling", "Scalable"], rows))
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    abbrevs = QUICK_SET if quick else list(WORKLOAD_ABBREVIATIONS)
+
+    print_tables()
+    print_fig4()
+
+    server = sweep(SERVER_NPU, abbrevs)
+    print_figure("Fig. 1(d) — SGX-64B overhead % (server)",
+                 server, lambda c, s: c.traffic_overhead_pct(s))
+    print_figure("Fig. 5(a) — normalized memory traffic (server)",
+                 server, lambda c, s: c.traffic(s))
+    print_figure("Fig. 6(a) — normalized performance (server)",
+                 server, lambda c, s: c.performance(s))
+
+    edge = sweep(EDGE_NPU, abbrevs)
+    print_figure("Fig. 5(b) — normalized memory traffic (edge)",
+                 edge, lambda c, s: c.traffic(s))
+    print_figure("Fig. 6(b) — normalized performance (edge)",
+                 edge, lambda c, s: c.performance(s))
+
+
+if __name__ == "__main__":
+    main()

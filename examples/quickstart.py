@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Quickstart: compare memory-protection schemes on one workload.
+
+Runs ResNet-18 on the server NPU (Table II) under the unprotected
+baseline and all five protection schemes, then prints the normalized
+memory traffic (Fig. 5 metric) and performance (Fig. 6 metric).
+
+Usage::
+
+    python examples/quickstart.py [workload] [server|edge]
+"""
+
+import sys
+
+from repro import Pipeline, compare_schemes, get_workload, npu_config
+from repro.protection import SCHEME_NAMES
+from repro.utils.report import bar_chart, format_table, percent
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "resnet18"
+    npu_name = sys.argv[2] if len(sys.argv) > 2 else "server"
+
+    npu = npu_config(npu_name)
+    topology = get_workload(workload)
+    print(f"workload: {topology.name}  ({len(topology)} layers, "
+          f"{topology.total_macs / 1e9:.2f} GMACs, "
+          f"{topology.total_weight_bytes / 1e6:.1f} MB weights)")
+    print(f"NPU: {npu.name}  ({npu.pe_rows}x{npu.pe_cols} PEs, "
+          f"{npu.bandwidth_gbps:g} GB/s, {npu.freq_ghz:g} GHz)")
+
+    pipeline = Pipeline(npu)
+    result = compare_schemes(pipeline, topology, SCHEME_NAMES)
+
+    rows = []
+    for scheme in SCHEME_NAMES:
+        run = result.runs[scheme]
+        rows.append([
+            scheme,
+            result.traffic(scheme),
+            percent(result.traffic(scheme)),
+            result.performance(scheme),
+            f"{result.slowdown_pct(scheme):.2f}%",
+            f"{run.metadata_bytes / 1e6:.2f}",
+        ])
+    print()
+    print(format_table(
+        ["scheme", "norm traffic", "traffic ovh", "norm perf",
+         "slowdown", "metadata MB"],
+        rows))
+
+    print("\nnormalized memory traffic (| marks the unprotected baseline):")
+    print(bar_chart({s: result.traffic(s) for s in SCHEME_NAMES},
+                    baseline=1.0))
+
+    print("\nnormalized performance (1.0 = no slowdown):")
+    print(bar_chart({s: result.performance(s) for s in SCHEME_NAMES},
+                    baseline=1.0))
+
+    seda = result.runs["seda"]
+    print(f"\nSeDA bottom line: {seda.total_time_ms:.3f} ms vs baseline "
+          f"{result.baseline.total_time_ms:.3f} ms "
+          f"({result.slowdown_pct('seda'):.2f}% slowdown, "
+          f"{result.traffic_overhead_pct('seda'):.2f}% extra traffic)")
+
+
+if __name__ == "__main__":
+    main()

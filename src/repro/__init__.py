@@ -1,0 +1,59 @@
+"""repro — reproduction of SeDA: Secure and Efficient DNN Accelerators
+with Hardware/Software Synergy (DAC 2025).
+
+A simulation library for studying memory-protection schemes on DNN
+accelerators. The public API covers:
+
+- workloads (:mod:`repro.models`): the thirteen evaluated networks;
+- the accelerator substrate (:mod:`repro.accel`): SCALE-Sim-style
+  systolic-array simulation with DRAM trace generation;
+- the DRAM substrate (:mod:`repro.dram`): trace-driven DDR timing;
+- the crypto substrate (:mod:`repro.crypto`): FIPS-197 AES, AES-CTR,
+  SeDA's bandwidth-aware B-AES, and keyed MACs;
+- integrity (:mod:`repro.integrity`): Merkle trees, metadata caches,
+  SeDA's multi-level MAC hierarchy, and a functional secure memory;
+- protection schemes (:mod:`repro.protection`): SGX / MGX / SeDA traffic
+  and timing models;
+- attacks (:mod:`repro.attacks`): SECA and RePA with their defenses;
+- the evaluation pipeline (:mod:`repro.core`): Table II configurations
+  and the accelerator -> protection -> DRAM flow behind every figure.
+
+Quickstart::
+
+    from repro import Pipeline, SERVER_NPU, get_workload, compare_schemes
+    from repro.protection import SCHEME_NAMES
+
+    pipeline = Pipeline(SERVER_NPU)
+    result = compare_schemes(pipeline, get_workload("resnet18"), SCHEME_NAMES)
+    print(result.traffic("seda"), result.performance("seda"))
+"""
+
+from repro.core import (
+    EDGE_NPU,
+    NpuConfig,
+    Pipeline,
+    SERVER_NPU,
+    SchemeRun,
+    compare_schemes,
+    npu_config,
+)
+from repro.models import Topology, get_workload, list_workloads
+from repro.protection import SCHEME_NAMES, make_scheme
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EDGE_NPU",
+    "NpuConfig",
+    "Pipeline",
+    "SERVER_NPU",
+    "SchemeRun",
+    "compare_schemes",
+    "npu_config",
+    "Topology",
+    "get_workload",
+    "list_workloads",
+    "SCHEME_NAMES",
+    "make_scheme",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Systolic-array DNN accelerator simulator (SCALE-Sim substrate).
+
+The paper drives its evaluation with SCALE-Sim2: per-layer compute cycles
+for a systolic array plus the DRAM access trace each layer generates.
+This package reproduces both:
+
+- :mod:`repro.accel.systolic` — analytical cycle model for WS/OS/IS
+  dataflows (SCALE-Sim's fold equations).
+- :mod:`repro.accel.trace` — DRAM trace representation (compact ranges,
+  expandable to 64-byte block streams as numpy arrays).
+- :mod:`repro.accel.layout` — physical address map of the protected
+  region (weights, ping-pong activations, security metadata).
+- :mod:`repro.accel.simulator` — ties topology + tiling + systolic model
+  into per-layer results and a whole-model trace.
+"""
+
+from repro.accel.systolic import Dataflow, SystolicArray
+from repro.accel.trace import AccessKind, Trace, TraceRange, BlockStream
+from repro.accel.layout import AddressMap, Region
+from repro.accel.simulator import AcceleratorSim, LayerResult, ModelRun
+
+__all__ = [
+    "Dataflow",
+    "SystolicArray",
+    "AccessKind",
+    "Trace",
+    "TraceRange",
+    "BlockStream",
+    "AddressMap",
+    "Region",
+    "AcceleratorSim",
+    "LayerResult",
+    "ModelRun",
+]

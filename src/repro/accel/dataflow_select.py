@@ -1,0 +1,61 @@
+"""Per-layer dataflow selection.
+
+SCALE-Sim fixes one dataflow per run; real compilers pick per layer. The
+selector evaluates WS/OS/IS analytically for a layer's (M, K, N) and
+returns the cheapest — used by the dataflow ablation to quantify how
+much the fixed-WS assumption costs each workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.accel.systolic import Dataflow, SystolicArray
+from repro.models.layer import Layer
+from repro.models.topology import Topology
+
+
+@dataclass(frozen=True)
+class DataflowChoice:
+    """Best dataflow for one layer plus the full per-dataflow costs."""
+
+    layer_name: str
+    best: Dataflow
+    cycles: Dict[Dataflow, int]
+
+    @property
+    def best_cycles(self) -> int:
+        return self.cycles[self.best]
+
+    def speedup_over(self, dataflow: Dataflow) -> float:
+        return self.cycles[dataflow] / self.best_cycles
+
+
+def select_dataflow(rows: int, cols: int, layer: Layer) -> DataflowChoice:
+    """Evaluate all dataflows for ``layer`` on a rows x cols array."""
+    m, k, n = layer.gemm_m, layer.gemm_k, layer.gemm_n
+    cycles = {
+        dataflow: SystolicArray(rows, cols, dataflow).compute_cycles(m, k, n)
+        for dataflow in Dataflow
+    }
+    best = min(cycles, key=lambda d: (cycles[d], d.value))
+    return DataflowChoice(layer_name=layer.name, best=best, cycles=cycles)
+
+
+def topology_dataflow_report(rows: int, cols: int,
+                             topology: Topology) -> Dict[str, DataflowChoice]:
+    """Per-layer selection over a whole topology."""
+    return {
+        layer.name: select_dataflow(rows, cols, layer) for layer in topology
+    }
+
+
+def fixed_vs_best_cycles(rows: int, cols: int, topology: Topology,
+                         fixed: Dataflow = Dataflow.WS) -> Dict[str, int]:
+    """Total compute cycles: one fixed dataflow vs per-layer selection."""
+    report = topology_dataflow_report(rows, cols, topology)
+    return {
+        "fixed": sum(c.cycles[fixed] for c in report.values()),
+        "best": sum(c.best_cycles for c in report.values()),
+    }

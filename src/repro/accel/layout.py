@@ -1,0 +1,98 @@
+"""Physical address map of the 16 GB protected region.
+
+Layout (matching the evaluation setup's 16 GB protected memory):
+
+- ``WEIGHTS``    at 0x0_0000_0000 — all model weights, packed per layer.
+- ``ACT_A``      at 0x1_0000_0000 — activation ping buffer.
+- ``ACT_B``      at 0x1_8000_0000 — activation pong buffer.
+- ``METADATA``   at 0x2_0000_0000 — MAC tables, VN tables, integrity-tree
+  levels (protection schemes carve this region further).
+
+Layer ``i`` reads its ifmap from one activation buffer and writes its
+ofmap to the other, so the consumer of layer ``i+1`` sees exactly the
+producer's addresses — the property the inter-layer tiling analysis and
+MGX-style on-chip VN generation both rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.models.topology import Topology
+from repro.utils.bitops import align_up
+
+PROTECTED_REGION_BYTES = 16 << 30
+
+WEIGHT_BASE = 0x0_0000_0000
+ACT_A_BASE = 0x1_0000_0000
+ACT_B_BASE = 0x1_8000_0000
+METADATA_BASE = 0x2_0000_0000
+
+_TENSOR_ALIGN = 4096
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named contiguous address region."""
+
+    name: str
+    base: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+
+class AddressMap:
+    """Concrete tensor addresses for one topology."""
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+        self._weight_base: Dict[int, int] = {}
+        cursor = WEIGHT_BASE
+        for idx, layer in enumerate(topology):
+            self._weight_base[idx] = cursor
+            cursor += align_up(layer.weight_bytes, _TENSOR_ALIGN)
+        self.weights_end = cursor
+        if cursor > ACT_A_BASE:
+            raise ValueError(
+                f"{topology.name}: weights ({cursor} B) overflow the weight region"
+            )
+        max_act = align_up(max(1, topology.max_activation_bytes), _TENSOR_ALIGN)
+        if ACT_B_BASE + max_act > METADATA_BASE:
+            raise ValueError(f"{topology.name}: activations overflow their region")
+        self._act_bytes = max_act
+
+    def weight_addr(self, layer_id: int) -> int:
+        return self._weight_base[layer_id]
+
+    def ifmap_addr(self, layer_id: int) -> int:
+        """Layer i's ifmap buffer: ping for even i, pong for odd."""
+        self._check_layer(layer_id)
+        return ACT_A_BASE if layer_id % 2 == 0 else ACT_B_BASE
+
+    def ofmap_addr(self, layer_id: int) -> int:
+        """Layer i's ofmap buffer — the ifmap buffer of layer i+1."""
+        self._check_layer(layer_id)
+        return ACT_B_BASE if layer_id % 2 == 0 else ACT_A_BASE
+
+    def data_regions(self) -> List[Region]:
+        return [
+            Region("weights", WEIGHT_BASE, self.weights_end - WEIGHT_BASE),
+            Region("act_a", ACT_A_BASE, self._act_bytes),
+            Region("act_b", ACT_B_BASE, self._act_bytes),
+        ]
+
+    @staticmethod
+    def metadata_region() -> Region:
+        return Region("metadata", METADATA_BASE,
+                      PROTECTED_REGION_BYTES - METADATA_BASE)
+
+    def _check_layer(self, layer_id: int) -> None:
+        if not 0 <= layer_id < len(self.topology):
+            raise IndexError(f"layer_id {layer_id} out of range")

@@ -1,0 +1,246 @@
+"""Whole-model accelerator simulation: topology -> cycles + DRAM trace.
+
+For each layer the simulator plans tiling under the SRAM budget, walks the
+planned loop nest, charges analytical systolic-array cycles per tile, and
+emits the DRAM trace the walk produces (ifmap loads with halo re-fetch,
+weight streams, ofmap stores). Double buffering is assumed: a tile's
+operands stream in while the previous tile computes, so each range is
+issued at its tile's start cycle and spread across the tile's compute
+window.
+
+Two walks exist, matching the two plan families in
+:mod:`repro.tiling.tile`:
+
+- banded: ``for m-band / for filter-group`` (order per ``plan.n_outer``),
+  K whole;
+- K-tiled: ``for m / for n / for k`` with the partial-sum tile resident,
+  used by large GEMM layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.accel.layout import AddressMap
+from repro.accel.systolic import SystolicArray
+from repro.accel.trace import AccessKind, Trace, TraceRange
+from repro.models.layer import Layer, ELEMENT_BYTES
+from repro.models.topology import Topology
+from repro.tiling.tile import SramBudget, TilingPlan, plan_tiling
+
+
+@dataclass
+class LayerResult:
+    """Simulation outcome for one layer."""
+
+    layer: Layer
+    layer_id: int
+    plan: TilingPlan
+    compute_cycles: int
+    start_cycle: int
+    trace: Trace = field(repr=False, default_factory=Trace)
+
+    @property
+    def dram_bytes(self) -> int:
+        return self.trace.total_bytes
+
+    @property
+    def demand_bytes_per_cycle(self) -> float:
+        """Average DRAM demand while this layer computes."""
+        if self.compute_cycles == 0:
+            return 0.0
+        return self.dram_bytes / self.compute_cycles
+
+
+@dataclass
+class ModelRun:
+    """Simulation outcome for a whole topology."""
+
+    topology: Topology
+    array: SystolicArray
+    budget: SramBudget
+    address_map: AddressMap
+    layers: List[LayerResult]
+
+    @property
+    def compute_cycles(self) -> int:
+        return sum(r.compute_cycles for r in self.layers)
+
+    @property
+    def trace(self) -> Trace:
+        merged = Trace()
+        for result in self.layers:
+            merged.extend(result.trace.ranges)
+        return merged
+
+    @property
+    def dram_bytes(self) -> int:
+        return sum(r.dram_bytes for r in self.layers)
+
+    @property
+    def peak_demand_bytes_per_cycle(self) -> float:
+        return max((r.demand_bytes_per_cycle for r in self.layers), default=0.0)
+
+
+class AcceleratorSim:
+    """SCALE-Sim-style simulator for one accelerator configuration."""
+
+    def __init__(self, array: SystolicArray, budget: SramBudget):
+        self.array = array
+        self.budget = budget
+
+    def run(self, topology: Topology) -> ModelRun:
+        """Simulate ``topology`` end to end."""
+        address_map = AddressMap(topology)
+        results: List[LayerResult] = []
+        cursor = 0
+        for layer_id, layer in enumerate(topology):
+            result = self.run_layer(layer, layer_id, address_map, cursor)
+            results.append(result)
+            cursor += result.compute_cycles
+        return ModelRun(topology=topology, array=self.array,
+                        budget=self.budget, address_map=address_map,
+                        layers=results)
+
+    def run_layer(self, layer: Layer, layer_id: int,
+                  address_map: AddressMap, start_cycle: int) -> LayerResult:
+        plan = plan_tiling(layer, self.budget)
+        trace = Trace()
+        if plan.is_k_tiled:
+            total_cycles = self._walk_k_tiled(layer, layer_id, plan,
+                                              address_map, start_cycle, trace)
+        else:
+            total_cycles = self._walk_banded(layer, layer_id, plan,
+                                             address_map, start_cycle, trace)
+        return LayerResult(layer=layer, layer_id=layer_id, plan=plan,
+                           compute_cycles=total_cycles,
+                           start_cycle=start_cycle, trace=trace)
+
+    # -- banded walk --
+
+    def _walk_banded(self, layer: Layer, layer_id: int, plan: TilingPlan,
+                     address_map: AddressMap, start_cycle: int,
+                     trace: Trace) -> int:
+        row_bytes = layer.ifmap_w * layer.channels * ELEMENT_BYTES
+        weight_per_filter = max(1, layer.weight_bytes // max(1, layer.gemm_n))
+        ifmap_base = address_map.ifmap_addr(layer_id)
+        weight_base = address_map.weight_addr(layer_id)
+        ofmap_base = address_map.ofmap_addr(layer_id)
+
+        cursor = start_cycle
+        total_cycles = 0
+        ofmap_cursor = 0
+        out_w = layer.ofmap_w
+
+        outer, inner = ((plan.num_n_tiles, plan.num_m_tiles) if plan.n_outer
+                        else (plan.num_m_tiles, plan.num_n_tiles))
+        for outer_idx in range(outer):
+            for inner_idx in range(inner):
+                mi, ni = ((inner_idx, outer_idx) if plan.n_outer
+                          else (outer_idx, inner_idx))
+                rows = min(plan.tile_out_rows,
+                           layer.ofmap_h - mi * plan.tile_out_rows)
+                filters = min(plan.tile_filters,
+                              layer.gemm_n - ni * plan.tile_filters)
+                tile_cycles = self.array.compute_cycles(
+                    rows * out_w, layer.gemm_k, filters)
+                total_cycles += tile_cycles
+
+                # Residency: an operand whose dimension is not re-streamed
+                # is loaded only on its first pass.
+                if plan.n_outer:
+                    load_ifmap = plan.num_m_tiles > 1 or outer_idx == 0
+                    load_weight = mi == 0
+                else:
+                    load_ifmap = ni == 0
+                    load_weight = plan.num_n_tiles > 1 or outer_idx == 0
+
+                if load_ifmap:
+                    offset, nbytes = self._ifmap_tile_extent(
+                        layer, plan, mi, row_bytes)
+                    if nbytes:
+                        trace.add(TraceRange(cursor, ifmap_base + offset,
+                                             nbytes, write=False,
+                                             kind=AccessKind.IFMAP,
+                                             layer_id=layer_id,
+                                             duration=tile_cycles))
+                if load_weight:
+                    offset = ni * plan.tile_filters * weight_per_filter
+                    nbytes = min(plan.weight_tile_bytes,
+                                 layer.weight_bytes - offset)
+                    if nbytes > 0:
+                        trace.add(TraceRange(cursor, weight_base + offset,
+                                             nbytes, write=False,
+                                             kind=AccessKind.WEIGHT,
+                                             layer_id=layer_id,
+                                             duration=tile_cycles))
+
+                nbytes = rows * out_w * filters * ELEMENT_BYTES
+                if nbytes > 0:
+                    trace.add(TraceRange(cursor, ofmap_base + ofmap_cursor,
+                                         nbytes, write=True,
+                                         kind=AccessKind.OFMAP,
+                                         layer_id=layer_id,
+                                         duration=tile_cycles))
+                    ofmap_cursor += nbytes
+                cursor += tile_cycles
+        return total_cycles
+
+    # -- K-tiled walk (large GEMMs) --
+
+    def _walk_k_tiled(self, layer: Layer, layer_id: int, plan: TilingPlan,
+                      address_map: AddressMap, start_cycle: int,
+                      trace: Trace) -> int:
+        m, k, n = layer.gemm_m, layer.gemm_k, layer.gemm_n
+        ifmap_base = address_map.ifmap_addr(layer_id)
+        weight_base = address_map.weight_addr(layer_id)
+        ofmap_base = address_map.ofmap_addr(layer_id)
+
+        cursor = start_cycle
+        total_cycles = 0
+        ofmap_cursor = 0
+
+        for mi in range(plan.num_m_tiles):
+            tile_m = min(plan.tile_out_rows, m - mi * plan.tile_out_rows)
+            for ni in range(plan.num_n_tiles):
+                tile_n = min(plan.tile_filters, n - ni * plan.tile_filters)
+                for ki in range(plan.num_k_tiles):
+                    tile_k = min(plan.tile_k, k - ki * plan.tile_k)
+                    tile_cycles = self.array.compute_cycles(tile_m, tile_k, tile_n)
+                    total_cycles += tile_cycles
+
+                    # ifmap chunk: rows [mi], K slice [ki] — contiguous per
+                    # row; modelled as one range at the slice offset.
+                    if_offset = (mi * plan.tile_out_rows * k
+                                 + ki * plan.tile_k * tile_m) * ELEMENT_BYTES
+                    trace.add(TraceRange(cursor, ifmap_base + if_offset,
+                                         tile_m * tile_k * ELEMENT_BYTES,
+                                         write=False, kind=AccessKind.IFMAP,
+                                         layer_id=layer_id,
+                                         duration=tile_cycles))
+                    w_offset = (ni * plan.tile_filters * k
+                                + ki * plan.tile_k * tile_n) * ELEMENT_BYTES
+                    trace.add(TraceRange(cursor, weight_base + w_offset,
+                                         tile_k * tile_n * ELEMENT_BYTES,
+                                         write=False, kind=AccessKind.WEIGHT,
+                                         layer_id=layer_id,
+                                         duration=tile_cycles))
+                    cursor += tile_cycles
+                # Partial sums complete: store the (tile_m x tile_n) ofmap tile.
+                nbytes = tile_m * tile_n * ELEMENT_BYTES
+                trace.add(TraceRange(cursor, ofmap_base + ofmap_cursor, nbytes,
+                                     write=True, kind=AccessKind.OFMAP,
+                                     layer_id=layer_id, duration=1))
+                ofmap_cursor += nbytes
+        return total_cycles
+
+    @staticmethod
+    def _ifmap_tile_extent(layer: Layer, plan: TilingPlan, mi: int,
+                           row_bytes: int) -> Tuple[int, int]:
+        """(offset, nbytes) of the input band tile ``mi`` reads."""
+        start_row = mi * plan.tile_out_rows * layer.stride_h
+        rows = min(plan.tile_out_rows, layer.ofmap_h - mi * plan.tile_out_rows)
+        in_rows = rows * layer.stride_h + layer.filt_h - layer.stride_h
+        in_rows = min(in_rows, layer.ifmap_h - start_row)
+        return start_row * row_bytes, max(0, in_rows) * row_bytes

@@ -1,0 +1,190 @@
+"""DRAM access traces.
+
+The accelerator emits accesses as compact :class:`TraceRange` records
+(contiguous byte ranges with an issue window); the DRAM simulator consumes
+them expanded to 64-byte block streams (:class:`BlockStream`, numpy
+arrays). Keeping ranges compact matters: a ResNet-scale model touches
+megabytes per layer, and per-block Python objects would dominate runtime.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.utils.bitops import align_down, ceil_div
+
+BLOCK_BYTES = 64
+
+
+class AccessKind(enum.Enum):
+    """What a range carries — used by protection schemes to bind metadata."""
+
+    IFMAP = "ifmap"
+    WEIGHT = "weight"
+    OFMAP = "ofmap"
+    METADATA = "metadata"
+
+
+@dataclass(frozen=True)
+class TraceRange:
+    """A contiguous DRAM access: ``nbytes`` at ``addr``, issued over
+    ``[cycle, cycle + duration)`` accelerator cycles."""
+
+    cycle: int
+    addr: int
+    nbytes: int
+    write: bool
+    kind: AccessKind
+    layer_id: int
+    duration: int = 0
+
+    def __post_init__(self) -> None:
+        if self.addr < 0:
+            raise ValueError("addr must be non-negative")
+        if self.nbytes <= 0:
+            raise ValueError("nbytes must be positive")
+        if self.cycle < 0 or self.duration < 0:
+            raise ValueError("cycle and duration must be non-negative")
+
+    @property
+    def num_blocks(self) -> int:
+        first = align_down(self.addr, BLOCK_BYTES)
+        last = align_down(self.addr + self.nbytes - 1, BLOCK_BYTES)
+        return (last - first) // BLOCK_BYTES + 1
+
+
+@dataclass
+class BlockStream:
+    """Expanded per-block access stream (parallel numpy arrays)."""
+
+    cycles: np.ndarray      # int64 issue cycle per block
+    addrs: np.ndarray       # uint64 block-aligned byte address
+    writes: np.ndarray      # bool
+    layer_ids: np.ndarray   # int32
+
+    def __post_init__(self) -> None:
+        lengths = {len(self.cycles), len(self.addrs), len(self.writes),
+                   len(self.layer_ids)}
+        if len(lengths) != 1:
+            raise ValueError("BlockStream arrays must be parallel")
+
+    def __len__(self) -> int:
+        return len(self.addrs)
+
+    @property
+    def total_bytes(self) -> int:
+        return len(self) * BLOCK_BYTES
+
+    @property
+    def read_blocks(self) -> int:
+        return int((~self.writes).sum())
+
+    @property
+    def write_blocks(self) -> int:
+        return int(self.writes.sum())
+
+    def sorted_by_cycle(self) -> "BlockStream":
+        order = np.argsort(self.cycles, kind="stable")
+        return BlockStream(self.cycles[order], self.addrs[order],
+                           self.writes[order], self.layer_ids[order])
+
+    @staticmethod
+    def concat(streams: Iterable["BlockStream"]) -> "BlockStream":
+        streams = [s for s in streams if len(s)]
+        if not streams:
+            return BlockStream(
+                np.empty(0, np.int64), np.empty(0, np.uint64),
+                np.empty(0, bool), np.empty(0, np.int32),
+            )
+        return BlockStream(
+            np.concatenate([s.cycles for s in streams]),
+            np.concatenate([s.addrs for s in streams]),
+            np.concatenate([s.writes for s in streams]),
+            np.concatenate([s.layer_ids for s in streams]),
+        )
+
+
+class Trace:
+    """An ordered collection of :class:`TraceRange` records."""
+
+    def __init__(self, ranges: Optional[List[TraceRange]] = None):
+        self.ranges: List[TraceRange] = list(ranges) if ranges else []
+
+    def __len__(self) -> int:
+        return len(self.ranges)
+
+    def __iter__(self):
+        return iter(self.ranges)
+
+    def add(self, trace_range: TraceRange) -> None:
+        self.ranges.append(trace_range)
+
+    def extend(self, ranges: Iterable[TraceRange]) -> None:
+        self.ranges.extend(ranges)
+
+    @property
+    def read_bytes(self) -> int:
+        return sum(r.nbytes for r in self.ranges if not r.write)
+
+    @property
+    def write_bytes(self) -> int:
+        return sum(r.nbytes for r in self.ranges if r.write)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.read_bytes + self.write_bytes
+
+    def bytes_by_kind(self) -> dict:
+        out: dict = {}
+        for r in self.ranges:
+            out[r.kind] = out.get(r.kind, 0) + r.nbytes
+        return out
+
+    def filter(self, kind: AccessKind) -> "Trace":
+        return Trace([r for r in self.ranges if r.kind is kind])
+
+    def for_layer(self, layer_id: int) -> "Trace":
+        return Trace([r for r in self.ranges if r.layer_id == layer_id])
+
+    def end_cycle(self) -> int:
+        if not self.ranges:
+            return 0
+        return max(r.cycle + max(1, r.duration) for r in self.ranges)
+
+    def to_blocks(self) -> BlockStream:
+        """Expand every range to block-granular accesses.
+
+        Blocks within a range are issued uniformly across its duration,
+        modelling a streaming DMA engine.
+        """
+        cycle_parts: List[np.ndarray] = []
+        addr_parts: List[np.ndarray] = []
+        write_parts: List[np.ndarray] = []
+        layer_parts: List[np.ndarray] = []
+        for r in self.ranges:
+            count = r.num_blocks
+            first = align_down(r.addr, BLOCK_BYTES)
+            addr_parts.append(
+                first + BLOCK_BYTES * np.arange(count, dtype=np.uint64))
+            if r.duration > 0 and count > 1:
+                offsets = (np.arange(count, dtype=np.int64) * r.duration) // count
+            else:
+                offsets = np.zeros(count, dtype=np.int64)
+            cycle_parts.append(r.cycle + offsets)
+            write_parts.append(np.full(count, r.write, dtype=bool))
+            layer_parts.append(np.full(count, r.layer_id, dtype=np.int32))
+        if not addr_parts:
+            return BlockStream(
+                np.empty(0, np.int64), np.empty(0, np.uint64),
+                np.empty(0, bool), np.empty(0, np.int32),
+            )
+        return BlockStream(
+            np.concatenate(cycle_parts),
+            np.concatenate(addr_parts).astype(np.uint64),
+            np.concatenate(write_parts),
+            np.concatenate(layer_parts),
+        )

@@ -1,0 +1,87 @@
+"""DRAM trace file I/O.
+
+Two interchange formats:
+
+- **scalesim** — SCALE-Sim-style CSV: ``cycle, address, R/W`` per block
+  request (what the paper's flow passes from the DNN simulator to the
+  security simulator);
+- **ramulator** — Ramulator 2.0 load trace: ``address R/W`` per line
+  (what the paper feeds the DRAM simulator).
+
+Both operate on :class:`repro.accel.trace.BlockStream`, so a trace can
+be simulated here, exported, inspected, and re-imported losslessly
+(scalesim keeps cycles; ramulator drops them by design).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import TextIO, Union
+
+import numpy as np
+
+from repro.accel.trace import BlockStream
+
+
+def write_scalesim(stream: BlockStream, sink: TextIO) -> int:
+    """Write ``cycle, address, R/W`` lines; returns the line count."""
+    count = 0
+    for cycle, addr, write in zip(stream.cycles, stream.addrs, stream.writes):
+        sink.write(f"{int(cycle)},{int(addr)},{'W' if write else 'R'}\n")
+        count += 1
+    return count
+
+
+def read_scalesim(source: Union[TextIO, str]) -> BlockStream:
+    """Parse a scalesim-format trace back into a block stream."""
+    if isinstance(source, str):
+        source = io.StringIO(source)
+    cycles, addrs, writes = [], [], []
+    for line_number, line in enumerate(source, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = [p.strip() for p in line.split(",")]
+        if len(parts) != 3 or parts[2].upper() not in ("R", "W"):
+            raise ValueError(f"malformed trace line {line_number}: {line!r}")
+        cycles.append(int(parts[0]))
+        addrs.append(int(parts[1]))
+        writes.append(parts[2].upper() == "W")
+    return BlockStream(
+        np.asarray(cycles, dtype=np.int64),
+        np.asarray(addrs, dtype=np.uint64),
+        np.asarray(writes, dtype=bool),
+        np.zeros(len(addrs), dtype=np.int32),
+    )
+
+
+def write_ramulator(stream: BlockStream, sink: TextIO) -> int:
+    """Write Ramulator-style ``0xADDR R|W`` lines; returns line count."""
+    count = 0
+    for addr, write in zip(stream.addrs, stream.writes):
+        sink.write(f"0x{int(addr):x} {'W' if write else 'R'}\n")
+        count += 1
+    return count
+
+
+def read_ramulator(source: Union[TextIO, str]) -> BlockStream:
+    """Parse a Ramulator load trace (cycles are not represented)."""
+    if isinstance(source, str):
+        source = io.StringIO(source)
+    addrs, writes = [], []
+    for line_number, line in enumerate(source, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 2 or parts[1].upper() not in ("R", "W"):
+            raise ValueError(f"malformed trace line {line_number}: {line!r}")
+        addrs.append(int(parts[0], 0))
+        writes.append(parts[1].upper() == "W")
+    n = len(addrs)
+    return BlockStream(
+        np.zeros(n, dtype=np.int64),
+        np.asarray(addrs, dtype=np.uint64),
+        np.asarray(writes, dtype=bool),
+        np.zeros(n, dtype=np.int32),
+    )

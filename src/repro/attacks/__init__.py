@@ -1,0 +1,22 @@
+"""Attack implementations and their SeDA defenses.
+
+Both of the paper's algorithms, executed against real ciphertext from the
+:mod:`repro.crypto` substrate:
+
+- :mod:`repro.attacks.seca` — Single-Element Collision Attack
+  (Algorithm 1): recovers a whole data block when every 16 B segment
+  shares one OTP; defeated by B-AES per-segment OTP diversification.
+- :mod:`repro.attacks.repa` — Re-Permutation Attack (Algorithm 2):
+  shuffles a layer's blocks past a commutative XOR-MAC; defeated by
+  binding block locations into each MAC.
+"""
+
+from repro.attacks.seca import SecaResult, run_seca
+from repro.attacks.repa import RepaResult, run_repa
+
+__all__ = [
+    "SecaResult",
+    "run_seca",
+    "RepaResult",
+    "run_repa",
+]

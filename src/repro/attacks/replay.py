@@ -1,0 +1,129 @@
+"""Replay attack across freshness designs (threat-model completion).
+
+SECA and RePA cover the paper's two named attacks; the third pillar of
+the threat model is *replay*: restoring a stale-but-authentic
+(ciphertext, MAC, VN) snapshot. This module demonstrates replay against
+three freshness designs the related-work section contrasts:
+
+- **MAC-only, VN stored off-chip, no tree** — the strawman SGX's tree
+  exists to fix: the attacker replays the whole snapshot and wins.
+- **SGX-style** (tree over off-chip VNs, root on-chip) — caught.
+- **MGX/SeDA-style** (VNs derived on-chip) — caught; there is nothing
+  off-chip to replay consistently.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.crypto.ctr import AesCtr
+from repro.crypto.mac import BlockMac, MacContext
+from repro.integrity.sgx_memory import SgxSecureMemory
+from repro.integrity.verifier import IntegrityError, SecureMemory
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of one replay attempt."""
+
+    design: str
+    detected: bool
+    stale_plaintext_accepted: bool
+
+    @property
+    def succeeded(self) -> bool:
+        return self.stale_plaintext_accepted and not self.detected
+
+
+class MacOnlyMemory:
+    """The replay-vulnerable strawman: authentic MACs, unprotected VNs.
+
+    Every stored triple is individually authentic, so replaying a stale
+    triple verifies — the verifier has no trusted freshness reference.
+    Exists only for the demonstration; do not use.
+    """
+
+    def __init__(self, enc_key: bytes, mac_key: bytes, block_bytes: int = 64):
+        self.block_bytes = block_bytes
+        self._ctr = AesCtr(enc_key)
+        self._mac = BlockMac(mac_key)
+        self.store: Dict[int, tuple] = {}  # addr -> (ct, mac, vn), untrusted
+
+    def write(self, addr: int, plaintext: bytes) -> None:
+        if len(plaintext) != self.block_bytes:
+            raise ValueError(f"block must be {self.block_bytes} bytes")
+        _, _, vn = self.store.get(addr, (None, None, 0))
+        vn += 1
+        ciphertext = self._ctr.encrypt(plaintext, pa=addr, vn=vn)
+        tag = self._mac.mac(ciphertext, MacContext(pa=addr, vn=vn))
+        self.store[addr] = (ciphertext, tag, vn)
+
+    def read(self, addr: int) -> bytes:
+        ciphertext, tag, vn = self.store[addr]  # vn fetched untrusted
+        if not self._mac.verify(ciphertext, tag, MacContext(pa=addr, vn=vn)):
+            raise IntegrityError(f"MAC mismatch at {addr:#x}")
+        return self._ctr.decrypt(ciphertext, pa=addr, vn=vn)
+
+
+def replay_mac_only(enc_key: bytes, mac_key: bytes) -> ReplayResult:
+    """Replay against the strawman: succeeds."""
+    memory = MacOnlyMemory(enc_key, mac_key)
+    old = b"\x01" * 64
+    memory.write(0x40, old)
+    snapshot = memory.store[0x40]
+    memory.write(0x40, b"\x02" * 64)
+    memory.store[0x40] = snapshot          # the replay
+    try:
+        plaintext = memory.read(0x40)
+        return ReplayResult("mac-only", detected=False,
+                            stale_plaintext_accepted=plaintext == old)
+    except IntegrityError:
+        return ReplayResult("mac-only", detected=True,
+                            stale_plaintext_accepted=False)
+
+
+def replay_sgx_tree(enc_key: bytes, mac_key: bytes) -> ReplayResult:
+    """Replay against tree-protected off-chip VNs: detected."""
+    memory = SgxSecureMemory(enc_key, mac_key, num_blocks=8)
+    memory.write(0, b"\x01" * 64)
+    snapshot = (memory.data[0], memory.macs[0], memory.vns[0])
+    memory.write(0, b"\x02" * 64)
+    memory.data[0], memory.macs[0], memory.vns[0] = snapshot
+    try:
+        plaintext = memory.read(0)
+        return ReplayResult("sgx-tree", detected=False,
+                            stale_plaintext_accepted=plaintext == b"\x01" * 64)
+    except IntegrityError:
+        return ReplayResult("sgx-tree", detected=True,
+                            stale_plaintext_accepted=False)
+
+
+def replay_onchip_vn(enc_key: bytes, mac_key: bytes) -> ReplayResult:
+    """Replay against on-chip VNs (MGX/SeDA): detected."""
+    memory = SecureMemory(enc_key, mac_key)
+    memory.write(0x40, b"\x01" * 64)
+    snapshot = copy.deepcopy(memory.dram[0x40])
+    memory.write(0x40, b"\x02" * 64)
+    memory.dram[0x40] = snapshot
+    try:
+        plaintext = memory.read(0x40)
+        return ReplayResult("onchip-vn", detected=False,
+                            stale_plaintext_accepted=plaintext == b"\x01" * 64)
+    except IntegrityError:
+        return ReplayResult("onchip-vn", detected=True,
+                            stale_plaintext_accepted=False)
+
+
+def run_all(enc_key: bytes = b"\x10" * 16,
+            mac_key: bytes = b"\x20" * 16) -> Dict[str, ReplayResult]:
+    """All three designs; the strawman falls, the other two hold."""
+    return {
+        result.design: result
+        for result in (
+            replay_mac_only(enc_key, mac_key),
+            replay_sgx_tree(enc_key, mac_key),
+            replay_onchip_vn(enc_key, mac_key),
+        )
+    }

@@ -1,0 +1,87 @@
+"""Single-Element Collision Attack (paper Algorithm 1).
+
+When every 16-byte segment of a data block is encrypted with the *same*
+one-time pad, an attacker who can guess the block's most frequent
+plaintext value (DNN tensors are full of zeros — padding, ReLU output,
+pruned weights) recovers the OTP from ciphertext alone::
+
+    most_value_c <- CALC_FREQ_VALUE(blk)
+    OTP          <- most_value_p xor most_value_c
+    value_p      <- value_c xor OTP        # for every segment
+
+The defense (B-AES) gives each segment a distinct OTP derived from the
+AES key schedule; frequency analysis of segment ciphertexts then says
+nothing about other segments.
+
+The attack here operates on real ciphertext produced by the library's
+own AES-CTR implementation, segment-wise (16 B granularity, matching the
+cipher's unit).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.aes import BLOCK_BYTES
+from repro.utils.bitops import xor_bytes
+
+
+@dataclass
+class SecaResult:
+    """Outcome of one SECA attempt against an encrypted block."""
+
+    recovered: Optional[bytes]       # attacker's plaintext guess (or None)
+    recovered_fraction: float        # fraction of segments recovered exactly
+    inferred_otp: Optional[bytes]
+
+    @property
+    def succeeded(self) -> bool:
+        """Full recovery of the block."""
+        return self.recovered_fraction == 1.0
+
+
+def most_frequent_segment(ciphertext: bytes) -> bytes:
+    """CALC_FREQ_VALUE: the most common 16 B segment of the block."""
+    if len(ciphertext) % BLOCK_BYTES:
+        raise ValueError("ciphertext must be a multiple of 16 bytes")
+    segments = [ciphertext[i:i + BLOCK_BYTES]
+                for i in range(0, len(ciphertext), BLOCK_BYTES)]
+    counter = Counter(segments)
+    return counter.most_common(1)[0][0]
+
+
+def run_seca(ciphertext: bytes, plaintext: bytes,
+             most_value_p: bytes = bytes(BLOCK_BYTES)) -> SecaResult:
+    """Mount SECA against ``ciphertext`` (Algorithm 1, lines 1-4).
+
+    ``most_value_p`` is the attacker's guess for the block's most common
+    plaintext segment (all-zeros by default — the dominant value in DNN
+    activations). ``plaintext`` is used only to *score* the attack; the
+    attack itself never reads it.
+    """
+    if len(ciphertext) != len(plaintext):
+        raise ValueError("ciphertext/plaintext length mismatch")
+    if len(most_value_p) != BLOCK_BYTES:
+        raise ValueError("most_value_p must be 16 bytes")
+    if not ciphertext or len(ciphertext) % BLOCK_BYTES:
+        raise ValueError("ciphertext must be a non-empty multiple of 16 bytes")
+
+    most_value_c = most_frequent_segment(ciphertext)
+    otp = xor_bytes(most_value_p, most_value_c)
+
+    recovered = bytearray()
+    exact = 0
+    total = len(ciphertext) // BLOCK_BYTES
+    for i in range(total):
+        segment = ciphertext[BLOCK_BYTES * i:BLOCK_BYTES * (i + 1)]
+        guess = xor_bytes(segment, otp)
+        recovered += guess
+        if guess == plaintext[BLOCK_BYTES * i:BLOCK_BYTES * (i + 1)]:
+            exact += 1
+    return SecaResult(
+        recovered=bytes(recovered),
+        recovered_fraction=exact / total,
+        inferred_otp=otp,
+    )

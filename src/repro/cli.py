@@ -1,0 +1,150 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands:
+
+- ``list`` — available workloads, schemes and NPU configurations.
+- ``run`` — one (workload, NPU, scheme) pipeline run with a summary.
+- ``compare`` — all schemes on one workload/NPU, Fig. 5/6 style.
+- ``attack`` — run the SECA and RePA demonstrations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.config import npu_config
+from repro.core.metrics import compare_schemes
+from repro.core.pipeline import Pipeline
+from repro.models.zoo import WORKLOAD_ABBREVIATIONS, get_workload, list_workloads
+from repro.protection import SCHEME_NAMES, make_scheme
+from repro.utils.report import format_table, percent
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    print("workloads:")
+    for abbrev, name in WORKLOAD_ABBREVIATIONS.items():
+        print(f"  {abbrev:6s} {name}")
+    print("schemes:")
+    for name in SCHEME_NAMES + ["securator", "baseline"]:
+        print(f"  {name}")
+    print("npus: server, edge")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    npu = npu_config(args.npu)
+    topology = get_workload(args.workload)
+    pipeline = Pipeline(npu)
+    run = pipeline.run(topology, make_scheme(args.scheme))
+    print(f"{topology.name} on {npu.name} under {args.scheme}:")
+    print(format_table(["metric", "value"], [
+        ["layers", len(topology)],
+        ["compute cycles", f"{run.compute_cycles:.0f}"],
+        ["total cycles", f"{run.total_cycles:.0f}"],
+        ["time (ms)", f"{run.total_time_ms:.3f}"],
+        ["data bytes", run.data_bytes],
+        ["metadata bytes", run.metadata_bytes],
+        ["bottlenecks", str(run.bottleneck_histogram())],
+    ]))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    npu = npu_config(args.npu)
+    topology = get_workload(args.workload)
+    result = compare_schemes(Pipeline(npu), topology, args.schemes)
+    rows = []
+    for scheme in args.schemes:
+        rows.append([
+            scheme,
+            result.traffic(scheme),
+            percent(result.traffic(scheme)),
+            result.performance(scheme),
+            f"{result.slowdown_pct(scheme):.2f}%",
+        ])
+    print(f"{topology.name} on {npu.name} (normalized to unprotected):")
+    print(format_table(
+        ["scheme", "traffic", "overhead", "performance", "slowdown"], rows))
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    from repro.models.transforms import describe
+
+    print(describe(get_workload(args.workload)))
+    return 0
+
+
+def _cmd_attack(_: argparse.Namespace) -> int:
+    from repro.attacks.repa import run_repa
+    from repro.attacks.seca import run_seca
+    from repro.crypto.baes import BandwidthAwareAes
+    from repro.crypto.ctr import AesCtr
+
+    key = b"\x42" * 16
+    plaintext = bytes(512)
+    shared = AesCtr(key).encrypt_shared_otp(plaintext, pa=64, vn=1)
+    baes = BandwidthAwareAes(key).encrypt(plaintext, pa=64, vn=1)
+    seca_weak = run_seca(shared, plaintext)
+    seca_strong = run_seca(baes, plaintext)
+    print(f"SECA vs shared OTP : "
+          f"{'succeeds' if seca_weak.succeeded else 'fails'} "
+          f"({seca_weak.recovered_fraction * 100:.0f}% recovered)")
+    print(f"SECA vs B-AES      : "
+          f"{'succeeds' if seca_strong.succeeded else 'fails'} "
+          f"({seca_strong.recovered_fraction * 100:.0f}% recovered)")
+
+    blocks = [bytes([i + 1]) * 64 for i in range(16)]
+    repa_weak = run_repa(key, blocks, location_bound=False)
+    repa_strong = run_repa(key, blocks, location_bound=True)
+    print(f"RePA vs XOR-MAC    : "
+          f"{'succeeds' if repa_weak.succeeded else 'fails'}")
+    print(f"RePA vs SeDA MACs  : "
+          f"{'succeeds' if repa_strong.succeeded else 'fails'}")
+    return 0 if (seca_weak.succeeded and not seca_strong.succeeded
+                 and repa_weak.succeeded and not repa_strong.succeeded) else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SeDA secure-accelerator simulation")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="available workloads/schemes/NPUs") \
+        .set_defaults(func=_cmd_list)
+
+    run_p = sub.add_parser("run", help="one pipeline run")
+    run_p.add_argument("workload", help="workload name or abbreviation")
+    run_p.add_argument("--npu", default="server", choices=["server", "edge"])
+    run_p.add_argument("--scheme", default="seda")
+    run_p.set_defaults(func=_cmd_run)
+
+    cmp_p = sub.add_parser("compare", help="all schemes on one workload")
+    cmp_p.add_argument("workload")
+    cmp_p.add_argument("--npu", default="server", choices=["server", "edge"])
+    cmp_p.add_argument("--schemes", nargs="+", default=SCHEME_NAMES)
+    cmp_p.set_defaults(func=_cmd_compare)
+
+    desc_p = sub.add_parser("describe", help="summarize one workload")
+    desc_p.add_argument("workload")
+    desc_p.set_defaults(func=_cmd_describe)
+
+    sub.add_parser("attack", help="run the SECA/RePA demonstrations") \
+        .set_defaults(func=_cmd_attack)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

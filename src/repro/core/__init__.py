@@ -1,0 +1,29 @@
+"""SeDA core: configurations, end-to-end pipeline and result metrics."""
+
+from repro.core.config import (
+    NpuConfig,
+    SERVER_NPU,
+    EDGE_NPU,
+    npu_config,
+)
+from repro.core.pipeline import Pipeline, SchemeRun, LayerTiming
+from repro.core.metrics import (
+    ComparisonResult,
+    compare_schemes,
+    normalized_traffic,
+    normalized_performance,
+)
+
+__all__ = [
+    "NpuConfig",
+    "SERVER_NPU",
+    "EDGE_NPU",
+    "npu_config",
+    "Pipeline",
+    "SchemeRun",
+    "LayerTiming",
+    "ComparisonResult",
+    "compare_schemes",
+    "normalized_traffic",
+    "normalized_performance",
+]

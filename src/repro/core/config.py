@@ -1,0 +1,89 @@
+"""Accelerator configurations (paper Table II).
+
+Two NPUs are evaluated: a server-class device modelled on the Google TPU
+v1 and an edge device modelled on the Samsung Exynos 990 NPU. Both use
+four 64-bit DDR channels; element precision is one byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.accel.systolic import Dataflow, SystolicArray
+from repro.dram.timing import DramConfig
+from repro.tiling.tile import SramBudget
+
+
+@dataclass(frozen=True)
+class NpuConfig:
+    """One column of Table II."""
+
+    name: str
+    pe_rows: int
+    pe_cols: int
+    bandwidth_gbps: float
+    dram_channels: int
+    freq_ghz: float
+    sram_bytes: int
+    precision_bytes: int = 1
+    dataflow: Dataflow = Dataflow.WS
+
+    def systolic_array(self) -> SystolicArray:
+        return SystolicArray(self.pe_rows, self.pe_cols, self.dataflow)
+
+    def sram_budget(self) -> SramBudget:
+        return SramBudget.split(self.sram_bytes)
+
+    def dram_config(self) -> DramConfig:
+        return DramConfig(total_bandwidth_gbps=self.bandwidth_gbps,
+                          channels=self.dram_channels)
+
+    @property
+    def peak_macs_per_cycle(self) -> int:
+        return self.pe_rows * self.pe_cols
+
+    @property
+    def dram_bytes_per_cycle(self) -> float:
+        """Peak DRAM bandwidth expressed in bytes per accelerator cycle."""
+        return self.bandwidth_gbps / self.freq_ghz
+
+    def table_row(self) -> dict:
+        """Table II row for this device."""
+        return {
+            "PE": f"{self.pe_rows} x {self.pe_cols} in systolic array",
+            "Bandwidth": f"{self.bandwidth_gbps:g} GB/s with {self.dram_channels} channels",
+            "Frequency": f"{self.freq_ghz:g} GHz",
+            "SRAM": _format_bytes(self.sram_bytes),
+            "Precision": f"{self.precision_bytes}-B for per element",
+        }
+
+
+def _format_bytes(value: int) -> str:
+    if value >= 1 << 20:
+        return f"{value / (1 << 20):g} MB"
+    return f"{value / (1 << 10):g} KB"
+
+
+SERVER_NPU = NpuConfig(
+    name="server",          # Google TPU v1 class
+    pe_rows=256, pe_cols=256,
+    bandwidth_gbps=20.0, dram_channels=4,
+    freq_ghz=1.0,
+    sram_bytes=24 << 20,
+)
+
+EDGE_NPU = NpuConfig(
+    name="edge",            # Samsung Exynos 990 class
+    pe_rows=32, pe_cols=32,
+    bandwidth_gbps=10.0, dram_channels=4,
+    freq_ghz=2.75,
+    sram_bytes=480 << 10,
+)
+
+
+def npu_config(name: str) -> NpuConfig:
+    configs = {"server": SERVER_NPU, "edge": EDGE_NPU}
+    try:
+        return configs[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown NPU {name!r}; known: {sorted(configs)}") from None

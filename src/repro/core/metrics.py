@@ -1,0 +1,98 @@
+"""Result aggregation: the normalized metrics of Figs. 5 and 6.
+
+All numbers are normalized to the unprotected baseline, matching the
+paper's presentation: memory traffic as ``scheme_bytes / baseline_bytes``
+(>= 1, Fig. 5) and performance as ``baseline_time / scheme_time``
+(<= 1, Fig. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.pipeline import Pipeline, SchemeRun
+from repro.models.topology import Topology
+from repro.protection import make_scheme
+from repro.protection.base import ProtectionScheme
+
+
+def normalized_traffic(scheme_run: SchemeRun, baseline_run: SchemeRun) -> float:
+    """Fig. 5 metric: total DRAM bytes relative to the baseline."""
+    if baseline_run.total_bytes == 0:
+        raise ValueError("baseline moved no data")
+    return scheme_run.total_bytes / baseline_run.total_bytes
+
+
+def normalized_performance(scheme_run: SchemeRun, baseline_run: SchemeRun) -> float:
+    """Fig. 6 metric: baseline time over scheme time (1.0 = no slowdown)."""
+    if scheme_run.total_cycles == 0:
+        raise ValueError("scheme run has zero cycles")
+    return baseline_run.total_cycles / scheme_run.total_cycles
+
+
+@dataclass
+class ComparisonResult:
+    """All schemes on one workload/NPU, normalized to the baseline."""
+
+    npu_name: str
+    workload: str
+    runs: Dict[str, SchemeRun]
+    baseline: SchemeRun
+
+    def traffic(self, scheme_name: str) -> float:
+        return normalized_traffic(self.runs[scheme_name], self.baseline)
+
+    def performance(self, scheme_name: str) -> float:
+        return normalized_performance(self.runs[scheme_name], self.baseline)
+
+    def traffic_overhead_pct(self, scheme_name: str) -> float:
+        return (self.traffic(scheme_name) - 1.0) * 100.0
+
+    def slowdown_pct(self, scheme_name: str) -> float:
+        return (1.0 / self.performance(scheme_name) - 1.0) * 100.0
+
+    @property
+    def scheme_names(self) -> List[str]:
+        return list(self.runs)
+
+
+def compare_schemes(pipeline: Pipeline, topology: Topology,
+                    scheme_names: Iterable[str],
+                    schemes: Optional[Dict[str, ProtectionScheme]] = None) -> ComparisonResult:
+    """Run the baseline plus every named scheme over one workload.
+
+    The accelerator simulation (stage 1) runs once and is shared across
+    schemes — only the protection and DRAM stages differ.
+    """
+    model_run = pipeline.simulate_model(topology)
+    baseline = pipeline.run(topology, make_scheme("baseline"), model_run=model_run)
+    runs: Dict[str, SchemeRun] = {}
+    for name in scheme_names:
+        scheme = schemes[name] if schemes and name in schemes else make_scheme(name)
+        runs[name] = pipeline.run(topology, scheme, model_run=model_run)
+    return ComparisonResult(
+        npu_name=pipeline.npu.name,
+        workload=topology.name,
+        runs=runs,
+        baseline=baseline,
+    )
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    values = list(values)
+    if not values:
+        raise ValueError("no values")
+    product = 1.0
+    for v in values:
+        if v <= 0:
+            raise ValueError("geometric mean needs positive values")
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    values = list(values)
+    if not values:
+        raise ValueError("no values")
+    return sum(values) / len(values)

@@ -1,0 +1,158 @@
+"""End-to-end evaluation pipeline (paper Section IV-A, last paragraph).
+
+The flow mirrors the paper's methodology exactly:
+
+1. the DNN simulator (:mod:`repro.accel`) produces per-layer compute
+   cycles and the DRAM access trace;
+2. the memory-protection scheme (:mod:`repro.protection`) transforms the
+   trace, adding security metadata and over-fetch;
+3. the DRAM simulator (:mod:`repro.dram`) services the total trace and
+   yields memory busy time.
+
+Per layer, execution time is ``max(compute, dram, crypto)`` — compute
+and DRAM transfers overlap through double buffering, and OTP generation
+overlaps with communication (an AES-CTR property the paper leans on);
+whichever resource saturates becomes the layer's critical path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.accel.simulator import AcceleratorSim, ModelRun
+from repro.core.config import NpuConfig
+from repro.dram.simulator import DramResult, DramSim
+from repro.models.topology import Topology
+from repro.protection.base import LayerProtection, ProtectionScheme
+
+
+@dataclass
+class LayerTiming:
+    """Per-layer timing and traffic under one protection scheme."""
+
+    layer_id: int
+    layer_name: str
+    compute_cycles: float
+    dram_cycles: float
+    crypto_cycles: float
+    data_bytes: int
+    metadata_bytes: int
+    row_hit_rate: float
+
+    @property
+    def total_cycles(self) -> float:
+        return max(self.compute_cycles, self.dram_cycles, self.crypto_cycles)
+
+    @property
+    def bottleneck(self) -> str:
+        value = self.total_cycles
+        if value == self.compute_cycles:
+            return "compute"
+        if value == self.dram_cycles:
+            return "memory"
+        return "crypto"
+
+    @property
+    def total_bytes(self) -> int:
+        return self.data_bytes + self.metadata_bytes
+
+
+@dataclass
+class SchemeRun:
+    """Whole-model outcome for one (NPU, workload, scheme) triple."""
+
+    npu: NpuConfig
+    workload: str
+    scheme_name: str
+    layers: List[LayerTiming]
+    model_run: ModelRun = field(repr=False, default=None)
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(t.total_cycles for t in self.layers)
+
+    @property
+    def total_time_ms(self) -> float:
+        return self.total_cycles / (self.npu.freq_ghz * 1e6)
+
+    @property
+    def data_bytes(self) -> int:
+        return sum(t.data_bytes for t in self.layers)
+
+    @property
+    def metadata_bytes(self) -> int:
+        return sum(t.metadata_bytes for t in self.layers)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.data_bytes + self.metadata_bytes
+
+    @property
+    def compute_cycles(self) -> float:
+        return sum(t.compute_cycles for t in self.layers)
+
+    def bottleneck_histogram(self) -> Dict[str, int]:
+        histogram: Dict[str, int] = {}
+        for t in self.layers:
+            histogram[t.bottleneck] = histogram.get(t.bottleneck, 0) + 1
+        return histogram
+
+
+class Pipeline:
+    """Accelerator -> protection -> DRAM evaluation pipeline for one NPU."""
+
+    def __init__(self, npu: NpuConfig, use_fast_dram: bool = True):
+        self.npu = npu
+        self.accelerator = AcceleratorSim(npu.systolic_array(), npu.sram_budget())
+        self.dram = DramSim(npu.dram_config(), npu.freq_ghz)
+        self.use_fast_dram = use_fast_dram
+
+    def simulate_model(self, topology: Topology) -> ModelRun:
+        """Stage 1 only — reusable across schemes."""
+        return self.accelerator.run(topology)
+
+    def run(self, topology: Topology, scheme: ProtectionScheme,
+            model_run: Optional[ModelRun] = None) -> SchemeRun:
+        """Full pipeline for one workload under one protection scheme."""
+        run = model_run if model_run is not None else self.simulate_model(topology)
+        protections = scheme.protect_model(run)
+        engine = scheme.crypto_engine()
+
+        timings: List[LayerTiming] = []
+        for protection in protections:
+            layer_id = protection.layer_id
+            if layer_id < len(run.layers) and \
+                    protection.data_stream is not None and len(protection.data_stream):
+                compute = float(run.layers[layer_id].compute_cycles)
+                name = run.layers[layer_id].layer.name
+            else:
+                compute = 0.0
+                name = f"(flush:{layer_id})"
+
+            dram_result = self._dram_time(protection)
+            crypto = 0.0
+            if engine is not None and protection.crypto_bytes:
+                # Throughput-limited OTP generation; the pipeline latency
+                # (engine fill) is hidden under communication.
+                crypto = protection.crypto_bytes / engine.bytes_per_cycle
+
+            timings.append(LayerTiming(
+                layer_id=layer_id,
+                layer_name=name,
+                compute_cycles=compute,
+                dram_cycles=dram_result.busy_cycles,
+                crypto_cycles=crypto,
+                data_bytes=protection.data_bytes,
+                metadata_bytes=protection.metadata_bytes,
+                row_hit_rate=dram_result.row_hit_rate,
+            ))
+        return SchemeRun(npu=self.npu, workload=topology.name,
+                         scheme_name=scheme.name, layers=timings,
+                         model_run=run)
+
+    def _dram_time(self, protection: LayerProtection) -> DramResult:
+        stream = protection.combined_stream
+        if self.use_fast_dram:
+            return self.dram.simulate_fast(stream)
+        return self.dram.simulate(stream)

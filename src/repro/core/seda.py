@@ -1,0 +1,207 @@
+"""SedaRuntime — functional secure execution of a topology.
+
+The timing models in :mod:`repro.protection` answer "how fast"; this
+facade answers "does the mechanism actually work", executing a topology
+layer by layer with every tensor held encrypted-and-MACed in untrusted
+memory:
+
+- weights are loaded once, encrypted with B-AES under on-chip-derived
+  VNs (:class:`repro.integrity.vn.DnnStateVnGenerator`), and folded into
+  the **model MAC**;
+- each inference reads the ifmap back (decrypt + optBlk verify), runs a
+  deterministic stand-in compute, writes the ofmap (encrypt + fold into
+  that layer's **layer MAC**), and cross-checks the producer's layer MAC
+  on consumption;
+- the **model MAC** is re-verified against the weight blocks at the end
+  of inference — the paper's "verification results available only at the
+  end" semantics.
+
+The compute stand-in is a fixed byte-level mixing function, not real
+convolution arithmetic — what's under test is the protection data path,
+and the invariant that protected execution is bit-identical to
+unprotected execution of the same function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.crypto.baes import BandwidthAwareAes
+from repro.crypto.mac import MacContext
+from repro.integrity.multilevel import MultiLevelIntegrity
+from repro.integrity.verifier import IntegrityError
+from repro.integrity.vn import DnnStateVnGenerator
+from repro.models.topology import Topology
+from repro.utils.bitops import ceil_div
+
+BLOCK = 64
+
+_WEIGHT_BASE = 0x0000_0000
+_ACT_BASE = 0x4000_0000
+
+
+@dataclass
+class _StoredBlock:
+    ciphertext: bytes
+    mac: bytes
+    vn: int
+
+
+def pseudo_layer_fn(ifmap: bytes, weights: bytes, out_len: int) -> bytes:
+    """Deterministic stand-in for layer compute (byte-level mixing)."""
+    if out_len <= 0:
+        raise ValueError("out_len must be positive")
+    a = np.frombuffer(ifmap, dtype=np.uint8).astype(np.uint32)
+    w = np.frombuffer(weights, dtype=np.uint8).astype(np.uint32)
+    mix_a = int(a.sum() % 251) if len(a) else 0
+    mix_w = int(w.sum() % 241) if len(w) else 0
+    idx = np.arange(out_len, dtype=np.uint32)
+    src = a[idx % max(1, len(a))] if len(a) else idx
+    out = (src * 31 + mix_a * 17 + mix_w * 13 + idx * 7) & 0xFF
+    return out.astype(np.uint8).tobytes()
+
+
+class SedaRuntime:
+    """Functional SeDA protection unit wrapped around one topology."""
+
+    def __init__(self, topology: Topology, enc_key: bytes, mac_key: bytes):
+        if len(topology) == 0:
+            raise ValueError("topology has no layers")
+        self.topology = topology
+        self._engine = BandwidthAwareAes(enc_key)
+        self._integrity = MultiLevelIntegrity(mac_key)
+        self._vns = DnnStateVnGenerator(num_layers=len(topology))
+        # Untrusted stores, exposed for tamper experiments.
+        self.dram: Dict[int, _StoredBlock] = {}
+        self._weight_base: Dict[int, int] = {}
+        self._weights_loaded = False
+        self._layer_mac_snapshot: Dict[int, bytes] = {}
+        cursor = _WEIGHT_BASE
+        for layer_id, layer in enumerate(topology):
+            self._weight_base[layer_id] = cursor
+            cursor += ceil_div(layer.weight_bytes, BLOCK) * BLOCK
+
+    # -- block helpers --
+
+    def _write_blocks(self, base: int, payload: bytes, vn: int,
+                      layer_id: int, weights: bool) -> None:
+        nblocks = ceil_div(len(payload), BLOCK)
+        padded = payload + bytes(nblocks * BLOCK - len(payload))
+        for i in range(nblocks):
+            addr = base + BLOCK * i
+            chunk = padded[BLOCK * i:BLOCK * (i + 1)]
+            ciphertext = self._engine.encrypt(chunk, pa=addr, vn=vn)
+            context = MacContext(pa=addr, vn=vn, layer_id=layer_id,
+                                 fmap_idx=0, blk_idx=i)
+            if weights:
+                mac = self._integrity.record_weight_block(ciphertext, context)
+            else:
+                mac = self._integrity.record_block(layer_id, ciphertext, context)
+            self.dram[addr] = _StoredBlock(ciphertext, mac, vn)
+
+    def _read_blocks(self, base: int, nbytes: int, vn: int,
+                     layer_id: int) -> bytes:
+        nblocks = ceil_div(nbytes, BLOCK)
+        out = bytearray()
+        for i in range(nblocks):
+            addr = base + BLOCK * i
+            stored = self.dram.get(addr)
+            if stored is None:
+                raise KeyError(f"no block at {addr:#x}")
+            if stored.vn != vn:
+                raise IntegrityError(f"replayed block at {addr:#x}: stale VN")
+            context = MacContext(pa=addr, vn=vn, layer_id=layer_id,
+                                 fmap_idx=0, blk_idx=i)
+            if not self._integrity.verify_optblk(stored.ciphertext,
+                                                 stored.mac, context):
+                raise IntegrityError(f"MAC mismatch at {addr:#x}")
+            out += self._engine.decrypt(stored.ciphertext, pa=addr, vn=vn)
+        return bytes(out[:nbytes])
+
+    # -- public API --
+
+    def load_weights(self, seed: int = 1234) -> None:
+        """Generate, encrypt and store every layer's weights; build the
+        on-chip model MAC."""
+        rng = np.random.default_rng(seed)
+        vn = self._vns.weight_vn()
+        for layer_id, layer in enumerate(self.topology):
+            payload = rng.integers(0, 256, layer.weight_bytes,
+                                   dtype=np.uint8).tobytes()
+            self._write_blocks(self._weight_base[layer_id], payload, vn,
+                               layer_id, weights=True)
+        self._weights_loaded = True
+
+    def run_inference(self, input_bytes: bytes) -> bytes:
+        """One protected inference; returns the final ofmap plaintext.
+
+        Raises :class:`IntegrityError` if any block fails verification,
+        including the end-of-inference model-MAC check over the weights.
+        """
+        if not self._weights_loaded:
+            raise RuntimeError("load_weights must be called first")
+        inference = self._vns.next_inference()
+        first = self.topology[0]
+        if len(input_bytes) != first.ifmap_bytes:
+            raise ValueError(
+                f"input must be {first.ifmap_bytes} bytes, got {len(input_bytes)}")
+
+        # Stage the input as the (virtual) layer -1 output.
+        act_base = _ACT_BASE
+        input_vn = self._vns.activation_vn(0, inference) | (1 << 50)
+        self._write_blocks(act_base, input_bytes, input_vn, 0, weights=False)
+        current_len = len(input_bytes)
+        current_vn = input_vn
+
+        weight_vn = self._vns.weight_vn()
+        producer_id = 0  # the input is staged under layer 0's identity
+        for layer_id, layer in enumerate(self.topology):
+            # optBlk MACs are bound to the *producing* layer's identity;
+            # the consumer presents that identity when verifying.
+            ifmap = self._read_blocks(act_base, current_len, current_vn,
+                                      producer_id)
+            weights = self._read_blocks(self._weight_base[layer_id],
+                                        layer.weight_bytes, weight_vn,
+                                        layer_id)
+            ofmap = pseudo_layer_fn(ifmap, weights, layer.ofmap_bytes)
+
+            act_base = _ACT_BASE + (0x1000_0000 if layer_id % 2 == 0 else 0)
+            current_vn = self._vns.activation_vn(layer_id, inference)
+            self._integrity.reset_layer(layer_id)
+            self._write_blocks(act_base, ofmap, current_vn, layer_id,
+                               weights=False)
+            self._layer_mac_snapshot[layer_id] = \
+                self._integrity.layer_mac(layer_id)
+            current_len = len(ofmap)
+            producer_id = layer_id
+
+        self._verify_model_mac()
+        return self._read_blocks(act_base, current_len, current_vn,
+                                 producer_id)
+
+    def _verify_model_mac(self) -> None:
+        """End-of-inference check: re-fold every weight block."""
+        weight_vn = self._vns.weight_vn()
+        pairs = []
+        for layer_id, layer in enumerate(self.topology):
+            base = self._weight_base[layer_id]
+            for i in range(ceil_div(layer.weight_bytes, BLOCK)):
+                addr = base + BLOCK * i
+                stored = self.dram[addr]
+                context = MacContext(pa=addr, vn=weight_vn,
+                                     layer_id=layer_id, fmap_idx=0,
+                                     blk_idx=i)
+                pairs.append((stored.ciphertext, context))
+        if not self._integrity.verify_model(pairs):
+            raise IntegrityError(
+                "model MAC mismatch: weights were tampered with")
+
+    def layer_mac(self, layer_id: int) -> bytes:
+        return self._integrity.layer_mac(layer_id)
+
+    @property
+    def model_mac(self) -> bytes:
+        return self._integrity.model_mac

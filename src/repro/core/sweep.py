@@ -1,0 +1,85 @@
+"""Full evaluation sweeps: (NPU x workload x scheme) in one call.
+
+The benchmark harness and the ``paper_figures`` example both need the
+same sweep; this module is the shared implementation, with memoization
+(the accelerator stage is reused across schemes, and whole comparisons
+are cached per (NPU, workload) pair) and optional progress callbacks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.core.config import npu_config
+from repro.core.metrics import ComparisonResult, compare_schemes
+from repro.core.pipeline import Pipeline
+from repro.models.zoo import WORKLOADS, get_workload
+from repro.protection import SCHEME_NAMES
+
+ProgressFn = Callable[[str, str], None]
+
+
+class SweepRunner:
+    """Memoizing sweep executor."""
+
+    def __init__(self, scheme_names: Optional[List[str]] = None):
+        self.scheme_names = list(scheme_names or SCHEME_NAMES)
+        self._cache: Dict[tuple, ComparisonResult] = {}
+        self._pipelines: Dict[str, Pipeline] = {}
+
+    def _pipeline(self, npu_name: str) -> Pipeline:
+        if npu_name not in self._pipelines:
+            self._pipelines[npu_name] = Pipeline(npu_config(npu_name))
+        return self._pipelines[npu_name]
+
+    def compare(self, npu_name: str, workload: str) -> ComparisonResult:
+        key = (npu_name, workload, tuple(self.scheme_names))
+        if key not in self._cache:
+            self._cache[key] = compare_schemes(
+                self._pipeline(npu_name), get_workload(workload),
+                self.scheme_names)
+        return self._cache[key]
+
+    def sweep(self, npu_name: str,
+              workloads: Optional[Iterable[str]] = None,
+              progress: Optional[ProgressFn] = None) -> Dict[str, ComparisonResult]:
+        """All workloads on one NPU; returns workload -> comparison."""
+        out = {}
+        for workload in (workloads or WORKLOADS):
+            if progress is not None:
+                progress(npu_name, workload)
+            out[workload] = self.compare(npu_name, workload)
+        return out
+
+    # -- aggregation helpers --
+
+    @staticmethod
+    def series(results: Dict[str, ComparisonResult], scheme: str,
+               metric: str = "traffic") -> List[float]:
+        """Per-workload series plus the trailing average, figure-style.
+
+        ``metric`` is 'traffic', 'performance', 'traffic_overhead_pct' or
+        'slowdown_pct'.
+        """
+        getters = {
+            "traffic": lambda c: c.traffic(scheme),
+            "performance": lambda c: c.performance(scheme),
+            "traffic_overhead_pct": lambda c: c.traffic_overhead_pct(scheme),
+            "slowdown_pct": lambda c: c.slowdown_pct(scheme),
+        }
+        try:
+            getter = getters[metric]
+        except KeyError:
+            raise ValueError(
+                f"unknown metric {metric!r}; known: {sorted(getters)}"
+            ) from None
+        values = [getter(c) for c in results.values()]
+        return values + [sum(values) / len(values)]
+
+    def figure_table(self, results: Dict[str, ComparisonResult],
+                     metric: str = "traffic") -> Dict[str, List[float]]:
+        """One figure's full data: scheme -> series (+avg)."""
+        return {
+            scheme: self.series(results, scheme, metric)
+            for scheme in self.scheme_names
+        }

@@ -1,0 +1,45 @@
+"""Cryptographic substrate for SeDA.
+
+Implements, from scratch:
+
+- :mod:`repro.crypto.aes` — FIPS-197 AES-128/192/256 block cipher, with the
+  key-expansion schedule exposed (SeDA's bandwidth-aware engine derives
+  per-segment OTPs from the round keys).
+- :mod:`repro.crypto.ctr` — AES-CTR mode with the paper's ``PA || VN``
+  counter construction, plus the insecure shared-OTP variant used to
+  demonstrate the Single-Element Collision Attack (SECA).
+- :mod:`repro.crypto.baes` — the bandwidth-aware encryption mechanism
+  (single AES engine + round-key XOR fan-out).
+- :mod:`repro.crypto.mac` — keyed block MACs (location-bound, per
+  Algorithm 2's defense) and XOR folding for layer MACs.
+- :mod:`repro.crypto.engine` — throughput/latency timing models for serial,
+  parallel (T-AES) and bandwidth-aware (B-AES) engine organizations.
+"""
+
+from repro.crypto.aes import Aes
+from repro.crypto.ctr import AesCtr, make_counter, split_counter
+from repro.crypto.baes import BandwidthAwareAes
+from repro.crypto.mac import BlockMac, MacContext, xor_fold
+from repro.crypto.engine import (
+    AesEngineSpec,
+    CryptoEngineModel,
+    serial_engine,
+    parallel_engines,
+    bandwidth_aware_engine,
+)
+
+__all__ = [
+    "Aes",
+    "AesCtr",
+    "make_counter",
+    "split_counter",
+    "BandwidthAwareAes",
+    "BlockMac",
+    "MacContext",
+    "xor_fold",
+    "AesEngineSpec",
+    "CryptoEngineModel",
+    "serial_engine",
+    "parallel_engines",
+    "bandwidth_aware_engine",
+]

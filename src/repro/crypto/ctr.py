@@ -1,0 +1,111 @@
+"""AES-CTR mode with the secure-accelerator counter construction.
+
+The counter concatenates the physical address (PA) of the data block with
+its version number (VN), per Eq. 1/2 of the paper::
+
+    C = P xor AES-CTR_Ke(PA || VN)
+    P = C xor AES-CTR_Ke(PA || VN)
+
+Two encryption variants are provided:
+
+- :meth:`AesCtr.encrypt` — standard CTR: each 16-byte segment of the data
+  block uses a fresh counter (segment index folded into the low counter
+  bits). This is what SGX/MGX-style designs compute with one AES invocation
+  per segment, which is why they need multiple engines to meet bandwidth.
+- :meth:`AesCtr.encrypt_shared_otp` — the *insecure* strawman in which one
+  OTP is reused for every 16-byte segment of the block. It exists to
+  demonstrate the Single-Element Collision Attack (Algorithm 1, attack);
+  SeDA's :class:`repro.crypto.baes.BandwidthAwareAes` is the defense.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.crypto.aes import Aes, BLOCK_BYTES
+from repro.utils.bitops import xor_bytes
+
+PA_BITS = 48
+VN_BITS = 56
+SEGMENT_BITS = 24
+
+
+def make_counter(pa: int, vn: int, segment: int = 0) -> bytes:
+    """Build the 128-bit counter ``PA || VN || segment``.
+
+    The physical address occupies the high 48 bits (a 16 GB protected
+    region needs only 34), the version number the middle 56 bits (matching
+    the paper's 56-bit VNs), and the low 24 bits index the 16-byte segment
+    within the protection block for standard CTR.
+    """
+    if pa < 0 or pa >= (1 << PA_BITS):
+        raise ValueError(f"PA out of range for {PA_BITS} bits: {pa:#x}")
+    if vn < 0 or vn >= (1 << VN_BITS):
+        raise ValueError(f"VN out of range for {VN_BITS} bits: {vn}")
+    if segment < 0 or segment >= (1 << SEGMENT_BITS):
+        raise ValueError(f"segment out of range for {SEGMENT_BITS} bits: {segment}")
+    value = (pa << (VN_BITS + SEGMENT_BITS)) | (vn << SEGMENT_BITS) | segment
+    return value.to_bytes(BLOCK_BYTES, "big")
+
+
+def split_counter(counter: bytes) -> Tuple[int, int, int]:
+    """Inverse of :func:`make_counter`; returns ``(pa, vn, segment)``."""
+    if len(counter) != BLOCK_BYTES:
+        raise ValueError(f"counter must be {BLOCK_BYTES} bytes")
+    value = int.from_bytes(counter, "big")
+    segment = value & ((1 << SEGMENT_BITS) - 1)
+    vn = (value >> SEGMENT_BITS) & ((1 << VN_BITS) - 1)
+    pa = value >> (VN_BITS + SEGMENT_BITS)
+    return pa, vn, segment
+
+
+def _pad_to_block(data: bytes) -> Tuple[bytes, int]:
+    """Zero-pad ``data`` to a 16-byte multiple; return (padded, original length)."""
+    remainder = len(data) % BLOCK_BYTES
+    if remainder == 0:
+        return data, len(data)
+    return data + bytes(BLOCK_BYTES - remainder), len(data)
+
+
+class AesCtr:
+    """AES-CTR encryption/decryption keyed once per accelerator session."""
+
+    def __init__(self, key: bytes):
+        self._aes = Aes(key)
+
+    @property
+    def aes(self) -> Aes:
+        return self._aes
+
+    def otp(self, pa: int, vn: int, segment: int = 0) -> bytes:
+        """One-time pad for one 16-byte segment: ``AES_Ke(PA || VN || seg)``."""
+        return self._aes.encrypt_block(make_counter(pa, vn, segment))
+
+    def encrypt(self, plaintext: bytes, pa: int, vn: int) -> bytes:
+        """Standard CTR encryption: fresh OTP per 16-byte segment."""
+        padded, length = _pad_to_block(plaintext)
+        out = bytearray()
+        for seg in range(len(padded) // BLOCK_BYTES):
+            chunk = padded[BLOCK_BYTES * seg:BLOCK_BYTES * (seg + 1)]
+            out += xor_bytes(chunk, self.otp(pa, vn, seg))
+        return bytes(out[:length])
+
+    # CTR is an involution under the same counter stream.
+    decrypt = encrypt
+
+    def encrypt_shared_otp(self, plaintext: bytes, pa: int, vn: int) -> bytes:
+        """INSECURE: reuse one OTP for every segment of the block.
+
+        This is the strawman single-engine design from Section III-B
+        Challenge 2 and is vulnerable to SECA (Algorithm 1). Provided only
+        for attack demonstrations and tests.
+        """
+        padded, length = _pad_to_block(plaintext)
+        pad = self.otp(pa, vn, 0)
+        out = bytearray()
+        for seg in range(len(padded) // BLOCK_BYTES):
+            chunk = padded[BLOCK_BYTES * seg:BLOCK_BYTES * (seg + 1)]
+            out += xor_bytes(chunk, pad)
+        return bytes(out[:length])
+
+    decrypt_shared_otp = encrypt_shared_otp

@@ -1,0 +1,113 @@
+"""Timing models for crypto-engine organizations (Fig. 1(e), Fig. 2(c)).
+
+Three organizations are modelled:
+
+- **serial** — one non-pipelined AES engine: a 16-byte OTP every
+  ``latency`` cycles. Cannot keep up with accelerator bandwidth.
+- **parallel (T-AES)** — ``n`` engines side by side, the traditional fix
+  (e.g. Securator's four AES-128 engines per 64 B block). Bandwidth scales
+  with ``n`` at full per-engine area/power cost.
+- **bandwidth-aware (B-AES)** — SeDA: one pipelined engine plus ``lanes``
+  XOR fan-out lanes; each lane turns the base OTP into a distinct segment
+  OTP within the same cycle.
+
+All models express throughput in OTP bytes per accelerator cycle; the
+pipeline converts that to GB/s at the NPU clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.aes import BLOCK_BYTES
+from repro.utils.bitops import ceil_div
+
+
+@dataclass(frozen=True)
+class AesEngineSpec:
+    """Microarchitectural parameters of a single AES engine.
+
+    ``latency_cycles`` covers the initial round plus ``rounds`` iterations
+    (11 for AES-128). A pipelined engine accepts a new counter every cycle;
+    a serial one only after the previous block drains.
+    """
+
+    rounds: int = 10
+    pipelined: bool = True
+
+    @property
+    def latency_cycles(self) -> int:
+        return self.rounds + 1
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        """Sustained OTP bytes per cycle for one engine."""
+        if self.pipelined:
+            return float(BLOCK_BYTES)
+        return BLOCK_BYTES / self.latency_cycles
+
+
+@dataclass(frozen=True)
+class CryptoEngineModel:
+    """Throughput/latency model for a complete crypto-engine organization."""
+
+    spec: AesEngineSpec
+    engines: int = 1
+    xor_lanes: int = 1  # OTPs produced per base OTP (1 = plain CTR)
+
+    def __post_init__(self) -> None:
+        if self.engines < 1:
+            raise ValueError("engines must be >= 1")
+        if self.xor_lanes < 1:
+            raise ValueError("xor_lanes must be >= 1")
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        """Sustained OTP bytes per cycle across the organization."""
+        return self.spec.bytes_per_cycle * self.engines * self.xor_lanes
+
+    def bandwidth_gbps(self, freq_ghz: float) -> float:
+        """Sustained OTP bandwidth in GB/s at the given clock."""
+        if freq_ghz <= 0:
+            raise ValueError("freq_ghz must be positive")
+        return self.bytes_per_cycle * freq_ghz
+
+    def cycles_for_bytes(self, nbytes: int) -> int:
+        """Cycles to produce OTP material covering ``nbytes`` of data.
+
+        Includes one pipeline-fill latency; steady state is throughput
+        limited.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nbytes == 0:
+            return 0
+        steady = ceil_div(nbytes, max(1, int(self.bytes_per_cycle)))
+        return self.spec.latency_cycles + steady - 1
+
+    def meets_bandwidth(self, demand_gbps: float, freq_ghz: float) -> bool:
+        """Whether the organization sustains ``demand_gbps`` at ``freq_ghz``."""
+        return self.bandwidth_gbps(freq_ghz) >= demand_gbps
+
+
+def serial_engine(rounds: int = 10) -> CryptoEngineModel:
+    """A single non-pipelined engine (Fig. 1(e), 'serial encryption')."""
+    return CryptoEngineModel(AesEngineSpec(rounds=rounds, pipelined=False))
+
+
+def parallel_engines(n: int, rounds: int = 10) -> CryptoEngineModel:
+    """T-AES: ``n`` pipelined engines side by side (Fig. 2(c))."""
+    return CryptoEngineModel(AesEngineSpec(rounds=rounds, pipelined=True), engines=n)
+
+
+def bandwidth_aware_engine(lanes: int, rounds: int = 10) -> CryptoEngineModel:
+    """B-AES: one pipelined engine with ``lanes`` XOR fan-out lanes."""
+    return CryptoEngineModel(
+        AesEngineSpec(rounds=rounds, pipelined=True), engines=1, xor_lanes=lanes
+    )
+
+
+def engines_needed(demand_gbps: float, freq_ghz: float, rounds: int = 10) -> int:
+    """How many T-AES engines a demand requires (ceil of demand/engine BW)."""
+    one = parallel_engines(1, rounds=rounds).bandwidth_gbps(freq_ghz)
+    return max(1, ceil_div(int(round(demand_gbps * 1000)), int(round(one * 1000))))

@@ -1,0 +1,24 @@
+"""Trace-driven DRAM timing model (Ramulator substrate).
+
+Models a multi-channel DDR memory at the granularity the evaluation
+needs: per-channel data-bus occupancy plus row-buffer hit/miss behaviour
+per bank. Two engines share one address mapping and timing model:
+
+- :class:`repro.dram.simulator.DramSim.simulate` — event-driven reference
+  model (bank ready times, bus serialization, completion times);
+- :class:`repro.dram.simulator.DramSim.simulate_fast` — vectorized
+  numpy path used for full workload sweeps (validated against the
+  reference model in tests).
+"""
+
+from repro.dram.timing import DramConfig, DramTiming
+from repro.dram.mapping import AddressMapping
+from repro.dram.simulator import DramSim, DramResult
+
+__all__ = [
+    "DramConfig",
+    "DramTiming",
+    "AddressMapping",
+    "DramSim",
+    "DramResult",
+]

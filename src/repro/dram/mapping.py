@@ -1,0 +1,39 @@
+"""Physical address -> (channel, bank, row) mapping.
+
+Block-interleaved channel mapping (consecutive 64 B blocks round-robin
+across channels) with row-major bank filling inside each channel:
+a channel-local row fills ``row_bytes`` before moving to the next bank —
+the RoBaCoCh-style mapping DRAM simulators default to for streaming
+accelerators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.dram.timing import DramConfig
+
+
+@dataclass(frozen=True)
+class AddressMapping:
+    """Vectorized address decomposition for one :class:`DramConfig`."""
+
+    config: DramConfig
+
+    def decompose(self, addrs: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(channel, bank, row) arrays for block-aligned byte addresses."""
+        cfg = self.config
+        block_idx = addrs // cfg.block_bytes
+        channel = (block_idx % cfg.channels).astype(np.int64)
+        local = block_idx // cfg.channels          # channel-local block index
+        col_blocks = cfg.blocks_per_row
+        bank = ((local // col_blocks) % cfg.banks_per_channel).astype(np.int64)
+        row = (local // (col_blocks * cfg.banks_per_channel)).astype(np.int64)
+        return channel, bank, row
+
+    def decompose_one(self, addr: int) -> Tuple[int, int, int]:
+        channel, bank, row = self.decompose(np.asarray([addr], dtype=np.uint64))
+        return int(channel[0]), int(bank[0]), int(row[0])

@@ -1,0 +1,68 @@
+"""DRAM organization and timing parameters.
+
+The paper simulates four 64-bit DDR channels for both NPUs (Table II:
+20 GB/s total for the server, 10 GB/s for the edge device). Timing is
+kept in nanoseconds internally and converted to accelerator cycles at the
+NPU clock, so one config serves both devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DramTiming:
+    """Core DDR timing in nanoseconds (DDR4-flavoured defaults)."""
+
+    t_rcd_ns: float = 14.0   # activate -> column access
+    t_rp_ns: float = 14.0    # precharge
+    t_cas_ns: float = 14.0   # column access latency
+
+    @property
+    def row_miss_penalty_ns(self) -> float:
+        """Extra latency a row-buffer conflict adds over a row hit."""
+        return self.t_rp_ns + self.t_rcd_ns
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """Organization plus bandwidth of the off-chip memory system."""
+
+    total_bandwidth_gbps: float
+    channels: int = 4
+    banks_per_channel: int = 16
+    row_bytes: int = 2048
+    block_bytes: int = 64
+    timing: DramTiming = DramTiming()
+
+    def __post_init__(self) -> None:
+        if self.total_bandwidth_gbps <= 0:
+            raise ValueError("total_bandwidth_gbps must be positive")
+        if self.channels <= 0 or self.banks_per_channel <= 0:
+            raise ValueError("channels and banks must be positive")
+        if self.row_bytes % self.block_bytes != 0:
+            raise ValueError("row_bytes must be a multiple of block_bytes")
+
+    @property
+    def channel_bandwidth_gbps(self) -> float:
+        return self.total_bandwidth_gbps / self.channels
+
+    @property
+    def burst_ns(self) -> float:
+        """Data-bus time one 64 B block occupies a channel."""
+        return self.block_bytes / self.channel_bandwidth_gbps
+
+    @property
+    def blocks_per_row(self) -> int:
+        return self.row_bytes // self.block_bytes
+
+    def to_cycles(self, ns: float, freq_ghz: float) -> float:
+        """Convert nanoseconds to accelerator cycles at ``freq_ghz``."""
+        if freq_ghz <= 0:
+            raise ValueError("freq_ghz must be positive")
+        return ns * freq_ghz
+
+
+SERVER_DRAM = DramConfig(total_bandwidth_gbps=20.0)
+EDGE_DRAM = DramConfig(total_bandwidth_gbps=10.0)

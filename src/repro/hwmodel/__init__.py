@@ -1,0 +1,17 @@
+"""28 nm area/power cost model for crypto-engine organizations (Fig. 4)."""
+
+from repro.hwmodel.aes_cost import (
+    AesCostModel,
+    CostPoint,
+    TAES_28NM,
+    BAES_28NM,
+    sweep_bandwidth,
+)
+
+__all__ = [
+    "AesCostModel",
+    "CostPoint",
+    "TAES_28NM",
+    "BAES_28NM",
+    "sweep_bandwidth",
+]

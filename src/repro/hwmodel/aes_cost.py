@@ -1,0 +1,114 @@
+"""Area and power of T-AES vs B-AES at 28 nm (paper Fig. 4).
+
+The paper builds its simulator on the AES engine implementations from
+Banerjee's MIT thesis ("Energy-efficient protocols and hardware
+architectures for transport layer security", 2017), at 28 nm. Fig. 4
+shows, as the bandwidth requirement grows from 1x to 8x a single
+engine's throughput:
+
+- **T-AES** (traditional): N engines -> area and power scale linearly,
+  reaching roughly 45k um^2 and 24k uW at 8x.
+- **B-AES** (SeDA): one engine plus XOR fan-out lanes -> near-flat
+  scaling, since a lane is 128 XOR gates plus pipeline registers.
+
+Calibration: a single round-based AES-128 engine at 28 nm occupies about
+5.6k um^2 and draws about 2.9k uW at speed; a B-AES lane (128 2-input
+XORs + latching) is about 180 um^2 and 95 uW. These constants reproduce
+Fig. 4's endpoints and, more importantly, its *shape*: linear vs
+near-flat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.utils.bitops import ceil_div
+
+
+@dataclass(frozen=True)
+class CostPoint:
+    """Cost of one organization at one bandwidth requirement."""
+
+    bandwidth_multiple: int   # in units of one engine's throughput
+    engines: int
+    xor_lanes: int
+    area_um2: float
+    power_uw: float
+
+
+@dataclass(frozen=True)
+class AesCostModel:
+    """Linear cost model: engines plus per-lane XOR fan-out."""
+
+    name: str
+    engine_area_um2: float
+    engine_power_uw: float
+    lane_area_um2: float
+    lane_power_uw: float
+    scales_with_engines: bool   # True: T-AES; False: B-AES
+
+    def cost(self, bandwidth_multiple: int) -> CostPoint:
+        """Cost to sustain ``bandwidth_multiple`` x one engine's rate."""
+        if bandwidth_multiple < 1:
+            raise ValueError("bandwidth_multiple must be >= 1")
+        if self.scales_with_engines:
+            engines = bandwidth_multiple
+            lanes = 1
+        else:
+            engines = 1
+            lanes = bandwidth_multiple
+        area = (engines * self.engine_area_um2
+                + (lanes - 1) * self.lane_area_um2)
+        power = (engines * self.engine_power_uw
+                 + (lanes - 1) * self.lane_power_uw)
+        return CostPoint(
+            bandwidth_multiple=bandwidth_multiple,
+            engines=engines,
+            xor_lanes=lanes,
+            area_um2=area,
+            power_uw=power,
+        )
+
+
+_ENGINE_AREA_UM2 = 5600.0
+_ENGINE_POWER_UW = 2900.0
+_LANE_AREA_UM2 = 180.0
+_LANE_POWER_UW = 95.0
+
+TAES_28NM = AesCostModel(
+    name="T-AES",
+    engine_area_um2=_ENGINE_AREA_UM2,
+    engine_power_uw=_ENGINE_POWER_UW,
+    lane_area_um2=0.0,
+    lane_power_uw=0.0,
+    scales_with_engines=True,
+)
+
+BAES_28NM = AesCostModel(
+    name="B-AES",
+    engine_area_um2=_ENGINE_AREA_UM2,
+    engine_power_uw=_ENGINE_POWER_UW,
+    lane_area_um2=_LANE_AREA_UM2,
+    lane_power_uw=_LANE_POWER_UW,
+    scales_with_engines=False,
+)
+
+
+def sweep_bandwidth(model: AesCostModel, max_multiple: int = 8) -> List[CostPoint]:
+    """Fig. 4's x-axis sweep: 1x .. ``max_multiple``x engine bandwidth."""
+    if max_multiple < 1:
+        raise ValueError("max_multiple must be >= 1")
+    return [model.cost(m) for m in range(1, max_multiple + 1)]
+
+
+def lanes_for_npu_bandwidth(bandwidth_gbps: float, freq_ghz: float) -> int:
+    """B-AES lanes needed so OTP throughput covers an NPU's DRAM bandwidth.
+
+    One pipelined engine sustains 16 B of OTP per cycle.
+    """
+    if bandwidth_gbps <= 0 or freq_ghz <= 0:
+        raise ValueError("bandwidth and frequency must be positive")
+    engine_gbps = 16.0 * freq_ghz
+    return max(1, ceil_div(int(round(bandwidth_gbps * 1000)),
+                           int(round(engine_gbps * 1000))))

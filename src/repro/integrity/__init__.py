@@ -1,0 +1,33 @@
+"""Integrity-verification substrate.
+
+Functional (bit-true) building blocks for memory integrity:
+
+- :mod:`repro.integrity.merkle` — hash trees over version-number blocks
+  (classic Merkle tree and the Bonsai variant's counter tree), with the
+  root held on-chip; detects tampering and replay.
+- :mod:`repro.integrity.caches` — on-chip metadata caches (VN cache, MAC
+  cache) in the paper's evaluated configuration.
+- :mod:`repro.integrity.multilevel` — SeDA's optBlk / layer / model MAC
+  hierarchy with location-bound MACs and incremental XOR folding.
+- :mod:`repro.integrity.verifier` — a functional secure-memory model
+  combining encryption and integrity for end-to-end property tests.
+"""
+
+from repro.integrity.merkle import MerkleTree
+from repro.integrity.caches import MetadataCache, VN_CACHE_BYTES, MAC_CACHE_BYTES
+from repro.integrity.multilevel import LayerMacState, MultiLevelIntegrity
+from repro.integrity.verifier import SecureMemory, IntegrityError
+from repro.integrity.vn import DnnStateVnGenerator, VnExhaustedError
+
+__all__ = [
+    "DnnStateVnGenerator",
+    "VnExhaustedError",
+    "MerkleTree",
+    "MetadataCache",
+    "VN_CACHE_BYTES",
+    "MAC_CACHE_BYTES",
+    "LayerMacState",
+    "MultiLevelIntegrity",
+    "SecureMemory",
+    "IntegrityError",
+]

@@ -1,0 +1,51 @@
+"""On-chip metadata caches in the paper's evaluated configuration.
+
+The SGX-style schemes use a 16 KB version-number cache and an 8 KB MAC
+cache, both LRU with write-back and write-allocate (Section IV-A). Lines
+are 64-byte metadata blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.utils.lru import CacheStats, LruCache
+
+VN_CACHE_BYTES = 16 << 10
+MAC_CACHE_BYTES = 8 << 10
+LINE_BYTES = 64
+
+
+class MetadataCache:
+    """A byte-capacity view over :class:`repro.utils.lru.LruCache`."""
+
+    def __init__(self, capacity_bytes: int, line_bytes: int = LINE_BYTES):
+        if capacity_bytes < line_bytes:
+            raise ValueError("capacity smaller than one line")
+        if line_bytes <= 0:
+            raise ValueError("line_bytes must be positive")
+        self.line_bytes = line_bytes
+        self._cache = LruCache(capacity_bytes // line_bytes)
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._cache.stats
+
+    @property
+    def capacity_lines(self) -> int:
+        return self._cache.capacity_lines
+
+    def access(self, line_addr: int, write: bool = False) -> Tuple[bool, Optional[int]]:
+        """Access the line containing ``line_addr``.
+
+        Returns ``(hit, writeback_addr)``; a dirty eviction surfaces the
+        evicted line's address so the caller can emit the DRAM write.
+        """
+        tag = line_addr // self.line_bytes
+        hit, writeback = self._cache.access(tag, write=write)
+        writeback_addr = None if writeback is None else writeback * self.line_bytes
+        return hit, writeback_addr
+
+    def flush(self):
+        """Evict all lines; returns addresses of dirty lines."""
+        return [tag * self.line_bytes for tag in self._cache.flush()]

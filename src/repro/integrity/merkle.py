@@ -1,0 +1,123 @@
+"""Merkle integrity tree with on-chip root.
+
+An arity-``A`` hash tree over a sequence of leaf blocks (for SGX-style
+protection the leaves are version-number blocks, per the Bonsai Merkle
+Tree construction: data blocks are covered by MACs, only the VNs need the
+tree). The root digest is held on-chip, so an attacker who replays stale
+off-chip leaves or internal nodes is always caught.
+
+Hashing is the keyed MAC from :mod:`repro.crypto.mac`, with each node's
+index bound into the hash so subtree transplants are detected.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.crypto.mac import BlockMac, MacContext
+from repro.utils.bitops import ceil_div
+
+
+class MerkleTree:
+    """Hash tree over leaf blocks with configurable arity."""
+
+    def __init__(self, key: bytes, leaves: Sequence[bytes], arity: int = 8):
+        if arity < 2:
+            raise ValueError("arity must be at least 2")
+        if not leaves:
+            raise ValueError("tree needs at least one leaf")
+        self._mac = BlockMac(key)
+        self.arity = arity
+        self._leaves: List[bytes] = [bytes(leaf) for leaf in leaves]
+        self._levels: List[List[bytes]] = []
+        self._rebuild()
+
+    @property
+    def num_leaves(self) -> int:
+        return len(self._leaves)
+
+    @property
+    def num_levels(self) -> int:
+        """Internal levels above the leaves (including the root level)."""
+        return len(self._levels)
+
+    @property
+    def root(self) -> bytes:
+        """The on-chip root digest."""
+        return self._levels[-1][0]
+
+    def leaf(self, index: int) -> bytes:
+        return self._leaves[index]
+
+    def _node_hash(self, level: int, index: int, children: Sequence[bytes]) -> bytes:
+        payload = b"".join(children)
+        context = MacContext(pa=index, vn=0, layer_id=level)
+        return self._mac.mac(payload, context)
+
+    def _rebuild(self) -> None:
+        self._levels = []
+        current = [
+            self._node_hash(0, i, [leaf]) for i, leaf in enumerate(self._leaves)
+        ]
+        level = 1
+        self._levels.append(current)
+        while len(current) > 1:
+            parents = []
+            for i in range(ceil_div(len(current), self.arity)):
+                children = current[i * self.arity:(i + 1) * self.arity]
+                parents.append(self._node_hash(level, i, children))
+            self._levels.append(parents)
+            current = parents
+            level += 1
+
+    def update_leaf(self, index: int, value: bytes) -> None:
+        """Write a leaf and re-hash its path to the root."""
+        if not 0 <= index < len(self._leaves):
+            raise IndexError(f"leaf index {index} out of range")
+        self._leaves[index] = bytes(value)
+        node = self._node_hash(0, index, [self._leaves[index]])
+        self._levels[0][index] = node
+        child_index = index
+        for level in range(1, len(self._levels)):
+            parent_index = child_index // self.arity
+            children = self._levels[level - 1][
+                parent_index * self.arity:(parent_index + 1) * self.arity]
+            self._levels[level][parent_index] = self._node_hash(
+                level, parent_index, children)
+            child_index = parent_index
+
+    def verify_leaf(self, index: int, value: bytes) -> bool:
+        """Check ``value`` against the path to the on-chip root.
+
+        Recomputes the leaf's path using the stored sibling digests; a
+        tampered or replayed leaf fails unless the attacker can forge
+        every ancestor up to the root — which lives on-chip.
+        """
+        if not 0 <= index < len(self._leaves):
+            raise IndexError(f"leaf index {index} out of range")
+        node = self._node_hash(0, index, [bytes(value)])
+        child_index = index
+        for level in range(1, len(self._levels)):
+            parent_index = child_index // self.arity
+            children = list(self._levels[level - 1][
+                parent_index * self.arity:(parent_index + 1) * self.arity])
+            children[child_index - parent_index * self.arity] = node
+            node = self._node_hash(level, parent_index, children)
+            child_index = parent_index
+        return node == self.root
+
+    @staticmethod
+    def levels_for(num_leaves: int, arity: int = 8) -> int:
+        """Tree levels above the leaves for a given leaf count.
+
+        Used by the timing model: a VN-cache miss walks at most this many
+        nodes before hitting the on-chip root.
+        """
+        if num_leaves <= 0:
+            raise ValueError("num_leaves must be positive")
+        levels = 1
+        count = num_leaves
+        while count > 1:
+            count = ceil_div(count, arity)
+            levels += 1
+        return levels

@@ -1,0 +1,129 @@
+"""SeDA's multi-level integrity verification (paper Section III-C).
+
+Three MAC granularities (Table I):
+
+- **optBlk MAC** — per authentication block, sized by the SecureLoop-style
+  search to match the layer's tiling; computed on the fly, *not* stored.
+- **layer MAC** — XOR fold of all optBlk MACs of one layer; small enough
+  for on-chip SRAM (or one off-chip block, the paper's fairness setting).
+- **model MAC** — a single MAC folding every weight block of the model;
+  lives on-chip, verified once at the end of inference.
+
+Each optBlk MAC binds the block's location — ``(PA, VN, layer_id,
+fmap_idx, blk_idx)`` — which is what defeats the Re-Permutation Attack:
+shuffled blocks produce different per-block MACs, so the XOR fold no
+longer matches even though XOR itself is commutative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.crypto.mac import BlockMac, MacContext, MAC_BYTES, xor_fold
+from repro.utils.bitops import xor_bytes
+
+
+@dataclass
+class LayerMacState:
+    """Running XOR fold of one layer's optBlk MACs."""
+
+    layer_id: int
+    value: bytes = bytes(MAC_BYTES)
+    blocks_folded: int = 0
+
+    def fold(self, mac: bytes) -> None:
+        if len(mac) != MAC_BYTES:
+            raise ValueError(f"MAC must be {MAC_BYTES} bytes")
+        self.value = xor_bytes(self.value, mac)
+        self.blocks_folded += 1
+
+    def replace(self, old_mac: bytes, new_mac: bytes) -> None:
+        """Incremental update when a block is rewritten (XOR-MAC property)."""
+        self.value = xor_bytes(xor_bytes(self.value, old_mac), new_mac)
+
+
+class MultiLevelIntegrity:
+    """Produce and verify optBlk / layer / model MACs for one session key."""
+
+    def __init__(self, key: bytes, location_bound: bool = True):
+        self._mac = BlockMac(key)
+        self.location_bound = location_bound
+        self._layers: Dict[int, LayerMacState] = {}
+        self._model_mac = bytes(MAC_BYTES)
+        self._model_blocks = 0
+
+    # -- optBlk level --
+
+    def optblk_mac(self, block: bytes, context: MacContext) -> bytes:
+        """MAC of one authentication block (Algorithm 2, defense line 8).
+
+        With ``location_bound=False`` the MAC covers only the ciphertext —
+        the RePA-vulnerable mode, retained for the attack demonstration.
+        """
+        if self.location_bound:
+            return self._mac.mac(block, context)
+        return self._mac.mac_ciphertext_only(block)
+
+    def verify_optblk(self, block: bytes, tag: bytes, context: MacContext) -> bool:
+        return self.optblk_mac(block, context) == tag
+
+    # -- layer level --
+
+    def layer_state(self, layer_id: int) -> LayerMacState:
+        return self._layers.setdefault(layer_id, LayerMacState(layer_id))
+
+    def record_block(self, layer_id: int, block: bytes,
+                     context: MacContext) -> bytes:
+        """MAC a freshly written block and fold it into its layer MAC."""
+        tag = self.optblk_mac(block, context)
+        self.layer_state(layer_id).fold(tag)
+        return tag
+
+    def layer_mac(self, layer_id: int) -> bytes:
+        return self.layer_state(layer_id).value
+
+    def reset_layer(self, layer_id: int) -> None:
+        """Start a fresh fold for a layer (new inference rewrites its
+        ofmap buffer; the stale fold no longer describes live data)."""
+        self._layers[layer_id] = LayerMacState(layer_id)
+
+    def verify_layer(self, layer_id: int,
+                     blocks_with_context: Iterable[Tuple[bytes, MacContext]]) -> bool:
+        """Recompute the fold over the blocks read back; compare layer MACs."""
+        recomputed = xor_fold(
+            self.optblk_mac(block, ctx) for block, ctx in blocks_with_context
+        )
+        return recomputed == self.layer_mac(layer_id)
+
+    # -- model level --
+
+    def record_weight_block(self, block: bytes, context: MacContext) -> bytes:
+        """Fold one weight block into the model MAC."""
+        tag = self.optblk_mac(block, context)
+        self._model_mac = xor_bytes(self._model_mac, tag)
+        self._model_blocks += 1
+        return tag
+
+    @property
+    def model_mac(self) -> bytes:
+        return self._model_mac
+
+    @property
+    def model_blocks(self) -> int:
+        return self._model_blocks
+
+    def verify_model(self,
+                     blocks_with_context: Iterable[Tuple[bytes, MacContext]]) -> bool:
+        """End-of-inference model check (result available only at the end)."""
+        recomputed = xor_fold(
+            self.optblk_mac(block, ctx) for block, ctx in blocks_with_context
+        )
+        return recomputed == self._model_mac
+
+    # -- storage accounting (Table I) --
+
+    def onchip_mac_bytes(self, num_layers: int, store_layer_macs_onchip: bool = True) -> int:
+        """On-chip SRAM the MAC hierarchy occupies."""
+        layer_bytes = num_layers * MAC_BYTES if store_layer_macs_onchip else 0
+        return layer_bytes + MAC_BYTES  # + model MAC

@@ -1,0 +1,118 @@
+"""Functional SGX-style secure memory: off-chip VNs under a Merkle tree.
+
+The functional counterpart of :class:`repro.protection.sgx.SgxScheme`'s
+timing model, and the contrast to :class:`repro.integrity.verifier.
+SecureMemory` (which keeps VNs on-chip, MGX/SeDA style):
+
+- data blocks are AES-CTR encrypted with ``PA || VN`` counters;
+- each block's 8 B MAC binds ciphertext, PA and VN;
+- version numbers live in *untrusted* storage, so freshness comes from a
+  Merkle tree over the VN table (Bonsai construction) whose root — and
+  only the root — is on-chip.
+
+An attacker controls ``data``, ``macs`` and ``vns``; tests drive replay
+attacks that a MAC-only design would miss and show the tree catching
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.crypto.ctr import AesCtr
+from repro.crypto.mac import BlockMac, MacContext
+from repro.integrity.merkle import MerkleTree
+from repro.integrity.verifier import IntegrityError
+
+VN_LEAF_BYTES = 8
+
+
+class SgxSecureMemory:
+    """Encrypt-and-MAC memory with an integrity tree over off-chip VNs.
+
+    Parameters
+    ----------
+    num_blocks:
+        Size of the protected region in blocks; fixes the VN-table and
+        tree geometry up front, as hardware does.
+    """
+
+    def __init__(self, enc_key: bytes, mac_key: bytes, num_blocks: int,
+                 block_bytes: int = 64, tree_arity: int = 8):
+        if num_blocks <= 0:
+            raise ValueError("num_blocks must be positive")
+        if block_bytes <= 0 or block_bytes % 16:
+            raise ValueError("block_bytes must be a positive multiple of 16")
+        self.block_bytes = block_bytes
+        self.num_blocks = num_blocks
+        self._ctr = AesCtr(enc_key)
+        self._mac = BlockMac(mac_key)
+
+        # Untrusted stores (the attacker's playground).
+        self.data: Dict[int, bytes] = {}
+        self.macs: Dict[int, bytes] = {}
+        self.vns: List[int] = [0] * num_blocks
+
+        # Trusted state: only the tree root (held inside MerkleTree).
+        self._tree = MerkleTree(
+            mac_key, [self._leaf(0)] * num_blocks, arity=tree_arity)
+        for i in range(num_blocks):
+            self._tree.update_leaf(i, self._leaf(0))
+
+    @staticmethod
+    def _leaf(vn: int) -> bytes:
+        return vn.to_bytes(VN_LEAF_BYTES, "big")
+
+    def _index(self, addr: int) -> int:
+        if addr % self.block_bytes:
+            raise ValueError(f"address {addr:#x} not block aligned")
+        index = addr // self.block_bytes
+        if not 0 <= index < self.num_blocks:
+            raise IndexError(f"address {addr:#x} outside the protected region")
+        return index
+
+    @property
+    def onchip_root(self) -> bytes:
+        return self._tree.root
+
+    # -- data path --
+
+    def write(self, addr: int, plaintext: bytes) -> None:
+        """Encrypt, MAC, bump the off-chip VN, re-hash the tree path."""
+        if len(plaintext) != self.block_bytes:
+            raise ValueError(
+                f"block must be {self.block_bytes} bytes, got {len(plaintext)}")
+        index = self._index(addr)
+        vn = self.vns[index] + 1
+        self.vns[index] = vn
+        ciphertext = self._ctr.encrypt(plaintext, pa=addr, vn=vn)
+        self.data[index] = ciphertext
+        self.macs[index] = self._mac.mac(
+            ciphertext, MacContext(pa=addr, vn=vn))
+        self._tree.update_leaf(index, self._leaf(vn))
+
+    def read(self, addr: int) -> bytes:
+        """Verify the VN against the tree, then the MAC, then decrypt."""
+        index = self._index(addr)
+        if index not in self.data:
+            raise KeyError(f"no block at address {addr:#x}")
+        vn = self.vns[index]                       # fetched from untrusted DRAM
+        if not self._tree.verify_leaf(index, self._leaf(vn)):
+            raise IntegrityError(
+                f"VN for {addr:#x} fails integrity-tree verification "
+                f"(replayed or tampered counter)")
+        ciphertext = self.data[index]
+        if not self._mac.verify(ciphertext, self.macs[index],
+                                MacContext(pa=addr, vn=vn)):
+            raise IntegrityError(f"MAC mismatch at {addr:#x}")
+        return self._ctr.decrypt(ciphertext, pa=addr, vn=vn)
+
+    # -- accounting (ties back to the timing model) --
+
+    def metadata_bytes(self) -> int:
+        """Off-chip metadata footprint: MACs + VN table (tree excluded)."""
+        return len(self.macs) * 8 + self.num_blocks * VN_LEAF_BYTES
+
+    def tree_levels(self) -> int:
+        return self._tree.num_levels

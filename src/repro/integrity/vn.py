@@ -1,0 +1,103 @@
+"""On-chip version-number generation from DNN state (MGX/TNPU style).
+
+MGX's observation, which SeDA inherits: a DNN's memory-access schedule is
+deterministic, so version numbers need not be stored off-chip — they can
+be *derived* from on-chip execution state. Weights are written once per
+model load; an activation buffer is rewritten once per producing layer
+per inference.
+
+The generator guarantees the CTR-security invariant: for a fixed key,
+the same ``(PA, VN)`` pair is never used to encrypt two different
+writes. Weights get the model-load epoch; activations get a counter that
+advances with every (inference, layer) production step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.crypto.ctr import VN_BITS
+
+
+class VnExhaustedError(Exception):
+    """The 56-bit VN space would wrap — the session key must rotate."""
+
+
+@dataclass
+class DnnStateVnGenerator:
+    """Derive VNs from (tensor kind, layer, inference) execution state.
+
+    VN layout (56 bits): the top bit selects weights vs activations;
+    weights use the model-load epoch, activations use a monotone counter
+    ``inference * num_layers + layer`` so every buffer rewrite gets a
+    fresh value.
+    """
+
+    num_layers: int
+    model_epoch: int = 1
+    _inference: int = 0
+
+    _WEIGHT_TAG = 1 << (VN_BITS - 1)
+
+    def __post_init__(self) -> None:
+        if self.num_layers <= 0:
+            raise ValueError("num_layers must be positive")
+        if not 1 <= self.model_epoch < self._WEIGHT_TAG:
+            raise ValueError("model_epoch out of range")
+
+    @property
+    def inference_index(self) -> int:
+        return self._inference
+
+    def next_inference(self) -> int:
+        """Advance to the next inference; returns its index."""
+        self._inference += 1
+        return self._inference
+
+    def weight_vn(self) -> int:
+        """VN for every weight block: constant per model load."""
+        return self._WEIGHT_TAG | self.model_epoch
+
+    def activation_vn(self, layer_id: int, inference: int = None) -> int:
+        """VN for the activation buffer layer ``layer_id`` writes.
+
+        Fresh per (inference, producing layer): the buffer is rewritten
+        exactly once per production, so this is the write counter a
+        stored VN would hold — derived instead of fetched.
+        """
+        if not 0 <= layer_id < self.num_layers:
+            raise IndexError(f"layer_id {layer_id} out of range")
+        idx = self._inference if inference is None else inference
+        vn = idx * self.num_layers + layer_id + 1
+        if vn >= self._WEIGHT_TAG:
+            raise VnExhaustedError(
+                "activation VN space exhausted; rotate the session key")
+        return vn
+
+    def reload_model(self) -> int:
+        """A new model load bumps the weight epoch (fresh weight OTPs)."""
+        self.model_epoch += 1
+        if self.model_epoch >= self._WEIGHT_TAG:
+            raise VnExhaustedError(
+                "weight epoch space exhausted; rotate the session key")
+        self._inference = 0
+        return self.model_epoch
+
+
+def vn_pairs_unique(generator: DnnStateVnGenerator,
+                    inferences: int) -> bool:
+    """Check the no-reuse invariant over a window of inferences.
+
+    Exists mostly for tests and documentation: enumerates every
+    (kind, layer, inference) VN the generator would emit and verifies
+    they are pairwise distinct where they must be.
+    """
+    seen: Dict[int, Tuple[int, int]] = {}
+    for inference in range(inferences):
+        for layer in range(generator.num_layers):
+            vn = generator.activation_vn(layer, inference)
+            if vn in seen and seen[vn] != (inference, layer):
+                return False
+            seen[vn] = (inference, layer)
+    return generator.weight_vn() not in seen

@@ -1,0 +1,29 @@
+"""DNN workload descriptions.
+
+Layer-shape-level model descriptions in the style of SCALE-Sim topology
+files: the accelerator simulator consumes layer shapes, not trained
+weights. :mod:`repro.models.zoo` provides all thirteen workloads evaluated
+in the paper.
+"""
+
+from repro.models.layer import Layer, LayerKind, conv, dwconv, gemm
+from repro.models.topology import Topology
+from repro.models.zoo import (
+    WORKLOADS,
+    WORKLOAD_ABBREVIATIONS,
+    get_workload,
+    list_workloads,
+)
+
+__all__ = [
+    "Layer",
+    "LayerKind",
+    "conv",
+    "dwconv",
+    "gemm",
+    "Topology",
+    "WORKLOADS",
+    "WORKLOAD_ABBREVIATIONS",
+    "get_workload",
+    "list_workloads",
+]

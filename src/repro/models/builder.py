@@ -1,0 +1,106 @@
+"""Parametric topology builders for custom workloads.
+
+The zoo covers the paper's thirteen networks; these builders let users
+define their own in one line each — MLP towers, plain CNN stacks,
+residual towers and transformer encoders — all emitting the same
+:class:`repro.models.topology.Topology` the pipeline consumes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.models.layer import Layer, conv, dwconv, gemm
+from repro.models.topology import Topology
+
+
+def mlp(name: str, batch: int, dims: Sequence[int]) -> Topology:
+    """A fully connected tower: ``dims[0] -> dims[1] -> ...``.
+
+    >>> mlp("m", 8, [16, 32, 4]).total_macs == 8 * (16 * 32 + 32 * 4)
+    True
+    """
+    if batch <= 0:
+        raise ValueError("batch must be positive")
+    if len(dims) < 2:
+        raise ValueError("an MLP needs at least two dims")
+    layers = [
+        gemm(f"fc{i}", batch, dims[i], dims[i + 1])
+        for i in range(len(dims) - 1)
+    ]
+    return Topology(name, layers)
+
+
+def cnn(name: str, input_hw: int, input_channels: int,
+        stage_filters: Sequence[int], filt: int = 3,
+        downsample_every: int = 1) -> Topology:
+    """A plain conv stack; spatial size halves every ``downsample_every``
+    stages via stride-2 convolutions."""
+    if input_hw <= 0 or input_channels <= 0:
+        raise ValueError("input dimensions must be positive")
+    if not stage_filters:
+        raise ValueError("need at least one stage")
+    layers: List[Layer] = []
+    hw = input_hw
+    channels = input_channels
+    for i, filters in enumerate(stage_filters, start=1):
+        stride = 2 if downsample_every and i % downsample_every == 0 else 1
+        pad = hw + (filt - 1)
+        layers.append(conv(f"conv{i}", pad, pad, filt, filt, channels,
+                           filters, stride=stride))
+        hw = hw // stride
+        channels = filters
+        if hw < 1:
+            raise ValueError("network downsampled below 1x1")
+    return Topology(name, layers)
+
+
+def residual_tower(name: str, board: int, channels: int, blocks: int,
+                   input_planes: int) -> Topology:
+    """An AlphaGoZero-style tower: stem + ``blocks`` x (2 convs)."""
+    if blocks <= 0:
+        raise ValueError("blocks must be positive")
+    pad = board + 2
+    layers: List[Layer] = [
+        conv("stem", pad, pad, 3, 3, input_planes, channels)]
+    for i in range(1, blocks + 1):
+        layers.append(conv(f"res{i}_a", pad, pad, 3, 3, channels, channels))
+        layers.append(conv(f"res{i}_b", pad, pad, 3, 3, channels, channels))
+    return Topology(name, layers)
+
+
+def transformer_encoder(name: str, num_layers: int, seq: int,
+                        d_model: int, d_ff: int) -> Topology:
+    """Encoder forward pass: QKV, scores, context, projection, FFN."""
+    if num_layers <= 0:
+        raise ValueError("num_layers must be positive")
+    layers: List[Layer] = []
+    for i in range(1, num_layers + 1):
+        layers += [
+            gemm(f"l{i}_q", seq, d_model, d_model),
+            gemm(f"l{i}_k", seq, d_model, d_model),
+            gemm(f"l{i}_v", seq, d_model, d_model),
+            gemm(f"l{i}_scores", seq, d_model, seq),
+            gemm(f"l{i}_ctx", seq, seq, d_model),
+            gemm(f"l{i}_proj", seq, d_model, d_model),
+            gemm(f"l{i}_ff1", seq, d_model, d_ff),
+            gemm(f"l{i}_ff2", seq, d_ff, d_model),
+        ]
+    return Topology(name, layers)
+
+
+def depthwise_separable_stack(name: str, input_hw: int, plan: Sequence[tuple]) -> Topology:
+    """MobileNet-style dw/pw pairs; ``plan`` items are
+    ``(channels_in, channels_out, stride)``."""
+    if not plan:
+        raise ValueError("plan must be non-empty")
+    layers: List[Layer] = []
+    hw = input_hw
+    for i, (cin, cout, stride) in enumerate(plan, start=1):
+        pad = hw + 2
+        layers.append(dwconv(f"dw{i}", pad, pad, 3, 3, cin, stride=stride))
+        hw = hw // stride
+        layers.append(conv(f"pw{i}", hw, hw, 1, 1, cin, cout))
+        if hw < 1:
+            raise ValueError("network downsampled below 1x1")
+    return Topology(name, layers)

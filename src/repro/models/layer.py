@@ -1,0 +1,138 @@
+"""Layer descriptors for the accelerator simulator.
+
+Each layer is reduced to the (M, K, N) GEMM the systolic array executes:
+
+- ``conv``: im2col — M = OH*OW, K = FH*FW*C, N = num_filters.
+- ``dwconv``: depthwise — each channel is an independent FH*FW filter;
+  M = OH*OW, K = FH*FW, N = C.
+- ``gemm``: fully connected / attention / MLP layers, (M, K, N) directly.
+
+Tensor footprints (the bytes that live in DRAM) are tracked separately
+from the GEMM view because im2col *re-reads* input elements: the DRAM
+traffic model charges unique footprints per tiling pass, while the compute
+model charges the full M*K*N MACs.
+
+Element precision is 1 byte throughout, per Table II.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+ELEMENT_BYTES = 1
+
+
+class LayerKind(enum.Enum):
+    CONV = "conv"
+    DWCONV = "dwconv"
+    GEMM = "gemm"
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One layer of a workload, in SCALE-Sim topology terms."""
+
+    name: str
+    kind: LayerKind
+    ifmap_h: int
+    ifmap_w: int
+    filt_h: int
+    filt_w: int
+    channels: int
+    num_filters: int
+    stride_h: int = 1
+    stride_w: int = 1
+
+    def __post_init__(self) -> None:
+        for field_name in ("ifmap_h", "ifmap_w", "filt_h", "filt_w",
+                           "channels", "num_filters", "stride_h", "stride_w"):
+            value = getattr(self, field_name)
+            if value <= 0:
+                raise ValueError(f"{self.name}: {field_name} must be positive, got {value}")
+        if self.filt_h > self.ifmap_h or self.filt_w > self.ifmap_w:
+            raise ValueError(f"{self.name}: filter larger than ifmap")
+
+    # -- spatial output dimensions --
+
+    @property
+    def ofmap_h(self) -> int:
+        return (self.ifmap_h - self.filt_h) // self.stride_h + 1
+
+    @property
+    def ofmap_w(self) -> int:
+        return (self.ifmap_w - self.filt_w) // self.stride_w + 1
+
+    # -- GEMM view --
+
+    @property
+    def gemm_m(self) -> int:
+        return self.ofmap_h * self.ofmap_w
+
+    @property
+    def gemm_k(self) -> int:
+        if self.kind is LayerKind.DWCONV:
+            return self.filt_h * self.filt_w
+        return self.filt_h * self.filt_w * self.channels
+
+    @property
+    def gemm_n(self) -> int:
+        if self.kind is LayerKind.DWCONV:
+            return self.channels
+        return self.num_filters
+
+    @property
+    def macs(self) -> int:
+        return self.gemm_m * self.gemm_k * self.gemm_n
+
+    # -- DRAM tensor footprints (bytes) --
+
+    @property
+    def ifmap_bytes(self) -> int:
+        return self.ifmap_h * self.ifmap_w * self.channels * ELEMENT_BYTES
+
+    @property
+    def weight_bytes(self) -> int:
+        if self.kind is LayerKind.DWCONV:
+            return self.filt_h * self.filt_w * self.channels * ELEMENT_BYTES
+        return self.filt_h * self.filt_w * self.channels * self.num_filters * ELEMENT_BYTES
+
+    @property
+    def ofmap_bytes(self) -> int:
+        return self.gemm_m * self.gemm_n * ELEMENT_BYTES
+
+    @property
+    def is_pointwise(self) -> bool:
+        """1x1 filter with unit stride: no spatial halo when tiled."""
+        return self.filt_h == 1 and self.filt_w == 1 and \
+            self.stride_h == 1 and self.stride_w == 1
+
+    def halo_rows(self) -> int:
+        """Input rows shared between vertically adjacent output tiles.
+
+        A tile of output rows needs ``rows*stride + filt_h - stride`` input
+        rows; consecutive tiles overlap by ``filt_h - stride`` rows (when
+        positive). This is the intra-layer tile overlap SeDA's optBlk
+        granularity is designed around.
+        """
+        return max(0, self.filt_h - self.stride_h)
+
+
+def conv(name: str, ifmap_h: int, ifmap_w: int, filt_h: int, filt_w: int,
+         channels: int, num_filters: int, stride: int = 1) -> Layer:
+    """Convolution layer constructor (square stride)."""
+    return Layer(name, LayerKind.CONV, ifmap_h, ifmap_w, filt_h, filt_w,
+                 channels, num_filters, stride, stride)
+
+
+def dwconv(name: str, ifmap_h: int, ifmap_w: int, filt_h: int, filt_w: int,
+           channels: int, stride: int = 1) -> Layer:
+    """Depthwise convolution layer constructor."""
+    return Layer(name, LayerKind.DWCONV, ifmap_h, ifmap_w, filt_h, filt_w,
+                 channels, channels, stride, stride)
+
+
+def gemm(name: str, m: int, k: int, n: int) -> Layer:
+    """GEMM layer constructor: ifmap is M x K, weights K x N."""
+    return Layer(name, LayerKind.GEMM, ifmap_h=m, ifmap_w=1, filt_h=1,
+                 filt_w=1, channels=k, num_filters=n)

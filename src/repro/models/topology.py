@@ -1,0 +1,102 @@
+"""Topology container: an ordered list of layers plus CSV round-tripping.
+
+The CSV format mirrors SCALE-Sim topology files::
+
+    Layer name, IFMAP Height, IFMAP Width, Filter Height, Filter Width,
+    Channels, Num Filter, Strides, Kind
+
+with an extra ``Kind`` column (``conv`` / ``dwconv`` / ``gemm``) so that
+depthwise and fully connected layers survive the round trip.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List
+
+from repro.models.layer import Layer, LayerKind
+
+_HEADER = [
+    "Layer name", "IFMAP Height", "IFMAP Width", "Filter Height",
+    "Filter Width", "Channels", "Num Filter", "Strides", "Kind",
+]
+
+
+@dataclass
+class Topology:
+    """A named, ordered stack of layers."""
+
+    name: str
+    layers: List[Layer] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [layer.name for layer in self.layers]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"{self.name}: duplicate layer names {duplicates}")
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __iter__(self) -> Iterator[Layer]:
+        return iter(self.layers)
+
+    def __getitem__(self, index: int) -> Layer:
+        return self.layers[index]
+
+    @property
+    def total_macs(self) -> int:
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def total_weight_bytes(self) -> int:
+        return sum(layer.weight_bytes for layer in self.layers)
+
+    @property
+    def max_activation_bytes(self) -> int:
+        """Largest single activation tensor — sizes the ping-pong buffers."""
+        sizes = [layer.ifmap_bytes for layer in self.layers]
+        sizes += [layer.ofmap_bytes for layer in self.layers]
+        return max(sizes) if sizes else 0
+
+    def to_csv(self) -> str:
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(_HEADER)
+        for layer in self.layers:
+            writer.writerow([
+                layer.name, layer.ifmap_h, layer.ifmap_w, layer.filt_h,
+                layer.filt_w, layer.channels, layer.num_filters,
+                layer.stride_h, layer.kind.value,
+            ])
+        return buffer.getvalue()
+
+    @classmethod
+    def from_csv(cls, name: str, text: str) -> "Topology":
+        reader = csv.reader(io.StringIO(text))
+        rows = [row for row in reader if row and any(cell.strip() for cell in row)]
+        if not rows:
+            raise ValueError("empty topology CSV")
+        if rows[0][0].strip().lower().startswith("layer"):
+            rows = rows[1:]
+        layers = []
+        for row in rows:
+            if len(row) < 8:
+                raise ValueError(f"malformed topology row: {row}")
+            kind = LayerKind(row[8].strip()) if len(row) > 8 and row[8].strip() else LayerKind.CONV
+            stride = int(row[7])
+            layers.append(Layer(
+                name=row[0].strip(),
+                kind=kind,
+                ifmap_h=int(row[1]), ifmap_w=int(row[2]),
+                filt_h=int(row[3]), filt_w=int(row[4]),
+                channels=int(row[5]), num_filters=int(row[6]),
+                stride_h=stride, stride_w=stride,
+            ))
+        return cls(name=name, layers=layers)
+
+    def subset(self, count: int) -> "Topology":
+        """First ``count`` layers, for scaled-down tests."""
+        return Topology(name=f"{self.name}_first{count}", layers=self.layers[:count])

@@ -1,0 +1,64 @@
+"""Topology transformations.
+
+Utilities that derive new workload variants from existing ones — batch
+scaling for GEMM towers, layer filtering, and human-readable summaries
+(used by the CLI's ``describe`` command).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.models.layer import Layer, LayerKind, gemm
+from repro.models.topology import Topology
+
+
+def with_batch(topology: Topology, batch: int) -> Topology:
+    """Scale a GEMM-only topology (MLP/recommender/transformer) to a new
+    batch size by multiplying every layer's M dimension.
+
+    Convolutional layers carry spatial semantics in M, so batching them
+    this way would be wrong; such topologies are rejected.
+    """
+    if batch <= 0:
+        raise ValueError("batch must be positive")
+    layers: List[Layer] = []
+    for layer in topology:
+        if layer.kind is not LayerKind.GEMM:
+            raise ValueError(
+                f"{topology.name}: layer {layer.name} is {layer.kind.value}; "
+                f"batch scaling supports GEMM-only topologies")
+        layers.append(gemm(layer.name, layer.gemm_m * batch,
+                           layer.gemm_k, layer.gemm_n))
+    return Topology(f"{topology.name}_b{batch}", layers)
+
+
+def filter_layers(topology: Topology,
+                  predicate: Callable[[Layer], bool],
+                  name_suffix: str = "filtered") -> Topology:
+    """Keep only layers matching ``predicate`` (e.g. convs only)."""
+    kept = [layer for layer in topology if predicate(layer)]
+    if not kept:
+        raise ValueError("predicate removed every layer")
+    return Topology(f"{topology.name}_{name_suffix}", kept)
+
+
+def describe(topology: Topology) -> str:
+    """Multi-line human-readable summary of a topology."""
+    lines = [
+        f"{topology.name}: {len(topology)} layers, "
+        f"{topology.total_macs / 1e9:.3f} GMACs, "
+        f"{topology.total_weight_bytes / 1e6:.2f} MB weights, "
+        f"max activation {topology.max_activation_bytes / 1e6:.2f} MB",
+    ]
+    kind_counts: dict = {}
+    for layer in topology:
+        kind_counts[layer.kind.value] = kind_counts.get(layer.kind.value, 0) + 1
+    lines.append("layer kinds: " + ", ".join(
+        f"{kind}={count}" for kind, count in sorted(kind_counts.items())))
+    heaviest = max(topology, key=lambda l: l.macs)
+    lines.append(
+        f"heaviest layer: {heaviest.name} "
+        f"({heaviest.macs / 1e6:.1f} MMACs, "
+        f"M={heaviest.gemm_m} K={heaviest.gemm_k} N={heaviest.gemm_n})")
+    return "\n".join(lines)

@@ -1,0 +1,307 @@
+"""The thirteen paper workloads (Section IV-A, Benchmarks).
+
+Lenet (let), Alexnet (alex), Mobilenet (mob), ResNet18 (rest), GoogleNet
+(goo), DLRM (dlrm), AlphaGoZero (algo), DeepSpeech2 (ds2), FasterRCNN
+(fast), NCF_recommendation (ncf), Sentimental_seqCNN (sent),
+Transformer_fwd (trf), Yolo_tiny (yolo).
+
+Shapes follow the public SCALE-Sim topology collection / original model
+papers at batch 1 and 1-byte elements (Table II precision). FasterRCNN is
+represented by its VGG-16 backbone over a 300x300 input — the component
+that dominates accelerator time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.models.layer import Layer, conv, dwconv, gemm
+from repro.models.topology import Topology
+
+#: Paper x-axis abbreviation -> canonical workload name.
+WORKLOAD_ABBREVIATIONS: Dict[str, str] = {
+    "let": "lenet",
+    "alex": "alexnet",
+    "mob": "mobilenet",
+    "rest": "resnet18",
+    "goo": "googlenet",
+    "dlrm": "dlrm",
+    "algo": "alphagozero",
+    "ds2": "deepspeech2",
+    "fast": "fasterrcnn",
+    "ncf": "ncf",
+    "sent": "sentimental",
+    "trf": "transformer_fwd",
+    "yolo": "yolo_tiny",
+}
+
+
+def _lenet() -> Topology:
+    return Topology("lenet", [
+        conv("conv1", 32, 32, 5, 5, 1, 6),
+        conv("conv2", 14, 14, 5, 5, 6, 16),
+        conv("conv3", 5, 5, 5, 5, 16, 120),
+        gemm("fc1", 1, 120, 84),
+        gemm("fc2", 1, 84, 10),
+    ])
+
+
+def _alexnet() -> Topology:
+    return Topology("alexnet", [
+        conv("conv1", 227, 227, 11, 11, 3, 96, stride=4),
+        conv("conv2", 31, 31, 5, 5, 96, 256),
+        conv("conv3", 15, 15, 3, 3, 256, 384),
+        conv("conv4", 15, 15, 3, 3, 384, 384),
+        conv("conv5", 15, 15, 3, 3, 384, 256),
+        gemm("fc6", 1, 9216, 4096),
+        gemm("fc7", 1, 4096, 4096),
+        gemm("fc8", 1, 4096, 1000),
+    ])
+
+
+def _mobilenet() -> Topology:
+    """MobileNet-V1 at 224x224: alternating depthwise/pointwise stacks."""
+    layers: List[Layer] = [conv("conv1", 224, 224, 3, 3, 3, 32, stride=2)]
+    # (spatial, channels_in, channels_out, stride) per dw/pw pair.
+    plan = [
+        (112, 32, 64, 1),
+        (112, 64, 128, 2),
+        (56, 128, 128, 1),
+        (56, 128, 256, 2),
+        (28, 256, 256, 1),
+        (28, 256, 512, 2),
+        (14, 512, 512, 1),
+        (14, 512, 512, 1),
+        (14, 512, 512, 1),
+        (14, 512, 512, 1),
+        (14, 512, 512, 1),
+        (14, 512, 1024, 2),
+        (7, 1024, 1024, 1),
+    ]
+    for idx, (spatial, cin, cout, stride) in enumerate(plan, start=2):
+        pad = spatial + 2  # 'same' 3x3 padding modelled as enlarged ifmap
+        layers.append(dwconv(f"dw{idx}", pad, pad, 3, 3, cin, stride=stride))
+        out_spatial = spatial // stride
+        layers.append(conv(f"pw{idx}", out_spatial, out_spatial, 1, 1, cin, cout))
+    layers.append(gemm("fc", 1, 1024, 1000))
+    return Topology("mobilenet", layers)
+
+
+def _resnet18() -> Topology:
+    layers: List[Layer] = [conv("conv1", 230, 230, 7, 7, 3, 64, stride=2)]
+
+    def block(tag: str, spatial: int, cin: int, cout: int, stride: int) -> List[Layer]:
+        pad = spatial + 2
+        out_spatial = spatial // stride
+        stack = [
+            conv(f"{tag}_a", pad, pad, 3, 3, cin, cout, stride=stride),
+            conv(f"{tag}_b", out_spatial + 2, out_spatial + 2, 3, 3, cout, cout),
+        ]
+        if stride != 1 or cin != cout:
+            stack.append(conv(f"{tag}_ds", spatial, spatial, 1, 1, cin, cout, stride=stride))
+        return stack
+
+    layers += block("conv2_1", 56, 64, 64, 1)
+    layers += block("conv2_2", 56, 64, 64, 1)
+    layers += block("conv3_1", 56, 64, 128, 2)
+    layers += block("conv3_2", 28, 128, 128, 1)
+    layers += block("conv4_1", 28, 128, 256, 2)
+    layers += block("conv4_2", 14, 256, 256, 1)
+    layers += block("conv5_1", 14, 256, 512, 2)
+    layers += block("conv5_2", 7, 512, 512, 1)
+    layers.append(gemm("fc", 1, 512, 1000))
+    return Topology("resnet18", layers)
+
+
+def _googlenet() -> Topology:
+    layers: List[Layer] = [
+        conv("conv1", 230, 230, 7, 7, 3, 64, stride=2),
+        conv("conv2_red", 56, 56, 1, 1, 64, 64),
+        conv("conv2", 58, 58, 3, 3, 64, 192),
+    ]
+
+    def inception(tag: str, spatial: int, cin: int, n1: int, n3r: int,
+                  n3: int, n5r: int, n5: int, pool: int) -> List[Layer]:
+        pad3 = spatial + 2
+        pad5 = spatial + 4
+        return [
+            conv(f"{tag}_1x1", spatial, spatial, 1, 1, cin, n1),
+            conv(f"{tag}_3x3r", spatial, spatial, 1, 1, cin, n3r),
+            conv(f"{tag}_3x3", pad3, pad3, 3, 3, n3r, n3),
+            conv(f"{tag}_5x5r", spatial, spatial, 1, 1, cin, n5r),
+            conv(f"{tag}_5x5", pad5, pad5, 5, 5, n5r, n5),
+            conv(f"{tag}_pool", spatial, spatial, 1, 1, cin, pool),
+        ]
+
+    layers += inception("i3a", 28, 192, 64, 96, 128, 16, 32, 32)
+    layers += inception("i3b", 28, 256, 128, 128, 192, 32, 96, 64)
+    layers += inception("i4a", 14, 480, 192, 96, 208, 16, 48, 64)
+    layers += inception("i4b", 14, 512, 160, 112, 224, 24, 64, 64)
+    layers += inception("i4c", 14, 512, 128, 128, 256, 24, 64, 64)
+    layers += inception("i4d", 14, 512, 112, 144, 288, 32, 64, 64)
+    layers += inception("i4e", 14, 528, 256, 160, 320, 32, 128, 128)
+    layers += inception("i5a", 7, 832, 256, 160, 320, 32, 128, 128)
+    layers += inception("i5b", 7, 832, 384, 192, 384, 48, 128, 128)
+    layers.append(gemm("fc", 1, 1024, 1000))
+    return Topology("googlenet", layers)
+
+
+def _dlrm() -> Topology:
+    """DLRM MLP stacks (bottom 13-512-256-64, top 512-256-1) at batch 256."""
+    batch = 256
+    return Topology("dlrm", [
+        gemm("bot_fc1", batch, 13, 512),
+        gemm("bot_fc2", batch, 512, 256),
+        gemm("bot_fc3", batch, 256, 64),
+        gemm("top_fc1", batch, 512, 256),
+        gemm("top_fc2", batch, 256, 128),
+        gemm("top_fc3", batch, 128, 1),
+    ])
+
+
+def _alphagozero() -> Topology:
+    """AlphaGoZero: 19x19 board, 256-filter residual tower (19 blocks)."""
+    layers: List[Layer] = [conv("stem", 21, 21, 3, 3, 17, 256)]
+    for i in range(1, 20):
+        layers.append(conv(f"res{i}_a", 21, 21, 3, 3, 256, 256))
+        layers.append(conv(f"res{i}_b", 21, 21, 3, 3, 256, 256))
+    layers.append(conv("policy_conv", 19, 19, 1, 1, 256, 2))
+    layers.append(gemm("policy_fc", 1, 722, 362))
+    layers.append(conv("value_conv", 19, 19, 1, 1, 256, 1))
+    layers.append(gemm("value_fc1", 1, 361, 256))
+    layers.append(gemm("value_fc2", 1, 256, 1))
+    return Topology("alphagozero", layers)
+
+
+def _deepspeech2() -> Topology:
+    """DeepSpeech2: 2D conv front end plus GRU stack as GEMMs (T=256)."""
+    seq = 256
+    hidden = 800
+    layers: List[Layer] = [
+        conv("conv1", 171, 310, 41, 11, 1, 32, stride=2),
+        conv("conv2", 66, 150, 21, 11, 32, 32, stride=2),
+    ]
+    rnn_in = 23 * 32
+    for i in range(1, 6):
+        k = rnn_in if i == 1 else 2 * hidden  # bidirectional concat
+        layers.append(gemm(f"gru{i}_x", seq, k, 3 * hidden))
+        layers.append(gemm(f"gru{i}_h", seq, hidden, 3 * hidden))
+    layers.append(gemm("fc", seq, 2 * hidden, 1000))
+    return Topology("deepspeech2", layers)
+
+
+def _fasterrcnn() -> Topology:
+    """FasterRCNN: VGG-16 backbone at 300x300 plus RPN head."""
+    def vgg(tag: str, spatial: int, cin: int, cout: int) -> Layer:
+        return conv(tag, spatial + 2, spatial + 2, 3, 3, cin, cout)
+
+    layers = [
+        vgg("conv1_1", 300, 3, 64), vgg("conv1_2", 300, 64, 64),
+        vgg("conv2_1", 150, 64, 128), vgg("conv2_2", 150, 128, 128),
+        vgg("conv3_1", 75, 128, 256), vgg("conv3_2", 75, 256, 256),
+        vgg("conv3_3", 75, 256, 256),
+        vgg("conv4_1", 38, 256, 512), vgg("conv4_2", 38, 512, 512),
+        vgg("conv4_3", 38, 512, 512),
+        vgg("conv5_1", 19, 512, 512), vgg("conv5_2", 19, 512, 512),
+        vgg("conv5_3", 19, 512, 512),
+        vgg("rpn_conv", 19, 512, 512),
+        conv("rpn_cls", 19, 19, 1, 1, 512, 18),
+        conv("rpn_reg", 19, 19, 1, 1, 512, 36),
+        gemm("rcnn_fc6", 64, 25088, 4096),
+        gemm("rcnn_fc7", 64, 4096, 4096),
+    ]
+    return Topology("fasterrcnn", layers)
+
+
+def _ncf() -> Topology:
+    """Neural collaborative filtering MLP tower at batch 1024."""
+    batch = 1024
+    return Topology("ncf", [
+        gemm("mlp_fc1", batch, 128, 256),
+        gemm("mlp_fc2", batch, 256, 128),
+        gemm("mlp_fc3", batch, 128, 64),
+        gemm("mlp_fc4", batch, 64, 32),
+        gemm("predict", batch, 64, 1),
+    ])
+
+
+def _sentimental() -> Topology:
+    """Sentence-level seqCNN: parallel width-{3,4,5} text convolutions."""
+    seq = 56
+    embed = 300
+    return Topology("sentimental", [
+        gemm("conv_w3", seq - 2, 3 * embed, 100),
+        gemm("conv_w4", seq - 3, 4 * embed, 100),
+        gemm("conv_w5", seq - 4, 5 * embed, 100),
+        gemm("fc", 1, 300, 2),
+    ])
+
+
+def _transformer_fwd() -> Topology:
+    """Transformer encoder forward pass: 6 layers, d=512, ff=2048, T=256."""
+    seq = 256
+    d_model = 512
+    d_ff = 2048
+    layers: List[Layer] = []
+    for i in range(1, 7):
+        layers += [
+            gemm(f"l{i}_q", seq, d_model, d_model),
+            gemm(f"l{i}_k", seq, d_model, d_model),
+            gemm(f"l{i}_v", seq, d_model, d_model),
+            gemm(f"l{i}_scores", seq, d_model, seq),
+            gemm(f"l{i}_ctx", seq, seq, d_model),
+            gemm(f"l{i}_proj", seq, d_model, d_model),
+            gemm(f"l{i}_ff1", seq, d_model, d_ff),
+            gemm(f"l{i}_ff2", seq, d_ff, d_model),
+        ]
+    return Topology("transformer_fwd", layers)
+
+
+def _yolo_tiny() -> Topology:
+    return Topology("yolo_tiny", [
+        conv("conv1", 418, 418, 3, 3, 3, 16),
+        conv("conv2", 210, 210, 3, 3, 16, 32),
+        conv("conv3", 106, 106, 3, 3, 32, 64),
+        conv("conv4", 54, 54, 3, 3, 64, 128),
+        conv("conv5", 28, 28, 3, 3, 128, 256),
+        conv("conv6", 15, 15, 3, 3, 256, 512),
+        conv("conv7", 15, 15, 3, 3, 512, 1024),
+        conv("conv8", 13, 13, 1, 1, 1024, 256),
+        conv("conv9", 15, 15, 3, 3, 256, 512),
+        conv("conv10", 13, 13, 1, 1, 512, 255),
+    ])
+
+
+_BUILDERS = {
+    "lenet": _lenet,
+    "alexnet": _alexnet,
+    "mobilenet": _mobilenet,
+    "resnet18": _resnet18,
+    "googlenet": _googlenet,
+    "dlrm": _dlrm,
+    "alphagozero": _alphagozero,
+    "deepspeech2": _deepspeech2,
+    "fasterrcnn": _fasterrcnn,
+    "ncf": _ncf,
+    "sentimental": _sentimental,
+    "transformer_fwd": _transformer_fwd,
+    "yolo_tiny": _yolo_tiny,
+}
+
+#: Canonical workload order used on every figure's x-axis.
+WORKLOADS = list(_BUILDERS)
+
+
+def get_workload(name: str) -> Topology:
+    """Fetch a workload by canonical name or paper abbreviation."""
+    canonical = WORKLOAD_ABBREVIATIONS.get(name, name)
+    try:
+        return _BUILDERS[canonical]()
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(_BUILDERS)}"
+        ) from None
+
+
+def list_workloads() -> List[str]:
+    return list(WORKLOADS)

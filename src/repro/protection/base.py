@@ -1,0 +1,117 @@
+"""Protection-scheme interface and shared result types."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.accel.simulator import LayerResult, ModelRun
+from repro.accel.trace import BlockStream
+from repro.crypto.engine import CryptoEngineModel
+
+
+def empty_stream() -> BlockStream:
+    return BlockStream(
+        np.empty(0, np.int64), np.empty(0, np.uint64),
+        np.empty(0, bool), np.empty(0, np.int32),
+    )
+
+
+def stream_from_lists(cycles: List[int], addrs: List[int], writes: List[bool],
+                      layer_id: int) -> BlockStream:
+    n = len(addrs)
+    if len(cycles) != n or len(writes) != n:
+        raise ValueError("parallel metadata lists must match in length")
+    return BlockStream(
+        np.asarray(cycles, dtype=np.int64),
+        np.asarray(addrs, dtype=np.uint64),
+        np.asarray(writes, dtype=bool),
+        np.full(n, layer_id, dtype=np.int32),
+    )
+
+
+@dataclass
+class LayerProtection:
+    """What a scheme adds to one layer's traffic and timing."""
+
+    layer_id: int
+    data_stream: BlockStream            # original data blocks (+ over-fetch)
+    metadata_stream: BlockStream        # MAC / VN / tree traffic
+    crypto_bytes: int = 0               # bytes requiring OTP material
+    mac_computations: int = 0           # hash-engine invocations
+    overfetch_blocks: int = 0           # data blocks fetched only for verification
+    aes_invocations: int = 0            # AES core operations (energy model)
+
+    @property
+    def combined_stream(self) -> BlockStream:
+        return BlockStream.concat([self.data_stream, self.metadata_stream])
+
+    @property
+    def data_bytes(self) -> int:
+        return self.data_stream.total_bytes
+
+    @property
+    def metadata_bytes(self) -> int:
+        return self.metadata_stream.total_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.data_bytes + self.metadata_bytes
+
+
+@dataclass(frozen=True)
+class SchemeSummary:
+    """One row of the paper's Table III."""
+
+    name: str
+    encryption_granularity: str
+    integrity_granularity: str
+    offchip_metadata: str
+    tiling_aware: bool
+    encryption_scalable: bool
+
+
+class ProtectionScheme(abc.ABC):
+    """A memory-protection mechanism's traffic/timing model.
+
+    Schemes are stateful across the layers of one model run (metadata
+    caches persist); :meth:`begin_model` resets them.
+    """
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def begin_model(self, run: ModelRun) -> None:
+        """Reset per-model state and size engines for this run."""
+
+    @abc.abstractmethod
+    def protect_layer(self, result: LayerResult) -> LayerProtection:
+        """Metadata traffic and crypto cost for one layer."""
+
+    @abc.abstractmethod
+    def summary(self) -> SchemeSummary:
+        """Feature row for Table III."""
+
+    def crypto_engine(self) -> Optional[CryptoEngineModel]:
+        """The engine organization, when the scheme encrypts (None for
+        the unprotected baseline)."""
+        return None
+
+    def finish_model(self) -> Optional[LayerProtection]:
+        """Flush residual state (e.g. dirty metadata cache lines).
+
+        Returns a final metadata-only contribution, or None.
+        """
+        return None
+
+    def protect_model(self, run: ModelRun) -> List[LayerProtection]:
+        """Convenience: run the whole model through the scheme."""
+        self.begin_model(run)
+        results = [self.protect_layer(layer) for layer in run.layers]
+        tail = self.finish_model()
+        if tail is not None:
+            results.append(tail)
+        return results

@@ -1,0 +1,165 @@
+"""Shared machinery for metadata-traffic generation (SGX/MGX models).
+
+The hot path: a layer's block stream is reduced to *protection units*,
+units map to metadata lines (8 entries per 64 B line), consecutive
+duplicates are run-length compressed (sequential tile streams hit the
+same line 8 times in a row), and the compressed stream drives the LRU
+cache model. Misses and dirty evictions become metadata DRAM accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.accel.trace import BlockStream, TraceRange, AccessKind
+from repro.integrity.caches import MetadataCache
+from repro.protection.base import stream_from_lists
+from repro.protection.layout import MetadataLayout, ENTRIES_PER_LINE, LINE_BYTES
+from repro.utils.bitops import align_down, align_up
+
+
+def compress_runs(values: np.ndarray, writes: np.ndarray,
+                  cycles: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Run-length compress consecutive equal ``values``.
+
+    Within a run, write flags OR together (any write dirties the line)
+    and the run's cycle is its first access's cycle.
+    """
+    n = len(values)
+    if n == 0:
+        return values, writes, cycles
+    boundary = np.empty(n, dtype=bool)
+    boundary[0] = True
+    np.not_equal(values[1:], values[:-1], out=boundary[1:])
+    starts = np.flatnonzero(boundary)
+    ends = np.append(starts[1:], n)
+    run_writes = np.logical_or.reduceat(writes, starts) if n else writes
+    del ends
+    return values[starts], run_writes, cycles[starts]
+
+
+@dataclass
+class CacheTrafficResult:
+    """Metadata stream produced by driving one cache model."""
+
+    stream_cycles: List[int]
+    stream_addrs: List[int]
+    stream_writes: List[bool]
+    misses: int = 0
+
+    def extend_miss(self, cycle: int, addr: int) -> None:
+        self.stream_cycles.append(cycle)
+        self.stream_addrs.append(addr)
+        self.stream_writes.append(False)
+        self.misses += 1
+
+    def extend_writeback(self, cycle: int, addr: int) -> None:
+        self.stream_cycles.append(cycle)
+        self.stream_addrs.append(addr)
+        self.stream_writes.append(True)
+
+
+class MacTableModel:
+    """Per-unit MAC table accessed through the on-chip MAC cache."""
+
+    def __init__(self, layout: MetadataLayout, cache: MetadataCache):
+        self.layout = layout
+        self.cache = cache
+
+    def process(self, stream: BlockStream, out: CacheTrafficResult) -> None:
+        lines = self.layout.mac_line_addrs_vec(stream.addrs).astype(np.uint64)
+        run_lines, run_writes, run_cycles = compress_runs(
+            lines, stream.writes, stream.cycles)
+        cache = self.cache
+        for i in range(len(run_lines)):
+            addr = int(run_lines[i])
+            cycle = int(run_cycles[i])
+            hit, writeback = cache.access(addr, write=bool(run_writes[i]))
+            if not hit:
+                out.extend_miss(cycle, addr)
+            if writeback is not None:
+                out.extend_writeback(cycle, writeback)
+
+    def flush(self, cycle: int, out: CacheTrafficResult) -> None:
+        for addr in self.cache.flush():
+            out.extend_writeback(cycle, addr)
+
+
+class VnTreeModel:
+    """VN table plus integrity tree, both through the VN cache.
+
+    On a VN-line miss the tree is walked upward; each level is looked up
+    in the same cache and the walk stops at the first hit (or the on-chip
+    root). Writes dirty the VN line (counter increment); the tree levels
+    are re-hashed lazily on eviction, modelled by the dirty-eviction
+    writeback of the touched nodes.
+    """
+
+    def __init__(self, layout: MetadataLayout, cache: MetadataCache):
+        self.layout = layout
+        self.cache = cache
+        self.tree_levels = layout.tree_levels
+
+    def process(self, stream: BlockStream, out: CacheTrafficResult) -> None:
+        layout = self.layout
+        lines = layout.vn_line_addrs_vec(stream.addrs).astype(np.uint64)
+        run_lines, run_writes, run_cycles = compress_runs(
+            lines, stream.writes, stream.cycles)
+        run_leaf_index = layout.vn_line_indices_vec(
+            run_lines.astype(np.int64))
+
+        cache = self.cache
+        for i in range(len(run_lines)):
+            addr = int(run_lines[i])
+            cycle = int(run_cycles[i])
+            write = bool(run_writes[i])
+            hit, writeback = cache.access(addr, write=write)
+            if writeback is not None:
+                out.extend_writeback(cycle, writeback)
+            if hit:
+                continue
+            out.extend_miss(cycle, addr)
+            # Walk ancestors until a cached node (or the root) vouches.
+            leaf = int(run_leaf_index[i])
+            for level in range(1, self.tree_levels + 1):
+                node = layout.tree_node_addr(leaf, level)
+                node_hit, node_writeback = cache.access(node, write=write)
+                if node_writeback is not None:
+                    out.extend_writeback(cycle, node_writeback)
+                if node_hit:
+                    break
+                out.extend_miss(cycle, node)
+
+    def flush(self, cycle: int, out: CacheTrafficResult) -> None:
+        for addr in self.cache.flush():
+            out.extend_writeback(cycle, addr)
+
+
+def overfetch_ranges(ranges, unit_bytes: int):
+    """Extra read ranges a coarse protection unit forces at range edges.
+
+    Verifying (or re-MACing, for writes) a partially touched unit needs
+    the untouched remainder of that unit fetched from DRAM. Returns the
+    extra ranges; empty for 64 B units, where every access is unit-sized.
+    """
+    if unit_bytes <= LINE_BYTES:
+        return []
+    extras: List[TraceRange] = []
+    for r in ranges:
+        start = r.addr
+        end = r.addr + r.nbytes
+        head_base = align_down(start, unit_bytes)
+        head = start - head_base
+        if head:
+            extras.append(TraceRange(r.cycle, head_base, head, write=False,
+                                     kind=AccessKind.METADATA,
+                                     layer_id=r.layer_id, duration=r.duration))
+        tail = align_up(end, unit_bytes) - end
+        if tail:
+            extras.append(TraceRange(r.cycle, end, tail, write=False,
+                                     kind=AccessKind.METADATA,
+                                     layer_id=r.layer_id, duration=r.duration))
+    return extras

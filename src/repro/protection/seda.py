@@ -1,0 +1,120 @@
+"""SeDA: bandwidth-aware encryption + multi-level integrity verification.
+
+Traffic model (paper Section III-C, Table I):
+
+- **No VN traffic** — like MGX, version numbers derive from on-chip DNN
+  state (layer/tile progress is deterministic).
+- **No per-block MAC traffic** — optBlk MACs are computed on the fly as
+  tiles stream through the protection unit and XOR-folded into the layer
+  MAC; they are never stored in DRAM.
+- **Layer MACs** — one 8 B value per layer. For fairness with the other
+  schemes the paper stores them *off-chip*: one 64 B read when a layer's
+  ifmap is consumed and one 64 B write when its ofmap is produced.
+- **Model MAC** — a single on-chip MAC covers all weights; verification
+  completes at the end of inference with zero traffic.
+- **No over-fetch** — the optBlk granularity is chosen per layer (the
+  SecureLoop-style search in :mod:`repro.tiling.optblk`) to align with
+  the tile walk, so no authentication block straddles a tile boundary.
+
+Crypto model: a single pipelined AES engine with B-AES XOR fan-out, its
+lane count sized to the accelerator's peak bandwidth demand (that is the
+"bandwidth-aware" part — hardware cost grows by XOR lanes, not engines).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.accel.simulator import LayerResult, ModelRun
+from repro.accel.trace import BLOCK_BYTES
+from repro.crypto.engine import CryptoEngineModel, bandwidth_aware_engine
+from repro.protection.base import (
+    LayerProtection,
+    ProtectionScheme,
+    SchemeSummary,
+    stream_from_lists,
+)
+from repro.protection.layout import MetadataLayout
+from repro.tiling.optblk import OptBlockChoice, search_optblk
+from repro.utils.bitops import ceil_div
+
+#: Where layer MACs live when stored off-chip (one 64 B line per layer).
+_LAYER_MAC_BASE = 0x2_F000_0000
+
+
+class SedaScheme(ProtectionScheme):
+    """The paper's proposed scheme."""
+
+    def __init__(self, layer_macs_offchip: bool = True,
+                 mac_bytes: int = 8):
+        self.layer_macs_offchip = layer_macs_offchip
+        self.mac_bytes = mac_bytes
+        self.name = "seda"
+        self.layout = MetadataLayout(64)
+        self._lanes = 1
+        self._optblk: Dict[int, OptBlockChoice] = {}
+
+    # -- scheme interface --
+
+    def begin_model(self, run: ModelRun) -> None:
+        # Size the B-AES fan-out to the peak per-layer bandwidth demand.
+        peak = run.peak_demand_bytes_per_cycle
+        self._lanes = max(1, ceil_div(int(round(peak * 16)), 16 * 16))
+        self._optblk = {
+            r.layer_id: search_optblk(r.layer, r.plan) for r in run.layers
+        }
+
+    def optblk_choice(self, layer_id: int) -> OptBlockChoice:
+        return self._optblk[layer_id]
+
+    def protect_layer(self, result: LayerResult) -> LayerProtection:
+        data_stream = result.trace.to_blocks().sorted_by_cycle()
+        cycles, addrs, writes = [], [], []
+        if self.layer_macs_offchip and len(data_stream):
+            start = int(data_stream.cycles.min())
+            end = int(data_stream.cycles.max())
+            # Line i holds the MAC of the tensor layer i consumes, so the
+            # line this layer writes (its ofmap MAC) is exactly the line
+            # layer i+1 will read.
+            read_line = _LAYER_MAC_BASE + result.layer_id * BLOCK_BYTES
+            write_line = read_line + BLOCK_BYTES
+            cycles.append(start)
+            addrs.append(read_line)
+            writes.append(False)
+            cycles.append(end)
+            addrs.append(write_line)
+            writes.append(True)
+        metadata = stream_from_lists(cycles, addrs, writes, result.layer_id)
+
+        choice = self._optblk.get(result.layer_id)
+        mac_computations = choice.mac_computations if choice else len(data_stream)
+        return LayerProtection(
+            layer_id=result.layer_id,
+            data_stream=data_stream,
+            metadata_stream=metadata,
+            crypto_bytes=data_stream.total_bytes,
+            mac_computations=mac_computations,
+            overfetch_blocks=0,
+            # One base OTP per 64 B protection block; per-segment OTPs
+            # come from XOR lanes, not extra AES operations.
+            aes_invocations=data_stream.total_bytes // 64,
+        )
+
+    def crypto_engine(self) -> CryptoEngineModel:
+        return bandwidth_aware_engine(self._lanes)
+
+    def summary(self) -> SchemeSummary:
+        return SchemeSummary(
+            name="SeDA",
+            encryption_granularity="bandwidth-aware",
+            integrity_granularity="multi-level",
+            offchip_metadata="minimal to no cost",
+            tiling_aware=True,
+            encryption_scalable=True,
+        )
+
+    # -- storage accounting --
+
+    def onchip_mac_bytes(self, num_layers: int) -> int:
+        """SRAM cost when layer MACs are pinned on-chip instead."""
+        return (num_layers + 1) * self.mac_bytes

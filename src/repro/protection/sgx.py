@@ -1,0 +1,129 @@
+"""SGX-style memory protection (SGX-64B / SGX-512B in the evaluation).
+
+AES-CTR encryption per 16 B segment, an 8 B MAC per protection unit, an
+8 B version number per unit, and an arity-8 integrity tree over the VN
+lines with its root on chip. VNs and tree nodes go through the 16 KB VN
+cache, MACs through the 8 KB MAC cache (LRU, write-back, write-allocate)
+— the configuration of the paper's Section IV-A.
+
+Every off-chip data access therefore costs, beyond the data itself:
+
+- a MAC-line access (miss -> 64 B read; dirty eviction -> 64 B write);
+- a VN-line access (same), plus a tree walk on a VN miss: ancestors are
+  fetched until one is found cached (or the root is reached);
+- at 512 B granularity, partially touched units are fetched whole
+  (over-fetch) so the unit MAC can be verified or recomputed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.accel.simulator import LayerResult, ModelRun
+from repro.accel.trace import Trace
+from repro.crypto.engine import CryptoEngineModel, parallel_engines
+from repro.integrity.caches import (
+    MAC_CACHE_BYTES,
+    MetadataCache,
+    VN_CACHE_BYTES,
+)
+from repro.protection.base import (
+    LayerProtection,
+    ProtectionScheme,
+    SchemeSummary,
+    stream_from_lists,
+)
+from repro.protection.layout import MetadataLayout
+from repro.protection.metadata_model import (
+    CacheTrafficResult,
+    MacTableModel,
+    VnTreeModel,
+    overfetch_ranges,
+)
+
+#: Engine count used by conventional parallel-AES designs (Securator uses
+#: four AES-128 engines per 64 B block).
+DEFAULT_AES_ENGINES = 4
+
+
+class SgxScheme(ProtectionScheme):
+    """SGX-style protection at a configurable unit granularity."""
+
+    def __init__(self, unit_bytes: int = 64,
+                 vn_cache_bytes: int = VN_CACHE_BYTES,
+                 mac_cache_bytes: int = MAC_CACHE_BYTES,
+                 aes_engines: int = DEFAULT_AES_ENGINES):
+        self.unit_bytes = unit_bytes
+        self.layout = MetadataLayout(unit_bytes)
+        self._vn_cache_bytes = vn_cache_bytes
+        self._mac_cache_bytes = mac_cache_bytes
+        self._engines = aes_engines
+        self.name = f"sgx-{unit_bytes}b"
+        self._mac_model: Optional[MacTableModel] = None
+        self._vn_model: Optional[VnTreeModel] = None
+        self._last_cycle = 0
+        self._last_layer = 0
+
+    def begin_model(self, run: ModelRun) -> None:
+        del run
+        self._mac_model = MacTableModel(
+            self.layout, MetadataCache(self._mac_cache_bytes))
+        self._vn_model = VnTreeModel(
+            self.layout, MetadataCache(self._vn_cache_bytes))
+        self._last_cycle = 0
+        self._last_layer = 0
+
+    def protect_layer(self, result: LayerResult) -> LayerProtection:
+        if self._mac_model is None or self._vn_model is None:
+            raise RuntimeError("begin_model must be called before protect_layer")
+        extra = overfetch_ranges(result.trace.ranges, self.unit_bytes)
+        data_trace = Trace(list(result.trace.ranges) + extra)
+        data_stream = data_trace.to_blocks().sorted_by_cycle()
+
+        out = CacheTrafficResult([], [], [])
+        self._mac_model.process(data_stream, out)
+        self._vn_model.process(data_stream, out)
+        metadata = stream_from_lists(out.stream_cycles, out.stream_addrs,
+                                     out.stream_writes, result.layer_id)
+
+        if len(data_stream):
+            self._last_cycle = int(data_stream.cycles.max())
+        self._last_layer = result.layer_id
+        overfetch_blocks = sum(r.num_blocks for r in extra)
+        return LayerProtection(
+            layer_id=result.layer_id,
+            data_stream=data_stream,
+            metadata_stream=metadata,
+            crypto_bytes=data_stream.total_bytes,
+            mac_computations=len(data_stream),
+            overfetch_blocks=overfetch_blocks,
+            aes_invocations=data_stream.total_bytes // 16,
+        )
+
+    def finish_model(self) -> Optional[LayerProtection]:
+        if self._mac_model is None or self._vn_model is None:
+            return None
+        out = CacheTrafficResult([], [], [])
+        self._mac_model.flush(self._last_cycle, out)
+        self._vn_model.flush(self._last_cycle, out)
+        if not out.stream_addrs:
+            return None
+        metadata = stream_from_lists(out.stream_cycles, out.stream_addrs,
+                                     out.stream_writes, self._last_layer)
+        from repro.protection.base import empty_stream
+        return LayerProtection(layer_id=self._last_layer,
+                               data_stream=empty_stream(),
+                               metadata_stream=metadata)
+
+    def crypto_engine(self) -> CryptoEngineModel:
+        return parallel_engines(self._engines)
+
+    def summary(self) -> SchemeSummary:
+        return SchemeSummary(
+            name=f"SGX-{self.unit_bytes}B",
+            encryption_granularity="16B",
+            integrity_granularity=f"{self.unit_bytes}B",
+            offchip_metadata="MAC,VN,IT",
+            tiling_aware=False,
+            encryption_scalable=False,
+        )

@@ -1,0 +1,37 @@
+"""The unprotected baseline: raw accelerator traffic, no metadata."""
+
+from __future__ import annotations
+
+from repro.accel.simulator import LayerResult, ModelRun
+from repro.protection.base import (
+    LayerProtection,
+    ProtectionScheme,
+    SchemeSummary,
+    empty_stream,
+)
+
+
+class Unprotected(ProtectionScheme):
+    """No confidentiality, no integrity — the normalization baseline."""
+
+    name = "baseline"
+
+    def begin_model(self, run: ModelRun) -> None:  # no state
+        del run
+
+    def protect_layer(self, result: LayerResult) -> LayerProtection:
+        return LayerProtection(
+            layer_id=result.layer_id,
+            data_stream=result.trace.to_blocks(),
+            metadata_stream=empty_stream(),
+        )
+
+    def summary(self) -> SchemeSummary:
+        return SchemeSummary(
+            name="Baseline",
+            encryption_granularity="none",
+            integrity_granularity="none",
+            offchip_metadata="none",
+            tiling_aware=False,
+            encryption_scalable=False,
+        )

@@ -1,0 +1,32 @@
+"""Tiling analysis: how layers are cut into SRAM-resident tiles.
+
+This package answers the questions SeDA's software optimization depends
+on (Section III-C):
+
+- :mod:`repro.tiling.tile` — plan a layer's tiling given the SRAM budget
+  (tile shape, pass counts, loop order, per-tensor DRAM traffic).
+- :mod:`repro.tiling.overlap` — quantify intra-layer halo overlap between
+  adjacent tiles (the redundant re-verification Securator pays for).
+- :mod:`repro.tiling.patterns` — compare producer/consumer tiling patterns
+  across layers (the false-negative hazard of layer-level MACs).
+- :mod:`repro.tiling.optblk` — SecureLoop-style search for the optimal
+  authentication block size per layer.
+"""
+
+from repro.tiling.tile import SramBudget, TilingPlan, plan_tiling
+from repro.tiling.overlap import OverlapReport, analyze_overlap
+from repro.tiling.patterns import TilingPattern, pattern_of, patterns_compatible
+from repro.tiling.optblk import OptBlockChoice, search_optblk
+
+__all__ = [
+    "SramBudget",
+    "TilingPlan",
+    "plan_tiling",
+    "OverlapReport",
+    "analyze_overlap",
+    "TilingPattern",
+    "pattern_of",
+    "patterns_compatible",
+    "OptBlockChoice",
+    "search_optblk",
+]

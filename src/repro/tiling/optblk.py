@@ -1,0 +1,114 @@
+"""SecureLoop-style search for the optimal authentication block (optBlk).
+
+SeDA adopts SecureLoop's scheduling-search idea (paper Section III-C,
+Solution): pick, per layer, the authentication-block size that
+
+1. divides evenly into the tile access pattern, so no block straddles a
+   tile boundary (a straddling block must be fetched and re-verified by
+   both tiles);
+2. respects the producer's and consumer's tiling patterns, so blocks
+   written by layer ``i`` verify cleanly when read by layer ``i+1``;
+3. is as large as possible, minimizing the MAC count that must later be
+   folded into the layer MAC.
+
+The search space is candidate block sizes (powers of two between the DRAM
+burst and a cap); the cost model charges one MAC computation per block
+fetched, counting straddle-induced re-verifications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.models.layer import Layer, ELEMENT_BYTES
+from repro.tiling.tile import TilingPlan
+from repro.utils.bitops import ceil_div
+
+DEFAULT_CANDIDATES = (64, 128, 256, 512, 1024, 2048, 4096)
+
+
+@dataclass(frozen=True)
+class OptBlockChoice:
+    """Result of the optBlk search for one layer."""
+
+    layer_name: str
+    block_bytes: int
+    blocks_per_layer: int        # optBlk MACs folded into the layer MAC
+    mac_computations: int        # total verifications incl. straddle waste
+    straddle_blocks: int         # blocks verified more than once
+    candidates_evaluated: int
+
+    @property
+    def is_straddle_free(self) -> bool:
+        return self.straddle_blocks == 0
+
+
+def _tile_span_bytes(plan: TilingPlan, layer: Layer) -> int:
+    """Contiguous bytes one ifmap tile occupies in the row-major tensor.
+
+    Row-banded tiles cover whole rows, so the span equals the tile's
+    input-row count times the row pitch.
+    """
+    row_bytes = layer.ifmap_w * layer.channels * ELEMENT_BYTES
+    rows = plan.ifmap_tile_bytes // max(1, row_bytes)
+    return max(row_bytes, rows * row_bytes)
+
+
+def _cost(block_bytes: int, tile_bytes: int, tensor_bytes: int,
+          num_tiles: int) -> tuple:
+    """(mac_computations, straddles, blocks) for one candidate size."""
+    blocks = ceil_div(tensor_bytes, block_bytes)
+    if num_tiles <= 1:
+        return blocks, 0, blocks
+    # A block straddles a tile boundary when the tile span is not a
+    # multiple of the block size; each boundary then costs one extra
+    # verification of the shared block.
+    straddles = 0 if tile_bytes % block_bytes == 0 else num_tiles - 1
+    return blocks + straddles, straddles, blocks
+
+
+def search_optblk(layer: Layer, plan: TilingPlan,
+                  candidates: Sequence[int] = DEFAULT_CANDIDATES) -> OptBlockChoice:
+    """Pick the authentication block size minimizing MAC computations.
+
+    Ties break toward the larger block (fewer MACs to fold and store).
+    """
+    if not candidates:
+        raise ValueError("candidates must be non-empty")
+    tile_bytes = _tile_span_bytes(plan, layer)
+    tensor_bytes = layer.ifmap_bytes
+
+    best = None
+    for block_bytes in sorted(candidates):
+        if block_bytes <= 0:
+            raise ValueError("candidate block sizes must be positive")
+        macs, straddles, blocks = _cost(block_bytes, tile_bytes,
+                                        tensor_bytes, plan.num_m_tiles)
+        key = (macs, -block_bytes)
+        if best is None or key < best[0]:
+            best = (key, block_bytes, macs, straddles, blocks)
+
+    _, block_bytes, macs, straddles, blocks = best
+    return OptBlockChoice(
+        layer_name=layer.name,
+        block_bytes=block_bytes,
+        blocks_per_layer=blocks,
+        mac_computations=macs,
+        straddle_blocks=straddles,
+        candidates_evaluated=len(candidates),
+    )
+
+
+def aligned_block_for_tiles(tile_bytes: int,
+                            candidates: Sequence[int] = DEFAULT_CANDIDATES) -> int:
+    """Largest candidate dividing ``tile_bytes`` (64 if none divides).
+
+    Helper for tests and ablations: a block that divides the tile span
+    exactly can never straddle.
+    """
+    best = min(candidates)
+    for block_bytes in sorted(candidates):
+        if tile_bytes % block_bytes == 0:
+            best = block_bytes
+    return best

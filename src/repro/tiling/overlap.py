@@ -1,0 +1,70 @@
+"""Intra-layer tile overlap analysis (paper Section III-C, Challenge 1).
+
+Adjacent output-row tiles of a convolution share ``filt_h - stride`` input
+rows (the halo). A protection scheme that verifies fixed-size blocks
+re-verifies halo data once per tile that touches it; Securator's
+layer-level MAC additionally *recomputes* MACs over those shared bytes.
+SeDA picks an authentication block (optBlk) aligned to the tiling so each
+byte is verified exactly once.
+
+:func:`analyze_overlap` quantifies the redundancy for a layer + plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.layer import Layer, LayerKind
+from repro.tiling.tile import TilingPlan
+
+
+@dataclass(frozen=True)
+class OverlapReport:
+    """Redundant-verification accounting for one layer."""
+
+    layer_name: str
+    unique_ifmap_bytes: int
+    fetched_ifmap_bytes: int
+    overlap_bytes: int           # bytes fetched (and naively re-verified) > once
+    overlap_fraction: float      # overlap / fetched
+    redundant_mac_blocks: int    # extra block verifications at `block_bytes`
+    block_bytes: int
+
+    @property
+    def has_overlap(self) -> bool:
+        return self.overlap_bytes > 0
+
+
+def analyze_overlap(layer: Layer, plan: TilingPlan, block_bytes: int = 64) -> OverlapReport:
+    """Quantify halo-induced redundant verification for ``layer``.
+
+    ``block_bytes`` is the verification granularity a naive scheme would
+    use; redundant block count is the overlap expressed in such blocks
+    (what Securator would re-hash).
+    """
+    if block_bytes <= 0:
+        raise ValueError("block_bytes must be positive")
+    if plan.layer_name != layer.name:
+        raise ValueError(
+            f"plan is for {plan.layer_name!r}, layer is {layer.name!r}"
+        )
+    passes = plan.ifmap_passes
+    boundaries = max(0, plan.num_m_tiles - 1)
+    overlap = plan.halo_bytes_per_boundary * boundaries * passes
+    # Re-reading the whole ifmap per N-tile pass is also redundant
+    # verification of already-checked data.
+    if passes > 1:
+        overlap += layer.ifmap_bytes * (passes - 1)
+    fetched = plan.ifmap_traffic
+    unique = layer.ifmap_bytes
+    fraction = overlap / fetched if fetched else 0.0
+    redundant_blocks = -(-overlap // block_bytes) if overlap else 0
+    return OverlapReport(
+        layer_name=layer.name,
+        unique_ifmap_bytes=unique,
+        fetched_ifmap_bytes=fetched,
+        overlap_bytes=overlap,
+        overlap_fraction=fraction,
+        redundant_mac_blocks=redundant_blocks,
+        block_bytes=block_bytes,
+    )

@@ -1,0 +1,107 @@
+"""Inter-layer tiling pattern comparison (paper Fig. 3(b)).
+
+The ofmap tiles a producer layer writes and the ifmap tiles its consumer
+reads generally differ in size and direction: layer ``i`` may emit wide,
+shallow bands while layer ``i+1`` reads tall, narrow ones. A layer-level
+MAC computed over producer-order blocks then fails to match the
+consumer-order verification stream — the "false negative" hazard the
+paper attributes to Securator.
+
+:func:`pattern_of` extracts the pattern a plan induces on a tensor and
+:func:`patterns_compatible` decides whether a producer/consumer pair can
+share authentication blocks without re-blocking.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.models.layer import Layer
+from repro.tiling.tile import TilingPlan
+
+
+class TileWalk(enum.Enum):
+    """Direction a tensor is walked tile-by-tile."""
+
+    ROW_BANDS = "row_bands"          # full-width horizontal bands
+    FILTER_GROUPS = "filter_groups"  # channel/filter-major groups
+    SINGLE = "single"                # whole tensor in one tile
+
+
+@dataclass(frozen=True)
+class TilingPattern:
+    """The tiling pattern applied to one tensor by one layer's schedule."""
+
+    walk: TileWalk
+    band_rows: int       # output rows per band (0 when not banded)
+    group_channels: int  # channels per group (0 when not grouped)
+    tiles: int
+
+    @property
+    def is_trivial(self) -> bool:
+        return self.walk is TileWalk.SINGLE
+
+
+def pattern_of(plan: TilingPlan, tensor: str) -> TilingPattern:
+    """Pattern a plan applies to ``tensor`` ('ifmap', 'ofmap' or 'weight')."""
+    if tensor not in ("ifmap", "ofmap", "weight"):
+        raise ValueError(f"unknown tensor {tensor!r}")
+    if tensor == "weight":
+        if plan.num_n_tiles == 1:
+            return TilingPattern(TileWalk.SINGLE, 0, 0, 1)
+        return TilingPattern(TileWalk.FILTER_GROUPS, 0, plan.tile_filters,
+                             plan.num_n_tiles)
+    if tensor == "ifmap":
+        if plan.num_m_tiles == 1:
+            return TilingPattern(TileWalk.SINGLE, 0, 0, 1)
+        return TilingPattern(TileWalk.ROW_BANDS, plan.tile_out_rows, 0,
+                             plan.num_m_tiles)
+    # ofmap: banded over rows and grouped over filters.
+    if plan.num_m_tiles == 1 and plan.num_n_tiles == 1:
+        return TilingPattern(TileWalk.SINGLE, 0, 0, 1)
+    if plan.num_n_tiles == 1:
+        return TilingPattern(TileWalk.ROW_BANDS, plan.tile_out_rows, 0,
+                             plan.num_m_tiles)
+    return TilingPattern(TileWalk.FILTER_GROUPS, plan.tile_out_rows,
+                         plan.tile_filters, plan.num_tiles)
+
+
+def patterns_compatible(producer: TilingPattern, consumer: TilingPattern) -> bool:
+    """Whether producer-order MAC blocks can be verified in consumer order.
+
+    Compatible cases: either side trivial (whole tensor at once), or both
+    walk row bands where the producer band is a multiple of the consumer
+    band (consumer tiles nest inside producer blocks).
+    """
+    if producer.is_trivial or consumer.is_trivial:
+        return True
+    if producer.walk is not consumer.walk:
+        return False
+    if producer.walk is TileWalk.ROW_BANDS:
+        if consumer.band_rows == 0:
+            return False
+        return producer.band_rows % consumer.band_rows == 0
+    if producer.walk is TileWalk.FILTER_GROUPS:
+        if consumer.group_channels == 0:
+            return False
+        return producer.group_channels % consumer.group_channels == 0
+    return False
+
+
+def producer_consumer_mismatches(layers, plans) -> int:
+    """Count adjacent layer pairs whose tiling patterns are incompatible.
+
+    ``layers`` and ``plans`` are parallel sequences over one topology; the
+    ofmap pattern of layer ``i`` is compared with the ifmap pattern of
+    layer ``i+1``.
+    """
+    if len(layers) != len(plans):
+        raise ValueError("layers and plans must be parallel sequences")
+    mismatches = 0
+    for i in range(len(layers) - 1):
+        out_pattern = pattern_of(plans[i], "ofmap")
+        in_pattern = pattern_of(plans[i + 1], "ifmap")
+        if not patterns_compatible(out_pattern, in_pattern):
+            mismatches += 1
+    return mismatches

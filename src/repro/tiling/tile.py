@@ -1,0 +1,266 @@
+"""Per-layer tiling plans under an SRAM budget.
+
+The planner evaluates two schedule families and keeps the cheaper one:
+
+**Banded schedule** (convolutions and small GEMMs): cut the output into
+row bands (M) and filter groups (N); K stays whole so partial sums never
+leave the array. The loop order (M-outer vs N-outer) is chosen to
+minimize DRAM traffic — the inter-layer "tiling pattern" difference of
+the paper's Fig. 3(b). Adjacent conv bands overlap by the halo rows,
+which is the intra-layer redundancy SeDA's optBlk granularity targets.
+
+**K-tiled output-stationary schedule** (GEMMs whose operands dwarf the
+SRAM): keep an (Tm x Tn) partial-sum tile resident in the ofmap
+partition and stream (Tm x Tk) / (Tk x Tn) operand chunks. This is what a
+SecureLoop-style scheduler finds for fully connected layers with huge K,
+where the banded schedule would re-read the ifmap hundreds of times.
+
+Traffic accounting is exact for both families and is cross-checked by the
+trace emitted in :mod:`repro.accel.simulator` (tests assert they agree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import isqrt
+from typing import Optional
+
+from repro.models.layer import Layer, LayerKind, ELEMENT_BYTES
+from repro.utils.bitops import ceil_div
+
+
+@dataclass(frozen=True)
+class SramBudget:
+    """On-chip SRAM partition sizes in bytes (double-buffering included)."""
+
+    ifmap_bytes: int
+    weight_bytes: int
+    ofmap_bytes: int
+
+    def __post_init__(self) -> None:
+        for name in ("ifmap_bytes", "weight_bytes", "ofmap_bytes"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    @property
+    def total_bytes(self) -> int:
+        return self.ifmap_bytes + self.weight_bytes + self.ofmap_bytes
+
+    @classmethod
+    def split(cls, total_bytes: int, ifmap_frac: float = 0.375,
+              weight_frac: float = 0.375) -> "SramBudget":
+        """Carve a total SRAM capacity into the three operand partitions."""
+        if total_bytes <= 0:
+            raise ValueError("total_bytes must be positive")
+        if ifmap_frac <= 0 or weight_frac <= 0 or ifmap_frac + weight_frac >= 1:
+            raise ValueError("fractions must be positive and sum below 1")
+        ifmap = int(total_bytes * ifmap_frac)
+        weight = int(total_bytes * weight_frac)
+        return cls(ifmap, weight, total_bytes - ifmap - weight)
+
+
+@dataclass(frozen=True)
+class TilingPlan:
+    """The planner's decision for one layer."""
+
+    layer_name: str
+    tile_out_rows: int      # output rows per M tile (GEMM rows for gemm kind)
+    num_m_tiles: int
+    tile_filters: int       # filters per N tile
+    num_n_tiles: int
+    tile_k: int             # inner-dimension chunk (== K for banded plans)
+    num_k_tiles: int
+    n_outer: bool           # banded plans: loop N outside M
+    ifmap_passes: int       # how many times the unique ifmap footprint streams
+    weight_passes: int
+    ifmap_tile_bytes: int   # bytes fetched for one (non-boundary) ifmap tile
+    weight_tile_bytes: int
+    ofmap_tile_bytes: int
+    ifmap_traffic: int      # total DRAM bytes over the whole layer
+    weight_traffic: int
+    ofmap_traffic: int
+    halo_bytes_per_boundary: int
+
+    @property
+    def is_k_tiled(self) -> bool:
+        return self.num_k_tiles > 1
+
+    @property
+    def num_tiles(self) -> int:
+        return self.num_m_tiles * self.num_n_tiles
+
+    @property
+    def total_read_traffic(self) -> int:
+        return self.ifmap_traffic + self.weight_traffic
+
+    @property
+    def total_traffic(self) -> int:
+        return self.total_read_traffic + self.ofmap_traffic
+
+    @property
+    def halo_traffic(self) -> int:
+        """Total re-read bytes caused by intra-layer tile overlap."""
+        return (self.halo_bytes_per_boundary * max(0, self.num_m_tiles - 1)
+                * self.ifmap_passes)
+
+
+def _input_rows_for(layer: Layer, out_rows: int) -> int:
+    return min(layer.ifmap_h, out_rows * layer.stride_h + layer.filt_h - layer.stride_h)
+
+
+def _banded_plan(layer: Layer, budget: SramBudget) -> Optional[TilingPlan]:
+    """Row-band / filter-group schedule; None if it cannot fit."""
+    ifmap_row_bytes = layer.ifmap_w * layer.channels * ELEMENT_BYTES
+    out_w = layer.ofmap_w
+
+    if _input_rows_for(layer, 1) * ifmap_row_bytes > budget.ifmap_bytes:
+        return None
+
+    # Largest output-row band whose input rows fit the ifmap partition
+    # (binary search over out rows).
+    low, high = 1, layer.ofmap_h
+    while low < high:
+        mid = (low + high + 1) // 2
+        if _input_rows_for(layer, mid) * ifmap_row_bytes <= budget.ifmap_bytes:
+            low = mid
+        else:
+            high = mid - 1
+    tile_out_rows = low
+
+    weight_per_filter = max(1, layer.weight_bytes // max(1, layer.gemm_n))
+    tile_filters = min(layer.gemm_n,
+                       max(1, budget.weight_bytes // weight_per_filter))
+
+    # Ofmap tile must fit too; shrink filters first, then the band.
+    def ofmap_tile(rows: int, filters: int) -> int:
+        return rows * out_w * filters * ELEMENT_BYTES
+
+    while tile_filters > 1 and \
+            ofmap_tile(tile_out_rows, tile_filters) > budget.ofmap_bytes:
+        tile_filters = max(1, budget.ofmap_bytes //
+                           (tile_out_rows * out_w * ELEMENT_BYTES))
+        if ofmap_tile(tile_out_rows, tile_filters) > budget.ofmap_bytes:
+            tile_filters -= 1
+    while tile_out_rows > 1 and \
+            ofmap_tile(tile_out_rows, tile_filters) > budget.ofmap_bytes:
+        tile_out_rows -= 1
+    if ofmap_tile(tile_out_rows, tile_filters) > budget.ofmap_bytes:
+        return None
+
+    num_m_tiles = ceil_div(layer.ofmap_h, tile_out_rows)
+    num_n_tiles = ceil_div(layer.gemm_n, tile_filters)
+
+    halo_rows = layer.halo_rows() if layer.kind is not LayerKind.GEMM else 0
+    halo_bytes = halo_rows * ifmap_row_bytes if num_m_tiles > 1 else 0
+    one_pass_ifmap = layer.ifmap_bytes + halo_bytes * max(0, num_m_tiles - 1)
+
+    # Loop-order choice: M-outer streams weights per band; N-outer
+    # re-reads the ifmap per filter group.
+    if num_n_tiles == 1:
+        n_outer = False
+        ifmap_passes, weight_passes = 1, 1
+    else:
+        m_outer_cost = one_pass_ifmap + layer.weight_bytes * num_m_tiles
+        n_outer_cost = (one_pass_ifmap * (num_n_tiles if num_m_tiles > 1 else 1)
+                        + layer.weight_bytes)
+        n_outer = n_outer_cost < m_outer_cost
+        if n_outer:
+            ifmap_passes = num_n_tiles if num_m_tiles > 1 else 1
+            weight_passes = 1
+        else:
+            ifmap_passes = 1
+            weight_passes = num_m_tiles
+
+    return TilingPlan(
+        layer_name=layer.name,
+        tile_out_rows=tile_out_rows,
+        num_m_tiles=num_m_tiles,
+        tile_filters=tile_filters,
+        num_n_tiles=num_n_tiles,
+        tile_k=layer.gemm_k,
+        num_k_tiles=1,
+        n_outer=n_outer,
+        ifmap_passes=ifmap_passes,
+        weight_passes=weight_passes,
+        ifmap_tile_bytes=_input_rows_for(layer, tile_out_rows) * ifmap_row_bytes,
+        weight_tile_bytes=weight_per_filter * tile_filters,
+        ofmap_tile_bytes=ofmap_tile(tile_out_rows, tile_filters),
+        ifmap_traffic=one_pass_ifmap * ifmap_passes,
+        weight_traffic=layer.weight_bytes * weight_passes,
+        ofmap_traffic=layer.ofmap_bytes,
+        halo_bytes_per_boundary=halo_bytes,
+    )
+
+
+def _k_tiled_plan(layer: Layer, budget: SramBudget) -> Optional[TilingPlan]:
+    """Output-stationary K-tiled schedule for GEMM layers."""
+    if layer.kind is not LayerKind.GEMM:
+        return None
+    m, k, n = layer.gemm_m, layer.gemm_k, layer.gemm_n
+    ofmap_cap = budget.ofmap_bytes // ELEMENT_BYTES
+
+    best = None
+    # Candidate Tm values: geometric sweep plus the extremes.
+    candidates = {1, m, min(m, isqrt(ofmap_cap))}
+    tm = 1
+    while tm < m:
+        candidates.add(min(m, tm))
+        tm *= 4
+    for tile_m in sorted(candidates):
+        tile_n = min(n, max(1, ofmap_cap // tile_m))
+        tile_k = min(k,
+                     max(1, budget.ifmap_bytes // (tile_m * ELEMENT_BYTES)),
+                     max(1, budget.weight_bytes // (tile_n * ELEMENT_BYTES)))
+        num_m = ceil_div(m, tile_m)
+        num_n = ceil_div(n, tile_n)
+        num_k = ceil_div(k, tile_k)
+        ifmap_traffic = layer.ifmap_bytes * num_n
+        weight_traffic = layer.weight_bytes * num_m
+        cost = ifmap_traffic + weight_traffic
+        key = (cost, num_m * num_n * num_k)
+        if best is None or key < best[0]:
+            best = (key, tile_m, tile_n, tile_k, num_m, num_n, num_k,
+                    ifmap_traffic, weight_traffic)
+
+    if best is None:
+        return None
+    (_, tile_m, tile_n, tile_k, num_m, num_n, num_k,
+     ifmap_traffic, weight_traffic) = best
+    return TilingPlan(
+        layer_name=layer.name,
+        tile_out_rows=tile_m,
+        num_m_tiles=num_m,
+        tile_filters=tile_n,
+        num_n_tiles=num_n,
+        tile_k=tile_k,
+        num_k_tiles=num_k,
+        n_outer=False,
+        ifmap_passes=num_n,
+        weight_passes=num_m,
+        ifmap_tile_bytes=tile_m * tile_k * ELEMENT_BYTES,
+        weight_tile_bytes=tile_k * tile_n * ELEMENT_BYTES,
+        ofmap_tile_bytes=tile_m * tile_n * ELEMENT_BYTES,
+        ifmap_traffic=ifmap_traffic,
+        weight_traffic=weight_traffic,
+        ofmap_traffic=layer.ofmap_bytes,
+        halo_bytes_per_boundary=0,
+    )
+
+
+def plan_tiling(layer: Layer, budget: SramBudget) -> TilingPlan:
+    """Plan tiling for ``layer`` under ``budget``.
+
+    Evaluates the banded schedule and (for GEMMs) the K-tiled schedule,
+    returning whichever moves fewer DRAM bytes. Raises ``ValueError`` if
+    neither fits — such a layer cannot run on the configured accelerator.
+    """
+    banded = _banded_plan(layer, budget)
+    k_tiled = _k_tiled_plan(layer, budget)
+    plans = [p for p in (banded, k_tiled) if p is not None]
+    if not plans:
+        raise ValueError(
+            f"{layer.name}: no tiling fits SRAM budget "
+            f"(ifmap={budget.ifmap_bytes}, weight={budget.weight_bytes}, "
+            f"ofmap={budget.ofmap_bytes})"
+        )
+    return min(plans, key=lambda p: (p.total_traffic, p.num_tiles * p.num_k_tiles))

@@ -1,0 +1,22 @@
+"""Shared low-level helpers: bit/byte manipulation and an LRU cache model."""
+
+from repro.utils.bitops import (
+    ceil_div,
+    align_down,
+    align_up,
+    int_to_bytes,
+    bytes_to_int,
+    xor_bytes,
+)
+from repro.utils.lru import LruCache, CacheStats
+
+__all__ = [
+    "ceil_div",
+    "align_down",
+    "align_up",
+    "int_to_bytes",
+    "bytes_to_int",
+    "xor_bytes",
+    "LruCache",
+    "CacheStats",
+]

@@ -1,0 +1,54 @@
+"""Bit and byte manipulation helpers used across the crypto and memory models."""
+
+from __future__ import annotations
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division.
+
+    >>> ceil_div(7, 4)
+    2
+    >>> ceil_div(8, 4)
+    2
+    """
+    if b <= 0:
+        raise ValueError(f"divisor must be positive, got {b}")
+    return -(-a // b)
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round ``value`` down to a multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError(f"alignment must be positive, got {alignment}")
+    return (value // alignment) * alignment
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to a multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError(f"alignment must be positive, got {alignment}")
+    return ceil_div(value, alignment) * alignment
+
+
+def int_to_bytes(value: int, length: int) -> bytes:
+    """Big-endian fixed-width encoding, truncating to ``length`` bytes."""
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    mask = (1 << (8 * length)) - 1
+    return (value & mask).to_bytes(length, "big")
+
+
+def bytes_to_int(data: bytes) -> int:
+    """Big-endian decoding of a byte string into an unsigned integer."""
+    return int.from_bytes(data, "big")
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings.
+
+    Raises ``ValueError`` on length mismatch: silently truncating would hide
+    OTP sizing bugs in the encryption paths.
+    """
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+    return bytes(x ^ y for x, y in zip(a, b))

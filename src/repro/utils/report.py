@@ -1,0 +1,70 @@
+"""Plain-text rendering helpers for examples and reports.
+
+No plotting dependencies are available offline, so figures are rendered
+as aligned text tables and horizontal ASCII bar charts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 float_fmt: str = "{:.3f}") -> str:
+    """Render rows as an aligned text table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_fmt.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def bar_chart(values: Mapping[str, float], width: int = 50,
+              baseline: Optional[float] = None,
+              value_fmt: str = "{:.3f}") -> str:
+    """Horizontal ASCII bar chart, one bar per labelled value.
+
+    ``baseline`` draws a reference mark (e.g. the unprotected 1.0 line).
+    """
+    if not values:
+        raise ValueError("no values to chart")
+    if width < 10:
+        raise ValueError("width must be at least 10")
+    peak = max(max(values.values()), baseline or 0.0)
+    if peak <= 0:
+        raise ValueError("bar chart needs a positive maximum")
+    label_width = max(len(k) for k in values)
+    lines = []
+    for label, value in values.items():
+        filled = int(round(value / peak * width))
+        bar = "#" * filled
+        if baseline is not None:
+            mark = int(round(baseline / peak * width))
+            if mark < width:
+                bar = bar[:mark].ljust(mark) + "|" + bar[mark + 1:]
+        lines.append(f"{label.ljust(label_width)} {bar.ljust(width)} "
+                     f"{value_fmt.format(value)}")
+    return "\n".join(lines)
+
+
+def percent(value: float) -> str:
+    """Format a ratio as a signed percentage ('+12.26%')."""
+    return f"{(value - 1.0) * 100:+.2f}%"

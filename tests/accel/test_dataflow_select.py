@@ -1,0 +1,56 @@
+"""Per-layer dataflow selection."""
+
+import pytest
+
+from repro.accel.dataflow_select import (
+    fixed_vs_best_cycles,
+    select_dataflow,
+    topology_dataflow_report,
+)
+from repro.accel.systolic import Dataflow
+from repro.models.layer import conv, gemm
+from repro.models.topology import Topology
+
+
+class TestSelection:
+    def test_best_is_minimum(self):
+        layer = conv("c", 32, 32, 3, 3, 16, 64)
+        choice = select_dataflow(16, 16, layer)
+        assert choice.best_cycles == min(choice.cycles.values())
+
+    def test_all_dataflows_evaluated(self):
+        layer = gemm("fc", 64, 256, 64)
+        choice = select_dataflow(8, 8, layer)
+        assert set(choice.cycles) == set(Dataflow)
+
+    def test_speedup_at_least_one(self):
+        layer = conv("c", 32, 32, 3, 3, 16, 64)
+        choice = select_dataflow(16, 16, layer)
+        for dataflow in Dataflow:
+            assert choice.speedup_over(dataflow) >= 1.0
+
+    def test_large_m_prefers_streaming(self):
+        """Huge M with small K, N: WS/IS stream M cheaply; OS must fold
+        M across the array."""
+        layer = gemm("fc", 100_000, 8, 8)
+        choice = select_dataflow(8, 8, layer)
+        assert choice.best is not Dataflow.OS
+
+
+class TestTopologyReport:
+    def test_report_covers_all_layers(self, tiny_topology):
+        report = topology_dataflow_report(8, 8, tiny_topology)
+        assert set(report) == {l.name for l in tiny_topology}
+
+    def test_best_never_worse_than_fixed(self, tiny_topology):
+        totals = fixed_vs_best_cycles(8, 8, tiny_topology)
+        assert totals["best"] <= totals["fixed"]
+
+    def test_mixed_workload_gains(self):
+        """A topology mixing shapes benefits from per-layer choice."""
+        topo = Topology("mix", [
+            gemm("wide", 4, 4096, 4096),
+            gemm("tall", 100_000, 8, 8),
+        ])
+        totals = fixed_vs_best_cycles(8, 8, topo, fixed=Dataflow.OS)
+        assert totals["best"] < totals["fixed"]

@@ -1,0 +1,80 @@
+"""Protected-region address map."""
+
+import pytest
+
+from repro.accel.layout import (
+    ACT_A_BASE,
+    ACT_B_BASE,
+    AddressMap,
+    METADATA_BASE,
+    PROTECTED_REGION_BYTES,
+    WEIGHT_BASE,
+)
+from repro.models.layer import conv, gemm
+from repro.models.topology import Topology
+
+
+@pytest.fixture
+def amap(tiny_topology):
+    return AddressMap(tiny_topology)
+
+
+class TestWeightPacking:
+    def test_first_layer_at_base(self, amap):
+        assert amap.weight_addr(0) == WEIGHT_BASE
+
+    def test_monotone_non_overlapping(self, amap, tiny_topology):
+        prev_end = WEIGHT_BASE
+        for i, layer in enumerate(tiny_topology):
+            base = amap.weight_addr(i)
+            assert base >= prev_end
+            prev_end = base + layer.weight_bytes
+
+    def test_weights_below_activations(self, amap):
+        assert amap.weights_end <= ACT_A_BASE
+
+
+class TestPingPong:
+    def test_alternation(self, amap):
+        assert amap.ifmap_addr(0) == ACT_A_BASE
+        assert amap.ofmap_addr(0) == ACT_B_BASE
+        assert amap.ifmap_addr(1) == ACT_B_BASE
+        assert amap.ofmap_addr(1) == ACT_A_BASE
+
+    def test_producer_consumer_same_buffer(self, amap, tiny_topology):
+        """Layer i's ofmap address is layer i+1's ifmap address."""
+        for i in range(len(tiny_topology) - 1):
+            assert amap.ofmap_addr(i) == amap.ifmap_addr(i + 1)
+
+    def test_out_of_range_layer(self, amap):
+        with pytest.raises(IndexError):
+            amap.ifmap_addr(99)
+
+
+class TestRegions:
+    def test_regions_disjoint(self, amap):
+        regions = amap.data_regions() + [amap.metadata_region()]
+        spans = sorted((r.base, r.end) for r in regions)
+        for (_, end_a), (base_b, _) in zip(spans, spans[1:]):
+            assert end_a <= base_b
+
+    def test_within_protected_region(self, amap):
+        for region in amap.data_regions():
+            assert region.end <= PROTECTED_REGION_BYTES
+
+    def test_contains(self, amap):
+        region = amap.data_regions()[0]
+        assert region.contains(region.base)
+        assert not region.contains(region.end)
+
+    def test_metadata_region_base(self):
+        region = AddressMap.metadata_region()
+        assert region.base == METADATA_BASE
+
+
+class TestOverflowDetection:
+    def test_giant_weights_rejected(self):
+        # A single FC layer with > 4 GB of weights overflows the region.
+        huge = Topology("huge", [gemm("fc", 1, 70000, 70000)])
+        with pytest.raises(ValueError):
+            AddressMap(huge)

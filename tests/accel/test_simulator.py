@@ -1,0 +1,118 @@
+"""Accelerator simulator: cycles, trace consistency, residency rules."""
+
+import pytest
+
+from repro.accel.simulator import AcceleratorSim
+from repro.accel.systolic import SystolicArray
+from repro.accel.trace import AccessKind
+from repro.models.layer import conv, gemm
+from repro.models.topology import Topology
+from repro.models.zoo import get_workload
+from repro.tiling.tile import SramBudget
+
+
+@pytest.fixture
+def sim(small_array, small_budget):
+    return AcceleratorSim(small_array, small_budget)
+
+
+class TestSingleLayer:
+    def test_compute_cycles_match_analytical(self, sim, tiny_conv_layer):
+        run = sim.run(Topology("one", [tiny_conv_layer]))
+        result = run.layers[0]
+        if result.plan.num_tiles == 1:
+            expected = sim.array.compute_cycles(
+                tiny_conv_layer.gemm_m, tiny_conv_layer.gemm_k,
+                tiny_conv_layer.gemm_n)
+            assert result.compute_cycles == expected
+
+    def test_trace_contains_all_kinds(self, sim, tiny_conv_layer):
+        run = sim.run(Topology("one", [tiny_conv_layer]))
+        kinds = {r.kind for r in run.layers[0].trace}
+        assert kinds == {AccessKind.IFMAP, AccessKind.WEIGHT, AccessKind.OFMAP}
+
+    def test_write_bytes_equal_ofmap(self, sim, tiny_conv_layer):
+        run = sim.run(Topology("one", [tiny_conv_layer]))
+        assert run.layers[0].trace.write_bytes == tiny_conv_layer.ofmap_bytes
+
+    def test_reads_cover_tensors(self, sim, tiny_conv_layer):
+        run = sim.run(Topology("one", [tiny_conv_layer]))
+        trace = run.layers[0].trace
+        by_kind = trace.bytes_by_kind()
+        assert by_kind[AccessKind.IFMAP] >= tiny_conv_layer.ifmap_bytes
+        assert by_kind[AccessKind.WEIGHT] >= tiny_conv_layer.weight_bytes
+
+
+class TestPlanTraceAgreement:
+    @pytest.mark.parametrize("workload", ["lenet", "mobilenet", "dlrm"])
+    def test_traffic_matches_plan_estimate(self, workload):
+        sim = AcceleratorSim(SystolicArray(32, 32), SramBudget.split(480 << 10))
+        run = sim.run(get_workload(workload))
+        for result in run.layers:
+            estimate = result.plan.total_traffic
+            actual = result.trace.total_bytes
+            # The plan is an upper-bound estimate: it does not clamp halo
+            # rows at tensor edges, so the emitted trace can be slightly
+            # smaller but never larger.
+            assert actual <= estimate
+            assert actual > 0.9 * estimate, result.layer.name
+
+    def test_k_tiled_walk_agrees(self):
+        sim = AcceleratorSim(SystolicArray(32, 32), SramBudget.split(128 << 10))
+        layer = gemm("fc", 256, 8192, 1024)
+        run = sim.run(Topology("k", [layer]))
+        plan = run.layers[0].plan
+        assert plan.is_k_tiled
+        assert run.layers[0].trace.total_bytes == plan.total_traffic
+
+
+class TestMultiLayer:
+    def test_cycles_accumulate(self, sim, tiny_topology):
+        run = sim.run(tiny_topology)
+        assert run.compute_cycles == sum(r.compute_cycles for r in run.layers)
+        starts = [r.start_cycle for r in run.layers]
+        assert starts == sorted(starts)
+
+    def test_layer_starts_are_contiguous(self, sim, tiny_topology):
+        run = sim.run(tiny_topology)
+        for prev, cur in zip(run.layers, run.layers[1:]):
+            assert cur.start_cycle == prev.start_cycle + prev.compute_cycles
+
+    def test_activation_flows_through_pingpong(self, sim, tiny_topology):
+        run = sim.run(tiny_topology)
+        amap = run.address_map
+        for i in range(len(tiny_topology) - 1):
+            ofmap_ranges = run.layers[i].trace.filter(AccessKind.OFMAP)
+            ifmap_ranges = run.layers[i + 1].trace.filter(AccessKind.IFMAP)
+            ofmap_bases = {r.addr for r in ofmap_ranges}
+            ifmap_bases = {r.addr for r in ifmap_ranges}
+            assert min(ofmap_bases) == amap.ofmap_addr(i)
+            assert min(ifmap_bases) == amap.ifmap_addr(i + 1)
+            assert amap.ofmap_addr(i) == amap.ifmap_addr(i + 1)
+
+    def test_demand_metric(self, sim, tiny_topology):
+        run = sim.run(tiny_topology)
+        assert run.peak_demand_bytes_per_cycle > 0
+        for result in run.layers:
+            assert result.demand_bytes_per_cycle == pytest.approx(
+                result.dram_bytes / result.compute_cycles)
+
+
+class TestResidencyRules:
+    def test_weight_resident_when_n_fits(self):
+        """Weights that fit SRAM are fetched exactly once even when the
+        ifmap is banded."""
+        layer = conv("c", 64, 64, 3, 3, 16, 8)
+        sim = AcceleratorSim(SystolicArray(8, 8),
+                             SramBudget(16 << 10, 1 << 20, 1 << 20))
+        run = sim.run(Topology("t", [layer]))
+        weight_bytes = run.layers[0].trace.bytes_by_kind()[AccessKind.WEIGHT]
+        assert weight_bytes == layer.weight_bytes
+
+    def test_halo_refetch_present(self):
+        layer = conv("c", 64, 64, 3, 3, 16, 8)
+        sim = AcceleratorSim(SystolicArray(8, 8),
+                             SramBudget(16 << 10, 1 << 20, 1 << 20))
+        run = sim.run(Topology("t", [layer]))
+        ifmap_bytes = run.layers[0].trace.bytes_by_kind()[AccessKind.IFMAP]
+        assert ifmap_bytes > layer.ifmap_bytes

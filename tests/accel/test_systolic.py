@@ -1,0 +1,85 @@
+"""Systolic-array analytical cycle model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel.systolic import Dataflow, SystolicArray
+
+
+class TestFolds:
+    def test_ws_single_fold(self):
+        array = SystolicArray(8, 8, Dataflow.WS)
+        assert array.folds(m=100, k=8, n=8) == 1
+
+    def test_ws_fold_count(self):
+        array = SystolicArray(8, 8, Dataflow.WS)
+        assert array.folds(m=10, k=16, n=24) == 2 * 3
+
+    def test_os_fold_count(self):
+        array = SystolicArray(8, 8, Dataflow.OS)
+        assert array.folds(m=16, k=100, n=8) == 2
+
+    def test_is_fold_count(self):
+        array = SystolicArray(8, 8, Dataflow.IS)
+        assert array.folds(m=16, k=16, n=100) == 2 * 2
+
+
+class TestCycles:
+    def test_ws_per_fold(self):
+        array = SystolicArray(8, 8, Dataflow.WS)
+        # rows + m + cols - 1
+        assert array.cycles_per_fold(m=10, k=8, n=8) == 8 + 10 + 8 - 1
+
+    def test_os_per_fold(self):
+        array = SystolicArray(8, 8, Dataflow.OS)
+        assert array.cycles_per_fold(m=8, k=20, n=8) == 2 * 8 + 8 + 20 - 2
+
+    def test_total(self):
+        array = SystolicArray(8, 8, Dataflow.WS)
+        assert array.compute_cycles(10, 16, 24) == 6 * (8 + 10 + 8 - 1)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            SystolicArray(8, 8).compute_cycles(0, 1, 1)
+
+    def test_invalid_array(self):
+        with pytest.raises(ValueError):
+            SystolicArray(0, 8)
+
+
+class TestUtilization:
+    def test_bounded(self):
+        array = SystolicArray(16, 16)
+        util = array.utilization(256, 256, 256)
+        assert 0.0 < util <= 1.0
+
+    def test_large_gemm_high_utilization(self):
+        array = SystolicArray(16, 16)
+        assert array.utilization(4096, 1024, 1024) > 0.9
+
+    def test_tiny_gemm_low_utilization(self):
+        array = SystolicArray(256, 256)
+        assert array.utilization(1, 16, 16) < 0.01
+
+    @given(st.integers(1, 512), st.integers(1, 512), st.integers(1, 512))
+    @settings(max_examples=60)
+    def test_utilization_never_exceeds_one(self, m, k, n):
+        for dataflow in Dataflow:
+            array = SystolicArray(8, 16, dataflow)
+            assert array.utilization(m, k, n) <= 1.0
+
+
+class TestDataflowComparison:
+    def test_ws_prefers_large_m(self):
+        """Weight-stationary amortizes fills over the streamed dimension."""
+        array_ws = SystolicArray(16, 16, Dataflow.WS)
+        array_os = SystolicArray(16, 16, Dataflow.OS)
+        m, k, n = 4096, 16, 16
+        assert array_ws.compute_cycles(m, k, n) <= array_os.compute_cycles(m, k, n)
+
+    def test_monotone_in_problem_size(self):
+        array = SystolicArray(8, 8)
+        small = array.compute_cycles(16, 16, 16)
+        large = array.compute_cycles(32, 32, 32)
+        assert large > small

@@ -1,0 +1,104 @@
+"""Trace file import/export."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel.trace import BlockStream
+from repro.accel.tracefile import (
+    read_ramulator,
+    read_scalesim,
+    write_ramulator,
+    write_scalesim,
+)
+
+
+def _stream(n=10, seed=3):
+    rng = np.random.default_rng(seed)
+    return BlockStream(
+        np.sort(rng.integers(0, 1000, n)).astype(np.int64),
+        (rng.integers(0, 1 << 20, n) * 64).astype(np.uint64),
+        rng.integers(0, 2, n).astype(bool),
+        np.zeros(n, np.int32),
+    )
+
+
+class TestScalesimFormat:
+    def test_roundtrip(self):
+        stream = _stream()
+        sink = io.StringIO()
+        assert write_scalesim(stream, sink) == len(stream)
+        parsed = read_scalesim(sink.getvalue())
+        assert list(parsed.cycles) == list(stream.cycles)
+        assert list(parsed.addrs) == list(stream.addrs)
+        assert list(parsed.writes) == list(stream.writes)
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# header\n\n10,640,R\n20,128,W\n"
+        parsed = read_scalesim(text)
+        assert len(parsed) == 2
+        assert parsed.writes[1]
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            read_scalesim("10,640\n")
+        with pytest.raises(ValueError):
+            read_scalesim("10,640,X\n")
+
+    @given(st.integers(1, 60))
+    @settings(max_examples=15, deadline=None)
+    def test_roundtrip_property(self, n):
+        stream = _stream(n, seed=n)
+        sink = io.StringIO()
+        write_scalesim(stream, sink)
+        parsed = read_scalesim(sink.getvalue())
+        assert parsed.total_bytes == stream.total_bytes
+        assert parsed.write_blocks == stream.write_blocks
+
+
+class TestRamulatorFormat:
+    def test_roundtrip_addresses(self):
+        stream = _stream()
+        sink = io.StringIO()
+        assert write_ramulator(stream, sink) == len(stream)
+        parsed = read_ramulator(sink.getvalue())
+        assert list(parsed.addrs) == list(stream.addrs)
+        assert list(parsed.writes) == list(stream.writes)
+        assert (parsed.cycles == 0).all()  # cycles dropped by design
+
+    def test_hex_and_decimal_accepted(self):
+        parsed = read_ramulator("0x40 R\n128 W\n")
+        assert list(parsed.addrs) == [0x40, 128]
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            read_ramulator("0x40\n")
+        with pytest.raises(ValueError):
+            read_ramulator("0x40 Q\n")
+
+
+class TestEndToEnd:
+    def test_exported_trace_simulates_identically(self, test_npu):
+        """A trace exported and re-imported yields the same DRAM result."""
+        from repro.dram.simulator import DramSim
+        from repro.models.layer import conv
+        from repro.models.topology import Topology
+        from repro.core.pipeline import Pipeline
+
+        pipeline = Pipeline(test_npu)
+        run = pipeline.simulate_model(
+            Topology("t", [conv("c", 18, 18, 3, 3, 4, 8)]))
+        stream = run.layers[0].trace.to_blocks().sorted_by_cycle()
+
+        sink = io.StringIO()
+        write_scalesim(stream, sink)
+        parsed = read_scalesim(sink.getvalue())
+
+        sim = DramSim(test_npu.dram_config(), test_npu.freq_ghz)
+        original = sim.simulate_fast(stream)
+        reloaded = sim.simulate_fast(parsed)
+        assert original.busy_cycles == reloaded.busy_cycles
+        assert original.row_misses == reloaded.row_misses

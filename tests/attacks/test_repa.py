@@ -1,0 +1,70 @@
+"""RePA (Algorithm 2): succeeds on ciphertext-only XOR-MAC, fails on
+location-bound MACs."""
+
+import pytest
+
+from repro.attacks.repa import layer_mac, run_repa, shuffle_order
+from repro.crypto.mac import BlockMac
+
+KEY = b"\x77" * 16
+
+
+def _layer_blocks(n=16):
+    return [bytes([i + 1]) * 64 for i in range(n)]
+
+
+class TestAttackOnCiphertextOnlyMac:
+    def test_shuffle_passes_verification(self):
+        """Lines 1-6: the shuffled layer XOR-folds to the same MAC."""
+        result = run_repa(KEY, _layer_blocks(), location_bound=False)
+        assert result.blocks_displaced > 0
+        assert result.verification_passed
+        assert result.succeeded
+
+    def test_attack_is_deterministic_per_seed(self):
+        a = run_repa(KEY, _layer_blocks(), location_bound=False, seed=1)
+        b = run_repa(KEY, _layer_blocks(), location_bound=False, seed=1)
+        assert a.blocks_displaced == b.blocks_displaced
+
+
+class TestDefense:
+    def test_location_binding_defeats_repa(self):
+        """Lines 7-8: the fold no longer matches after the shuffle."""
+        result = run_repa(KEY, _layer_blocks(), location_bound=True)
+        assert result.blocks_displaced > 0
+        assert not result.verification_passed
+        assert not result.succeeded
+
+    def test_identity_permutation_still_verifies(self):
+        """Defense must not break honest reads: unshuffled data passes."""
+        blocks = _layer_blocks()
+        mac = BlockMac(KEY)
+        reference = layer_mac(mac, blocks, 0, location_bound=True)
+        recomputed = layer_mac(mac, blocks, 0, location_bound=True)
+        assert reference == recomputed
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_defense_robust_across_permutations(self, seed):
+        result = run_repa(KEY, _layer_blocks(), location_bound=True, seed=seed)
+        if result.blocks_displaced:
+            assert not result.verification_passed
+
+
+class TestHelpers:
+    def test_shuffle_reports_displacement(self):
+        blocks = _layer_blocks(8)
+        shuffled, displaced = shuffle_order(blocks)
+        assert sorted(shuffled) == sorted(blocks)
+        assert displaced == sum(
+            1 for a, b in zip(blocks, shuffled) if a != b)
+
+    def test_layer_mac_modes_differ(self):
+        blocks = _layer_blocks(4)
+        mac = BlockMac(KEY)
+        bound = layer_mac(mac, blocks, 0, location_bound=True)
+        unbound = layer_mac(mac, blocks, 0, location_bound=False)
+        assert bound != unbound
+
+    def test_too_few_blocks(self):
+        with pytest.raises(ValueError):
+            run_repa(KEY, [bytes(64)])

@@ -1,0 +1,81 @@
+"""SECA (Algorithm 1): succeeds on shared OTP, fails on B-AES."""
+
+import pytest
+
+from repro.attacks.seca import most_frequent_segment, run_seca
+from repro.crypto.baes import BandwidthAwareAes
+from repro.crypto.ctr import AesCtr
+
+KEY = b"\x66" * 16
+
+
+def _sparse_block(nbytes=512):
+    """A DNN-like data block: mostly zeros with a few non-zero values."""
+    data = bytearray(nbytes)
+    for i in range(0, nbytes, 97):
+        data[i] = (i * 7) % 255 + 1
+    return bytes(data)
+
+
+class TestAttackOnSharedOtp:
+    def test_full_recovery(self):
+        """Lines 1-4 of Algorithm 1 against the shared-OTP strawman."""
+        plaintext = _sparse_block()
+        ctr = AesCtr(KEY)
+        ciphertext = ctr.encrypt_shared_otp(plaintext, pa=0x40, vn=1)
+        result = run_seca(ciphertext, plaintext)
+        assert result.succeeded
+        assert result.recovered == plaintext
+
+    def test_recovers_actual_otp(self):
+        plaintext = bytes(64)  # all zero: OTP == ciphertext segment
+        ctr = AesCtr(KEY)
+        ciphertext = ctr.encrypt_shared_otp(plaintext, pa=0x40, vn=1)
+        result = run_seca(ciphertext, plaintext)
+        assert result.inferred_otp == ctr.otp(0x40, 1, 0)
+
+    def test_works_for_any_dominant_value(self):
+        """The attacker only needs to guess the most frequent plaintext."""
+        dominant = b"\x80" * 16
+        plaintext = dominant * 20 + bytes(range(16))
+        ctr = AesCtr(KEY)
+        ciphertext = ctr.encrypt_shared_otp(plaintext, pa=0, vn=7)
+        result = run_seca(ciphertext, plaintext, most_value_p=dominant)
+        assert result.succeeded
+
+
+class TestDefense:
+    def test_baes_defeats_seca(self):
+        """Same attack against B-AES recovers almost nothing."""
+        plaintext = _sparse_block()
+        engine = BandwidthAwareAes(KEY)
+        ciphertext = engine.encrypt(plaintext, pa=0x40, vn=1)
+        result = run_seca(ciphertext, plaintext)
+        assert not result.succeeded
+        # At most the single segment whose OTP was guessed can match.
+        assert result.recovered_fraction <= 1 / (len(plaintext) // 16)
+
+    def test_standard_ctr_also_immune(self):
+        plaintext = _sparse_block()
+        ctr = AesCtr(KEY)
+        ciphertext = ctr.encrypt(plaintext, pa=0x40, vn=1)
+        result = run_seca(ciphertext, plaintext)
+        assert not result.succeeded
+
+
+class TestHelpers:
+    def test_most_frequent_segment(self):
+        block = b"\xaa" * 16 + b"\xbb" * 16 + b"\xaa" * 16
+        assert most_frequent_segment(block) == b"\xaa" * 16
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            most_frequent_segment(b"\x00" * 15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_seca(b"", b"")
+        with pytest.raises(ValueError):
+            run_seca(bytes(16), bytes(32))
+        with pytest.raises(ValueError):
+            run_seca(bytes(16), bytes(16), most_value_p=bytes(8))

@@ -1,0 +1,52 @@
+"""Shared fixtures: small topologies and pipelines sized for fast tests."""
+
+import pytest
+
+from repro.accel.systolic import SystolicArray
+from repro.core.config import NpuConfig
+from repro.models.layer import conv, dwconv, gemm
+from repro.models.topology import Topology
+from repro.tiling.tile import SramBudget
+
+
+@pytest.fixture
+def tiny_conv_layer():
+    """A conv layer small enough to hand-check."""
+    return conv("c1", 16, 16, 3, 3, 4, 8)
+
+
+@pytest.fixture
+def tiny_gemm_layer():
+    return gemm("fc", 32, 64, 16)
+
+
+@pytest.fixture
+def tiny_topology():
+    """Three layers exercising conv, depthwise and gemm paths."""
+    return Topology("tiny", [
+        conv("c1", 18, 18, 3, 3, 3, 8),
+        dwconv("dw", 16, 16, 3, 3, 8),
+        gemm("fc", 1, 8 * 14 * 14, 10),
+    ])
+
+
+@pytest.fixture
+def small_budget():
+    return SramBudget.split(64 << 10)
+
+
+@pytest.fixture
+def small_array():
+    return SystolicArray(8, 8)
+
+
+@pytest.fixture
+def test_npu():
+    """A scaled-down NPU so whole-pipeline tests stay fast."""
+    return NpuConfig(
+        name="test",
+        pe_rows=16, pe_cols=16,
+        bandwidth_gbps=4.0, dram_channels=2,
+        freq_ghz=1.0,
+        sram_bytes=64 << 10,
+    )

@@ -1,0 +1,60 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestList:
+    def test_lists_everything(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "resnet18" in out
+        assert "seda" in out
+        assert "server" in out
+
+
+class TestRun:
+    def test_run_summary(self, capsys):
+        assert main(["run", "lenet", "--npu", "edge", "--scheme", "seda"]) == 0
+        out = capsys.readouterr().out
+        assert "lenet on edge under seda" in out
+        assert "metadata bytes" in out
+
+    def test_abbreviation_accepted(self, capsys):
+        assert main(["run", "let", "--npu", "edge"]) == 0
+        assert "lenet" in capsys.readouterr().out
+
+    def test_unknown_workload_is_error(self, capsys):
+        assert main(["run", "vgg19"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestCompare:
+    def test_compare_table(self, capsys):
+        assert main(["compare", "dlrm", "--npu", "edge",
+                     "--schemes", "mgx-64b", "seda"]) == 0
+        out = capsys.readouterr().out
+        assert "mgx-64b" in out
+        assert "seda" in out
+        assert "slowdown" in out
+
+
+class TestAttack:
+    def test_attack_demo_passes(self, capsys):
+        assert main(["attack"]) == 0
+        out = capsys.readouterr().out
+        assert "SECA vs shared OTP : succeeds" in out
+        assert "SECA vs B-AES      : fails" in out
+        assert "RePA vs XOR-MAC    : succeeds" in out
+        assert "RePA vs SeDA MACs  : fails" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_invalid_npu_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "lenet", "--npu", "tpu4"])

@@ -1,0 +1,62 @@
+"""Table II configurations."""
+
+import pytest
+
+from repro.core.config import EDGE_NPU, SERVER_NPU, npu_config
+
+
+class TestTableII:
+    def test_server_parameters(self):
+        assert SERVER_NPU.pe_rows == 256
+        assert SERVER_NPU.pe_cols == 256
+        assert SERVER_NPU.bandwidth_gbps == 20.0
+        assert SERVER_NPU.dram_channels == 4
+        assert SERVER_NPU.freq_ghz == 1.0
+        assert SERVER_NPU.sram_bytes == 24 << 20
+        assert SERVER_NPU.precision_bytes == 1
+
+    def test_edge_parameters(self):
+        assert EDGE_NPU.pe_rows == 32
+        assert EDGE_NPU.pe_cols == 32
+        assert EDGE_NPU.bandwidth_gbps == 10.0
+        assert EDGE_NPU.freq_ghz == 2.75
+        assert EDGE_NPU.sram_bytes == 480 << 10
+
+    def test_table_rows_render(self):
+        row = SERVER_NPU.table_row()
+        assert row["PE"] == "256 x 256 in systolic array"
+        assert row["Bandwidth"] == "20 GB/s with 4 channels"
+        assert row["Frequency"] == "1 GHz"
+        assert row["SRAM"] == "24 MB"
+        edge_row = EDGE_NPU.table_row()
+        assert edge_row["SRAM"] == "480 KB"
+        assert edge_row["Frequency"] == "2.75 GHz"
+
+
+class TestDerived:
+    def test_systolic_array(self):
+        array = SERVER_NPU.systolic_array()
+        assert array.num_pes == 256 * 256
+
+    def test_sram_budget_total(self):
+        budget = EDGE_NPU.sram_budget()
+        assert budget.total_bytes == 480 << 10
+
+    def test_dram_config(self):
+        cfg = SERVER_NPU.dram_config()
+        assert cfg.total_bandwidth_gbps == 20.0
+        assert cfg.channels == 4
+
+    def test_bytes_per_cycle(self):
+        assert SERVER_NPU.dram_bytes_per_cycle == pytest.approx(20.0)
+        assert EDGE_NPU.dram_bytes_per_cycle == pytest.approx(10.0 / 2.75)
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert npu_config("server") is SERVER_NPU
+        assert npu_config("EDGE") is EDGE_NPU
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            npu_config("tpu-v4")

@@ -1,0 +1,76 @@
+"""Normalized metrics and scheme comparison."""
+
+import pytest
+
+from repro.core.metrics import (
+    arithmetic_mean,
+    compare_schemes,
+    geometric_mean,
+    normalized_performance,
+    normalized_traffic,
+)
+from repro.core.pipeline import Pipeline
+from repro.models.layer import conv
+from repro.models.topology import Topology
+from repro.protection import SCHEME_NAMES
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    from repro.core.config import NpuConfig
+    npu = NpuConfig(name="test", pe_rows=16, pe_cols=16,
+                    bandwidth_gbps=4.0, dram_channels=2, freq_ghz=1.0,
+                    sram_bytes=64 << 10)
+    topology = Topology("m", [
+        conv("c1", 34, 34, 3, 3, 8, 16),
+        conv("c2", 32, 32, 3, 3, 16, 32),
+    ])
+    return compare_schemes(Pipeline(npu), topology, SCHEME_NAMES)
+
+
+class TestComparison:
+    def test_all_schemes_present(self, comparison):
+        assert set(comparison.scheme_names) == set(SCHEME_NAMES)
+
+    def test_traffic_at_least_one(self, comparison):
+        for name in SCHEME_NAMES:
+            assert comparison.traffic(name) >= 1.0
+
+    def test_performance_at_most_one(self, comparison):
+        for name in SCHEME_NAMES:
+            assert comparison.performance(name) <= 1.0 + 1e-9
+
+    def test_seda_near_baseline(self, comparison):
+        assert comparison.traffic("seda") < 1.01
+        assert comparison.performance("seda") > 0.99
+
+    def test_overhead_helpers(self, comparison):
+        traffic_pct = comparison.traffic_overhead_pct("sgx-64b")
+        slowdown_pct = comparison.slowdown_pct("sgx-64b")
+        assert traffic_pct > 0
+        assert slowdown_pct >= 0
+        assert traffic_pct == pytest.approx(
+            (comparison.traffic("sgx-64b") - 1) * 100)
+
+    def test_normalizers_validate(self, comparison):
+        baseline = comparison.baseline
+        assert normalized_traffic(baseline, baseline) == 1.0
+        assert normalized_performance(baseline, baseline) == 1.0
+
+
+class TestMeans:
+    def test_geometric(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_arithmetic(self):
+        assert arithmetic_mean([1.0, 3.0]) == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            arithmetic_mean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])

@@ -1,0 +1,80 @@
+"""End-to-end pipeline on a scaled-down NPU."""
+
+import pytest
+
+from repro.core.pipeline import Pipeline
+from repro.models.layer import conv, gemm
+from repro.models.topology import Topology
+from repro.protection import make_scheme
+
+
+@pytest.fixture
+def topology():
+    return Topology("pipe", [
+        conv("c1", 34, 34, 3, 3, 8, 16),
+        conv("c2", 32, 32, 3, 3, 16, 16),
+        gemm("fc", 1, 16 * 30 * 30, 10),
+    ])
+
+
+@pytest.fixture
+def pipeline(test_npu):
+    return Pipeline(test_npu)
+
+
+class TestBaselineRun:
+    def test_runs_all_layers(self, pipeline, topology):
+        run = pipeline.run(topology, make_scheme("baseline"))
+        assert len(run.layers) == len(topology)
+        assert run.total_cycles > 0
+
+    def test_layer_time_is_max_of_resources(self, pipeline, topology):
+        run = pipeline.run(topology, make_scheme("baseline"))
+        for timing in run.layers:
+            assert timing.total_cycles == max(
+                timing.compute_cycles, timing.dram_cycles,
+                timing.crypto_cycles)
+            assert timing.bottleneck in ("compute", "memory", "crypto")
+
+    def test_no_metadata(self, pipeline, topology):
+        run = pipeline.run(topology, make_scheme("baseline"))
+        assert run.metadata_bytes == 0
+
+    def test_time_conversion(self, pipeline, topology):
+        run = pipeline.run(topology, make_scheme("baseline"))
+        assert run.total_time_ms == pytest.approx(
+            run.total_cycles / (pipeline.npu.freq_ghz * 1e6))
+
+
+class TestProtectedRuns:
+    def test_scheme_adds_time(self, pipeline, topology):
+        baseline = pipeline.run(topology, make_scheme("baseline"))
+        sgx = pipeline.run(topology, make_scheme("sgx-64b"))
+        assert sgx.total_cycles >= baseline.total_cycles
+        assert sgx.metadata_bytes > 0
+
+    def test_model_run_reuse(self, pipeline, topology):
+        model_run = pipeline.simulate_model(topology)
+        a = pipeline.run(topology, make_scheme("seda"), model_run=model_run)
+        b = pipeline.run(topology, make_scheme("seda"), model_run=model_run)
+        assert a.total_cycles == b.total_cycles
+
+    def test_fast_and_reference_dram_agree_on_busy(self, test_npu, topology):
+        fast = Pipeline(test_npu, use_fast_dram=True)
+        slow = Pipeline(test_npu, use_fast_dram=False)
+        run_fast = fast.run(topology, make_scheme("baseline"))
+        run_slow = slow.run(topology, make_scheme("baseline"))
+        assert run_fast.total_cycles == pytest.approx(
+            run_slow.total_cycles, rel=0.05)
+
+    def test_bottleneck_histogram(self, pipeline, topology):
+        run = pipeline.run(topology, make_scheme("baseline"))
+        histogram = run.bottleneck_histogram()
+        assert sum(histogram.values()) == len(run.layers)
+
+
+class TestFlushAccounting:
+    def test_sgx_flush_layer_present(self, pipeline, topology):
+        """Dirty metadata evictions at end-of-model become a tail entry."""
+        run = pipeline.run(topology, make_scheme("sgx-64b"))
+        assert len(run.layers) >= len(topology)

@@ -1,0 +1,53 @@
+"""SweepRunner: memoization and aggregation."""
+
+import pytest
+
+from repro.core.sweep import SweepRunner
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SweepRunner(scheme_names=["mgx-64b", "seda"])
+
+
+class TestMemoization:
+    def test_compare_cached(self, runner):
+        first = runner.compare("edge", "lenet")
+        second = runner.compare("edge", "lenet")
+        assert first is second
+
+    def test_sweep_subset(self, runner):
+        results = runner.sweep("edge", workloads=["lenet", "dlrm"])
+        assert set(results) == {"lenet", "dlrm"}
+
+    def test_progress_callback(self, runner):
+        seen = []
+        runner.sweep("edge", workloads=["lenet"],
+                     progress=lambda npu, w: seen.append((npu, w)))
+        assert seen == [("edge", "lenet")]
+
+
+class TestAggregation:
+    def test_series_has_average(self, runner):
+        results = runner.sweep("edge", workloads=["lenet", "dlrm"])
+        series = runner.series(results, "seda", "traffic")
+        assert len(series) == 3
+        assert series[-1] == pytest.approx(sum(series[:2]) / 2)
+
+    def test_all_metrics_work(self, runner):
+        results = runner.sweep("edge", workloads=["lenet"])
+        for metric in ("traffic", "performance", "traffic_overhead_pct",
+                       "slowdown_pct"):
+            values = runner.series(results, "seda", metric)
+            assert len(values) == 2
+
+    def test_unknown_metric(self, runner):
+        results = runner.sweep("edge", workloads=["lenet"])
+        with pytest.raises(ValueError):
+            runner.series(results, "seda", "latency")
+
+    def test_figure_table_shape(self, runner):
+        results = runner.sweep("edge", workloads=["lenet", "dlrm"])
+        table = runner.figure_table(results, "performance")
+        assert set(table) == {"mgx-64b", "seda"}
+        assert all(len(v) == 3 for v in table.values())

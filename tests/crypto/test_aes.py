@@ -1,0 +1,148 @@
+"""FIPS-197 known-answer tests and structural properties of the AES core."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import (
+    Aes,
+    INV_SBOX,
+    RCON,
+    SBOX,
+    gf_mul,
+    key_expansion,
+)
+
+
+class TestGfMul:
+    def test_identity(self):
+        assert gf_mul(0x57, 1) == 0x57
+
+    def test_fips_example(self):
+        # FIPS-197 section 4.2: {57} x {13} = {fe}
+        assert gf_mul(0x57, 0x13) == 0xFE
+
+    def test_by_two(self):
+        assert gf_mul(0x80, 2) == 0x1B  # wraps through the polynomial
+
+    def test_zero(self):
+        assert gf_mul(0, 0xAB) == 0
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_commutative(self, a, b):
+        assert gf_mul(a, b) == gf_mul(b, a)
+
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=50)
+    def test_distributive(self, a, b, c):
+        assert gf_mul(a, b ^ c) == gf_mul(a, b) ^ gf_mul(a, c)
+
+
+class TestSbox:
+    def test_known_entries(self):
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x01] == 0x7C
+        assert SBOX[0x53] == 0xED
+        assert SBOX[0xFF] == 0x16
+
+    def test_is_permutation(self):
+        assert sorted(SBOX) == list(range(256))
+
+    def test_inverse_consistency(self):
+        for x in range(256):
+            assert INV_SBOX[SBOX[x]] == x
+
+    def test_no_fixed_points(self):
+        # The AES S-box has no fixed points and no anti-fixed points.
+        for x in range(256):
+            assert SBOX[x] != x
+            assert SBOX[x] != x ^ 0xFF
+
+
+class TestKeyExpansion:
+    def test_rcon_values(self):
+        assert RCON[:10] == [0x01, 0x02, 0x04, 0x08, 0x10,
+                             0x20, 0x40, 0x80, 0x1B, 0x36]
+
+    def test_aes128_first_words(self):
+        # FIPS-197 Appendix A.1 key schedule for 2b7e1516...
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        words = key_expansion(key)
+        assert words[4] == 0xA0FAFE17
+        assert words[5] == 0x88542CB1
+        assert words[43] == 0xB6630CA6
+
+    def test_word_counts(self):
+        assert len(key_expansion(bytes(16))) == 44
+        assert len(key_expansion(bytes(24))) == 52
+        assert len(key_expansion(bytes(32))) == 60
+
+    def test_invalid_key_length(self):
+        with pytest.raises(ValueError):
+            key_expansion(bytes(15))
+
+
+class TestFips197Vectors:
+    PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+    def test_aes128(self):
+        cipher = Aes(bytes(range(16)))
+        assert cipher.encrypt_block(self.PLAINTEXT).hex() == \
+            "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+    def test_aes192(self):
+        cipher = Aes(bytes(range(24)))
+        assert cipher.encrypt_block(self.PLAINTEXT).hex() == \
+            "dda97ca4864cdfe06eaf70a0ec0d7191"
+
+    def test_aes256(self):
+        cipher = Aes(bytes(range(32)))
+        assert cipher.encrypt_block(self.PLAINTEXT).hex() == \
+            "8ea2b7ca516745bfeafc49904b496089"
+
+    def test_appendix_b(self):
+        cipher = Aes(bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c"))
+        ct = cipher.encrypt_block(
+            bytes.fromhex("3243f6a8885a308d313198a2e0370734"))
+        assert ct.hex() == "3925841d02dc09fbdc118597196a0b32"
+
+    def test_decrypt_vectors(self):
+        for key_len in (16, 24, 32):
+            cipher = Aes(bytes(range(key_len)))
+            ct = cipher.encrypt_block(self.PLAINTEXT)
+            assert cipher.decrypt_block(ct) == self.PLAINTEXT
+
+
+class TestBlockCipherProperties:
+    @given(st.binary(min_size=16, max_size=16),
+           st.binary(min_size=16, max_size=16))
+    @settings(max_examples=30)
+    def test_roundtrip(self, key, block):
+        cipher = Aes(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    @given(st.binary(min_size=16, max_size=16))
+    @settings(max_examples=20)
+    def test_diffusion(self, block):
+        """Flipping one plaintext bit changes many ciphertext bits."""
+        cipher = Aes(b"k" * 16)
+        base = cipher.encrypt_block(block)
+        flipped = bytes([block[0] ^ 1]) + block[1:]
+        other = cipher.encrypt_block(flipped)
+        differing_bits = sum(
+            bin(a ^ b).count("1") for a, b in zip(base, other))
+        assert differing_bits >= 30  # avalanche: ~64 expected
+
+    def test_wrong_block_size(self):
+        cipher = Aes(bytes(16))
+        with pytest.raises(ValueError):
+            cipher.encrypt_block(bytes(15))
+        with pytest.raises(ValueError):
+            cipher.decrypt_block(bytes(17))
+
+    def test_round_keys_exposed(self):
+        cipher = Aes(bytes(16))
+        round_keys = cipher.round_keys_bytes
+        assert len(round_keys) == 11
+        assert all(len(rk) == 16 for rk in round_keys)
+        assert round_keys[0] == bytes(16)  # first round key is the key

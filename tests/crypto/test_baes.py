@@ -1,0 +1,101 @@
+"""Bandwidth-aware AES (B-AES): OTP diversification and equivalence."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import Aes
+from repro.crypto.baes import BandwidthAwareAes
+from repro.crypto.ctr import make_counter
+from repro.utils.bitops import xor_bytes
+
+KEY = b"\x07" * 16
+
+
+class TestOtpDerivation:
+    def test_otps_distinct(self):
+        engine = BandwidthAwareAes(KEY)
+        otps = engine.otps(pa=0x40, vn=1, count=11)
+        assert len(set(otps)) == 11
+
+    def test_otps_beyond_round_keys(self):
+        """Blocks larger than 11 segments extend the key schedule."""
+        engine = BandwidthAwareAes(KEY)
+        otps = engine.otps(pa=0x40, vn=1, count=40)
+        assert len(set(otps)) == 40
+
+    def test_otp_matches_algorithm1(self):
+        """OTP_i == AES(PA||VN) xor key_i (Algorithm 1, defense line 7)."""
+        engine = BandwidthAwareAes(KEY)
+        base = Aes(KEY).encrypt_block(make_counter(0x40, 1, 0))
+        round_keys = Aes(KEY).round_keys_bytes
+        otps = engine.otps(pa=0x40, vn=1, count=4)
+        for i in range(4):
+            assert otps[i] == xor_bytes(base, round_keys[i])
+
+    def test_mask_count_validation(self):
+        engine = BandwidthAwareAes(KEY)
+        with pytest.raises(ValueError):
+            engine.segment_masks(0, 0, -1)
+        assert engine.segment_masks(0, 0, 0) == []
+
+
+class TestEncryption:
+    def test_roundtrip(self):
+        engine = BandwidthAwareAes(KEY)
+        data = bytes(range(128))
+        ct = engine.encrypt(data, pa=0x80, vn=5)
+        assert ct != data
+        assert engine.decrypt(ct, pa=0x80, vn=5) == data
+
+    def test_non_multiple_length(self):
+        engine = BandwidthAwareAes(KEY)
+        data = b"x" * 50
+        ct = engine.encrypt(data, pa=0, vn=1)
+        assert len(ct) == 50
+        assert engine.decrypt(ct, pa=0, vn=1) == data
+
+    def test_identical_segments_encrypt_differently(self):
+        """The SECA-defeating property: no shared OTP across segments."""
+        engine = BandwidthAwareAes(KEY)
+        data = bytes(512)  # 32 identical zero segments
+        ct = engine.encrypt(data, pa=0, vn=1)
+        segments = [ct[i:i + 16] for i in range(0, 512, 16)]
+        assert len(set(segments)) == 32
+
+    def test_vn_freshness(self):
+        engine = BandwidthAwareAes(KEY)
+        data = bytes(64)
+        assert engine.encrypt(data, 0, 1) != engine.encrypt(data, 0, 2)
+
+    @given(st.binary(min_size=1, max_size=600),
+           st.integers(0, 2**30), st.integers(0, 2**30))
+    @settings(max_examples=25)
+    def test_roundtrip_property(self, data, pa, vn):
+        engine = BandwidthAwareAes(KEY)
+        assert engine.decrypt(engine.encrypt(data, pa, vn), pa, vn) == data
+
+
+class TestHardwareAccounting:
+    def test_single_invocation_small_block(self):
+        engine = BandwidthAwareAes(KEY)
+        # 64 B = 4 segments, well within the 11 round keys.
+        assert engine.aes_invocations_per_block(64) == 1
+
+    def test_schedule_extension_cost(self):
+        engine = BandwidthAwareAes(KEY)
+        # 512 B = 32 segments -> 2 extra schedules beyond the primary 11.
+        assert engine.aes_invocations_per_block(512) == 3
+
+    def test_invalid_block(self):
+        engine = BandwidthAwareAes(KEY)
+        with pytest.raises(ValueError):
+            engine.aes_invocations_per_block(0)
+
+    def test_far_fewer_invocations_than_ctr(self):
+        """The hardware-efficiency claim: B-AES does ~1 AES per block
+        where standard CTR does one per 16 B segment."""
+        engine = BandwidthAwareAes(KEY)
+        block = 128
+        ctr_invocations = block // 16
+        assert engine.aes_invocations_per_block(block) < ctr_invocations

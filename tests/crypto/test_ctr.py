@@ -1,0 +1,117 @@
+"""AES-CTR mode: counter construction and stream properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.ctr import (
+    AesCtr,
+    PA_BITS,
+    SEGMENT_BITS,
+    VN_BITS,
+    make_counter,
+    split_counter,
+)
+
+KEY = b"\x01" * 16
+
+
+class TestCounter:
+    def test_roundtrip(self):
+        counter = make_counter(pa=0x1234, vn=42, segment=7)
+        assert split_counter(counter) == (0x1234, 42, 7)
+
+    def test_zero(self):
+        assert split_counter(make_counter(0, 0, 0)) == (0, 0, 0)
+
+    def test_max_values(self):
+        pa = (1 << PA_BITS) - 1
+        vn = (1 << VN_BITS) - 1
+        seg = (1 << SEGMENT_BITS) - 1
+        assert split_counter(make_counter(pa, vn, seg)) == (pa, vn, seg)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            make_counter(1 << PA_BITS, 0)
+        with pytest.raises(ValueError):
+            make_counter(0, 1 << VN_BITS)
+        with pytest.raises(ValueError):
+            make_counter(0, 0, 1 << SEGMENT_BITS)
+        with pytest.raises(ValueError):
+            make_counter(-1, 0)
+
+    def test_distinct_fields_distinct_counters(self):
+        base = make_counter(1, 1, 1)
+        assert make_counter(2, 1, 1) != base
+        assert make_counter(1, 2, 1) != base
+        assert make_counter(1, 1, 2) != base
+
+    @given(st.integers(0, (1 << PA_BITS) - 1),
+           st.integers(0, (1 << VN_BITS) - 1),
+           st.integers(0, (1 << SEGMENT_BITS) - 1))
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, pa, vn, seg):
+        assert split_counter(make_counter(pa, vn, seg)) == (pa, vn, seg)
+
+
+class TestCtrMode:
+    def test_roundtrip(self):
+        ctr = AesCtr(KEY)
+        data = bytes(range(64))
+        ct = ctr.encrypt(data, pa=0x1000, vn=3)
+        assert ct != data
+        assert ctr.decrypt(ct, pa=0x1000, vn=3) == data
+
+    def test_non_multiple_length(self):
+        ctr = AesCtr(KEY)
+        data = b"hello world"  # 11 bytes
+        ct = ctr.encrypt(data, pa=0, vn=1)
+        assert len(ct) == len(data)
+        assert ctr.decrypt(ct, pa=0, vn=1) == data
+
+    def test_vn_change_changes_ciphertext(self):
+        ctr = AesCtr(KEY)
+        data = bytes(64)
+        assert ctr.encrypt(data, pa=0, vn=1) != ctr.encrypt(data, pa=0, vn=2)
+
+    def test_pa_change_changes_ciphertext(self):
+        ctr = AesCtr(KEY)
+        data = bytes(64)
+        assert ctr.encrypt(data, pa=0, vn=1) != ctr.encrypt(data, pa=64, vn=1)
+
+    def test_wrong_vn_fails_decrypt(self):
+        ctr = AesCtr(KEY)
+        data = bytes(range(32))
+        ct = ctr.encrypt(data, pa=0, vn=1)
+        assert ctr.decrypt(ct, pa=0, vn=2) != data
+
+    def test_segments_use_distinct_otps(self):
+        """Standard CTR: equal plaintext segments encrypt differently."""
+        ctr = AesCtr(KEY)
+        data = bytes(64)  # four identical zero segments
+        ct = ctr.encrypt(data, pa=0, vn=1)
+        segments = [ct[i:i + 16] for i in range(0, 64, 16)]
+        assert len(set(segments)) == 4
+
+    @given(st.binary(min_size=1, max_size=256),
+           st.integers(0, 2**32), st.integers(0, 2**32))
+    @settings(max_examples=30)
+    def test_roundtrip_property(self, data, pa, vn):
+        ctr = AesCtr(KEY)
+        assert ctr.decrypt(ctr.encrypt(data, pa, vn), pa, vn) == data
+
+
+class TestSharedOtpVariant:
+    def test_shared_otp_repeats(self):
+        """The insecure variant visibly leaks segment equality."""
+        ctr = AesCtr(KEY)
+        data = bytes(64)
+        ct = ctr.encrypt_shared_otp(data, pa=0, vn=1)
+        segments = [ct[i:i + 16] for i in range(0, 64, 16)]
+        assert len(set(segments)) == 1
+
+    def test_shared_otp_roundtrip(self):
+        ctr = AesCtr(KEY)
+        data = bytes(range(48))
+        ct = ctr.encrypt_shared_otp(data, pa=4, vn=9)
+        assert ctr.decrypt_shared_otp(ct, pa=4, vn=9) == data

@@ -1,0 +1,85 @@
+"""Crypto-engine timing models (Fig. 1(e) / Fig. 2(c) behaviour)."""
+
+import pytest
+
+from repro.crypto.engine import (
+    AesEngineSpec,
+    CryptoEngineModel,
+    bandwidth_aware_engine,
+    engines_needed,
+    parallel_engines,
+    serial_engine,
+)
+
+
+class TestEngineSpec:
+    def test_latency(self):
+        assert AesEngineSpec(rounds=10).latency_cycles == 11
+
+    def test_pipelined_throughput(self):
+        assert AesEngineSpec(pipelined=True).bytes_per_cycle == 16.0
+
+    def test_serial_throughput(self):
+        spec = AesEngineSpec(rounds=10, pipelined=False)
+        assert spec.bytes_per_cycle == pytest.approx(16 / 11)
+
+
+class TestOrganizations:
+    def test_serial_cannot_meet_bandwidth(self):
+        """Fig. 1(e): a serial engine misses accelerator bandwidth."""
+        engine = serial_engine()
+        # Server NPU: 20 GB/s at 1 GHz -> 20 B/cycle needed.
+        assert not engine.meets_bandwidth(20.0, freq_ghz=1.0)
+
+    def test_parallel_meets_bandwidth(self):
+        assert parallel_engines(4).meets_bandwidth(20.0, freq_ghz=1.0)
+
+    def test_baes_matches_parallel_throughput(self):
+        """B-AES with N lanes sustains the same rate as N engines."""
+        for n in (1, 2, 4, 8):
+            assert bandwidth_aware_engine(n).bytes_per_cycle == \
+                parallel_engines(n).bytes_per_cycle
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CryptoEngineModel(AesEngineSpec(), engines=0)
+        with pytest.raises(ValueError):
+            CryptoEngineModel(AesEngineSpec(), xor_lanes=0)
+        with pytest.raises(ValueError):
+            parallel_engines(1).bandwidth_gbps(0)
+
+
+class TestCycleAccounting:
+    def test_zero_bytes(self):
+        assert parallel_engines(1).cycles_for_bytes(0) == 0
+
+    def test_single_block_is_latency(self):
+        assert parallel_engines(1).cycles_for_bytes(16) == 11
+
+    def test_throughput_limited(self):
+        engine = parallel_engines(1)
+        cycles = engine.cycles_for_bytes(16 * 1000)
+        assert cycles == 11 + 999
+
+    def test_negative_bytes(self):
+        with pytest.raises(ValueError):
+            parallel_engines(1).cycles_for_bytes(-1)
+
+    def test_more_lanes_fewer_cycles(self):
+        nbytes = 64 << 10
+        slow = bandwidth_aware_engine(1).cycles_for_bytes(nbytes)
+        fast = bandwidth_aware_engine(4).cycles_for_bytes(nbytes)
+        assert fast < slow
+
+
+class TestEnginesNeeded:
+    def test_server_needs_two(self):
+        # 20 GB/s at 1 GHz = 20 B/cyc; one engine gives 16 B/cyc.
+        assert engines_needed(20.0, 1.0) == 2
+
+    def test_edge_needs_one(self):
+        # 10 GB/s at 2.75 GHz = 3.6 B/cyc.
+        assert engines_needed(10.0, 2.75) == 1
+
+    def test_exact_fit(self):
+        assert engines_needed(16.0, 1.0) == 1

@@ -1,0 +1,101 @@
+"""Keyed MAC: binding, verification and XOR-fold algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.mac import MAC_BYTES, BlockMac, MacContext, xor_fold
+
+KEY = b"\x0c" * 16
+
+
+class TestBlockMac:
+    def test_deterministic(self):
+        mac = BlockMac(KEY)
+        ctx = MacContext(pa=64, vn=1)
+        assert mac.mac(b"data" * 16, ctx) == mac.mac(b"data" * 16, ctx)
+
+    def test_length(self):
+        mac = BlockMac(KEY)
+        assert len(mac.mac(bytes(64), MacContext(0, 0))) == MAC_BYTES
+
+    def test_verify_accepts(self):
+        mac = BlockMac(KEY)
+        ctx = MacContext(pa=64, vn=1, layer_id=3, fmap_idx=1, blk_idx=9)
+        tag = mac.mac(bytes(range(64)), ctx)
+        assert mac.verify(bytes(range(64)), tag, ctx)
+
+    def test_verify_rejects_modified_data(self):
+        mac = BlockMac(KEY)
+        ctx = MacContext(pa=64, vn=1)
+        tag = mac.mac(bytes(64), ctx)
+        tampered = b"\x01" + bytes(63)
+        assert not mac.verify(tampered, tag, ctx)
+
+    def test_key_separation(self):
+        ctx = MacContext(pa=0, vn=0)
+        assert BlockMac(KEY).mac(bytes(16), ctx) != \
+            BlockMac(b"\x0d" * 16).mac(bytes(16), ctx)
+
+    @pytest.mark.parametrize("field,value", [
+        ("pa", 128), ("vn", 2), ("layer_id", 1),
+        ("fmap_idx", 1), ("blk_idx", 1),
+    ])
+    def test_every_context_field_binds(self, field, value):
+        """Changing any location field must change the MAC (RePA defense)."""
+        mac = BlockMac(KEY)
+        base_ctx = MacContext(pa=64, vn=1, layer_id=0, fmap_idx=0, blk_idx=0)
+        changed = MacContext(**{**base_ctx.__dict__, field: value})
+        data = bytes(range(32))
+        assert mac.mac(data, base_ctx) != mac.mac(data, changed)
+
+    def test_ciphertext_only_ignores_context(self):
+        mac = BlockMac(KEY)
+        data = bytes(range(32))
+        assert mac.mac_ciphertext_only(data) == mac.mac(data, None)
+
+    def test_length_extension_guard(self):
+        """The length prefix distinguishes same-prefix messages."""
+        mac = BlockMac(KEY)
+        assert mac.mac_ciphertext_only(bytes(16)) != \
+            mac.mac_ciphertext_only(bytes(32))
+
+    @given(st.binary(min_size=0, max_size=128))
+    @settings(max_examples=30)
+    def test_distinct_data_distinct_macs(self, data):
+        mac = BlockMac(KEY)
+        base = mac.mac_ciphertext_only(bytes(len(data)))
+        if data != bytes(len(data)):
+            assert mac.mac_ciphertext_only(data) != base
+
+
+class TestXorFold:
+    def test_empty_is_zero(self):
+        assert xor_fold([]) == bytes(MAC_BYTES)
+
+    def test_self_cancel(self):
+        tag = b"\xaa" * MAC_BYTES
+        assert xor_fold([tag, tag]) == bytes(MAC_BYTES)
+
+    def test_order_independent(self):
+        """XOR commutes — exactly the property RePA exploits."""
+        tags = [bytes([i] * MAC_BYTES) for i in range(5)]
+        assert xor_fold(tags) == xor_fold(reversed(tags))
+
+    def test_incremental_update(self):
+        """fold(S \\ {a} + {b}) == fold(S) ^ a ^ b."""
+        tags = [bytes([i + 1] * MAC_BYTES) for i in range(4)]
+        folded = xor_fold(tags)
+        replacement = b"\x99" * MAC_BYTES
+        updated = xor_fold([folded, tags[2], replacement])
+        direct = xor_fold(tags[:2] + [replacement] + tags[3:])
+        assert updated == direct
+
+    @given(st.lists(st.binary(min_size=MAC_BYTES, max_size=MAC_BYTES),
+                    max_size=16))
+    @settings(max_examples=50)
+    def test_associative_property(self, tags):
+        if len(tags) < 2:
+            return
+        left = xor_fold([xor_fold(tags[:2])] + tags[2:])
+        assert left == xor_fold(tags)

@@ -1,0 +1,51 @@
+"""Address -> (channel, bank, row) mapping."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.mapping import AddressMapping
+from repro.dram.timing import DramConfig
+
+CFG = DramConfig(total_bandwidth_gbps=16.0, channels=4,
+                 banks_per_channel=8, row_bytes=1024)
+MAPPING = AddressMapping(CFG)
+
+
+class TestInterleaving:
+    def test_consecutive_blocks_round_robin_channels(self):
+        addrs = np.arange(8, dtype=np.uint64) * 64
+        channels, _, _ = MAPPING.decompose(addrs)
+        assert list(channels) == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_row_fills_before_bank_changes(self):
+        # Channel-local blocks: one row holds row_bytes/64 = 16 blocks.
+        addrs = np.arange(0, 64 * 4 * 17, 64 * 4, dtype=np.uint64)  # channel 0
+        _, banks, rows = MAPPING.decompose(addrs)
+        assert (banks[:16] == banks[0]).all()
+        assert banks[16] == banks[0] + 1
+        assert (rows[:16] == rows[0]).all()
+
+    def test_row_advances_after_all_banks(self):
+        blocks_per_row = CFG.blocks_per_row
+        stride = 64 * CFG.channels
+        one_row_all_banks = blocks_per_row * CFG.banks_per_channel
+        addr = one_row_all_banks * stride
+        _, bank, row = MAPPING.decompose_one(addr)
+        assert bank == 0
+        assert row == 1
+
+    def test_decompose_one_matches_vector(self):
+        for addr in (0, 64, 4096, 123456 * 64):
+            single = MAPPING.decompose_one(addr)
+            channel, bank, row = MAPPING.decompose(
+                np.asarray([addr], dtype=np.uint64))
+            assert single == (channel[0], bank[0], row[0])
+
+    @given(st.integers(0, 2**34 // 64))
+    @settings(max_examples=100)
+    def test_fields_in_range(self, block):
+        channel, bank, row = MAPPING.decompose_one(block * 64)
+        assert 0 <= channel < CFG.channels
+        assert 0 <= bank < CFG.banks_per_channel
+        assert row >= 0

@@ -1,0 +1,124 @@
+"""DRAM timing: reference event model vs vectorized fast model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel.trace import BlockStream
+from repro.dram.simulator import DramSim
+from repro.dram.timing import DramConfig, SERVER_DRAM
+
+
+def _stream(addrs, cycles=None, writes=None):
+    n = len(addrs)
+    return BlockStream(
+        np.asarray(cycles if cycles is not None else np.zeros(n), np.int64),
+        np.asarray(addrs, np.uint64),
+        np.asarray(writes if writes is not None else np.zeros(n, bool), bool),
+        np.zeros(n, np.int32),
+    )
+
+
+@pytest.fixture
+def sim():
+    return DramSim(SERVER_DRAM, freq_ghz=1.0)
+
+
+class TestEmptyAndTrivial:
+    def test_empty_stream(self, sim):
+        result = sim.simulate(_stream([]))
+        assert result.requests == 0
+        assert result.busy_cycles == 0.0
+        fast = sim.simulate_fast(_stream([]))
+        assert fast.requests == 0
+
+    def test_single_request(self, sim):
+        result = sim.simulate(_stream([0]))
+        assert result.requests == 1
+        assert result.row_misses == 1  # cold row buffer
+        assert result.completion_cycle > 0
+
+
+class TestRowBufferBehaviour:
+    def test_sequential_mostly_hits(self, sim):
+        addrs = np.arange(4096, dtype=np.uint64) * 64
+        result = sim.simulate_fast(_stream(addrs))
+        assert result.row_hit_rate > 0.9
+
+    def test_random_mostly_misses(self, sim):
+        rng = np.random.default_rng(7)
+        addrs = rng.integers(0, 1 << 22, 4096).astype(np.uint64) * 64
+        result = sim.simulate_fast(_stream(addrs))
+        assert result.row_hit_rate < 0.2
+
+    def test_interleaved_streams_thrash(self, sim):
+        """Alternating far-apart regions in the same banks adds misses."""
+        a = np.arange(1024, dtype=np.uint64) * 64
+        b = a + (1 << 30)
+        interleaved = np.empty(2048, dtype=np.uint64)
+        interleaved[0::2] = a
+        interleaved[1::2] = b
+        seq = sim.simulate_fast(_stream(np.concatenate([a, b])))
+        mix = sim.simulate_fast(_stream(interleaved))
+        assert mix.row_misses > seq.row_misses
+
+    def test_repeated_same_block_hits(self, sim):
+        addrs = np.zeros(100, dtype=np.uint64)
+        result = sim.simulate_fast(_stream(addrs))
+        assert result.row_misses == 1
+
+
+class TestFastVsReference:
+    @given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_miss_counts_agree(self, blocks):
+        sim = DramSim(SERVER_DRAM, freq_ghz=1.0)
+        addrs = np.asarray(blocks, dtype=np.uint64) * 64
+        ref = sim.simulate(_stream(addrs))
+        fast = sim.simulate_fast(_stream(addrs))
+        assert ref.row_misses == fast.row_misses
+        assert ref.row_hits == fast.row_hits
+
+    @given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_busy_times_agree(self, blocks):
+        """Both engines account identical per-channel busy time."""
+        sim = DramSim(SERVER_DRAM, freq_ghz=1.0)
+        addrs = np.asarray(blocks, dtype=np.uint64) * 64
+        ref = sim.simulate(_stream(addrs))
+        fast = sim.simulate_fast(_stream(addrs))
+        assert ref.busy_cycles == pytest.approx(fast.busy_cycles, rel=1e-9)
+
+    def test_completion_bounds_busy(self, sim):
+        addrs = np.arange(2000, dtype=np.uint64) * 64
+        ref = sim.simulate(_stream(addrs))
+        assert ref.completion_cycle >= ref.busy_cycles
+
+
+class TestBandwidthScaling:
+    def test_busy_scales_with_bandwidth(self):
+        addrs = np.arange(4096, dtype=np.uint64) * 64
+        fast_cfg = DramConfig(total_bandwidth_gbps=40.0)
+        slow_cfg = DramConfig(total_bandwidth_gbps=10.0)
+        fast = DramSim(fast_cfg, 1.0).simulate_fast(_stream(addrs))
+        slow = DramSim(slow_cfg, 1.0).simulate_fast(_stream(addrs))
+        assert slow.busy_cycles > 3.5 * fast.busy_cycles
+
+    def test_frequency_scaling(self):
+        addrs = np.arange(1024, dtype=np.uint64) * 64
+        base = DramSim(SERVER_DRAM, 1.0).simulate_fast(_stream(addrs))
+        double = DramSim(SERVER_DRAM, 2.0).simulate_fast(_stream(addrs))
+        # Same wall-clock service = twice the cycles at twice the clock.
+        assert double.busy_cycles == pytest.approx(2 * base.busy_cycles)
+
+    def test_ideal_bandwidth_bound(self, sim):
+        """Busy time never beats the pure-bandwidth lower bound."""
+        addrs = np.arange(8192, dtype=np.uint64) * 64
+        result = sim.simulate_fast(_stream(addrs))
+        ideal = 8192 * 64 / 20.0  # ns at 20 GB/s == cycles at 1 GHz
+        assert result.busy_cycles >= ideal / SERVER_DRAM.channels * 0.99
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ValueError):
+            DramSim(SERVER_DRAM, 0)

@@ -1,0 +1,38 @@
+"""DRAM configuration and timing arithmetic."""
+
+import pytest
+
+from repro.dram.timing import DramConfig, DramTiming, EDGE_DRAM, SERVER_DRAM
+
+
+class TestTiming:
+    def test_row_miss_penalty(self):
+        timing = DramTiming(t_rcd_ns=14.0, t_rp_ns=14.0)
+        assert timing.row_miss_penalty_ns == 28.0
+
+
+class TestConfig:
+    def test_channel_bandwidth(self):
+        assert SERVER_DRAM.channel_bandwidth_gbps == 5.0
+        assert EDGE_DRAM.channel_bandwidth_gbps == 2.5
+
+    def test_burst_time(self):
+        # 64 B at 5 GB/s per channel = 12.8 ns.
+        assert SERVER_DRAM.burst_ns == pytest.approx(12.8)
+
+    def test_blocks_per_row(self):
+        assert SERVER_DRAM.blocks_per_row == 2048 // 64
+
+    def test_cycle_conversion(self):
+        assert SERVER_DRAM.to_cycles(10.0, freq_ghz=1.0) == 10.0
+        assert SERVER_DRAM.to_cycles(10.0, freq_ghz=2.75) == pytest.approx(27.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DramConfig(total_bandwidth_gbps=0)
+        with pytest.raises(ValueError):
+            DramConfig(total_bandwidth_gbps=10, channels=0)
+        with pytest.raises(ValueError):
+            DramConfig(total_bandwidth_gbps=10, row_bytes=100)
+        with pytest.raises(ValueError):
+            SERVER_DRAM.to_cycles(1.0, freq_ghz=0)

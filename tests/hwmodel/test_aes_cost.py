@@ -1,0 +1,93 @@
+"""28 nm area/power model: the Fig. 4 scaling claim."""
+
+import pytest
+
+from repro.hwmodel.aes_cost import (
+    BAES_28NM,
+    TAES_28NM,
+    lanes_for_npu_bandwidth,
+    sweep_bandwidth,
+)
+
+
+class TestTaesScaling:
+    def test_linear_area(self):
+        points = sweep_bandwidth(TAES_28NM, 8)
+        unit = points[0].area_um2
+        for point in points:
+            assert point.area_um2 == pytest.approx(
+                unit * point.bandwidth_multiple)
+
+    def test_linear_power(self):
+        points = sweep_bandwidth(TAES_28NM, 8)
+        unit = points[0].power_uw
+        assert points[-1].power_uw == pytest.approx(8 * unit)
+
+    def test_engine_counts(self):
+        points = sweep_bandwidth(TAES_28NM, 4)
+        assert [p.engines for p in points] == [1, 2, 3, 4]
+
+
+class TestBaesScaling:
+    def test_single_engine_always(self):
+        for point in sweep_bandwidth(BAES_28NM, 8):
+            assert point.engines == 1
+
+    def test_near_flat_area(self):
+        """Fig. 4 shape: B-AES 8x costs barely more than 1x."""
+        points = sweep_bandwidth(BAES_28NM, 8)
+        assert points[-1].area_um2 < 1.3 * points[0].area_um2
+
+    def test_near_flat_power(self):
+        points = sweep_bandwidth(BAES_28NM, 8)
+        assert points[-1].power_uw < 1.3 * points[0].power_uw
+
+    def test_lane_counts(self):
+        points = sweep_bandwidth(BAES_28NM, 4)
+        assert [p.xor_lanes for p in points] == [1, 2, 3, 4]
+
+
+class TestComparison:
+    def test_equal_at_unit_bandwidth(self):
+        assert TAES_28NM.cost(1).area_um2 == BAES_28NM.cost(1).area_um2
+        assert TAES_28NM.cost(1).power_uw == BAES_28NM.cost(1).power_uw
+
+    @pytest.mark.parametrize("multiple", [2, 4, 8])
+    def test_baes_cheaper_beyond_unit(self, multiple):
+        assert BAES_28NM.cost(multiple).area_um2 < \
+            TAES_28NM.cost(multiple).area_um2
+        assert BAES_28NM.cost(multiple).power_uw < \
+            TAES_28NM.cost(multiple).power_uw
+
+    def test_savings_grow_with_bandwidth(self):
+        savings = [
+            TAES_28NM.cost(m).area_um2 - BAES_28NM.cost(m).area_um2
+            for m in range(1, 9)
+        ]
+        assert savings == sorted(savings)
+
+    def test_fig4_endpoint_magnitudes(self):
+        """T-AES at 8x lands near the paper's ~45k um^2 / ~24k uW."""
+        point = TAES_28NM.cost(8)
+        assert 35_000 < point.area_um2 < 55_000
+        assert 18_000 < point.power_uw < 28_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TAES_28NM.cost(0)
+        with pytest.raises(ValueError):
+            sweep_bandwidth(TAES_28NM, 0)
+
+
+class TestLaneSizing:
+    def test_server_npu(self):
+        # 20 GB/s at 1 GHz; one engine gives 16 GB/s -> 2 lanes.
+        assert lanes_for_npu_bandwidth(20.0, 1.0) == 2
+
+    def test_edge_npu(self):
+        # 10 GB/s at 2.75 GHz; engine gives 44 GB/s -> 1 lane.
+        assert lanes_for_npu_bandwidth(10.0, 2.75) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lanes_for_npu_bandwidth(0, 1.0)

@@ -1,0 +1,71 @@
+"""Energy model extension."""
+
+import pytest
+
+from repro.accel.simulator import AcceleratorSim
+from repro.accel.systolic import SystolicArray
+from repro.hwmodel.energy import EnergyBreakdown, EnergyModel, EnergyParams
+from repro.models.layer import conv
+from repro.models.topology import Topology
+from repro.protection import make_scheme
+from repro.tiling.tile import SramBudget
+
+
+@pytest.fixture(scope="module")
+def model_run():
+    sim = AcceleratorSim(SystolicArray(16, 16), SramBudget.split(64 << 10))
+    return sim.run(Topology("e", [
+        conv("c1", 34, 34, 3, 3, 8, 16),
+        conv("c2", 32, 32, 3, 3, 16, 16),
+    ]))
+
+
+def _energy(scheme_name, run):
+    scheme = make_scheme(scheme_name)
+    return EnergyModel().model_energy(scheme.protect_model(run))
+
+
+class TestBreakdown:
+    def test_addition(self):
+        a = EnergyBreakdown(dram_pj=1, aes_pj=2, hash_pj=3, xor_pj=4)
+        b = EnergyBreakdown(dram_pj=10, aes_pj=20, hash_pj=30, xor_pj=40)
+        total = a + b
+        assert total.total_pj == 110
+        assert total.dram_pj == 11
+
+    def test_unit_conversion(self):
+        assert EnergyBreakdown(dram_pj=2e6).total_uj == pytest.approx(2.0)
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            EnergyParams(dram_pj_per_byte=-1)
+
+
+class TestSchemeComparison:
+    def test_baseline_has_no_crypto_energy(self, model_run):
+        baseline = _energy("baseline", model_run)
+        assert baseline.aes_pj == 0
+        assert baseline.hash_pj == 0
+        assert baseline.dram_pj > 0
+
+    def test_ordering_mirrors_traffic(self, model_run):
+        """Energy overhead preserves the Fig. 5 scheme ordering."""
+        model = EnergyModel()
+        baseline = _energy("baseline", model_run)
+        overheads = {
+            name: model.overhead_vs(_energy(name, model_run), baseline)
+            for name in ("sgx-64b", "mgx-64b", "seda")
+        }
+        assert overheads["sgx-64b"] > overheads["mgx-64b"] > overheads["seda"]
+        assert overheads["seda"] < 0.10
+
+    def test_seda_fewer_aes_ops(self, model_run):
+        """B-AES spends 1 AES per 64 B vs 4 per 64 B for CTR schemes."""
+        seda = _energy("seda", model_run)
+        mgx = _energy("mgx-64b", model_run)
+        assert seda.aes_pj < mgx.aes_pj / 3
+        assert seda.xor_pj > 0  # the fan-out lanes do the rest
+
+    def test_overhead_validation(self):
+        with pytest.raises(ValueError):
+            EnergyModel().overhead_vs(EnergyBreakdown(), EnergyBreakdown())

@@ -1,0 +1,71 @@
+"""Cross-module integration: real workloads through the whole stack."""
+
+import pytest
+
+from repro import (
+    EDGE_NPU,
+    Pipeline,
+    SERVER_NPU,
+    compare_schemes,
+    get_workload,
+)
+from repro.protection import SCHEME_NAMES, make_scheme
+
+
+@pytest.fixture(scope="module")
+def lenet_server():
+    return compare_schemes(Pipeline(SERVER_NPU), get_workload("lenet"),
+                           SCHEME_NAMES)
+
+
+@pytest.fixture(scope="module")
+def lenet_edge():
+    return compare_schemes(Pipeline(EDGE_NPU), get_workload("lenet"),
+                           SCHEME_NAMES)
+
+
+class TestPublicApi:
+    def test_quickstart_flow(self):
+        """The README quickstart must work verbatim."""
+        pipeline = Pipeline(SERVER_NPU)
+        result = compare_schemes(pipeline, get_workload("resnet18"),
+                                 ["seda"])
+        assert result.traffic("seda") < 1.01
+        assert result.performance("seda") > 0.99
+
+    def test_version_exposed(self):
+        import repro
+        assert repro.__version__
+
+
+class TestBothNpus:
+    def test_orderings_hold_on_both(self, lenet_server, lenet_edge):
+        for comparison in (lenet_server, lenet_edge):
+            assert comparison.traffic("sgx-64b") > comparison.traffic("mgx-64b")
+            assert comparison.traffic("mgx-64b") > comparison.traffic("seda")
+            assert comparison.performance("sgx-64b") < \
+                comparison.performance("seda")
+
+    def test_seda_negligible_everywhere(self, lenet_server, lenet_edge):
+        assert lenet_server.traffic_overhead_pct("seda") < 1.5
+        assert lenet_edge.traffic_overhead_pct("seda") < 1.5
+
+
+class TestDeterminism:
+    def test_repeated_runs_identical(self):
+        pipeline = Pipeline(SERVER_NPU)
+        topo = get_workload("dlrm")
+        a = pipeline.run(topo, make_scheme("sgx-64b"))
+        b = pipeline.run(topo, make_scheme("sgx-64b"))
+        assert a.total_cycles == b.total_cycles
+        assert a.total_bytes == b.total_bytes
+
+
+class TestMediumWorkload:
+    def test_mobilenet_edge_full_stack(self):
+        comparison = compare_schemes(Pipeline(EDGE_NPU),
+                                     get_workload("mobilenet"),
+                                     ["sgx-64b", "seda"])
+        assert comparison.traffic("sgx-64b") > 1.2
+        assert comparison.traffic("seda") < 1.01
+        assert comparison.slowdown_pct("seda") < 1.0

@@ -1,0 +1,55 @@
+"""Smoke tests: every shipped example runs to completion."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+
+def _run(script, *args, timeout=240):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script), *args],
+        capture_output=True, text=True, timeout=timeout)
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = _run("quickstart.py", "lenet", "edge")
+        assert result.returncode == 0, result.stderr
+        assert "SeDA bottom line" in result.stdout
+        assert "normalized memory traffic" in result.stdout
+
+    def test_attack_demo(self):
+        result = _run("attack_demo.py")
+        assert result.returncode == 0, result.stderr
+        assert "ATTACK SUCCEEDS" in result.stdout
+        assert "ATTACK DEFEATED" in result.stdout
+        assert "replay attack       : detected" in result.stdout
+
+    def test_secure_inference(self):
+        result = _run("secure_inference.py")
+        assert result.returncode == 0, result.stderr
+        assert "bit-identical   : True" in result.stdout
+        assert "inference aborted" in result.stdout
+
+    def test_design_space(self):
+        result = _run("design_space.py", "lenet")
+        assert result.returncode == 0, result.stderr
+        assert "SRAM capacity sweep" in result.stdout
+        assert "Crypto-engine sizing" in result.stdout
+
+    def test_custom_workload(self):
+        result = _run("custom_workload.py")
+        assert result.returncode == 0, result.stderr
+        assert "CSV round-trip ok" in result.stdout
+        assert "ranker_b512" in result.stdout
+
+    @pytest.mark.slow
+    def test_paper_figures_quick(self):
+        result = _run("paper_figures.py", "--quick", timeout=600)
+        assert result.returncode == 0, result.stderr
+        assert "Fig. 5(a)" in result.stdout
+        assert "Table III" in result.stdout

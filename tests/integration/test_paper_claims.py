@@ -1,0 +1,72 @@
+"""Light-weight checks of the paper's headline claims.
+
+The full-figure versions run in ``benchmarks/``; these use two small
+workloads so the claims stay pinned by the fast test suite as well.
+"""
+
+import pytest
+
+from repro import EDGE_NPU, Pipeline, SERVER_NPU, get_workload
+from repro.core.metrics import compare_schemes
+from repro.hwmodel.aes_cost import BAES_28NM, TAES_28NM
+from repro.protection import SCHEME_NAMES
+
+
+@pytest.fixture(scope="module")
+def mobilenet_server():
+    return compare_schemes(Pipeline(SERVER_NPU), get_workload("mobilenet"),
+                           SCHEME_NAMES)
+
+
+@pytest.fixture(scope="module")
+def dlrm_edge():
+    return compare_schemes(Pipeline(EDGE_NPU), get_workload("dlrm"),
+                           SCHEME_NAMES)
+
+
+class TestTrafficClaims:
+    def test_sgx64_around_30_percent(self, mobilenet_server):
+        assert 20 < mobilenet_server.traffic_overhead_pct("sgx-64b") < 45
+
+    def test_mgx64_around_12_5_percent(self, mobilenet_server):
+        assert 10 < mobilenet_server.traffic_overhead_pct("mgx-64b") < 20
+
+    def test_seda_near_zero(self, mobilenet_server, dlrm_edge):
+        assert mobilenet_server.traffic_overhead_pct("seda") < 0.5
+        assert dlrm_edge.traffic_overhead_pct("seda") < 0.5
+
+
+class TestPerformanceClaims:
+    def test_full_ordering(self, mobilenet_server, dlrm_edge):
+        for comparison in (mobilenet_server, dlrm_edge):
+            perf = [comparison.performance(s) for s in
+                    ("sgx-64b", "mgx-64b", "sgx-512b", "mgx-512b", "seda")]
+            assert perf == sorted(perf)
+
+    def test_seda_under_one_percent_slowdown(self, mobilenet_server):
+        assert mobilenet_server.slowdown_pct("seda") < 1.0
+
+    def test_overhead_reduction_over_12_points(self, mobilenet_server):
+        """'SeDA decreases performance overhead by over 12%'."""
+        reduction = (mobilenet_server.slowdown_pct("mgx-64b")
+                     - mobilenet_server.slowdown_pct("seda"))
+        assert reduction > 12.0
+
+
+class TestHardwareClaims:
+    def test_scalability_with_minimal_overhead(self):
+        """'robust scalability with minimal hardware overhead'."""
+        for multiple in (2, 4, 8):
+            taes = TAES_28NM.cost(multiple)
+            baes = BAES_28NM.cost(multiple)
+            assert baes.area_um2 < taes.area_um2 / (multiple / 1.4)
+
+    def test_single_engine_suffices(self):
+        from repro.protection.seda import SedaScheme
+        pipeline = Pipeline(SERVER_NPU)
+        run = pipeline.simulate_model(get_workload("dlrm"))
+        scheme = SedaScheme()
+        scheme.begin_model(run)
+        engine = scheme.crypto_engine()
+        assert engine.engines == 1
+        assert engine.bytes_per_cycle >= run.peak_demand_bytes_per_cycle

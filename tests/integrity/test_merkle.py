@@ -1,0 +1,121 @@
+"""Merkle tree: construction, updates, tamper and replay detection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.integrity.merkle import MerkleTree
+
+KEY = b"\x11" * 16
+
+
+def _leaves(n, size=64):
+    return [bytes([i % 256]) * size for i in range(n)]
+
+
+class TestConstruction:
+    def test_single_leaf(self):
+        tree = MerkleTree(KEY, _leaves(1))
+        assert tree.num_leaves == 1
+        assert len(tree.root) == 8
+
+    def test_level_count(self):
+        tree = MerkleTree(KEY, _leaves(64), arity=8)
+        # 64 leaves -> 64 digests -> 8 -> 1: leaf level + 2.
+        assert tree.num_levels == 3
+
+    def test_levels_for_matches(self):
+        for n in (1, 7, 8, 9, 64, 65, 512):
+            tree = MerkleTree(KEY, _leaves(n), arity=8)
+            assert tree.num_levels == MerkleTree.levels_for(n, 8)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MerkleTree(KEY, [])
+
+    def test_bad_arity(self):
+        with pytest.raises(ValueError):
+            MerkleTree(KEY, _leaves(4), arity=1)
+
+    def test_root_depends_on_leaves(self):
+        a = MerkleTree(KEY, _leaves(8))
+        b = MerkleTree(KEY, [b"\xff" * 64] + _leaves(8)[1:])
+        assert a.root != b.root
+
+    def test_root_depends_on_key(self):
+        a = MerkleTree(KEY, _leaves(8))
+        b = MerkleTree(b"\x22" * 16, _leaves(8))
+        assert a.root != b.root
+
+
+class TestVerification:
+    def test_honest_leaves_verify(self):
+        leaves = _leaves(20)
+        tree = MerkleTree(KEY, leaves)
+        for i, leaf in enumerate(leaves):
+            assert tree.verify_leaf(i, leaf)
+
+    def test_tampered_leaf_fails(self):
+        tree = MerkleTree(KEY, _leaves(20))
+        assert not tree.verify_leaf(3, b"\xff" * 64)
+
+    def test_replayed_stale_leaf_fails(self):
+        """A replay attack: the old value no longer verifies after an
+        update, because the on-chip root changed."""
+        leaves = _leaves(20)
+        tree = MerkleTree(KEY, leaves)
+        stale = leaves[5]
+        tree.update_leaf(5, b"\x99" * 64)
+        assert not tree.verify_leaf(5, stale)
+        assert tree.verify_leaf(5, b"\x99" * 64)
+
+    def test_swapped_leaves_fail(self):
+        """Leaf-position binding: transplanting leaves is detected."""
+        leaves = _leaves(16)
+        tree = MerkleTree(KEY, leaves)
+        assert not tree.verify_leaf(0, leaves[1])
+        assert not tree.verify_leaf(1, leaves[0])
+
+    def test_out_of_range(self):
+        tree = MerkleTree(KEY, _leaves(4))
+        with pytest.raises(IndexError):
+            tree.verify_leaf(4, bytes(64))
+        with pytest.raises(IndexError):
+            tree.update_leaf(-1, bytes(64))
+
+
+class TestUpdates:
+    def test_update_changes_root(self):
+        tree = MerkleTree(KEY, _leaves(16))
+        old_root = tree.root
+        tree.update_leaf(7, b"\xab" * 64)
+        assert tree.root != old_root
+
+    def test_update_equals_rebuild(self):
+        """Incremental path update must equal a full rebuild."""
+        leaves = _leaves(30)
+        tree = MerkleTree(KEY, leaves)
+        tree.update_leaf(17, b"\xcd" * 64)
+        rebuilt_leaves = leaves[:17] + [b"\xcd" * 64] + leaves[18:]
+        rebuilt = MerkleTree(KEY, rebuilt_leaves)
+        assert tree.root == rebuilt.root
+
+    @given(st.integers(2, 40), st.integers(0, 39), st.binary(min_size=8, max_size=8))
+    @settings(max_examples=25, deadline=None)
+    def test_update_then_verify_property(self, n, index, payload):
+        index = index % n
+        tree = MerkleTree(KEY, _leaves(n))
+        tree.update_leaf(index, payload * 8)
+        assert tree.verify_leaf(index, payload * 8)
+
+
+class TestLevelsFor:
+    def test_values(self):
+        assert MerkleTree.levels_for(1) == 1
+        assert MerkleTree.levels_for(8) == 2
+        assert MerkleTree.levels_for(9) == 3
+        assert MerkleTree.levels_for(8**4) == 5
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            MerkleTree.levels_for(0)

@@ -1,0 +1,136 @@
+"""SeDA's multi-level MAC hierarchy."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.mac import MAC_BYTES, MacContext
+from repro.integrity.multilevel import LayerMacState, MultiLevelIntegrity
+
+KEY = b"\x33" * 16
+
+
+def _ctx(i, layer=0):
+    return MacContext(pa=64 * i, vn=1, layer_id=layer, fmap_idx=0, blk_idx=i)
+
+
+def _blocks(n):
+    return [bytes([i + 1]) * 64 for i in range(n)]
+
+
+class TestLayerMacState:
+    def test_fold_accumulates(self):
+        state = LayerMacState(0)
+        state.fold(b"\x01" * MAC_BYTES)
+        state.fold(b"\x02" * MAC_BYTES)
+        assert state.value == b"\x03" * MAC_BYTES
+        assert state.blocks_folded == 2
+
+    def test_replace(self):
+        state = LayerMacState(0)
+        old = b"\x0f" * MAC_BYTES
+        state.fold(old)
+        new = b"\xf0" * MAC_BYTES
+        state.replace(old, new)
+        assert state.value == new
+
+    def test_bad_length(self):
+        with pytest.raises(ValueError):
+            LayerMacState(0).fold(b"\x01" * 4)
+
+
+class TestLayerVerification:
+    def test_honest_layer_verifies(self):
+        integ = MultiLevelIntegrity(KEY)
+        blocks = _blocks(8)
+        pairs = [(b, _ctx(i)) for i, b in enumerate(blocks)]
+        for block, ctx in pairs:
+            integ.record_block(0, block, ctx)
+        assert integ.verify_layer(0, pairs)
+
+    def test_tampered_block_fails(self):
+        integ = MultiLevelIntegrity(KEY)
+        blocks = _blocks(8)
+        pairs = [(b, _ctx(i)) for i, b in enumerate(blocks)]
+        for block, ctx in pairs:
+            integ.record_block(0, block, ctx)
+        tampered = list(pairs)
+        tampered[3] = (b"\xff" * 64, tampered[3][1])
+        assert not integ.verify_layer(0, tampered)
+
+    def test_shuffled_blocks_fail_when_location_bound(self):
+        """RePA defense at the hierarchy level."""
+        integ = MultiLevelIntegrity(KEY, location_bound=True)
+        blocks = _blocks(8)
+        pairs = [(b, _ctx(i)) for i, b in enumerate(blocks)]
+        for block, ctx in pairs:
+            integ.record_block(0, block, ctx)
+        # Swap two blocks but keep the position contexts.
+        shuffled = list(pairs)
+        shuffled[0] = (pairs[1][0], pairs[0][1])
+        shuffled[1] = (pairs[0][0], pairs[1][1])
+        assert not integ.verify_layer(0, shuffled)
+
+    def test_shuffled_blocks_pass_without_binding(self):
+        """The vulnerable mode: ciphertext-only MACs fold order-blind."""
+        integ = MultiLevelIntegrity(KEY, location_bound=False)
+        blocks = _blocks(8)
+        pairs = [(b, _ctx(i)) for i, b in enumerate(blocks)]
+        for block, ctx in pairs:
+            integ.record_block(0, block, ctx)
+        shuffled = list(reversed(pairs))
+        assert integ.verify_layer(0, shuffled)
+
+    def test_layers_independent(self):
+        integ = MultiLevelIntegrity(KEY)
+        integ.record_block(0, bytes(64), _ctx(0, layer=0))
+        integ.record_block(1, bytes(64), _ctx(0, layer=1))
+        assert integ.layer_mac(0) != bytes(MAC_BYTES)
+        assert integ.layer_mac(0) != integ.layer_mac(1)
+
+
+class TestModelMac:
+    def test_honest_model_verifies(self):
+        integ = MultiLevelIntegrity(KEY)
+        blocks = _blocks(16)
+        pairs = [(b, _ctx(i, layer=99)) for i, b in enumerate(blocks)]
+        for block, ctx in pairs:
+            integ.record_weight_block(block, ctx)
+        assert integ.model_blocks == 16
+        assert integ.verify_model(pairs)
+
+    def test_tampered_weight_fails(self):
+        integ = MultiLevelIntegrity(KEY)
+        blocks = _blocks(16)
+        pairs = [(b, _ctx(i, layer=99)) for i, b in enumerate(blocks)]
+        for block, ctx in pairs:
+            integ.record_weight_block(block, ctx)
+        pairs[7] = (b"\x00" * 64, pairs[7][1])
+        assert not integ.verify_model(pairs)
+
+    @given(st.integers(2, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_model_mac_order_insensitive_with_contexts(self, n):
+        """Reading weights back in any order verifies, because contexts
+        travel with the blocks (the fold itself is commutative)."""
+        integ = MultiLevelIntegrity(KEY)
+        pairs = [(bytes([i]) * 64, _ctx(i, layer=50)) for i in range(n)]
+        for block, ctx in pairs:
+            integ.record_weight_block(block, ctx)
+        assert integ.verify_model(reversed(pairs))
+
+
+class TestStorageAccounting:
+    def test_onchip_bytes(self):
+        integ = MultiLevelIntegrity(KEY)
+        assert integ.onchip_mac_bytes(num_layers=58) == 58 * 8 + 8
+        assert integ.onchip_mac_bytes(num_layers=58,
+                                      store_layer_macs_onchip=False) == 8
+
+    def test_tiny_vs_mac_table(self):
+        """The hierarchy's on-chip cost is microscopic next to a per-64B
+        MAC table for a 16 MB model."""
+        integ = MultiLevelIntegrity(KEY)
+        onchip = integ.onchip_mac_bytes(num_layers=100)
+        mac_table = (16 << 20) // 64 * 8
+        assert onchip < mac_table / 1000

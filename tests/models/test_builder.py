@@ -1,0 +1,110 @@
+"""Parametric topology builders."""
+
+import pytest
+
+from repro.models.builder import (
+    cnn,
+    depthwise_separable_stack,
+    mlp,
+    residual_tower,
+    transformer_encoder,
+)
+from repro.models.layer import LayerKind
+
+
+class TestMlp:
+    def test_layer_count(self):
+        topo = mlp("m", batch=8, dims=[16, 32, 4])
+        assert len(topo) == 2
+
+    def test_macs(self):
+        topo = mlp("m", batch=8, dims=[16, 32, 4])
+        assert topo.total_macs == 8 * (16 * 32 + 32 * 4)
+
+    def test_dims_chain(self):
+        topo = mlp("m", batch=2, dims=[4, 8, 16])
+        assert topo[0].gemm_n == topo[1].gemm_k
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mlp("m", batch=0, dims=[4, 8])
+        with pytest.raises(ValueError):
+            mlp("m", batch=2, dims=[4])
+
+
+class TestCnn:
+    def test_channel_chain(self):
+        topo = cnn("c", 32, 3, [8, 16, 32], downsample_every=2)
+        for prev, cur in zip(topo.layers, topo.layers[1:]):
+            assert cur.channels == prev.num_filters
+
+    def test_downsampling(self):
+        topo = cnn("c", 32, 3, [8, 16], downsample_every=1)
+        assert topo[0].stride_h == 2
+        assert topo[1].ifmap_h < topo[0].ifmap_h
+
+    def test_no_downsampling(self):
+        topo = cnn("c", 16, 3, [8, 8], downsample_every=0)
+        assert all(l.stride_h == 1 for l in topo)
+
+    def test_over_downsampling_rejected(self):
+        with pytest.raises(ValueError):
+            cnn("c", 4, 3, [8] * 5, downsample_every=1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cnn("c", 0, 3, [8])
+        with pytest.raises(ValueError):
+            cnn("c", 16, 3, [])
+
+
+class TestResidualTower:
+    def test_structure(self):
+        topo = residual_tower("r", board=19, channels=64, blocks=3,
+                              input_planes=17)
+        assert len(topo) == 1 + 2 * 3
+        assert topo[0].channels == 17
+        assert all(l.num_filters == 64 for l in topo)
+
+    def test_matches_zoo_shape(self):
+        from repro.models.zoo import get_workload
+        tower = residual_tower("algo", board=19, channels=256, blocks=19,
+                               input_planes=17)
+        zoo = get_workload("alphagozero")
+        zoo_tower_macs = sum(l.macs for l in zoo
+                             if l.name.startswith(("stem", "res")))
+        assert tower.total_macs == zoo_tower_macs
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            residual_tower("r", 19, 64, 0, 17)
+
+
+class TestTransformer:
+    def test_gemms_per_layer(self):
+        topo = transformer_encoder("t", num_layers=2, seq=64,
+                                   d_model=128, d_ff=512)
+        assert len(topo) == 16
+
+    def test_matches_zoo(self):
+        from repro.models.zoo import get_workload
+        built = transformer_encoder("trf", num_layers=6, seq=256,
+                                    d_model=512, d_ff=2048)
+        assert built.total_macs == get_workload("transformer_fwd").total_macs
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            transformer_encoder("t", 0, 64, 128, 512)
+
+
+class TestDepthwiseStack:
+    def test_pairs(self):
+        topo = depthwise_separable_stack("d", 32, [(8, 16, 1), (16, 32, 2)])
+        assert len(topo) == 4
+        assert topo[0].kind is LayerKind.DWCONV
+        assert topo[1].kind is LayerKind.CONV
+        assert topo[1].is_pointwise
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            depthwise_separable_stack("d", 32, [])

@@ -1,0 +1,94 @@
+"""Layer descriptor arithmetic: GEMM view, footprints, halos."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.layer import Layer, LayerKind, conv, dwconv, gemm
+
+
+class TestConvLayer:
+    def test_output_dims(self):
+        layer = conv("c", 32, 32, 3, 3, 4, 8)
+        assert layer.ofmap_h == 30
+        assert layer.ofmap_w == 30
+
+    def test_strided_output(self):
+        layer = conv("c", 227, 227, 11, 11, 3, 96, stride=4)
+        assert layer.ofmap_h == 55
+
+    def test_gemm_view(self):
+        layer = conv("c", 32, 32, 3, 3, 4, 8)
+        assert layer.gemm_m == 30 * 30
+        assert layer.gemm_k == 3 * 3 * 4
+        assert layer.gemm_n == 8
+
+    def test_macs(self):
+        layer = conv("c", 8, 8, 3, 3, 2, 4)
+        assert layer.macs == 6 * 6 * 18 * 4
+
+    def test_footprints(self):
+        layer = conv("c", 8, 8, 3, 3, 2, 4)
+        assert layer.ifmap_bytes == 8 * 8 * 2
+        assert layer.weight_bytes == 3 * 3 * 2 * 4
+        assert layer.ofmap_bytes == 6 * 6 * 4
+
+    def test_halo(self):
+        assert conv("c", 8, 8, 3, 3, 1, 1).halo_rows() == 2
+        assert conv("c", 8, 8, 3, 3, 1, 1, stride=2).halo_rows() == 1
+        assert conv("c", 8, 8, 1, 1, 1, 1).halo_rows() == 0
+        assert conv("c", 8, 8, 3, 3, 1, 1, stride=3).halo_rows() == 0
+
+    def test_pointwise(self):
+        assert conv("c", 8, 8, 1, 1, 4, 4).is_pointwise
+        assert not conv("c", 8, 8, 3, 3, 4, 4).is_pointwise
+
+
+class TestDepthwise:
+    def test_gemm_view(self):
+        layer = dwconv("dw", 16, 16, 3, 3, 32)
+        assert layer.gemm_k == 9
+        assert layer.gemm_n == 32
+
+    def test_macs_per_channel(self):
+        layer = dwconv("dw", 16, 16, 3, 3, 32)
+        assert layer.macs == 14 * 14 * 9 * 32
+
+    def test_weight_footprint(self):
+        layer = dwconv("dw", 16, 16, 3, 3, 32)
+        assert layer.weight_bytes == 9 * 32
+
+
+class TestGemm:
+    def test_dims(self):
+        layer = gemm("fc", 64, 256, 10)
+        assert (layer.gemm_m, layer.gemm_k, layer.gemm_n) == (64, 256, 10)
+
+    def test_footprints(self):
+        layer = gemm("fc", 64, 256, 10)
+        assert layer.ifmap_bytes == 64 * 256
+        assert layer.weight_bytes == 256 * 10
+        assert layer.ofmap_bytes == 64 * 10
+
+    def test_no_halo(self):
+        assert gemm("fc", 64, 256, 10).halo_rows() == 0
+
+
+class TestValidation:
+    def test_nonpositive_dim(self):
+        with pytest.raises(ValueError):
+            conv("bad", 0, 8, 3, 3, 1, 1)
+
+    def test_filter_bigger_than_ifmap(self):
+        with pytest.raises(ValueError):
+            conv("bad", 2, 2, 3, 3, 1, 1)
+
+    @given(st.integers(1, 64), st.integers(1, 7), st.integers(1, 4))
+    @settings(max_examples=50)
+    def test_gemm_identity_macs(self, size, filt, stride):
+        """MACs always equal M*K*N for any valid conv."""
+        if filt > size:
+            return
+        layer = conv("c", size, size, filt, filt, 3, 5, stride=stride)
+        assert layer.macs == layer.gemm_m * layer.gemm_k * layer.gemm_n
+        assert layer.ofmap_h >= 1

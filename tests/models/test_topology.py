@@ -1,0 +1,75 @@
+"""Topology container: aggregation, CSV round-trip, validation."""
+
+import pytest
+
+from repro.models.layer import conv, dwconv, gemm
+from repro.models.topology import Topology
+
+
+@pytest.fixture
+def topo():
+    return Topology("t", [
+        conv("c1", 16, 16, 3, 3, 3, 8),
+        dwconv("dw", 14, 14, 3, 3, 8),
+        gemm("fc", 1, 8, 10),
+    ])
+
+
+class TestAggregation:
+    def test_len_and_iter(self, topo):
+        assert len(topo) == 3
+        assert [l.name for l in topo] == ["c1", "dw", "fc"]
+
+    def test_indexing(self, topo):
+        assert topo[1].name == "dw"
+
+    def test_total_macs(self, topo):
+        assert topo.total_macs == sum(l.macs for l in topo.layers)
+
+    def test_total_weight_bytes(self, topo):
+        assert topo.total_weight_bytes == sum(l.weight_bytes for l in topo.layers)
+
+    def test_max_activation(self, topo):
+        expected = max(max(l.ifmap_bytes, l.ofmap_bytes) for l in topo.layers)
+        assert topo.max_activation_bytes == expected
+
+    def test_empty_topology_activation(self):
+        assert Topology("empty").max_activation_bytes == 0
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip_preserves_layers(self, topo):
+        text = topo.to_csv()
+        parsed = Topology.from_csv("t", text)
+        assert len(parsed) == len(topo)
+        for a, b in zip(parsed, topo):
+            assert a == b
+
+    def test_header_optional(self, topo):
+        text = topo.to_csv()
+        body = "\n".join(text.splitlines()[1:])
+        parsed = Topology.from_csv("t", body)
+        assert len(parsed) == 3
+
+    def test_kind_column_defaults_to_conv(self):
+        parsed = Topology.from_csv("t", "c1,16,16,3,3,3,8,1\n")
+        assert parsed[0].kind.value == "conv"
+
+    def test_empty_csv(self):
+        with pytest.raises(ValueError):
+            Topology.from_csv("t", "")
+
+    def test_malformed_row(self):
+        with pytest.raises(ValueError):
+            Topology.from_csv("t", "c1,16,16\n")
+
+
+class TestValidation:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Topology("t", [gemm("a", 1, 2, 3), gemm("a", 1, 2, 3)])
+
+    def test_subset(self, topo):
+        sub = topo.subset(2)
+        assert len(sub) == 2
+        assert sub.name.startswith("t")

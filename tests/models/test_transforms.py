@@ -1,0 +1,62 @@
+"""Topology transformations."""
+
+import pytest
+
+from repro.models.builder import mlp
+from repro.models.layer import LayerKind, conv, gemm
+from repro.models.topology import Topology
+from repro.models.transforms import describe, filter_layers, with_batch
+from repro.models.zoo import get_workload
+
+
+class TestWithBatch:
+    def test_scales_macs_linearly(self):
+        base = mlp("m", batch=4, dims=[16, 32, 8])
+        doubled = with_batch(base, 2)
+        assert doubled.total_macs == 2 * base.total_macs
+
+    def test_weights_unchanged(self):
+        base = get_workload("ncf")
+        scaled = with_batch(base, 4)
+        assert scaled.total_weight_bytes == base.total_weight_bytes
+
+    def test_name_tagged(self):
+        assert with_batch(mlp("m", 1, [4, 4]), 8).name == "m_b8"
+
+    def test_conv_rejected(self):
+        with pytest.raises(ValueError):
+            with_batch(get_workload("lenet"), 2)
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            with_batch(mlp("m", 1, [4, 4]), 0)
+
+
+class TestFilterLayers:
+    def test_keep_convs(self):
+        topo = get_workload("lenet")
+        convs = filter_layers(topo, lambda l: l.kind is LayerKind.CONV,
+                              "convs")
+        assert all(l.kind is LayerKind.CONV for l in convs)
+        assert len(convs) < len(topo)
+
+    def test_empty_result_rejected(self):
+        topo = get_workload("dlrm")
+        with pytest.raises(ValueError):
+            filter_layers(topo, lambda l: l.kind is LayerKind.DWCONV)
+
+
+class TestDescribe:
+    def test_contains_key_facts(self):
+        text = describe(get_workload("resnet18"))
+        assert "resnet18" in text
+        assert "GMACs" in text
+        assert "heaviest layer" in text
+        assert "layer kinds" in text
+
+    def test_kind_counts(self):
+        topo = Topology("t", [conv("c", 8, 8, 3, 3, 1, 2),
+                              gemm("g", 4, 8, 2)])
+        text = describe(topo)
+        assert "conv=1" in text
+        assert "gemm=1" in text

@@ -1,0 +1,79 @@
+"""The thirteen paper workloads: presence, sanity and known shapes."""
+
+import pytest
+
+from repro.models.zoo import (
+    WORKLOAD_ABBREVIATIONS,
+    WORKLOADS,
+    get_workload,
+    list_workloads,
+)
+
+
+class TestCatalog:
+    def test_thirteen_workloads(self):
+        assert len(WORKLOADS) == 13
+
+    def test_paper_abbreviations_cover_all(self):
+        assert sorted(WORKLOAD_ABBREVIATIONS.values()) == sorted(WORKLOADS)
+
+    def test_lookup_by_abbreviation(self):
+        assert get_workload("rest").name == "resnet18"
+        assert get_workload("goo").name == "googlenet"
+        assert get_workload("trf").name == "transformer_fwd"
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            get_workload("vgg19")
+
+    def test_list_matches(self):
+        assert list_workloads() == WORKLOADS
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+class TestEveryWorkload:
+    def test_builds(self, name):
+        topo = get_workload(name)
+        assert len(topo) > 0
+
+    def test_positive_macs(self, name):
+        assert get_workload(name).total_macs > 0
+
+    def test_csv_roundtrip(self, name):
+        from repro.models.topology import Topology
+        topo = get_workload(name)
+        parsed = Topology.from_csv(name, topo.to_csv())
+        assert parsed.total_macs == topo.total_macs
+
+    def test_fresh_instance_each_call(self, name):
+        assert get_workload(name) is not get_workload(name)
+
+
+class TestKnownShapes:
+    def test_lenet_small(self):
+        topo = get_workload("lenet")
+        assert topo.total_weight_bytes < 1 << 20
+
+    def test_alexnet_fc_dominates(self):
+        topo = get_workload("alexnet")
+        fc_bytes = sum(l.weight_bytes for l in topo if l.name.startswith("fc"))
+        assert fc_bytes > topo.total_weight_bytes * 0.9
+
+    def test_mobilenet_has_depthwise(self):
+        from repro.models.layer import LayerKind
+        topo = get_workload("mobilenet")
+        kinds = {l.kind for l in topo}
+        assert LayerKind.DWCONV in kinds
+
+    def test_resnet18_weight_scale(self):
+        # ~11M parameters at 1 byte each.
+        wgt = get_workload("resnet18").total_weight_bytes
+        assert 8 << 20 < wgt < 16 << 20
+
+    def test_alphagozero_board_shape(self):
+        topo = get_workload("alphagozero")
+        assert all(l.ofmap_h <= 19 for l in topo if l.kind.value == "conv")
+
+    def test_transformer_layer_count(self):
+        # 6 encoder layers x 8 GEMMs.
+        assert len(get_workload("transformer_fwd")) == 48

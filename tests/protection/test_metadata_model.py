@@ -1,0 +1,148 @@
+"""Shared metadata-traffic machinery: run compression, cache models,
+over-fetch."""
+
+import numpy as np
+import pytest
+
+from repro.accel.trace import AccessKind, Trace, TraceRange
+from repro.integrity.caches import MetadataCache
+from repro.protection.layout import MetadataLayout
+from repro.protection.metadata_model import (
+    CacheTrafficResult,
+    MacTableModel,
+    VnTreeModel,
+    compress_runs,
+    overfetch_ranges,
+)
+
+
+def _stream(addrs, writes=None):
+    trace = Trace([
+        TraceRange(i, a, 64, bool(writes[i]) if writes is not None else False,
+                   AccessKind.IFMAP, 0)
+        for i, a in enumerate(addrs)
+    ])
+    return trace.to_blocks().sorted_by_cycle()
+
+
+class TestCompressRuns:
+    def test_empty(self):
+        empty = np.empty(0, np.int64)
+        values, writes, cycles = compress_runs(
+            empty, np.empty(0, bool), empty)
+        assert len(values) == 0
+
+    def test_single_run(self):
+        values = np.asarray([5, 5, 5])
+        writes = np.asarray([False, True, False])
+        cycles = np.asarray([10, 11, 12])
+        rv, rw, rc = compress_runs(values, writes, cycles)
+        assert list(rv) == [5]
+        assert list(rw) == [True]   # OR of the run's writes
+        assert list(rc) == [10]     # first access's cycle
+
+    def test_alternating_not_merged(self):
+        values = np.asarray([1, 2, 1, 2])
+        writes = np.zeros(4, bool)
+        cycles = np.arange(4)
+        rv, _, _ = compress_runs(values, writes, cycles)
+        assert list(rv) == [1, 2, 1, 2]
+
+    def test_runs_preserve_order(self):
+        values = np.asarray([3, 3, 7, 7, 3])
+        rv, _, rc = compress_runs(values, np.zeros(5, bool), np.arange(5))
+        assert list(rv) == [3, 7, 3]
+        assert list(rc) == [0, 2, 4]
+
+
+class TestMacTableModel:
+    def test_streaming_one_miss_per_line(self):
+        """Sequential 64 B units: one MAC-line fetch per 8 units —
+        the 12.5% MGX overhead, via 64 B per 8 x 64 B."""
+        layout = MetadataLayout(64)
+        model = MacTableModel(layout, MetadataCache(8 << 10))
+        stream = _stream([64 * i for i in range(256)])
+        out = CacheTrafficResult([], [], [])
+        model.process(stream, out)
+        assert out.misses == 256 // 8
+
+    def test_writes_produce_writebacks_eventually(self):
+        layout = MetadataLayout(64)
+        cache = MetadataCache(64)  # single line -> immediate evictions
+        model = MacTableModel(layout, cache)
+        stream = _stream([64 * 8 * i for i in range(4)],
+                         writes=[True] * 4)
+        out = CacheTrafficResult([], [], [])
+        model.process(stream, out)
+        model.flush(99, out)
+        writes = sum(out.stream_writes)
+        assert writes == 4  # every dirtied line written back exactly once
+
+    def test_metadata_addresses_in_mac_table(self):
+        layout = MetadataLayout(64)
+        model = MacTableModel(layout, MetadataCache(8 << 10))
+        stream = _stream([0, 64 * 100])
+        out = CacheTrafficResult([], [], [])
+        model.process(stream, out)
+        for addr in out.stream_addrs:
+            assert addr >= layout.mac_line_addr(0)
+
+
+class TestVnTreeModel:
+    def test_cold_miss_walks_tree(self):
+        layout = MetadataLayout(64)
+        model = VnTreeModel(layout, MetadataCache(16 << 10))
+        stream = _stream([0])
+        out = CacheTrafficResult([], [], [])
+        model.process(stream, out)
+        # First access: VN line miss + every tree level missed.
+        assert out.misses == 1 + layout.tree_levels
+
+    def test_warm_tree_short_walks(self):
+        """Later VN misses stop at the first cached ancestor."""
+        layout = MetadataLayout(64)
+        model = VnTreeModel(layout, MetadataCache(16 << 10))
+        # 64 sequential VN lines (8*64 units) share low tree ancestors.
+        stream = _stream([64 * u for u in range(8 * 64)])
+        out = CacheTrafficResult([], [], [])
+        model.process(stream, out)
+        cold_walk = 1 + layout.tree_levels
+        # Far fewer than a cold walk per VN line.
+        assert out.misses < 64 * cold_walk / 2
+
+    def test_hits_produce_no_traffic(self):
+        layout = MetadataLayout(64)
+        model = VnTreeModel(layout, MetadataCache(16 << 10))
+        out = CacheTrafficResult([], [], [])
+        model.process(_stream([0]), out)
+        first = len(out.stream_addrs)
+        model.process(_stream([0]), out)
+        assert len(out.stream_addrs) == first
+
+
+class TestOverfetch:
+    def test_64b_units_never_overfetch(self):
+        ranges = [TraceRange(0, 100, 200, False, AccessKind.IFMAP, 0)]
+        assert overfetch_ranges(ranges, 64) == []
+
+    def test_aligned_range_no_overfetch(self):
+        ranges = [TraceRange(0, 512, 1024, False, AccessKind.IFMAP, 0)]
+        assert overfetch_ranges(ranges, 512) == []
+
+    def test_partial_head_and_tail(self):
+        ranges = [TraceRange(0, 256, 512, False, AccessKind.IFMAP, 0)]
+        extras = overfetch_ranges(ranges, 512)
+        assert len(extras) == 2
+        head, tail = extras
+        assert head.addr == 0 and head.nbytes == 256
+        assert tail.addr == 768 and tail.nbytes == 256
+
+    def test_overfetch_is_reads(self):
+        ranges = [TraceRange(0, 256, 512, True, AccessKind.OFMAP, 0)]
+        extras = overfetch_ranges(ranges, 512)
+        assert all(not r.write for r in extras)  # RMW fetches
+
+    def test_overfetch_bytes_bounded(self):
+        ranges = [TraceRange(0, 300, 100, False, AccessKind.IFMAP, 0)]
+        extras = overfetch_ranges(ranges, 512)
+        assert sum(r.nbytes for r in extras) < 2 * 512

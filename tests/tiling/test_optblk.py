@@ -1,0 +1,67 @@
+"""SecureLoop-style optBlk search."""
+
+import pytest
+
+from repro.models.layer import conv, gemm
+from repro.tiling.optblk import (
+    DEFAULT_CANDIDATES,
+    aligned_block_for_tiles,
+    search_optblk,
+)
+from repro.tiling.tile import SramBudget, plan_tiling
+
+
+def _plan(layer, budget_bytes=1 << 20):
+    return plan_tiling(layer, SramBudget.split(budget_bytes))
+
+
+class TestSearch:
+    def test_returns_candidate(self):
+        layer = conv("c", 64, 64, 3, 3, 16, 8)
+        choice = search_optblk(layer, _plan(layer, 64 << 10))
+        assert choice.block_bytes in DEFAULT_CANDIDATES
+
+    def test_single_tile_prefers_large_blocks(self):
+        """With no tiling there are no straddles; fewer MACs win."""
+        layer = conv("c", 32, 32, 3, 3, 8, 8)
+        choice = search_optblk(layer, _plan(layer))
+        assert choice.block_bytes == max(DEFAULT_CANDIDATES)
+        assert choice.is_straddle_free
+
+    def test_blocks_cover_tensor(self):
+        layer = conv("c", 64, 64, 3, 3, 16, 8)
+        choice = search_optblk(layer, _plan(layer, 64 << 10))
+        assert choice.blocks_per_layer * choice.block_bytes >= layer.ifmap_bytes
+
+    def test_mac_computations_lower_bound(self):
+        layer = conv("c", 64, 64, 3, 3, 16, 8)
+        choice = search_optblk(layer, _plan(layer, 64 << 10))
+        assert choice.mac_computations >= choice.blocks_per_layer
+
+    def test_empty_candidates(self):
+        layer = conv("c", 16, 16, 3, 3, 4, 8)
+        with pytest.raises(ValueError):
+            search_optblk(layer, _plan(layer), candidates=())
+
+    def test_invalid_candidate(self):
+        layer = conv("c", 16, 16, 3, 3, 4, 8)
+        with pytest.raises(ValueError):
+            search_optblk(layer, _plan(layer), candidates=(0,))
+
+    def test_beats_naive_512(self):
+        """The chosen block never does more MAC work than a fixed 512 B
+        granularity — that's the point of the search."""
+        layer = conv("c", 100, 100, 3, 3, 24, 16)
+        plan = _plan(layer, 64 << 10)
+        best = search_optblk(layer, plan)
+        fixed = search_optblk(layer, plan, candidates=(512,))
+        assert best.mac_computations <= fixed.mac_computations
+
+
+class TestAlignedHelper:
+    def test_divisor_found(self):
+        assert aligned_block_for_tiles(4096) == 4096
+        assert aligned_block_for_tiles(1536) == 512
+
+    def test_fallback_to_minimum(self):
+        assert aligned_block_for_tiles(1000) == 64  # 1000 % 64 != 0 -> min

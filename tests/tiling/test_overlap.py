@@ -1,0 +1,76 @@
+"""Intra-layer overlap analysis (the redundancy SeDA's optBlk removes)."""
+
+import pytest
+
+from repro.models.layer import conv, gemm
+from repro.tiling.overlap import analyze_overlap
+from repro.tiling.tile import SramBudget, plan_tiling
+
+
+class TestNoOverlapCases:
+    def test_single_tile_layer(self):
+        layer = conv("c", 16, 16, 3, 3, 4, 8)
+        plan = plan_tiling(layer, SramBudget(1 << 20, 1 << 20, 1 << 20))
+        report = analyze_overlap(layer, plan)
+        assert not report.has_overlap
+        assert report.overlap_fraction == 0.0
+        assert report.redundant_mac_blocks == 0
+
+    def test_pointwise_conv_banded(self):
+        """1x1 stride-1 conv has no halo even when banded."""
+        layer = conv("c", 64, 64, 1, 1, 16, 8)
+        plan = plan_tiling(layer, SramBudget(16 << 10, 1 << 20, 1 << 20))
+        if plan.num_m_tiles > 1 and plan.ifmap_passes == 1:
+            report = analyze_overlap(layer, plan)
+            assert report.overlap_bytes == 0
+
+
+class TestHaloOverlap:
+    def test_banded_conv_has_overlap(self):
+        layer = conv("c", 64, 64, 3, 3, 16, 8)
+        plan = plan_tiling(layer, SramBudget(16 << 10, 1 << 20, 1 << 20))
+        assert plan.num_m_tiles > 1
+        report = analyze_overlap(layer, plan)
+        assert report.has_overlap
+        expected = plan.halo_bytes_per_boundary * (plan.num_m_tiles - 1)
+        assert report.overlap_bytes == expected
+
+    def test_overlap_matches_fetch_delta(self):
+        """overlap == fetched - unique when passes == 1."""
+        layer = conv("c", 64, 64, 3, 3, 16, 8)
+        plan = plan_tiling(layer, SramBudget(16 << 10, 1 << 20, 1 << 20))
+        report = analyze_overlap(layer, plan)
+        if plan.ifmap_passes == 1:
+            assert report.overlap_bytes == \
+                report.fetched_ifmap_bytes - report.unique_ifmap_bytes
+
+    def test_block_granularity_scaling(self):
+        layer = conv("c", 64, 64, 3, 3, 16, 8)
+        plan = plan_tiling(layer, SramBudget(16 << 10, 1 << 20, 1 << 20))
+        fine = analyze_overlap(layer, plan, block_bytes=64)
+        coarse = analyze_overlap(layer, plan, block_bytes=512)
+        assert fine.redundant_mac_blocks >= coarse.redundant_mac_blocks
+
+    def test_multi_pass_counts_rereads(self):
+        """Re-reading the whole ifmap per filter group is all redundant."""
+        layer = conv("c", 64, 64, 3, 3, 64, 512)
+        plan = plan_tiling(layer, SramBudget(24 << 10, 8 << 10, 1 << 20))
+        report = analyze_overlap(layer, plan)
+        if plan.ifmap_passes > 1:
+            assert report.overlap_bytes >= \
+                layer.ifmap_bytes * (plan.ifmap_passes - 1)
+
+
+class TestValidation:
+    def test_mismatched_plan(self):
+        layer_a = conv("a", 16, 16, 3, 3, 4, 8)
+        layer_b = conv("b", 16, 16, 3, 3, 4, 8)
+        plan = plan_tiling(layer_a, SramBudget(1 << 20, 1 << 20, 1 << 20))
+        with pytest.raises(ValueError):
+            analyze_overlap(layer_b, plan)
+
+    def test_invalid_block_size(self):
+        layer = conv("a", 16, 16, 3, 3, 4, 8)
+        plan = plan_tiling(layer, SramBudget(1 << 20, 1 << 20, 1 << 20))
+        with pytest.raises(ValueError):
+            analyze_overlap(layer, plan, block_bytes=0)

@@ -1,0 +1,92 @@
+"""Inter-layer tiling pattern extraction and compatibility."""
+
+import pytest
+
+from repro.models.layer import conv
+from repro.tiling.patterns import (
+    TileWalk,
+    TilingPattern,
+    pattern_of,
+    patterns_compatible,
+    producer_consumer_mismatches,
+)
+from repro.tiling.tile import SramBudget, plan_tiling
+
+
+def _plan(layer, ifmap_kb=1024, wgt_kb=1024, ofmap_kb=1024):
+    return plan_tiling(layer, SramBudget(ifmap_kb << 10, wgt_kb << 10,
+                                         ofmap_kb << 10))
+
+
+class TestPatternExtraction:
+    def test_single_tile_is_trivial(self):
+        layer = conv("c", 16, 16, 3, 3, 4, 8)
+        plan = _plan(layer)
+        assert pattern_of(plan, "ifmap").is_trivial
+        assert pattern_of(plan, "ofmap").is_trivial
+        assert pattern_of(plan, "weight").is_trivial
+
+    def test_banded_ifmap(self):
+        layer = conv("c", 64, 64, 3, 3, 16, 8)
+        plan = _plan(layer, ifmap_kb=16)
+        pattern = pattern_of(plan, "ifmap")
+        assert pattern.walk is TileWalk.ROW_BANDS
+        assert pattern.tiles == plan.num_m_tiles
+
+    def test_filter_grouped_weights(self):
+        layer = conv("c", 16, 16, 3, 3, 16, 512)
+        plan = _plan(layer, wgt_kb=8)
+        pattern = pattern_of(plan, "weight")
+        assert pattern.walk is TileWalk.FILTER_GROUPS
+
+    def test_unknown_tensor(self):
+        layer = conv("c", 16, 16, 3, 3, 4, 8)
+        with pytest.raises(ValueError):
+            pattern_of(_plan(layer), "psum")
+
+
+class TestCompatibility:
+    def test_trivial_always_compatible(self):
+        trivial = TilingPattern(TileWalk.SINGLE, 0, 0, 1)
+        banded = TilingPattern(TileWalk.ROW_BANDS, 8, 0, 4)
+        assert patterns_compatible(trivial, banded)
+        assert patterns_compatible(banded, trivial)
+
+    def test_nested_bands_compatible(self):
+        producer = TilingPattern(TileWalk.ROW_BANDS, 8, 0, 4)
+        consumer = TilingPattern(TileWalk.ROW_BANDS, 4, 0, 8)
+        assert patterns_compatible(producer, consumer)
+
+    def test_non_divisible_bands_incompatible(self):
+        producer = TilingPattern(TileWalk.ROW_BANDS, 8, 0, 4)
+        consumer = TilingPattern(TileWalk.ROW_BANDS, 3, 0, 11)
+        assert not patterns_compatible(producer, consumer)
+
+    def test_cross_walk_incompatible(self):
+        """The Fig. 3(b) hazard: producer writes bands, consumer reads
+        channel groups."""
+        producer = TilingPattern(TileWalk.ROW_BANDS, 8, 0, 4)
+        consumer = TilingPattern(TileWalk.FILTER_GROUPS, 0, 16, 4)
+        assert not patterns_compatible(producer, consumer)
+
+    def test_filter_groups_nesting(self):
+        producer = TilingPattern(TileWalk.FILTER_GROUPS, 0, 32, 4)
+        consumer = TilingPattern(TileWalk.FILTER_GROUPS, 0, 16, 8)
+        assert patterns_compatible(producer, consumer)
+        assert not patterns_compatible(consumer, producer)
+
+
+class TestTopologyScan:
+    def test_mismatch_counting(self):
+        layers = [
+            conv("a", 66, 66, 3, 3, 16, 16),
+            conv("b", 64, 64, 3, 3, 16, 16),
+        ]
+        plans = [_plan(layers[0], ifmap_kb=16), _plan(layers[1], ifmap_kb=16)]
+        count = producer_consumer_mismatches(layers, plans)
+        assert count >= 0
+
+    def test_parallel_length_validation(self):
+        layers = [conv("a", 16, 16, 3, 3, 4, 8)]
+        with pytest.raises(ValueError):
+            producer_consumer_mismatches(layers, [])

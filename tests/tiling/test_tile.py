@@ -1,0 +1,127 @@
+"""Tiling planner: fit constraints, traffic accounting, schedule choice."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.layer import conv, gemm
+from repro.tiling.tile import SramBudget, plan_tiling
+
+
+class TestSramBudget:
+    def test_split_conserves(self):
+        budget = SramBudget.split(1 << 20)
+        assert budget.total_bytes == 1 << 20
+
+    def test_split_validation(self):
+        with pytest.raises(ValueError):
+            SramBudget.split(0)
+        with pytest.raises(ValueError):
+            SramBudget.split(1024, ifmap_frac=0.6, weight_frac=0.5)
+
+    def test_direct_validation(self):
+        with pytest.raises(ValueError):
+            SramBudget(0, 1, 1)
+
+
+class TestFitsEntirely:
+    def test_single_tile(self):
+        layer = conv("c", 16, 16, 3, 3, 4, 8)
+        budget = SramBudget(1 << 20, 1 << 20, 1 << 20)
+        plan = plan_tiling(layer, budget)
+        assert plan.num_m_tiles == 1
+        assert plan.num_n_tiles == 1
+        assert plan.num_k_tiles == 1
+        assert plan.ifmap_traffic == layer.ifmap_bytes
+        assert plan.weight_traffic == layer.weight_bytes
+        assert plan.ofmap_traffic == layer.ofmap_bytes
+        assert plan.halo_traffic == 0
+
+
+class TestBandedTiling:
+    def test_m_tiling_triggers(self):
+        layer = conv("c", 64, 64, 3, 3, 16, 8)
+        # ifmap is 64*64*16 = 64 KiB; force several bands.
+        budget = SramBudget(16 << 10, 1 << 20, 1 << 20)
+        plan = plan_tiling(layer, budget)
+        assert plan.num_m_tiles > 1
+        assert plan.halo_bytes_per_boundary > 0
+        # Halo re-reads make fetched > unique footprint.
+        assert plan.ifmap_traffic > layer.ifmap_bytes
+
+    def test_n_tiling_triggers(self):
+        layer = conv("c", 16, 16, 3, 3, 16, 512)
+        budget = SramBudget(1 << 20, 8 << 10, 1 << 20)
+        plan = plan_tiling(layer, budget)
+        assert plan.num_n_tiles > 1
+
+    def test_resident_operand_read_once(self):
+        """Whichever dimension isn't cut streams exactly once."""
+        layer = conv("c", 64, 64, 3, 3, 16, 8)
+        budget = SramBudget(16 << 10, 1 << 20, 1 << 20)
+        plan = plan_tiling(layer, budget)
+        assert plan.weight_traffic == layer.weight_bytes
+
+    def test_too_small_budget_raises(self):
+        layer = conv("c", 256, 256, 3, 3, 64, 64)
+        budget = SramBudget(256, 256, 256)
+        with pytest.raises(ValueError):
+            plan_tiling(layer, budget)
+
+
+class TestKTiledSchedule:
+    def test_large_gemm_prefers_k_tiling(self):
+        """A huge-K FC layer must not re-read the ifmap per filter group."""
+        layer = gemm("fc6", 64, 25088, 4096)
+        budget = SramBudget.split(480 << 10)
+        plan = plan_tiling(layer, budget)
+        assert plan.is_k_tiled
+        # Minimum possible traffic is one pass of each tensor.
+        floor = layer.ifmap_bytes + layer.weight_bytes
+        assert plan.total_read_traffic < 3 * floor
+
+    def test_conv_never_k_tiled(self):
+        layer = conv("c", 64, 64, 3, 3, 16, 8)
+        plan = plan_tiling(layer, SramBudget.split(64 << 10))
+        assert not plan.is_k_tiled
+
+    def test_k_tiled_traffic_consistency(self):
+        layer = gemm("fc", 256, 4096, 1024)
+        plan = plan_tiling(layer, SramBudget.split(128 << 10))
+        if plan.is_k_tiled:
+            assert plan.ifmap_traffic == layer.ifmap_bytes * plan.num_n_tiles
+            assert plan.weight_traffic == layer.weight_bytes * plan.num_m_tiles
+
+
+class TestInvariants:
+    @given(st.integers(8, 64), st.integers(1, 5), st.integers(1, 32),
+           st.integers(1, 64), st.integers(14, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_plan_always_fits_sram(self, size, filt, channels, filters, budget_pow):
+        if filt > size:
+            return
+        layer = conv("c", size, size, filt, filt, channels, filters)
+        budget = SramBudget.split(1 << budget_pow)
+        try:
+            plan = plan_tiling(layer, budget)
+        except ValueError:
+            return  # genuinely cannot fit: acceptable outcome
+        assert plan.ifmap_tile_bytes <= budget.ifmap_bytes
+        assert plan.weight_tile_bytes <= budget.weight_bytes
+        assert plan.ofmap_tile_bytes <= budget.ofmap_bytes
+
+    @given(st.integers(8, 64), st.integers(1, 3), st.integers(1, 16),
+           st.integers(1, 64))
+    @settings(max_examples=60, deadline=None)
+    def test_traffic_at_least_tensor_sizes(self, size, filt, channels, filters):
+        if filt > size:
+            return
+        layer = conv("c", size, size, filt, filt, channels, filters)
+        budget = SramBudget.split(32 << 10)
+        try:
+            plan = plan_tiling(layer, budget)
+        except ValueError:
+            return
+        assert plan.ifmap_traffic >= layer.ifmap_bytes
+        assert plan.weight_traffic >= layer.weight_bytes
+        assert plan.ofmap_traffic == layer.ofmap_bytes

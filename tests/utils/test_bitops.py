@@ -1,0 +1,109 @@
+"""Unit and property tests for byte/bit helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bitops import (
+    align_down,
+    align_up,
+    bytes_to_int,
+    ceil_div,
+    int_to_bytes,
+    xor_bytes,
+)
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(8, 4) == 2
+
+    def test_remainder(self):
+        assert ceil_div(9, 4) == 3
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 4) == 0
+
+    def test_one(self):
+        assert ceil_div(1, 4) == 1
+
+    def test_invalid_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+
+    @given(st.integers(min_value=0, max_value=10**9),
+           st.integers(min_value=1, max_value=10**6))
+    def test_matches_definition(self, a, b):
+        assert ceil_div(a, b) == (a + b - 1) // b
+
+
+class TestAlign:
+    def test_align_down(self):
+        assert align_down(100, 64) == 64
+
+    def test_align_down_exact(self):
+        assert align_down(128, 64) == 128
+
+    def test_align_up(self):
+        assert align_up(100, 64) == 128
+
+    def test_align_up_exact(self):
+        assert align_up(128, 64) == 128
+
+    def test_invalid_alignment(self):
+        with pytest.raises(ValueError):
+            align_up(10, 0)
+        with pytest.raises(ValueError):
+            align_down(10, -4)
+
+    @given(st.integers(min_value=0, max_value=10**12),
+           st.integers(min_value=1, max_value=10**6))
+    def test_bracketing(self, value, alignment):
+        down = align_down(value, alignment)
+        up = align_up(value, alignment)
+        assert down <= value <= up
+        assert down % alignment == 0
+        assert up % alignment == 0
+        assert up - down in (0, alignment)
+
+
+class TestIntBytes:
+    def test_roundtrip(self):
+        assert bytes_to_int(int_to_bytes(0xDEADBEEF, 8)) == 0xDEADBEEF
+
+    def test_truncation(self):
+        assert int_to_bytes(0x1FF, 1) == b"\xff"
+
+    def test_zero_length(self):
+        assert int_to_bytes(0, 0) == b""
+
+    def test_negative_length(self):
+        with pytest.raises(ValueError):
+            int_to_bytes(1, -1)
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_roundtrip_property(self, value):
+        assert bytes_to_int(int_to_bytes(value, 8)) == value
+
+
+class TestXorBytes:
+    def test_basic(self):
+        assert xor_bytes(b"\x0f\xf0", b"\xff\xff") == b"\xf0\x0f"
+
+    def test_identity(self):
+        data = bytes(range(16))
+        assert xor_bytes(data, bytes(16)) == data
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            xor_bytes(b"ab", b"abc")
+
+    @given(st.binary(min_size=0, max_size=64))
+    def test_self_inverse(self, data):
+        mask = bytes((i * 7 + 3) % 256 for i in range(len(data)))
+        assert xor_bytes(xor_bytes(data, mask), mask) == data
+
+    @given(st.binary(min_size=1, max_size=64))
+    def test_commutative(self, data):
+        other = bytes(reversed(data))
+        assert xor_bytes(data, other) == xor_bytes(other, data)

@@ -1,0 +1,59 @@
+"""Text report rendering."""
+
+import pytest
+
+from repro.utils.report import bar_chart, format_table, percent
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bbbb"], [[1, 2.5], [333, 4.0]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        # Every row has the same width.
+        assert len({len(line) for line in lines[2:]}) == 1
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[1.23456]], float_fmt="{:.1f}")
+        assert "1.2" in out
+        assert "1.23" not in out
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestBarChart:
+    def test_peak_fills_width(self):
+        out = bar_chart({"x": 2.0, "y": 1.0}, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_baseline_marker(self):
+        out = bar_chart({"x": 2.0}, width=10, baseline=1.0)
+        assert "|" in out
+
+    def test_values_rendered(self):
+        out = bar_chart({"x": 1.5}, value_fmt="{:.2f}")
+        assert "1.50" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+        with pytest.raises(ValueError):
+            bar_chart({"x": 1.0}, width=5)
+        with pytest.raises(ValueError):
+            bar_chart({"x": 0.0})
+
+
+class TestPercent:
+    def test_positive(self):
+        assert percent(1.1226) == "+12.26%"
+
+    def test_negative(self):
+        assert percent(0.9) == "-10.00%"
+
+    def test_zero(self):
+        assert percent(1.0) == "+0.00%"
