@@ -1,40 +1,42 @@
 """Shared benchmark fixtures.
 
 The expensive part of every figure is the (NPU x workload x scheme)
-sweep; it is computed once per pytest session and shared across benchmark
-files. Individual benchmarks then time one representative pipeline run
-(so pytest-benchmark reports a meaningful number) and print the full
-paper-style table from the cached sweep.
+sweep; it runs through the :mod:`repro.runner` evaluation service, so
+it is computed once per pytest session (in-memory memo), shared across
+benchmark files, persisted to the on-disk result store (reruns are
+served from cache), and sharded across worker processes (CPU count
+capped at 8; override with ``REPRO_JOBS``). Individual benchmarks then time one
+representative pipeline run (so pytest-benchmark reports a meaningful
+number) and print the full paper-style table from the cached sweep.
 """
 
 import json
 import os
-from typing import Dict, Tuple
+from typing import Dict
 
 import pytest
 
-from repro import EDGE_NPU, Pipeline, SERVER_NPU, get_workload
-from repro.core.metrics import ComparisonResult, compare_schemes
-from repro.models.zoo import WORKLOAD_ABBREVIATIONS, WORKLOADS
+from repro.core.metrics import ComparisonResult
+from repro.models.zoo import WORKLOAD_ABBREVIATIONS
 from repro.protection import SCHEME_NAMES
+from repro.runner import EvalService, ResultStore, default_jobs
 
 #: Paper x-axis order (abbreviations), matching Figs. 1(d), 5 and 6.
 ABBREV_ORDER = list(WORKLOAD_ABBREVIATIONS)
 
-_SWEEP_CACHE: Dict[Tuple[str, str], ComparisonResult] = {}
+#: Store lives next to the dumped figure JSON unless REPRO_CACHE_DIR says
+#: otherwise, so benchmark artifacts stay inside the repo tree.
+_STORE_DIR = os.environ.get(
+    "REPRO_CACHE_DIR",
+    os.path.join(os.path.dirname(__file__), "results", "cache"))
+
+_SERVICE = EvalService(store=ResultStore(_STORE_DIR),
+                       jobs=int(os.environ.get("REPRO_JOBS", "0"))
+                       or default_jobs())
 
 
 def _sweep(npu_name: str) -> Dict[str, ComparisonResult]:
-    npu = SERVER_NPU if npu_name == "server" else EDGE_NPU
-    pipeline = Pipeline(npu)
-    out = {}
-    for workload in WORKLOADS:
-        key = (npu_name, workload)
-        if key not in _SWEEP_CACHE:
-            _SWEEP_CACHE[key] = compare_schemes(
-                pipeline, get_workload(workload), SCHEME_NAMES)
-        out[workload] = _SWEEP_CACHE[key]
-    return out
+    return _SERVICE.sweep(npu_name, scheme_names=SCHEME_NAMES)
 
 
 @pytest.fixture(scope="session")

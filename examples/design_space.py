@@ -15,7 +15,7 @@ import sys
 
 from repro import Pipeline, npu_config, get_workload
 from repro.hwmodel.aes_cost import BAES_28NM, TAES_28NM
-from repro.protection import make_scheme
+from repro.runner import EvalService, ResultStore
 from repro.tiling.optblk import search_optblk
 from repro.tiling.overlap import analyze_overlap
 from repro.tiling.patterns import pattern_of, patterns_compatible
@@ -47,20 +47,24 @@ def sweep_sram(workload: str) -> None:
 
 def sweep_granularity(workload: str, npu_name: str) -> None:
     print(f"\n### Integrity granularity sweep ({workload}, {npu_name})")
-    pipeline = Pipeline(npu_config(npu_name))
-    topo = get_workload(workload)
-    model_run = pipeline.simulate_model(topo)
-    baseline = pipeline.run(topo, make_scheme("baseline"), model_run=model_run)
+    service = EvalService(store=ResultStore())
+    comparison = service.compare(npu_name, workload,
+                                 ["mgx-64b", "mgx-512b", "seda"])
 
     rows = []
     for name in ("mgx-64b", "mgx-512b"):
-        run = pipeline.run(topo, make_scheme(name), model_run=model_run)
+        run = comparison.runs[name]
         rows.append([name, run.metadata_bytes / 1e6,
-                     run.total_bytes / baseline.total_bytes])
-    seda = pipeline.run(topo, make_scheme("seda"), model_run=model_run)
+                     comparison.traffic(name)])
+    seda = comparison.runs["seda"]
     rows.append(["seda (optBlk)", seda.metadata_bytes / 1e6,
-                 seda.total_bytes / baseline.total_bytes])
+                 comparison.traffic("seda")])
     print(format_table(["scheme", "metadata MB", "norm traffic"], rows))
+
+    # The per-layer tiling detail below needs the raw accelerator run,
+    # which records deliberately drop — regenerate stage 1 locally.
+    model_run = Pipeline(npu_config(npu_name)).simulate_model(
+        get_workload(workload))
 
     print("\nper-layer optBlk choices (first 8 layers):")
     opt_rows = []

@@ -2,34 +2,33 @@
 """Regenerate every figure and table of the paper's evaluation as text.
 
 This is the example-sized version of the ``benchmarks/`` harness: it runs
-the full (NPU x workload x scheme) sweep and prints Fig. 1(d), Fig. 4,
+the full (NPU x workload x scheme) sweep through the
+:mod:`repro.runner` evaluation service and prints Fig. 1(d), Fig. 4,
 Fig. 5(a/b), Fig. 6(a/b) and Tables I-III in the paper's layout.
 
-Expect a couple of minutes of runtime for the full sweep; pass
-``--quick`` to use a four-workload subset.
+The first run takes a couple of minutes for the full sweep (pass
+``--quick`` for a four-workload subset, ``--jobs N`` to shard across
+processes); reruns are served from the on-disk result store.
 """
 
 import sys
 
-from repro import EDGE_NPU, Pipeline, SERVER_NPU, get_workload
-from repro.core.metrics import compare_schemes
+from repro import EDGE_NPU, SERVER_NPU
 from repro.hwmodel.aes_cost import BAES_28NM, TAES_28NM, sweep_bandwidth
 from repro.models.zoo import WORKLOAD_ABBREVIATIONS
 from repro.protection import SCHEME_NAMES, make_scheme
+from repro.runner import EvalService, ResultStore
 from repro.utils.report import format_table
 
 QUICK_SET = ["let", "mob", "rest", "yolo"]
 
 
-def sweep(npu, abbrevs):
-    pipeline = Pipeline(npu)
-    out = {}
-    for abbrev in abbrevs:
-        workload = WORKLOAD_ABBREVIATIONS[abbrev]
-        out[abbrev] = compare_schemes(pipeline, get_workload(workload),
-                                      SCHEME_NAMES)
-        print(f"  simulated {workload} on {npu.name}", file=sys.stderr)
-    return out
+def sweep(service, npu, abbrevs):
+    results = service.sweep(
+        npu, workloads=[WORKLOAD_ABBREVIATIONS[a] for a in abbrevs],
+        scheme_names=SCHEME_NAMES)
+    print(f"  swept {len(results)} workloads on {npu.name}", file=sys.stderr)
+    return dict(zip(abbrevs, results.values()))
 
 
 def figure_rows(results, metric):
@@ -81,11 +80,22 @@ def print_tables():
 def main() -> None:
     quick = "--quick" in sys.argv
     abbrevs = QUICK_SET if quick else list(WORKLOAD_ABBREVIATIONS)
+    jobs = 1
+    if "--jobs" in sys.argv:
+        try:
+            jobs = int(sys.argv[sys.argv.index("--jobs") + 1])
+        except (IndexError, ValueError):
+            sys.exit("usage: paper_figures.py [--quick] [--jobs N]")
+    service = EvalService(
+        store=ResultStore(), jobs=jobs,
+        progress=lambda done, total, request: print(
+            f"  [{done}/{total}] simulated {request.workload}",
+            file=sys.stderr))
 
     print_tables()
     print_fig4()
 
-    server = sweep(SERVER_NPU, abbrevs)
+    server = sweep(service, SERVER_NPU, abbrevs)
     print_figure("Fig. 1(d) — SGX-64B overhead % (server)",
                  server, lambda c, s: c.traffic_overhead_pct(s))
     print_figure("Fig. 5(a) — normalized memory traffic (server)",
@@ -93,7 +103,7 @@ def main() -> None:
     print_figure("Fig. 6(a) — normalized performance (server)",
                  server, lambda c, s: c.performance(s))
 
-    edge = sweep(EDGE_NPU, abbrevs)
+    edge = sweep(service, EDGE_NPU, abbrevs)
     print_figure("Fig. 5(b) — normalized memory traffic (edge)",
                  edge, lambda c, s: c.traffic(s))
     print_figure("Fig. 6(b) — normalized performance (edge)",

@@ -5,20 +5,30 @@ Commands:
 - ``list`` — available workloads, schemes and NPU configurations.
 - ``run`` — one (workload, NPU, scheme) pipeline run with a summary.
 - ``compare`` — all schemes on one workload/NPU, Fig. 5/6 style.
+- ``sweep`` — the full (workload x scheme) grid on one NPU through the
+  parallel, disk-cached evaluation service, with CSV/JSON export.
+- ``cache`` — inspect (``stats``) or empty (``clear``) the on-disk
+  result store behind ``sweep``.
 - ``attack`` — run the SECA and RePA demonstrations.
 """
 
 from __future__ import annotations
 
 import argparse
+import csv
+import json
+import os
 import sys
+import time
 from typing import List, Optional
 
 from repro.core.config import npu_config
 from repro.core.metrics import compare_schemes
 from repro.core.pipeline import Pipeline
+from repro.core.sweep import METRICS as SWEEP_METRICS, SweepRunner
 from repro.models.zoo import WORKLOAD_ABBREVIATIONS, get_workload, list_workloads
 from repro.protection import SCHEME_NAMES, make_scheme
+from repro.runner.store import ResultStore
 from repro.utils.report import format_table, percent
 
 
@@ -67,6 +77,92 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     print(f"{topology.name} on {npu.name} (normalized to unprotected):")
     print(format_table(
         ["scheme", "traffic", "overhead", "performance", "slowdown"], rows))
+    return 0
+
+
+def _make_store(args: argparse.Namespace) -> Optional[ResultStore]:
+    if getattr(args, "no_cache", False):
+        return None
+    return ResultStore(args.cache_dir)  # None root -> default cache dir
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    workloads = [WORKLOAD_ABBREVIATIONS.get(w, w) for w in args.workloads] \
+        if args.workloads else None
+    store = _make_store(args)
+    runner = SweepRunner(
+        scheme_names=args.schemes, jobs=args.jobs, store=store,
+        cell_progress=lambda done, total, request: print(
+            f"  [{done}/{total}] computed {request.workload} on {args.npu}",
+            file=sys.stderr))
+
+    started = time.time()
+    results = runner.sweep(args.npu, workloads=workloads)
+    elapsed = time.time() - started
+
+    names = list(results)
+    tables = {metric: runner.figure_table(results, metric)
+              for metric in args.metrics}
+    for metric, table in tables.items():
+        print(f"\n=== {metric} ({args.npu}, normalized to unprotected) ===")
+        print(format_table(
+            ["scheme"] + names + ["avg"],
+            [[scheme] + values for scheme, values in table.items()]))
+
+    if store is not None:
+        last = store.summary().last_run
+        served = last.get("hits", 0)
+        total = served + last.get("misses", 0)
+        print(f"\n{total} grid cells in {elapsed:.1f}s "
+              f"({served} served from cache, {total - served} computed, "
+              f"jobs={args.jobs})")
+    else:
+        print(f"\n{len(names)} grid cells in {elapsed:.1f}s "
+              f"(cache disabled, jobs={args.jobs})")
+
+    if args.csv:
+        with open(args.csv, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["metric", "scheme"] + names + ["avg"])
+            for metric, table in tables.items():
+                for scheme, values in table.items():
+                    writer.writerow([metric, scheme] + values)
+        print(f"wrote {args.csv}")
+    if args.json:
+        payload = {
+            "npu": args.npu,
+            "schemes": args.schemes,
+            "workloads": names,
+            "metrics": tables,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    summary = ResultStore(args.cache_dir).summary()
+    lifetime, last = summary.lifetime, summary.last_run
+    last_total = last.get("hits", 0) + last.get("misses", 0)
+    last_rate = last.get("hits", 0) / last_total if last_total else 0.0
+    print(format_table(["metric", "value"], [
+        ["store", summary.root],
+        ["entries", summary.entries],
+        ["size (KB)", f"{summary.total_bytes / 1024:.1f}"],
+        ["lifetime hits", lifetime.get("hits", 0)],
+        ["lifetime misses", lifetime.get("misses", 0)],
+        ["last run hits", last.get("hits", 0)],
+        ["last run misses", last.get("misses", 0)],
+        ["last run hit rate", f"{last_rate * 100:.1f}%"],
+    ]))
+    return 0
+
+
+def _cmd_cache_clear(args: argparse.Namespace) -> int:
+    store = ResultStore(args.cache_dir)
+    removed = store.clear()
+    print(f"removed {removed} cached results from {store.root}")
     return 0
 
 
@@ -127,6 +223,34 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--schemes", nargs="+", default=SCHEME_NAMES)
     cmp_p.set_defaults(func=_cmd_compare)
 
+    sweep_p = sub.add_parser(
+        "sweep", help="full (workload x scheme) grid via the eval service")
+    sweep_p.add_argument("--npu", default="server", choices=["server", "edge"])
+    sweep_p.add_argument("--workloads", nargs="+",
+                         help="subset of workloads (default: all)")
+    sweep_p.add_argument("--schemes", nargs="+", default=SCHEME_NAMES)
+    sweep_p.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (1 = serial in-process)")
+    sweep_p.add_argument("--metrics", nargs="+", default=["traffic", "performance"],
+                         choices=SWEEP_METRICS)
+    sweep_p.add_argument("--csv", metavar="PATH", help="export tables as CSV")
+    sweep_p.add_argument("--json", metavar="PATH", help="export tables as JSON")
+    sweep_p.add_argument("--cache-dir", metavar="DIR",
+                         help="result store location (default: "
+                              "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    sweep_p.add_argument("--no-cache", action="store_true",
+                         help="skip the on-disk result store")
+    sweep_p.set_defaults(func=_cmd_sweep)
+
+    cache_p = sub.add_parser("cache", help="manage the on-disk result store")
+    cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
+    stats_p = cache_sub.add_parser("stats", help="entries, size, hit rates")
+    stats_p.add_argument("--cache-dir", metavar="DIR")
+    stats_p.set_defaults(func=_cmd_cache_stats)
+    clear_p = cache_sub.add_parser("clear", help="delete every cached result")
+    clear_p.add_argument("--cache-dir", metavar="DIR")
+    clear_p.set_defaults(func=_cmd_cache_clear)
+
     desc_p = sub.add_parser("describe", help="summarize one workload")
     desc_p.add_argument("workload")
     desc_p.set_defaults(func=_cmd_describe)
@@ -144,6 +268,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except KeyError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Output piped into a pager/head that exited early; not an error.
+        # Point stdout at devnull so the interpreter-exit flush of the
+        # dead pipe doesn't fail noisily after we return.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

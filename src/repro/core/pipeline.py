@@ -66,7 +66,7 @@ class SchemeRun:
     workload: str
     scheme_name: str
     layers: List[LayerTiming]
-    model_run: ModelRun = field(repr=False, default=None)
+    model_run: Optional[ModelRun] = field(repr=False, default=None)
 
     @property
     def total_cycles(self) -> float:

@@ -1,55 +1,73 @@
 """Full evaluation sweeps: (NPU x workload x scheme) in one call.
 
 The benchmark harness and the ``paper_figures`` example both need the
-same sweep; this module is the shared implementation, with memoization
-(the accelerator stage is reused across schemes, and whole comparisons
-are cached per (NPU, workload) pair) and optional progress callbacks.
+same sweep; this module is the shared implementation.  Since the runner
+subsystem landed, :class:`SweepRunner` is a thin facade over
+:class:`~repro.runner.service.EvalService`: requests are deduplicated
+and memoized per fingerprint, optionally persisted to a
+:class:`~repro.runner.store.ResultStore`, and fanned out to a process
+pool when ``jobs > 1``.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Optional
 
-from repro.core.config import npu_config
-from repro.core.metrics import ComparisonResult, compare_schemes
-from repro.core.pipeline import Pipeline
-from repro.models.zoo import WORKLOADS, get_workload
+from repro.core.metrics import ComparisonResult
+from repro.models.zoo import WORKLOADS
 from repro.protection import SCHEME_NAMES
+from repro.runner.executor import ProgressFn as CellProgressFn
+from repro.runner.service import EvalService
+from repro.runner.store import ResultStore
 
 ProgressFn = Callable[[str, str], None]
 
+#: Metrics understood by :meth:`SweepRunner.series` (and the CLI).
+METRICS = ("traffic", "performance", "traffic_overhead_pct", "slowdown_pct")
+
 
 class SweepRunner:
-    """Memoizing sweep executor."""
+    """Memoizing sweep executor backed by the evaluation service.
 
-    def __init__(self, scheme_names: Optional[List[str]] = None):
+    By default results live only in memory, exactly like the historical
+    implementation; pass ``store`` (or ``cache_dir``) to persist them
+    across processes, and ``jobs > 1`` to shard the grid across worker
+    processes. ``cell_progress(done, total, request)`` fires as each
+    computed grid cell finishes (cache hits complete without it).
+    """
+
+    def __init__(self, scheme_names: Optional[List[str]] = None,
+                 jobs: int = 1, store: Optional[ResultStore] = None,
+                 cache_dir: Optional[str] = None,
+                 cell_progress: Optional[CellProgressFn] = None):
         self.scheme_names = list(scheme_names or SCHEME_NAMES)
-        self._cache: Dict[tuple, ComparisonResult] = {}
-        self._pipelines: Dict[str, Pipeline] = {}
-
-    def _pipeline(self, npu_name: str) -> Pipeline:
-        if npu_name not in self._pipelines:
-            self._pipelines[npu_name] = Pipeline(npu_config(npu_name))
-        return self._pipelines[npu_name]
+        if store is None and cache_dir is not None:
+            store = ResultStore(cache_dir)
+        self.service = EvalService(store=store, jobs=jobs,
+                                   progress=cell_progress)
 
     def compare(self, npu_name: str, workload: str) -> ComparisonResult:
-        key = (npu_name, workload, tuple(self.scheme_names))
-        if key not in self._cache:
-            self._cache[key] = compare_schemes(
-                self._pipeline(npu_name), get_workload(workload),
-                self.scheme_names)
-        return self._cache[key]
+        return self.service.compare(npu_name, workload, self.scheme_names)
 
     def sweep(self, npu_name: str,
               workloads: Optional[Iterable[str]] = None,
               progress: Optional[ProgressFn] = None) -> Dict[str, ComparisonResult]:
-        """All workloads on one NPU; returns workload -> comparison."""
-        out = {}
-        for workload in (workloads or WORKLOADS):
+        """All workloads on one NPU; returns workload -> comparison.
+
+        ``progress(npu, workload)`` fires once per workload as it is
+        *enqueued* — the whole grid is then dispatched as one batch (so
+        cache lookups and worker sharding can see it at once). For
+        per-cell completion feedback, pass ``cell_progress`` to the
+        constructor instead.
+        """
+        names = list(workloads or WORKLOADS)
+        requests = []
+        for workload in names:
             if progress is not None:
                 progress(npu_name, workload)
-            out[workload] = self.compare(npu_name, workload)
-        return out
+            requests.append(
+                self.service.request(npu_name, workload, self.scheme_names))
+        return dict(zip(names, self.service.evaluate(requests)))
 
     # -- aggregation helpers --
 
@@ -61,18 +79,12 @@ class SweepRunner:
         ``metric`` is 'traffic', 'performance', 'traffic_overhead_pct' or
         'slowdown_pct'.
         """
-        getters = {
-            "traffic": lambda c: c.traffic(scheme),
-            "performance": lambda c: c.performance(scheme),
-            "traffic_overhead_pct": lambda c: c.traffic_overhead_pct(scheme),
-            "slowdown_pct": lambda c: c.slowdown_pct(scheme),
-        }
-        try:
-            getter = getters[metric]
-        except KeyError:
+        if metric not in METRICS:
             raise ValueError(
-                f"unknown metric {metric!r}; known: {sorted(getters)}"
-            ) from None
+                f"unknown metric {metric!r}; known: {sorted(METRICS)}")
+        getter = lambda c: getattr(c, metric)(scheme)  # noqa: E731
+        if not results:
+            raise ValueError("no results to aggregate")
         values = [getter(c) for c in results.values()]
         return values + [sum(values) / len(values)]
 

@@ -1,0 +1,162 @@
+"""Grid executor: shard evaluation requests across a process pool.
+
+The (NPU x workload x scheme) grid is embarrassingly parallel — every
+cell is an independent ``compare_schemes`` call — so the executor simply
+fans cells out to ``jobs`` worker processes and reassembles results in
+request order.  Workers exchange only flat record dicts (see
+:mod:`repro.runner.records`), never live simulator objects, so nothing
+unpicklable crosses the process boundary.
+
+``jobs <= 1`` (or a single-cell grid, or an environment where spawning
+processes fails — sandboxes, exotic interpreters) degrades gracefully to
+serial in-process execution with identical results and callbacks.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import NpuConfig
+from repro.core.metrics import compare_schemes
+from repro.core.pipeline import Pipeline
+from repro.models.zoo import get_workload
+from repro.runner.records import comparison_to_dict, npu_from_dict, npu_to_dict
+
+#: (completed, total, request) — fired as each grid cell finishes.
+ProgressFn = Callable[[int, int, "EvalRequest"], None]
+
+#: (index, request, record) — fired with each result, in completion order.
+ResultFn = Callable[[int, "EvalRequest", Dict[str, Any]], None]
+
+
+@dataclass(frozen=True)
+class EvalRequest:
+    """One grid cell: every scheme on one (NPU, workload) pair."""
+
+    npu: NpuConfig
+    workload: str
+    scheme_names: Tuple[str, ...]
+
+    def payload(self) -> Dict[str, Any]:
+        """Picklable wire form handed to worker processes."""
+        return {
+            "npu": npu_to_dict(self.npu),
+            "workload": self.workload,
+            "schemes": list(self.scheme_names),
+        }
+
+
+class _CallbackError(Exception):
+    """Wraps an exception raised by a caller's callback in the pool path.
+
+    Keeps caller failures (a full disk under ``ResultStore.put``, a
+    broken pipe under a progress print) distinguishable from pool-spawn
+    failures, which are the only thing the serial fallback is meant to
+    absorb.
+    """
+
+
+#: Per-worker pipeline memo — stage 1 state is reusable across cells
+#: that land on the same worker with the same NPU.
+_worker_pipelines: Dict[str, Pipeline] = {}
+
+
+def run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Evaluate one grid cell; module-level so process pools can pickle it."""
+    npu = npu_from_dict(payload["npu"])
+    key = repr(sorted(payload["npu"].items()))
+    pipeline = _worker_pipelines.get(key)
+    if pipeline is None:
+        pipeline = _worker_pipelines[key] = Pipeline(npu)
+    result = compare_schemes(pipeline, get_workload(payload["workload"]),
+                             payload["schemes"])
+    return comparison_to_dict(result)
+
+
+def default_jobs() -> int:
+    """A sensible worker count: CPU count capped at 8."""
+    return min(os.cpu_count() or 1, 8)
+
+
+class GridExecutor:
+    """Run evaluation requests, in parallel when it pays off."""
+
+    def __init__(self, jobs: int = 1, progress: Optional[ProgressFn] = None):
+        self.jobs = jobs
+        self.progress = progress
+
+    def run(self, requests: Sequence[EvalRequest],
+            on_result: Optional[ResultFn] = None) -> List[Dict[str, Any]]:
+        """Evaluate every request; results are ordered like ``requests``.
+
+        ``on_result`` fires per cell in *completion* order (that is what
+        makes interrupted sweeps resumable — each finished cell can be
+        persisted before the grid completes); the returned list is
+        always in request order.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        # Cells finished before a mid-flight pool failure; the serial
+        # retry must not recompute them or refire their callbacks.
+        completed: Dict[int, Dict[str, Any]] = {}
+        if self.jobs > 1 and len(requests) > 1:
+            try:
+                return self._run_pool(requests, on_result, completed)
+            except _CallbackError as exc:
+                raise exc.__cause__  # caller failure, not a pool problem
+            except (OSError, ImportError, PermissionError, BrokenProcessPool):
+                pass  # no subprocess support here; fall through to serial
+        return self._run_serial(requests, on_result, completed)
+
+
+    def _notify(self, done: int, total: int, request: EvalRequest) -> None:
+        if self.progress is not None:
+            self.progress(done, total, request)
+
+    def _run_serial(self, requests: Sequence[EvalRequest],
+                    on_result: Optional[ResultFn],
+                    completed: Dict[int, Dict[str, Any]]
+                    ) -> List[Dict[str, Any]]:
+        records: List[Dict[str, Any]] = []
+        done = len(completed)
+        for index, request in enumerate(requests):
+            if index in completed:
+                records.append(completed[index])
+                continue
+            record = run_cell(request.payload())
+            if on_result is not None:
+                on_result(index, request, record)
+            done += 1
+            self._notify(done, len(requests), request)
+            records.append(record)
+        return records
+
+    def _run_pool(self, requests: Sequence[EvalRequest],
+                  on_result: Optional[ResultFn],
+                  completed: Dict[int, Dict[str, Any]]
+                  ) -> List[Dict[str, Any]]:
+        records: List[Optional[Dict[str, Any]]] = [None] * len(requests)
+        workers = min(self.jobs, len(requests))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(run_cell, request.payload()): index
+                for index, request in enumerate(requests)
+            }
+            for future in as_completed(futures):
+                index = futures[future]
+                record = future.result()
+                records[index] = record
+                completed[index] = record
+                try:
+                    if on_result is not None:
+                        on_result(index, requests[index], record)
+                    self._notify(len(completed), len(requests),
+                                 requests[index])
+                except Exception as exc:
+                    raise _CallbackError() from exc
+        return records  # every slot is filled: as_completed drained all

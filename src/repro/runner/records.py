@@ -1,0 +1,152 @@
+"""Serializable, schema-versioned result records.
+
+The evaluation pipeline produces rich in-memory objects
+(:class:`~repro.core.pipeline.SchemeRun`,
+:class:`~repro.core.metrics.ComparisonResult`) that drag the whole
+accelerator trace along via ``model_run``.  The runner's disk store and
+process-pool workers need a flat, JSON-friendly view instead: this
+module flattens those objects to plain dicts and rebuilds equivalent
+objects (minus the trace, which no figure or table consumes) on the way
+back.
+
+Every record carries ``SCHEMA_VERSION``; a stored record from an older
+schema is rejected by :func:`comparison_from_dict` so the store treats
+it as a miss rather than deserializing garbage.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.accel.systolic import Dataflow
+from repro.core.config import NpuConfig
+from repro.core.metrics import ComparisonResult
+from repro.core.pipeline import LayerTiming, SchemeRun
+
+#: Bump whenever the record layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+class RecordError(ValueError):
+    """A record could not be decoded (wrong schema, missing fields)."""
+
+
+# -- NpuConfig ---------------------------------------------------------------
+
+def npu_to_dict(npu: NpuConfig) -> Dict[str, Any]:
+    return {
+        "name": npu.name,
+        "pe_rows": npu.pe_rows,
+        "pe_cols": npu.pe_cols,
+        "bandwidth_gbps": npu.bandwidth_gbps,
+        "dram_channels": npu.dram_channels,
+        "freq_ghz": npu.freq_ghz,
+        "sram_bytes": npu.sram_bytes,
+        "precision_bytes": npu.precision_bytes,
+        "dataflow": npu.dataflow.name,
+    }
+
+
+def npu_from_dict(data: Dict[str, Any]) -> NpuConfig:
+    try:
+        return NpuConfig(
+            name=data["name"],
+            pe_rows=data["pe_rows"],
+            pe_cols=data["pe_cols"],
+            bandwidth_gbps=data["bandwidth_gbps"],
+            dram_channels=data["dram_channels"],
+            freq_ghz=data["freq_ghz"],
+            sram_bytes=data["sram_bytes"],
+            precision_bytes=data.get("precision_bytes", 1),
+            dataflow=Dataflow[data.get("dataflow", "WS")],
+        )
+    except KeyError as exc:
+        raise RecordError(f"bad NPU record: missing {exc}") from None
+
+
+# -- LayerTiming -------------------------------------------------------------
+
+def layer_timing_to_dict(timing: LayerTiming) -> Dict[str, Any]:
+    return {
+        "layer_id": timing.layer_id,
+        "layer_name": timing.layer_name,
+        "compute_cycles": timing.compute_cycles,
+        "dram_cycles": timing.dram_cycles,
+        "crypto_cycles": timing.crypto_cycles,
+        "data_bytes": timing.data_bytes,
+        "metadata_bytes": timing.metadata_bytes,
+        "row_hit_rate": timing.row_hit_rate,
+    }
+
+
+def layer_timing_from_dict(data: Dict[str, Any]) -> LayerTiming:
+    try:
+        return LayerTiming(
+            layer_id=data["layer_id"],
+            layer_name=data["layer_name"],
+            compute_cycles=data["compute_cycles"],
+            dram_cycles=data["dram_cycles"],
+            crypto_cycles=data["crypto_cycles"],
+            data_bytes=data["data_bytes"],
+            metadata_bytes=data["metadata_bytes"],
+            row_hit_rate=data["row_hit_rate"],
+        )
+    except KeyError as exc:
+        raise RecordError(f"bad layer-timing record: missing {exc}") from None
+
+
+# -- SchemeRun ---------------------------------------------------------------
+
+def scheme_run_to_dict(run: SchemeRun) -> Dict[str, Any]:
+    """Flatten one scheme run; ``model_run`` (the raw trace) is dropped."""
+    return {
+        "npu": npu_to_dict(run.npu),
+        "workload": run.workload,
+        "scheme_name": run.scheme_name,
+        "layers": [layer_timing_to_dict(t) for t in run.layers],
+    }
+
+
+def scheme_run_from_dict(data: Dict[str, Any]) -> SchemeRun:
+    try:
+        return SchemeRun(
+            npu=npu_from_dict(data["npu"]),
+            workload=data["workload"],
+            scheme_name=data["scheme_name"],
+            layers=[layer_timing_from_dict(t) for t in data["layers"]],
+            model_run=None,
+        )
+    except KeyError as exc:
+        raise RecordError(f"bad scheme-run record: missing {exc}") from None
+
+
+# -- ComparisonResult --------------------------------------------------------
+
+def comparison_to_dict(result: ComparisonResult) -> Dict[str, Any]:
+    """Flatten a whole comparison (baseline + every scheme) to JSON types."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "npu_name": result.npu_name,
+        "workload": result.workload,
+        "baseline": scheme_run_to_dict(result.baseline),
+        "runs": {name: scheme_run_to_dict(run)
+                 for name, run in result.runs.items()},
+    }
+
+
+def comparison_from_dict(data: Dict[str, Any]) -> ComparisonResult:
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise RecordError(
+            f"schema version mismatch: record has {version!r}, "
+            f"this build reads {SCHEMA_VERSION}")
+    try:
+        return ComparisonResult(
+            npu_name=data["npu_name"],
+            workload=data["workload"],
+            runs={name: scheme_run_from_dict(run)
+                  for name, run in data["runs"].items()},
+            baseline=scheme_run_from_dict(data["baseline"]),
+        )
+    except KeyError as exc:
+        raise RecordError(f"bad comparison record: missing {exc}") from None

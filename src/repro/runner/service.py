@@ -1,0 +1,108 @@
+"""Batch evaluation service: dedupe, cache, dispatch, resume.
+
+:class:`EvalService` is the front door the rest of the repo talks to.
+Callers hand it a batch of grid cells; it fingerprints each one,
+collapses duplicates, serves what it can from the in-memory memo and the
+on-disk store, and dispatches only the true misses to the
+:class:`~repro.runner.executor.GridExecutor`.  Every finished cell is
+persisted the moment it completes, so a sweep killed halfway through
+loses only in-flight cells — rerunning the same command resumes from the
+store instead of starting over.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.config import NpuConfig, npu_config
+from repro.core.metrics import ComparisonResult
+from repro.models.zoo import WORKLOADS
+from repro.protection import SCHEME_NAMES
+from repro.runner.executor import EvalRequest, GridExecutor, ProgressFn
+from repro.runner.records import comparison_from_dict, RecordError
+from repro.runner.store import ResultStore, fingerprint
+
+
+class EvalService:
+    """Deduplicating, disk-cached evaluation front-end.
+
+    ``store=None`` keeps the service purely in-memory (the memo still
+    collapses repeated requests within the process); pass a
+    :class:`~repro.runner.store.ResultStore` to persist results across
+    processes and make sweeps resumable.
+    """
+
+    def __init__(self, store: Optional[ResultStore] = None, jobs: int = 1,
+                 progress: Optional[ProgressFn] = None):
+        self.store = store
+        self.executor = GridExecutor(jobs=jobs, progress=progress)
+        self._memo: Dict[str, ComparisonResult] = {}
+
+    # -- request construction --
+
+    @staticmethod
+    def request(npu: Any, workload: str,
+                scheme_names: Optional[Iterable[str]] = None) -> EvalRequest:
+        """Build a grid cell from an NPU name or :class:`NpuConfig`."""
+        if not isinstance(npu, NpuConfig):
+            npu = npu_config(npu)
+        return EvalRequest(npu=npu, workload=workload,
+                           scheme_names=tuple(scheme_names or SCHEME_NAMES))
+
+    # -- evaluation --
+
+    def evaluate(self, requests: Sequence[EvalRequest]) -> List[ComparisonResult]:
+        """Evaluate a batch; results are ordered like ``requests``.
+
+        Identical requests in one batch are computed once; requests
+        already in the memo or the store are not recomputed at all.
+        """
+        requests = list(requests)
+        keys = [fingerprint(r.npu, r.workload, r.scheme_names)
+                for r in requests]
+
+        miss_indices: List[int] = []
+        seen_keys: Dict[str, int] = {}
+        for index, (request, key) in enumerate(zip(requests, keys)):
+            if key in self._memo or key in seen_keys:
+                continue
+            record = self.store.get(key) if self.store is not None else None
+            if record is not None:
+                try:
+                    self._memo[key] = comparison_from_dict(record)
+                    continue
+                except RecordError:
+                    # Stale schema: recompute and overwrite — and make
+                    # the counters tell the truth about it.
+                    self.store.demote_hit(key)
+            seen_keys[key] = index
+            miss_indices.append(index)
+
+        if miss_indices:
+            def persist(position: int, _request: EvalRequest,
+                        record: Dict[str, Any]) -> None:
+                if self.store is not None:
+                    self.store.put(keys[miss_indices[position]], record)
+
+            misses = [requests[i] for i in miss_indices]
+            records = self.executor.run(misses, on_result=persist)
+            for index, record in zip(miss_indices, records):
+                self._memo[keys[index]] = comparison_from_dict(record)
+
+        if self.store is not None:
+            self.store.flush_stats()
+        return [self._memo[key] for key in keys]
+
+    def compare(self, npu: Any, workload: str,
+                scheme_names: Optional[Iterable[str]] = None) -> ComparisonResult:
+        """One grid cell."""
+        return self.evaluate([self.request(npu, workload, scheme_names)])[0]
+
+    def sweep(self, npu: Any, workloads: Optional[Iterable[str]] = None,
+              scheme_names: Optional[Iterable[str]] = None
+              ) -> Dict[str, ComparisonResult]:
+        """Every workload on one NPU; returns workload -> comparison."""
+        names = list(workloads or WORKLOADS)
+        results = self.evaluate(
+            [self.request(npu, w, scheme_names) for w in names])
+        return dict(zip(names, results))

@@ -1,0 +1,265 @@
+"""Content-addressed on-disk result store.
+
+Each (NPU config, workload, scheme set, code version) evaluation is
+addressed by a SHA-256 fingerprint of its canonical JSON description;
+the record lives at ``<root>/<aa>/<fingerprint>.json`` (sharded by the
+first byte so no directory grows unbounded).  Writes go through a
+temporary file plus :func:`os.replace`, so a reader never observes a
+half-written record and concurrent writers of the same key simply race
+to an identical result.
+
+The code version folds a hash of the simulator's own sources into every
+fingerprint: editing any module that influences results invalidates the
+whole store automatically, with no manual versioning to forget.
+Per-session hit/miss counters are merged into a persistent
+``stats.json`` on :meth:`ResultStore.flush_stats`, which is what
+``repro cache stats`` reports.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional
+
+from repro.core.config import NpuConfig
+from repro.runner.records import SCHEMA_VERSION, npu_to_dict
+
+#: Environment override for the default store location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Sources that cannot affect evaluation results: the caching machinery
+#: itself and the presentation-only CLI. Everything else is hashed —
+#: deliberately conservative, so an ambiguous module over-invalidates
+#: the store rather than risking stale results.
+_NON_RESULT_DIRS = {"runner", "__pycache__"}
+_NON_RESULT_FILES = {"cli.py"}
+
+_code_version_cache: Optional[str] = None
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+def code_version() -> str:
+    """Hash of the package sources that can affect evaluation results.
+
+    ``runner/`` and ``cli.py`` are excluded: changes to the caching
+    machinery or the command-line front-end do not change what the
+    pipeline computes, so they must not invalidate stored results.
+    """
+    global _code_version_cache
+    if _code_version_cache is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            relative = path.relative_to(package_root)
+            if relative.parts[0] in _NON_RESULT_DIRS or \
+                    str(relative) in _NON_RESULT_FILES:
+                continue
+            digest.update(str(relative).encode())
+            digest.update(path.read_bytes())
+        _code_version_cache = digest.hexdigest()[:16]
+    return _code_version_cache
+
+
+def fingerprint(npu: NpuConfig, workload: str,
+                scheme_names: Iterable[str],
+                version: Optional[str] = None) -> str:
+    """Content address of one evaluation request."""
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "code": version if version is not None else code_version(),
+        "npu": npu_to_dict(npu),
+        "workload": workload,
+        "schemes": list(scheme_names),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Counters for one store session."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "puts": self.puts, "evictions": self.evictions}
+
+
+@dataclass
+class StoreSummary:
+    """What ``repro cache stats`` prints."""
+
+    root: str
+    entries: int
+    total_bytes: int
+    lifetime: Dict[str, int] = field(default_factory=dict)
+    last_run: Dict[str, int] = field(default_factory=dict)
+
+
+class ResultStore:
+    """Content-addressed JSON record store with atomic writes."""
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.stats = CacheStats()
+
+    # -- paths --
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def _stats_path(self) -> Path:
+        return self.root / "stats.json"
+
+    # -- record access --
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Record dict for ``key``, or ``None`` (counted as a miss).
+
+        A corrupt record (truncated write from a crashed process, stray
+        edit) is evicted and reported as a miss.
+        """
+        path = self._path(key)
+        try:
+            with open(path) as handle:
+                record = json.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (json.JSONDecodeError, OSError):
+            self.stats.misses += 1
+            self.stats.evictions += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return record
+
+    def put(self, key: str, record: Dict[str, Any]) -> None:
+        """Atomically persist ``record`` under ``key``."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(record, handle, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.puts += 1
+
+    def demote_hit(self, key: str) -> None:
+        """Reclassify the last hit on ``key`` as a miss and evict it.
+
+        For callers that fetched a record successfully but found it
+        unusable (e.g. a stale schema version): the request must count
+        as a miss or hit-rate reporting overstates cache effectiveness.
+        """
+        self.stats.hits -= 1
+        self.stats.misses += 1
+        self.stats.evictions += 1
+        try:
+            self._path(key).unlink()
+        except OSError:
+            pass
+
+    def contains(self, key: str) -> bool:
+        """Presence check that does not touch the hit/miss counters."""
+        return self._path(key).exists()
+
+    # -- maintenance --
+
+    def entries(self) -> int:
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def size_bytes(self) -> int:
+        return sum(p.stat().st_size for p in self.root.glob("??/*.json"))
+
+    def clear(self) -> int:
+        """Delete every record (and the stats file); returns count removed."""
+        removed = 0
+        for path in list(self.root.glob("??/*.json")):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        try:
+            self._stats_path().unlink()
+        except OSError:
+            pass
+        return removed
+
+    # -- persistent statistics --
+
+    def _load_persistent(self) -> Dict[str, Any]:
+        try:
+            with open(self._stats_path()) as handle:
+                data = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            data = {}
+        data.setdefault("lifetime", {})
+        return data
+
+    def flush_stats(self) -> None:
+        """Merge this session's counters into ``stats.json`` and reset."""
+        if not self.stats.requests and not self.stats.puts:
+            return
+        data = self._load_persistent()
+        lifetime = data["lifetime"]
+        for name, value in self.stats.as_dict().items():
+            lifetime[name] = lifetime.get(name, 0) + value
+        data["last_run"] = self.stats.as_dict()
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(data, handle, indent=2, sort_keys=True)
+            os.replace(tmp, self._stats_path())
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats = CacheStats()
+
+    def summary(self) -> StoreSummary:
+        data = self._load_persistent()
+        return StoreSummary(
+            root=str(self.root),
+            entries=self.entries(),
+            total_bytes=self.size_bytes(),
+            lifetime=data.get("lifetime", {}),
+            last_run=data.get("last_run", {}),
+        )

@@ -1,5 +1,8 @@
 """Command-line interface."""
 
+import csv
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -38,6 +41,59 @@ class TestCompare:
         assert "mgx-64b" in out
         assert "seda" in out
         assert "slowdown" in out
+
+
+class TestSweep:
+    def test_sweep_no_cache(self, capsys):
+        assert main(["sweep", "--npu", "edge", "--workloads", "let",
+                     "--schemes", "seda", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "traffic" in out
+        assert "performance" in out
+        assert "cache disabled" in out
+
+    def test_sweep_cached_rerun_and_stats(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        argv = ["sweep", "--npu", "edge", "--workloads", "let", "dlrm",
+                "--schemes", "mgx-64b", "seda", "--cache-dir", cache]
+        assert main(argv) == 0
+        assert "2 computed" in capsys.readouterr().out
+
+        assert main(argv) == 0
+        assert "2 served from cache, 0 computed" in capsys.readouterr().out
+
+        assert main(["cache", "stats", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        entries_line = next(l for l in out.splitlines() if "entries" in l)
+        assert entries_line.split()[-1] == "2"
+        assert "100.0%" in out
+
+    def test_sweep_exports(self, tmp_path, capsys):
+        csv_path = tmp_path / "out.csv"
+        json_path = tmp_path / "out.json"
+        assert main(["sweep", "--npu", "edge", "--workloads", "let",
+                     "--schemes", "seda", "--no-cache",
+                     "--csv", str(csv_path), "--json", str(json_path)]) == 0
+        capsys.readouterr()
+
+        with open(csv_path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["metric", "scheme", "lenet", "avg"]
+        assert {row[0] for row in rows[1:]} == {"traffic", "performance"}
+
+        with open(json_path) as handle:
+            payload = json.load(handle)
+        assert payload["npu"] == "edge"
+        csv_traffic = next(float(r[2]) for r in rows[1:] if r[0] == "traffic")
+        assert payload["metrics"]["traffic"]["seda"][0] == csv_traffic
+
+    def test_cache_clear(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        main(["sweep", "--npu", "edge", "--workloads", "let",
+              "--schemes", "seda", "--cache-dir", cache])
+        capsys.readouterr()
+        assert main(["cache", "clear", "--cache-dir", cache]) == 0
+        assert "removed 1 cached results" in capsys.readouterr().out
 
 
 class TestAttack:

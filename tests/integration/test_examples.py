@@ -3,6 +3,7 @@
 import os
 import subprocess
 import sys
+import tempfile
 
 import pytest
 
@@ -10,9 +11,13 @@ EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
 
 
 def _run(script, *args, timeout=240):
-    return subprocess.run(
-        [sys.executable, os.path.join(EXAMPLES_DIR, script), *args],
-        capture_output=True, text=True, timeout=timeout)
+    with tempfile.TemporaryDirectory() as cache_dir:
+        # Keep example runs hermetic: the eval-service result store goes
+        # to a throwaway directory instead of the user's cache.
+        env = dict(os.environ, REPRO_CACHE_DIR=cache_dir)
+        return subprocess.run(
+            [sys.executable, os.path.join(EXAMPLES_DIR, script), *args],
+            capture_output=True, text=True, timeout=timeout, env=env)
 
 
 class TestExamples:

@@ -1,0 +1,83 @@
+"""GridExecutor: parallel == serial, ordering, callbacks, fallback."""
+
+import pytest
+
+from repro.core.config import npu_config
+from repro.runner.executor import EvalRequest, GridExecutor, run_cell
+
+SCHEMES = ("mgx-64b", "seda")
+
+
+def grid():
+    edge = npu_config("edge")
+    return [EvalRequest(edge, "lenet", SCHEMES),
+            EvalRequest(edge, "dlrm", SCHEMES),
+            EvalRequest(edge, "ncf", SCHEMES)]
+
+
+class TestRunCell:
+    def test_returns_flat_record(self):
+        record = run_cell(grid()[0].payload())
+        assert record["workload"] == "lenet"
+        assert set(record["runs"]) == set(SCHEMES)
+        assert record["baseline"]["scheme_name"] == "baseline"
+
+
+class TestSerial:
+    def test_request_order(self):
+        records = GridExecutor(jobs=1).run(grid())
+        assert [r["workload"] for r in records] == ["lenet", "dlrm", "ncf"]
+
+    def test_progress_and_on_result(self):
+        seen, stored = [], []
+        executor = GridExecutor(
+            jobs=1, progress=lambda done, total, req: seen.append((done, total)))
+        executor.run(grid(), on_result=lambda i, req, rec: stored.append(i))
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+        assert stored == [0, 1, 2]
+
+    def test_empty_grid(self):
+        assert GridExecutor(jobs=4).run([]) == []
+
+
+class TestParallel:
+    def test_matches_serial(self):
+        requests = grid()
+        serial = GridExecutor(jobs=1).run(requests)
+        parallel = GridExecutor(jobs=2).run(requests)
+        assert parallel == serial  # full record equality, request order
+
+    def test_on_result_covers_every_cell(self):
+        stored = []
+        GridExecutor(jobs=2).run(
+            grid(), on_result=lambda i, req, rec: stored.append(i))
+        assert sorted(stored) == [0, 1, 2]
+
+    def test_single_request_stays_serial(self, monkeypatch):
+        # A one-cell grid must not pay process-pool startup.
+        executor = GridExecutor(jobs=8)
+        monkeypatch.setattr(
+            executor, "_run_pool",
+            lambda *a, **k: pytest.fail("pool used for one cell"))
+        records = executor.run(grid()[:1])
+        assert records[0]["workload"] == "lenet"
+
+    def test_on_result_error_propagates(self):
+        # A failing persistence callback (e.g. disk full) must surface
+        # as-is, not masquerade as a pool failure and trigger a serial
+        # recompute of the whole batch.
+        def explode(index, request, record):
+            raise OSError("store is full")
+
+        with pytest.raises(OSError, match="store is full"):
+            GridExecutor(jobs=2).run(grid(), on_result=explode)
+
+    def test_pool_failure_falls_back_to_serial(self, monkeypatch):
+        executor = GridExecutor(jobs=2)
+
+        def boom(requests, on_result, completed):
+            raise OSError("no processes here")
+
+        monkeypatch.setattr(executor, "_run_pool", boom)
+        records = executor.run(grid())
+        assert [r["workload"] for r in records] == ["lenet", "dlrm", "ncf"]

@@ -1,0 +1,98 @@
+"""Record round-trips: serialize -> deserialize -> identical metrics."""
+
+import json
+
+import pytest
+
+from repro.core.config import npu_config
+from repro.core.metrics import compare_schemes
+from repro.core.pipeline import Pipeline
+from repro.models.zoo import get_workload
+from repro.runner.records import (
+    RecordError,
+    SCHEMA_VERSION,
+    comparison_from_dict,
+    comparison_to_dict,
+    npu_from_dict,
+    npu_to_dict,
+    scheme_run_from_dict,
+    scheme_run_to_dict,
+)
+
+SCHEMES = ["mgx-64b", "seda"]
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    pipeline = Pipeline(npu_config("edge"))
+    return compare_schemes(pipeline, get_workload("lenet"), SCHEMES)
+
+
+class TestNpuRoundTrip:
+    def test_identity(self):
+        npu = npu_config("edge")
+        assert npu_from_dict(npu_to_dict(npu)) == npu
+
+    def test_missing_field(self):
+        with pytest.raises(RecordError):
+            npu_from_dict({"name": "broken"})
+
+
+class TestSchemeRunRoundTrip:
+    def test_metrics_preserved(self, comparison):
+        run = comparison.runs["seda"]
+        restored = scheme_run_from_dict(scheme_run_to_dict(run))
+        assert restored.workload == run.workload
+        assert restored.scheme_name == run.scheme_name
+        assert restored.total_cycles == run.total_cycles
+        assert restored.total_bytes == run.total_bytes
+        assert restored.data_bytes == run.data_bytes
+        assert restored.metadata_bytes == run.metadata_bytes
+        assert restored.total_time_ms == run.total_time_ms
+        assert restored.bottleneck_histogram() == run.bottleneck_histogram()
+
+    def test_trace_dropped(self, comparison):
+        restored = scheme_run_from_dict(
+            scheme_run_to_dict(comparison.runs["seda"]))
+        assert restored.model_run is None
+
+    def test_per_layer_fields(self, comparison):
+        run = comparison.runs["mgx-64b"]
+        restored = scheme_run_from_dict(scheme_run_to_dict(run))
+        assert len(restored.layers) == len(run.layers)
+        for original, copy in zip(run.layers, restored.layers):
+            assert copy.layer_name == original.layer_name
+            assert copy.total_cycles == original.total_cycles
+            assert copy.bottleneck == original.bottleneck
+            assert copy.row_hit_rate == original.row_hit_rate
+
+
+class TestComparisonRoundTrip:
+    def test_json_round_trip(self, comparison):
+        wire = json.dumps(comparison_to_dict(comparison))
+        restored = comparison_from_dict(json.loads(wire))
+        assert restored.npu_name == comparison.npu_name
+        assert restored.workload == comparison.workload
+        assert restored.scheme_names == comparison.scheme_names
+        for scheme in SCHEMES:
+            assert restored.traffic(scheme) == comparison.traffic(scheme)
+            assert restored.performance(scheme) == \
+                comparison.performance(scheme)
+            assert restored.slowdown_pct(scheme) == \
+                comparison.slowdown_pct(scheme)
+
+    def test_schema_version_stamped(self, comparison):
+        assert comparison_to_dict(comparison)["schema_version"] == \
+            SCHEMA_VERSION
+
+    def test_wrong_schema_rejected(self, comparison):
+        record = comparison_to_dict(comparison)
+        record["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(RecordError):
+            comparison_from_dict(record)
+
+    def test_missing_schema_rejected(self, comparison):
+        record = comparison_to_dict(comparison)
+        del record["schema_version"]
+        with pytest.raises(RecordError):
+            comparison_from_dict(record)

@@ -1,0 +1,137 @@
+"""ResultStore: hits, misses, fingerprints, atomicity, statistics."""
+
+import json
+
+import pytest
+
+from repro.core.config import npu_config
+from repro.runner.store import CacheStats, ResultStore, code_version, fingerprint
+
+RECORD = {"schema_version": 1, "payload": [1, 2, 3]}
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "cache")
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        npu = npu_config("edge")
+        assert fingerprint(npu, "lenet", ["seda"]) == \
+            fingerprint(npu, "lenet", ["seda"])
+
+    def test_sensitive_to_every_axis(self):
+        edge, server = npu_config("edge"), npu_config("server")
+        base = fingerprint(edge, "lenet", ["seda"])
+        assert fingerprint(server, "lenet", ["seda"]) != base
+        assert fingerprint(edge, "dlrm", ["seda"]) != base
+        assert fingerprint(edge, "lenet", ["mgx-64b", "seda"]) != base
+
+    def test_scheme_order_matters(self):
+        # Order is part of the request contract (result ordering follows
+        # it), so it participates in the address.
+        edge = npu_config("edge")
+        assert fingerprint(edge, "lenet", ["seda", "mgx-64b"]) != \
+            fingerprint(edge, "lenet", ["mgx-64b", "seda"])
+
+    def test_code_version_invalidates(self):
+        edge = npu_config("edge")
+        assert fingerprint(edge, "lenet", ["seda"], version="aaaa") != \
+            fingerprint(edge, "lenet", ["seda"], version="bbbb")
+
+    def test_code_version_is_stable(self):
+        assert code_version() == code_version()
+
+
+class TestGetPut:
+    def test_miss_then_hit(self, store):
+        key = "ab" * 32
+        assert store.get(key) is None
+        store.put(key, RECORD)
+        assert store.get(key) == RECORD
+        assert store.stats.hits == 1
+        assert store.stats.misses == 1
+        assert store.stats.puts == 1
+
+    def test_contains_leaves_counters_alone(self, store):
+        key = "cd" * 32
+        assert not store.contains(key)
+        store.put(key, RECORD)
+        assert store.contains(key)
+        assert store.stats.requests == 0
+
+    def test_corrupt_record_is_evicted(self, store):
+        key = "ef" * 32
+        store.put(key, RECORD)
+        store._path(key).write_text("{not json")
+        assert store.get(key) is None
+        assert store.stats.evictions == 1
+        assert not store.contains(key)
+
+    def test_demote_hit(self, store):
+        key = "12" * 32
+        store.put(key, RECORD)
+        assert store.get(key) == RECORD
+        store.demote_hit(key)
+        assert store.stats.hits == 0
+        assert store.stats.misses == 1
+        assert store.stats.evictions == 1
+        assert not store.contains(key)
+
+    def test_no_partial_files_after_put(self, store):
+        store.put("01" * 32, RECORD)
+        leftovers = list(store.root.rglob("*.tmp"))
+        assert leftovers == []
+
+    def test_sharded_layout(self, store):
+        key = "9f" + "0" * 62
+        store.put(key, RECORD)
+        assert (store.root / "9f" / f"{key}.json").exists()
+
+
+class TestMaintenance:
+    def test_entries_and_size(self, store):
+        assert store.entries() == 0
+        store.put("aa" * 32, RECORD)
+        store.put("bb" * 32, RECORD)
+        assert store.entries() == 2
+        assert store.size_bytes() > 0
+
+    def test_clear(self, store):
+        store.put("aa" * 32, RECORD)
+        assert store.clear() == 1
+        assert store.entries() == 0
+        assert store.get("aa" * 32) is None  # miss again
+
+
+class TestStats:
+    def test_hit_rate(self):
+        stats = CacheStats(hits=9, misses=1)
+        assert stats.hit_rate == 0.9
+        assert CacheStats().hit_rate == 0.0
+
+    def test_flush_accumulates(self, store):
+        store.put("aa" * 32, RECORD)
+        store.get("aa" * 32)
+        store.get("bb" * 32)
+        store.flush_stats()
+        store.get("aa" * 32)
+        store.flush_stats()
+
+        summary = store.summary()
+        assert summary.lifetime["hits"] == 2
+        assert summary.lifetime["misses"] == 1
+        assert summary.last_run == {"hits": 1, "misses": 0,
+                                    "puts": 0, "evictions": 0}
+        assert store.stats.requests == 0  # reset after flush
+
+    def test_flush_is_noop_when_idle(self, store):
+        store.flush_stats()
+        assert not (store.root / "stats.json").exists()
+
+    def test_stats_file_is_valid_json(self, store):
+        store.get("aa" * 32)
+        store.flush_stats()
+        with open(store.root / "stats.json") as handle:
+            assert "lifetime" in json.load(handle)
