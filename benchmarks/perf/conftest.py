@@ -1,0 +1,48 @@
+"""Perf-suite plumbing: collect measured medians and persist them.
+
+Each perf case registers its median wall time under a stable key; at
+session end the collected numbers are merged into
+``benchmarks/results/BENCH_streams.json`` as the ``after`` section
+(``before`` holds the pre-columnar baseline and is never overwritten).
+Under ``--benchmark-disable`` the cases still run (CI correctness
+coverage) but no stats exist, so the file is left untouched.
+"""
+
+import json
+import os
+
+import pytest
+
+_RESULTS_PATH = os.path.join(os.path.dirname(__file__), os.pardir,
+                             "results", "BENCH_streams.json")
+
+_collected = {}
+
+
+def record(name, benchmark):
+    """Stash a benchmark's median seconds if stats were collected."""
+    stats = getattr(benchmark, "stats", None)
+    if stats is None:
+        return
+    _collected[name] = stats.stats.median
+
+
+@pytest.fixture
+def perf_record():
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    del session, exitstatus
+    if not _collected:
+        return
+    path = os.path.abspath(_RESULTS_PATH)
+    payload = {}
+    if os.path.exists(path):
+        with open(path) as handle:
+            payload = json.load(handle)
+    payload.setdefault("after", {}).update(
+        {k: round(v, 6) for k, v in _collected.items()})
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)

@@ -1,0 +1,94 @@
+"""Microbenchmarks for the columnar stream core's hot paths.
+
+Covers the three pipeline stages the columnar refactor vectorized:
+block expansion (``Trace.to_blocks``), protection-scheme traffic
+generation (``protect_model``), and DRAM service
+(``DramSim.simulate``/``simulate_fast``), plus the end-to-end sweep
+cell. Medians land in ``benchmarks/results/BENCH_streams.json`` so the
+perf trajectory is tracked PR over PR (see ``before`` vs ``after``).
+"""
+
+import pytest
+
+from repro.accel.trace import BlockStream
+from repro.core.config import npu_config
+from repro.core.pipeline import Pipeline
+from repro.dram.simulator import DramSim
+from repro.dram.timing import SERVER_DRAM
+from repro.models.zoo import get_workload
+from repro.protection import SCHEME_NAMES, make_scheme
+
+
+@pytest.fixture(scope="module")
+def model_run():
+    pipeline = Pipeline(npu_config("server"))
+    return pipeline.simulate_model(get_workload("resnet18"))
+
+
+@pytest.fixture(scope="module")
+def block_stream(model_run):
+    return model_run.trace.to_blocks().sorted_by_cycle()
+
+
+def test_to_blocks(benchmark, model_run, perf_record):
+    trace = model_run.trace
+
+    def expand():
+        # Bypass the memo: benchmark the expansion, not the cache.
+        trace._memo.pop("blocks", None)
+        return trace.to_blocks()
+
+    stream = benchmark(expand)
+    assert len(stream) > 100_000
+    perf_record("to_blocks", benchmark)
+
+
+def test_protect_model_sgx64(benchmark, model_run, perf_record):
+    def protect():
+        model_run.scheme_memo.clear()
+        return make_scheme("sgx-64b").protect_model(model_run)
+
+    protections = benchmark(protect)
+    assert sum(p.metadata_bytes for p in protections) > 0
+    perf_record("protect_model_sgx64", benchmark)
+
+
+def test_protect_model_seda(benchmark, model_run, perf_record):
+    protections = benchmark(
+        lambda: make_scheme("seda").protect_model(model_run))
+    assert all(p.overfetch_blocks == 0 for p in protections)
+    perf_record("protect_model_seda", benchmark)
+
+
+def test_dram_simulate_reference(benchmark, block_stream, perf_record):
+    sim = DramSim(SERVER_DRAM, freq_ghz=1.0)
+    sub = BlockStream(block_stream.cycles[:200_000],
+                      block_stream.addrs[:200_000],
+                      block_stream.writes[:200_000],
+                      block_stream.layer_ids[:200_000])
+    result = benchmark(sim.simulate, sub)
+    assert result.requests == len(sub)
+    perf_record("dram_simulate_ref_200k", benchmark)
+
+
+def test_dram_simulate_fast(benchmark, block_stream, perf_record):
+    sim = DramSim(SERVER_DRAM, freq_ghz=1.0)
+    result = benchmark(sim.simulate_fast, block_stream)
+    assert result.requests == len(block_stream)
+    perf_record("dram_simulate_fast", benchmark)
+
+
+def test_e2e_scheme_sweep_cell(benchmark, perf_record):
+    """The fig6 path: every scheme on one (NPU, workload) cell."""
+    npu = npu_config("server")
+    topology = get_workload("resnet18")
+
+    def cell():
+        pipeline = Pipeline(npu)
+        run = pipeline.simulate_model(topology)
+        return [pipeline.run(topology, make_scheme(name), model_run=run)
+                for name in ["baseline"] + SCHEME_NAMES]
+
+    runs = benchmark(cell)
+    assert len(runs) == 1 + len(SCHEME_NAMES)
+    perf_record("e2e_cell_server_resnet18", benchmark)

@@ -9,7 +9,6 @@ from benchmarks.conftest import dump_results
 from repro import Pipeline, SERVER_NPU, get_workload
 from repro.crypto.mac import MAC_BYTES
 from repro.protection.seda import SedaScheme
-from repro.tiling.optblk import search_optblk
 
 
 def test_table1_granularity_comparison(benchmark):

@@ -24,7 +24,7 @@ from typing import List, Tuple
 
 from repro.accel.layout import AddressMap
 from repro.accel.systolic import SystolicArray
-from repro.accel.trace import AccessKind, Trace, TraceRange
+from repro.accel.trace import AccessKind, Trace
 from repro.models.layer import Layer, ELEMENT_BYTES
 from repro.models.topology import Topology
 from repro.tiling.tile import SramBudget, TilingPlan, plan_tiling
@@ -62,6 +62,9 @@ class ModelRun:
     budget: SramBudget
     address_map: AddressMap
     layers: List[LayerResult]
+    #: Cross-scheme memo for derived per-run state (e.g. shared MAC-table
+    #: traffic); keyed by the consumer, scoped to this run's lifetime.
+    scheme_memo: dict = field(default_factory=dict, repr=False)
 
     @property
     def compute_cycles(self) -> int:
@@ -69,10 +72,7 @@ class ModelRun:
 
     @property
     def trace(self) -> Trace:
-        merged = Trace()
-        for result in self.layers:
-            merged.extend(result.trace.ranges)
-        return merged
+        return Trace.concat(result.trace for result in self.layers)
 
     @property
     def dram_bytes(self) -> int:
@@ -160,29 +160,23 @@ class AcceleratorSim:
                     offset, nbytes = self._ifmap_tile_extent(
                         layer, plan, mi, row_bytes)
                     if nbytes:
-                        trace.add(TraceRange(cursor, ifmap_base + offset,
-                                             nbytes, write=False,
-                                             kind=AccessKind.IFMAP,
-                                             layer_id=layer_id,
-                                             duration=tile_cycles))
+                        trace.emit(cursor, ifmap_base + offset, nbytes,
+                                   write=False, kind=AccessKind.IFMAP,
+                                   layer_id=layer_id, duration=tile_cycles)
                 if load_weight:
                     offset = ni * plan.tile_filters * weight_per_filter
                     nbytes = min(plan.weight_tile_bytes,
                                  layer.weight_bytes - offset)
                     if nbytes > 0:
-                        trace.add(TraceRange(cursor, weight_base + offset,
-                                             nbytes, write=False,
-                                             kind=AccessKind.WEIGHT,
-                                             layer_id=layer_id,
-                                             duration=tile_cycles))
+                        trace.emit(cursor, weight_base + offset, nbytes,
+                                   write=False, kind=AccessKind.WEIGHT,
+                                   layer_id=layer_id, duration=tile_cycles)
 
                 nbytes = rows * out_w * filters * ELEMENT_BYTES
                 if nbytes > 0:
-                    trace.add(TraceRange(cursor, ofmap_base + ofmap_cursor,
-                                         nbytes, write=True,
-                                         kind=AccessKind.OFMAP,
-                                         layer_id=layer_id,
-                                         duration=tile_cycles))
+                    trace.emit(cursor, ofmap_base + ofmap_cursor, nbytes,
+                               write=True, kind=AccessKind.OFMAP,
+                               layer_id=layer_id, duration=tile_cycles)
                     ofmap_cursor += nbytes
                 cursor += tile_cycles
         return total_cycles
@@ -214,24 +208,22 @@ class AcceleratorSim:
                     # row; modelled as one range at the slice offset.
                     if_offset = (mi * plan.tile_out_rows * k
                                  + ki * plan.tile_k * tile_m) * ELEMENT_BYTES
-                    trace.add(TraceRange(cursor, ifmap_base + if_offset,
-                                         tile_m * tile_k * ELEMENT_BYTES,
-                                         write=False, kind=AccessKind.IFMAP,
-                                         layer_id=layer_id,
-                                         duration=tile_cycles))
+                    trace.emit(cursor, ifmap_base + if_offset,
+                               tile_m * tile_k * ELEMENT_BYTES,
+                               write=False, kind=AccessKind.IFMAP,
+                               layer_id=layer_id, duration=tile_cycles)
                     w_offset = (ni * plan.tile_filters * k
                                 + ki * plan.tile_k * tile_n) * ELEMENT_BYTES
-                    trace.add(TraceRange(cursor, weight_base + w_offset,
-                                         tile_k * tile_n * ELEMENT_BYTES,
-                                         write=False, kind=AccessKind.WEIGHT,
-                                         layer_id=layer_id,
-                                         duration=tile_cycles))
+                    trace.emit(cursor, weight_base + w_offset,
+                               tile_k * tile_n * ELEMENT_BYTES,
+                               write=False, kind=AccessKind.WEIGHT,
+                               layer_id=layer_id, duration=tile_cycles)
                     cursor += tile_cycles
                 # Partial sums complete: store the (tile_m x tile_n) ofmap tile.
                 nbytes = tile_m * tile_n * ELEMENT_BYTES
-                trace.add(TraceRange(cursor, ofmap_base + ofmap_cursor, nbytes,
-                                     write=True, kind=AccessKind.OFMAP,
-                                     layer_id=layer_id, duration=1))
+                trace.emit(cursor, ofmap_base + ofmap_cursor, nbytes,
+                           write=True, kind=AccessKind.OFMAP,
+                           layer_id=layer_id, duration=1)
                 ofmap_cursor += nbytes
         return total_cycles
 

@@ -1,21 +1,34 @@
-"""DRAM access traces.
+"""DRAM access traces — the columnar stream core.
 
-The accelerator emits accesses as compact :class:`TraceRange` records
-(contiguous byte ranges with an issue window); the DRAM simulator consumes
-them expanded to 64-byte block streams (:class:`BlockStream`, numpy
-arrays). Keeping ranges compact matters: a ResNet-scale model touches
-megabytes per layer, and per-block Python objects would dominate runtime.
+The accelerator emits accesses as compact ranges (contiguous byte spans
+with an issue window); the DRAM simulator consumes them expanded to
+64-byte block streams (:class:`BlockStream`, numpy arrays). Ranges are
+stored columnar (structure-of-arrays, :class:`RangeBuffer`) rather than
+as per-range Python objects: a ResNet-scale model touches megabytes per
+layer, and object-per-range bookkeeping would dominate runtime.
+
+:class:`TraceRange` remains the public per-range record — construction,
+iteration and ``trace.ranges`` materialize it on demand — but the hot
+paths (byte accounting, filtering, block expansion) run on the columns.
+Block expansion is fully vectorized (repeat + cumsum, no per-range
+loop) and memoized per trace revision, so every consumer of one layer's
+expanded stream in a scheme sweep shares a single expansion.
+
+BlockStreams are treated as immutable once built: transformations
+(:meth:`BlockStream.sorted_by_cycle`, :meth:`BlockStream.concat`)
+return new streams, which is what makes the memoized sharing safe.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional
+from array import array
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.utils.bitops import align_down, ceil_div
+from repro.utils.bitops import align_down
 
 BLOCK_BYTES = 64
 
@@ -27,6 +40,11 @@ class AccessKind(enum.Enum):
     WEIGHT = "weight"
     OFMAP = "ofmap"
     METADATA = "metadata"
+
+
+#: Stable integer codes for the columnar ``kinds`` column.
+_KIND_LIST: Tuple[AccessKind, ...] = tuple(AccessKind)
+_KIND_CODE: Dict[AccessKind, int] = {k: i for i, k in enumerate(_KIND_LIST)}
 
 
 @dataclass(frozen=True)
@@ -96,10 +114,7 @@ class BlockStream:
     def concat(streams: Iterable["BlockStream"]) -> "BlockStream":
         streams = [s for s in streams if len(s)]
         if not streams:
-            return BlockStream(
-                np.empty(0, np.int64), np.empty(0, np.uint64),
-                np.empty(0, bool), np.empty(0, np.int32),
-            )
+            return empty_block_stream()
         return BlockStream(
             np.concatenate([s.cycles for s in streams]),
             np.concatenate([s.addrs for s in streams]),
@@ -108,83 +123,292 @@ class BlockStream:
         )
 
 
-class Trace:
-    """An ordered collection of :class:`TraceRange` records."""
+def empty_block_stream() -> BlockStream:
+    return BlockStream(
+        np.empty(0, np.int64), np.empty(0, np.uint64),
+        np.empty(0, bool), np.empty(0, np.int32),
+    )
 
-    def __init__(self, ranges: Optional[List[TraceRange]] = None):
-        self.ranges: List[TraceRange] = list(ranges) if ranges else []
+
+def expand_ranges(cycles: np.ndarray, addrs: np.ndarray, nbytes: np.ndarray,
+                  writes: np.ndarray, layer_ids: np.ndarray,
+                  durations: np.ndarray) -> BlockStream:
+    """Vectorized block expansion of columnar ranges (repeat + cumsum).
+
+    Blocks within a range are issued uniformly across its duration,
+    modelling a streaming DMA engine. Output order is range order, with
+    each range's blocks ascending by address — identical to expanding
+    range by range.
+    """
+    n = len(addrs)
+    if n == 0:
+        return empty_block_stream()
+    first = addrs - addrs % BLOCK_BYTES
+    last = addrs + nbytes - 1
+    last -= last % BLOCK_BYTES
+    counts = (last - first) // BLOCK_BYTES + 1
+    total = int(counts.sum())
+    starts = np.cumsum(counts) - counts
+    within = np.arange(total, dtype=np.int64)
+    within -= np.repeat(starts, counts)
+    out_addrs = within * BLOCK_BYTES
+    out_addrs += np.repeat(first, counts)
+    # (j * duration) // count spreads blocks over the issue window; it
+    # degenerates to 0 for zero duration or single-block ranges.
+    # ``within`` is consumed in place as the offset scratch buffer.
+    within *= np.repeat(durations, counts)
+    within //= np.repeat(counts, counts)
+    out_cycles = np.repeat(cycles, counts)
+    out_cycles += within
+    return BlockStream(
+        out_cycles,
+        out_addrs.astype(np.uint64),
+        np.repeat(writes, counts),
+        np.repeat(layer_ids, counts).astype(np.int32),
+    )
+
+
+class RangeBuffer:
+    """Columnar (structure-of-arrays) store of trace ranges.
+
+    Appends go to compact ``array`` columns; numpy views are snapshotted
+    lazily and cached until the next append. Byte totals are maintained
+    incrementally so accounting is O(1) regardless of trace length.
+    """
+
+    __slots__ = ("cycles", "addrs", "nbytes", "writes", "kinds",
+                 "layer_ids", "durations", "read_bytes", "write_bytes",
+                 "kind_bytes", "version", "_arrays", "_arrays_version")
+
+    def __init__(self) -> None:
+        self.cycles = array("q")
+        self.addrs = array("q")
+        self.nbytes = array("q")
+        self.writes = array("b")
+        self.kinds = array("b")
+        self.layer_ids = array("q")
+        self.durations = array("q")
+        self.read_bytes = 0
+        self.write_bytes = 0
+        self.kind_bytes = [0] * len(_KIND_LIST)
+        self.version = 0
+        self._arrays: Optional[Tuple[np.ndarray, ...]] = None
+        self._arrays_version = -1
 
     def __len__(self) -> int:
-        return len(self.ranges)
+        return len(self.addrs)
+
+    def append(self, cycle: int, addr: int, nbytes: int, write: bool,
+               kind_code: int, layer_id: int, duration: int) -> None:
+        self.cycles.append(cycle)
+        self.addrs.append(addr)
+        self.nbytes.append(nbytes)
+        self.writes.append(1 if write else 0)
+        self.kinds.append(kind_code)
+        self.layer_ids.append(layer_id)
+        self.durations.append(duration)
+        if write:
+            self.write_bytes += nbytes
+        else:
+            self.read_bytes += nbytes
+        self.kind_bytes[kind_code] += nbytes
+        self.version += 1
+
+    def arrays(self) -> Tuple[np.ndarray, ...]:
+        """Numpy snapshot ``(cycles, addrs, nbytes, writes, kinds,
+        layer_ids, durations)``, cached per revision."""
+        if self._arrays_version != self.version:
+            self._arrays = (
+                np.array(self.cycles, dtype=np.int64),
+                np.array(self.addrs, dtype=np.int64),
+                np.array(self.nbytes, dtype=np.int64),
+                np.array(self.writes, dtype=bool),
+                np.array(self.kinds, dtype=np.int8),
+                np.array(self.layer_ids, dtype=np.int64),
+                np.array(self.durations, dtype=np.int64),
+            )
+            self._arrays_version = self.version
+        return self._arrays
+
+
+class Trace:
+    """An ordered collection of trace ranges, stored columnar.
+
+    The per-range object API (:meth:`add`, iteration, :attr:`ranges`)
+    is preserved for construction and inspection; aggregation, filtering
+    and block expansion all run vectorized on the underlying
+    :class:`RangeBuffer` columns.
+    """
+
+    __slots__ = ("buf", "_memo")
+
+    def __init__(self, ranges: Optional[Iterable[TraceRange]] = None):
+        self.buf = RangeBuffer()
+        self._memo: Dict[object, object] = {}
+        if ranges:
+            self.extend(ranges)
+
+    def __len__(self) -> int:
+        return len(self.buf)
 
     def __iter__(self):
         return iter(self.ranges)
 
+    # -- construction --
+
+    def emit(self, cycle: int, addr: int, nbytes: int, *, write: bool,
+             kind: AccessKind, layer_id: int, duration: int = 0) -> None:
+        """Append one range from scalars (no :class:`TraceRange` object).
+
+        This is the accelerator walks' fast path; it applies the same
+        validation as :class:`TraceRange`.
+        """
+        if addr < 0:
+            raise ValueError("addr must be non-negative")
+        if nbytes <= 0:
+            raise ValueError("nbytes must be positive")
+        if cycle < 0 or duration < 0:
+            raise ValueError("cycle and duration must be non-negative")
+        self.buf.append(cycle, addr, nbytes, write, _KIND_CODE[kind],
+                        layer_id, duration)
+
     def add(self, trace_range: TraceRange) -> None:
-        self.ranges.append(trace_range)
+        # TraceRange already validated in __post_init__.
+        self.buf.append(trace_range.cycle, trace_range.addr,
+                        trace_range.nbytes, trace_range.write,
+                        _KIND_CODE[trace_range.kind], trace_range.layer_id,
+                        trace_range.duration)
 
     def extend(self, ranges: Iterable[TraceRange]) -> None:
-        self.ranges.extend(ranges)
+        for r in ranges:
+            self.add(r)
+
+    @staticmethod
+    def concat(traces: Iterable["Trace"]) -> "Trace":
+        """Columnar concatenation — no per-range objects materialized."""
+        merged = Trace()
+        buf = merged.buf
+        for trace in traces:
+            src = trace.buf
+            buf.cycles.extend(src.cycles)
+            buf.addrs.extend(src.addrs)
+            buf.nbytes.extend(src.nbytes)
+            buf.writes.extend(src.writes)
+            buf.kinds.extend(src.kinds)
+            buf.layer_ids.extend(src.layer_ids)
+            buf.durations.extend(src.durations)
+            buf.read_bytes += src.read_bytes
+            buf.write_bytes += src.write_bytes
+            for code, total in enumerate(src.kind_bytes):
+                buf.kind_bytes[code] += total
+        buf.version += 1
+        return merged
+
+    @classmethod
+    def _from_arrays(cls, cycles, addrs, nbytes, writes, kinds, layer_ids,
+                     durations) -> "Trace":
+        trace = cls()
+        buf = trace.buf
+        buf.cycles.extend(cycles.tolist())
+        buf.addrs.extend(addrs.tolist())
+        buf.nbytes.extend(nbytes.tolist())
+        buf.writes.extend(writes.astype(np.int8).tolist())
+        buf.kinds.extend(kinds.tolist())
+        buf.layer_ids.extend(layer_ids.tolist())
+        buf.durations.extend(durations.tolist())
+        write_total = int(nbytes[writes].sum())
+        buf.write_bytes = write_total
+        buf.read_bytes = int(nbytes.sum()) - write_total
+        for code in range(len(_KIND_LIST)):
+            buf.kind_bytes[code] = int(nbytes[kinds == code].sum())
+        buf.version += 1
+        return trace
+
+    # -- per-range view (compatibility) --
+
+    @property
+    def ranges(self) -> List[TraceRange]:
+        """Materialized :class:`TraceRange` list (cached per revision).
+
+        A fresh list is returned each time: mutating it cannot touch the
+        columnar store — append through :meth:`add`/:meth:`emit`.
+        """
+        def build() -> List[TraceRange]:
+            buf = self.buf
+            return [
+                TraceRange(cycle, addr, nbytes, bool(write),
+                           _KIND_LIST[kind], layer_id, duration)
+                for cycle, addr, nbytes, write, kind, layer_id, duration
+                in zip(buf.cycles, buf.addrs, buf.nbytes, buf.writes,
+                       buf.kinds, buf.layer_ids, buf.durations)
+            ]
+        return list(self.memo("ranges", build))
+
+    # -- memoization --
+
+    def memo(self, key: object, build: Callable[[], object]):
+        """Cache ``build()`` under ``key`` until the trace next mutates.
+
+        Consumers (block expansion, protection-scheme overfetch) use this
+        to share derived streams across every scheme in a sweep cell.
+        """
+        entry = self._memo.get(key)
+        if entry is not None and entry[0] == self.buf.version:
+            return entry[1]
+        value = build()
+        self._memo[key] = (self.buf.version, value)
+        return value
+
+    # -- aggregation (O(1) from running totals) --
 
     @property
     def read_bytes(self) -> int:
-        return sum(r.nbytes for r in self.ranges if not r.write)
+        return self.buf.read_bytes
 
     @property
     def write_bytes(self) -> int:
-        return sum(r.nbytes for r in self.ranges if r.write)
+        return self.buf.write_bytes
 
     @property
     def total_bytes(self) -> int:
-        return self.read_bytes + self.write_bytes
+        return self.buf.read_bytes + self.buf.write_bytes
 
     def bytes_by_kind(self) -> dict:
-        out: dict = {}
-        for r in self.ranges:
-            out[r.kind] = out.get(r.kind, 0) + r.nbytes
-        return out
+        return {kind: self.buf.kind_bytes[code]
+                for code, kind in enumerate(_KIND_LIST)
+                if self.buf.kind_bytes[code]}
+
+    # -- vectorized selection --
 
     def filter(self, kind: AccessKind) -> "Trace":
-        return Trace([r for r in self.ranges if r.kind is kind])
+        return self._select(self.buf.arrays()[4] == _KIND_CODE[kind])
 
     def for_layer(self, layer_id: int) -> "Trace":
-        return Trace([r for r in self.ranges if r.layer_id == layer_id])
+        return self._select(self.buf.arrays()[5] == layer_id)
+
+    def _select(self, mask: np.ndarray) -> "Trace":
+        cols = self.buf.arrays()
+        return Trace._from_arrays(*(c[mask] for c in cols))
 
     def end_cycle(self) -> int:
-        if not self.ranges:
+        if not len(self.buf):
             return 0
-        return max(r.cycle + max(1, r.duration) for r in self.ranges)
+        cycles, _, _, _, _, _, durations = self.buf.arrays()
+        return int((cycles + np.maximum(durations, 1)).max())
+
+    # -- block expansion --
 
     def to_blocks(self) -> BlockStream:
-        """Expand every range to block-granular accesses.
+        """Expand every range to block-granular accesses (memoized)."""
+        def build() -> BlockStream:
+            cycles, addrs, nbytes, writes, _, layer_ids, durations = \
+                self.buf.arrays()
+            return expand_ranges(cycles, addrs, nbytes, writes, layer_ids,
+                                 durations)
+        return self.memo("blocks", build)
 
-        Blocks within a range are issued uniformly across its duration,
-        modelling a streaming DMA engine.
-        """
-        cycle_parts: List[np.ndarray] = []
-        addr_parts: List[np.ndarray] = []
-        write_parts: List[np.ndarray] = []
-        layer_parts: List[np.ndarray] = []
-        for r in self.ranges:
-            count = r.num_blocks
-            first = align_down(r.addr, BLOCK_BYTES)
-            addr_parts.append(
-                first + BLOCK_BYTES * np.arange(count, dtype=np.uint64))
-            if r.duration > 0 and count > 1:
-                offsets = (np.arange(count, dtype=np.int64) * r.duration) // count
-            else:
-                offsets = np.zeros(count, dtype=np.int64)
-            cycle_parts.append(r.cycle + offsets)
-            write_parts.append(np.full(count, r.write, dtype=bool))
-            layer_parts.append(np.full(count, r.layer_id, dtype=np.int32))
-        if not addr_parts:
-            return BlockStream(
-                np.empty(0, np.int64), np.empty(0, np.uint64),
-                np.empty(0, bool), np.empty(0, np.int32),
-            )
-        return BlockStream(
-            np.concatenate(cycle_parts),
-            np.concatenate(addr_parts).astype(np.uint64),
-            np.concatenate(write_parts),
-            np.concatenate(layer_parts),
-        )
+    def sorted_blocks(self) -> BlockStream:
+        """Cycle-sorted expansion (memoized) — the per-layer base stream
+        every protection scheme consumes."""
+        return self.memo("sorted_blocks",
+                         lambda: self.to_blocks().sorted_by_cycle())

@@ -26,7 +26,7 @@ from repro.core.config import npu_config
 from repro.core.metrics import compare_schemes
 from repro.core.pipeline import Pipeline
 from repro.core.sweep import METRICS as SWEEP_METRICS, SweepRunner
-from repro.models.zoo import WORKLOAD_ABBREVIATIONS, get_workload, list_workloads
+from repro.models.zoo import WORKLOAD_ABBREVIATIONS, get_workload
 from repro.protection import SCHEME_NAMES, make_scheme
 from repro.runner.store import ResultStore
 from repro.utils.report import format_table, percent

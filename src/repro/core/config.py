@@ -7,7 +7,7 @@ four 64-bit DDR channels; element precision is one byte.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.accel.systolic import Dataflow, SystolicArray
 from repro.dram.timing import DramConfig

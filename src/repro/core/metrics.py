@@ -8,7 +8,7 @@ paper's presentation: memory traffic as ``scheme_bytes / baseline_bytes``
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
 from repro.core.pipeline import Pipeline, SchemeRun

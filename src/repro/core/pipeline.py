@@ -46,6 +46,9 @@ class LayerTiming:
 
     @property
     def bottleneck(self) -> str:
+        """The saturated resource; ties resolve deterministically in
+        favour of compute, then memory (a layer whose compute exactly
+        covers its DRAM time is compute-bound, not memory-bound)."""
         value = self.total_cycles
         if value == self.compute_cycles:
             return "compute"
@@ -116,21 +119,31 @@ class Pipeline:
             model_run: Optional[ModelRun] = None) -> SchemeRun:
         """Full pipeline for one workload under one protection scheme."""
         run = model_run if model_run is not None else self.simulate_model(topology)
+        # Each layer's expanded base block stream is memoized on its
+        # trace, so when ``model_run`` is shared across schemes (the
+        # sweep path) the expansion happens once, not once per scheme.
         protections = scheme.protect_model(run)
         engine = scheme.crypto_engine()
 
+        # All layers' DRAM streams are independent (cold memory system
+        # per layer), so the fast model serves them in one batched call.
+        if self.use_fast_dram:
+            dram_results = self.dram.simulate_fast_batch_parts(
+                [(p.data_stream, p.metadata_stream) for p in protections])
+        else:
+            dram_results = [self.dram.simulate(p.combined_stream)
+                            for p in protections]
+
         timings: List[LayerTiming] = []
-        for protection in protections:
+        for protection, dram_result in zip(protections, dram_results):
             layer_id = protection.layer_id
-            if layer_id < len(run.layers) and \
-                    protection.data_stream is not None and len(protection.data_stream):
+            if layer_id < len(run.layers) and len(protection.data_stream):
                 compute = float(run.layers[layer_id].compute_cycles)
                 name = run.layers[layer_id].layer.name
             else:
                 compute = 0.0
                 name = f"(flush:{layer_id})"
 
-            dram_result = self._dram_time(protection)
             crypto = 0.0
             if engine is not None and protection.crypto_bytes:
                 # Throughput-limited OTP generation; the pipeline latency
@@ -151,7 +164,9 @@ class Pipeline:
                          scheme_name=scheme.name, layers=timings,
                          model_run=run)
 
-    def _dram_time(self, protection: LayerProtection) -> DramResult:
+    def dram_time(self, protection: LayerProtection) -> DramResult:
+        """DRAM service of one layer's combined stream (ad-hoc probing;
+        :meth:`run` batches all layers through the fast model instead)."""
         stream = protection.combined_stream
         if self.use_fast_dram:
             return self.dram.simulate_fast(stream)

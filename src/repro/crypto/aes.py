@@ -13,7 +13,7 @@ Algorithm 1, defense lines 6-7).
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List
 
 _POLY = 0x11B  # x^8 + x^4 + x^3 + x + 1, the AES field polynomial
 

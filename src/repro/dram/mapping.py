@@ -17,6 +17,11 @@ import numpy as np
 from repro.dram.timing import DramConfig
 
 
+def _shift_of(value: int) -> int:
+    """log2 of a power of two, or -1 when ``value`` is not one."""
+    return value.bit_length() - 1 if value & (value - 1) == 0 else -1
+
+
 @dataclass(frozen=True)
 class AddressMapping:
     """Vectorized address decomposition for one :class:`DramConfig`."""
@@ -26,10 +31,23 @@ class AddressMapping:
     def decompose(self, addrs: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """(channel, bank, row) arrays for block-aligned byte addresses."""
         cfg = self.config
+        col_blocks = cfg.blocks_per_row
+        block_shift = _shift_of(cfg.block_bytes)
+        channel_shift = _shift_of(cfg.channels)
+        col_shift = _shift_of(col_blocks)
+        bank_shift = _shift_of(cfg.banks_per_channel)
+        if min(block_shift, channel_shift, col_shift, bank_shift) >= 0:
+            # All divisors are powers of two (the common configs):
+            # shifts and masks vectorize far better than 64-bit divides.
+            block_idx = addrs.astype(np.int64) >> block_shift
+            channel = block_idx & (cfg.channels - 1)
+            local = block_idx >> channel_shift
+            bank = (local >> col_shift) & (cfg.banks_per_channel - 1)
+            row = local >> (col_shift + bank_shift)
+            return channel, bank, row
         block_idx = addrs // cfg.block_bytes
         channel = (block_idx % cfg.channels).astype(np.int64)
         local = block_idx // cfg.channels          # channel-local block index
-        col_blocks = cfg.blocks_per_row
         bank = ((local // col_blocks) % cfg.banks_per_channel).astype(np.int64)
         row = (local // (col_blocks * cfg.banks_per_channel)).astype(np.int64)
         return channel, bank, row

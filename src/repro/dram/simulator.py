@@ -19,13 +19,17 @@ synthetic and real traces.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.accel.trace import BlockStream
 from repro.dram.mapping import AddressMapping
 from repro.dram.timing import DramConfig
+
+#: Fixed cycle span for composite (bank, cycle) sort keys, so a stream's
+#: sorted geometry can be memoized and merged against other streams.
+_KEY_SPAN = 1 << 41
 
 
 @dataclass
@@ -64,63 +68,134 @@ class DramSim:
         self._miss_cyc = config.to_cycles(
             config.timing.row_miss_penalty_ns, freq_ghz)
 
+    @staticmethod
+    def _conflict_mask(sorted_bank: np.ndarray,
+                       sorted_row: np.ndarray) -> np.ndarray:
+        """Row-conflict flags over bank-sorted arrays.
+
+        Within each bank the input preserves issue order, so the first
+        access of a bank and every row change between neighbours is a
+        conflict — identical to walking the stream with per-bank
+        open-row registers. Shared by the reference, fast, and batched
+        models so conflict semantics live in exactly one place.
+        """
+        n = len(sorted_bank)
+        new_bank = np.empty(n, dtype=bool)
+        new_bank[0] = True
+        np.not_equal(sorted_bank[1:], sorted_bank[:-1], out=new_bank[1:])
+        row_change = np.empty(n, dtype=bool)
+        row_change[0] = True
+        np.not_equal(sorted_row[1:], sorted_row[:-1], out=row_change[1:])
+        return new_bank | row_change
+
+    def _issue_order_misses(self, channels: np.ndarray, banks: np.ndarray,
+                            rows: np.ndarray):
+        """Exact row-conflict flags in issue order, vectorized.
+
+        Returns ``(miss_mask_issue_order, miss_counts_per_channel)``.
+        """
+        cfg = self.config
+        n = len(channels)
+        global_bank = channels * cfg.banks_per_channel + banks
+        order = np.argsort(global_bank, kind="stable")
+        sorted_bank = global_bank[order]
+        miss_sorted = self._conflict_mask(sorted_bank, rows[order])
+        miss_channel = sorted_bank[miss_sorted] // cfg.banks_per_channel
+        miss_counts = np.bincount(miss_channel, minlength=cfg.channels)
+        miss_mask = np.empty(n, dtype=bool)
+        miss_mask[order] = miss_sorted
+        return miss_mask, miss_counts
+
     # -- reference event-driven model --
 
     def simulate(self, stream: BlockStream) -> DramResult:
-        """Event-driven service of ``stream`` in issue order."""
+        """Event-driven service of ``stream`` in issue order.
+
+        Row hit/miss classification and per-channel busy time are
+        order-independent given the per-bank access sequences, so they
+        are computed vectorized (per-bank segmentation via stable sort).
+        Only the completion-time recurrence — the bus/bank ready-time
+        coupling — is inherently sequential; it runs per channel over
+        plain Python scalars.
+        """
         cfg = self.config
         n = len(stream)
         if n == 0:
             return DramResult(0, 0, 0, 0.0, 0.0,
                               [0] * cfg.channels, [0.0] * cfg.channels)
-        ordered = stream.sorted_by_cycle()
-        channels, banks, rows = self.mapping.decompose(ordered.addrs)
+        order = np.argsort(stream.cycles, kind="stable")
+        cycles = stream.cycles[order]
+        channels, banks, rows = self.mapping.decompose(stream.addrs[order])
 
-        bus_free = [0.0] * cfg.channels
-        busy = [0.0] * cfg.channels
-        counts = [0] * cfg.channels
-        bank_ready = np.zeros((cfg.channels, cfg.banks_per_channel))
-        open_row = np.full((cfg.channels, cfg.banks_per_channel), -1,
-                           dtype=np.int64)
-        hits = 0
+        miss_mask, miss_counts = self._issue_order_misses(channels, banks,
+                                                          rows)
+        misses = int(miss_counts.sum())
+        counts = np.bincount(channels, minlength=cfg.channels)
+        # The data bus is held only for the burst; the activate phase of
+        # a miss overlaps with other banks' transfers — with B banks,
+        # 1/B of each penalty surfaces as channel busy time.
+        busy = (counts * self._burst_cyc
+                + miss_counts * (self._miss_cyc / cfg.banks_per_channel))
+
+        # Remaining sequential state: per-channel bus/bank recurrence
+        # for the completion time, batched to plain Python scalars.
+        burst = self._burst_cyc
+        miss_service = self._miss_cyc + burst
         completion = 0.0
-
-        cycles = ordered.cycles
-        for i in range(n):
-            ch = int(channels[i])
-            bank = int(banks[i])
-            row = int(rows[i])
-            arrival = float(cycles[i])
-            hit = open_row[ch, bank] == row
-            if hit:
-                hits += 1
-                ready = max(arrival, bank_ready[ch, bank], bus_free[ch])
-                service = self._burst_cyc
-            else:
-                ready = max(arrival, bank_ready[ch, bank], bus_free[ch])
-                service = self._miss_cyc + self._burst_cyc
-                open_row[ch, bank] = row
-            finish = ready + service
-            # The data bus is held only for the burst; the activate phase
-            # of a miss overlaps with other banks' transfers.
-            bus_free[ch] = max(bus_free[ch], finish - service) + self._burst_cyc
-            bank_ready[ch, bank] = finish
-            busy[ch] += self._burst_cyc + (0.0 if hit else
-                                           self._miss_cyc / cfg.banks_per_channel)
-            counts[ch] += 1
-            completion = max(completion, finish)
+        channel_order = np.argsort(channels, kind="stable")
+        boundaries = np.searchsorted(channels[channel_order],
+                                     np.arange(cfg.channels + 1))
+        for ch in range(cfg.channels):
+            idx = channel_order[boundaries[ch]:boundaries[ch + 1]]
+            if not len(idx):
+                continue
+            arrivals = cycles[idx].tolist()
+            ch_banks = banks[idx].tolist()
+            ch_miss = miss_mask[idx].tolist()
+            bank_ready = [0.0] * cfg.banks_per_channel
+            bus_free = 0.0
+            for arrival, bank, miss in zip(arrivals, ch_banks, ch_miss):
+                ready = max(float(arrival), bank_ready[bank], bus_free)
+                service = miss_service if miss else burst
+                finish = ready + service
+                bus_free = max(bus_free, finish - service) + burst
+                bank_ready[bank] = finish
+                if finish > completion:
+                    completion = finish
 
         return DramResult(
             requests=n,
-            row_hits=hits,
-            row_misses=n - hits,
-            busy_cycles=max(busy),
+            row_hits=n - misses,
+            row_misses=misses,
+            busy_cycles=float(busy.max()),
             completion_cycle=completion,
-            per_channel_requests=counts,
-            per_channel_busy=busy,
+            per_channel_requests=counts.tolist(),
+            per_channel_busy=busy.tolist(),
         )
 
     # -- vectorized fast model --
+
+    @staticmethod
+    def _bank_miss_counts(global_bank: np.ndarray, cycles: np.ndarray,
+                          rows: np.ndarray, banks_per_channel: int,
+                          minlength: int) -> np.ndarray:
+        """Row-conflict counts per channel (or per segment-channel).
+
+        Issue order within a bank is ``(cycle, arrival position)``;
+        sorting once by the composite ``(bank, cycle)`` key — stable, so
+        arrival position breaks ties — yields exactly the per-bank
+        sequences the event model walks, and a row change between
+        neighbours of the same bank is a conflict.
+        """
+        span = int(cycles.max()) + 1
+        if (int(global_bank.max()) + 1) * span < 2 ** 63:
+            order = np.argsort(global_bank * span + cycles, kind="stable")
+        else:  # composite key would overflow; two stable passes instead
+            order = np.lexsort((cycles, global_bank))
+        sorted_bank = global_bank[order]
+        miss_mask = DramSim._conflict_mask(sorted_bank, rows[order])
+        return np.bincount(sorted_bank[miss_mask] // banks_per_channel,
+                           minlength=minlength)
 
     def simulate_fast(self, stream: BlockStream) -> DramResult:
         """Busy-time estimate of serving ``stream`` (numpy, no event loop)."""
@@ -129,41 +204,166 @@ class DramSim:
         if n == 0:
             return DramResult(0, 0, 0, 0.0, None,
                               [0] * cfg.channels, [0.0] * cfg.channels)
-        ordered = stream.sorted_by_cycle()
-        channels, banks, rows = self.mapping.decompose(ordered.addrs)
-
-        # Exact row-conflict count in issue order: stable-sort by global
-        # bank id; within each bank the original order is preserved, so a
-        # row change between neighbours is a conflict.
+        channels, banks, rows = self.mapping.decompose(stream.addrs)
         global_bank = channels * cfg.banks_per_channel + banks
-        order = np.argsort(global_bank, kind="stable")
-        sorted_bank = global_bank[order]
-        sorted_row = rows[order]
-        new_bank = np.empty(n, dtype=bool)
-        new_bank[0] = True
-        np.not_equal(sorted_bank[1:], sorted_bank[:-1], out=new_bank[1:])
-        row_change = np.empty(n, dtype=bool)
-        row_change[0] = True
-        np.not_equal(sorted_row[1:], sorted_row[:-1], out=row_change[1:])
-        miss_mask = new_bank | row_change
-        misses = int(miss_mask.sum())
-        hits = n - misses
+        miss_counts = self._bank_miss_counts(
+            global_bank, stream.cycles, rows, cfg.banks_per_channel,
+            cfg.channels)
+        misses = int(miss_counts.sum())
 
         # Per-channel accounting. Activation penalties overlap with other
         # banks' bursts; with B banks, roughly (B-1)/B of each penalty
         # hides under concurrent transfers.
         counts = np.bincount(channels, minlength=cfg.channels)
-        miss_channel = (sorted_bank[miss_mask] // cfg.banks_per_channel)
-        miss_counts = np.bincount(miss_channel, minlength=cfg.channels)
         overlap = 1.0 / cfg.banks_per_channel
         busy = counts * self._burst_cyc + miss_counts * self._miss_cyc * overlap
 
         return DramResult(
             requests=n,
-            row_hits=hits,
+            row_hits=n - misses,
             row_misses=misses,
             busy_cycles=float(busy.max()),
             completion_cycle=None,
             per_channel_requests=counts.tolist(),
             per_channel_busy=busy.tolist(),
         )
+
+    def simulate_fast_batch(self, streams: List[BlockStream]) -> List[DramResult]:
+        """Fast-model service of many independent streams in one pass.
+
+        Each stream is served by a cold memory system, exactly like
+        calling :meth:`simulate_fast` per stream.
+        """
+        return self.simulate_fast_batch_parts([(s,) for s in streams])
+
+    def _sorted_geom(self, stream: BlockStream):
+        """Per-stream (channels, bank-sorted gb/rows/keys), memoized.
+
+        The sort key is the composite ``(channel-local bank, cycle)``
+        with a fixed cycle span, so the result is independent of which
+        batch the stream appears in — layer data streams are shared
+        across every scheme in a sweep cell, and their geometry is
+        computed once. Relies on streams being immutable once built.
+        """
+        cfg = self.config
+        key = (cfg.channels, cfg.banks_per_channel, cfg.row_bytes,
+               cfg.block_bytes)
+        cached = getattr(stream, "_dram_geom", None)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        if len(stream) and int(stream.cycles.max()) >= _KEY_SPAN:
+            return None  # composite key would collide; caller falls back
+        channels, banks, rows = self.mapping.decompose(stream.addrs)
+        gb = channels * cfg.banks_per_channel + banks
+        sort_key = gb * _KEY_SPAN + stream.cycles
+        order = np.argsort(sort_key, kind="stable")
+        geom = (channels, gb[order], rows[order], sort_key[order])
+        stream._dram_geom = (key, geom)
+        return geom
+
+    @staticmethod
+    def _merge_sorted(geom_a, geom_b):
+        """Merge two bank-sorted geometries; A wins ties (it precedes B
+        in the virtual concatenation, matching a stable sort)."""
+        _, gb_a, row_a, key_a = geom_a
+        _, gb_b, row_b, key_b = geom_b
+        slots = (np.searchsorted(key_a, key_b, side="right")
+                 + np.arange(len(key_b)))
+        total = len(key_a) + len(key_b)
+        mask = np.ones(total, dtype=bool)
+        mask[slots] = False
+        gb = np.empty(total, dtype=np.int64)
+        rows = np.empty(total, dtype=np.int64)
+        keys = np.empty(total, dtype=np.int64)
+        gb[mask] = gb_a
+        gb[slots] = gb_b
+        rows[mask] = row_a
+        rows[slots] = row_b
+        keys[mask] = key_a
+        keys[slots] = key_b
+        return None, gb, rows, keys
+
+    def simulate_fast_batch_parts(
+            self, part_lists: List[Sequence[BlockStream]]) -> List[DramResult]:
+        """Fast-model service of many independent streams in one pass.
+
+        Each entry of ``part_lists`` is a sequence of stream parts
+        treated as one concatenated stream (the pipeline passes each
+        layer's data and metadata streams without materializing the
+        combined stream). Results are identical to per-stream
+        :meth:`simulate_fast` calls — same ordering, same accounting,
+        float-identical — but the heavy work is shared and batched: each
+        part's bank-sorted geometry is memoized on the stream
+        (:meth:`_sorted_geom`), parts merge in O(n), and conflict
+        detection plus busy accounting run once over the concatenation,
+        segmented by stream id.
+        """
+        cfg = self.config
+        sizes = [sum(len(p) for p in parts) for parts in part_lists]
+        live = [i for i, size in enumerate(sizes) if size]
+        results: List[Optional[DramResult]] = [
+            None if size else DramResult(0, 0, 0, 0.0, None,
+                                         [0] * cfg.channels,
+                                         [0.0] * cfg.channels)
+            for size in sizes
+        ]
+        if not live:
+            return results  # type: ignore[return-value]
+
+        nbanks = cfg.channels * cfg.banks_per_channel
+        gb_parts: List[np.ndarray] = []
+        row_parts: List[np.ndarray] = []
+        channel_parts: List[np.ndarray] = []
+        batched: List[int] = []
+        for i in live:
+            parts = [p for p in part_lists[i] if len(p)]
+            geoms = [self._sorted_geom(p) for p in parts]
+            if any(g is None for g in geoms):
+                # Cycle values too large for the shared composite key;
+                # serve this stream through the standalone fast model.
+                results[i] = self.simulate_fast(BlockStream.concat(parts))
+                continue
+            merged = geoms[0]
+            for extra in geoms[1:]:
+                merged = self._merge_sorted(merged, extra)
+            _, gb, rows, _ = merged
+            gb_parts.append(gb + len(batched) * nbanks)
+            row_parts.append(rows)
+            channel_parts.extend(g[0] for g in geoms)
+            batched.append(i)
+        if not batched:
+            return results  # type: ignore[return-value]
+        live = batched
+
+        sorted_bank = np.concatenate(gb_parts)
+        miss_mask = self._conflict_mask(sorted_bank,
+                                        np.concatenate(row_parts))
+        miss_counts = np.bincount(
+            sorted_bank[miss_mask] // cfg.banks_per_channel,
+            minlength=len(live) * cfg.channels)
+
+        # Per (segment, channel) accounting, identical formula to the
+        # single-stream fast model.
+        seg = np.repeat(np.arange(len(live), dtype=np.int64),
+                        [sizes[i] for i in live])
+        counts = np.bincount(seg * cfg.channels
+                             + np.concatenate(channel_parts),
+                             minlength=len(live) * cfg.channels)
+        overlap = 1.0 / cfg.banks_per_channel
+        busy = counts * self._burst_cyc + miss_counts * self._miss_cyc * overlap
+
+        counts = counts.reshape(len(live), cfg.channels)
+        miss_counts = miss_counts.reshape(len(live), cfg.channels)
+        busy = busy.reshape(len(live), cfg.channels)
+        for pos, i in enumerate(live):
+            misses = int(miss_counts[pos].sum())
+            results[i] = DramResult(
+                requests=sizes[i],
+                row_hits=sizes[i] - misses,
+                row_misses=misses,
+                busy_cycles=float(busy[pos].max()),
+                completion_cycle=None,
+                per_channel_requests=counts[pos].tolist(),
+                per_channel_busy=busy[pos].tolist(),
+            )
+        return results  # type: ignore[return-value]

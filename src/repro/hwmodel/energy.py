@@ -19,7 +19,7 @@ ordering mirrors Fig. 5/6.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List
+from typing import Iterable
 
 from repro.protection.base import LayerProtection
 

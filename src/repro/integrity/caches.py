@@ -35,6 +35,17 @@ class MetadataCache:
     def capacity_lines(self) -> int:
         return self._cache.capacity_lines
 
+    @property
+    def raw_lines(self):
+        """Underlying LRU tag map for batch drivers (tags are
+        ``line_addr // line_bytes``); see :meth:`LruCache.raw_lines`."""
+        return self._cache.raw_lines
+
+    def note(self, hits: int, misses: int, evictions: int,
+             dirty_evictions: int) -> None:
+        """Fold a batch driver's counters into the cache statistics."""
+        self._cache.stats.note(hits, misses, evictions, dirty_evictions)
+
     def access(self, line_addr: int, write: bool = False) -> Tuple[bool, Optional[int]]:
         """Access the line containing ``line_addr``.
 

@@ -17,8 +17,8 @@ longer matches even though XOR itself is commutative.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
 
 from repro.crypto.mac import BlockMac, MacContext, MAC_BYTES, xor_fold
 from repro.utils.bitops import xor_bytes

@@ -17,7 +17,6 @@ them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.crypto.ctr import AesCtr

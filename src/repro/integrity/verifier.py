@@ -14,7 +14,7 @@ on real ciphertext, not just asserted.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict
 
 from repro.crypto.baes import BandwidthAwareAes
 from repro.crypto.mac import MacContext

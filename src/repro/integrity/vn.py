@@ -14,7 +14,7 @@ advances with every (inference, layer) production step.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.crypto.ctr import VN_BITS

@@ -14,7 +14,7 @@ from __future__ import annotations
 import csv
 import io
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List
+from typing import Iterator, List
 
 from repro.models.layer import Layer, LayerKind
 

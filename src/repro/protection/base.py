@@ -3,25 +3,29 @@
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.accel.simulator import LayerResult, ModelRun
-from repro.accel.trace import BlockStream
+from repro.accel.trace import BlockStream, empty_block_stream
 from repro.crypto.engine import CryptoEngineModel
+from repro.protection.metadata_model import CacheTrafficResult
 
 
 def empty_stream() -> BlockStream:
-    return BlockStream(
-        np.empty(0, np.int64), np.empty(0, np.uint64),
-        np.empty(0, bool), np.empty(0, np.int32),
-    )
+    return empty_block_stream()
 
 
 def stream_from_lists(cycles: List[int], addrs: List[int], writes: List[bool],
                       layer_id: int) -> BlockStream:
+    """Build a stream from parallel Python lists.
+
+    Retained for tests and ad-hoc construction; the pipeline's hot paths
+    build streams columnar (:meth:`CacheTrafficResult.to_stream`,
+    :func:`repro.accel.trace.expand_ranges`) without list round-trips.
+    """
     n = len(addrs)
     if len(cycles) != n or len(writes) != n:
         raise ValueError("parallel metadata lists must match in length")
@@ -83,6 +87,13 @@ class ProtectionScheme(abc.ABC):
 
     name: str = "abstract"
 
+    #: Cache-backed traffic models (MAC table, VN tree) registered by
+    #: :meth:`_reset_traffic_models`; flushed by the shared
+    #: :meth:`finish_model`.
+    _traffic_models: Tuple = ()
+    _last_cycle: int = 0
+    _last_layer: int = 0
+
     @abc.abstractmethod
     def begin_model(self, run: ModelRun) -> None:
         """Reset per-model state and size engines for this run."""
@@ -100,12 +111,39 @@ class ProtectionScheme(abc.ABC):
         the unprotected baseline)."""
         return None
 
-    def finish_model(self) -> Optional[LayerProtection]:
-        """Flush residual state (e.g. dirty metadata cache lines).
+    # -- shared cache-backed-scheme machinery (SGX/MGX family) --
 
-        Returns a final metadata-only contribution, or None.
+    def _reset_traffic_models(self, *models: Sequence) -> None:
+        """Register the cache-backed models for this run and rewind the
+        progress markers used by the end-of-model flush."""
+        self._traffic_models = tuple(models)
+        self._last_cycle = 0
+        self._last_layer = 0
+
+    def _note_stream(self, data_stream: BlockStream, layer_id: int) -> None:
+        """Track the latest issue cycle and layer, so residual flush
+        traffic lands at the end of the model's timeline."""
+        if len(data_stream):
+            self._last_cycle = int(data_stream.cycles.max())
+        self._last_layer = layer_id
+
+    def finish_model(self) -> Optional[LayerProtection]:
+        """Flush residual state (dirty metadata cache lines).
+
+        Shared across every cache-backed scheme: drains all registered
+        traffic models and returns the final metadata-only contribution
+        (None when nothing is dirty, or for schemes without caches).
         """
-        return None
+        if not self._traffic_models:
+            return None
+        out = CacheTrafficResult()
+        for model in self._traffic_models:
+            model.flush(self._last_cycle, out)
+        if not len(out):
+            return None
+        return LayerProtection(layer_id=self._last_layer,
+                               data_stream=empty_stream(),
+                               metadata_stream=out.to_stream(self._last_layer))
 
     def protect_model(self, run: ModelRun) -> List[LayerProtection]:
         """Convenience: run the whole model through the scheme."""

@@ -5,19 +5,44 @@ units map to metadata lines (8 entries per 64 B line), consecutive
 duplicates are run-length compressed (sequential tile streams hit the
 same line 8 times in a row), and the compressed stream drives the LRU
 cache model. Misses and dirty evictions become metadata DRAM accesses.
+
+Everything up to the cache is vectorized (line mapping, run
+compression, over-fetch); only the run-line -> LRU drive is sequential,
+because cache state is order-dependent. That loop is inlined over plain
+Python scalars (see :meth:`repro.utils.lru.LruCache.raw_lines`) and
+appends into the columnar :class:`CacheTrafficResult` buffers.
+
+NOTE: the LRU drive body (hit/move/dirty, evict/writeback/miss) is
+deliberately hand-inlined in each loop — ``MacTableModel.process``,
+``VnTreeModel.process`` (leaf + tree node) and the fused
+``process_mac_vn`` — because a per-access helper call would cost more
+than the cache work itself. When touching replacement policy, dirty
+handling, or event ordering, update every copy; the copies are pinned
+against the :meth:`MetadataCache.access` reference implementation by
+``tests/protection/test_stream_core.py``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Tuple
+from array import array
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.accel.trace import BlockStream, TraceRange, AccessKind
+from repro.accel.trace import (
+    AccessKind,
+    BlockStream,
+    Trace,
+    TraceRange,
+    expand_ranges,
+)
 from repro.integrity.caches import MetadataCache
-from repro.protection.base import stream_from_lists
-from repro.protection.layout import MetadataLayout, ENTRIES_PER_LINE, LINE_BYTES
+from repro.protection.layout import (
+    ENTRIES_PER_LINE,
+    LINE_BYTES,
+    MetadataLayout,
+    TREE_ARITY,
+)
 from repro.utils.bitops import align_down, align_up
 
 
@@ -35,31 +60,78 @@ def compress_runs(values: np.ndarray, writes: np.ndarray,
     boundary[0] = True
     np.not_equal(values[1:], values[:-1], out=boundary[1:])
     starts = np.flatnonzero(boundary)
-    ends = np.append(starts[1:], n)
-    run_writes = np.logical_or.reduceat(writes, starts) if n else writes
-    del ends
+    run_writes = np.logical_or.reduceat(writes, starts)
     return values[starts], run_writes, cycles[starts]
 
 
-@dataclass
 class CacheTrafficResult:
-    """Metadata stream produced by driving one cache model."""
+    """Metadata stream produced by driving one cache model.
 
-    stream_cycles: List[int]
-    stream_addrs: List[int]
-    stream_writes: List[bool]
-    misses: int = 0
+    Columnar: parallel flat buffers (``array`` columns) that convert to
+    a :class:`BlockStream` in one shot via :meth:`to_stream` — no
+    per-entry Python objects, no list round-trips.
+    """
+
+    __slots__ = ("stream_cycles", "stream_addrs", "stream_writes", "misses")
+
+    def __init__(self, stream_cycles: Sequence[int] = (),
+                 stream_addrs: Sequence[int] = (),
+                 stream_writes: Sequence[bool] = (), misses: int = 0):
+        self.stream_cycles = array("q", stream_cycles)
+        self.stream_addrs = array("q", stream_addrs)
+        self.stream_writes = array("b", [1 if w else 0 for w in stream_writes])
+        self.misses = misses
+
+    def __len__(self) -> int:
+        return len(self.stream_addrs)
 
     def extend_miss(self, cycle: int, addr: int) -> None:
         self.stream_cycles.append(cycle)
         self.stream_addrs.append(addr)
-        self.stream_writes.append(False)
+        self.stream_writes.append(0)
         self.misses += 1
 
     def extend_writeback(self, cycle: int, addr: int) -> None:
         self.stream_cycles.append(cycle)
         self.stream_addrs.append(addr)
-        self.stream_writes.append(True)
+        self.stream_writes.append(1)
+
+    def extend_from(self, other: "CacheTrafficResult") -> None:
+        """Columnar append of another result's entries (C-level extend)."""
+        self.stream_cycles.extend(other.stream_cycles)
+        self.stream_addrs.extend(other.stream_addrs)
+        self.stream_writes.extend(other.stream_writes)
+        self.misses += other.misses
+
+    def to_stream(self, layer_id: int) -> BlockStream:
+        """One-shot columnar conversion to a :class:`BlockStream`."""
+        n = len(self.stream_addrs)
+        return BlockStream(
+            np.array(self.stream_cycles, dtype=np.int64),
+            np.array(self.stream_addrs, dtype=np.int64).astype(np.uint64),
+            np.array(self.stream_writes, dtype=bool),
+            np.full(n, layer_id, dtype=np.int32),
+        )
+
+
+def _run_lists(layout_lines: np.ndarray, stream: BlockStream,
+               line_bytes: int):
+    """Reduce a block stream to run-compressed line accesses, as plain
+    Python scalars ready for the sequential cache drive.
+
+    Layout line addresses are 64 B-aligned by construction, so as long
+    as ``line_bytes`` divides that stride the drive loops can carry tags
+    alone and reconstruct addresses as ``tag * line_bytes`` on the
+    (rarer) miss path.
+    """
+    if LINE_BYTES % line_bytes:
+        raise ValueError(
+            f"cache line_bytes={line_bytes} must divide the {LINE_BYTES} B "
+            "metadata line stride")
+    run_lines, run_writes, run_cycles = compress_runs(
+        layout_lines, stream.writes, stream.cycles)
+    tags = (run_lines // line_bytes).tolist()
+    return tags, run_writes.tolist(), run_cycles.tolist()
 
 
 class MacTableModel:
@@ -71,17 +143,45 @@ class MacTableModel:
 
     def process(self, stream: BlockStream, out: CacheTrafficResult) -> None:
         lines = self.layout.mac_line_addrs_vec(stream.addrs).astype(np.uint64)
-        run_lines, run_writes, run_cycles = compress_runs(
-            lines, stream.writes, stream.cycles)
-        cache = self.cache
-        for i in range(len(run_lines)):
-            addr = int(run_lines[i])
-            cycle = int(run_cycles[i])
-            hit, writeback = cache.access(addr, write=bool(run_writes[i]))
-            if not hit:
-                out.extend_miss(cycle, addr)
-            if writeback is not None:
-                out.extend_writeback(cycle, writeback)
+        tags, writes, cycles = _run_lists(lines, stream,
+                                          self.cache.line_bytes)
+
+        # Inlined LRU drive (same discipline as MetadataCache.access):
+        # a miss emits the line fetch, a dirty eviction emits the
+        # writeback, stats fold in afterwards.
+        od = self.cache.raw_lines
+        cap = self.cache.capacity_lines
+        lb = self.cache.line_bytes
+        move, pop = od.move_to_end, od.popitem
+        ap_c = out.stream_cycles.append
+        ap_a = out.stream_addrs.append
+        ap_w = out.stream_writes.append
+        hits = misses = evictions = dirty = 0
+        for tag, wr, cyc in zip(tags, writes, cycles):
+            if tag in od:
+                hits += 1
+                move(tag)
+                if wr:
+                    od[tag] = True
+            else:
+                misses += 1
+                wb = -1
+                if len(od) >= cap:
+                    old_tag, old_dirty = pop(last=False)
+                    evictions += 1
+                    if old_dirty:
+                        dirty += 1
+                        wb = old_tag * lb
+                od[tag] = wr
+                ap_c(cyc)
+                ap_a(tag * lb)
+                ap_w(0)
+                if wb >= 0:
+                    ap_c(cyc)
+                    ap_a(wb)
+                    ap_w(1)
+        out.misses += misses
+        self.cache.note(hits, misses, evictions, dirty)
 
     def flush(self, cycle: int, out: CacheTrafficResult) -> None:
         for addr in self.cache.flush():
@@ -102,40 +202,277 @@ class VnTreeModel:
         self.layout = layout
         self.cache = cache
         self.tree_levels = layout.tree_levels
+        #: Per-level (base address, index divisor) so the walk computes
+        #: node addresses without re-deriving layout constants.
+        self._walk = [(layout.tree_node_addr(0, level), TREE_ARITY ** level)
+                      for level in range(1, self.tree_levels + 1)]
+        #: VN-line index = line tag - the table's base tag (the layout
+        #: keeps VN lines contiguous from the table base).
+        self._vn_base_tag = layout.vn_line_addr(0) // cache.line_bytes
 
     def process(self, stream: BlockStream, out: CacheTrafficResult) -> None:
         layout = self.layout
         lines = layout.vn_line_addrs_vec(stream.addrs).astype(np.uint64)
-        run_lines, run_writes, run_cycles = compress_runs(
-            lines, stream.writes, stream.cycles)
-        run_leaf_index = layout.vn_line_indices_vec(
-            run_lines.astype(np.int64))
+        tags, writes, cycles = _run_lists(lines, stream,
+                                          self.cache.line_bytes)
 
-        cache = self.cache
-        for i in range(len(run_lines)):
-            addr = int(run_lines[i])
-            cycle = int(run_cycles[i])
-            write = bool(run_writes[i])
-            hit, writeback = cache.access(addr, write=write)
-            if writeback is not None:
-                out.extend_writeback(cycle, writeback)
-            if hit:
+        od = self.cache.raw_lines
+        cap = self.cache.capacity_lines
+        lb = self.cache.line_bytes
+        move, pop = od.move_to_end, od.popitem
+        ap_c = out.stream_cycles.append
+        ap_a = out.stream_addrs.append
+        ap_w = out.stream_writes.append
+        walk = self._walk
+        base_tag = self._vn_base_tag
+        hits = misses = evictions = dirty = 0
+        for tag, wr, cyc in zip(tags, writes, cycles):
+            if tag in od:
+                hits += 1
+                move(tag)
+                if wr:
+                    od[tag] = True
                 continue
-            out.extend_miss(cycle, addr)
+            # VN-line miss: dirty eviction surfaces before the fetch.
+            misses += 1
+            if len(od) >= cap:
+                old_tag, old_dirty = pop(last=False)
+                evictions += 1
+                if old_dirty:
+                    dirty += 1
+                    ap_c(cyc)
+                    ap_a(old_tag * lb)
+                    ap_w(1)
+            od[tag] = wr
+            ap_c(cyc)
+            ap_a(tag * lb)
+            ap_w(0)
             # Walk ancestors until a cached node (or the root) vouches.
-            leaf = int(run_leaf_index[i])
-            for level in range(1, self.tree_levels + 1):
-                node = layout.tree_node_addr(leaf, level)
-                node_hit, node_writeback = cache.access(node, write=write)
-                if node_writeback is not None:
-                    out.extend_writeback(cycle, node_writeback)
-                if node_hit:
+            leaf = (tag - base_tag) * lb // LINE_BYTES
+            for base, div in walk:
+                node = base + (leaf // div) * LINE_BYTES
+                ntag = node // lb
+                if ntag in od:
+                    hits += 1
+                    move(ntag)
+                    if wr:
+                        od[ntag] = True
                     break
-                out.extend_miss(cycle, node)
+                misses += 1
+                if len(od) >= cap:
+                    old_tag, old_dirty = pop(last=False)
+                    evictions += 1
+                    if old_dirty:
+                        dirty += 1
+                        ap_c(cyc)
+                        ap_a(old_tag * lb)
+                        ap_w(1)
+                od[ntag] = wr
+                ap_c(cyc)
+                ap_a(node)
+                ap_w(0)
+        out.misses += misses
+        self.cache.note(hits, misses, evictions, dirty)
 
     def flush(self, cycle: int, out: CacheTrafficResult) -> None:
         for addr in self.cache.flush():
             out.extend_writeback(cycle, addr)
+
+
+def process_mac_vn(mac_model: MacTableModel, vn_model: VnTreeModel,
+                   stream: BlockStream, mac_out: CacheTrafficResult,
+                   vn_out: CacheTrafficResult) -> None:
+    """Drive the MAC table and VN tree over ``stream`` in one pass.
+
+    Both tables index by the same protection-unit line, so their run
+    boundaries coincide; one reduction and one traversal feed both LRU
+    models. Per-model event order and cache behaviour are identical to
+    calling ``mac_model.process`` then ``vn_model.process``.
+    """
+    mac_cache, vn_cache = mac_model.cache, vn_model.cache
+    if (mac_cache.line_bytes != LINE_BYTES
+            or vn_cache.line_bytes != LINE_BYTES):
+        mac_model.process(stream, mac_out)
+        vn_model.process(stream, vn_out)
+        return
+    layout = mac_model.layout
+    line_idx = (stream.addrs // layout.unit_bytes) // ENTRIES_PER_LINE
+    run_idx, run_writes, run_cycles = compress_runs(
+        line_idx, stream.writes, stream.cycles)
+    idxs = run_idx.tolist()
+    writes = run_writes.tolist()
+    cycles = run_cycles.tolist()
+    mac_base = layout.mac_line_addr(0) // LINE_BYTES
+    vn_base = layout.vn_line_addr(0) // LINE_BYTES
+
+    m_od = mac_cache.raw_lines
+    m_cap = mac_cache.capacity_lines
+    m_move, m_pop = m_od.move_to_end, m_od.popitem
+    m_c = mac_out.stream_cycles.append
+    m_a = mac_out.stream_addrs.append
+    m_w = mac_out.stream_writes.append
+    v_od = vn_cache.raw_lines
+    v_cap = vn_cache.capacity_lines
+    v_move, v_pop = v_od.move_to_end, v_od.popitem
+    v_c = vn_out.stream_cycles.append
+    v_a = vn_out.stream_addrs.append
+    v_w = vn_out.stream_writes.append
+    walk = vn_model._walk
+    m_hits = m_misses = m_ev = m_dirty = 0
+    v_hits = v_misses = v_ev = v_dirty = 0
+    for idx, wr, cyc in zip(idxs, writes, cycles):
+        # MAC table: miss fetch first, dirty eviction after.
+        tag = mac_base + idx
+        if tag in m_od:
+            m_hits += 1
+            m_move(tag)
+            if wr:
+                m_od[tag] = True
+        else:
+            m_misses += 1
+            wb = -1
+            if len(m_od) >= m_cap:
+                old_tag, old_dirty = m_pop(last=False)
+                m_ev += 1
+                if old_dirty:
+                    m_dirty += 1
+                    wb = old_tag * LINE_BYTES
+            m_od[tag] = wr
+            m_c(cyc)
+            m_a(tag * LINE_BYTES)
+            m_w(0)
+            if wb >= 0:
+                m_c(cyc)
+                m_a(wb)
+                m_w(1)
+        # VN line: dirty eviction surfaces before the fetch, then the
+        # tree walk up to the first cached ancestor.
+        tag = vn_base + idx
+        if tag in v_od:
+            v_hits += 1
+            v_move(tag)
+            if wr:
+                v_od[tag] = True
+            continue
+        v_misses += 1
+        if len(v_od) >= v_cap:
+            old_tag, old_dirty = v_pop(last=False)
+            v_ev += 1
+            if old_dirty:
+                v_dirty += 1
+                v_c(cyc)
+                v_a(old_tag * LINE_BYTES)
+                v_w(1)
+        v_od[tag] = wr
+        v_c(cyc)
+        v_a(tag * LINE_BYTES)
+        v_w(0)
+        for base, div in walk:
+            node = base + (idx // div) * LINE_BYTES
+            ntag = node // LINE_BYTES
+            if ntag in v_od:
+                v_hits += 1
+                v_move(ntag)
+                if wr:
+                    v_od[ntag] = True
+                break
+            v_misses += 1
+            if len(v_od) >= v_cap:
+                old_tag, old_dirty = v_pop(last=False)
+                v_ev += 1
+                if old_dirty:
+                    v_dirty += 1
+                    v_c(cyc)
+                    v_a(old_tag * LINE_BYTES)
+                    v_w(1)
+            v_od[ntag] = wr
+            v_c(cyc)
+            v_a(node)
+            v_w(0)
+    mac_out.misses += m_misses
+    vn_out.misses += v_misses
+    mac_cache.note(m_hits, m_misses, m_ev, m_dirty)
+    vn_cache.note(v_hits, v_misses, v_ev, v_dirty)
+
+
+class SharedTrafficModel:
+    """Memoizes a cache model's per-layer traffic on the model run.
+
+    Schemes with byte-identical cache configurations — the SGX and MGX
+    MAC tables at the same unit size — produce identical traffic when
+    driven over the same model in layer order, so the LRU drive runs
+    once per sweep cell and later schemes replay the recorded streams.
+    The wrapper relies on :meth:`ProtectionScheme.protect_model`'s
+    contract (begin, layers in order, finish); the first scheme through
+    populates the memo from its live cache, replays never touch theirs.
+    """
+
+    def __init__(self, inner, memo: dict, key: Tuple):
+        self.inner = inner
+        self.memo = memo
+        self.key = key
+
+    def peek(self, layer_id: int) -> Optional[CacheTrafficResult]:
+        return self.memo.get((self.key, "layer", layer_id))
+
+    def store(self, layer_id: int, out: CacheTrafficResult) -> None:
+        self.memo[(self.key, "layer", layer_id)] = out
+
+    def process_layer(self, stream: BlockStream,
+                      layer_id: int) -> CacheTrafficResult:
+        got = self.peek(layer_id)
+        if got is None:
+            got = CacheTrafficResult()
+            self.inner.process(stream, got)
+            self.store(layer_id, got)
+        return got
+
+    def flush(self, cycle: int, out: CacheTrafficResult) -> None:
+        key = (self.key, "flush")
+        got = self.memo.get(key)
+        if got is None:
+            got = CacheTrafficResult()
+            self.inner.flush(cycle, got)
+            self.memo[key] = got
+        out.extend_from(got)
+
+
+def expanded_data_stream(trace: Trace, unit_bytes: int) -> Tuple[BlockStream, int]:
+    """Cycle-sorted (data + over-fetch) stream for one layer's trace.
+
+    Returns ``(stream, overfetch_blocks)``. Memoized on the trace, so
+    every scheme sharing a protection-unit size in a sweep cell reuses
+    one expansion; 64 B units degenerate to the layer's plain sorted
+    stream, shared with the schemes that never over-fetch.
+    """
+    if unit_bytes <= LINE_BYTES:
+        return trace.sorted_blocks(), 0
+
+    def build() -> Tuple[BlockStream, int]:
+        base = trace.to_blocks()
+        cycles, addrs, nbytes, _, _, layer_ids, durations = \
+            trace.buf.arrays()
+        end = addrs + nbytes
+        head_base = addrs - addrs % unit_bytes
+        tail = (-end) % unit_bytes
+        # Interleave head/tail candidates per range so the expansion
+        # order matches the per-range reference (head_i, tail_i, ...).
+        n = len(addrs)
+        cand_addr = np.empty(2 * n, dtype=np.int64)
+        cand_addr[0::2] = head_base
+        cand_addr[1::2] = end
+        cand_nbytes = np.empty(2 * n, dtype=np.int64)
+        cand_nbytes[0::2] = addrs - head_base
+        cand_nbytes[1::2] = tail
+        mask = cand_nbytes > 0
+        extra = expand_ranges(
+            np.repeat(cycles, 2)[mask], cand_addr[mask], cand_nbytes[mask],
+            np.zeros(int(mask.sum()), dtype=bool),
+            np.repeat(layer_ids, 2)[mask], np.repeat(durations, 2)[mask])
+        combined = BlockStream.concat([base, extra]).sorted_by_cycle()
+        return combined, len(extra)
+
+    return trace.memo(("protected", unit_bytes), build)
 
 
 def overfetch_ranges(ranges, unit_bytes: int):
@@ -144,6 +481,9 @@ def overfetch_ranges(ranges, unit_bytes: int):
     Verifying (or re-MACing, for writes) a partially touched unit needs
     the untouched remainder of that unit fetched from DRAM. Returns the
     extra ranges; empty for 64 B units, where every access is unit-sized.
+
+    This is the per-range reference used by tests; the pipeline goes
+    through the vectorized :func:`expanded_data_stream`.
     """
     if unit_bytes <= LINE_BYTES:
         return []

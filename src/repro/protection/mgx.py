@@ -13,21 +13,19 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.accel.simulator import LayerResult, ModelRun
-from repro.accel.trace import Trace
 from repro.crypto.engine import CryptoEngineModel, parallel_engines
 from repro.integrity.caches import MAC_CACHE_BYTES, MetadataCache
 from repro.protection.base import (
     LayerProtection,
     ProtectionScheme,
     SchemeSummary,
-    empty_stream,
-    stream_from_lists,
 )
 from repro.protection.layout import MetadataLayout
 from repro.protection.metadata_model import (
     CacheTrafficResult,
     MacTableModel,
-    overfetch_ranges,
+    SharedTrafficModel,
+    expanded_data_stream,
 )
 from repro.protection.sgx import DEFAULT_AES_ENGINES
 
@@ -43,54 +41,36 @@ class MgxScheme(ProtectionScheme):
         self._mac_cache_bytes = mac_cache_bytes
         self._engines = aes_engines
         self.name = f"mgx-{unit_bytes}b"
-        self._mac_model: Optional[MacTableModel] = None
-        self._last_cycle = 0
-        self._last_layer = 0
+        self._mac_model: Optional[SharedTrafficModel] = None
 
     def begin_model(self, run: ModelRun) -> None:
-        del run
-        self._mac_model = MacTableModel(
-            self.layout, MetadataCache(self._mac_cache_bytes))
-        self._last_cycle = 0
-        self._last_layer = 0
+        # Shares the MAC-table traffic with SGX at the same unit size
+        # (same cache config, same stream -> identical traffic).
+        self._mac_model = SharedTrafficModel(
+            MacTableModel(self.layout, MetadataCache(self._mac_cache_bytes)),
+            run.scheme_memo, ("mac", self.unit_bytes, self._mac_cache_bytes))
+        self._reset_traffic_models(self._mac_model)
 
     def protect_layer(self, result: LayerResult) -> LayerProtection:
         if self._mac_model is None:
             raise RuntimeError("begin_model must be called before protect_layer")
-        extra = overfetch_ranges(result.trace.ranges, self.unit_bytes)
-        data_trace = Trace(list(result.trace.ranges) + extra)
-        data_stream = data_trace.to_blocks().sorted_by_cycle()
+        data_stream, overfetch_blocks = expanded_data_stream(
+            result.trace, self.unit_bytes)
 
-        out = CacheTrafficResult([], [], [])
-        self._mac_model.process(data_stream, out)
-        metadata = stream_from_lists(out.stream_cycles, out.stream_addrs,
-                                     out.stream_writes, result.layer_id)
+        out = CacheTrafficResult()
+        out.extend_from(
+            self._mac_model.process_layer(data_stream, result.layer_id))
 
-        if len(data_stream):
-            self._last_cycle = int(data_stream.cycles.max())
-        self._last_layer = result.layer_id
+        self._note_stream(data_stream, result.layer_id)
         return LayerProtection(
             layer_id=result.layer_id,
             data_stream=data_stream,
-            metadata_stream=metadata,
+            metadata_stream=out.to_stream(result.layer_id),
             crypto_bytes=data_stream.total_bytes,
             mac_computations=len(data_stream),
-            overfetch_blocks=sum(r.num_blocks for r in extra),
+            overfetch_blocks=overfetch_blocks,
             aes_invocations=data_stream.total_bytes // 16,
         )
-
-    def finish_model(self) -> Optional[LayerProtection]:
-        if self._mac_model is None:
-            return None
-        out = CacheTrafficResult([], [], [])
-        self._mac_model.flush(self._last_cycle, out)
-        if not out.stream_addrs:
-            return None
-        metadata = stream_from_lists(out.stream_cycles, out.stream_addrs,
-                                     out.stream_writes, self._last_layer)
-        return LayerProtection(layer_id=self._last_layer,
-                               data_stream=empty_stream(),
-                               metadata_stream=metadata)
 
     def crypto_engine(self) -> CryptoEngineModel:
         return parallel_engines(self._engines)

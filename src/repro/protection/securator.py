@@ -23,16 +23,18 @@ hardware cost, and the security gap.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
+
+import numpy as np
 
 from repro.accel.simulator import LayerResult, ModelRun
-from repro.accel.trace import BLOCK_BYTES
+from repro.accel.trace import BLOCK_BYTES, BlockStream
 from repro.crypto.engine import CryptoEngineModel, parallel_engines
 from repro.protection.base import (
     LayerProtection,
     ProtectionScheme,
     SchemeSummary,
-    stream_from_lists,
+    empty_stream,
 )
 from repro.tiling.overlap import analyze_overlap
 from repro.utils.bitops import ceil_div
@@ -64,17 +66,18 @@ class SecuratorScheme(ProtectionScheme):
             self._redundant_macs[result.layer_id] = report.redundant_mac_blocks
 
     def protect_layer(self, result: LayerResult) -> LayerProtection:
-        data_stream = result.trace.to_blocks().sorted_by_cycle()
-        cycles, addrs, writes = [], [], []
+        data_stream = result.trace.sorted_blocks()
         if len(data_stream):
             line = _LAYER_MAC_BASE + result.layer_id * BLOCK_BYTES
-            cycles.append(int(data_stream.cycles.min()))
-            addrs.append(line)
-            writes.append(False)
-            cycles.append(int(data_stream.cycles.max()))
-            addrs.append(line + BLOCK_BYTES)
-            writes.append(True)
-        metadata = stream_from_lists(cycles, addrs, writes, result.layer_id)
+            metadata = BlockStream(
+                np.array([int(data_stream.cycles[0]),
+                          int(data_stream.cycles[-1])], dtype=np.int64),
+                np.array([line, line + BLOCK_BYTES], dtype=np.uint64),
+                np.array([False, True]),
+                np.full(2, result.layer_id, dtype=np.int32),
+            )
+        else:
+            metadata = empty_stream()
 
         # MAC engine work: one hash per fetched 32 B block, including the
         # redundant overlap re-hashes SeDA's optBlk avoids.

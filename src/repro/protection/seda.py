@@ -23,16 +23,18 @@ lane count sized to the accelerator's peak bandwidth demand (that is the
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
+
+import numpy as np
 
 from repro.accel.simulator import LayerResult, ModelRun
-from repro.accel.trace import BLOCK_BYTES
+from repro.accel.trace import BLOCK_BYTES, BlockStream
 from repro.crypto.engine import CryptoEngineModel, bandwidth_aware_engine
 from repro.protection.base import (
     LayerProtection,
     ProtectionScheme,
     SchemeSummary,
-    stream_from_lists,
+    empty_stream,
 )
 from repro.protection.layout import MetadataLayout
 from repro.tiling.optblk import OptBlockChoice, search_optblk
@@ -68,23 +70,22 @@ class SedaScheme(ProtectionScheme):
         return self._optblk[layer_id]
 
     def protect_layer(self, result: LayerResult) -> LayerProtection:
-        data_stream = result.trace.to_blocks().sorted_by_cycle()
-        cycles, addrs, writes = [], [], []
+        data_stream = result.trace.sorted_blocks()
         if self.layer_macs_offchip and len(data_stream):
-            start = int(data_stream.cycles.min())
-            end = int(data_stream.cycles.max())
             # Line i holds the MAC of the tensor layer i consumes, so the
             # line this layer writes (its ofmap MAC) is exactly the line
             # layer i+1 will read.
             read_line = _LAYER_MAC_BASE + result.layer_id * BLOCK_BYTES
-            write_line = read_line + BLOCK_BYTES
-            cycles.append(start)
-            addrs.append(read_line)
-            writes.append(False)
-            cycles.append(end)
-            addrs.append(write_line)
-            writes.append(True)
-        metadata = stream_from_lists(cycles, addrs, writes, result.layer_id)
+            metadata = BlockStream(
+                np.array([int(data_stream.cycles[0]),
+                          int(data_stream.cycles[-1])], dtype=np.int64),
+                np.array([read_line, read_line + BLOCK_BYTES],
+                         dtype=np.uint64),
+                np.array([False, True]),
+                np.full(2, result.layer_id, dtype=np.int32),
+            )
+        else:
+            metadata = empty_stream()
 
         choice = self._optblk.get(result.layer_id)
         mac_computations = choice.mac_computations if choice else len(data_stream)

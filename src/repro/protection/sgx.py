@@ -20,7 +20,6 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.accel.simulator import LayerResult, ModelRun
-from repro.accel.trace import Trace
 from repro.crypto.engine import CryptoEngineModel, parallel_engines
 from repro.integrity.caches import (
     MAC_CACHE_BYTES,
@@ -31,14 +30,15 @@ from repro.protection.base import (
     LayerProtection,
     ProtectionScheme,
     SchemeSummary,
-    stream_from_lists,
 )
 from repro.protection.layout import MetadataLayout
 from repro.protection.metadata_model import (
     CacheTrafficResult,
     MacTableModel,
+    SharedTrafficModel,
     VnTreeModel,
-    overfetch_ranges,
+    expanded_data_stream,
+    process_mac_vn,
 )
 
 #: Engine count used by conventional parallel-AES designs (Securator uses
@@ -59,61 +59,52 @@ class SgxScheme(ProtectionScheme):
         self._mac_cache_bytes = mac_cache_bytes
         self._engines = aes_engines
         self.name = f"sgx-{unit_bytes}b"
-        self._mac_model: Optional[MacTableModel] = None
+        self._mac_model: Optional[SharedTrafficModel] = None
         self._vn_model: Optional[VnTreeModel] = None
-        self._last_cycle = 0
-        self._last_layer = 0
 
     def begin_model(self, run: ModelRun) -> None:
-        del run
-        self._mac_model = MacTableModel(
-            self.layout, MetadataCache(self._mac_cache_bytes))
+        # The MAC table's traffic is identical for every scheme with the
+        # same (unit, cache) config, so it is shared across the cell's
+        # schemes through the run-scoped memo (MGX reuses it).
+        self._mac_model = SharedTrafficModel(
+            MacTableModel(self.layout, MetadataCache(self._mac_cache_bytes)),
+            run.scheme_memo, ("mac", self.unit_bytes, self._mac_cache_bytes))
         self._vn_model = VnTreeModel(
             self.layout, MetadataCache(self._vn_cache_bytes))
-        self._last_cycle = 0
-        self._last_layer = 0
+        self._reset_traffic_models(self._mac_model, self._vn_model)
 
     def protect_layer(self, result: LayerResult) -> LayerProtection:
         if self._mac_model is None or self._vn_model is None:
             raise RuntimeError("begin_model must be called before protect_layer")
-        extra = overfetch_ranges(result.trace.ranges, self.unit_bytes)
-        data_trace = Trace(list(result.trace.ranges) + extra)
-        data_stream = data_trace.to_blocks().sorted_by_cycle()
+        data_stream, overfetch_blocks = expanded_data_stream(
+            result.trace, self.unit_bytes)
 
-        out = CacheTrafficResult([], [], [])
-        self._mac_model.process(data_stream, out)
-        self._vn_model.process(data_stream, out)
-        metadata = stream_from_lists(out.stream_cycles, out.stream_addrs,
-                                     out.stream_writes, result.layer_id)
+        vn_out = CacheTrafficResult()
+        mac_out = self._mac_model.peek(result.layer_id)
+        if mac_out is None:
+            # First scheme through this cell: drive both tables in one
+            # fused pass (they share run boundaries) and publish the
+            # MAC traffic for MGX to replay.
+            mac_out = CacheTrafficResult()
+            process_mac_vn(self._mac_model.inner, self._vn_model,
+                           data_stream, mac_out, vn_out)
+            self._mac_model.store(result.layer_id, mac_out)
+        else:
+            self._vn_model.process(data_stream, vn_out)
+        out = CacheTrafficResult()
+        out.extend_from(mac_out)
+        out.extend_from(vn_out)
 
-        if len(data_stream):
-            self._last_cycle = int(data_stream.cycles.max())
-        self._last_layer = result.layer_id
-        overfetch_blocks = sum(r.num_blocks for r in extra)
+        self._note_stream(data_stream, result.layer_id)
         return LayerProtection(
             layer_id=result.layer_id,
             data_stream=data_stream,
-            metadata_stream=metadata,
+            metadata_stream=out.to_stream(result.layer_id),
             crypto_bytes=data_stream.total_bytes,
             mac_computations=len(data_stream),
             overfetch_blocks=overfetch_blocks,
             aes_invocations=data_stream.total_bytes // 16,
         )
-
-    def finish_model(self) -> Optional[LayerProtection]:
-        if self._mac_model is None or self._vn_model is None:
-            return None
-        out = CacheTrafficResult([], [], [])
-        self._mac_model.flush(self._last_cycle, out)
-        self._vn_model.flush(self._last_cycle, out)
-        if not out.stream_addrs:
-            return None
-        metadata = stream_from_lists(out.stream_cycles, out.stream_addrs,
-                                     out.stream_writes, self._last_layer)
-        from repro.protection.base import empty_stream
-        return LayerProtection(layer_id=self._last_layer,
-                               data_stream=empty_stream(),
-                               metadata_stream=metadata)
 
     def crypto_engine(self) -> CryptoEngineModel:
         return parallel_engines(self._engines)

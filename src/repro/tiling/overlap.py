@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.models.layer import Layer, LayerKind
+from repro.models.layer import Layer
 from repro.tiling.tile import TilingPlan
 
 

@@ -17,7 +17,6 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from repro.models.layer import Layer
 from repro.tiling.tile import TilingPlan
 
 

@@ -12,7 +12,7 @@ metadata block address).
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Hashable, List, Optional, Tuple
 
 
@@ -34,6 +34,15 @@ class CacheStats:
         if self.accesses == 0:
             return 0.0
         return self.hits / self.accesses
+
+    def note(self, hits: int, misses: int, evictions: int,
+             dirty_evictions: int) -> None:
+        """Record a batch of accesses performed by an external driver
+        (see :meth:`LruCache.raw_lines`)."""
+        self.hits += hits
+        self.misses += misses
+        self.evictions += evictions
+        self.dirty_evictions += dirty_evictions
 
     def reset(self) -> None:
         self.hits = 0
@@ -90,6 +99,17 @@ class LruCache:
                     writeback = evicted_tag
             self._lines[tag] = write
         return hit, writeback
+
+    @property
+    def raw_lines(self) -> "OrderedDict[Hashable, bool]":
+        """The tag -> dirty map, in LRU order (least recent first).
+
+        Exposed for batch drivers that inline the access loop (the
+        protection metadata models); such drivers must keep the same
+        move-to-end / popitem discipline as :meth:`access` and report
+        their counters through :meth:`CacheStats.note`.
+        """
+        return self._lines
 
     def probe(self, tag: Hashable) -> bool:
         """Return whether ``tag`` is resident, without touching LRU state."""

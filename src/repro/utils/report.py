@@ -6,7 +6,7 @@ as aligned text tables and horizontal ASCII bar charts.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Iterable, List, Mapping, Optional, Sequence
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence],

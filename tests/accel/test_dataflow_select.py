@@ -1,6 +1,5 @@
 """Per-layer dataflow selection."""
 
-import pytest
 
 from repro.accel.dataflow_select import (
     fixed_vs_best_cycles,

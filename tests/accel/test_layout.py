@@ -10,7 +10,7 @@ from repro.accel.layout import (
     PROTECTED_REGION_BYTES,
     WEIGHT_BASE,
 )
-from repro.models.layer import conv, gemm
+from repro.models.layer import gemm
 from repro.models.topology import Topology
 
 

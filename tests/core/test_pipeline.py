@@ -73,6 +73,24 @@ class TestProtectedRuns:
         assert sum(histogram.values()) == len(run.layers)
 
 
+class TestBottleneckTieBreak:
+    def _timing(self, compute, dram, crypto):
+        from repro.core.pipeline import LayerTiming
+        return LayerTiming(layer_id=0, layer_name="t",
+                           compute_cycles=compute, dram_cycles=dram,
+                           crypto_cycles=crypto, data_bytes=0,
+                           metadata_bytes=0, row_hit_rate=0.0)
+
+    def test_compute_wins_exact_tie_with_dram(self):
+        assert self._timing(100.0, 100.0, 0.0).bottleneck == "compute"
+
+    def test_memory_wins_tie_with_crypto(self):
+        assert self._timing(10.0, 100.0, 100.0).bottleneck == "memory"
+
+    def test_three_way_tie_is_compute(self):
+        assert self._timing(100.0, 100.0, 100.0).bottleneck == "compute"
+
+
 class TestFlushAccounting:
     def test_sgx_flush_layer_present(self, pipeline, topology):
         """Dirty metadata evictions at end-of-model become a tail entry."""

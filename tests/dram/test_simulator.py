@@ -95,6 +95,67 @@ class TestFastVsReference:
         ref = sim.simulate(_stream(addrs))
         assert ref.completion_cycle >= ref.busy_cycles
 
+    def test_randomized_mixed_traffic_agreement(self, sim):
+        """Random addresses, cycles and writes: the fast model matches
+        the reference's hit/miss classification exactly and its busy
+        accounting to float tolerance."""
+        rng = np.random.default_rng(1234)
+        for _ in range(10):
+            n = int(rng.integers(1, 2000))
+            addrs = rng.integers(0, 1 << 26, n).astype(np.uint64) * 64
+            cycles = rng.integers(0, 10_000, n)
+            writes = rng.integers(0, 2, n).astype(bool)
+            stream = _stream(addrs, cycles=cycles, writes=writes)
+            ref = sim.simulate(stream)
+            fast = sim.simulate_fast(stream)
+            assert ref.row_misses == fast.row_misses
+            assert ref.row_hits == fast.row_hits
+            assert ref.per_channel_requests == fast.per_channel_requests
+            assert ref.busy_cycles == pytest.approx(fast.busy_cycles,
+                                                    rel=1e-9)
+
+
+class TestBatchedFastModel:
+    def test_batch_matches_per_stream(self, sim):
+        rng = np.random.default_rng(7)
+        streams = []
+        for _ in range(8):
+            n = int(rng.integers(0, 1500))
+            addrs = rng.integers(0, 1 << 24, n).astype(np.uint64) * 64
+            cycles = rng.integers(0, 5_000, n)
+            writes = rng.integers(0, 2, n).astype(bool)
+            streams.append(_stream(addrs, cycles=cycles, writes=writes))
+        batch = sim.simulate_fast_batch(streams)
+        for stream, got in zip(streams, batch):
+            want = sim.simulate_fast(stream)
+            assert got.requests == want.requests
+            assert got.row_misses == want.row_misses
+            assert got.busy_cycles == want.busy_cycles
+            assert got.per_channel_busy == want.per_channel_busy
+
+    def test_batch_parts_match_concatenation(self, sim):
+        rng = np.random.default_rng(9)
+        part_lists, combined = [], []
+        for _ in range(5):
+            parts = []
+            for _ in range(2):
+                n = int(rng.integers(0, 800))
+                addrs = rng.integers(0, 1 << 22, n).astype(np.uint64) * 64
+                cycles = rng.integers(0, 4_000, n)
+                parts.append(_stream(addrs, cycles=cycles))
+            part_lists.append(parts)
+            combined.append(BlockStream.concat(parts))
+        got = sim.simulate_fast_batch_parts(part_lists)
+        want = sim.simulate_fast_batch(combined)
+        for g, w in zip(got, want):
+            assert g.row_misses == w.row_misses
+            assert g.busy_cycles == w.busy_cycles
+
+    def test_batch_empty_streams(self, sim):
+        results = sim.simulate_fast_batch([_stream([]), _stream([0, 64])])
+        assert results[0].requests == 0
+        assert results[1].requests == 2
+
 
 class TestBandwidthScaling:
     def test_busy_scales_with_bandwidth(self):

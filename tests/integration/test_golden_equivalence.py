@@ -1,0 +1,58 @@
+"""Golden equivalence for the columnar stream core.
+
+``golden_server_resnet18.json`` holds the :class:`SchemeRun` totals the
+pre-columnar (object-per-range, per-block-loop) implementation produced
+for one full sweep cell — every scheme on (server NPU, ResNet-18). The
+refactored pipeline must reproduce them *float-identically*: the
+columnar path re-derives the same quantities with better data movement,
+it does not change the model.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.config import npu_config
+from repro.core.pipeline import Pipeline
+from repro.models.zoo import get_workload
+from repro.protection import SCHEME_NAMES, make_scheme
+
+_GOLDEN_PATH = os.path.join(os.path.dirname(__file__),
+                            "golden_server_resnet18.json")
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(_GOLDEN_PATH) as handle:
+        return json.load(handle)
+
+
+@pytest.fixture(scope="module")
+def cell_runs():
+    npu = npu_config("server")
+    topology = get_workload("resnet18")
+    pipeline = Pipeline(npu)
+    model_run = pipeline.simulate_model(topology)
+    return {
+        name: pipeline.run(topology, make_scheme(name), model_run=model_run)
+        for name in ["baseline"] + SCHEME_NAMES
+    }
+
+
+@pytest.mark.parametrize("scheme", ["baseline"] + SCHEME_NAMES)
+class TestGoldenCell:
+    def test_totals_float_identical(self, golden, cell_runs, scheme):
+        run = cell_runs[scheme]
+        want = golden[scheme]
+        assert run.total_cycles == want["total_cycles"]
+        assert run.compute_cycles == want["compute_cycles"]
+        assert run.data_bytes == want["data_bytes"]
+        assert run.metadata_bytes == want["metadata_bytes"]
+        assert len(run.layers) == want["layers"]
+
+    def test_per_layer_dram_float_identical(self, golden, cell_runs, scheme):
+        run = cell_runs[scheme]
+        want = golden[scheme]
+        assert [t.dram_cycles for t in run.layers] == want["dram_cycles"]
+        assert [t.row_hit_rate for t in run.layers] == want["row_hit_rates"]

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.models.layer import Layer, LayerKind, conv, dwconv, gemm
+from repro.models.layer import conv, dwconv, gemm
 
 
 class TestConvLayer:

@@ -5,7 +5,6 @@ here are the ones the figures rely on, so they must hold for *any*
 workload, not just the zoo.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

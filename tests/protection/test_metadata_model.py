@@ -2,7 +2,6 @@
 over-fetch."""
 
 import numpy as np
-import pytest
 
 from repro.accel.trace import AccessKind, Trace, TraceRange
 from repro.integrity.caches import MetadataCache

@@ -1,6 +1,5 @@
 """EvalService: dedupe, caching layers, resumable sweeps."""
 
-import pytest
 
 from repro.core.metrics import ComparisonResult
 from repro.runner.service import EvalService

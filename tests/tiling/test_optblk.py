@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.models.layer import conv, gemm
+from repro.models.layer import conv
 from repro.tiling.optblk import (
     DEFAULT_CANDIDATES,
     aligned_block_for_tiles,

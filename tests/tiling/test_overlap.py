@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.models.layer import conv, gemm
+from repro.models.layer import conv
 from repro.tiling.overlap import analyze_overlap
 from repro.tiling.tile import SramBudget, plan_tiling
 
