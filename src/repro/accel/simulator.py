@@ -15,6 +15,11 @@ Two walks exist, matching the two plan families in
   K whole;
 - K-tiled: ``for m / for n / for k`` with the partial-sum tile resident,
   used by large GEMM layers.
+
+Both walks emit a single image's schedule; batched layers replicate the
+image-0 trace on its columns (per-kind address shifts plus a per-image
+cycle shift, dropping resident weight fetches) so batch N costs one walk
+plus vectorized copies, not N Python tile loops.
 """
 
 from __future__ import annotations
@@ -22,9 +27,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Tuple
 
+import numpy as np
+
 from repro.accel.layout import AddressMap
 from repro.accel.systolic import SystolicArray
-from repro.accel.trace import AccessKind, Trace
+from repro.accel.trace import AccessKind, Trace, kind_code
 from repro.models.layer import Layer, ELEMENT_BYTES
 from repro.models.topology import Topology
 from repro.tiling.tile import SramBudget, TilingPlan, plan_tiling
@@ -108,14 +115,60 @@ class AcceleratorSim:
         plan = plan_tiling(layer, self.budget)
         trace = Trace()
         if plan.is_k_tiled:
-            total_cycles = self._walk_k_tiled(layer, layer_id, plan,
+            image_cycles = self._walk_k_tiled(layer, layer_id, plan,
                                               address_map, start_cycle, trace)
         else:
-            total_cycles = self._walk_banded(layer, layer_id, plan,
+            image_cycles = self._walk_banded(layer, layer_id, plan,
                                              address_map, start_cycle, trace)
+        # The walks emit one image's schedule; the rest of the batch is
+        # the same schedule shifted, replicated on the trace columns
+        # instead of re-running the Python tile loops per image.
+        total_cycles = image_cycles * layer.batch
+        if layer.batch > 1:
+            trace = self._replicate_batch(trace, layer, plan, image_cycles)
         return LayerResult(layer=layer, layer_id=layer_id, plan=plan,
                            compute_cycles=total_cycles,
                            start_cycle=start_cycle, trace=trace)
+
+    @staticmethod
+    def _replicate_batch(trace: Trace, layer: Layer, plan: TilingPlan,
+                         image_cycles: int) -> Trace:
+        """Columnar batch expansion of an image-0 trace.
+
+        Image ``i``'s schedule is image 0's with a per-kind address
+        shift (each image reads/writes its own activation slab, weights
+        stay put) and an ``i * image_cycles`` issue shift. Weights that
+        are fully resident on chip (banded schedule, single filter
+        group) are fetched by image 0 only; streamed weights re-load
+        every image.
+        """
+        if not len(trace):
+            return trace
+        cycles, addrs, nbytes, writes, kinds, layer_ids, durations = \
+            trace.buf.arrays()
+        addr_shift = np.zeros(len(kinds), np.int64)
+        addr_shift[kinds == kind_code(AccessKind.IFMAP)] = \
+            layer.ifmap_bytes_per_image
+        addr_shift[kinds == kind_code(AccessKind.OFMAP)] = \
+            layer.ofmap_bytes_per_image
+        weight_resident = not plan.is_k_tiled and plan.num_n_tiles == 1
+        keep = (kinds != kind_code(AccessKind.WEIGHT)
+                if weight_resident else slice(None))
+        # Mask once; images 1..N-1 differ only in the cycle/addr shifts.
+        kept_cycles, kept_addrs, kept_shift = \
+            cycles[keep], addrs[keep], addr_shift[keep]
+        kept_fixed = (nbytes[keep], writes[keep], kinds[keep],
+                      layer_ids[keep], durations[keep])
+
+        parts = [(cycles, addrs, nbytes, writes, kinds, layer_ids, durations)]
+        for image in range(1, layer.batch):
+            parts.append((
+                kept_cycles + image * image_cycles,
+                kept_addrs + image * kept_shift,
+                *kept_fixed,
+            ))
+        return Trace._from_arrays(
+            *(np.concatenate(cols) for cols in zip(*parts)))
 
     # -- banded walk --
 
@@ -230,9 +283,16 @@ class AcceleratorSim:
     @staticmethod
     def _ifmap_tile_extent(layer: Layer, plan: TilingPlan, mi: int,
                            row_bytes: int) -> Tuple[int, int]:
-        """(offset, nbytes) of the input band tile ``mi`` reads."""
-        start_row = mi * plan.tile_out_rows * layer.stride_h
+        """(offset, nbytes) of the stored input band tile ``mi`` reads.
+
+        The band's receptive field starts ``pad_h`` rows above the
+        stored tensor and may run past its bottom; only the stored rows
+        in between are fetched from DRAM (padding is synthesized on
+        chip).
+        """
         rows = min(plan.tile_out_rows, layer.ofmap_h - mi * plan.tile_out_rows)
-        in_rows = rows * layer.stride_h + layer.filt_h - layer.stride_h
-        in_rows = min(in_rows, layer.ifmap_h - start_row)
-        return start_row * row_bytes, max(0, in_rows) * row_bytes
+        first = mi * plan.tile_out_rows * layer.stride_h - layer.pad_h
+        last = first + rows * layer.stride_h + layer.filt_h - layer.stride_h
+        lo = max(0, first)
+        hi = min(layer.ifmap_h, last)
+        return lo * row_bytes, max(0, hi - lo) * row_bytes

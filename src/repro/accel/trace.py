@@ -47,6 +47,12 @@ _KIND_LIST: Tuple[AccessKind, ...] = tuple(AccessKind)
 _KIND_CODE: Dict[AccessKind, int] = {k: i for i, k in enumerate(_KIND_LIST)}
 
 
+def kind_code(kind: AccessKind) -> int:
+    """Stable integer code of ``kind`` in the columnar ``kinds`` column
+    (for consumers working directly on :meth:`RangeBuffer.arrays`)."""
+    return _KIND_CODE[kind]
+
+
 @dataclass(frozen=True)
 class TraceRange:
     """A contiguous DRAM access: ``nbytes`` at ``addr``, issued over

@@ -87,8 +87,28 @@ def _make_store(args: argparse.Namespace) -> Optional[ResultStore]:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    workloads = [WORKLOAD_ABBREVIATIONS.get(w, w) for w in args.workloads] \
+    from repro.models.zoo import WORKLOADS, parse_workload_spec
+
+    def canonical_spec(spec: str) -> str:
+        base, batch = parse_workload_spec(spec)
+        base = WORKLOAD_ABBREVIATIONS.get(base, base)
+        return f"{base}@b{batch}" if batch != 1 else base
+
+    workloads = [canonical_spec(w) for w in args.workloads] \
         if args.workloads else None
+    if args.batch != 1:
+        if args.batch <= 0:
+            print("error: --batch must be positive", file=sys.stderr)
+            return 2
+        conflicting = [w for w in (workloads or [])
+                       if parse_workload_spec(w)[1] not in (1, args.batch)]
+        if conflicting:
+            print(f"error: --batch {args.batch} conflicts with workload "
+                  f"spec(s) {', '.join(conflicting)}; drop one of the two",
+                  file=sys.stderr)
+            return 2
+        workloads = [f"{parse_workload_spec(w)[0]}@b{args.batch}"
+                     for w in (workloads or WORKLOADS)]
     store = _make_store(args)
     runner = SweepRunner(
         scheme_names=args.schemes, jobs=args.jobs, store=store,
@@ -150,6 +170,7 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
         ["store", summary.root],
         ["entries", summary.entries],
         ["size (KB)", f"{summary.total_bytes / 1024:.1f}"],
+        ["orphaned tmp files", summary.orphan_tmp],
         ["lifetime hits", lifetime.get("hits", 0)],
         ["lifetime misses", lifetime.get("misses", 0)],
         ["last run hits", last.get("hits", 0)],
@@ -227,7 +248,10 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="full (workload x scheme) grid via the eval service")
     sweep_p.add_argument("--npu", default="server", choices=["server", "edge"])
     sweep_p.add_argument("--workloads", nargs="+",
-                         help="subset of workloads (default: all)")
+                         help="subset of workloads (default: all); accepts "
+                              "name@bN specs for batched variants")
+    sweep_p.add_argument("--batch", type=int, default=1,
+                         help="run every workload at this batch size")
     sweep_p.add_argument("--schemes", nargs="+", default=SCHEME_NAMES)
     sweep_p.add_argument("--jobs", type=int, default=1,
                          help="worker processes (1 = serial in-process)")

@@ -63,13 +63,19 @@ class LayerTiming:
 
 @dataclass
 class SchemeRun:
-    """Whole-model outcome for one (NPU, workload, scheme) triple."""
+    """Whole-model outcome for one (NPU, workload, scheme) triple.
+
+    All cycle and byte totals cover the whole batch; ``batch`` carries
+    the model's batch size so per-image metrics stay derivable after the
+    trace (``model_run``) has been dropped for serialization.
+    """
 
     npu: NpuConfig
     workload: str
     scheme_name: str
     layers: List[LayerTiming]
     model_run: Optional[ModelRun] = field(repr=False, default=None)
+    batch: int = 1
 
     @property
     def total_cycles(self) -> float:
@@ -78,6 +84,10 @@ class SchemeRun:
     @property
     def total_time_ms(self) -> float:
         return self.total_cycles / (self.npu.freq_ghz * 1e6)
+
+    @property
+    def time_per_image_ms(self) -> float:
+        return self.total_time_ms / self.batch
 
     @property
     def data_bytes(self) -> int:
@@ -162,7 +172,7 @@ class Pipeline:
             ))
         return SchemeRun(npu=self.npu, workload=topology.name,
                          scheme_name=scheme.name, layers=timings,
-                         model_run=run)
+                         model_run=run, batch=topology.batch)
 
     def dram_time(self, protection: LayerProtection) -> DramResult:
         """DRAM service of one layer's combined stream (ad-hoc probing;

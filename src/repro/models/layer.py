@@ -7,10 +7,24 @@ Each layer is reduced to the (M, K, N) GEMM the systolic array executes:
   M = OH*OW, K = FH*FW, N = C.
 - ``gemm``: fully connected / attention / MLP layers, (M, K, N) directly.
 
+Geometry is padding-aware: ``pad_h``/``pad_w`` rows and columns of zeros
+are applied symmetrically to each side of the input before the filter
+slides, so ``ofmap_h = (ifmap_h + 2*pad_h - filt_h) // stride_h + 1``.
+Padding is synthesized on chip — it never lives in DRAM — so tensor
+footprints are computed over the *stored* (unpadded) input extent while
+output dimensions use the padded one.
+
+Batch is a first-class dimension: ``gemm_m`` and the ``*_per_image``
+footprints describe one image; ``macs``, ``ifmap_bytes`` and
+``ofmap_bytes`` are whole-batch totals (weights are shared across the
+batch and never scale with it). Folding batch into M would destroy the
+spatial halo/tiling semantics the optBlk search depends on, so the batch
+dimension is kept explicit instead.
+
 Tensor footprints (the bytes that live in DRAM) are tracked separately
 from the GEMM view because im2col *re-reads* input elements: the DRAM
-traffic model charges unique footprints per tiling pass, while the compute
-model charges the full M*K*N MACs.
+traffic model charges unique footprints per tiling pass, while the
+compute model charges the full M*K*N MACs.
 
 Element precision is 1 byte throughout, per Table II.
 """
@@ -43,27 +57,47 @@ class Layer:
     num_filters: int
     stride_h: int = 1
     stride_w: int = 1
+    pad_h: int = 0
+    pad_w: int = 0
+    batch: int = 1
 
     def __post_init__(self) -> None:
         for field_name in ("ifmap_h", "ifmap_w", "filt_h", "filt_w",
-                           "channels", "num_filters", "stride_h", "stride_w"):
+                           "channels", "num_filters", "stride_h", "stride_w",
+                           "batch"):
             value = getattr(self, field_name)
             if value <= 0:
                 raise ValueError(f"{self.name}: {field_name} must be positive, got {value}")
-        if self.filt_h > self.ifmap_h or self.filt_w > self.ifmap_w:
-            raise ValueError(f"{self.name}: filter larger than ifmap")
+        for field_name in ("pad_h", "pad_w"):
+            value = getattr(self, field_name)
+            if value < 0:
+                raise ValueError(f"{self.name}: {field_name} must be non-negative, got {value}")
+        # A filter may exceed the stored ifmap when padding makes up the
+        # difference (legal for small late-stage feature maps); only a
+        # filter larger than the *padded* extent can never produce output.
+        if self.filt_h > self.padded_h or self.filt_w > self.padded_w:
+            raise ValueError(f"{self.name}: filter larger than padded ifmap")
 
-    # -- spatial output dimensions --
+    # -- spatial input/output dimensions --
+
+    @property
+    def padded_h(self) -> int:
+        """Input height after symmetric zero padding."""
+        return self.ifmap_h + 2 * self.pad_h
+
+    @property
+    def padded_w(self) -> int:
+        return self.ifmap_w + 2 * self.pad_w
 
     @property
     def ofmap_h(self) -> int:
-        return (self.ifmap_h - self.filt_h) // self.stride_h + 1
+        return (self.padded_h - self.filt_h) // self.stride_h + 1
 
     @property
     def ofmap_w(self) -> int:
-        return (self.ifmap_w - self.filt_w) // self.stride_w + 1
+        return (self.padded_w - self.filt_w) // self.stride_w + 1
 
-    # -- GEMM view --
+    # -- GEMM view (per image) --
 
     @property
     def gemm_m(self) -> int:
@@ -82,14 +116,23 @@ class Layer:
         return self.num_filters
 
     @property
-    def macs(self) -> int:
+    def macs_per_image(self) -> int:
         return self.gemm_m * self.gemm_k * self.gemm_n
+
+    @property
+    def macs(self) -> int:
+        return self.batch * self.macs_per_image
 
     # -- DRAM tensor footprints (bytes) --
 
     @property
-    def ifmap_bytes(self) -> int:
+    def ifmap_bytes_per_image(self) -> int:
+        """Stored input bytes for one image — padding is never fetched."""
         return self.ifmap_h * self.ifmap_w * self.channels * ELEMENT_BYTES
+
+    @property
+    def ifmap_bytes(self) -> int:
+        return self.batch * self.ifmap_bytes_per_image
 
     @property
     def weight_bytes(self) -> int:
@@ -98,14 +141,19 @@ class Layer:
         return self.filt_h * self.filt_w * self.channels * self.num_filters * ELEMENT_BYTES
 
     @property
-    def ofmap_bytes(self) -> int:
+    def ofmap_bytes_per_image(self) -> int:
         return self.gemm_m * self.gemm_n * ELEMENT_BYTES
 
     @property
+    def ofmap_bytes(self) -> int:
+        return self.batch * self.ofmap_bytes_per_image
+
+    @property
     def is_pointwise(self) -> bool:
-        """1x1 filter with unit stride: no spatial halo when tiled."""
+        """1x1 unpadded filter with unit stride: no spatial halo when tiled."""
         return self.filt_h == 1 and self.filt_w == 1 and \
-            self.stride_h == 1 and self.stride_w == 1
+            self.stride_h == 1 and self.stride_w == 1 and \
+            self.pad_h == 0 and self.pad_w == 0
 
     def halo_rows(self) -> int:
         """Input rows shared between vertically adjacent output tiles.
@@ -113,26 +161,62 @@ class Layer:
         A tile of output rows needs ``rows*stride + filt_h - stride`` input
         rows; consecutive tiles overlap by ``filt_h - stride`` rows (when
         positive). This is the intra-layer tile overlap SeDA's optBlk
-        granularity is designed around.
+        granularity is designed around. Padding shifts where tiles start
+        but not how much neighbours overlap, so the halo is pad-free.
         """
         return max(0, self.filt_h - self.stride_h)
 
 
+def same_pads(filt_h: int, filt_w: int) -> tuple:
+    """Symmetric 'same' padding for odd filters: ``(filt - 1) // 2``.
+
+    With this padding a stride-1 conv preserves spatial dims and a
+    stride-s conv produces ``ceil(in / s)`` outputs — the geometry
+    ResNet/VGG/YOLO-style 3x3 (and 5x5, 7x7) blocks are built on.
+    Even filters cannot pad symmetrically to 'same' and are rejected
+    rather than silently shrunken; pass explicit pads for those.
+    """
+    if filt_h % 2 == 0 or filt_w % 2 == 0:
+        raise ValueError(
+            f"same padding needs odd filters, got {filt_h}x{filt_w}; "
+            f"pass explicit pad_h/pad_w instead")
+    return (filt_h - 1) // 2, (filt_w - 1) // 2
+
+
+def _resolve_pads(name: str, filt_h: int, filt_w: int, pad_h: int,
+                  pad_w: int, same: bool) -> tuple:
+    """Shared pad resolution for the conv constructors."""
+    if not same:
+        return pad_h, pad_w
+    if pad_h or pad_w:
+        raise ValueError(f"{name}: pass either same=True or explicit pads")
+    return same_pads(filt_h, filt_w)
+
+
 def conv(name: str, ifmap_h: int, ifmap_w: int, filt_h: int, filt_w: int,
-         channels: int, num_filters: int, stride: int = 1) -> Layer:
-    """Convolution layer constructor (square stride)."""
+         channels: int, num_filters: int, stride: int = 1, *,
+         pad_h: int = 0, pad_w: int = 0, same: bool = False,
+         batch: int = 1) -> Layer:
+    """Convolution layer constructor (square stride).
+
+    ``same=True`` derives symmetric 'same' padding from the filter size;
+    explicit ``pad_h``/``pad_w`` must not be combined with it.
+    """
+    pad_h, pad_w = _resolve_pads(name, filt_h, filt_w, pad_h, pad_w, same)
     return Layer(name, LayerKind.CONV, ifmap_h, ifmap_w, filt_h, filt_w,
-                 channels, num_filters, stride, stride)
+                 channels, num_filters, stride, stride, pad_h, pad_w, batch)
 
 
 def dwconv(name: str, ifmap_h: int, ifmap_w: int, filt_h: int, filt_w: int,
-           channels: int, stride: int = 1) -> Layer:
+           channels: int, stride: int = 1, *, pad_h: int = 0, pad_w: int = 0,
+           same: bool = False, batch: int = 1) -> Layer:
     """Depthwise convolution layer constructor."""
+    pad_h, pad_w = _resolve_pads(name, filt_h, filt_w, pad_h, pad_w, same)
     return Layer(name, LayerKind.DWCONV, ifmap_h, ifmap_w, filt_h, filt_w,
-                 channels, channels, stride, stride)
+                 channels, channels, stride, stride, pad_h, pad_w, batch)
 
 
-def gemm(name: str, m: int, k: int, n: int) -> Layer:
-    """GEMM layer constructor: ifmap is M x K, weights K x N."""
+def gemm(name: str, m: int, k: int, n: int, *, batch: int = 1) -> Layer:
+    """GEMM layer constructor: ifmap is M x K, weights K x N (per image)."""
     return Layer(name, LayerKind.GEMM, ifmap_h=m, ifmap_w=1, filt_h=1,
-                 filt_w=1, channels=k, num_filters=n)
+                 filt_w=1, channels=k, num_filters=n, batch=batch)

@@ -3,10 +3,14 @@
 The CSV format mirrors SCALE-Sim topology files::
 
     Layer name, IFMAP Height, IFMAP Width, Filter Height, Filter Width,
-    Channels, Num Filter, Strides, Kind
+    Channels, Num Filter, Strides, Kind, Pad H, Pad W, Batch
 
-with an extra ``Kind`` column (``conv`` / ``dwconv`` / ``gemm``) so that
-depthwise and fully connected layers survive the round trip.
+with extra columns over the SCALE-Sim base: ``Kind`` (``conv`` /
+``dwconv`` / ``gemm``) so depthwise and fully connected layers survive
+the round trip, and ``Pad H`` / ``Pad W`` / ``Batch`` so padded and
+batched geometry does too. The trailing columns are optional on read
+(defaulting to valid padding at batch 1), keeping plain SCALE-Sim files
+loadable.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ from repro.models.layer import Layer, LayerKind
 _HEADER = [
     "Layer name", "IFMAP Height", "IFMAP Width", "Filter Height",
     "Filter Width", "Channels", "Num Filter", "Strides", "Kind",
+    "Pad H", "Pad W", "Batch",
 ]
 
 
@@ -55,6 +60,11 @@ class Topology:
         return sum(layer.weight_bytes for layer in self.layers)
 
     @property
+    def batch(self) -> int:
+        """The model's batch size (the largest per-layer batch)."""
+        return max((layer.batch for layer in self.layers), default=1)
+
+    @property
     def max_activation_bytes(self) -> int:
         """Largest single activation tensor — sizes the ping-pong buffers."""
         sizes = [layer.ifmap_bytes for layer in self.layers]
@@ -70,6 +80,7 @@ class Topology:
                 layer.name, layer.ifmap_h, layer.ifmap_w, layer.filt_h,
                 layer.filt_w, layer.channels, layer.num_filters,
                 layer.stride_h, layer.kind.value,
+                layer.pad_h, layer.pad_w, layer.batch,
             ])
         return buffer.getvalue()
 
@@ -86,6 +97,12 @@ class Topology:
             if len(row) < 8:
                 raise ValueError(f"malformed topology row: {row}")
             kind = LayerKind(row[8].strip()) if len(row) > 8 and row[8].strip() else LayerKind.CONV
+
+            def opt(index: int, default: int) -> int:
+                if len(row) > index and row[index].strip():
+                    return int(row[index])
+                return default
+
             stride = int(row[7])
             layers.append(Layer(
                 name=row[0].strip(),
@@ -94,6 +111,7 @@ class Topology:
                 filt_h=int(row[3]), filt_w=int(row[4]),
                 channels=int(row[5]), num_filters=int(row[6]),
                 stride_h=stride, stride_w=stride,
+                pad_h=opt(9, 0), pad_w=opt(10, 0), batch=opt(11, 1),
             ))
         return cls(name=name, layers=layers)
 

@@ -7,29 +7,27 @@ scaling for GEMM towers, layer filtering, and human-readable summaries
 
 from __future__ import annotations
 
-from typing import Callable, List
+from dataclasses import replace
+from typing import Callable
 
-from repro.models.layer import Layer, LayerKind, gemm
+from repro.models.layer import Layer
 from repro.models.topology import Topology
 
 
 def with_batch(topology: Topology, batch: int) -> Topology:
-    """Scale a GEMM-only topology (MLP/recommender/transformer) to a new
-    batch size by multiplying every layer's M dimension.
+    """Scale any topology to a new batch size.
 
-    Convolutional layers carry spatial semantics in M, so batching them
-    this way would be wrong; such topologies are rejected.
+    Batch is a first-class :class:`~repro.models.layer.Layer` dimension:
+    each layer's ``batch`` field is multiplied, which replicates the
+    spatial M dimension *per image* instead of folding ``batch`` into
+    GEMM-M. Convolutional layers therefore keep their spatial halo and
+    tiling semantics (the optBlk granularity SeDA depends on), and
+    weights stay shared across the batch.
     """
     if batch <= 0:
         raise ValueError("batch must be positive")
-    layers: List[Layer] = []
-    for layer in topology:
-        if layer.kind is not LayerKind.GEMM:
-            raise ValueError(
-                f"{topology.name}: layer {layer.name} is {layer.kind.value}; "
-                f"batch scaling supports GEMM-only topologies")
-        layers.append(gemm(layer.name, layer.gemm_m * batch,
-                           layer.gemm_k, layer.gemm_n))
+    layers = [replace(layer, batch=layer.batch * batch)
+              for layer in topology]
     return Topology(f"{topology.name}_b{batch}", layers)
 
 
@@ -46,7 +44,7 @@ def filter_layers(topology: Topology,
 def describe(topology: Topology) -> str:
     """Multi-line human-readable summary of a topology."""
     lines = [
-        f"{topology.name}: {len(topology)} layers, "
+        f"{topology.name}: {len(topology)} layers, batch {topology.batch}, "
         f"{topology.total_macs / 1e9:.3f} GMACs, "
         f"{topology.total_weight_bytes / 1e6:.2f} MB weights, "
         f"max activation {topology.max_activation_bytes / 1e6:.2f} MB",

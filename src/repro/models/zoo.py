@@ -6,17 +6,25 @@ Lenet (let), Alexnet (alex), Mobilenet (mob), ResNet18 (rest), GoogleNet
 Transformer_fwd (trf), Yolo_tiny (yolo).
 
 Shapes follow the public SCALE-Sim topology collection / original model
-papers at batch 1 and 1-byte elements (Table II precision). FasterRCNN is
-represented by its VGG-16 backbone over a 300x300 input — the component
-that dominates accelerator time.
+papers at batch 1 and 1-byte elements (Table II precision). Same-padded
+convolutions are modelled with explicit ``pad_h``/``pad_w`` (usually via
+``same=True``) over the *true* stored input extent — padding zeros are
+synthesized on chip, so they contribute to output geometry but never to
+DRAM footprints. FasterRCNN is represented by its VGG-16 backbone over a
+300x300 input — the component that dominates accelerator time.
+
+``get_workload`` accepts an optional ``@bN`` suffix (e.g.
+``resnet18@b4``) that scales the workload to batch ``N`` via
+:func:`repro.models.transforms.with_batch`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.models.layer import Layer, conv, dwconv, gemm
 from repro.models.topology import Topology
+from repro.models.transforms import with_batch
 
 #: Paper x-axis abbreviation -> canonical workload name.
 WORKLOAD_ABBREVIATIONS: Dict[str, str] = {
@@ -37,6 +45,7 @@ WORKLOAD_ABBREVIATIONS: Dict[str, str] = {
 
 
 def _lenet() -> Topology:
+    """LeNet-5: genuinely valid-padded 5x5 convolutions."""
     return Topology("lenet", [
         conv("conv1", 32, 32, 5, 5, 1, 6),
         conv("conv2", 14, 14, 5, 5, 6, 16),
@@ -47,12 +56,13 @@ def _lenet() -> Topology:
 
 
 def _alexnet() -> Topology:
+    """AlexNet: conv1 valid at stride 4, conv2 pad 2, conv3-5 pad 1."""
     return Topology("alexnet", [
         conv("conv1", 227, 227, 11, 11, 3, 96, stride=4),
-        conv("conv2", 31, 31, 5, 5, 96, 256),
-        conv("conv3", 15, 15, 3, 3, 256, 384),
-        conv("conv4", 15, 15, 3, 3, 384, 384),
-        conv("conv5", 15, 15, 3, 3, 384, 256),
+        conv("conv2", 27, 27, 5, 5, 96, 256, same=True),
+        conv("conv3", 13, 13, 3, 3, 256, 384, same=True),
+        conv("conv4", 13, 13, 3, 3, 384, 384, same=True),
+        conv("conv5", 13, 13, 3, 3, 384, 256, same=True),
         gemm("fc6", 1, 9216, 4096),
         gemm("fc7", 1, 4096, 4096),
         gemm("fc8", 1, 4096, 1000),
@@ -60,8 +70,10 @@ def _alexnet() -> Topology:
 
 
 def _mobilenet() -> Topology:
-    """MobileNet-V1 at 224x224: alternating depthwise/pointwise stacks."""
-    layers: List[Layer] = [conv("conv1", 224, 224, 3, 3, 3, 32, stride=2)]
+    """MobileNet-V1 at 224x224: alternating depthwise/pointwise stacks,
+    every 3x3 same-padded."""
+    layers: List[Layer] = [conv("conv1", 224, 224, 3, 3, 3, 32, stride=2,
+                                same=True)]
     # (spatial, channels_in, channels_out, stride) per dw/pw pair.
     plan = [
         (112, 32, 64, 1),
@@ -79,23 +91,26 @@ def _mobilenet() -> Topology:
         (7, 1024, 1024, 1),
     ]
     for idx, (spatial, cin, cout, stride) in enumerate(plan, start=2):
-        pad = spatial + 2  # 'same' 3x3 padding modelled as enlarged ifmap
-        layers.append(dwconv(f"dw{idx}", pad, pad, 3, 3, cin, stride=stride))
-        out_spatial = spatial // stride
+        layers.append(dwconv(f"dw{idx}", spatial, spatial, 3, 3, cin,
+                             stride=stride, same=True))
+        out_spatial = -(-spatial // stride)
         layers.append(conv(f"pw{idx}", out_spatial, out_spatial, 1, 1, cin, cout))
     layers.append(gemm("fc", 1, 1024, 1000))
     return Topology("mobilenet", layers)
 
 
 def _resnet18() -> Topology:
-    layers: List[Layer] = [conv("conv1", 230, 230, 7, 7, 3, 64, stride=2)]
+    """ResNet-18 at 224x224: same-padded 3x3 blocks, valid 1x1 downsamples."""
+    layers: List[Layer] = [conv("conv1", 224, 224, 7, 7, 3, 64, stride=2,
+                                same=True)]
 
     def block(tag: str, spatial: int, cin: int, cout: int, stride: int) -> List[Layer]:
-        pad = spatial + 2
         out_spatial = spatial // stride
         stack = [
-            conv(f"{tag}_a", pad, pad, 3, 3, cin, cout, stride=stride),
-            conv(f"{tag}_b", out_spatial + 2, out_spatial + 2, 3, 3, cout, cout),
+            conv(f"{tag}_a", spatial, spatial, 3, 3, cin, cout, stride=stride,
+                 same=True),
+            conv(f"{tag}_b", out_spatial, out_spatial, 3, 3, cout, cout,
+                 same=True),
         ]
         if stride != 1 or cin != cout:
             stack.append(conv(f"{tag}_ds", spatial, spatial, 1, 1, cin, cout, stride=stride))
@@ -115,21 +130,19 @@ def _resnet18() -> Topology:
 
 def _googlenet() -> Topology:
     layers: List[Layer] = [
-        conv("conv1", 230, 230, 7, 7, 3, 64, stride=2),
+        conv("conv1", 224, 224, 7, 7, 3, 64, stride=2, same=True),
         conv("conv2_red", 56, 56, 1, 1, 64, 64),
-        conv("conv2", 58, 58, 3, 3, 64, 192),
+        conv("conv2", 56, 56, 3, 3, 64, 192, same=True),
     ]
 
     def inception(tag: str, spatial: int, cin: int, n1: int, n3r: int,
                   n3: int, n5r: int, n5: int, pool: int) -> List[Layer]:
-        pad3 = spatial + 2
-        pad5 = spatial + 4
         return [
             conv(f"{tag}_1x1", spatial, spatial, 1, 1, cin, n1),
             conv(f"{tag}_3x3r", spatial, spatial, 1, 1, cin, n3r),
-            conv(f"{tag}_3x3", pad3, pad3, 3, 3, n3r, n3),
+            conv(f"{tag}_3x3", spatial, spatial, 3, 3, n3r, n3, same=True),
             conv(f"{tag}_5x5r", spatial, spatial, 1, 1, cin, n5r),
-            conv(f"{tag}_5x5", pad5, pad5, 5, 5, n5r, n5),
+            conv(f"{tag}_5x5", spatial, spatial, 5, 5, n5r, n5, same=True),
             conv(f"{tag}_pool", spatial, spatial, 1, 1, cin, pool),
         ]
 
@@ -147,7 +160,12 @@ def _googlenet() -> Topology:
 
 
 def _dlrm() -> Topology:
-    """DLRM MLP stacks (bottom 13-512-256-64, top 512-256-1) at batch 256."""
+    """DLRM MLP stacks (bottom 13-512-256-64, top 512-256-1) at batch 256.
+
+    The 256 here is the model's own inference batch folded into GEMM-M by
+    the original benchmark definition; it predates the first-class batch
+    dimension and is kept for Table II fidelity.
+    """
     batch = 256
     return Topology("dlrm", [
         gemm("bot_fc1", batch, 13, 512),
@@ -160,11 +178,12 @@ def _dlrm() -> Topology:
 
 
 def _alphagozero() -> Topology:
-    """AlphaGoZero: 19x19 board, 256-filter residual tower (19 blocks)."""
-    layers: List[Layer] = [conv("stem", 21, 21, 3, 3, 17, 256)]
+    """AlphaGoZero: 19x19 board, 256-filter residual tower (19 blocks),
+    all 3x3 convs same-padded on the board."""
+    layers: List[Layer] = [conv("stem", 19, 19, 3, 3, 17, 256, same=True)]
     for i in range(1, 20):
-        layers.append(conv(f"res{i}_a", 21, 21, 3, 3, 256, 256))
-        layers.append(conv(f"res{i}_b", 21, 21, 3, 3, 256, 256))
+        layers.append(conv(f"res{i}_a", 19, 19, 3, 3, 256, 256, same=True))
+        layers.append(conv(f"res{i}_b", 19, 19, 3, 3, 256, 256, same=True))
     layers.append(conv("policy_conv", 19, 19, 1, 1, 256, 2))
     layers.append(gemm("policy_fc", 1, 722, 362))
     layers.append(conv("value_conv", 19, 19, 1, 1, 256, 1))
@@ -174,11 +193,12 @@ def _alphagozero() -> Topology:
 
 
 def _deepspeech2() -> Topology:
-    """DeepSpeech2: 2D conv front end plus GRU stack as GEMMs (T=256)."""
+    """DeepSpeech2: padded 2D conv front end over a 161-bin spectrogram
+    plus GRU stack as GEMMs (T=256)."""
     seq = 256
     hidden = 800
     layers: List[Layer] = [
-        conv("conv1", 171, 310, 41, 11, 1, 32, stride=2),
+        conv("conv1", 161, 300, 41, 11, 1, 32, stride=2, pad_h=5, pad_w=5),
         conv("conv2", 66, 150, 21, 11, 32, 32, stride=2),
     ]
     rnn_in = 23 * 32
@@ -191,9 +211,9 @@ def _deepspeech2() -> Topology:
 
 
 def _fasterrcnn() -> Topology:
-    """FasterRCNN: VGG-16 backbone at 300x300 plus RPN head."""
+    """FasterRCNN: VGG-16 backbone at 300x300 (same-padded 3x3) plus RPN head."""
     def vgg(tag: str, spatial: int, cin: int, cout: int) -> Layer:
-        return conv(tag, spatial + 2, spatial + 2, 3, 3, cin, cout)
+        return conv(tag, spatial, spatial, 3, 3, cin, cout, same=True)
 
     layers = [
         vgg("conv1_1", 300, 3, 64), vgg("conv1_2", 300, 64, 64),
@@ -258,16 +278,18 @@ def _transformer_fwd() -> Topology:
 
 
 def _yolo_tiny() -> Topology:
+    """Tiny-YOLO at 416x416: same-padded 3x3 towers with 2x2 maxpools
+    between them (the final pool is stride 1, keeping 13x13)."""
     return Topology("yolo_tiny", [
-        conv("conv1", 418, 418, 3, 3, 3, 16),
-        conv("conv2", 210, 210, 3, 3, 16, 32),
-        conv("conv3", 106, 106, 3, 3, 32, 64),
-        conv("conv4", 54, 54, 3, 3, 64, 128),
-        conv("conv5", 28, 28, 3, 3, 128, 256),
-        conv("conv6", 15, 15, 3, 3, 256, 512),
-        conv("conv7", 15, 15, 3, 3, 512, 1024),
+        conv("conv1", 416, 416, 3, 3, 3, 16, same=True),
+        conv("conv2", 208, 208, 3, 3, 16, 32, same=True),
+        conv("conv3", 104, 104, 3, 3, 32, 64, same=True),
+        conv("conv4", 52, 52, 3, 3, 64, 128, same=True),
+        conv("conv5", 26, 26, 3, 3, 128, 256, same=True),
+        conv("conv6", 13, 13, 3, 3, 256, 512, same=True),
+        conv("conv7", 13, 13, 3, 3, 512, 1024, same=True),
         conv("conv8", 13, 13, 1, 1, 1024, 256),
-        conv("conv9", 15, 15, 3, 3, 256, 512),
+        conv("conv9", 13, 13, 3, 3, 256, 512, same=True),
         conv("conv10", 13, 13, 1, 1, 512, 255),
     ])
 
@@ -292,15 +314,41 @@ _BUILDERS = {
 WORKLOADS = list(_BUILDERS)
 
 
+def parse_workload_spec(spec: str) -> Tuple[str, int]:
+    """Split ``name[@bN]`` into ``(name, batch)``.
+
+    The suffix is how batched variants are addressed everywhere a
+    workload travels as a string (CLI, eval-service fingerprints,
+    process-pool payloads): ``resnet18@b4`` is ResNet-18 at batch 4.
+    """
+    base, sep, suffix = spec.partition("@")
+    if not sep:
+        return spec, 1
+    if not suffix.startswith("b") or not suffix[1:].isdigit():
+        raise KeyError(f"bad workload spec {spec!r}; expected name@b<N>")
+    batch = int(suffix[1:])
+    if batch <= 0:
+        raise KeyError(f"bad workload spec {spec!r}; batch must be positive")
+    return base, batch
+
+
 def get_workload(name: str) -> Topology:
-    """Fetch a workload by canonical name or paper abbreviation."""
-    canonical = WORKLOAD_ABBREVIATIONS.get(name, name)
+    """Fetch a workload by canonical name or paper abbreviation.
+
+    An ``@bN`` suffix returns the batch-``N`` variant (named
+    ``<workload>_bN``).
+    """
+    base, batch = parse_workload_spec(name)
+    canonical = WORKLOAD_ABBREVIATIONS.get(base, base)
     try:
-        return _BUILDERS[canonical]()
+        topology = _BUILDERS[canonical]()
     except KeyError:
         raise KeyError(
             f"unknown workload {name!r}; known: {sorted(_BUILDERS)}"
         ) from None
+    if batch != 1:
+        topology = with_batch(topology, batch)
+    return topology
 
 
 def list_workloads() -> List[str]:

@@ -15,7 +15,7 @@ serial in-process execution with identical results and callbacks.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import ProcessPoolExecutor, as_completed, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -147,16 +147,57 @@ class GridExecutor:
                 pool.submit(run_cell, request.payload()): index
                 for index, request in enumerate(requests)
             }
-            for future in as_completed(futures):
-                index = futures[future]
-                record = future.result()
-                records[index] = record
-                completed[index] = record
-                try:
-                    if on_result is not None:
-                        on_result(index, requests[index], record)
-                    self._notify(len(completed), len(requests),
-                                 requests[index])
-                except Exception as exc:
-                    raise _CallbackError() from exc
+            try:
+                for future in as_completed(futures):
+                    index = futures[future]
+                    record = future.result()
+                    records[index] = record
+                    completed[index] = record
+                    try:
+                        if on_result is not None:
+                            on_result(index, requests[index], record)
+                        self._notify(len(completed), len(requests),
+                                     requests[index])
+                    except Exception as exc:
+                        raise _CallbackError() from exc
+            except Exception:
+                # The grid failed mid-flight (a worker raised, or a
+                # caller callback did). Fail fast — cancel cells still
+                # in the queue so pool shutdown doesn't compute (and
+                # then discard) the rest of the grid — then wait for
+                # the in-flight ones and drain every finished cell into
+                # ``completed`` (persisting via on_result, best
+                # effort), so a serial fallback or a rerun resumes
+                # instead of recomputing.
+                for future in futures:
+                    future.cancel()
+                wait(list(futures))
+                self._drain_finished(futures, requests, records, completed,
+                                     on_result)
+                raise
         return records  # every slot is filled: as_completed drained all
+
+    @staticmethod
+    def _drain_finished(futures: Dict[Any, int],
+                        requests: Sequence[EvalRequest],
+                        records: List[Optional[Dict[str, Any]]],
+                        completed: Dict[int, Dict[str, Any]],
+                        on_result: Optional[ResultFn]) -> None:
+        """Collect every successfully finished, not-yet-recorded future.
+
+        Runs on the failure path, so callbacks are best-effort: a
+        callback that raises here must not mask the original error.
+        """
+        for future, index in futures.items():
+            if index in completed or not future.done() or future.cancelled():
+                continue
+            if future.exception() is not None:
+                continue
+            record = future.result()
+            records[index] = record
+            completed[index] = record
+            if on_result is not None:
+                try:
+                    on_result(index, requests[index], record)
+                except Exception:
+                    pass

@@ -24,7 +24,10 @@ from repro.core.metrics import ComparisonResult
 from repro.core.pipeline import LayerTiming, SchemeRun
 
 #: Bump whenever the record layout changes incompatibly.
-SCHEMA_VERSION = 1
+#: v2: padding-aware batch-first layer geometry — results computed under
+#: the old valid-only conv math (and its inflated ifmap footprints) must
+#: be demoted, not served; scheme runs additionally carry ``batch``.
+SCHEMA_VERSION = 2
 
 
 class RecordError(ValueError):
@@ -103,6 +106,7 @@ def scheme_run_to_dict(run: SchemeRun) -> Dict[str, Any]:
         "npu": npu_to_dict(run.npu),
         "workload": run.workload,
         "scheme_name": run.scheme_name,
+        "batch": run.batch,
         "layers": [layer_timing_to_dict(t) for t in run.layers],
     }
 
@@ -115,6 +119,7 @@ def scheme_run_from_dict(data: Dict[str, Any]) -> SchemeRun:
             scheme_name=data["scheme_name"],
             layers=[layer_timing_from_dict(t) for t in data["layers"]],
             model_run=None,
+            batch=data.get("batch", 1),
         )
     except KeyError as exc:
         raise RecordError(f"bad scheme-run record: missing {exc}") from None

@@ -116,6 +116,7 @@ class StoreSummary:
     root: str
     entries: int
     total_bytes: int
+    orphan_tmp: int = 0
     lifetime: Dict[str, int] = field(default_factory=dict)
     last_run: Dict[str, int] = field(default_factory=dict)
 
@@ -184,9 +185,14 @@ class ResultStore:
         For callers that fetched a record successfully but found it
         unusable (e.g. a stale schema version): the request must count
         as a miss or hit-rate reporting overstates cache effectiveness.
+        With no hit on record (a caller demoting spuriously) there is
+        nothing to reclassify — only the eviction is counted, so the
+        lifetime counters merged into ``stats.json`` can never go
+        negative.
         """
-        self.stats.hits -= 1
-        self.stats.misses += 1
+        if self.stats.hits > 0:
+            self.stats.hits -= 1
+            self.stats.misses += 1
         self.stats.evictions += 1
         try:
             self._path(key).unlink()
@@ -205,13 +211,29 @@ class ResultStore:
     def size_bytes(self) -> int:
         return sum(p.stat().st_size for p in self.root.glob("??/*.json"))
 
+    def _orphan_tmp_paths(self) -> Iterable[Path]:
+        """Leftover ``mkstemp`` files from crashed ``put()`` /
+        ``flush_stats()`` calls — invisible to ``entries()`` /
+        ``size_bytes()`` and swept by ``clear()``."""
+        yield from self.root.glob("*.tmp")
+        yield from self.root.glob("??/*.tmp")
+
+    def orphan_tmp_count(self) -> int:
+        return sum(1 for _ in self._orphan_tmp_paths())
+
     def clear(self) -> int:
-        """Delete every record (and the stats file); returns count removed."""
+        """Delete every record (plus orphaned temp files and the stats
+        file); returns the count of records removed."""
         removed = 0
         for path in list(self.root.glob("??/*.json")):
             try:
                 path.unlink()
                 removed += 1
+            except OSError:
+                pass
+        for path in list(self._orphan_tmp_paths()):
+            try:
+                path.unlink()
             except OSError:
                 pass
         try:
@@ -260,6 +282,7 @@ class ResultStore:
             root=str(self.root),
             entries=self.entries(),
             total_bytes=self.size_bytes(),
+            orphan_tmp=self.orphan_tmp_count(),
             lifetime=data.get("lifetime", {}),
             last_run=data.get("last_run", {}),
         )

@@ -56,15 +56,20 @@ def _tile_span_bytes(plan: TilingPlan, layer: Layer) -> int:
 
 
 def _cost(block_bytes: int, tile_bytes: int, tensor_bytes: int,
-          num_tiles: int) -> tuple:
-    """(mac_computations, straddles, blocks) for one candidate size."""
+          boundaries: int) -> tuple:
+    """(mac_computations, straddles, blocks) for one candidate size.
+
+    ``boundaries`` counts adjacent-tile boundaries over the whole layer
+    (per-image boundaries times the batch — every image's band sequence
+    re-crosses them).
+    """
     blocks = ceil_div(tensor_bytes, block_bytes)
-    if num_tiles <= 1:
+    if boundaries <= 0:
         return blocks, 0, blocks
     # A block straddles a tile boundary when the tile span is not a
     # multiple of the block size; each boundary then costs one extra
     # verification of the shared block.
-    straddles = 0 if tile_bytes % block_bytes == 0 else num_tiles - 1
+    straddles = 0 if tile_bytes % block_bytes == 0 else boundaries
     return blocks + straddles, straddles, blocks
 
 
@@ -77,14 +82,15 @@ def search_optblk(layer: Layer, plan: TilingPlan,
     if not candidates:
         raise ValueError("candidates must be non-empty")
     tile_bytes = _tile_span_bytes(plan, layer)
-    tensor_bytes = layer.ifmap_bytes
+    tensor_bytes = layer.ifmap_bytes  # whole-batch footprint
+    boundaries = max(0, plan.num_m_tiles - 1) * layer.batch
 
     best = None
     for block_bytes in sorted(candidates):
         if block_bytes <= 0:
             raise ValueError("candidate block sizes must be positive")
         macs, straddles, blocks = _cost(block_bytes, tile_bytes,
-                                        tensor_bytes, plan.num_m_tiles)
+                                        tensor_bytes, boundaries)
         key = (macs, -block_bytes)
         if best is None or key < best[0]:
             best = (key, block_bytes, macs, straddles, blocks)

@@ -49,10 +49,12 @@ def analyze_overlap(layer: Layer, plan: TilingPlan, block_bytes: int = 64) -> Ov
             f"plan is for {plan.layer_name!r}, layer is {layer.name!r}"
         )
     passes = plan.ifmap_passes
-    boundaries = max(0, plan.num_m_tiles - 1)
+    boundaries = max(0, plan.num_m_tiles - 1) * layer.batch
     overlap = plan.halo_bytes_per_boundary * boundaries * passes
     # Re-reading the whole ifmap per N-tile pass is also redundant
-    # verification of already-checked data.
+    # verification of already-checked data (ifmap_bytes is the
+    # whole-batch footprint, matching the per-image passes repeating
+    # for every image).
     if passes > 1:
         overlap += layer.ifmap_bytes * (passes - 1)
     fetched = plan.ifmap_traffic

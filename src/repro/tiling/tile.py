@@ -65,21 +65,23 @@ class TilingPlan:
 
     layer_name: str
     tile_out_rows: int      # output rows per M tile (GEMM rows for gemm kind)
-    num_m_tiles: int
+    num_m_tiles: int        # M tiles per image
     tile_filters: int       # filters per N tile
     num_n_tiles: int
     tile_k: int             # inner-dimension chunk (== K for banded plans)
     num_k_tiles: int
     n_outer: bool           # banded plans: loop N outside M
-    ifmap_passes: int       # how many times the unique ifmap footprint streams
-    weight_passes: int
+    ifmap_passes: int       # per-image passes of the unique ifmap footprint
+    weight_passes: int      # per-image weight passes (see weight_traffic for
+                            # cross-image residency)
     ifmap_tile_bytes: int   # bytes fetched for one (non-boundary) ifmap tile
     weight_tile_bytes: int
     ofmap_tile_bytes: int
-    ifmap_traffic: int      # total DRAM bytes over the whole layer
+    ifmap_traffic: int      # total DRAM bytes over the whole layer (all images)
     weight_traffic: int
     ofmap_traffic: int
     halo_bytes_per_boundary: int
+    batch: int = 1          # images the schedule repeats over
 
     @property
     def is_k_tiled(self) -> bool:
@@ -101,11 +103,17 @@ class TilingPlan:
     def halo_traffic(self) -> int:
         """Total re-read bytes caused by intra-layer tile overlap."""
         return (self.halo_bytes_per_boundary * max(0, self.num_m_tiles - 1)
-                * self.ifmap_passes)
+                * self.ifmap_passes * self.batch)
 
 
 def _input_rows_for(layer: Layer, out_rows: int) -> int:
-    return min(layer.ifmap_h, out_rows * layer.stride_h + layer.filt_h - layer.stride_h)
+    """SRAM rows one output band needs, padding rows included.
+
+    Padding is synthesized on chip but still occupies the ifmap partition
+    as zeros, so capacity math clamps at the *padded* extent; DRAM
+    traffic math elsewhere only ever charges stored rows.
+    """
+    return min(layer.padded_h, out_rows * layer.stride_h + layer.filt_h - layer.stride_h)
 
 
 def _banded_plan(layer: Layer, budget: SramBudget) -> Optional[TilingPlan]:
@@ -152,10 +160,11 @@ def _banded_plan(layer: Layer, budget: SramBudget) -> Optional[TilingPlan]:
 
     halo_rows = layer.halo_rows() if layer.kind is not LayerKind.GEMM else 0
     halo_bytes = halo_rows * ifmap_row_bytes if num_m_tiles > 1 else 0
-    one_pass_ifmap = layer.ifmap_bytes + halo_bytes * max(0, num_m_tiles - 1)
+    one_pass_ifmap = (layer.ifmap_bytes_per_image
+                      + halo_bytes * max(0, num_m_tiles - 1))
 
-    # Loop-order choice: M-outer streams weights per band; N-outer
-    # re-reads the ifmap per filter group.
+    # Loop-order choice (per image): M-outer streams weights per band;
+    # N-outer re-reads the ifmap per filter group.
     if num_n_tiles == 1:
         n_outer = False
         ifmap_passes, weight_passes = 1, 1
@@ -171,6 +180,16 @@ def _banded_plan(layer: Layer, budget: SramBudget) -> Optional[TilingPlan]:
             ifmap_passes = 1
             weight_passes = num_m_tiles
 
+    # The per-image schedule repeats for every image of the batch.
+    # Activations are per-image data, so their traffic scales with the
+    # batch; weights stay resident across images only when the whole
+    # weight tensor fits its partition at once (num_n_tiles == 1 —
+    # streamed filter groups evict each other and must reload per image).
+    if num_n_tiles == 1:
+        total_weight_passes = 1
+    else:
+        total_weight_passes = weight_passes * layer.batch
+
     return TilingPlan(
         layer_name=layer.name,
         tile_out_rows=tile_out_rows,
@@ -185,10 +204,11 @@ def _banded_plan(layer: Layer, budget: SramBudget) -> Optional[TilingPlan]:
         ifmap_tile_bytes=_input_rows_for(layer, tile_out_rows) * ifmap_row_bytes,
         weight_tile_bytes=weight_per_filter * tile_filters,
         ofmap_tile_bytes=ofmap_tile(tile_out_rows, tile_filters),
-        ifmap_traffic=one_pass_ifmap * ifmap_passes,
-        weight_traffic=layer.weight_bytes * weight_passes,
+        ifmap_traffic=one_pass_ifmap * ifmap_passes * layer.batch,
+        weight_traffic=layer.weight_bytes * total_weight_passes,
         ofmap_traffic=layer.ofmap_bytes,
         halo_bytes_per_boundary=halo_bytes,
+        batch=layer.batch,
     )
 
 
@@ -214,8 +234,10 @@ def _k_tiled_plan(layer: Layer, budget: SramBudget) -> Optional[TilingPlan]:
         num_m = ceil_div(m, tile_m)
         num_n = ceil_div(n, tile_n)
         num_k = ceil_div(k, tile_k)
+        # ifmap_bytes is a whole-batch total; the weight stream repeats
+        # per image (operands stream through SRAM tile by tile).
         ifmap_traffic = layer.ifmap_bytes * num_n
-        weight_traffic = layer.weight_bytes * num_m
+        weight_traffic = layer.weight_bytes * num_m * layer.batch
         cost = ifmap_traffic + weight_traffic
         key = (cost, num_m * num_n * num_k)
         if best is None or key < best[0]:
@@ -244,6 +266,7 @@ def _k_tiled_plan(layer: Layer, budget: SramBudget) -> Optional[TilingPlan]:
         weight_traffic=weight_traffic,
         ofmap_traffic=layer.ofmap_bytes,
         halo_bytes_per_boundary=0,
+        batch=layer.batch,
     )
 
 

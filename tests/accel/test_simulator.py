@@ -44,7 +44,8 @@ class TestSingleLayer:
 
 
 class TestPlanTraceAgreement:
-    @pytest.mark.parametrize("workload", ["lenet", "mobilenet", "dlrm"])
+    @pytest.mark.parametrize("workload", ["lenet", "mobilenet", "dlrm",
+                                          "lenet@b3", "dlrm@b2"])
     def test_traffic_matches_plan_estimate(self, workload):
         sim = AcceleratorSim(SystolicArray(32, 32), SramBudget.split(480 << 10))
         run = sim.run(get_workload(workload))
@@ -96,6 +97,59 @@ class TestMultiLayer:
         for result in run.layers:
             assert result.demand_bytes_per_cycle == pytest.approx(
                 result.dram_bytes / result.compute_cycles)
+
+
+class TestBatchReplication:
+    """The columnar batch expansion must equal an explicit per-image
+    re-walk: image 0's ranges plus per-kind-shifted copies."""
+
+    def _reference(self, base_result, layer, batch, weight_resident):
+        shift_for = {AccessKind.IFMAP: layer.ifmap_bytes_per_image,
+                     AccessKind.OFMAP: layer.ofmap_bytes_per_image}
+        expected = []
+        for image in range(batch):
+            for r in base_result.trace.ranges:
+                if r.kind is AccessKind.WEIGHT and weight_resident and image:
+                    continue
+                expected.append((
+                    r.cycle + image * base_result.compute_cycles,
+                    r.addr + image * shift_for.get(r.kind, 0),
+                    r.nbytes, r.write, r.kind, r.duration))
+        return expected
+
+    @pytest.mark.parametrize("layer_args,budget", [
+        # banded, weights fully resident (single filter group)
+        (dict(ifmap=64, filt=3, channels=16, filters=8),
+         SramBudget(16 << 10, 1 << 20, 1 << 20)),
+        # banded, streamed filter groups (weights reload per image)
+        (dict(ifmap=16, filt=3, channels=16, filters=512),
+         SramBudget(1 << 20, 8 << 10, 1 << 20)),
+    ])
+    def test_banded_matches_looped_reference(self, layer_args, budget):
+        from repro.models.layer import conv as mk_conv
+        args = (layer_args["ifmap"], layer_args["ifmap"],
+                layer_args["filt"], layer_args["filt"],
+                layer_args["channels"], layer_args["filters"])
+        sim = AcceleratorSim(SystolicArray(8, 8), budget)
+        base = sim.run(Topology("t", [mk_conv("c", *args)])).layers[0]
+        got = sim.run(Topology("t", [mk_conv("c", *args, batch=3)])).layers[0]
+        resident = base.plan.num_n_tiles == 1
+        expected = self._reference(base, got.layer, 3, resident)
+        got_ranges = [(r.cycle, r.addr, r.nbytes, r.write, r.kind, r.duration)
+                      for r in got.trace.ranges]
+        assert got_ranges == expected
+
+    def test_k_tiled_matches_looped_reference(self):
+        sim = AcceleratorSim(SystolicArray(32, 32), SramBudget.split(128 << 10))
+        base = sim.run(Topology("k", [gemm("fc", 256, 8192, 1024)])).layers[0]
+        batched_layer = gemm("fc", 256, 8192, 1024, batch=2)
+        got = sim.run(Topology("k", [batched_layer])).layers[0]
+        assert got.plan.is_k_tiled
+        expected = self._reference(base, batched_layer, 2,
+                                   weight_resident=False)
+        got_ranges = [(r.cycle, r.addr, r.nbytes, r.write, r.kind, r.duration)
+                      for r in got.trace.ranges]
+        assert got_ranges == expected
 
 
 class TestResidencyRules:

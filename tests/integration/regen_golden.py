@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Deliberately regenerate ``golden_server_resnet18.json``.
+
+Run this ONLY when a commit intentionally changes the model's numbers
+(geometry fixes, new protection math); commit the refreshed JSON
+together with a note in ``test_golden_equivalence.py``'s regeneration
+history. An accidental diff in that file is a regression, not a reason
+to rerun this script.
+"""
+
+import json
+import os
+
+from repro.core.config import npu_config
+from repro.core.pipeline import Pipeline
+from repro.models.zoo import get_workload
+from repro.protection import SCHEME_NAMES, make_scheme
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__),
+                           "golden_server_resnet18.json")
+
+
+def main() -> None:
+    npu = npu_config("server")
+    topology = get_workload("resnet18")
+    pipeline = Pipeline(npu)
+    model_run = pipeline.simulate_model(topology)
+    golden = {}
+    for name in ["baseline"] + SCHEME_NAMES:
+        run = pipeline.run(topology, make_scheme(name), model_run=model_run)
+        golden[name] = {
+            "total_cycles": run.total_cycles,
+            "compute_cycles": run.compute_cycles,
+            "data_bytes": run.data_bytes,
+            "metadata_bytes": run.metadata_bytes,
+            "layers": len(run.layers),
+            "dram_cycles": [t.dram_cycles for t in run.layers],
+            "row_hit_rates": [t.row_hit_rate for t in run.layers],
+        }
+    with open(GOLDEN_PATH, "w") as handle:
+        json.dump(golden, handle, indent=2, sort_keys=True)
+    print(f"regenerated {GOLDEN_PATH}")
+    for name, cell in golden.items():
+        print(f"  {name:10s} total_cycles={cell['total_cycles']:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,11 +1,22 @@
-"""Golden equivalence for the columnar stream core.
+"""Golden equivalence for the pipeline's numeric outputs.
 
-``golden_server_resnet18.json`` holds the :class:`SchemeRun` totals the
-pre-columnar (object-per-range, per-block-loop) implementation produced
-for one full sweep cell — every scheme on (server NPU, ResNet-18). The
-refactored pipeline must reproduce them *float-identically*: the
-columnar path re-derives the same quantities with better data movement,
-it does not change the model.
+``golden_server_resnet18.json`` holds the :class:`SchemeRun` totals for
+one full sweep cell — every scheme on (server NPU, ResNet-18). Any
+refactor that is not meant to change the model must reproduce them
+*float-identically*; a deliberate model change must regenerate the file
+in the same commit and say why.
+
+Regeneration history:
+
+- columnar stream core (PR 2): baseline for the vectorized path, model
+  unchanged from the object-per-range implementation.
+- padding-aware batch-first geometry (PR 3): ResNet-18's 3x3 blocks and
+  7x7 stem became genuinely same-padded over 224x224 stored inputs
+  instead of valid convs over inflated (spatial+2) inputs, shrinking
+  every ifmap footprint and with it DRAM traffic — a deliberate
+  correctness fix, regenerated with the repo script below::
+
+      PYTHONPATH=src python tests/integration/regen_golden.py
 """
 
 import json

@@ -1,0 +1,128 @@
+"""Golden per-layer geometry for the thirteen zoo workloads.
+
+Two layers of defence against geometry regressions:
+
+- hand-written shape tables (ofmap dims, MACs) for resnet18 / alexnet /
+  yolo_tiny, checked against the published / SCALE-Sim layer shapes;
+- a frozen ``golden_geometry.json`` with every layer's ofmap dims, GEMM
+  view, MACs and tensor footprints for all 13 workloads, plus
+  independent whole-model MAC totals from the literature so the frozen
+  file cannot silently drift along with a zoo bug.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.models.zoo import WORKLOADS, get_workload
+
+_GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_geometry.json")
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(_GOLDEN_PATH) as handle:
+        return json.load(handle)
+
+
+# (layer name, ofmap_h, ofmap_w): the canonical spatial chains.
+_RESNET18_SHAPES = [
+    ("conv1", 112, 112),
+    ("conv2_1_a", 56, 56), ("conv2_1_b", 56, 56),
+    ("conv2_2_a", 56, 56), ("conv2_2_b", 56, 56),
+    ("conv3_1_a", 28, 28), ("conv3_1_b", 28, 28), ("conv3_1_ds", 28, 28),
+    ("conv3_2_a", 28, 28), ("conv3_2_b", 28, 28),
+    ("conv4_1_a", 14, 14), ("conv4_1_b", 14, 14), ("conv4_1_ds", 14, 14),
+    ("conv4_2_a", 14, 14), ("conv4_2_b", 14, 14),
+    ("conv5_1_a", 7, 7), ("conv5_1_b", 7, 7), ("conv5_1_ds", 7, 7),
+    ("conv5_2_a", 7, 7), ("conv5_2_b", 7, 7),
+    ("fc", 1, 1),
+]
+
+_ALEXNET_SHAPES = [
+    ("conv1", 55, 55), ("conv2", 27, 27), ("conv3", 13, 13),
+    ("conv4", 13, 13), ("conv5", 13, 13),
+    ("fc6", 1, 1), ("fc7", 1, 1), ("fc8", 1, 1),
+]
+
+_YOLO_TINY_SHAPES = [
+    ("conv1", 416, 416), ("conv2", 208, 208), ("conv3", 104, 104),
+    ("conv4", 52, 52), ("conv5", 26, 26), ("conv6", 13, 13),
+    ("conv7", 13, 13), ("conv8", 13, 13), ("conv9", 13, 13),
+    ("conv10", 13, 13),
+]
+
+
+@pytest.mark.parametrize("workload,shapes", [
+    ("resnet18", _RESNET18_SHAPES),
+    ("alexnet", _ALEXNET_SHAPES),
+    ("yolo_tiny", _YOLO_TINY_SHAPES),
+])
+class TestHandwrittenShapeTables:
+    def test_layer_names_and_order(self, workload, shapes):
+        topo = get_workload(workload)
+        assert [l.name for l in topo] == [name for name, _, _ in shapes]
+
+    def test_ofmap_dims(self, workload, shapes):
+        topo = get_workload(workload)
+        got = [(l.name, l.ofmap_h, l.ofmap_w) for l in topo]
+        assert got == shapes
+
+
+class TestPublishedTotals:
+    """Whole-model MAC totals from the model papers / common references,
+    independent of the frozen JSON."""
+
+    def test_resnet18_1_8_gmacs(self):
+        assert get_workload("resnet18").total_macs == pytest.approx(1.814e9, rel=0.01)
+
+    def test_mobilenet_569_mmacs(self):
+        # The MobileNet paper's own "569 million mult-adds" figure.
+        assert get_workload("mobilenet").total_macs == pytest.approx(569e6, rel=0.01)
+
+    def test_alexnet_ungrouped_1_13_gmacs(self):
+        # SCALE-Sim models AlexNet without the 2-way grouped convs.
+        assert get_workload("alexnet").total_macs == pytest.approx(1.135e9, rel=0.01)
+
+    def test_googlenet_1_6_gmacs(self):
+        assert get_workload("googlenet").total_macs == pytest.approx(1.58e9, rel=0.01)
+
+    def test_yolo_tiny_2_1_gmacs(self):
+        assert get_workload("yolo_tiny").total_macs == pytest.approx(2.13e9, rel=0.01)
+
+    def test_padded_convs_present_where_originals_use_them(self):
+        """The padded models actually carry padding (not inflated ifmaps)."""
+        for name in ("resnet18", "mobilenet", "googlenet", "fasterrcnn",
+                     "yolo_tiny", "alphagozero"):
+            topo = get_workload(name)
+            assert any(l.pad_h > 0 for l in topo), name
+
+    def test_valid_models_stay_valid(self):
+        for name in ("lenet",):
+            assert all(l.pad_h == 0 and l.pad_w == 0
+                       for l in get_workload(name)), name
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+class TestFrozenGeometry:
+    def test_every_layer_matches_golden(self, workload, golden):
+        topo = get_workload(workload)
+        want = golden[workload]
+        assert len(topo) == len(want)
+        for layer, expect in zip(topo, want):
+            got = {
+                "name": layer.name, "ofmap_h": layer.ofmap_h,
+                "ofmap_w": layer.ofmap_w, "gemm_m": layer.gemm_m,
+                "gemm_k": layer.gemm_k, "gemm_n": layer.gemm_n,
+                "macs": layer.macs, "ifmap_bytes": layer.ifmap_bytes,
+                "weight_bytes": layer.weight_bytes,
+                "ofmap_bytes": layer.ofmap_bytes,
+            }
+            assert got == expect, layer.name
+
+    def test_footprints_are_stored_extent_only(self, workload, golden):
+        """ifmap footprints never include padding zeros."""
+        for layer in get_workload(workload):
+            assert layer.ifmap_bytes == \
+                layer.batch * layer.ifmap_h * layer.ifmap_w * layer.channels

@@ -1,10 +1,11 @@
-"""Layer descriptor arithmetic: GEMM view, footprints, halos."""
+"""Layer descriptor arithmetic: GEMM view, footprints, halos, padding,
+batch."""
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.models.layer import conv, dwconv, gemm
+from repro.models.layer import conv, dwconv, gemm, same_pads
 
 
 class TestConvLayer:
@@ -74,6 +75,88 @@ class TestGemm:
         assert gemm("fc", 64, 256, 10).halo_rows() == 0
 
 
+class TestPadding:
+    def test_same_pad_preserves_spatial(self):
+        layer = conv("c", 56, 56, 3, 3, 64, 64, same=True)
+        assert (layer.pad_h, layer.pad_w) == (1, 1)
+        assert (layer.ofmap_h, layer.ofmap_w) == (56, 56)
+
+    def test_same_pad_strided_is_ceil(self):
+        layer = conv("c", 224, 224, 7, 7, 3, 64, stride=2, same=True)
+        assert (layer.pad_h, layer.pad_w) == (3, 3)
+        assert layer.ofmap_h == 112  # ceil(224 / 2)
+
+    def test_explicit_asymmetric_filter_pads(self):
+        layer = conv("c", 161, 300, 41, 11, 1, 32, stride=2, pad_h=5, pad_w=5)
+        assert (layer.ofmap_h, layer.ofmap_w) == (66, 150)
+
+    def test_same_pads_helper(self):
+        assert same_pads(3, 3) == (1, 1)
+        assert same_pads(7, 5) == (3, 2)
+        assert same_pads(1, 1) == (0, 0)
+
+    def test_same_rejects_even_filters(self):
+        """Even filters can't pad symmetrically to 'same'; silent
+        shrinkage would be the exact bug this PR removes."""
+        with pytest.raises(ValueError):
+            same_pads(2, 2)
+        with pytest.raises(ValueError):
+            conv("c", 32, 32, 4, 4, 3, 8, same=True)
+
+    def test_padding_not_in_footprint(self):
+        """Padding zeros are synthesized on chip, never stored in DRAM."""
+        padded = conv("c", 56, 56, 3, 3, 64, 64, same=True)
+        valid = conv("c", 56, 56, 3, 3, 64, 64)
+        assert padded.ifmap_bytes == valid.ifmap_bytes == 56 * 56 * 64
+
+    def test_padded_gemm_view(self):
+        layer = conv("c", 13, 13, 3, 3, 256, 512, same=True)
+        assert layer.gemm_m == 13 * 13
+        assert layer.macs == 13 * 13 * 9 * 256 * 512
+
+    def test_halo_independent_of_padding(self):
+        assert conv("c", 8, 8, 3, 3, 1, 1, same=True).halo_rows() == \
+            conv("c", 8, 8, 3, 3, 1, 1).halo_rows() == 2
+
+    def test_pointwise_requires_no_padding(self):
+        assert conv("c", 8, 8, 1, 1, 4, 4).is_pointwise
+        assert not conv("c", 8, 8, 1, 1, 4, 4, pad_h=1, pad_w=1).is_pointwise
+
+    def test_same_and_explicit_pads_conflict(self):
+        with pytest.raises(ValueError):
+            conv("c", 8, 8, 3, 3, 1, 1, pad_h=1, same=True)
+
+    def test_dwconv_same(self):
+        layer = dwconv("dw", 112, 112, 3, 3, 32, stride=2, same=True)
+        assert layer.ofmap_h == 56
+
+
+class TestBatch:
+    def test_per_image_quantities_scale(self):
+        base = conv("c", 16, 16, 3, 3, 4, 8)
+        batched = conv("c", 16, 16, 3, 3, 4, 8, batch=4)
+        assert batched.gemm_m == base.gemm_m
+        assert batched.macs == 4 * base.macs
+        assert batched.ifmap_bytes == 4 * base.ifmap_bytes
+        assert batched.ofmap_bytes == 4 * base.ofmap_bytes
+
+    def test_weights_shared_across_batch(self):
+        base = conv("c", 16, 16, 3, 3, 4, 8)
+        batched = conv("c", 16, 16, 3, 3, 4, 8, batch=4)
+        assert batched.weight_bytes == base.weight_bytes
+
+    def test_per_image_accessors(self):
+        layer = gemm("fc", 64, 256, 10, batch=3)
+        assert layer.ifmap_bytes_per_image == 64 * 256
+        assert layer.ifmap_bytes == 3 * 64 * 256
+        assert layer.macs_per_image == 64 * 256 * 10
+        assert layer.macs == 3 * 64 * 256 * 10
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            conv("c", 8, 8, 3, 3, 1, 1, batch=0)
+
+
 class TestValidation:
     def test_nonpositive_dim(self):
         with pytest.raises(ValueError):
@@ -82,6 +165,20 @@ class TestValidation:
     def test_filter_bigger_than_ifmap(self):
         with pytest.raises(ValueError):
             conv("bad", 2, 2, 3, 3, 1, 1)
+
+    def test_filter_bigger_than_ifmap_ok_with_padding(self):
+        """Legal for small late-stage feature maps once padding exists;
+        validation is against the padded extent."""
+        layer = conv("ok", 2, 2, 3, 3, 1, 1, same=True)
+        assert layer.ofmap_h == 2
+
+    def test_filter_bigger_than_padded_ifmap_rejected(self):
+        with pytest.raises(ValueError):
+            conv("bad", 2, 2, 5, 5, 1, 1, same=False, pad_h=1, pad_w=1)
+
+    def test_negative_pad_rejected(self):
+        with pytest.raises(ValueError):
+            conv("bad", 8, 8, 3, 3, 1, 1, pad_h=-1)
 
     @given(st.integers(1, 64), st.integers(1, 7), st.integers(1, 4))
     @settings(max_examples=50)
@@ -92,3 +189,12 @@ class TestValidation:
         layer = conv("c", size, size, filt, filt, 3, 5, stride=stride)
         assert layer.macs == layer.gemm_m * layer.gemm_k * layer.gemm_n
         assert layer.ofmap_h >= 1
+
+    @given(st.integers(1, 64), st.integers(1, 7).map(lambda v: 2 * v + 1),
+           st.integers(1, 4))
+    @settings(max_examples=50)
+    def test_same_padding_is_ceil_everywhere(self, size, filt, stride):
+        """same=True yields ceil(in/stride) outputs for any odd filter."""
+        layer = conv("c", size, size, filt, filt, 3, 5, stride=stride,
+                     same=True)
+        assert layer.ofmap_h == -(-size // stride)

@@ -23,9 +23,24 @@ class TestWithBatch:
     def test_name_tagged(self):
         assert with_batch(mlp("m", 1, [4, 4]), 8).name == "m_b8"
 
-    def test_conv_rejected(self):
-        with pytest.raises(ValueError):
-            with_batch(get_workload("lenet"), 2)
+    def test_conv_batches_spatially(self):
+        """Batching a conv topology replicates the per-image spatial M
+        instead of folding batch into GEMM-M."""
+        base = get_workload("lenet")
+        scaled = with_batch(base, 2)
+        assert scaled.batch == 2
+        assert scaled.total_macs == 2 * base.total_macs
+        assert scaled.total_weight_bytes == base.total_weight_bytes
+        for a, b in zip(scaled, base):
+            assert a.gemm_m == b.gemm_m          # per-image M untouched
+            assert a.ofmap_h == b.ofmap_h
+            assert a.halo_rows() == b.halo_rows()
+            assert a.ifmap_bytes == 2 * b.ifmap_bytes
+            assert a.ofmap_bytes == 2 * b.ofmap_bytes
+
+    def test_compounds_existing_batch(self):
+        twice = with_batch(with_batch(get_workload("lenet"), 2), 3)
+        assert twice.batch == 6
 
     def test_invalid_batch(self):
         with pytest.raises(ValueError):

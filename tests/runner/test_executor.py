@@ -1,5 +1,7 @@
 """GridExecutor: parallel == serial, ordering, callbacks, fallback."""
 
+from concurrent.futures import Future
+
 import pytest
 
 from repro.core.config import npu_config
@@ -81,3 +83,67 @@ class TestParallel:
         monkeypatch.setattr(executor, "_run_pool", boom)
         records = executor.run(grid())
         assert [r["workload"] for r in records] == ["lenet", "dlrm", "ncf"]
+
+    def test_worker_failure_propagates(self):
+        bad = grid() + [EvalRequest(npu_config("edge"), "nonexistent",
+                                    SCHEMES)]
+        with pytest.raises(KeyError, match="nonexistent"):
+            GridExecutor(jobs=2).run(bad)
+
+
+class TestDrainFinished:
+    """Regression: a mid-grid worker failure used to drop cells that had
+    already finished but were not yet yielded by as_completed, so resume
+    re-ran them."""
+
+    @staticmethod
+    def _future(result=None, exception=None, cancel=False):
+        future = Future()
+        if cancel:
+            future.cancel()
+            future.set_running_or_notify_cancel()
+        elif exception is not None:
+            future.set_exception(exception)
+        elif result is not None:
+            future.set_result(result)
+        return future
+
+    def _setup(self):
+        requests = grid()
+        done = self._future({"workload": "lenet"})
+        failed = self._future(exception=ValueError("worker died"))
+        pending = self._future(cancel=True)
+        futures = {done: 0, failed: 1, pending: 2}
+        records = [None] * len(requests)
+        completed = {}
+        return requests, futures, records, completed
+
+    def test_finished_cells_recovered_and_persisted(self):
+        requests, futures, records, completed = self._setup()
+        persisted = []
+        GridExecutor._drain_finished(
+            futures, requests, records, completed,
+            lambda index, request, record: persisted.append(index))
+        assert completed == {0: {"workload": "lenet"}}
+        assert records[0] == {"workload": "lenet"}
+        assert records[1] is None and records[2] is None
+        assert persisted == [0]
+
+    def test_already_recorded_cells_not_refired(self):
+        requests, futures, records, completed = self._setup()
+        completed[0] = records[0] = {"workload": "lenet"}
+        persisted = []
+        GridExecutor._drain_finished(
+            futures, requests, records, completed,
+            lambda index, request, record: persisted.append(index))
+        assert persisted == []
+
+    def test_callback_errors_do_not_mask_original_failure(self):
+        requests, futures, records, completed = self._setup()
+
+        def explode(index, request, record):
+            raise OSError("disk full during drain")
+
+        GridExecutor._drain_finished(futures, requests, records, completed,
+                                     explode)
+        assert completed == {0: {"workload": "lenet"}}  # still recovered

@@ -79,6 +79,27 @@ class TestGetPut:
         assert store.stats.evictions == 1
         assert not store.contains(key)
 
+    def test_demote_without_hit_never_goes_negative(self, store):
+        """Regression: spurious demote_hit used to drive hits to -1 and
+        corrupt the lifetime hit-rate merged into stats.json."""
+        store.demote_hit("ab" * 32)
+        assert store.stats.hits == 0
+        assert store.stats.misses == 0
+        assert store.stats.evictions == 1
+        assert store.stats.hit_rate == 0.0
+        store.put("cd" * 32, RECORD)  # make flush non-idle
+        store.flush_stats()
+        lifetime = store.summary().lifetime
+        assert lifetime["hits"] == 0
+        assert lifetime["misses"] == 0
+
+    def test_demote_after_hit_still_reclassifies(self, store):
+        key = "34" * 32
+        store.put(key, RECORD)
+        store.get(key)
+        store.demote_hit(key)
+        assert (store.stats.hits, store.stats.misses) == (0, 1)
+
     def test_no_partial_files_after_put(self, store):
         store.put("01" * 32, RECORD)
         leftovers = list(store.root.rglob("*.tmp"))
@@ -103,6 +124,25 @@ class TestMaintenance:
         assert store.clear() == 1
         assert store.entries() == 0
         assert store.get("aa" * 32) is None  # miss again
+
+    def test_orphan_tmp_files_reported_and_swept(self, store):
+        """Regression: .tmp leftovers from crashed put()/flush_stats()
+        were invisible to entries()/size_bytes() and survived clear()."""
+        store.put("aa" * 32, RECORD)
+        shard_orphan = store.root / "aa" / "deadbeef.tmp"
+        shard_orphan.write_text("{trunc")
+        root_orphan = store.root / "cafef00d.tmp"
+        root_orphan.write_text("{trunc")
+
+        assert store.entries() == 1          # records only
+        summary = store.summary()
+        assert summary.orphan_tmp == 2
+
+        removed = store.clear()
+        assert removed == 1                  # return value counts records
+        assert not shard_orphan.exists()
+        assert not root_orphan.exists()
+        assert store.summary().orphan_tmp == 0
 
 
 class TestStats:

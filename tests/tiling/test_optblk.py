@@ -58,6 +58,24 @@ class TestSearch:
         assert best.mac_computations <= fixed.mac_computations
 
 
+class TestBatchedSearch:
+    def test_blocks_cover_batched_tensor(self):
+        base = conv("c", 64, 64, 3, 3, 16, 8)
+        batched = conv("c", 64, 64, 3, 3, 16, 8, batch=4)
+        choice_1 = search_optblk(base, _plan(base, 64 << 10))
+        choice_n = search_optblk(batched, _plan(batched, 64 << 10))
+        # The authentication blocks span the whole batched ifmap…
+        assert choice_n.blocks_per_layer >= 4 * choice_1.blocks_per_layer - 4
+        # …and straddle waste scales with the per-image boundaries
+        # repeating every image.
+        assert choice_n.straddle_blocks == 4 * choice_1.straddle_blocks
+
+    def test_batched_straddle_free_stays_straddle_free(self):
+        layer = conv("c", 32, 32, 3, 3, 8, 8, batch=8)
+        choice = search_optblk(layer, _plan(layer))
+        assert choice.is_straddle_free
+
+
 class TestAlignedHelper:
     def test_divisor_found(self):
         assert aligned_block_for_tiles(4096) == 4096
