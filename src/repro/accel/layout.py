@@ -5,13 +5,17 @@ Layout (matching the evaluation setup's 16 GB protected memory):
 - ``WEIGHTS``    at 0x0_0000_0000 — all model weights, packed per layer.
 - ``ACT_A``      at 0x1_0000_0000 — activation ping buffer.
 - ``ACT_B``      at 0x1_8000_0000 — activation pong buffer.
+- ``KV``         at 0x1_C000_0000 — per-layer KV-cache slabs (attention
+  K^T/V operands; each image of a batch owns its own slab).
 - ``METADATA``   at 0x2_0000_0000 — MAC tables, VN tables, integrity-tree
   levels (protection schemes carve this region further).
 
 Layer ``i`` reads its ifmap from one activation buffer and writes its
 ofmap to the other, so the consumer of layer ``i+1`` sees exactly the
 producer's addresses — the property the inter-layer tiling analysis and
-MGX-style on-chip VN generation both rely on.
+MGX-style on-chip VN generation both rely on. KV state is persistent
+across decode steps (not ping-pong), so it gets its own region between
+the activation buffers and the metadata tables.
 """
 
 from __future__ import annotations
@@ -27,6 +31,7 @@ PROTECTED_REGION_BYTES = 16 << 30
 WEIGHT_BASE = 0x0_0000_0000
 ACT_A_BASE = 0x1_0000_0000
 ACT_B_BASE = 0x1_8000_0000
+KV_BASE = 0x1_C000_0000
 METADATA_BASE = 0x2_0000_0000
 
 _TENSOR_ALIGN = 4096
@@ -54,22 +59,43 @@ class AddressMap:
     def __init__(self, topology: Topology):
         self.topology = topology
         self._weight_base: Dict[int, int] = {}
+        self._kv_base: Dict[int, int] = {}
         cursor = WEIGHT_BASE
+        kv_cursor = KV_BASE
         for idx, layer in enumerate(topology):
-            self._weight_base[idx] = cursor
-            cursor += align_up(layer.weight_bytes, _TENSOR_ALIGN)
+            if layer.kv:
+                # KV-state operands live in the KV region; each image's
+                # slab (kv_bytes_per_image) is packed consecutively.
+                self._kv_base[idx] = kv_cursor
+                kv_cursor += align_up(layer.kv_bytes, _TENSOR_ALIGN)
+            else:
+                self._weight_base[idx] = cursor
+                cursor += align_up(layer.weight_bytes, _TENSOR_ALIGN)
         self.weights_end = cursor
+        self.kv_end = kv_cursor
         if cursor > ACT_A_BASE:
             raise ValueError(
                 f"{topology.name}: weights ({cursor} B) overflow the weight region"
             )
+        if kv_cursor > METADATA_BASE:
+            raise ValueError(
+                f"{topology.name}: KV caches ({kv_cursor - KV_BASE} B) "
+                f"overflow the KV region")
+        # The KV region is carved out of the activation space only when
+        # the topology actually has KV layers; CNN-only models keep the
+        # full pong extent up to the metadata base.
+        act_limit = KV_BASE if self._kv_base else METADATA_BASE
         max_act = align_up(max(1, topology.max_activation_bytes), _TENSOR_ALIGN)
-        if ACT_B_BASE + max_act > METADATA_BASE:
+        if ACT_B_BASE + max_act > act_limit:
             raise ValueError(f"{topology.name}: activations overflow their region")
         self._act_bytes = max_act
 
     def weight_addr(self, layer_id: int) -> int:
         return self._weight_base[layer_id]
+
+    def kv_addr(self, layer_id: int) -> int:
+        """Image-0 KV slab of a ``kv=True`` layer (images pack behind it)."""
+        return self._kv_base[layer_id]
 
     def ifmap_addr(self, layer_id: int) -> int:
         """Layer i's ifmap buffer: ping for even i, pong for odd."""
@@ -82,11 +108,14 @@ class AddressMap:
         return ACT_B_BASE if layer_id % 2 == 0 else ACT_A_BASE
 
     def data_regions(self) -> List[Region]:
-        return [
+        regions = [
             Region("weights", WEIGHT_BASE, self.weights_end - WEIGHT_BASE),
             Region("act_a", ACT_A_BASE, self._act_bytes),
             Region("act_b", ACT_B_BASE, self._act_bytes),
         ]
+        if self.kv_end > KV_BASE:
+            regions.append(Region("kv", KV_BASE, self.kv_end - KV_BASE))
+        return regions
 
     @staticmethod
     def metadata_region() -> Region:

@@ -20,6 +20,12 @@ Both walks emit a single image's schedule; batched layers replicate the
 image-0 trace on its columns (per-kind address shifts plus a per-image
 cycle shift, dropping resident weight fetches) so batch N costs one walk
 plus vectorized copies, not N Python tile loops.
+
+Attention layers with ``kv=True`` stream their K x N operand from the
+per-layer KV region as :attr:`AccessKind.KVCACHE` traffic instead of
+WEIGHT: KV state is per-sequence data, so it is never resident across a
+batch (every image re-streams its own slab) and protection schemes see
+it as a distinct traffic class.
 """
 
 from __future__ import annotations
@@ -151,7 +157,11 @@ class AcceleratorSim:
             layer.ifmap_bytes_per_image
         addr_shift[kinds == kind_code(AccessKind.OFMAP)] = \
             layer.ofmap_bytes_per_image
-        weight_resident = not plan.is_k_tiled and plan.num_n_tiles == 1
+        # Each image reads its own KV slab — never resident across images.
+        addr_shift[kinds == kind_code(AccessKind.KVCACHE)] = \
+            layer.kv_bytes_per_image
+        weight_resident = (not plan.is_k_tiled and plan.num_n_tiles == 1
+                           and not layer.kv)
         keep = (kinds != kind_code(AccessKind.WEIGHT)
                 if weight_resident else slice(None))
         # Mask once; images 1..N-1 differ only in the cycle/addr shifts.
@@ -178,7 +188,8 @@ class AcceleratorSim:
         row_bytes = layer.ifmap_w * layer.channels * ELEMENT_BYTES
         weight_per_filter = max(1, layer.weight_bytes // max(1, layer.gemm_n))
         ifmap_base = address_map.ifmap_addr(layer_id)
-        weight_base = address_map.weight_addr(layer_id)
+        weight_base, weight_kind = self._weight_source(layer, layer_id,
+                                                       address_map)
         ofmap_base = address_map.ofmap_addr(layer_id)
 
         cursor = start_cycle
@@ -222,7 +233,7 @@ class AcceleratorSim:
                                  layer.weight_bytes - offset)
                     if nbytes > 0:
                         trace.emit(cursor, weight_base + offset, nbytes,
-                                   write=False, kind=AccessKind.WEIGHT,
+                                   write=False, kind=weight_kind,
                                    layer_id=layer_id, duration=tile_cycles)
 
                 nbytes = rows * out_w * filters * ELEMENT_BYTES
@@ -241,7 +252,8 @@ class AcceleratorSim:
                       trace: Trace) -> int:
         m, k, n = layer.gemm_m, layer.gemm_k, layer.gemm_n
         ifmap_base = address_map.ifmap_addr(layer_id)
-        weight_base = address_map.weight_addr(layer_id)
+        weight_base, weight_kind = self._weight_source(layer, layer_id,
+                                                       address_map)
         ofmap_base = address_map.ofmap_addr(layer_id)
 
         cursor = start_cycle
@@ -269,7 +281,7 @@ class AcceleratorSim:
                                 + ki * plan.tile_k * tile_n) * ELEMENT_BYTES
                     trace.emit(cursor, weight_base + w_offset,
                                tile_k * tile_n * ELEMENT_BYTES,
-                               write=False, kind=AccessKind.WEIGHT,
+                               write=False, kind=weight_kind,
                                layer_id=layer_id, duration=tile_cycles)
                     cursor += tile_cycles
                 # Partial sums complete: store the (tile_m x tile_n) ofmap tile.
@@ -279,6 +291,14 @@ class AcceleratorSim:
                            layer_id=layer_id, duration=1)
                 ofmap_cursor += nbytes
         return total_cycles
+
+    @staticmethod
+    def _weight_source(layer: Layer, layer_id: int,
+                       address_map: AddressMap) -> Tuple[int, AccessKind]:
+        """(base address, traffic kind) of the layer's K x N operand."""
+        if layer.kv:
+            return address_map.kv_addr(layer_id), AccessKind.KVCACHE
+        return address_map.weight_addr(layer_id), AccessKind.WEIGHT
 
     @staticmethod
     def _ifmap_tile_extent(layer: Layer, plan: TilingPlan, mi: int,

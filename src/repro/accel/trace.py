@@ -40,6 +40,10 @@ class AccessKind(enum.Enum):
     WEIGHT = "weight"
     OFMAP = "ofmap"
     METADATA = "metadata"
+    #: Per-sequence attention K/V state (KV-cache reads in decode, K^T/V
+    #: operand streams in encoders) — kept distinct from WEIGHT so
+    #: protection overhead on KV-cache traffic is measurable.
+    KVCACHE = "kvcache"
 
 
 #: Stable integer codes for the columnar ``kinds`` column.
@@ -83,16 +87,26 @@ class TraceRange:
 
 @dataclass
 class BlockStream:
-    """Expanded per-block access stream (parallel numpy arrays)."""
+    """Expanded per-block access stream (parallel numpy arrays).
+
+    ``kinds`` is the optional per-block :class:`AccessKind` code column
+    (see :func:`kind_code`). Streams expanded from a :class:`Trace`
+    carry it; ad-hoc streams may omit it (``None``), in which case
+    per-kind accounting is unavailable and concatenation drops the
+    column rather than inventing codes.
+    """
 
     cycles: np.ndarray      # int64 issue cycle per block
     addrs: np.ndarray       # uint64 block-aligned byte address
     writes: np.ndarray      # bool
     layer_ids: np.ndarray   # int32
+    kinds: Optional[np.ndarray] = None  # int8 AccessKind codes
 
     def __post_init__(self) -> None:
         lengths = {len(self.cycles), len(self.addrs), len(self.writes),
                    len(self.layer_ids)}
+        if self.kinds is not None:
+            lengths.add(len(self.kinds))
         if len(lengths) != 1:
             raise ValueError("BlockStream arrays must be parallel")
 
@@ -111,34 +125,48 @@ class BlockStream:
     def write_blocks(self) -> int:
         return int(self.writes.sum())
 
+    def bytes_by_kind(self) -> Dict[AccessKind, int]:
+        """Per-kind block bytes; empty when the stream has no kind column."""
+        if self.kinds is None or not len(self):
+            return {}
+        counts = np.bincount(self.kinds, minlength=len(_KIND_LIST))
+        return {kind: int(counts[code]) * BLOCK_BYTES
+                for code, kind in enumerate(_KIND_LIST) if counts[code]}
+
     def sorted_by_cycle(self) -> "BlockStream":
         order = np.argsort(self.cycles, kind="stable")
         return BlockStream(self.cycles[order], self.addrs[order],
-                           self.writes[order], self.layer_ids[order])
+                           self.writes[order], self.layer_ids[order],
+                           None if self.kinds is None else self.kinds[order])
 
     @staticmethod
     def concat(streams: Iterable["BlockStream"]) -> "BlockStream":
         streams = [s for s in streams if len(s)]
         if not streams:
             return empty_block_stream()
+        kinds = None
+        if all(s.kinds is not None for s in streams):
+            kinds = np.concatenate([s.kinds for s in streams])
         return BlockStream(
             np.concatenate([s.cycles for s in streams]),
             np.concatenate([s.addrs for s in streams]),
             np.concatenate([s.writes for s in streams]),
             np.concatenate([s.layer_ids for s in streams]),
+            kinds,
         )
 
 
 def empty_block_stream() -> BlockStream:
     return BlockStream(
         np.empty(0, np.int64), np.empty(0, np.uint64),
-        np.empty(0, bool), np.empty(0, np.int32),
+        np.empty(0, bool), np.empty(0, np.int32), np.empty(0, np.int8),
     )
 
 
 def expand_ranges(cycles: np.ndarray, addrs: np.ndarray, nbytes: np.ndarray,
                   writes: np.ndarray, layer_ids: np.ndarray,
-                  durations: np.ndarray) -> BlockStream:
+                  durations: np.ndarray,
+                  kinds: Optional[np.ndarray] = None) -> BlockStream:
     """Vectorized block expansion of columnar ranges (repeat + cumsum).
 
     Blocks within a range are issued uniformly across its duration,
@@ -171,6 +199,7 @@ def expand_ranges(cycles: np.ndarray, addrs: np.ndarray, nbytes: np.ndarray,
         out_addrs.astype(np.uint64),
         np.repeat(writes, counts),
         np.repeat(layer_ids, counts).astype(np.int32),
+        None if kinds is None else np.repeat(kinds, counts).astype(np.int8),
     )
 
 
@@ -407,10 +436,10 @@ class Trace:
     def to_blocks(self) -> BlockStream:
         """Expand every range to block-granular accesses (memoized)."""
         def build() -> BlockStream:
-            cycles, addrs, nbytes, writes, _, layer_ids, durations = \
+            cycles, addrs, nbytes, writes, kinds, layer_ids, durations = \
                 self.buf.arrays()
             return expand_ranges(cycles, addrs, nbytes, writes, layer_ids,
-                                 durations)
+                                 durations, kinds)
         return self.memo("blocks", build)
 
     def sorted_blocks(self) -> BlockStream:

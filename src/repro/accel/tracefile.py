@@ -2,48 +2,101 @@
 
 Two interchange formats:
 
-- **scalesim** — SCALE-Sim-style CSV: ``cycle, address, R/W`` per block
-  request (what the paper's flow passes from the DNN simulator to the
-  security simulator);
+- **scalesim** — SCALE-Sim-style CSV: ``cycle, address, R/W[, kind]``
+  per block request (what the paper's flow passes from the DNN simulator
+  to the security simulator). The optional fourth field carries the
+  :class:`~repro.accel.trace.AccessKind` name, so per-kind byte
+  accounting survives a write/read round trip; plain three-field
+  SCALE-Sim files stay loadable (and import with no kind column).
 - **ramulator** — Ramulator 2.0 load trace: ``address R/W`` per line
-  (what the paper feeds the DRAM simulator).
+  (what the paper feeds the DRAM simulator). The line format is fixed by
+  the external tool, so kinds ride in a ``#repro-kinds:`` header comment
+  (run-length encoded in line order) that Ramulator ignores; readers
+  restore the column when the header is present. Without it the format
+  is lossy for kinds, exactly as it is for cycles.
 
-Both operate on :class:`repro.accel.trace.BlockStream`, so a trace can
-be simulated here, exported, inspected, and re-imported losslessly
-(scalesim keeps cycles; ramulator drops them by design).
+Both operate on :class:`repro.accel.trace.BlockStream`. Cycles, block
+addresses, read/write flags and (when the stream carries them) access
+kinds round-trip losslessly through scalesim; ramulator drops cycles by
+design and keeps kinds only via the header comment. Per-block layer ids
+are not represented in either format and re-import as zero.
 """
 
 from __future__ import annotations
 
 import io
-from typing import TextIO, Union
+from typing import List, Optional, TextIO, Tuple, Union
 
 import numpy as np
 
-from repro.accel.trace import BlockStream
+from repro.accel.trace import AccessKind, BlockStream, kind_code
+
+_KIND_BY_NAME = {kind.value: kind_code(kind) for kind in AccessKind}
+
+_RAMULATOR_KINDS_HEADER = "#repro-kinds:"
+
+
+def _kind_names(stream: BlockStream) -> List[str]:
+    codes = stream.kinds
+    names = [kind.value for kind in AccessKind]
+    return [names[code] for code in codes]
 
 
 def write_scalesim(stream: BlockStream, sink: TextIO) -> int:
-    """Write ``cycle, address, R/W`` lines; returns the line count."""
+    """Write ``cycle, address, R/W[, kind]`` lines; returns the line count.
+
+    The kind column is emitted whenever the stream carries one, keeping
+    the export lossless for re-import here while staying a superset of
+    the plain SCALE-Sim format.
+    """
     count = 0
-    for cycle, addr, write in zip(stream.cycles, stream.addrs, stream.writes):
-        sink.write(f"{int(cycle)},{int(addr)},{'W' if write else 'R'}\n")
+    if stream.kinds is None:
+        for cycle, addr, write in zip(stream.cycles, stream.addrs,
+                                      stream.writes):
+            sink.write(f"{int(cycle)},{int(addr)},{'W' if write else 'R'}\n")
+            count += 1
+        return count
+    for cycle, addr, write, kind in zip(stream.cycles, stream.addrs,
+                                        stream.writes, _kind_names(stream)):
+        sink.write(
+            f"{int(cycle)},{int(addr)},{'W' if write else 'R'},{kind}\n")
         count += 1
     return count
 
 
 def read_scalesim(source: Union[TextIO, str]) -> BlockStream:
-    """Parse a scalesim-format trace back into a block stream."""
+    """Parse a scalesim-format trace back into a block stream.
+
+    Three-field lines (plain SCALE-Sim) yield a stream without a kind
+    column; four-field lines restore the per-block kinds. Mixing the two
+    arities in one file is malformed.
+    """
     if isinstance(source, str):
         source = io.StringIO(source)
     cycles, addrs, writes = [], [], []
+    kinds: Optional[List[int]] = None
+    first = True
     for line_number, line in enumerate(source, start=1):
         line = line.strip()
         if not line or line.startswith("#"):
             continue
         parts = [p.strip() for p in line.split(",")]
-        if len(parts) != 3 or parts[2].upper() not in ("R", "W"):
+        if len(parts) not in (3, 4) or parts[2].upper() not in ("R", "W"):
             raise ValueError(f"malformed trace line {line_number}: {line!r}")
+        if first:
+            kinds = [] if len(parts) == 4 else None
+            first = False
+        if (kinds is None) != (len(parts) == 3):
+            raise ValueError(
+                f"malformed trace line {line_number}: {line!r} "
+                f"(mixed 3- and 4-field lines)")
+        if kinds is not None:
+            code = _KIND_BY_NAME.get(parts[3].lower())
+            if code is None:
+                raise ValueError(
+                    f"malformed trace line {line_number}: unknown access "
+                    f"kind {parts[3]!r}")
+            kinds.append(code)
         cycles.append(int(parts[0]))
         addrs.append(int(parts[1]))
         writes.append(parts[2].upper() == "W")
@@ -52,11 +105,31 @@ def read_scalesim(source: Union[TextIO, str]) -> BlockStream:
         np.asarray(addrs, dtype=np.uint64),
         np.asarray(writes, dtype=bool),
         np.zeros(len(addrs), dtype=np.int32),
+        None if kinds is None else np.asarray(kinds, dtype=np.int8),
     )
 
 
+def _encode_kind_runs(stream: BlockStream) -> str:
+    """Run-length encode the kind column as ``name*count`` items."""
+    runs: List[Tuple[str, int]] = []
+    for name in _kind_names(stream):
+        if runs and runs[-1][0] == name:
+            runs[-1] = (name, runs[-1][1] + 1)
+        else:
+            runs.append((name, 1))
+    return ",".join(f"{name}*{count}" for name, count in runs)
+
+
 def write_ramulator(stream: BlockStream, sink: TextIO) -> int:
-    """Write Ramulator-style ``0xADDR R|W`` lines; returns line count."""
+    """Write Ramulator-style ``0xADDR R|W`` lines; returns line count.
+
+    When the stream carries kinds, a ``#repro-kinds:`` header comment
+    (run-length encoded, line order) precedes the accesses; Ramulator
+    skips comments, and :func:`read_ramulator` uses it to restore the
+    column. The header does not count toward the returned line count.
+    """
+    if stream.kinds is not None and len(stream):
+        sink.write(f"{_RAMULATOR_KINDS_HEADER} {_encode_kind_runs(stream)}\n")
     count = 0
     for addr, write in zip(stream.addrs, stream.writes):
         sink.write(f"0x{int(addr):x} {'W' if write else 'R'}\n")
@@ -64,13 +137,38 @@ def write_ramulator(stream: BlockStream, sink: TextIO) -> int:
     return count
 
 
+def _decode_kind_runs(payload: str, line_number: int) -> List[int]:
+    codes: List[int] = []
+    for item in payload.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        name, star, count = item.partition("*")
+        if not star or not count.isdigit() or name not in _KIND_BY_NAME:
+            raise ValueError(
+                f"malformed trace line {line_number}: bad kinds header "
+                f"item {item!r}")
+        codes.extend([_KIND_BY_NAME[name]] * int(count))
+    return codes
+
+
 def read_ramulator(source: Union[TextIO, str]) -> BlockStream:
-    """Parse a Ramulator load trace (cycles are not represented)."""
+    """Parse a Ramulator load trace (cycles are not represented).
+
+    A ``#repro-kinds:`` header comment, when present, restores the
+    per-block kind column; it must cover exactly the access lines that
+    follow. Plain Ramulator traces import without a kind column.
+    """
     if isinstance(source, str):
         source = io.StringIO(source)
     addrs, writes = [], []
+    kinds: Optional[List[int]] = None
     for line_number, line in enumerate(source, start=1):
         line = line.strip()
+        if line.startswith(_RAMULATOR_KINDS_HEADER):
+            kinds = _decode_kind_runs(
+                line[len(_RAMULATOR_KINDS_HEADER):], line_number)
+            continue
         if not line or line.startswith("#"):
             continue
         parts = line.split()
@@ -79,9 +177,13 @@ def read_ramulator(source: Union[TextIO, str]) -> BlockStream:
         addrs.append(int(parts[0], 0))
         writes.append(parts[1].upper() == "W")
     n = len(addrs)
+    if kinds is not None and len(kinds) != n:
+        raise ValueError(
+            f"kinds header covers {len(kinds)} accesses, trace has {n}")
     return BlockStream(
         np.zeros(n, dtype=np.int64),
         np.asarray(addrs, dtype=np.uint64),
         np.asarray(writes, dtype=bool),
         np.zeros(n, dtype=np.int32),
+        None if kinds is None else np.asarray(kinds, dtype=np.int8),
     )

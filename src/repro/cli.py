@@ -26,16 +26,44 @@ from repro.core.config import npu_config
 from repro.core.metrics import compare_schemes
 from repro.core.pipeline import Pipeline
 from repro.core.sweep import METRICS as SWEEP_METRICS, SweepRunner
-from repro.models.zoo import WORKLOAD_ABBREVIATIONS, get_workload
+from repro.models.zoo import (
+    SEQ_DEFAULTS,
+    TRANSFORMER_WORKLOADS,
+    WORKLOAD_ABBREVIATIONS,
+    canonical_workload_name,
+    format_workload_spec,
+    get_workload,
+    parse_workload_spec,
+)
 from repro.protection import SCHEME_NAMES, make_scheme
 from repro.runner.store import ResultStore
 from repro.utils.report import format_table, percent
 
 
+def _apply_seq(spec: str, seq: Optional[int]) -> str:
+    """Fold a ``--seq`` flag into a workload spec (flag wins over suffix
+    only when the spec has none; a conflicting suffix is an error)."""
+    if seq is None:
+        return spec
+    base, batch, spec_seq = parse_workload_spec(spec)
+    if spec_seq is not None and spec_seq != seq:
+        raise KeyError(
+            f"--seq {seq} conflicts with workload spec {spec!r}; "
+            f"drop one of the two")
+    return format_workload_spec(canonical_workload_name(base), batch, seq)
+
+
 def _cmd_list(_: argparse.Namespace) -> int:
+    from repro.models.zoo import ALL_WORKLOADS
+
+    abbrev_of = {name: abbrev
+                 for abbrev, name in WORKLOAD_ABBREVIATIONS.items()}
     print("workloads:")
-    for abbrev, name in WORKLOAD_ABBREVIATIONS.items():
-        print(f"  {abbrev:6s} {name}")
+    for name in ALL_WORKLOADS:
+        print(f"  {abbrev_of.get(name, name):6s} {name}")
+    print("sequence-parametric (@sN):")
+    for name, default in SEQ_DEFAULTS.items():
+        print(f"  {name} (default s{default})")
     print("schemes:")
     for name in SCHEME_NAMES + ["securator", "baseline"]:
         print(f"  {name}")
@@ -45,11 +73,11 @@ def _cmd_list(_: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     npu = npu_config(args.npu)
-    topology = get_workload(args.workload)
+    topology = get_workload(_apply_seq(args.workload, args.seq))
     pipeline = Pipeline(npu)
     run = pipeline.run(topology, make_scheme(args.scheme))
     print(f"{topology.name} on {npu.name} under {args.scheme}:")
-    print(format_table(["metric", "value"], [
+    rows = [
         ["layers", len(topology)],
         ["compute cycles", f"{run.compute_cycles:.0f}"],
         ["total cycles", f"{run.total_cycles:.0f}"],
@@ -57,13 +85,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         ["data bytes", run.data_bytes],
         ["metadata bytes", run.metadata_bytes],
         ["bottlenecks", str(run.bottleneck_histogram())],
-    ]))
+    ]
+    if topology.seq is not None:
+        rows.insert(1, ["sequence length", topology.seq])
+    if topology.total_kv_bytes:
+        rows.insert(2, ["KV stream bytes", topology.total_kv_bytes])
+    print(format_table(["metric", "value"], rows))
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     npu = npu_config(args.npu)
-    topology = get_workload(args.workload)
+    topology = get_workload(_apply_seq(args.workload, args.seq))
     result = compare_schemes(Pipeline(npu), topology, args.schemes)
     rows = []
     for scheme in args.schemes:
@@ -87,15 +120,43 @@ def _make_store(args: argparse.Namespace) -> Optional[ResultStore]:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.models.zoo import WORKLOADS, parse_workload_spec
+    from repro.models.zoo import WORKLOADS
 
     def canonical_spec(spec: str) -> str:
-        base, batch = parse_workload_spec(spec)
-        base = WORKLOAD_ABBREVIATIONS.get(base, base)
-        return f"{base}@b{batch}" if batch != 1 else base
+        """One spelling per cell: abbreviations resolved, neutral
+        suffixes (``@b1``, an ``@sN`` equal to the workload's published
+        default) dropped — so ``gpt2@s128`` and ``gpt2`` share one
+        store fingerprint instead of caching twice."""
+        base, batch, seq = parse_workload_spec(spec)
+        return format_workload_spec(canonical_workload_name(base), batch, seq)
 
     workloads = [canonical_spec(w) for w in args.workloads] \
         if args.workloads else None
+    if args.seq is not None:
+        if args.seq <= 0:
+            print("error: --seq must be positive", file=sys.stderr)
+            return 2
+        # Conflict detection runs on the *raw* specs: canonical_spec
+        # strips an @sN equal to the default, which must still clash
+        # with a different --seq rather than being silently overridden.
+        selected = list(args.workloads) if args.workloads \
+            else list(TRANSFORMER_WORKLOADS)
+        no_seq_dim = [
+            w for w in selected
+            if canonical_workload_name(parse_workload_spec(w)[0])
+            not in SEQ_DEFAULTS]
+        if no_seq_dim:
+            print(f"error: --seq {args.seq} needs sequence-parametric "
+                  f"workloads; {', '.join(no_seq_dim)} have no sequence "
+                  f"dimension (pick from {', '.join(sorted(SEQ_DEFAULTS))})",
+                  file=sys.stderr)
+            return 2
+        try:
+            workloads = [canonical_spec(_apply_seq(w, args.seq))
+                         for w in selected]
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
     if args.batch != 1:
         if args.batch <= 0:
             print("error: --batch must be positive", file=sys.stderr)
@@ -107,8 +168,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                   f"spec(s) {', '.join(conflicting)}; drop one of the two",
                   file=sys.stderr)
             return 2
-        workloads = [f"{parse_workload_spec(w)[0]}@b{args.batch}"
-                     for w in (workloads or WORKLOADS)]
+
+        def with_batch_tag(spec: str) -> str:
+            base, _, seq = parse_workload_spec(spec)
+            return format_workload_spec(base, args.batch, seq)
+
+        workloads = [with_batch_tag(w) for w in (workloads or WORKLOADS)]
     store = _make_store(args)
     runner = SweepRunner(
         scheme_names=args.schemes, jobs=args.jobs, store=store,
@@ -190,7 +255,7 @@ def _cmd_cache_clear(args: argparse.Namespace) -> int:
 def _cmd_describe(args: argparse.Namespace) -> int:
     from repro.models.transforms import describe
 
-    print(describe(get_workload(args.workload)))
+    print(describe(get_workload(_apply_seq(args.workload, args.seq))))
     return 0
 
 
@@ -232,16 +297,21 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="available workloads/schemes/NPUs") \
         .set_defaults(func=_cmd_list)
 
+    seq_help = ("sequence length for sequence-parametric workloads "
+                "(same as an @sN spec suffix)")
+
     run_p = sub.add_parser("run", help="one pipeline run")
     run_p.add_argument("workload", help="workload name or abbreviation")
     run_p.add_argument("--npu", default="server", choices=["server", "edge"])
     run_p.add_argument("--scheme", default="seda")
+    run_p.add_argument("--seq", type=int, help=seq_help)
     run_p.set_defaults(func=_cmd_run)
 
     cmp_p = sub.add_parser("compare", help="all schemes on one workload")
     cmp_p.add_argument("workload")
     cmp_p.add_argument("--npu", default="server", choices=["server", "edge"])
     cmp_p.add_argument("--schemes", nargs="+", default=SCHEME_NAMES)
+    cmp_p.add_argument("--seq", type=int, help=seq_help)
     cmp_p.set_defaults(func=_cmd_compare)
 
     sweep_p = sub.add_parser(
@@ -252,6 +322,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "name@bN specs for batched variants")
     sweep_p.add_argument("--batch", type=int, default=1,
                          help="run every workload at this batch size")
+    sweep_p.add_argument("--seq", type=int,
+                         help="run the selected sequence-parametric "
+                              "workloads at this sequence length "
+                              "(default selection: the transformer set)")
     sweep_p.add_argument("--schemes", nargs="+", default=SCHEME_NAMES)
     sweep_p.add_argument("--jobs", type=int, default=1,
                          help="worker processes (1 = serial in-process)")
@@ -277,6 +351,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     desc_p = sub.add_parser("describe", help="summarize one workload")
     desc_p.add_argument("workload")
+    desc_p.add_argument("--seq", type=int, help=seq_help)
     desc_p.set_defaults(func=_cmd_describe)
 
     sub.add_parser("attack", help="run the SECA/RePA demonstrations") \

@@ -66,8 +66,10 @@ class SchemeRun:
     """Whole-model outcome for one (NPU, workload, scheme) triple.
 
     All cycle and byte totals cover the whole batch; ``batch`` carries
-    the model's batch size so per-image metrics stay derivable after the
-    trace (``model_run``) has been dropped for serialization.
+    the model's batch size and ``seq`` the sequence length of a
+    transformer workload (``None`` otherwise), so per-image metrics and
+    the cell's identity stay derivable after the trace (``model_run``)
+    has been dropped for serialization.
     """
 
     npu: NpuConfig
@@ -76,6 +78,7 @@ class SchemeRun:
     layers: List[LayerTiming]
     model_run: Optional[ModelRun] = field(repr=False, default=None)
     batch: int = 1
+    seq: Optional[int] = None
 
     @property
     def total_cycles(self) -> float:
@@ -172,7 +175,8 @@ class Pipeline:
             ))
         return SchemeRun(npu=self.npu, workload=topology.name,
                          scheme_name=scheme.name, layers=timings,
-                         model_run=run, batch=topology.batch)
+                         model_run=run, batch=topology.batch,
+                         seq=topology.seq)
 
     def dram_time(self, protection: LayerProtection) -> DramResult:
         """DRAM service of one layer's combined stream (ad-hoc probing;

@@ -17,6 +17,7 @@ pipeline converts that to GB/s at the NPU clock.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.crypto.aes import BLOCK_BYTES
@@ -76,13 +77,20 @@ class CryptoEngineModel:
         """Cycles to produce OTP material covering ``nbytes`` of data.
 
         Includes one pipeline-fill latency; steady state is throughput
-        limited.
+        limited. Throughput is honored exactly as the rational it is —
+        ``engines * lanes`` blocks of ``BLOCK_BYTES`` every cycle
+        (pipelined) or every ``latency_cycles`` (serial) — with a single
+        ceiling at the end, so a serial engine's fractional 16/11 B/cyc
+        is neither truncated to 1 (a ~45% overcharge) nor is a sub-1
+        B/cyc organization silently credited with a full byte per cycle.
         """
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
         if nbytes == 0:
             return 0
-        steady = ceil_div(nbytes, max(1, int(self.bytes_per_cycle)))
+        cycles_per_batch = 1 if self.spec.pipelined else self.spec.latency_cycles
+        bytes_per_batch = BLOCK_BYTES * self.engines * self.xor_lanes
+        steady = ceil_div(nbytes * cycles_per_batch, bytes_per_batch)
         return self.spec.latency_cycles + steady - 1
 
     def meets_bandwidth(self, demand_gbps: float, freq_ghz: float) -> bool:
@@ -108,6 +116,23 @@ def bandwidth_aware_engine(lanes: int, rounds: int = 10) -> CryptoEngineModel:
 
 
 def engines_needed(demand_gbps: float, freq_ghz: float, rounds: int = 10) -> int:
-    """How many T-AES engines a demand requires (ceil of demand/engine BW)."""
+    """How many T-AES engines a demand requires (ceil of demand/engine BW).
+
+    Computed in float without quantizing either operand (the old
+    milli-GB/s rounding under-provisioned demands sitting just above an
+    integer multiple of one engine's bandwidth), then nudged to the
+    exact boundary so float-division round-off in either direction
+    cannot change the answer. Non-positive demand needs no throughput:
+    one engine (the organization's minimum) suffices.
+    """
+    if demand_gbps <= 0:
+        return 1
     one = parallel_engines(1, rounds=rounds).bandwidth_gbps(freq_ghz)
-    return max(1, ceil_div(int(round(demand_gbps * 1000)), int(round(one * 1000))))
+    needed = max(1, math.ceil(demand_gbps / one))
+    # Epsilon-free boundary correction: division may land on either side
+    # of the true ceiling by one ulp; compare against the demand itself.
+    while needed * one < demand_gbps:
+        needed += 1
+    while needed > 1 and (needed - 1) * one >= demand_gbps:
+        needed -= 1
+    return needed

@@ -2,17 +2,22 @@
 
 Layer-shape-level model descriptions in the style of SCALE-Sim topology
 files: the accelerator simulator consumes layer shapes, not trained
-weights. :mod:`repro.models.zoo` provides all thirteen workloads evaluated
-in the paper.
+weights. :mod:`repro.models.zoo` provides the thirteen workloads
+evaluated in the paper plus the transformer scenarios (ViT-B/16,
+BERT-base, GPT-2 decode).
 """
 
 from repro.models.layer import Layer, LayerKind, conv, dwconv, gemm
 from repro.models.topology import Topology
 from repro.models.zoo import (
+    ALL_WORKLOADS,
+    SEQ_DEFAULTS,
+    TRANSFORMER_WORKLOADS,
     WORKLOADS,
     WORKLOAD_ABBREVIATIONS,
     get_workload,
     list_workloads,
+    parse_workload_spec,
 )
 
 __all__ = [
@@ -22,8 +27,12 @@ __all__ = [
     "dwconv",
     "gemm",
     "Topology",
+    "ALL_WORKLOADS",
+    "SEQ_DEFAULTS",
+    "TRANSFORMER_WORKLOADS",
     "WORKLOADS",
     "WORKLOAD_ABBREVIATIONS",
     "get_workload",
     "list_workloads",
+    "parse_workload_spec",
 ]

@@ -7,6 +7,16 @@ Each layer is reduced to the (M, K, N) GEMM the systolic array executes:
   M = OH*OW, K = FH*FW, N = C.
 - ``gemm``: fully connected / attention / MLP layers, (M, K, N) directly.
 
+Attention GEMMs whose K x N operand is *sequence state* rather than
+model parameters — the K^T matrix of a score GEMM, the V matrix of a
+context GEMM, or a decode step's KV cache — are marked ``kv=True``.
+Their operand bytes still stream from DRAM like weights do, but they
+are per-sequence data: they never count as parameters
+(:attr:`Layer.param_bytes`), they are never resident across the images
+of a batch, and the accelerator emits them as a distinct
+``AccessKind.KVCACHE`` traffic class so protection-scheme overhead on
+KV-cache streams is measured separately from weight traffic.
+
 Geometry is padding-aware: ``pad_h``/``pad_w`` rows and columns of zeros
 are applied symmetrically to each side of the input before the filter
 slides, so ``ofmap_h = (ifmap_h + 2*pad_h - filt_h) // stride_h + 1``.
@@ -60,6 +70,8 @@ class Layer:
     pad_h: int = 0
     pad_w: int = 0
     batch: int = 1
+    #: The K x N operand is per-sequence KV state, not parameters.
+    kv: bool = False
 
     def __post_init__(self) -> None:
         for field_name in ("ifmap_h", "ifmap_w", "filt_h", "filt_w",
@@ -77,6 +89,8 @@ class Layer:
         # filter larger than the *padded* extent can never produce output.
         if self.filt_h > self.padded_h or self.filt_w > self.padded_w:
             raise ValueError(f"{self.name}: filter larger than padded ifmap")
+        if self.kv and self.kind is not LayerKind.GEMM:
+            raise ValueError(f"{self.name}: kv operands only exist on gemm layers")
 
     # -- spatial input/output dimensions --
 
@@ -139,6 +153,21 @@ class Layer:
         if self.kind is LayerKind.DWCONV:
             return self.filt_h * self.filt_w * self.channels * ELEMENT_BYTES
         return self.filt_h * self.filt_w * self.channels * self.num_filters * ELEMENT_BYTES
+
+    @property
+    def param_bytes(self) -> int:
+        """Stored model parameters: zero when the operand is KV state."""
+        return 0 if self.kv else self.weight_bytes
+
+    @property
+    def kv_bytes_per_image(self) -> int:
+        """KV-cache bytes one sequence streams through this layer."""
+        return self.weight_bytes if self.kv else 0
+
+    @property
+    def kv_bytes(self) -> int:
+        """Whole-batch KV-cache footprint (each sequence owns its own)."""
+        return self.batch * self.kv_bytes_per_image
 
     @property
     def ofmap_bytes_per_image(self) -> int:
@@ -216,7 +245,12 @@ def dwconv(name: str, ifmap_h: int, ifmap_w: int, filt_h: int, filt_w: int,
                  channels, channels, stride, stride, pad_h, pad_w, batch)
 
 
-def gemm(name: str, m: int, k: int, n: int, *, batch: int = 1) -> Layer:
-    """GEMM layer constructor: ifmap is M x K, weights K x N (per image)."""
+def gemm(name: str, m: int, k: int, n: int, *, batch: int = 1,
+         kv: bool = False) -> Layer:
+    """GEMM layer constructor: ifmap is M x K, weights K x N (per image).
+
+    ``kv=True`` marks the K x N operand as per-sequence KV state (an
+    attention K^T/V matrix or a decode KV cache) instead of parameters.
+    """
     return Layer(name, LayerKind.GEMM, ifmap_h=m, ifmap_w=1, filt_h=1,
-                 filt_w=1, channels=k, num_filters=n, batch=batch)
+                 filt_w=1, channels=k, num_filters=n, batch=batch, kv=kv)

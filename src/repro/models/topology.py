@@ -3,14 +3,18 @@
 The CSV format mirrors SCALE-Sim topology files::
 
     Layer name, IFMAP Height, IFMAP Width, Filter Height, Filter Width,
-    Channels, Num Filter, Strides, Kind, Pad H, Pad W, Batch
+    Channels, Num Filter, Strides, Kind, Pad H, Pad W, Batch, KV
 
 with extra columns over the SCALE-Sim base: ``Kind`` (``conv`` /
 ``dwconv`` / ``gemm``) so depthwise and fully connected layers survive
-the round trip, and ``Pad H`` / ``Pad W`` / ``Batch`` so padded and
-batched geometry does too. The trailing columns are optional on read
-(defaulting to valid padding at batch 1), keeping plain SCALE-Sim files
-loadable.
+the round trip, ``Pad H`` / ``Pad W`` / ``Batch`` so padded and batched
+geometry does too, and ``KV`` (0/1) so attention layers whose K x N
+operand is sequence state rather than parameters keep that marking. The
+trailing columns are optional on read (defaulting to valid padding at
+batch 1 with parameter weights), keeping plain SCALE-Sim files
+loadable. The advisory ``seq`` attribute (the sequence length a
+transformer topology was built at) is naming metadata, not geometry,
+and does not round-trip through the CSV.
 """
 
 from __future__ import annotations
@@ -18,23 +22,30 @@ from __future__ import annotations
 import csv
 import io
 from dataclasses import dataclass, field
-from typing import Iterator, List
+from typing import Iterator, List, Optional
 
 from repro.models.layer import Layer, LayerKind
 
 _HEADER = [
     "Layer name", "IFMAP Height", "IFMAP Width", "Filter Height",
     "Filter Width", "Channels", "Num Filter", "Strides", "Kind",
-    "Pad H", "Pad W", "Batch",
+    "Pad H", "Pad W", "Batch", "KV",
 ]
 
 
 @dataclass
 class Topology:
-    """A named, ordered stack of layers."""
+    """A named, ordered stack of layers.
+
+    ``seq`` records the sequence length a transformer workload was built
+    at (``None`` for workloads without a sequence dimension); it travels
+    with the topology so runner fingerprints and serialized results can
+    name the variant without re-deriving it from layer shapes.
+    """
 
     name: str
     layers: List[Layer] = field(default_factory=list)
+    seq: Optional[int] = None
 
     def __post_init__(self) -> None:
         names = [layer.name for layer in self.layers]
@@ -60,6 +71,16 @@ class Topology:
         return sum(layer.weight_bytes for layer in self.layers)
 
     @property
+    def total_param_bytes(self) -> int:
+        """Stored model parameters — KV-state operands excluded."""
+        return sum(layer.param_bytes for layer in self.layers)
+
+    @property
+    def total_kv_bytes(self) -> int:
+        """Whole-batch KV-cache bytes streamed by attention layers."""
+        return sum(layer.kv_bytes for layer in self.layers)
+
+    @property
     def batch(self) -> int:
         """The model's batch size (the largest per-layer batch)."""
         return max((layer.batch for layer in self.layers), default=1)
@@ -80,7 +101,7 @@ class Topology:
                 layer.name, layer.ifmap_h, layer.ifmap_w, layer.filt_h,
                 layer.filt_w, layer.channels, layer.num_filters,
                 layer.stride_h, layer.kind.value,
-                layer.pad_h, layer.pad_w, layer.batch,
+                layer.pad_h, layer.pad_w, layer.batch, int(layer.kv),
             ])
         return buffer.getvalue()
 
@@ -112,9 +133,11 @@ class Topology:
                 channels=int(row[5]), num_filters=int(row[6]),
                 stride_h=stride, stride_w=stride,
                 pad_h=opt(9, 0), pad_w=opt(10, 0), batch=opt(11, 1),
+                kv=bool(opt(12, 0)),
             ))
         return cls(name=name, layers=layers)
 
     def subset(self, count: int) -> "Topology":
         """First ``count`` layers, for scaled-down tests."""
-        return Topology(name=f"{self.name}_first{count}", layers=self.layers[:count])
+        return Topology(name=f"{self.name}_first{count}",
+                        layers=self.layers[:count], seq=self.seq)

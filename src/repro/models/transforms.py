@@ -28,7 +28,7 @@ def with_batch(topology: Topology, batch: int) -> Topology:
         raise ValueError("batch must be positive")
     layers = [replace(layer, batch=layer.batch * batch)
               for layer in topology]
-    return Topology(f"{topology.name}_b{batch}", layers)
+    return Topology(f"{topology.name}_b{batch}", layers, seq=topology.seq)
 
 
 def filter_layers(topology: Topology,
@@ -38,17 +38,21 @@ def filter_layers(topology: Topology,
     kept = [layer for layer in topology if predicate(layer)]
     if not kept:
         raise ValueError("predicate removed every layer")
-    return Topology(f"{topology.name}_{name_suffix}", kept)
+    return Topology(f"{topology.name}_{name_suffix}", kept, seq=topology.seq)
 
 
 def describe(topology: Topology) -> str:
     """Multi-line human-readable summary of a topology."""
-    lines = [
+    head = (
         f"{topology.name}: {len(topology)} layers, batch {topology.batch}, "
         f"{topology.total_macs / 1e9:.3f} GMACs, "
-        f"{topology.total_weight_bytes / 1e6:.2f} MB weights, "
-        f"max activation {topology.max_activation_bytes / 1e6:.2f} MB",
-    ]
+        f"{topology.total_param_bytes / 1e6:.2f} MB params, "
+        f"max activation {topology.max_activation_bytes / 1e6:.2f} MB")
+    if topology.seq is not None:
+        head += f", seq {topology.seq}"
+    if topology.total_kv_bytes:
+        head += f", KV stream {topology.total_kv_bytes / 1e6:.2f} MB"
+    lines = [head]
     kind_counts: dict = {}
     for layer in topology:
         kind_counts[layer.kind.value] = kind_counts.get(layer.kind.value, 0) + 1

@@ -1,9 +1,19 @@
-"""The thirteen paper workloads (Section IV-A, Benchmarks).
+"""The thirteen paper workloads (Section IV-A) plus transformer scenarios.
 
-Lenet (let), Alexnet (alex), Mobilenet (mob), ResNet18 (rest), GoogleNet
-(goo), DLRM (dlrm), AlphaGoZero (algo), DeepSpeech2 (ds2), FasterRCNN
-(fast), NCF_recommendation (ncf), Sentimental_seqCNN (sent),
-Transformer_fwd (trf), Yolo_tiny (yolo).
+Paper benchmarks: Lenet (let), Alexnet (alex), Mobilenet (mob),
+ResNet18 (rest), GoogleNet (goo), DLRM (dlrm), AlphaGoZero (algo),
+DeepSpeech2 (ds2), FasterRCNN (fast), NCF_recommendation (ncf),
+Sentimental_seqCNN (sent), Transformer_fwd (trf), Yolo_tiny (yolo).
+
+Transformer scenarios beyond the paper's CNN-era set: ViT-B/16 (vit),
+BERT-base (bert) and GPT-2-124M autoregressive decode (gpt2). These are
+sequence-parametric — ``@sN`` picks the token count (encoders) or the
+KV-cache/context length (decode) — and their attention score/context
+GEMMs carry ``kv=True`` operands so K^T/V streams are accounted as
+KV-cache traffic, not parameters. GPT-2 models ONE decode step: every
+GEMM has M=1, and the per-step K/V cache reads (T x d_model bytes per
+attention GEMM per layer) dominate — the memory-bound regime where
+protection metadata overhead hurts most.
 
 Shapes follow the public SCALE-Sim topology collection / original model
 papers at batch 1 and 1-byte elements (Table II precision). Same-padded
@@ -13,14 +23,14 @@ synthesized on chip, so they contribute to output geometry but never to
 DRAM footprints. FasterRCNN is represented by its VGG-16 backbone over a
 300x300 input — the component that dominates accelerator time.
 
-``get_workload`` accepts an optional ``@bN`` suffix (e.g.
-``resnet18@b4``) that scales the workload to batch ``N`` via
-:func:`repro.models.transforms.with_batch`.
+``get_workload`` accepts ``@bN`` (batch) and — for sequence-parametric
+workloads — ``@sN`` (sequence length) suffixes in either order, e.g.
+``gpt2@s128``, ``bert@s384@b2``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.models.layer import Layer, conv, dwconv, gemm
 from repro.models.topology import Topology
@@ -41,6 +51,8 @@ WORKLOAD_ABBREVIATIONS: Dict[str, str] = {
     "sent": "sentimental",
     "trf": "transformer_fwd",
     "yolo": "yolo_tiny",
+    "vit": "vit_b16",
+    "bert": "bert_base",
 }
 
 
@@ -257,24 +269,103 @@ def _sentimental() -> Topology:
     ])
 
 
-def _transformer_fwd() -> Topology:
-    """Transformer encoder forward pass: 6 layers, d=512, ff=2048, T=256."""
-    seq = 256
-    d_model = 512
-    d_ff = 2048
-    layers: List[Layer] = []
-    for i in range(1, 7):
+def _seq_name(base: str, seq: int, default: int) -> str:
+    """Topology name for a sequence-parametric workload (suffix only when
+    the length differs from the published default, mirroring ``@bN``)."""
+    return base if seq == default else f"{base}_s{seq}"
+
+
+def _encoder_stack(layers: List[Layer], num_layers: int, seq: int,
+                   d_model: int, d_ff: int, *, fused_qkv: bool) -> None:
+    """Append ``num_layers`` standard encoder blocks as GEMMs.
+
+    The score GEMM (M=seq, K=d_model, N=seq) and context GEMM (M=seq,
+    K=seq, N=d_model) fold all heads into one GEMM — MAC counts and
+    operand footprints match the per-head view exactly — and carry
+    ``kv=True``: their K x N operands are the K^T and V matrices
+    (seq x d_model bytes each), sequence state rather than parameters.
+    """
+    for i in range(1, num_layers + 1):
+        if fused_qkv:
+            layers.append(gemm(f"l{i}_qkv", seq, d_model, 3 * d_model))
+        else:
+            layers += [
+                gemm(f"l{i}_q", seq, d_model, d_model),
+                gemm(f"l{i}_k", seq, d_model, d_model),
+                gemm(f"l{i}_v", seq, d_model, d_model),
+            ]
         layers += [
-            gemm(f"l{i}_q", seq, d_model, d_model),
-            gemm(f"l{i}_k", seq, d_model, d_model),
-            gemm(f"l{i}_v", seq, d_model, d_model),
-            gemm(f"l{i}_scores", seq, d_model, seq),
-            gemm(f"l{i}_ctx", seq, seq, d_model),
+            gemm(f"l{i}_scores", seq, d_model, seq, kv=True),
+            gemm(f"l{i}_ctx", seq, seq, d_model, kv=True),
             gemm(f"l{i}_proj", seq, d_model, d_model),
             gemm(f"l{i}_ff1", seq, d_model, d_ff),
             gemm(f"l{i}_ff2", seq, d_ff, d_model),
         ]
-    return Topology("transformer_fwd", layers)
+
+
+def _transformer_fwd(seq: int = 256) -> Topology:
+    """Transformer encoder forward pass: 6 layers, d=512, ff=2048, T=256."""
+    layers: List[Layer] = []
+    _encoder_stack(layers, 6, seq, d_model=512, d_ff=2048, fused_qkv=False)
+    return Topology(_seq_name("transformer_fwd", seq, 256), layers, seq=seq)
+
+
+def _vit_b16(seq: int = 197) -> Topology:
+    """ViT-B/16 at 224x224: 16x16 patch embedding (a stride-16 conv),
+    12 encoder layers at d=768/ff=3072, and the classification head.
+
+    The default token count is 196 patches + 1 CLS = 197; ``@sN``
+    overrides the encoder token count (the patch conv keeps its
+    published 224x224 geometry). GEMM parameters total ~86.3 MB of the
+    published 86.6 M parameters (position embeddings and layer norms are
+    not GEMM operands).
+    """
+    layers: List[Layer] = [
+        conv("patch_embed", 224, 224, 16, 16, 3, 768, stride=16),
+    ]
+    _encoder_stack(layers, 12, seq, d_model=768, d_ff=3072, fused_qkv=True)
+    layers.append(gemm("head", 1, 768, 1000))
+    return Topology(_seq_name("vit_b16", seq, 197), layers, seq=seq)
+
+
+def _bert_base(seq: int = 128) -> Topology:
+    """BERT-base encoder: 12 layers, d=768, ff=3072, default T=128.
+
+    GEMM parameters cover the encoder stack + pooler (~85.5 MB) of the
+    published 110 M parameters — the 23.8 M embedding-table parameters
+    are lookups, not GEMM operands, and never stream through the array.
+    """
+    layers: List[Layer] = []
+    _encoder_stack(layers, 12, seq, d_model=768, d_ff=3072, fused_qkv=True)
+    layers.append(gemm("pooler", 1, 768, 768))
+    return Topology(_seq_name("bert_base", seq, 128), layers, seq=seq)
+
+
+def _gpt2(seq: int = 128) -> Topology:
+    """GPT-2-124M, ONE autoregressive decode step at context length T.
+
+    Every GEMM has M=1 (the single new token). Per layer, the attention
+    score GEMM reads the K cache (T x 768 bytes) and the context GEMM
+    reads the V cache (T x 768 bytes) — per-step KV-cache streams marked
+    ``kv=True``, the arithmetic-intensity regime (O(1) MACs per KV byte)
+    where memory-protection overhead is at its worst. The ``lm_head``
+    (768 x 50257, weight-tied with the token embedding) closes the step.
+    GEMM parameters total ~123.5 MB of the published 124.4 M (position
+    embeddings and layer norms are not GEMM operands).
+    """
+    d_model, d_ff, vocab = 768, 3072, 50257
+    layers: List[Layer] = []
+    for i in range(1, 13):
+        layers += [
+            gemm(f"l{i}_qkv", 1, d_model, 3 * d_model),
+            gemm(f"l{i}_attn", 1, d_model, seq, kv=True),
+            gemm(f"l{i}_ctx", 1, seq, d_model, kv=True),
+            gemm(f"l{i}_proj", 1, d_model, d_model),
+            gemm(f"l{i}_ff1", 1, d_model, d_ff),
+            gemm(f"l{i}_ff2", 1, d_ff, d_model),
+        ]
+    layers.append(gemm("lm_head", 1, d_model, vocab))
+    return Topology(_seq_name("gpt2", seq, 128), layers, seq=seq)
 
 
 def _yolo_tiny() -> Topology:
@@ -308,48 +399,112 @@ _BUILDERS = {
     "sentimental": _sentimental,
     "transformer_fwd": _transformer_fwd,
     "yolo_tiny": _yolo_tiny,
+    "vit_b16": _vit_b16,
+    "bert_base": _bert_base,
+    "gpt2": _gpt2,
 }
 
-#: Canonical workload order used on every figure's x-axis.
-WORKLOADS = list(_BUILDERS)
+#: Sequence-parametric workloads -> published default sequence length
+#: (``@sN`` is only meaningful for these).
+SEQ_DEFAULTS: Dict[str, int] = {
+    "transformer_fwd": 256,
+    "vit_b16": 197,
+    "bert_base": 128,
+    "gpt2": 128,
+}
+
+#: The post-paper transformer scenarios (sequence-parametric).
+TRANSFORMER_WORKLOADS = ["vit_b16", "bert_base", "gpt2"]
+
+#: Canonical paper-figure x-axis order (the 13 Section IV-A benchmarks).
+WORKLOADS = [name for name in _BUILDERS
+             if name not in TRANSFORMER_WORKLOADS]
+
+#: Everything :func:`get_workload` knows, figure order first.
+ALL_WORKLOADS = WORKLOADS + TRANSFORMER_WORKLOADS
 
 
-def parse_workload_spec(spec: str) -> Tuple[str, int]:
-    """Split ``name[@bN]`` into ``(name, batch)``.
+def parse_workload_spec(spec: str) -> Tuple[str, int, Optional[int]]:
+    """Split ``name[@bN][@sN]`` into ``(name, batch, seq)``.
 
-    The suffix is how batched variants are addressed everywhere a
-    workload travels as a string (CLI, eval-service fingerprints,
-    process-pool payloads): ``resnet18@b4`` is ResNet-18 at batch 4.
+    The suffixes are how variants are addressed everywhere a workload
+    travels as a string (CLI, eval-service fingerprints, process-pool
+    payloads): ``resnet18@b4`` is ResNet-18 at batch 4, ``gpt2@s256`` is
+    a GPT-2 decode step over a 256-token KV cache, ``bert@s384@b2``
+    combines both (order-insensitive). ``seq`` is ``None`` when no
+    ``@sN`` suffix is given (the workload's published default applies).
     """
-    base, sep, suffix = spec.partition("@")
-    if not sep:
-        return spec, 1
-    if not suffix.startswith("b") or not suffix[1:].isdigit():
-        raise KeyError(f"bad workload spec {spec!r}; expected name@b<N>")
-    batch = int(suffix[1:])
-    if batch <= 0:
-        raise KeyError(f"bad workload spec {spec!r}; batch must be positive")
-    return base, batch
+    parts = spec.split("@")
+    base, batch, seq = parts[0], 1, None
+    seen = set()
+    for part in parts[1:]:
+        tag, digits = part[:1], part[1:]
+        if tag not in ("b", "s") or not digits.isdigit() or tag in seen:
+            raise KeyError(
+                f"bad workload spec {spec!r}; expected name[@b<N>][@s<N>]")
+        seen.add(tag)
+        value = int(digits)
+        if value <= 0:
+            raise KeyError(
+                f"bad workload spec {spec!r}; @{tag} value must be positive")
+        if tag == "b":
+            batch = value
+        else:
+            seq = value
+    return base, batch, seq
+
+
+def canonical_workload_name(base: str) -> str:
+    """Resolve an abbreviation to the canonical workload name."""
+    return WORKLOAD_ABBREVIATIONS.get(base, base)
+
+
+def format_workload_spec(base: str, batch: int = 1,
+                         seq: Optional[int] = None) -> str:
+    """Inverse of :func:`parse_workload_spec`, in canonical suffix order.
+
+    Neutral values are dropped (``batch == 1``, ``seq is None``, or a
+    ``seq`` equal to the workload's published default), so every cell
+    has exactly one spelling — the property result-store fingerprints
+    rely on.
+    """
+    out = base
+    if seq is not None and seq != SEQ_DEFAULTS.get(base):
+        out += f"@s{seq}"
+    if batch != 1:
+        out += f"@b{batch}"
+    return out
 
 
 def get_workload(name: str) -> Topology:
     """Fetch a workload by canonical name or paper abbreviation.
 
-    An ``@bN`` suffix returns the batch-``N`` variant (named
-    ``<workload>_bN``).
+    ``@bN`` returns the batch-``N`` variant (named ``<workload>_bN``);
+    ``@sN`` sets the sequence length of a sequence-parametric workload
+    (named ``<workload>_sN`` when it differs from the default).
+    Sequence is applied before batch, so ``gpt2@s256@b4`` is
+    ``gpt2_s256_b4``.
     """
-    base, batch = parse_workload_spec(name)
-    canonical = WORKLOAD_ABBREVIATIONS.get(base, base)
+    base, batch, seq = parse_workload_spec(name)
+    canonical = canonical_workload_name(base)
     try:
-        topology = _BUILDERS[canonical]()
+        builder = _BUILDERS[canonical]
     except KeyError:
         raise KeyError(
             f"unknown workload {name!r}; known: {sorted(_BUILDERS)}"
         ) from None
+    if canonical in SEQ_DEFAULTS:
+        topology = builder(seq if seq is not None else SEQ_DEFAULTS[canonical])
+    elif seq is not None:
+        raise KeyError(
+            f"workload {base!r} has no sequence dimension; @s<N> applies "
+            f"only to {sorted(SEQ_DEFAULTS)}")
+    else:
+        topology = builder()
     if batch != 1:
         topology = with_batch(topology, batch)
     return topology
 
 
 def list_workloads() -> List[str]:
-    return list(WORKLOADS)
+    return list(ALL_WORKLOADS)

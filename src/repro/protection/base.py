@@ -9,7 +9,12 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.accel.simulator import LayerResult, ModelRun
-from repro.accel.trace import BlockStream, empty_block_stream
+from repro.accel.trace import (
+    AccessKind,
+    BlockStream,
+    empty_block_stream,
+    kind_code,
+)
 from repro.crypto.engine import CryptoEngineModel
 from repro.protection.metadata_model import CacheTrafficResult
 
@@ -19,12 +24,15 @@ def empty_stream() -> BlockStream:
 
 
 def stream_from_lists(cycles: List[int], addrs: List[int], writes: List[bool],
-                      layer_id: int) -> BlockStream:
+                      layer_id: int,
+                      kind: Optional[AccessKind] = None) -> BlockStream:
     """Build a stream from parallel Python lists.
 
     Retained for tests and ad-hoc construction; the pipeline's hot paths
     build streams columnar (:meth:`CacheTrafficResult.to_stream`,
     :func:`repro.accel.trace.expand_ranges`) without list round-trips.
+    ``kind`` stamps every block with one access kind; ``None`` leaves
+    the stream without a kind column.
     """
     n = len(addrs)
     if len(cycles) != n or len(writes) != n:
@@ -34,6 +42,7 @@ def stream_from_lists(cycles: List[int], addrs: List[int], writes: List[bool],
         np.asarray(addrs, dtype=np.uint64),
         np.asarray(writes, dtype=bool),
         np.full(n, layer_id, dtype=np.int32),
+        None if kind is None else np.full(n, kind_code(kind), dtype=np.int8),
     )
 
 

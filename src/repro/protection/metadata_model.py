@@ -35,6 +35,7 @@ from repro.accel.trace import (
     Trace,
     TraceRange,
     expand_ranges,
+    kind_code,
 )
 from repro.integrity.caches import MetadataCache
 from repro.protection.layout import (
@@ -111,6 +112,7 @@ class CacheTrafficResult:
             np.array(self.stream_addrs, dtype=np.int64).astype(np.uint64),
             np.array(self.stream_writes, dtype=bool),
             np.full(n, layer_id, dtype=np.int32),
+            np.full(n, kind_code(AccessKind.METADATA), dtype=np.int8),
         )
 
 
@@ -465,10 +467,12 @@ def expanded_data_stream(trace: Trace, unit_bytes: int) -> Tuple[BlockStream, in
         cand_nbytes[0::2] = addrs - head_base
         cand_nbytes[1::2] = tail
         mask = cand_nbytes > 0
+        kept = int(mask.sum())
         extra = expand_ranges(
             np.repeat(cycles, 2)[mask], cand_addr[mask], cand_nbytes[mask],
-            np.zeros(int(mask.sum()), dtype=bool),
-            np.repeat(layer_ids, 2)[mask], np.repeat(durations, 2)[mask])
+            np.zeros(kept, dtype=bool),
+            np.repeat(layer_ids, 2)[mask], np.repeat(durations, 2)[mask],
+            np.full(kept, kind_code(AccessKind.METADATA), dtype=np.int8))
         combined = BlockStream.concat([base, extra]).sorted_by_cycle()
         return combined, len(extra)
 

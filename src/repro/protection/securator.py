@@ -28,7 +28,7 @@ from typing import Dict
 import numpy as np
 
 from repro.accel.simulator import LayerResult, ModelRun
-from repro.accel.trace import BLOCK_BYTES, BlockStream
+from repro.accel.trace import AccessKind, BLOCK_BYTES, BlockStream, kind_code
 from repro.crypto.engine import CryptoEngineModel, parallel_engines
 from repro.protection.base import (
     LayerProtection,
@@ -75,6 +75,7 @@ class SecuratorScheme(ProtectionScheme):
                 np.array([line, line + BLOCK_BYTES], dtype=np.uint64),
                 np.array([False, True]),
                 np.full(2, result.layer_id, dtype=np.int32),
+                np.full(2, kind_code(AccessKind.METADATA), dtype=np.int8),
             )
         else:
             metadata = empty_stream()

@@ -27,7 +27,12 @@ from repro.core.pipeline import LayerTiming, SchemeRun
 #: v2: padding-aware batch-first layer geometry — results computed under
 #: the old valid-only conv math (and its inflated ifmap footprints) must
 #: be demoted, not served; scheme runs additionally carry ``batch``.
-SCHEMA_VERSION = 2
+#: v3: transformer/KV-cache scenarios — attention operands became a
+#: distinct KV traffic class with its own address region (traces and
+#: traffic for attention workloads moved) and the serial/fractional
+#: crypto-engine cycle math was fixed, so v2 results must be demoted,
+#: not served; scheme runs additionally carry ``seq``.
+SCHEMA_VERSION = 3
 
 
 class RecordError(ValueError):
@@ -107,6 +112,7 @@ def scheme_run_to_dict(run: SchemeRun) -> Dict[str, Any]:
         "workload": run.workload,
         "scheme_name": run.scheme_name,
         "batch": run.batch,
+        "seq": run.seq,
         "layers": [layer_timing_to_dict(t) for t in run.layers],
     }
 
@@ -120,6 +126,7 @@ def scheme_run_from_dict(data: Dict[str, Any]) -> SchemeRun:
             layers=[layer_timing_from_dict(t) for t in data["layers"]],
             model_run=None,
             batch=data.get("batch", 1),
+            seq=data.get("seq"),
         )
     except KeyError as exc:
         raise RecordError(f"bad scheme-run record: missing {exc}") from None

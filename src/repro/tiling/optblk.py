@@ -48,9 +48,15 @@ def _tile_span_bytes(plan: TilingPlan, layer: Layer) -> int:
     """Contiguous bytes one ifmap tile occupies in the row-major tensor.
 
     Row-banded tiles cover whole rows, so the span equals the tile's
-    input-row count times the row pitch.
+    input-row count times the row pitch. K-tiled GEMM plans stream
+    (Tm x Tk) slivers, but authentication blocks must align to what the
+    tile walk *revisits* — the full Tm x K band (tall-skinny tiles
+    included) — so the span is the M-tile's whole row extent, not the
+    K sliver.
     """
     row_bytes = layer.ifmap_w * layer.channels * ELEMENT_BYTES
+    if plan.is_k_tiled:
+        return plan.tile_out_rows * row_bytes
     rows = plan.ifmap_tile_bytes // max(1, row_bytes)
     return max(row_bytes, rows * row_bytes)
 
@@ -82,7 +88,11 @@ def search_optblk(layer: Layer, plan: TilingPlan,
     if not candidates:
         raise ValueError("candidates must be non-empty")
     tile_bytes = _tile_span_bytes(plan, layer)
-    tensor_bytes = layer.ifmap_bytes  # whole-batch footprint
+    # Whole-batch verified footprint: the ifmap plus, for attention
+    # layers, the per-sequence KV stream (K^T/V operands are data that
+    # must be authenticated exactly like the ifmap; they stream
+    # sequentially, so they add blocks but no straddle boundaries).
+    tensor_bytes = layer.ifmap_bytes + layer.kv_bytes
     boundaries = max(0, plan.num_m_tiles - 1) * layer.batch
 
     best = None

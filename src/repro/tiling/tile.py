@@ -185,7 +185,9 @@ def _banded_plan(layer: Layer, budget: SramBudget) -> Optional[TilingPlan]:
     # batch; weights stay resident across images only when the whole
     # weight tensor fits its partition at once (num_n_tiles == 1 —
     # streamed filter groups evict each other and must reload per image).
-    if num_n_tiles == 1:
+    # KV-state operands are per-sequence data: every image streams its
+    # own slab, so they can never be resident across the batch.
+    if num_n_tiles == 1 and not layer.kv:
         total_weight_passes = 1
     else:
         total_weight_passes = weight_passes * layer.batch
@@ -226,6 +228,11 @@ def _k_tiled_plan(layer: Layer, budget: SramBudget) -> Optional[TilingPlan]:
     while tm < m:
         candidates.add(min(m, tm))
         tm *= 4
+    # Tall-skinny GEMMs (small M, huge N — a decode step against a
+    # vocabulary projection) need no special candidate here: slicing K
+    # moves no extra bytes (the cost key below is traffic), and the
+    # whole-K schedule such layers actually want is the banded plan,
+    # which wins the plan_tiling comparison on traffic for them.
     for tile_m in sorted(candidates):
         tile_n = min(n, max(1, ofmap_cap // tile_m))
         tile_k = min(k,

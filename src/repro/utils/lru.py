@@ -18,12 +18,22 @@ from typing import Hashable, List, Optional, Tuple
 
 @dataclass
 class CacheStats:
-    """Aggregate access statistics for one :class:`LruCache`."""
+    """Aggregate access statistics for one :class:`LruCache`.
+
+    ``evictions``/``dirty_evictions`` count *capacity* behaviour only —
+    lines pushed out by allocation pressure. End-of-model teardown is
+    reported separately (``flushed_lines``/``flush_writebacks``) so a
+    cache's eviction rate stays interpretable: a model that never
+    overflows the cache shows zero evictions even though its flush
+    drains every line.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     dirty_evictions: int = 0
+    flushed_lines: int = 0
+    flush_writebacks: int = 0
 
     @property
     def accesses(self) -> int:
@@ -49,6 +59,8 @@ class CacheStats:
         self.misses = 0
         self.evictions = 0
         self.dirty_evictions = 0
+        self.flushed_lines = 0
+        self.flush_writebacks = 0
 
 
 class LruCache:
@@ -116,9 +128,14 @@ class LruCache:
         return tag in self._lines
 
     def flush(self) -> List[Hashable]:
-        """Evict everything; return tags of dirty lines (writebacks)."""
+        """Drain everything; return tags of dirty lines (writebacks).
+
+        Teardown is counted in ``flushed_lines``/``flush_writebacks``,
+        never in ``evictions``/``dirty_evictions`` — flushing a model's
+        residual state is not capacity pressure.
+        """
         dirty = [tag for tag, d in self._lines.items() if d]
-        self.stats.evictions += len(self._lines)
-        self.stats.dirty_evictions += len(dirty)
+        self.stats.flushed_lines += len(self._lines)
+        self.stats.flush_writebacks += len(dirty)
         self._lines.clear()
         return dirty

@@ -83,3 +83,72 @@ class TestEnginesNeeded:
 
     def test_exact_fit(self):
         assert engines_needed(16.0, 1.0) == 1
+
+
+class TestFractionalThroughputExact:
+    """cycles_for_bytes honors fractional B/cyc exactly (no truncation
+    to 1 B/cyc, no silent overcredit of sub-1 B/cyc organizations)."""
+
+    def test_serial_engine_exact_rational(self):
+        # 16 B / 11 cyc: 176 bytes = exactly 121 steady cycles + fill,
+        # not ceil(176 / int(1.45)=1) = 176 + fill.
+        engine = serial_engine()
+        assert engine.cycles_for_bytes(16 * 11) == 121 + 11 - 1
+
+    def test_serial_engine_rounds_partial_byte_up(self):
+        engine = serial_engine()
+        # One extra byte past a whole number of blocks: a single ceil on
+        # the exact 16/11 B/cyc rate (ceil(177 * 11 / 16) = 122), never
+        # a truncated-throughput blowup.
+        assert engine.cycles_for_bytes(16 * 11 + 1) == 122 + 11 - 1
+
+    def test_serial_single_block(self):
+        assert serial_engine().cycles_for_bytes(16) == 11 + 11 - 1
+
+    def test_sub_byte_per_cycle_not_overcredited(self):
+        # rounds=31 -> 16/32 = 0.5 B/cyc; 16 bytes must take 32 steady
+        # cycles, not 16.
+        engine = serial_engine(rounds=31)
+        assert engine.spec.bytes_per_cycle == pytest.approx(0.5)
+        assert engine.cycles_for_bytes(16) == 32 + 32 - 1
+
+    def test_matches_bytes_per_cycle_asymptotically(self):
+        """Steady-state rate converges to the advertised bytes_per_cycle."""
+        for engine in (serial_engine(), parallel_engines(3),
+                       bandwidth_aware_engine(5)):
+            nbytes = 1 << 20
+            cycles = engine.cycles_for_bytes(nbytes)
+            rate = nbytes / (cycles - engine.spec.latency_cycles + 1)
+            assert rate == pytest.approx(engine.bytes_per_cycle, rel=1e-4)
+
+    def test_pipelined_unchanged(self):
+        assert parallel_engines(1).cycles_for_bytes(16 * 1000) == 11 + 999
+
+
+class TestEnginesNeededBoundaries:
+    def test_just_above_integer_multiple_provisions_extra_engine(self):
+        # One engine at 1 GHz sustains 16 GB/s; 16.0001 GB/s needs two.
+        # (The old milli-GB/s rounding quantized 16.0001 -> 16000 milli
+        # and under-provisioned to one.)
+        assert engines_needed(16.0001, 1.0) == 2
+        assert engines_needed(32.00001, 1.0) == 3
+
+    def test_just_below_integer_multiple(self):
+        assert engines_needed(15.9999, 1.0) == 1
+        assert engines_needed(31.9999, 1.0) == 2
+
+    def test_exact_multiples_all_sizes(self):
+        one = parallel_engines(1).bandwidth_gbps(1.0)
+        for n in range(1, 20):
+            assert engines_needed(n * one, 1.0) == n
+
+    def test_non_positive_demand_needs_one_engine(self):
+        assert engines_needed(0.0, 1.0) == 1
+        assert engines_needed(-3.5, 1.0) == 1
+
+    def test_fractional_frequency_boundary(self):
+        # 16 B/cyc at 2.75 GHz = 44 GB/s per engine.
+        one = parallel_engines(1).bandwidth_gbps(2.75)
+        assert one == pytest.approx(44.0)
+        assert engines_needed(44.0, 2.75) == 1
+        assert engines_needed(44.0000001, 2.75) == 2

@@ -160,5 +160,7 @@ class TestStaleGeometryRecordsDemoted:
         assert stats["misses"] == 1
         assert stats["evictions"] == 1
         # The overwritten record now carries the current schema.
+        from repro.runner.records import SCHEMA_VERSION
+
         fresh = ResultStore(tmp_path).get(key)
-        assert fresh["schema_version"] == 2
+        assert fresh["schema_version"] == SCHEMA_VERSION

@@ -1,0 +1,44 @@
+"""Regenerate ``golden_geometry.json`` from the current zoo.
+
+Run deliberately, review the diff, and commit both together::
+
+    PYTHONPATH=src python tests/models/regen_golden_geometry.py
+
+The frozen file exists to catch *unintended* geometry drift, so a regen
+must always be an explicit decision: the independent published-total
+assertions in ``test_geometry_golden.py`` stay hand-written and will
+flag a zoo bug even if this file is regenerated along with it.
+"""
+
+import json
+import os
+
+from repro.models.zoo import ALL_WORKLOADS, get_workload
+
+_GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_geometry.json")
+
+
+def layer_record(layer) -> dict:
+    return {
+        "name": layer.name, "ofmap_h": layer.ofmap_h,
+        "ofmap_w": layer.ofmap_w, "gemm_m": layer.gemm_m,
+        "gemm_k": layer.gemm_k, "gemm_n": layer.gemm_n,
+        "macs": layer.macs, "ifmap_bytes": layer.ifmap_bytes,
+        "weight_bytes": layer.weight_bytes,
+        "ofmap_bytes": layer.ofmap_bytes,
+    }
+
+
+def main() -> None:
+    golden = {
+        workload: [layer_record(layer) for layer in get_workload(workload)]
+        for workload in ALL_WORKLOADS
+    }
+    with open(_GOLDEN_PATH, "w") as handle:
+        json.dump(golden, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {_GOLDEN_PATH} ({len(golden)} workloads)")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,7 +15,7 @@ import os
 
 import pytest
 
-from repro.models.zoo import WORKLOADS, get_workload
+from repro.models.zoo import ALL_WORKLOADS, get_workload
 
 _GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_geometry.json")
 
@@ -104,7 +104,139 @@ class TestPublishedTotals:
                        for l in get_workload(name)), name
 
 
-@pytest.mark.parametrize("workload", WORKLOADS)
+# Hand-written per-layer (M, K, N) GEMM tables for one encoder block of
+# each transformer workload, straight from the published architectures.
+_VIT_BLOCK1_GEMMS = [
+    ("l1_qkv", 197, 768, 2304),
+    ("l1_scores", 197, 768, 197),
+    ("l1_ctx", 197, 197, 768),
+    ("l1_proj", 197, 768, 768),
+    ("l1_ff1", 197, 768, 3072),
+    ("l1_ff2", 197, 3072, 768),
+]
+
+_BERT_BLOCK1_GEMMS = [
+    ("l1_qkv", 128, 768, 2304),
+    ("l1_scores", 128, 768, 128),
+    ("l1_ctx", 128, 128, 768),
+    ("l1_proj", 128, 768, 768),
+    ("l1_ff1", 128, 768, 3072),
+    ("l1_ff2", 128, 3072, 768),
+]
+
+_GPT2_BLOCK1_GEMMS = [
+    ("l1_qkv", 1, 768, 2304),
+    ("l1_attn", 1, 768, 128),
+    ("l1_ctx", 1, 128, 768),
+    ("l1_proj", 1, 768, 768),
+    ("l1_ff1", 1, 768, 3072),
+    ("l1_ff2", 1, 3072, 768),
+]
+
+
+class TestTransformerShapeTables:
+    @pytest.mark.parametrize("workload,table", [
+        ("vit_b16", _VIT_BLOCK1_GEMMS),
+        ("bert_base", _BERT_BLOCK1_GEMMS),
+        ("gpt2", _GPT2_BLOCK1_GEMMS),
+    ])
+    def test_first_block_gemm_view(self, workload, table):
+        topo = get_workload(workload)
+        by_name = {l.name: l for l in topo}
+        for name, m, k, n in table:
+            layer = by_name[name]
+            assert (layer.gemm_m, layer.gemm_k, layer.gemm_n) == (m, k, n), name
+
+    def test_vit_patch_embedding_is_a_stride16_conv(self):
+        patch = get_workload("vit_b16")[0]
+        assert (patch.ofmap_h, patch.ofmap_w) == (14, 14)  # 196 patches
+        assert (patch.gemm_m, patch.gemm_k, patch.gemm_n) == (196, 768, 768)
+
+    def test_attention_operands_are_kv_not_params(self):
+        for workload in ("vit_b16", "bert_base", "gpt2", "transformer_fwd"):
+            topo = get_workload(workload)
+            kv_layers = [l for l in topo if l.kv]
+            assert len(kv_layers) == 2 * sum(
+                1 for l in topo if l.name.endswith("_ctx")), workload
+            for layer in kv_layers:
+                assert layer.param_bytes == 0
+                assert layer.kv_bytes_per_image == layer.weight_bytes
+
+    def test_gpt2_decode_is_m1_with_seq_sized_kv(self):
+        topo = get_workload("gpt2@s256")
+        gemms = [l for l in topo]
+        assert all(l.gemm_m == 1 for l in gemms)
+        attn = next(l for l in gemms if l.name == "l1_attn")
+        ctx = next(l for l in gemms if l.name == "l1_ctx")
+        # K cache: T x d_model bytes; V cache: T x d_model bytes.
+        assert attn.kv_bytes_per_image == 256 * 768
+        assert ctx.kv_bytes_per_image == 256 * 768
+
+
+class TestTransformerPublishedTotals:
+    """Published MAC/parameter totals for the transformer workloads.
+
+    Parameter counts cover the GEMM operands (the tensors that stream
+    through the systolic array); embeddings/layer norms are excluded and
+    the deltas to the full published counts are noted inline.
+    """
+
+    def test_vit_b16_published_macs(self):
+        # ViT-B/16 at 224x224: ~17.6 GMACs (DeiT paper's 17.58 GFLOPs,
+        # multiply-accumulate counting).
+        assert get_workload("vit_b16").total_macs == pytest.approx(
+            17.58e9, rel=0.01)
+
+    def test_vit_b16_published_params(self):
+        # 86.6 M published; minus position embeddings (151 K), CLS token
+        # and layer norms -> 86.3 M GEMM parameters.
+        topo = get_workload("vit_b16")
+        assert topo.total_param_bytes == pytest.approx(86.3e6, rel=0.005)
+        # Exact decomposition: patch embed + 12 x block + head.
+        assert topo.total_param_bytes == (
+            16 * 16 * 3 * 768 + 12 * (768 * 2304 + 768 * 768
+                                      + 768 * 3072 + 3072 * 768)
+            + 768 * 1000)
+
+    def test_bert_base_published_macs_at_128(self):
+        # 12 encoder layers at T=128: ~11.2 GMACs.
+        assert get_workload("bert_base").total_macs == pytest.approx(
+            11.2e9, rel=0.01)
+
+    def test_bert_base_published_params(self):
+        # 110 M published including the 23.8 M embedding table; the
+        # encoder + pooler GEMM stack is ~85.5 M.
+        topo = get_workload("bert_base")
+        assert topo.total_param_bytes == (
+            12 * (768 * 2304 + 768 * 768 + 768 * 3072 + 3072 * 768)
+            + 768 * 768)
+        assert topo.total_param_bytes == pytest.approx(85.5e6, rel=0.005)
+
+    def test_gpt2_published_params(self):
+        # 124.4 M published; GEMM operands (12 blocks + weight-tied
+        # lm_head over the 50257 vocabulary) are ~123.5 M — position
+        # embeddings (786 K) and layer norms make up the rest.
+        topo = get_workload("gpt2")
+        assert topo.total_param_bytes == (
+            12 * (768 * 2304 + 768 * 768 + 768 * 3072 + 3072 * 768)
+            + 768 * 50257)
+        assert topo.total_param_bytes == pytest.approx(124.4e6, rel=0.01)
+
+    def test_gpt2_decode_macs_are_tiny_but_streams_are_not(self):
+        """The decode-step signature: ~126 MMACs moving >125 MB."""
+        topo = get_workload("gpt2")
+        assert topo.total_macs == pytest.approx(126e6, rel=0.02)
+        streamed = topo.total_param_bytes + topo.total_kv_bytes
+        # O(1) MAC per streamed byte - the memory-bound regime.
+        assert streamed > 125e6
+
+    def test_kv_stream_scales_linearly_with_context(self):
+        short = get_workload("gpt2@s128").total_kv_bytes
+        long = get_workload("gpt2@s512").total_kv_bytes
+        assert long == 4 * short == 4 * (2 * 12 * 128 * 768)
+
+
+@pytest.mark.parametrize("workload", ALL_WORKLOADS)
 class TestFrozenGeometry:
     def test_every_layer_matches_golden(self, workload, golden):
         topo = get_workload(workload)

@@ -1,8 +1,10 @@
-"""The thirteen paper workloads: presence, sanity and known shapes."""
+"""The paper workloads + transformer scenarios: presence, sanity, shapes."""
 
 import pytest
 
 from repro.models.zoo import (
+    ALL_WORKLOADS,
+    TRANSFORMER_WORKLOADS,
     WORKLOAD_ABBREVIATIONS,
     WORKLOADS,
     get_workload,
@@ -11,26 +13,36 @@ from repro.models.zoo import (
 
 
 class TestCatalog:
-    def test_thirteen_workloads(self):
+    def test_thirteen_paper_workloads(self):
         assert len(WORKLOADS) == 13
 
-    def test_paper_abbreviations_cover_all(self):
-        assert sorted(WORKLOAD_ABBREVIATIONS.values()) == sorted(WORKLOADS)
+    def test_transformer_scenarios_extend_the_catalog(self):
+        assert TRANSFORMER_WORKLOADS == ["vit_b16", "bert_base", "gpt2"]
+        assert ALL_WORKLOADS == WORKLOADS + TRANSFORMER_WORKLOADS
+
+    def test_paper_abbreviations_cover_paper_set(self):
+        paper_names = [n for n in WORKLOAD_ABBREVIATIONS.values()
+                       if n in WORKLOADS]
+        assert sorted(paper_names) == sorted(WORKLOADS)
+        # Every abbreviation resolves to a real workload.
+        assert set(WORKLOAD_ABBREVIATIONS.values()) <= set(ALL_WORKLOADS)
 
     def test_lookup_by_abbreviation(self):
         assert get_workload("rest").name == "resnet18"
         assert get_workload("goo").name == "googlenet"
         assert get_workload("trf").name == "transformer_fwd"
+        assert get_workload("vit").name == "vit_b16"
+        assert get_workload("bert").name == "bert_base"
 
     def test_unknown_workload(self):
         with pytest.raises(KeyError):
             get_workload("vgg19")
 
     def test_list_matches(self):
-        assert list_workloads() == WORKLOADS
+        assert list_workloads() == ALL_WORKLOADS
 
 
-@pytest.mark.parametrize("name", WORKLOADS)
+@pytest.mark.parametrize("name", ALL_WORKLOADS)
 class TestEveryWorkload:
     def test_builds(self, name):
         topo = get_workload(name)

@@ -139,3 +139,61 @@ class TestProperties:
         assert set(writebacks) <= writes
         for tag in writes:
             assert tag in writebacks
+
+
+class TestFlushCountersSeparateFromEvictions:
+    """End-of-model teardown must not masquerade as capacity pressure."""
+
+    def test_flush_does_not_count_as_eviction(self):
+        cache = LruCache(4)
+        cache.access("a", write=True)
+        cache.access("b")
+        assert sorted(cache.flush()) == ["a"]
+        assert cache.stats.evictions == 0
+        assert cache.stats.dirty_evictions == 0
+        assert cache.stats.flushed_lines == 2
+        assert cache.stats.flush_writebacks == 1
+
+    def test_capacity_evictions_still_counted(self):
+        cache = LruCache(2)
+        cache.access("a", write=True)
+        cache.access("b")
+        cache.access("c")  # capacity-evicts dirty a
+        assert cache.stats.evictions == 1
+        assert cache.stats.dirty_evictions == 1
+        cache.flush()
+        # Flush drains b and c; the capacity counters are untouched.
+        assert cache.stats.evictions == 1
+        assert cache.stats.dirty_evictions == 1
+        assert cache.stats.flushed_lines == 2
+
+    def test_eviction_free_model_reports_zero_evictions(self):
+        """A working set that fits shows a 100% post-warmup hit picture:
+        zero evictions even though the final flush drains every line."""
+        cache = LruCache(8)
+        for _ in range(3):
+            for tag in range(8):
+                cache.access(tag, write=True)
+        cache.flush()
+        assert cache.stats.evictions == 0
+        assert cache.stats.hits == 16
+        assert cache.stats.flushed_lines == 8
+        assert cache.stats.flush_writebacks == 8
+
+    def test_reset_clears_flush_counters(self):
+        cache = LruCache(2)
+        cache.access("a", write=True)
+        cache.flush()
+        cache.stats.reset()
+        assert cache.stats.flushed_lines == 0
+        assert cache.stats.flush_writebacks == 0
+
+    def test_flush_still_returns_dirty_tags_for_writeback_traffic(self):
+        """The traffic contract (dirty tags out) is unchanged — only the
+        statistics bookkeeping moved."""
+        cache = LruCache(4)
+        cache.access("a", write=True)
+        cache.access("b")
+        cache.access("c", write=True)
+        assert sorted(cache.flush()) == ["a", "c"]
+        assert len(cache) == 0
