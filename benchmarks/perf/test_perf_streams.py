@@ -53,6 +53,33 @@ def test_protect_model_sgx64(benchmark, model_run, perf_record):
     perf_record("protect_model_sgx64", benchmark)
 
 
+def test_protect_model_sgx64_gpt2_s512(benchmark, perf_record):
+    """Sequence-scaling case: the metadata drives over a transformer
+    decode step grow with ``seq x batch`` — exactly the axis production
+    sweeps grow on."""
+    pipeline = Pipeline(npu_config("server"))
+    gpt2_run = pipeline.simulate_model(get_workload("gpt2@s512"))
+
+    def protect():
+        gpt2_run.scheme_memo.clear()
+        return make_scheme("sgx-64b").protect_model(gpt2_run)
+
+    protections = benchmark(protect)
+    assert sum(p.metadata_bytes for p in protections) > 0
+    perf_record("protect_model_sgx64_gpt2_s512", benchmark)
+
+
+def test_trace_build_resnet18_b16(benchmark, perf_record):
+    """Batched trace construction: the tile walks plus the columnar
+    batch replication (arange-built columns, no per-tile Python loop)."""
+    sim = Pipeline(npu_config("server")).accelerator
+    topology = get_workload("resnet18@b16")
+
+    run = benchmark(sim.run, topology)
+    assert run.trace.total_bytes > 0
+    perf_record("trace_build_resnet18_b16", benchmark)
+
+
 def test_protect_model_seda(benchmark, model_run, perf_record):
     protections = benchmark(
         lambda: make_scheme("seda").protect_model(model_run))

@@ -185,6 +185,110 @@ class AcceleratorSim:
     def _walk_banded(self, layer: Layer, layer_id: int, plan: TilingPlan,
                      address_map: AddressMap, start_cycle: int,
                      trace: Trace) -> int:
+        """Banded tile schedule, built as whole columns.
+
+        The per-tile quantities (extents, cycles, residency masks,
+        cursors) are arange/cumsum arithmetic over the flattened
+        ``outer x inner`` grid; the ranges land in the trace through one
+        batched append in exactly the order the nested loops emitted
+        them (ifmap load, weight load, ofmap store per tile).
+        """
+        row_bytes = layer.ifmap_w * layer.channels * ELEMENT_BYTES
+        weight_per_filter = max(1, layer.weight_bytes // max(1, layer.gemm_n))
+        ifmap_base = address_map.ifmap_addr(layer_id)
+        weight_base, weight_kind = self._weight_source(layer, layer_id,
+                                                       address_map)
+        ofmap_base = address_map.ofmap_addr(layer_id)
+        out_w = layer.ofmap_w
+
+        outer, inner = ((plan.num_n_tiles, plan.num_m_tiles) if plan.n_outer
+                        else (plan.num_m_tiles, plan.num_n_tiles))
+        if outer * inner < 16:
+            # Tiny grids (whole layers resident): the per-tile loop beats
+            # the fixed cost of the column machinery.
+            return self._walk_banded_small(layer, layer_id, plan,
+                                           address_map, start_cycle, trace)
+        outer_idx = np.repeat(np.arange(outer, dtype=np.int64), inner)
+        inner_idx = np.tile(np.arange(inner, dtype=np.int64), outer)
+        mi, ni = ((inner_idx, outer_idx) if plan.n_outer
+                  else (outer_idx, inner_idx))
+        rows = np.minimum(plan.tile_out_rows,
+                          layer.ofmap_h - mi * plan.tile_out_rows)
+        filters = np.minimum(plan.tile_filters,
+                             layer.gemm_n - ni * plan.tile_filters)
+        tile_cycles = self.array.compute_cycles_vec(
+            rows * out_w, layer.gemm_k, filters)
+        total_cycles = int(tile_cycles.sum())
+        cursor = start_cycle + np.cumsum(tile_cycles) - tile_cycles
+
+        # Residency: an operand whose dimension is not re-streamed is
+        # loaded only on its first pass.
+        if plan.n_outer:
+            load_ifmap = (np.full(len(mi), plan.num_m_tiles > 1, dtype=bool)
+                          | (outer_idx == 0))
+            load_weight = mi == 0
+        else:
+            load_ifmap = ni == 0
+            load_weight = (np.full(len(mi), plan.num_n_tiles > 1, dtype=bool)
+                           | (outer_idx == 0))
+
+        # ifmap band extents (padding synthesized on chip; see
+        # _ifmap_tile_extent for the scalar form)
+        first = mi * plan.tile_out_rows * layer.stride_h - layer.pad_h
+        last = first + rows * layer.stride_h + layer.filt_h - layer.stride_h
+        lo = np.maximum(0, first)
+        hi = np.minimum(layer.ifmap_h, last)
+        if_nbytes = np.maximum(0, hi - lo) * row_bytes
+        if_addr = ifmap_base + lo * row_bytes
+        emit_if = load_ifmap & (if_nbytes > 0)
+
+        w_offset = ni * plan.tile_filters * weight_per_filter
+        w_nbytes = np.minimum(plan.weight_tile_bytes,
+                              layer.weight_bytes - w_offset)
+        emit_w = load_weight & (w_nbytes > 0)
+
+        of_nbytes = rows * out_w * filters * ELEMENT_BYTES
+        emit_of = of_nbytes > 0
+        of_addr = (ofmap_base + np.cumsum(np.where(emit_of, of_nbytes, 0))
+                   - np.where(emit_of, of_nbytes, 0))
+
+        # Interleave per tile: [ifmap?, weight?, ofmap?]
+        counts = emit_if.astype(np.int64) + emit_w + emit_of
+        base = np.cumsum(counts) - counts
+        total = int(counts.sum())
+        ev_cycle = np.empty(total, np.int64)
+        ev_addr = np.empty(total, np.int64)
+        ev_nbytes = np.empty(total, np.int64)
+        ev_write = np.zeros(total, np.int8)
+        ev_kind = np.empty(total, np.int8)
+        ev_dur = np.empty(total, np.int64)
+
+        def place(slots, sel, addr, nbytes, write, kind):
+            ev_cycle[slots] = cursor[sel]
+            ev_addr[slots] = addr
+            ev_nbytes[slots] = nbytes
+            ev_write[slots] = write
+            ev_kind[slots] = kind
+            ev_dur[slots] = tile_cycles[sel]
+
+        place(base[emit_if], emit_if, if_addr[emit_if],
+              if_nbytes[emit_if], 0, kind_code(AccessKind.IFMAP))
+        place((base + emit_if)[emit_w], emit_w,
+              weight_base + w_offset[emit_w], w_nbytes[emit_w], 0,
+              kind_code(weight_kind))
+        place((base + emit_if + emit_w)[emit_of], emit_of,
+              of_addr[emit_of], of_nbytes[emit_of], 1,
+              kind_code(AccessKind.OFMAP))
+        trace.emit_batch(ev_cycle, ev_addr, ev_nbytes, writes=ev_write,
+                         kind_codes=ev_kind, layer_id=layer_id,
+                         durations=ev_dur)
+        return total_cycles
+
+    def _walk_banded_small(self, layer: Layer, layer_id: int,
+                           plan: TilingPlan, address_map: AddressMap,
+                           start_cycle: int, trace: Trace) -> int:
+        """Scalar reference walk (small grids); range-identical to the
+        batched builder — ``tests/accel/test_simulator.py`` pins it."""
         row_bytes = layer.ifmap_w * layer.channels * ELEMENT_BYTES
         weight_per_filter = max(1, layer.weight_bytes // max(1, layer.gemm_n))
         ifmap_base = address_map.ifmap_addr(layer_id)
@@ -250,46 +354,73 @@ class AcceleratorSim:
     def _walk_k_tiled(self, layer: Layer, layer_id: int, plan: TilingPlan,
                       address_map: AddressMap, start_cycle: int,
                       trace: Trace) -> int:
+        """K-tiled GEMM schedule, built as whole columns.
+
+        Flattens the ``m x n x k`` nest; each (m, n) group contributes
+        ``2 * num_k`` operand loads followed by its partial-sum store,
+        in exactly the nested loops' emission order.
+        """
         m, k, n = layer.gemm_m, layer.gemm_k, layer.gemm_n
         ifmap_base = address_map.ifmap_addr(layer_id)
         weight_base, weight_kind = self._weight_source(layer, layer_id,
                                                        address_map)
         ofmap_base = address_map.ofmap_addr(layer_id)
 
-        cursor = start_cycle
-        total_cycles = 0
-        ofmap_cursor = 0
+        M, N, K = plan.num_m_tiles, plan.num_n_tiles, plan.num_k_tiles
+        mi = np.repeat(np.arange(M, dtype=np.int64), N * K)
+        ni = np.tile(np.repeat(np.arange(N, dtype=np.int64), K), M)
+        ki = np.tile(np.arange(K, dtype=np.int64), M * N)
+        tile_m = np.minimum(plan.tile_out_rows, m - mi * plan.tile_out_rows)
+        tile_n = np.minimum(plan.tile_filters, n - ni * plan.tile_filters)
+        tile_k = np.minimum(plan.tile_k, k - ki * plan.tile_k)
+        tile_cycles = self.array.compute_cycles_vec(tile_m, tile_k, tile_n)
+        total_cycles = int(tile_cycles.sum())
+        cursor = start_cycle + np.cumsum(tile_cycles) - tile_cycles
 
-        for mi in range(plan.num_m_tiles):
-            tile_m = min(plan.tile_out_rows, m - mi * plan.tile_out_rows)
-            for ni in range(plan.num_n_tiles):
-                tile_n = min(plan.tile_filters, n - ni * plan.tile_filters)
-                for ki in range(plan.num_k_tiles):
-                    tile_k = min(plan.tile_k, k - ki * plan.tile_k)
-                    tile_cycles = self.array.compute_cycles(tile_m, tile_k, tile_n)
-                    total_cycles += tile_cycles
-
-                    # ifmap chunk: rows [mi], K slice [ki] — contiguous per
-                    # row; modelled as one range at the slice offset.
-                    if_offset = (mi * plan.tile_out_rows * k
-                                 + ki * plan.tile_k * tile_m) * ELEMENT_BYTES
-                    trace.emit(cursor, ifmap_base + if_offset,
-                               tile_m * tile_k * ELEMENT_BYTES,
-                               write=False, kind=AccessKind.IFMAP,
-                               layer_id=layer_id, duration=tile_cycles)
-                    w_offset = (ni * plan.tile_filters * k
+        # ifmap chunk: rows [mi], K slice [ki] — contiguous per row;
+        # modelled as one range at the slice offset.
+        if_addr = ifmap_base + (mi * plan.tile_out_rows * k
+                                + ki * plan.tile_k * tile_m) * ELEMENT_BYTES
+        w_addr = weight_base + (ni * plan.tile_filters * k
                                 + ki * plan.tile_k * tile_n) * ELEMENT_BYTES
-                    trace.emit(cursor, weight_base + w_offset,
-                               tile_k * tile_n * ELEMENT_BYTES,
-                               write=False, kind=weight_kind,
-                               layer_id=layer_id, duration=tile_cycles)
-                    cursor += tile_cycles
-                # Partial sums complete: store the (tile_m x tile_n) ofmap tile.
-                nbytes = tile_m * tile_n * ELEMENT_BYTES
-                trace.emit(cursor, ofmap_base + ofmap_cursor, nbytes,
-                           write=True, kind=AccessKind.OFMAP,
-                           layer_id=layer_id, duration=1)
-                ofmap_cursor += nbytes
+
+        # Per (m, n) group: 2 * K operand loads, then the ofmap store.
+        groups = M * N
+        group = np.arange(M * N * K, dtype=np.int64) // K
+        slot = group * (2 * K + 1) + 2 * ki
+        total = groups * (2 * K + 1)
+        ev_cycle = np.empty(total, np.int64)
+        ev_addr = np.empty(total, np.int64)
+        ev_nbytes = np.empty(total, np.int64)
+        ev_write = np.zeros(total, np.int8)
+        ev_kind = np.empty(total, np.int8)
+        ev_dur = np.empty(total, np.int64)
+
+        ev_cycle[slot] = cursor
+        ev_addr[slot] = if_addr
+        ev_nbytes[slot] = tile_m * tile_k * ELEMENT_BYTES
+        ev_kind[slot] = kind_code(AccessKind.IFMAP)
+        ev_dur[slot] = tile_cycles
+        ev_cycle[slot + 1] = cursor
+        ev_addr[slot + 1] = w_addr
+        ev_nbytes[slot + 1] = tile_k * tile_n * ELEMENT_BYTES
+        ev_kind[slot + 1] = kind_code(weight_kind)
+        ev_dur[slot + 1] = tile_cycles
+
+        # Partial sums complete: store the (tile_m x tile_n) ofmap tile
+        # at the cycle the group's last K tile finishes.
+        last = np.arange(groups, dtype=np.int64) * K + (K - 1)
+        of_slot = np.arange(groups, dtype=np.int64) * (2 * K + 1) + 2 * K
+        of_nbytes = (tile_m[last] * tile_n[last] * ELEMENT_BYTES)
+        ev_cycle[of_slot] = cursor[last] + tile_cycles[last]
+        ev_addr[of_slot] = (ofmap_base + np.cumsum(of_nbytes) - of_nbytes)
+        ev_nbytes[of_slot] = of_nbytes
+        ev_write[of_slot] = 1
+        ev_kind[of_slot] = kind_code(AccessKind.OFMAP)
+        ev_dur[of_slot] = 1
+        trace.emit_batch(ev_cycle, ev_addr, ev_nbytes, writes=ev_write,
+                         kind_codes=ev_kind, layer_id=layer_id,
+                         durations=ev_dur)
         return total_cycles
 
     @staticmethod

@@ -24,6 +24,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.utils.bitops import ceil_div
 
 
@@ -70,6 +72,28 @@ class SystolicArray:
     def compute_cycles(self, m: int, k: int, n: int) -> int:
         """Total compute cycles for an (M, K, N) GEMM."""
         return self.folds(m, k, n) * self.cycles_per_fold(m, k, n)
+
+    def compute_cycles_vec(self, m, k, n):
+        """Vectorized :meth:`compute_cycles` over parallel dim arrays.
+
+        Same fold equations on int64 numpy arrays; the tile walks use
+        this to price every tile of a layer in one call.
+        """
+        m = np.asarray(m, dtype=np.int64)
+        k = np.asarray(k, dtype=np.int64)
+        n = np.asarray(n, dtype=np.int64)
+        if np.any(m <= 0) or np.any(k <= 0) or np.any(n <= 0):
+            raise ValueError("GEMM dims must be positive")
+        if self.dataflow is Dataflow.WS:
+            folds = -(-k // self.rows) * -(-n // self.cols)
+            per_fold = self.rows + m + self.cols - 1
+        elif self.dataflow is Dataflow.OS:
+            folds = -(-m // self.rows) * -(-n // self.cols)
+            per_fold = 2 * self.rows + self.cols + k - 2
+        else:
+            folds = -(-k // self.rows) * -(-m // self.cols)
+            per_fold = self.rows + n + self.cols - 1
+        return folds * per_fold
 
     def utilization(self, m: int, k: int, n: int) -> float:
         """Fraction of PE-cycles doing useful MACs (mapping efficiency)."""

@@ -29,6 +29,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 import numpy as np
 
 from repro.utils.bitops import align_down
+from repro.utils.sorting import stable_order
 
 BLOCK_BYTES = 64
 
@@ -134,7 +135,10 @@ class BlockStream:
                 for code, kind in enumerate(_KIND_LIST) if counts[code]}
 
     def sorted_by_cycle(self) -> "BlockStream":
-        order = np.argsort(self.cycles, kind="stable")
+        if len(self.cycles) and self.cycles.min() >= 0:
+            order = stable_order(self.cycles)
+        else:
+            order = np.argsort(self.cycles, kind="stable")
         return BlockStream(self.cycles[order], self.addrs[order],
                            self.writes[order], self.layer_ids[order],
                            None if self.kinds is None else self.kinds[order])
@@ -249,6 +253,34 @@ class RangeBuffer:
         self.kind_bytes[kind_code] += nbytes
         self.version += 1
 
+    def extend_columns(self, cycles: np.ndarray, addrs: np.ndarray,
+                       nbytes: np.ndarray, writes: np.ndarray,
+                       kind_codes: np.ndarray, layer_ids: np.ndarray,
+                       durations: np.ndarray) -> None:
+        """Bulk append of parallel columns (one C-level copy each)."""
+        self.cycles.frombytes(
+            np.ascontiguousarray(cycles, np.int64).tobytes())
+        self.addrs.frombytes(np.ascontiguousarray(addrs, np.int64).tobytes())
+        self.nbytes.frombytes(
+            np.ascontiguousarray(nbytes, np.int64).tobytes())
+        wr = np.ascontiguousarray(writes)
+        if wr.dtype != np.int8:
+            wr = wr.astype(bool).astype(np.int8)
+        self.writes.frombytes(wr.tobytes())
+        kc = np.ascontiguousarray(kind_codes, np.int8)
+        self.kinds.frombytes(kc.tobytes())
+        self.layer_ids.frombytes(
+            np.ascontiguousarray(layer_ids, np.int64).tobytes())
+        self.durations.frombytes(
+            np.ascontiguousarray(durations, np.int64).tobytes())
+        wmask = wr != 0
+        total_write = int(nbytes[wmask].sum())
+        self.write_bytes += total_write
+        self.read_bytes += int(nbytes.sum()) - total_write
+        for code in np.unique(kc):
+            self.kind_bytes[code] += int(nbytes[kc == code].sum())
+        self.version += 1
+
     def arrays(self) -> Tuple[np.ndarray, ...]:
         """Numpy snapshot ``(cycles, addrs, nbytes, writes, kinds,
         layer_ids, durations)``, cached per revision."""
@@ -306,6 +338,28 @@ class Trace:
             raise ValueError("cycle and duration must be non-negative")
         self.buf.append(cycle, addr, nbytes, write, _KIND_CODE[kind],
                         layer_id, duration)
+
+    def emit_batch(self, cycles, addrs, nbytes, *, writes, kind_codes,
+                   layer_id: int, durations) -> None:
+        """Append many ranges from parallel columns (the tile walks'
+        fast path).  Applies the same validation as :class:`TraceRange`,
+        vectorized."""
+        cycles = np.asarray(cycles, dtype=np.int64)
+        addrs = np.asarray(addrs, dtype=np.int64)
+        nbytes = np.asarray(nbytes, dtype=np.int64)
+        durations = np.asarray(durations, dtype=np.int64)
+        n = len(addrs)
+        if n == 0:
+            return
+        if int(addrs.min()) < 0:
+            raise ValueError("addr must be non-negative")
+        if int(nbytes.min()) <= 0:
+            raise ValueError("nbytes must be positive")
+        if int(cycles.min()) < 0 or int(durations.min()) < 0:
+            raise ValueError("cycle and duration must be non-negative")
+        self.buf.extend_columns(
+            cycles, addrs, nbytes, writes, kind_codes,
+            np.full(n, layer_id, dtype=np.int64), durations)
 
     def add(self, trace_range: TraceRange) -> None:
         # TraceRange already validated in __post_init__.

@@ -18,14 +18,17 @@ synthetic and real traces.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.accel.trace import BlockStream
 from repro.dram.mapping import AddressMapping
 from repro.dram.timing import DramConfig
+from repro.utils import native
+from repro.utils.sorting import stable_order
 
 #: Fixed cycle span for composite (bank, cycle) sort keys, so a stream's
 #: sorted geometry can be memoized and merged against other streams.
@@ -97,7 +100,8 @@ class DramSim:
         cfg = self.config
         n = len(channels)
         global_bank = channels * cfg.banks_per_channel + banks
-        order = np.argsort(global_bank, kind="stable")
+        order = stable_order(global_bank,
+                              max(1, int(global_bank.max()).bit_length()))
         sorted_bank = global_bank[order]
         miss_sorted = self._conflict_mask(sorted_bank, rows[order])
         miss_channel = sorted_bank[miss_sorted] // cfg.banks_per_channel
@@ -111,19 +115,20 @@ class DramSim:
     def simulate(self, stream: BlockStream) -> DramResult:
         """Event-driven service of ``stream`` in issue order.
 
-        Row hit/miss classification and per-channel busy time are
-        order-independent given the per-bank access sequences, so they
-        are computed vectorized (per-bank segmentation via stable sort).
-        Only the completion-time recurrence — the bus/bank ready-time
-        coupling — is inherently sequential; it runs per channel over
-        plain Python scalars.
+        Row hit/miss classification, per-channel busy time, and every
+        per-request quantity the completion recurrence consumes are
+        computed vectorized (per-bank segmentation via packed value
+        sorts); only the irreducible scalar carry — the bus/bank
+        ready-time coupling in :meth:`_channel_completion` — remains
+        sequential, and it runs natively when a kernel is available.
         """
         cfg = self.config
         n = len(stream)
         if n == 0:
             return DramResult(0, 0, 0, 0.0, 0.0,
                               [0] * cfg.channels, [0.0] * cfg.channels)
-        order = np.argsort(stream.cycles, kind="stable")
+        cyc_bits = max(1, int(stream.cycles.max()).bit_length())
+        order = stable_order(stream.cycles, cyc_bits)
         cycles = stream.cycles[order]
         channels, banks, rows = self.mapping.decompose(stream.addrs[order])
 
@@ -137,31 +142,20 @@ class DramSim:
         busy = (counts * self._burst_cyc
                 + miss_counts * (self._miss_cyc / cfg.banks_per_channel))
 
-        # Remaining sequential state: per-channel bus/bank recurrence
-        # for the completion time, batched to plain Python scalars.
         burst = self._burst_cyc
         miss_service = self._miss_cyc + burst
         completion = 0.0
-        channel_order = np.argsort(channels, kind="stable")
+        channel_order = stable_order(
+            channels, max(1, int(channels.max()).bit_length()))
         boundaries = np.searchsorted(channels[channel_order],
                                      np.arange(cfg.channels + 1))
         for ch in range(cfg.channels):
             idx = channel_order[boundaries[ch]:boundaries[ch + 1]]
             if not len(idx):
                 continue
-            arrivals = cycles[idx].tolist()
-            ch_banks = banks[idx].tolist()
-            ch_miss = miss_mask[idx].tolist()
-            bank_ready = [0.0] * cfg.banks_per_channel
-            bus_free = 0.0
-            for arrival, bank, miss in zip(arrivals, ch_banks, ch_miss):
-                ready = max(float(arrival), bank_ready[bank], bus_free)
-                service = miss_service if miss else burst
-                finish = ready + service
-                bus_free = max(bus_free, finish - service) + burst
-                bank_ready[bank] = finish
-                if finish > completion:
-                    completion = finish
+            service = np.where(miss_mask[idx], miss_service, burst)
+            completion = max(completion, self._channel_completion(
+                cycles[idx].astype(np.float64), banks[idx], service, burst))
 
         return DramResult(
             requests=n,
@@ -172,6 +166,43 @@ class DramSim:
             per_channel_requests=counts.tolist(),
             per_channel_busy=busy.tolist(),
         )
+
+    def _channel_completion(self, arrivals: np.ndarray, banks: np.ndarray,
+                            service: np.ndarray, burst: float) -> float:
+        """Completion time of one channel's request sequence.
+
+        The carry is the least fixpoint of
+
+            ready[i] = max(arrival[i], ready[i-1] + burst,
+                           ready[prev_same_bank(i)] + service[prev])
+
+        Arrivals, bank ids and per-request service times are prepared
+        vectorized; only this recurrence remains sequential (bank-chain
+        critical paths defeat batched relaxation on row-interleaved
+        mappings), and it runs in the native kernel when one is
+        available — float64-identical to the Python carry below.
+        """
+        nbanks = self.config.banks_per_channel
+        done = native.dram_completion(arrivals, banks, service, burst,
+                                      nbanks)
+        if done is not None:
+            return done
+        bank_ready = [0.0] * nbanks
+        bus_free = 0.0
+        completion = 0.0
+        for arrival, bank, sv in zip(arrivals.tolist(), banks.tolist(),
+                                     service.tolist()):
+            ready = arrival
+            if bank_ready[bank] > ready:
+                ready = bank_ready[bank]
+            if bus_free > ready:
+                ready = bus_free
+            finish = ready + sv
+            bus_free = ready + burst
+            bank_ready[bank] = finish
+            if finish > completion:
+                completion = finish
+        return completion
 
     # -- vectorized fast model --
 
@@ -187,9 +218,11 @@ class DramSim:
         sequences the event model walks, and a row change between
         neighbours of the same bank is a conflict.
         """
-        span = int(cycles.max()) + 1
-        if (int(global_bank.max()) + 1) * span < 2 ** 63:
-            order = np.argsort(global_bank * span + cycles, kind="stable")
+        cyc_bits = max(1, int(cycles.max()).bit_length())
+        gb_bits = max(1, int(global_bank.max()).bit_length())
+        if gb_bits + cyc_bits <= 62:
+            order = stable_order((global_bank << cyc_bits) | cycles,
+                                  gb_bits + cyc_bits)
         else:  # composite key would overflow; two stable passes instead
             order = np.lexsort((cycles, global_bank))
         sorted_bank = global_bank[order]
@@ -255,11 +288,224 @@ class DramSim:
             return None  # composite key would collide; caller falls back
         channels, banks, rows = self.mapping.decompose(stream.addrs)
         gb = channels * cfg.banks_per_channel + banks
-        sort_key = gb * _KEY_SPAN + stream.cycles
-        order = np.argsort(sort_key, kind="stable")
-        geom = (channels, gb[order], rows[order], sort_key[order])
+        n = len(stream)
+        cyc_bits = max(1, int(stream.cycles.max()).bit_length()) if n else 1
+        gb_bits = max(1, int(gb.max()).bit_length()) if n else 1
+        idx_bits = max(1, int(n - 1).bit_length()) if n else 1
+        if n and gb_bits + cyc_bits + idx_bits <= 62:
+            packed = ((((gb << cyc_bits) | stream.cycles) << idx_bits)
+                      | np.arange(n, dtype=np.int64))
+            packed.sort()
+            order = packed & ((1 << idx_bits) - 1)
+            gb_sorted = packed >> (cyc_bits + idx_bits)
+            cyc_sorted = (packed >> idx_bits) & ((1 << cyc_bits) - 1)
+            geom = (channels, gb_sorted, rows[order],
+                    gb_sorted * _KEY_SPAN + cyc_sorted)
+        else:
+            sort_key = gb * _KEY_SPAN + stream.cycles
+            order = np.argsort(sort_key, kind="stable")
+            geom = (channels, gb[order], rows[order], sort_key[order])
         stream._dram_geom = (key, geom)
         return geom
+
+    def _stream_counts(self, stream: BlockStream, geom):
+        """Per-channel (requests, row-conflicts) of one stream, memoized.
+
+        A layer's data stream is served (virtually concatenated with a
+        scheme's metadata) by every scheme in a sweep cell; its internal
+        conflict structure never changes, so it is computed once and the
+        batched model only accounts the metadata *insertions*.
+        """
+        if stream is not None:
+            cached = getattr(stream, "_dram_counts", None)
+            if cached is not None and cached[0] is geom:
+                return cached[1], cached[2]
+        cfg = self.config
+        _, gb, rows, _ = geom
+        flags = self._conflict_mask(gb, rows)
+        conflicts = np.bincount(gb[flags] // cfg.banks_per_channel,
+                                minlength=cfg.channels)
+        requests = np.bincount(gb // cfg.banks_per_channel,
+                               minlength=cfg.channels)
+        if stream is not None:
+            stream._dram_counts = (geom, requests, conflicts)
+        return requests, conflicts
+
+    @staticmethod
+    def _drop_lead_cache(sim_ref, generation) -> None:
+        sim = sim_ref()
+        if sim is not None:
+            cached = getattr(sim, "_lead_cache", None)
+            if cached is not None and cached[0] is generation:
+                sim._lead_cache = None
+
+    def _insertion_counts(self, entries):
+        """Exact per-(entry, channel) request/conflict counts for
+        ``(data, metadata)`` stream pairs without materializing merges.
+
+        Each metadata access lands inside a bank's data sequence; its
+        own conflict flag depends on its in-bank predecessor, and the
+        data element that now follows an insertion run re-evaluates its
+        flag against the run's last row.  Those corrections are the only
+        thing the merge changes, so the batched model adds them to the
+        memoized per-stream counts.  Returns ``(requests, conflicts)``
+        flattened over ``len(entries) * channels``, or ``None`` when the
+        segment-offset keys would overflow (caller merges instead).
+        """
+        cfg = self.config
+        nch = cfg.channels
+        bpc = cfg.banks_per_channel
+        nbanks = nch * bpc
+        nseg = len(entries)
+        requests = np.zeros(nseg * nch, np.int64)
+        conflicts = np.zeros(nseg * nch, np.int64)
+        pair_rows = [k for k, e in enumerate(entries) if len(e) == 2]
+        for k, pairs in enumerate(entries):
+            stream, geom = pairs[0]
+            req, con = self._stream_counts(stream, geom)
+            requests[k * nch:(k + 1) * nch] += req
+            conflicts[k * nch:(k + 1) * nch] += con
+        if not pair_rows:
+            return requests, conflicts
+
+        # The first (data) part of every entry is shared by each scheme
+        # in a sweep cell; cache its concatenated side keyed on the geom
+        # object identities.  The cache holds only weak references to
+        # the keying arrays, and a finalizer drops the slot when the
+        # cell's streams are garbage collected, so the concatenated
+        # copies never outlive the sweep cell they serve.
+        lead_keys = [entries[k][0][1][3] for k in range(nseg)]
+        cached = getattr(self, "_lead_cache", None)
+        if (cached is not None and len(cached[0]) == nseg
+                and all(ref() is arr for ref, arr in zip(cached[0],
+                                                         lead_keys))):
+            key_a, gb_a, rows_a, seg_a = cached[1]
+        else:
+            lead_geoms = [entries[k][0][1] for k in range(nseg)]
+            key_a = np.concatenate([g[3] for g in lead_geoms])
+            gb_a = np.concatenate([g[1] for g in lead_geoms])
+            rows_a = np.concatenate([g[2] for g in lead_geoms])
+            sizes_a = np.array([len(g[3]) for g in lead_geoms], np.int64)
+            seg_a = np.repeat(np.arange(nseg, dtype=np.int64), sizes_a)
+            refs = [weakref.ref(a) for a in lead_keys]
+            self._lead_cache = (refs, (key_a, gb_a, rows_a, seg_a))
+            # Generation-guarded: a stale finalizer from an earlier cell
+            # must not drop a newer cache (and holding `self` weakly
+            # keeps the finalizer from pinning the simulator alive).
+            weakref.finalize(lead_keys[0], DramSim._drop_lead_cache,
+                             weakref.ref(self), refs)
+        key_b = np.concatenate([entries[k][1][1][3] for k in pair_rows])
+        gb_b = np.concatenate([entries[k][1][1][1] for k in pair_rows])
+        rows_b = np.concatenate([entries[k][1][1][2] for k in pair_rows])
+        sizes_b = np.array([len(entries[k][1][1][3]) for k in pair_rows],
+                           np.int64)
+        seg_b = np.repeat(np.asarray(pair_rows, np.int64), sizes_b)
+        key_bits = max(1, int(max(int(key_a.max()), int(key_b.max())))
+                       .bit_length())
+        if key_bits + max(1, int(nseg).bit_length()) > 62:
+            return None
+        off = np.int64(1) << key_bits
+        gbo_a = gb_a + seg_a * nbanks
+        gbo_b = gb_b + seg_b * nbanks
+        nb = len(key_b)
+
+        # metadata request counts
+        requests += np.bincount(gbo_b // bpc, minlength=nseg * nch)
+
+        ins = np.searchsorted(key_a + seg_a * off, key_b + seg_b * off,
+                              side="right")
+        p = ins - 1
+        same_prev = (p >= 0) & (gbo_a[np.maximum(p, 0)] == gbo_b)
+        run_first = np.empty(nb, dtype=bool)
+        run_first[0] = True
+        run_first[1:] = (ins[1:] != ins[:-1]) | (gbo_b[1:] != gbo_b[:-1])
+
+        # metadata elements' own conflict flags
+        flag_b = np.empty(nb, dtype=bool)
+        chain = ~run_first
+        flag_b[chain] = rows_b[np.flatnonzero(chain)] \
+            != rows_b[np.flatnonzero(chain) - 1]
+        fi = np.flatnonzero(run_first)
+        with_prev = same_prev[fi]
+        flag_b[fi[with_prev]] = rows_b[fi[with_prev]] \
+            != rows_a[p[fi[with_prev]]]
+        flag_b[fi[~with_prev]] = True
+        conflicts += np.bincount(gbo_b[flag_b] // bpc,
+                                 minlength=nseg * nch)
+
+        # the data element following each insertion run re-evaluates
+        last = np.append(fi[1:], nb) - 1
+        f = ins[last]
+        valid = (f < len(key_a)) & (gbo_a[np.minimum(f, len(key_a) - 1)]
+                                    == gbo_b[last])
+        fv = f[valid]
+        lv = last[valid]
+        pv = p[lv]
+        had_prev = same_prev[lv]
+        old_flag = np.where(had_prev, rows_a[fv] != rows_a[np.maximum(pv, 0)],
+                            True)
+        new_flag = rows_a[fv] != rows_b[lv]
+        delta = new_flag.astype(np.int64) - old_flag.astype(np.int64)
+        nz = delta != 0
+        np.add.at(conflicts, gbo_b[lv[nz]] // bpc, delta[nz])
+        return requests, conflicts
+
+    @staticmethod
+    def _merge_entries(entry_geoms, nbanks: int):
+        """Merge every entry's (one or two) bank-sorted geometries in one
+        batched pass.
+
+        Entries stay disjoint through a per-entry bank offset (exactly
+        the segmentation the conflict scan needs); the pairwise merges
+        collapse into a single offset-keyed ``searchsorted`` instead of
+        one Python round per entry.  Returns the concatenated
+        ``(sorted_bank, sorted_rows)`` arrays in entry order.
+        """
+        nseg = len(entry_geoms)
+        a_gb = [g[0][1] for g in entry_geoms]
+        a_rows = [g[0][2] for g in entry_geoms]
+        pairs = [k for k, g in enumerate(entry_geoms) if len(g) == 2]
+        seg_a = np.repeat(np.arange(nseg, dtype=np.int64),
+                          [len(x) for x in a_gb])
+        gb_a = np.concatenate(a_gb) + seg_a * nbanks
+        rows_a = np.concatenate(a_rows)
+        if not pairs:
+            return gb_a, rows_a
+
+        key_a = np.concatenate([entry_geoms[k][0][3] for k in range(nseg)])
+        key_b = np.concatenate([entry_geoms[k][1][3] for k in pairs])
+        seg_b = np.repeat(np.asarray(pairs, dtype=np.int64),
+                          [len(entry_geoms[k][1][3]) for k in pairs])
+        key_bits = max(1, int(max(int(key_a.max()),
+                                  int(key_b.max() if len(key_b) else 0))
+                              ).bit_length())
+        if key_bits + max(1, int(nseg).bit_length()) > 62:
+            # Segment-offset keys would overflow: per-entry merges.
+            parts_bank, parts_rows = [], []
+            for k, geoms in enumerate(entry_geoms):
+                merged = geoms[0]
+                for extra in geoms[1:]:
+                    merged = DramSim._merge_sorted(merged, extra)
+                parts_bank.append(merged[1] + k * nbanks)
+                parts_rows.append(merged[2])
+            return np.concatenate(parts_bank), np.concatenate(parts_rows)
+        off = np.int64(1) << key_bits
+        gb_b = np.concatenate([entry_geoms[k][1][1] for k in pairs]) \
+            + seg_b * nbanks
+        rows_b = np.concatenate([entry_geoms[k][1][2] for k in pairs])
+        slots = (np.searchsorted(key_a + seg_a * off, key_b + seg_b * off,
+                                 side="right")
+                 + np.arange(len(key_b)))
+        total = len(key_a) + len(key_b)
+        mask = np.ones(total, dtype=bool)
+        mask[slots] = False
+        out_gb = np.empty(total, dtype=np.int64)
+        out_rows = np.empty(total, dtype=np.int64)
+        out_gb[mask] = gb_a
+        out_gb[slots] = gb_b
+        out_rows[mask] = rows_a
+        out_rows[slots] = rows_b
+        return out_gb, out_rows
 
     @staticmethod
     def _merge_sorted(geom_a, geom_b):
@@ -311,9 +557,7 @@ class DramSim:
             return results  # type: ignore[return-value]
 
         nbanks = cfg.channels * cfg.banks_per_channel
-        gb_parts: List[np.ndarray] = []
-        row_parts: List[np.ndarray] = []
-        channel_parts: List[np.ndarray] = []
+        entries: List[List[Tuple]] = []
         batched: List[int] = []
         for i in live:
             parts = [p for p in part_lists[i] if len(p)]
@@ -323,32 +567,37 @@ class DramSim:
                 # serve this stream through the standalone fast model.
                 results[i] = self.simulate_fast(BlockStream.concat(parts))
                 continue
-            merged = geoms[0]
-            for extra in geoms[1:]:
-                merged = self._merge_sorted(merged, extra)
-            _, gb, rows, _ = merged
-            gb_parts.append(gb + len(batched) * nbanks)
-            row_parts.append(rows)
-            channel_parts.extend(g[0] for g in geoms)
+            pairs = list(zip(parts, geoms))
+            while len(pairs) > 2:
+                # >2 parts (not a pipeline shape): pre-merge the extras
+                # into one unmemoized pseudo-part.
+                merged = self._merge_sorted(pairs[1][1], pairs[2][1])
+                pairs = [pairs[0], (None, merged)] + pairs[3:]
+            entries.append(pairs)
             batched.append(i)
         if not batched:
             return results  # type: ignore[return-value]
         live = batched
 
-        sorted_bank = np.concatenate(gb_parts)
-        miss_mask = self._conflict_mask(sorted_bank,
-                                        np.concatenate(row_parts))
-        miss_counts = np.bincount(
-            sorted_bank[miss_mask] // cfg.banks_per_channel,
-            minlength=len(live) * cfg.channels)
-
-        # Per (segment, channel) accounting, identical formula to the
-        # single-stream fast model.
-        seg = np.repeat(np.arange(len(live), dtype=np.int64),
-                        [sizes[i] for i in live])
-        counts = np.bincount(seg * cfg.channels
-                             + np.concatenate(channel_parts),
-                             minlength=len(live) * cfg.channels)
+        got = self._insertion_counts(entries)
+        if got is not None:
+            counts, miss_counts = got
+        else:
+            # Segment-offset keys would overflow: materialize merges.
+            entry_geoms = [[g for _, g in pairs] for pairs in entries]
+            sorted_bank, sorted_rows = self._merge_entries(entry_geoms,
+                                                           nbanks)
+            miss_mask = self._conflict_mask(sorted_bank, sorted_rows)
+            miss_counts = np.bincount(
+                sorted_bank[miss_mask] // cfg.banks_per_channel,
+                minlength=len(live) * cfg.channels)
+            seg = np.repeat(np.arange(len(live), dtype=np.int64),
+                            [sizes[i] for i in live])
+            counts = np.bincount(
+                seg * cfg.channels
+                + np.concatenate([g[0] for pairs in entries
+                                  for _, g in pairs]),
+                minlength=len(live) * cfg.channels)
         overlap = 1.0 / cfg.banks_per_channel
         busy = counts * self._burst_cyc + miss_counts * self._miss_cyc * overlap
 

@@ -17,7 +17,14 @@ LINE_BYTES = 64
 
 
 class MetadataCache:
-    """A byte-capacity view over :class:`repro.utils.lru.LruCache`."""
+    """A byte-capacity view over :class:`repro.utils.lru.LruCache`.
+
+    Batch drivers (the compiled kernel and the reuse-distance engine)
+    replace the whole contents per drive; the new state is kept as flat
+    arrays and folded into the ``OrderedDict`` lazily — the dict is only
+    needed when something observes it (``raw_lines``, ``access``,
+    ``probe``, ``flush``), not between back-to-back drives.
+    """
 
     def __init__(self, capacity_bytes: int, line_bytes: int = LINE_BYTES):
         if capacity_bytes < line_bytes:
@@ -26,6 +33,9 @@ class MetadataCache:
             raise ValueError("line_bytes must be positive")
         self.line_bytes = line_bytes
         self._cache = LruCache(capacity_bytes // line_bytes)
+        #: (tags, dirty) arrays from the latest batch drive, not yet
+        #: folded into the OrderedDict (LRU order, least recent first).
+        self._pending_state = None
 
     @property
     def stats(self) -> CacheStats:
@@ -35,10 +45,31 @@ class MetadataCache:
     def capacity_lines(self) -> int:
         return self._cache.capacity_lines
 
+    def _sync(self) -> None:
+        if self._pending_state is not None:
+            tags, dirty = self._pending_state
+            self._pending_state = None
+            lines = self._cache.raw_lines
+            lines.clear()
+            lines.update(zip(tags.tolist(), (dirty != 0).tolist()))
+
+    def set_state_arrays(self, tags, dirty) -> None:
+        """Replace the contents with a batch drive's final state
+        (``tags``/``dirty`` parallel arrays in LRU order)."""
+        self._pending_state = (tags, dirty)
+
+    def drive_state(self):
+        """Current contents for the next batch drive: the pending
+        ``(tags, dirty)`` arrays, or the live tag map."""
+        if self._pending_state is not None:
+            return self._pending_state
+        return self._cache.raw_lines
+
     @property
     def raw_lines(self):
         """Underlying LRU tag map for batch drivers (tags are
         ``line_addr // line_bytes``); see :meth:`LruCache.raw_lines`."""
+        self._sync()
         return self._cache.raw_lines
 
     def note(self, hits: int, misses: int, evictions: int,
@@ -52,6 +83,7 @@ class MetadataCache:
         Returns ``(hit, writeback_addr)``; a dirty eviction surfaces the
         evicted line's address so the caller can emit the DRAM write.
         """
+        self._sync()
         tag = line_addr // self.line_bytes
         hit, writeback = self._cache.access(tag, write=write)
         writeback_addr = None if writeback is None else writeback * self.line_bytes
@@ -59,4 +91,5 @@ class MetadataCache:
 
     def flush(self):
         """Evict all lines; returns addresses of dirty lines."""
+        self._sync()
         return [tag * self.line_bytes for tag in self._cache.flush()]

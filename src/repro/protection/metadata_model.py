@@ -4,22 +4,25 @@ The hot path: a layer's block stream is reduced to *protection units*,
 units map to metadata lines (8 entries per 64 B line), consecutive
 duplicates are run-length compressed (sequential tile streams hit the
 same line 8 times in a row), and the compressed stream drives the LRU
-cache model. Misses and dirty evictions become metadata DRAM accesses.
+cache model.  Misses and dirty evictions become metadata DRAM accesses.
 
-Everything up to the cache is vectorized (line mapping, run
-compression, over-fetch); only the run-line -> LRU drive is sequential,
-because cache state is order-dependent. That loop is inlined over plain
-Python scalars (see :meth:`repro.utils.lru.LruCache.raw_lines`) and
-appends into the columnar :class:`CacheTrafficResult` buffers.
+Since PR 5 the LRU drives themselves are no longer scalar: the
+run-compressed line stream goes through (in order of preference)
 
-NOTE: the LRU drive body (hit/move/dirty, evict/writeback/miss) is
-deliberately hand-inlined in each loop — ``MacTableModel.process``,
-``VnTreeModel.process`` (leaf + tree node) and the fused
-``process_mac_vn`` — because a per-access helper call would cost more
-than the cache work itself. When touching replacement policy, dirty
-handling, or event ordering, update every copy; the copies are pinned
-against the :meth:`MetadataCache.access` reference implementation by
-``tests/protection/test_stream_core.py``.
+1. the compiled drive kernel (:mod:`repro.utils.native`) —
+   the scalar state machine in native code, built on demand when a C
+   compiler is available;
+2. the vectorized reuse-distance engine
+   (:mod:`repro.protection.reuse_engine`) — exact offline LRU via
+   stack-distance analysis, pure numpy; the VN tree walk is resolved by
+   a verified fixpoint iteration;
+3. the inlined ``OrderedDict`` drive — kept as the always-correct
+   oracle (it is the VN fixpoint's fallback for adversarial streams and
+   what the equivalence tests pin the fast paths against).
+
+All three tiers produce bit-identical ``CacheStats``, miss/writeback
+streams, and final cache contents (``tests/protection/test_reuse_engine``
+checks them against each other on adversarial streams).
 """
 
 from __future__ import annotations
@@ -38,6 +41,8 @@ from repro.accel.trace import (
     kind_code,
 )
 from repro.integrity.caches import MetadataCache
+from repro.protection import reuse_engine
+from repro.utils import native
 from repro.protection.layout import (
     ENTRIES_PER_LINE,
     LINE_BYTES,
@@ -70,7 +75,9 @@ class CacheTrafficResult:
 
     Columnar: parallel flat buffers (``array`` columns) that convert to
     a :class:`BlockStream` in one shot via :meth:`to_stream` — no
-    per-entry Python objects, no list round-trips.
+    per-entry Python objects.  Construction and :meth:`extend_arrays`
+    ingest any array-like (numpy arrays from the vectorized drives,
+    plain lists from tests) without per-element Python conversion.
     """
 
     __slots__ = ("stream_cycles", "stream_addrs", "stream_writes", "misses")
@@ -78,10 +85,28 @@ class CacheTrafficResult:
     def __init__(self, stream_cycles: Sequence[int] = (),
                  stream_addrs: Sequence[int] = (),
                  stream_writes: Sequence[bool] = (), misses: int = 0):
-        self.stream_cycles = array("q", stream_cycles)
-        self.stream_addrs = array("q", stream_addrs)
-        self.stream_writes = array("b", [1 if w else 0 for w in stream_writes])
+        self.stream_cycles = self._int_column(stream_cycles)
+        self.stream_addrs = self._int_column(stream_addrs)
+        self.stream_writes = self._flag_column(stream_writes)
         self.misses = misses
+
+    @staticmethod
+    def _int_column(values) -> array:
+        col = array("q")
+        if len(values):
+            col.frombytes(
+                np.ascontiguousarray(values, dtype=np.int64).tobytes())
+        return col
+
+    @staticmethod
+    def _flag_column(values) -> array:
+        col = array("b")
+        if len(values):
+            flags = np.ascontiguousarray(values)
+            if flags.dtype != np.int8:
+                flags = flags.astype(bool).astype(np.int8)
+            col.frombytes(flags.tobytes())
+        return col
 
     def __len__(self) -> int:
         return len(self.stream_addrs)
@@ -97,6 +122,19 @@ class CacheTrafficResult:
         self.stream_addrs.append(addr)
         self.stream_writes.append(1)
 
+    def extend_arrays(self, cycles, addrs, writes, misses: int = 0) -> None:
+        """Columnar append of parallel array-likes (one C-level copy)."""
+        if len(cycles):
+            self.stream_cycles.frombytes(
+                np.ascontiguousarray(cycles, dtype=np.int64).tobytes())
+            self.stream_addrs.frombytes(
+                np.ascontiguousarray(addrs, dtype=np.int64).tobytes())
+            flags = np.ascontiguousarray(writes)
+            if flags.dtype != np.int8:
+                flags = flags.astype(bool).astype(np.int8)
+            self.stream_writes.frombytes(flags.tobytes())
+        self.misses += misses
+
     def extend_from(self, other: "CacheTrafficResult") -> None:
         """Columnar append of another result's entries (C-level extend)."""
         self.stream_cycles.extend(other.stream_cycles)
@@ -106,34 +144,96 @@ class CacheTrafficResult:
 
     def to_stream(self, layer_id: int) -> BlockStream:
         """One-shot columnar conversion to a :class:`BlockStream`."""
-        n = len(self.stream_addrs)
-        return BlockStream(
-            np.array(self.stream_cycles, dtype=np.int64),
-            np.array(self.stream_addrs, dtype=np.int64).astype(np.uint64),
-            np.array(self.stream_writes, dtype=bool),
-            np.full(n, layer_id, dtype=np.int32),
-            np.full(n, kind_code(AccessKind.METADATA), dtype=np.int8),
-        )
+        return concat_to_stream([self], layer_id)
 
 
-def _run_lists(layout_lines: np.ndarray, stream: BlockStream,
-               line_bytes: int):
-    """Reduce a block stream to run-compressed line accesses, as plain
-    Python scalars ready for the sequential cache drive.
+def concat_to_stream(results: Sequence[CacheTrafficResult],
+                     layer_id: int) -> BlockStream:
+    """One :class:`BlockStream` from several traffic results.
 
-    Layout line addresses are 64 B-aligned by construction, so as long
-    as ``line_bytes`` divides that stride the drive loops can carry tags
-    alone and reconstruct addresses as ``tag * line_bytes`` on the
-    (rarer) miss path.
+    Builds the columns with a single copy per result (no intermediate
+    ``CacheTrafficResult`` concatenation) — the SGX path combines the
+    MAC and VN streams of every layer this way.
     """
+    results = [r for r in results if len(r)]
+    n = sum(len(r) for r in results)
+    cycles = np.empty(n, np.int64)
+    addrs = np.empty(n, np.uint64)
+    writes = np.empty(n, bool)
+    pos = 0
+    for r in results:
+        k = len(r)
+        cycles[pos:pos + k] = np.frombuffer(r.stream_cycles,
+                                            dtype=np.int64)
+        addrs[pos:pos + k] = np.frombuffer(r.stream_addrs, dtype=np.int64)
+        writes[pos:pos + k] = np.frombuffer(r.stream_writes, dtype=np.int8)
+        pos += k
+    return BlockStream(
+        cycles, addrs, writes,
+        np.full(n, layer_id, dtype=np.int32),
+        np.full(n, kind_code(AccessKind.METADATA), dtype=np.int8),
+    )
+
+
+def _line_runs(stream: BlockStream,
+               unit_bytes: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Run-compressed metadata *line indices* of a block stream.
+
+    The reduction is a pure function of the (immutable) stream, so it is
+    memoized on the stream object — every cache drive over the same
+    layer stream (MAC + VN, SGX + MGX, repeated benchmark rounds) shares
+    one reduction.  Returns ``(line_idx, writes, cycles)`` numpy arrays.
+    """
+    memo = getattr(stream, "_line_runs_memo", None)
+    if memo is None:
+        memo = {}
+        stream._line_runs_memo = memo
+    got = memo.get(unit_bytes)
+    if got is None:
+        div = unit_bytes * ENTRIES_PER_LINE
+        if div & (div - 1) == 0:
+            # Power-of-two unit: shift instead of a 64-bit divide.
+            line_idx = stream.addrs.astype(np.int64) >> (
+                div.bit_length() - 1)
+        else:
+            line_idx = ((stream.addrs // unit_bytes)
+                        // ENTRIES_PER_LINE).astype(np.int64)
+        runs, run_writes, run_cycles = compress_runs(
+            line_idx, stream.writes, stream.cycles)
+        got = (runs, run_writes, run_cycles.astype(np.int64))
+        memo[unit_bytes] = got
+    return got
+
+
+def _check_line_bytes(line_bytes: int) -> int:
     if LINE_BYTES % line_bytes:
         raise ValueError(
             f"cache line_bytes={line_bytes} must divide the {LINE_BYTES} B "
             "metadata line stride")
-    run_lines, run_writes, run_cycles = compress_runs(
-        layout_lines, stream.writes, stream.cycles)
-    tags = (run_lines // line_bytes).tolist()
-    return tags, run_writes.tolist(), run_cycles.tolist()
+    return LINE_BYTES // line_bytes
+
+
+def _apply_drive_output(cache: MetadataCache, out: CacheTrafficResult,
+                        result: "native.DriveOutput") -> None:
+    """Fold one kernel drive into the traffic result and cache state."""
+    out.extend_arrays(result.ev_cycles, result.ev_addrs, result.ev_writes,
+                      misses=result.misses)
+    cache.note(result.hits, result.misses, result.evictions,
+               result.dirty_evictions)
+    cache.set_state_arrays(result.state_tags, result.state_dirty)
+
+
+def _apply_engine_result(cache: MetadataCache, out: CacheTrafficResult,
+                         result: "reuse_engine.DriveResult",
+                         cycles: np.ndarray, tags: np.ndarray,
+                         wb_first: bool) -> None:
+    """Fold one reuse-engine drive into the traffic result and state."""
+    _, ev_cyc, ev_addr, ev_wr = reuse_engine.assemble_events(
+        result, cycles, tags, cache.line_bytes, wb_first=wb_first)
+    out.extend_arrays(ev_cyc, ev_addr, ev_wr, misses=result.misses)
+    cache.note(result.hits, result.misses, result.evictions,
+               result.dirty_evictions)
+    cache.set_state_arrays(result.state_tags, result.state_dirty)
 
 
 class MacTableModel:
@@ -143,47 +243,30 @@ class MacTableModel:
         self.layout = layout
         self.cache = cache
 
-    def process(self, stream: BlockStream, out: CacheTrafficResult) -> None:
-        lines = self.layout.mac_line_addrs_vec(stream.addrs).astype(np.uint64)
-        tags, writes, cycles = _run_lists(lines, stream,
-                                          self.cache.line_bytes)
+    def _tag_base(self) -> int:
+        """MAC tag of line index 0 (tags advance by the line ratio)."""
+        return self.layout.mac_line_addr(0) // self.cache.line_bytes
 
-        # Inlined LRU drive (same discipline as MetadataCache.access):
-        # a miss emits the line fetch, a dirty eviction emits the
-        # writeback, stats fold in afterwards.
-        od = self.cache.raw_lines
-        cap = self.cache.capacity_lines
-        lb = self.cache.line_bytes
-        move, pop = od.move_to_end, od.popitem
-        ap_c = out.stream_cycles.append
-        ap_a = out.stream_addrs.append
-        ap_w = out.stream_writes.append
-        hits = misses = evictions = dirty = 0
-        for tag, wr, cyc in zip(tags, writes, cycles):
-            if tag in od:
-                hits += 1
-                move(tag)
-                if wr:
-                    od[tag] = True
-            else:
-                misses += 1
-                wb = -1
-                if len(od) >= cap:
-                    old_tag, old_dirty = pop(last=False)
-                    evictions += 1
-                    if old_dirty:
-                        dirty += 1
-                        wb = old_tag * lb
-                od[tag] = wr
-                ap_c(cyc)
-                ap_a(tag * lb)
-                ap_w(0)
-                if wb >= 0:
-                    ap_c(cyc)
-                    ap_a(wb)
-                    ap_w(1)
-        out.misses += misses
-        self.cache.note(hits, misses, evictions, dirty)
+    def process(self, stream: BlockStream, out: CacheTrafficResult) -> None:
+        ratio = _check_line_bytes(self.cache.line_bytes)
+        idx, writes, cycles = _line_runs(stream, self.layout.unit_bytes)
+        if ratio != 1:
+            idx = idx * ratio
+        base = self._tag_base()
+        kernel = native.fused_drive(
+            idx, writes, cycles, self.cache.line_bytes,
+            mac=(base, self.cache.capacity_lines,
+                 self.cache.drive_state()))
+        if kernel is not None:
+            _apply_drive_output(self.cache, out, kernel[0])
+            return
+        tags = base + idx
+        state = self.cache.raw_lines
+        result = reuse_engine.drive(
+            tags, writes, self.cache.capacity_lines,
+            list(state.keys()), list(state.values()))
+        _apply_engine_result(self.cache, out, result, cycles, tags,
+                             wb_first=False)
 
     def flush(self, cycle: int, out: CacheTrafficResult) -> None:
         for addr in self.cache.flush():
@@ -195,7 +278,7 @@ class VnTreeModel:
 
     On a VN-line miss the tree is walked upward; each level is looked up
     in the same cache and the walk stops at the first hit (or the on-chip
-    root). Writes dirty the VN line (counter increment); the tree levels
+    root).  Writes dirty the VN line (counter increment); the tree levels
     are re-hashed lazily on eviction, modelled by the dirty-eviction
     writeback of the touched nodes.
     """
@@ -212,12 +295,55 @@ class VnTreeModel:
         #: keeps VN lines contiguous from the table base).
         self._vn_base_tag = layout.vn_line_addr(0) // cache.line_bytes
 
-    def process(self, stream: BlockStream, out: CacheTrafficResult) -> None:
-        layout = self.layout
-        lines = layout.vn_line_addrs_vec(stream.addrs).astype(np.uint64)
-        tags, writes, cycles = _run_lists(lines, stream,
-                                          self.cache.line_bytes)
+    def _walk_spec(self) -> Tuple[np.ndarray, np.ndarray, int]:
+        """Per-level (node base tag, leaf divisor) arrays + tag ratio."""
+        lb = self.cache.line_bytes
+        node_base = np.array([base // lb for base, _ in self._walk], np.int64)
+        node_div = np.array([div for _, div in self._walk], np.int64)
+        return node_base, node_div, LINE_BYTES // lb
 
+    def process(self, stream: BlockStream, out: CacheTrafficResult) -> None:
+        ratio = _check_line_bytes(self.cache.line_bytes)
+        idx, writes, cycles = _line_runs(stream, self.layout.unit_bytes)
+        if ratio != 1:
+            idx = idx * ratio
+        base = self._vn_base_tag
+        node_base, node_div, _ = self._walk_spec()
+        kernel = native.fused_drive(
+            idx, writes, cycles, self.cache.line_bytes,
+            vn=(base, self.cache.capacity_lines, 0, ratio,
+                self.cache.drive_state(), node_base, node_div, ratio))
+        if kernel is not None:
+            _apply_drive_output(self.cache, out, kernel[1])
+            return
+        self._process_engine(base + idx, idx // ratio if ratio != 1 else idx,
+                             writes, cycles, out)
+
+    def _process_engine(self, tags: np.ndarray, leaf_idx: np.ndarray,
+                        writes: np.ndarray, cycles: np.ndarray,
+                        out: CacheTrafficResult) -> None:
+        """Reuse-distance fixpoint drive with the scalar-oracle fallback."""
+        node_base, node_div, ratio = self._walk_spec()
+
+        def node_tags(level: int, rid: np.ndarray) -> np.ndarray:
+            return (node_base[level - 1]
+                    + (leaf_idx[rid] // node_div[level - 1]) * ratio)
+
+        state = self.cache.raw_lines
+        vn = reuse_engine.drive_vn_tree(
+            tags, writes, self.cache.capacity_lines, self.tree_levels,
+            node_tags, list(state.keys()), list(state.values()))
+        if vn is not None:
+            seq_cycles = cycles[vn.run_of_pos] if len(vn.run_of_pos) else cycles
+            _apply_engine_result(self.cache, out, vn.result, seq_cycles,
+                                 vn.seq_tags, wb_first=True)
+            return
+        self._process_scalar(tags, writes, cycles, out)
+
+    def _process_scalar(self, tags, writes, cycles,
+                        out: CacheTrafficResult) -> None:
+        """The ``OrderedDict`` oracle drive (exact for any stream); used
+        when the VN fixpoint does not settle on an adversarial stream."""
         od = self.cache.raw_lines
         cap = self.cache.capacity_lines
         lb = self.cache.line_bytes
@@ -228,7 +354,8 @@ class VnTreeModel:
         walk = self._walk
         base_tag = self._vn_base_tag
         hits = misses = evictions = dirty = 0
-        for tag, wr, cyc in zip(tags, writes, cycles):
+        for tag, wr, cyc in zip(tags.tolist(), writes.tolist(),
+                                cycles.tolist()):
             if tag in od:
                 hits += 1
                 move(tag)
@@ -287,9 +414,10 @@ def process_mac_vn(mac_model: MacTableModel, vn_model: VnTreeModel,
     """Drive the MAC table and VN tree over ``stream`` in one pass.
 
     Both tables index by the same protection-unit line, so their run
-    boundaries coincide; one reduction and one traversal feed both LRU
-    models. Per-model event order and cache behaviour are identical to
-    calling ``mac_model.process`` then ``vn_model.process``.
+    boundaries coincide; one reduction feeds both LRU models.  The two
+    caches are independent, so per-model event order and cache behaviour
+    are identical to calling ``mac_model.process`` then
+    ``vn_model.process``.
     """
     mac_cache, vn_cache = mac_model.cache, vn_model.cache
     if (mac_cache.line_bytes != LINE_BYTES
@@ -298,103 +426,53 @@ def process_mac_vn(mac_model: MacTableModel, vn_model: VnTreeModel,
         vn_model.process(stream, vn_out)
         return
     layout = mac_model.layout
-    line_idx = (stream.addrs // layout.unit_bytes) // ENTRIES_PER_LINE
-    run_idx, run_writes, run_cycles = compress_runs(
-        line_idx, stream.writes, stream.cycles)
-    idxs = run_idx.tolist()
-    writes = run_writes.tolist()
-    cycles = run_cycles.tolist()
+    idx, writes, cycles = _line_runs(stream, layout.unit_bytes)
     mac_base = layout.mac_line_addr(0) // LINE_BYTES
     vn_base = layout.vn_line_addr(0) // LINE_BYTES
+    node_base, node_div, ratio = vn_model._walk_spec()
 
-    m_od = mac_cache.raw_lines
-    m_cap = mac_cache.capacity_lines
-    m_move, m_pop = m_od.move_to_end, m_od.popitem
-    m_c = mac_out.stream_cycles.append
-    m_a = mac_out.stream_addrs.append
-    m_w = mac_out.stream_writes.append
-    v_od = vn_cache.raw_lines
-    v_cap = vn_cache.capacity_lines
-    v_move, v_pop = v_od.move_to_end, v_od.popitem
-    v_c = vn_out.stream_cycles.append
-    v_a = vn_out.stream_addrs.append
-    v_w = vn_out.stream_writes.append
-    walk = vn_model._walk
-    m_hits = m_misses = m_ev = m_dirty = 0
-    v_hits = v_misses = v_ev = v_dirty = 0
-    for idx, wr, cyc in zip(idxs, writes, cycles):
-        # MAC table: miss fetch first, dirty eviction after.
-        tag = mac_base + idx
-        if tag in m_od:
-            m_hits += 1
-            m_move(tag)
-            if wr:
-                m_od[tag] = True
-        else:
-            m_misses += 1
-            wb = -1
-            if len(m_od) >= m_cap:
-                old_tag, old_dirty = m_pop(last=False)
-                m_ev += 1
-                if old_dirty:
-                    m_dirty += 1
-                    wb = old_tag * LINE_BYTES
-            m_od[tag] = wr
-            m_c(cyc)
-            m_a(tag * LINE_BYTES)
-            m_w(0)
-            if wb >= 0:
-                m_c(cyc)
-                m_a(wb)
-                m_w(1)
-        # VN line: dirty eviction surfaces before the fetch, then the
-        # tree walk up to the first cached ancestor.
-        tag = vn_base + idx
-        if tag in v_od:
-            v_hits += 1
-            v_move(tag)
-            if wr:
-                v_od[tag] = True
-            continue
-        v_misses += 1
-        if len(v_od) >= v_cap:
-            old_tag, old_dirty = v_pop(last=False)
-            v_ev += 1
-            if old_dirty:
-                v_dirty += 1
-                v_c(cyc)
-                v_a(old_tag * LINE_BYTES)
-                v_w(1)
-        v_od[tag] = wr
-        v_c(cyc)
-        v_a(tag * LINE_BYTES)
-        v_w(0)
-        for base, div in walk:
-            node = base + (idx // div) * LINE_BYTES
-            ntag = node // LINE_BYTES
-            if ntag in v_od:
-                v_hits += 1
-                v_move(ntag)
-                if wr:
-                    v_od[ntag] = True
-                break
-            v_misses += 1
-            if len(v_od) >= v_cap:
-                old_tag, old_dirty = v_pop(last=False)
-                v_ev += 1
-                if old_dirty:
-                    v_dirty += 1
-                    v_c(cyc)
-                    v_a(old_tag * LINE_BYTES)
-                    v_w(1)
-            v_od[ntag] = wr
-            v_c(cyc)
-            v_a(node)
-            v_w(0)
-    mac_out.misses += m_misses
-    vn_out.misses += v_misses
-    mac_cache.note(m_hits, m_misses, m_ev, m_dirty)
-    vn_cache.note(v_hits, v_misses, v_ev, v_dirty)
+    kernel = native.fused_drive(
+        idx, writes, cycles, LINE_BYTES,
+        mac=(mac_base, mac_cache.capacity_lines, mac_cache.drive_state()),
+        vn=(vn_base, vn_cache.capacity_lines, 0, 1,
+            vn_cache.drive_state(), node_base, node_div, ratio))
+    if kernel is not None:
+        _apply_drive_output(mac_cache, mac_out, kernel[0])
+        _apply_drive_output(vn_cache, vn_out, kernel[1])
+        return
+
+    # Vectorized path: the occurrence chains depend only on the line-run
+    # equality structure, so MAC and VN share one link build.
+    mac_tags = mac_base + idx
+    mac_state = mac_cache.raw_lines
+    if len(mac_state):
+        mac_result = reuse_engine.drive(
+            mac_tags, writes, mac_cache.capacity_lines,
+            list(mac_state.keys()), list(mac_state.values()))
+        links = None
+    else:
+        links = reuse_engine.build_links(idx)
+        mac_result = reuse_engine.drive_links(
+            links, mac_tags, writes, mac_cache.capacity_lines)
+    _apply_engine_result(mac_cache, mac_out, mac_result, cycles, mac_tags,
+                         wb_first=False)
+
+    vn_tags = vn_base + idx
+
+    def node_tags(level: int, rid: np.ndarray) -> np.ndarray:
+        return node_base[level - 1] + idx[rid] // node_div[level - 1]
+
+    vn_state = vn_cache.raw_lines
+    vn = reuse_engine.drive_vn_tree(
+        vn_tags, writes, vn_cache.capacity_lines, vn_model.tree_levels,
+        node_tags, list(vn_state.keys()), list(vn_state.values()),
+        backbone=links if not len(vn_state) else None)
+    if vn is not None:
+        seq_cycles = cycles[vn.run_of_pos] if len(vn.run_of_pos) else cycles
+        _apply_engine_result(vn_cache, vn_out, vn.result, seq_cycles,
+                             vn.seq_tags, wb_first=True)
+    else:
+        vn_model._process_scalar(vn_tags, writes, cycles, vn_out)
 
 
 class SharedTrafficModel:

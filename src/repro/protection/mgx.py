@@ -22,9 +22,9 @@ from repro.protection.base import (
 )
 from repro.protection.layout import MetadataLayout
 from repro.protection.metadata_model import (
-    CacheTrafficResult,
     MacTableModel,
     SharedTrafficModel,
+    concat_to_stream,
     expanded_data_stream,
 )
 from repro.protection.sgx import DEFAULT_AES_ENGINES
@@ -57,15 +57,14 @@ class MgxScheme(ProtectionScheme):
         data_stream, overfetch_blocks = expanded_data_stream(
             result.trace, self.unit_bytes)
 
-        out = CacheTrafficResult()
-        out.extend_from(
-            self._mac_model.process_layer(data_stream, result.layer_id))
+        mac_out = self._mac_model.process_layer(data_stream,
+                                                result.layer_id)
 
         self._note_stream(data_stream, result.layer_id)
         return LayerProtection(
             layer_id=result.layer_id,
             data_stream=data_stream,
-            metadata_stream=out.to_stream(result.layer_id),
+            metadata_stream=concat_to_stream([mac_out], result.layer_id),
             crypto_bytes=data_stream.total_bytes,
             mac_computations=len(data_stream),
             overfetch_blocks=overfetch_blocks,

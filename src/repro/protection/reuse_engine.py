@@ -1,0 +1,546 @@
+"""Vectorized reuse-distance engine for fully-associative LRU caches.
+
+The metadata cache models (:mod:`repro.protection.metadata_model`) need
+millions of LRU decisions per sweep; driving an ``OrderedDict`` one
+access at a time made them the last scalar hot path in the pipeline.
+This module computes the exact same behaviour offline with numpy.
+
+Theory (classic stack-distance results, Mattson et al.):
+
+- **Hits.** For a fully-associative LRU cache of capacity ``C``, an
+  access to tag ``t`` at position ``i`` with previous occurrence ``p``
+  hits iff the number of *distinct* tags touched in ``(p, i)`` is less
+  than ``C``.  That count equals ``(D_i - 1) - g_i`` where ``D_i`` is
+  the number of distinct tags seen before ``i`` and ``g_i`` counts
+  positions ``j <= p`` whose *next* occurrence lies beyond ``i`` —
+  "links" that enclose the reuse window.  Both are order-independent
+  properties of the access string, so they are computable offline.
+- **Victims.** The cache always holds the ``C`` most recently used
+  distinct tags, so victim positions are strictly increasing over time,
+  and the set of evicted occurrences has a closed form: an occurrence
+  is evicted iff its tag's next access is a miss (the line fell out
+  before the re-reference) or it is a final occurrence that does not
+  survive into the final cache.  Sorting that set pairs it 1:1, in
+  order, with the full-cache misses.
+- **Dirty lines.** A victim is written back iff any access in its
+  residency segment (from the miss that allocated it to its last use)
+  was a write — a segmented OR over per-tag occurrence lists.
+- **Warm starts.** A non-empty cache is modelled by prepending one
+  synthetic access per resident line (in LRU order, write flag = dirty
+  bit).  The synthetic prefix produces only compulsory misses and no
+  evictions (state size never exceeds ``C``), so slicing it off yields
+  the warm-cache behaviour exactly.
+
+Most accesses are classified by O(1) filters (short reuse window, cold
+cache, first touch); the residual ambiguous windows are bounded by a 2D
+block histogram over the enclosing links, and only the rare windows
+whose bounds straddle ``C`` fall through to an exact offline dominance
+count (a Fenwick-style binary prefix decomposition with the queries
+folded into per-level value sorts — no per-access Python loop anywhere).
+
+Everything here is exact: results are bit-identical to
+:class:`repro.utils.lru.LruCache`, which remains the reference oracle
+(``tests/protection/test_reuse_engine.py`` pins the equivalence on
+adversarial streams).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.sorting import stable_order
+
+_POS_SENTINEL = -1
+
+
+# ---------------------------------------------------------------------------
+# occurrence structure
+
+
+@dataclass
+class LinkStructure:
+    """Previous/next occurrence chains of one tag sequence.
+
+    ``po`` lists positions grouped by tag (each group's positions
+    ascending); ``prev``/``nxt`` give the previous/next occurrence of
+    the same tag per position (``-1`` / ``n`` when none).  The chains
+    depend only on equality structure, so sequences that differ by a
+    constant tag offset share one :class:`LinkStructure`.
+    """
+
+    prev: np.ndarray
+    nxt: np.ndarray
+    po: np.ndarray
+
+
+def build_links(tags: np.ndarray) -> LinkStructure:
+    """Occurrence chains via one packed value sort (no argsort)."""
+    n = len(tags)
+    if n == 0:
+        empty = np.empty(0, np.int64)
+        return LinkStructure(empty, empty, empty)
+    t = np.asarray(tags, dtype=np.int64)
+    base = int(t.min())
+    po = stable_order(t - base)
+    pt = t[po] - base
+    same = np.empty(n, dtype=bool)
+    same[0] = False
+    np.equal(pt[1:], pt[:-1], out=same[1:])
+    prev = np.full(n, _POS_SENTINEL, np.int64)
+    nxt = np.full(n, n, np.int64)
+    src = po[:-1][same[1:]]
+    dst = po[1:][same[1:]]
+    prev[dst] = src
+    nxt[src] = dst
+    return LinkStructure(prev, nxt, po)
+
+
+# ---------------------------------------------------------------------------
+# exact offline dominance count (the rare slow path)
+
+
+def _dominance_le_le(starts: np.ndarray, ends: np.ndarray,
+                     P: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Per query ``k``: ``#{j : starts[j] <= P[k] and ends[j] <= B[k]}``.
+
+    ``starts`` must be ascending.  Binary prefix decomposition over the
+    rank axis; at each level the active queries are folded into one
+    packed value sort with the points, so no Fenwick tree and no
+    per-query loop exist.
+    """
+    L, q = len(starts), len(P)
+    out = np.zeros(q, np.int64)
+    if L == 0 or q == 0:
+        return out
+    Pr = np.searchsorted(starts, P, side="right")
+    vbits = max(1, int(max(int(ends.max()), int(B.max()))).bit_length() + 1)
+    qbits = max(1, int(q - 1).bit_length()) if q > 1 else 1
+    rank = np.arange(L, dtype=np.int64)
+    rank_bits = max(1, int(L).bit_length())
+    packed_ok = rank_bits + vbits + 1 + qbits <= 62
+    shift = vbits + 1 + qbits
+    pkey = ends << (1 + qbits)
+    qflag = np.int64(1) << qbits
+    qid = np.arange(q, dtype=np.int64)
+    for lev in range(int(L).bit_length()):
+        active = (Pr >> lev) & 1 == 1
+        if not active.any():
+            continue
+        qa = np.flatnonzero(active)
+        seg_q = (Pr[qa] >> (lev + 1)) << 1
+        if packed_ok:
+            keys = np.concatenate([
+                ((rank >> lev) << shift) | pkey,
+                (seg_q << shift) | (B[qa] << (1 + qbits)) | qflag | qid[qa],
+            ])
+            keys.sort()
+            isq = (keys >> qbits) & 1 == 1
+            cnt = np.cumsum(~isq)
+            slots = np.flatnonzero(isq)
+            ids = keys[slots] & (qflag - 1)
+            seg_at = keys[slots] >> shift
+        else:
+            # Streams long enough to overflow the packed composite:
+            # same level pass over parallel columns via lexsort.
+            seg = np.concatenate([rank >> lev, seg_q])
+            val = np.concatenate([ends, B[qa]])
+            isq = np.zeros(len(seg), dtype=bool)
+            isq[L:] = True
+            ids_col = np.concatenate([np.zeros(L, np.int64), qid[qa]])
+            order = np.lexsort((isq, val, seg))
+            isq = isq[order]
+            cnt = np.cumsum(~isq)
+            slots = np.flatnonzero(isq)
+            ids = ids_col[order][slots]
+            seg_at = seg[order][slots]
+        out[ids] += cnt[slots] - (seg_at << lev)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# hit/miss classification
+
+
+def _classify_hits(prev: np.ndarray, nxt: np.ndarray,
+                   capacity: int) -> np.ndarray:
+    """Exact hit mask via reuse-distance filters + bounded refinement."""
+    n = len(prev)
+    C = capacity
+    is_first = prev < 0
+    D_before = np.cumsum(is_first)
+    D_before -= is_first
+    pos = np.arange(n, dtype=np.int64)
+    winlen = pos - prev
+
+    hit = (winlen <= C) | (D_before <= C)   # winlen here is window + 1
+    np.logical_and(hit, ~is_first, out=hit)
+    amb = np.flatnonzero(~hit & ~is_first)
+    if not len(amb):
+        return hit
+
+    # Enclosing-link count g for ambiguous windows: final occurrences
+    # enclose every later window that starts after them (cheap prefix
+    # count); proper links can only enclose a window of length >= C if
+    # they are long themselves.
+    final_pos = np.flatnonzero(nxt == n)
+    link_start = np.flatnonzero((nxt < n) & (nxt - pos >= C + 2))
+    link_end = nxt[link_start]
+    P, B = prev[amb], amb
+    g_last = np.searchsorted(final_pos, P, side="right")
+    ub1 = np.searchsorted(link_start, P, side="right")
+
+    # 2D block histogram over (start, end) tightens g to a small band.
+    nlinks = len(link_start)
+    if nlinks:
+        kb = max(0, int(n).bit_length() - 7)
+        nb = (n >> kb) + 2
+        hist = np.bincount((link_start >> kb) * nb + (link_end >> kb),
+                           minlength=nb * nb).reshape(nb, nb)
+        flat = hist.cumsum(axis=0).cumsum(axis=1).ravel()
+        a, b = P >> kb, B >> kb
+        sub_ub = flat[a * nb + b]
+        sub_lb = np.where((a > 0) & (b > 0), flat[(a - 1) * nb + (b - 1)], 0)
+    else:
+        sub_ub = sub_lb = np.zeros(len(amb), np.int64)
+    g_ub = ub1 - sub_lb + g_last
+    g_lb = ub1 - sub_ub + g_last
+    cnt_lo = D_before[amb] - 1 - g_ub
+    cnt_hi = D_before[amb] - 1 - g_lb
+    hit[amb[cnt_hi < C]] = True
+    unresolved = ~((cnt_hi < C) | (cnt_lo >= C))
+    res = amb[unresolved]
+    if len(res):
+        inside = _dominance_le_le(link_start, link_end, prev[res], res)
+        g = ub1[unresolved] - inside + g_last[unresolved]
+        hit[res[(D_before[res] - 1 - g) < C]] = True
+    return hit
+
+
+# ---------------------------------------------------------------------------
+# the drive
+
+
+@dataclass
+class DriveResult:
+    """Outcome of one exact LRU drive over ``n`` real accesses.
+
+    Positions are indices into the *real* access arrays (the synthetic
+    warm-start prefix is already sliced off).  ``evict_pos`` pairs with
+    ``victim_tag``/``victim_dirty`` element-wise and is ascending.
+    ``state_tags``/``state_dirty`` snapshot the final contents in LRU
+    order (least recent first), ready to rebuild an ``OrderedDict``.
+    """
+
+    hit: np.ndarray
+    miss_pos: np.ndarray
+    evict_pos: np.ndarray
+    victim_tag: np.ndarray
+    victim_dirty: np.ndarray
+    state_tags: np.ndarray
+    state_dirty: np.ndarray
+
+    @property
+    def hits(self) -> int:
+        return int(self.hit.sum())
+
+    @property
+    def misses(self) -> int:
+        return len(self.hit) - self.hits
+
+    @property
+    def evictions(self) -> int:
+        return len(self.evict_pos)
+
+    @property
+    def dirty_evictions(self) -> int:
+        return int(self.victim_dirty.sum())
+
+
+def _finalize(prev: np.ndarray, nxt: np.ndarray, po: np.ndarray,
+              tags: np.ndarray, writes: np.ndarray, hit: np.ndarray,
+              capacity: int, prefix: int) -> DriveResult:
+    """Victim pairing, dirty reconstruction and final state from an
+    exact hit mask (see module docstring for the closed forms)."""
+    n = len(tags)
+    C = capacity
+    miss = ~hit
+    is_first = prev < 0
+    D_before = np.cumsum(is_first)
+    D_before -= is_first
+    evict_pos = np.flatnonzero(miss & (D_before >= C))
+
+    vmask = np.zeros(n, dtype=bool)
+    has_next = nxt < n
+    vmask[has_next] = miss[nxt[has_next]]
+    lastocc = np.flatnonzero(~has_next)           # ascending = LRU order
+    n_cached = min(C, len(lastocc))
+    if n_cached < len(lastocc):
+        vmask[lastocc[:len(lastocc) - n_cached]] = True
+    victims = np.flatnonzero(vmask)
+    if len(victims) != len(evict_pos):
+        raise RuntimeError(
+            "reuse-distance engine victim/eviction mismatch "
+            f"({len(victims)} victims, {len(evict_pos)} evictions)")
+
+    starts = np.flatnonzero(miss[po])
+    seg_or = np.logical_or.reduceat(writes[po], starts)
+    dirty_by_pos = np.empty(n, dtype=bool)
+    dirty_by_pos[po] = np.repeat(seg_or, np.diff(np.append(starts, n)))
+
+    state_pos = lastocc[len(lastocc) - n_cached:]
+    m = prefix
+    return DriveResult(
+        hit=hit[m:],
+        miss_pos=np.flatnonzero(miss[m:]),
+        evict_pos=evict_pos - m,
+        victim_tag=tags[victims],
+        victim_dirty=dirty_by_pos[victims],
+        state_tags=tags[state_pos],
+        state_dirty=dirty_by_pos[state_pos],
+    )
+
+
+def drive_links(links: LinkStructure, tags: np.ndarray, writes: np.ndarray,
+                capacity: int, prefix: int = 0) -> DriveResult:
+    """Exact LRU drive over a sequence with a prebuilt link structure.
+
+    ``prefix`` is the length of the synthetic warm-start prefix; the
+    first ``prefix`` accesses are state reconstruction, not traffic, and
+    are sliced out of every reported quantity.
+    """
+    if len(tags) == 0:
+        empty = np.empty(0, np.int64)
+        return DriveResult(np.empty(0, bool), empty, empty, empty,
+                           np.empty(0, bool), empty, np.empty(0, bool))
+    hit = _classify_hits(links.prev, links.nxt, capacity)
+    return _finalize(links.prev, links.nxt, links.po, tags, writes, hit,
+                     capacity, prefix)
+
+
+def drive(tags: np.ndarray, writes: np.ndarray, capacity: int,
+          init_tags: Sequence[int] = (),
+          init_dirty: Sequence[bool] = ()) -> DriveResult:
+    """Exact LRU drive of ``tags``/``writes`` from a warm cache state."""
+    tags = np.asarray(tags, dtype=np.int64)
+    writes = np.asarray(writes, dtype=bool)
+    m = len(init_tags)
+    if m:
+        tags = np.concatenate([np.asarray(init_tags, np.int64), tags])
+        writes = np.concatenate([np.asarray(init_dirty, bool), writes])
+    return drive_links(build_links(tags), tags, writes, capacity, prefix=m)
+
+
+# ---------------------------------------------------------------------------
+# event assembly
+
+
+def assemble_events(result: DriveResult, cycles: np.ndarray,
+                    addr_of_pos: np.ndarray, line_bytes: int,
+                    wb_first: bool) -> Tuple[np.ndarray, np.ndarray,
+                                             np.ndarray, np.ndarray]:
+    """Interleave miss fetches and dirty-eviction writebacks.
+
+    Returns ``(ev_pos, ev_cycles, ev_addrs, ev_writes)`` in the exact
+    order the scalar drive emits them: one read per miss, one write per
+    dirty eviction, the writeback before (VN discipline) or after (MAC
+    discipline) the fetch of the access that caused it.
+    """
+    miss_pos = result.miss_pos
+    k = np.arange(len(miss_pos), dtype=np.int64)
+    wb_sel = result.victim_dirty
+    wb_pos = result.evict_pos[wb_sel]
+    wb_addr = result.victim_tag[wb_sel] * line_bytes
+    has_wb = np.zeros(len(miss_pos), dtype=np.int64)
+    has_wb[np.searchsorted(miss_pos, wb_pos)] = 1
+    wb_before = np.cumsum(has_wb) - has_wb
+    if wb_first:
+        read_slot = k + wb_before + has_wb
+        wb_slot = (k + wb_before)[has_wb == 1]
+    else:
+        read_slot = k + wb_before
+        wb_slot = read_slot[has_wb == 1] + 1
+    total = len(miss_pos) + len(wb_pos)
+    ev_pos = np.empty(total, np.int64)
+    ev_addr = np.empty(total, np.int64)
+    ev_write = np.zeros(total, dtype=np.int8)
+    ev_pos[read_slot] = miss_pos
+    ev_addr[read_slot] = addr_of_pos[miss_pos] * line_bytes
+    ev_pos[wb_slot] = wb_pos
+    ev_addr[wb_slot] = wb_addr
+    ev_write[wb_slot] = 1
+    return ev_pos, cycles[ev_pos], ev_addr, ev_write
+
+
+# ---------------------------------------------------------------------------
+# VN-tree drive: conditional ancestor walk via verified fixpoint
+
+
+@dataclass
+class VnDriveResult:
+    """Realized VN + tree access sequence with its drive outcome."""
+
+    result: DriveResult
+    run_of_pos: np.ndarray        # sequence position -> source run index
+    seq_tags: np.ndarray
+    iterations: int
+
+
+def drive_vn_tree(vn_tags: np.ndarray, writes: np.ndarray, capacity: int,
+                  tree_levels: int,
+                  node_tags: Callable[[int, np.ndarray], np.ndarray],
+                  init_tags: Sequence[int] = (),
+                  init_dirty: Sequence[bool] = (),
+                  backbone: Optional[LinkStructure] = None,
+                  max_iters: int = 24) -> Optional[VnDriveResult]:
+    """Exact drive of the VN cache including the conditional tree walk.
+
+    The walk is data-dependent — a VN-line miss probes ancestors until
+    one is cached — so the realized access sequence is not known up
+    front.  The engine iterates a walk-depth hypothesis to a fixpoint:
+    a sequence whose offline hit/miss classification reproduces exactly
+    the walk that generated it *is* the realized execution (the true
+    execution is the unique self-consistent sequence, by induction on
+    positions — an access's outcome depends only on the sequence before
+    it, and the settled prefix grows every round).  Returns ``None``
+    when the iteration does not settle within ``max_iters``; callers
+    fall back to the scalar oracle (adversarial synthetic streams can
+    oscillate for many rounds; the zoo workloads settle in a handful).
+
+    ``backbone`` optionally shares the VN-line run chains computed by a
+    caller that already built them (the fused MAC+VN driver: both
+    tables index by the same line runs, so the chains coincide).
+    ``init_tags`` selects the generic warm-start path (used by the
+    per-layer API); the whole-model driver always starts cold.
+    """
+    n = len(vn_tags)
+    vn_tags = np.asarray(vn_tags, dtype=np.int64)
+    writes = np.asarray(writes, dtype=bool)
+    if n == 0:
+        res = drive(vn_tags, writes, capacity, init_tags, init_dirty)
+        return VnDriveResult(res, np.empty(0, np.int64), vn_tags, 0)
+    if len(init_tags):
+        return _drive_vn_generic(vn_tags, writes, capacity, tree_levels,
+                                 node_tags, init_tags, init_dirty, max_iters)
+
+    L = tree_levels
+    rid_all = np.arange(n, dtype=np.int64)
+    anc = np.empty((L + 1, n), np.int64)
+    anc[0] = vn_tags
+    for lev in range(1, L + 1):
+        anc[lev] = node_tags(lev, rid_all)
+    bb = backbone if backbone is not None else build_links(vn_tags)
+    has_pr = np.flatnonzero(bb.prev >= 0)
+    bb_prev = bb.prev[has_pr]
+    has_nr = np.flatnonzero(bb.nxt < n)
+    bb_nxt = bb.nxt[has_nr]
+
+    # Seed: walk one level under every backbone-only miss.
+    if L == 0:
+        depth = np.zeros(n, np.int64)
+    else:
+        depth = np.where(_classify_hits(bb.prev, bb.nxt, capacity), 0, 1)
+    for it in range(max_iters):
+        counts = depth + 1
+        off = np.cumsum(counts)
+        N = int(off[-1])
+        off -= counts
+        rid = np.repeat(rid_all, counts)
+        level = np.arange(N, dtype=np.int64) - off[rid]
+        tags = anc.ravel()[level * n + rid]
+        prev = np.full(N, _POS_SENTINEL, np.int64)
+        nxt = np.full(N, N, np.int64)
+        prev[off[has_pr]] = off[bb_prev]
+        nxt[off[has_nr]] = off[bb_nxt]
+        inj = np.flatnonzero(level)
+        if len(inj):
+            itags = tags[inj]
+            pos_bits = max(1, int(N - 1).bit_length())
+            packed = ((itags - itags.min()) << pos_bits) | inj
+            packed.sort()
+            po_inj = packed & ((1 << pos_bits) - 1)
+            pt = packed >> pos_bits
+            same = pt[1:] == pt[:-1]
+            src = po_inj[:-1][same]
+            dst = po_inj[1:][same]
+            prev[dst] = src
+            nxt[src] = dst
+        else:
+            po_inj = inj
+        hit = _classify_hits(prev, nxt, capacity)
+
+        # Walk depths this classification implies: 0 on a VN hit, else
+        # the first cached ancestor level (injected probes are in level
+        # order, so the first hit probe per run is the minimum).
+        vn_hit = hit[off]
+        walk_hit = np.full(n, L, np.int64)
+        probe = np.flatnonzero(hit & (level > 0))
+        if len(probe):
+            pr = rid[probe]
+            first = np.empty(len(pr), dtype=bool)
+            first[0] = True
+            np.not_equal(pr[1:], pr[:-1], out=first[1:])
+            walk_hit[pr[first]] = level[probe[first]]
+        new_depth = np.where(vn_hit, 0, walk_hit)
+        if np.array_equal(new_depth, depth):
+            po = np.concatenate([off[bb.po], po_inj])
+            result = _finalize(prev, nxt, po, tags, writes[rid], hit,
+                               capacity, prefix=0)
+            return VnDriveResult(result, rid, tags, it + 1)
+        depth = new_depth
+    return None
+
+
+def _drive_vn_generic(vn_tags, writes, capacity, tree_levels, node_tags,
+                      init_tags, init_dirty,
+                      max_iters) -> Optional[VnDriveResult]:
+    """Warm-start VN fixpoint (full structure rebuild per round).
+
+    Only the per-layer :meth:`VnTreeModel.process` API lands here; the
+    whole-model driver starts from a cold cache and takes the
+    incremental path in :func:`drive_vn_tree`.
+    """
+    n = len(vn_tags)
+    m = len(init_tags)
+    prefix_tags = np.asarray(init_tags, np.int64)
+    prefix_writes = np.asarray(init_dirty, bool)
+    rid_all = np.arange(n, dtype=np.int64)
+    L = tree_levels
+    depth = np.zeros(n, np.int64)
+    for it in range(max_iters):
+        counts = depth + 1
+        off = np.cumsum(counts)
+        off -= counts
+        rid = np.repeat(rid_all, counts)
+        level = np.arange(len(rid), dtype=np.int64) - off[rid]
+        tags = np.empty(len(rid), np.int64)
+        base = level == 0
+        tags[base] = vn_tags[rid[base]]
+        for lev in range(1, int(depth.max(initial=0)) + 1):
+            sel = level == lev
+            if sel.any():
+                tags[sel] = node_tags(lev, rid[sel])
+        seq_writes = writes[rid]
+        full_tags = np.concatenate([prefix_tags, tags])
+        full_writes = np.concatenate([prefix_writes, seq_writes])
+        links = build_links(full_tags)
+        hit_full = _classify_hits(links.prev, links.nxt, capacity)
+        hit = hit_full[m:]
+        vn_hit = hit[off]
+        walk_hit = np.full(n, L, np.int64)
+        probe = np.flatnonzero(hit & (level > 0))
+        if len(probe):
+            pr = rid[probe]
+            first = np.empty(len(pr), dtype=bool)
+            first[0] = True
+            np.not_equal(pr[1:], pr[:-1], out=first[1:])
+            walk_hit[pr[first]] = level[probe[first]]
+        new_depth = np.where(vn_hit, 0, walk_hit)
+        if np.array_equal(new_depth, depth):
+            result = _finalize(links.prev, links.nxt, links.po, full_tags,
+                               full_writes, hit_full, capacity, prefix=m)
+            return VnDriveResult(result, rid, tags, it + 1)
+        depth = new_depth
+    return None

@@ -37,6 +37,7 @@ from repro.protection.metadata_model import (
     MacTableModel,
     SharedTrafficModel,
     VnTreeModel,
+    concat_to_stream,
     expanded_data_stream,
     process_mac_vn,
 )
@@ -91,15 +92,13 @@ class SgxScheme(ProtectionScheme):
             self._mac_model.store(result.layer_id, mac_out)
         else:
             self._vn_model.process(data_stream, vn_out)
-        out = CacheTrafficResult()
-        out.extend_from(mac_out)
-        out.extend_from(vn_out)
 
         self._note_stream(data_stream, result.layer_id)
         return LayerProtection(
             layer_id=result.layer_id,
             data_stream=data_stream,
-            metadata_stream=out.to_stream(result.layer_id),
+            metadata_stream=concat_to_stream([mac_out, vn_out],
+                                             result.layer_id),
             crypto_bytes=data_stream.total_bytes,
             mac_computations=len(data_stream),
             overfetch_blocks=overfetch_blocks,

@@ -177,8 +177,7 @@ class GridExecutor:
                 raise
         return records  # every slot is filled: as_completed drained all
 
-    @staticmethod
-    def _drain_finished(futures: Dict[Any, int],
+    def _drain_finished(self, futures: Dict[Any, int],
                         requests: Sequence[EvalRequest],
                         records: List[Optional[Dict[str, Any]]],
                         completed: Dict[int, Dict[str, Any]],
@@ -187,7 +186,11 @@ class GridExecutor:
 
         Runs on the failure path, so callbacks are best-effort: a
         callback that raises here must not mask the original error.
+        Progress fires with the *updated* ``completed`` count per
+        drained cell, so observers never see a stale total (and a
+        subsequent serial resume continues monotonically from it).
         """
+        total = len(requests)
         for future, index in futures.items():
             if index in completed or not future.done() or future.cancelled():
                 continue
@@ -201,3 +204,7 @@ class GridExecutor:
                     on_result(index, requests[index], record)
                 except Exception:
                     pass
+            try:
+                self._notify(len(completed), total, requests[index])
+            except Exception:
+                pass

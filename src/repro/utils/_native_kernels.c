@@ -1,0 +1,328 @@
+/* Sequential LRU drive kernel for the metadata cache models.
+ *
+ * Replicates repro.utils.lru.LruCache (fully-associative, write-back,
+ * write-allocate LRU) access-for-access, including the exact event
+ * emission order of the scalar drives in
+ * repro/protection/metadata_model.py:
+ *
+ *   - MAC discipline: miss fetch first, dirty-eviction writeback after;
+ *   - VN discipline: dirty-eviction writeback first, then the fetch,
+ *     then the integrity-tree ancestor walk up to the first cached
+ *     node (or the on-chip root).
+ *
+ * The cache is a doubly linked LRU list over slot arrays plus an
+ * open-addressing hash table (linear probing, backward-shift delete).
+ * Compiled on demand by repro.protection.drive_kernel; the vectorized
+ * reuse-distance engine and the OrderedDict oracle remain the pure
+ * Python paths when no C compiler is available.
+ */
+
+#include <stdint.h>
+#include <stdlib.h>
+
+typedef int64_t i64;
+typedef uint64_t u64;
+typedef unsigned char u8;
+
+typedef struct {
+    i64 cap;            /* capacity in lines */
+    i64 size;           /* resident lines */
+    i64 *tag;           /* per slot */
+    u8 *dirty;          /* per slot */
+    i64 *prv, *nxt;     /* LRU list; head = LRU, tail = MRU */
+    i64 head, tail;
+    i64 *table;         /* hash slots -> entry slot index, -1 empty */
+    u64 mask;
+    i64 *freelist;
+    i64 nfree;
+    i64 hits, misses, evictions, dirty_evictions;
+} Cache;
+
+static u64 hash_tag(i64 t) {
+    u64 x = (u64)t;
+    x ^= x >> 30; x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27; x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
+static int cache_init(Cache *c, i64 cap, i64 max_entries) {
+    i64 n = cap < max_entries ? cap : max_entries;
+    if (n < 1) n = 1;
+    u64 tsize = 8;
+    while (tsize < (u64)(4 * n)) tsize <<= 1;
+    c->cap = cap;
+    c->size = 0;
+    c->head = c->tail = -1;
+    c->mask = tsize - 1;
+    c->hits = c->misses = c->evictions = c->dirty_evictions = 0;
+    c->tag = (i64 *)malloc(sizeof(i64) * n);
+    c->dirty = (u8 *)malloc(n);
+    c->prv = (i64 *)malloc(sizeof(i64) * n);
+    c->nxt = (i64 *)malloc(sizeof(i64) * n);
+    c->table = (i64 *)malloc(sizeof(i64) * tsize);
+    c->freelist = (i64 *)malloc(sizeof(i64) * n);
+    if (!c->tag || !c->dirty || !c->prv || !c->nxt || !c->table
+            || !c->freelist)
+        return -1;
+    for (u64 i = 0; i < tsize; i++) c->table[i] = -1;
+    for (i64 i = 0; i < n; i++) c->freelist[i] = n - 1 - i;
+    c->nfree = n;
+    return 0;
+}
+
+static void cache_free(Cache *c) {
+    free(c->tag); free(c->dirty); free(c->prv); free(c->nxt);
+    free(c->table); free(c->freelist);
+}
+
+static i64 ht_find(const Cache *c, i64 t) {
+    u64 i = hash_tag(t) & c->mask;
+    for (;;) {
+        i64 s = c->table[i];
+        if (s < 0) return -1;
+        if (c->tag[s] == t) return (i64)i;
+        i = (i + 1) & c->mask;
+    }
+}
+
+static void ht_insert(Cache *c, i64 t, i64 slot) {
+    u64 i = hash_tag(t) & c->mask;
+    while (c->table[i] >= 0) i = (i + 1) & c->mask;
+    c->table[i] = slot;
+}
+
+static void ht_delete(Cache *c, u64 i) {
+    /* linear-probing backward-shift deletion */
+    u64 j = i;
+    for (;;) {
+        c->table[i] = -1;
+        for (;;) {
+            j = (j + 1) & c->mask;
+            i64 s = c->table[j];
+            if (s < 0) return;
+            u64 k = hash_tag(c->tag[s]) & c->mask;
+            int movable = (i <= j) ? (k <= i || k > j) : (k <= i && k > j);
+            if (movable) { c->table[i] = s; i = j; break; }
+        }
+    }
+}
+
+static void lru_unlink(Cache *c, i64 s) {
+    if (c->prv[s] >= 0) c->nxt[c->prv[s]] = c->nxt[s];
+    else c->head = c->nxt[s];
+    if (c->nxt[s] >= 0) c->prv[c->nxt[s]] = c->prv[s];
+    else c->tail = c->prv[s];
+}
+
+static void lru_push_mru(Cache *c, i64 s) {
+    c->prv[s] = c->tail;
+    c->nxt[s] = -1;
+    if (c->tail >= 0) c->nxt[c->tail] = s;
+    else c->head = s;
+    c->tail = s;
+}
+
+/* Access; returns 1 on hit.  On a dirty eviction *wb_addr is set to the
+ * victim line address (tag * line_bytes); caller pre-sets it to -1. */
+static int cache_access(Cache *c, i64 t, int write, i64 line_bytes,
+                        i64 *wb_addr) {
+    i64 h = ht_find(c, t);
+    if (h >= 0) {
+        i64 s = c->table[h];
+        c->hits++;
+        lru_unlink(c, s);
+        lru_push_mru(c, s);
+        if (write) c->dirty[s] = 1;
+        return 1;
+    }
+    c->misses++;
+    if (c->size >= c->cap) {
+        i64 v = c->head;
+        c->evictions++;
+        if (c->dirty[v]) {
+            c->dirty_evictions++;
+            *wb_addr = c->tag[v] * line_bytes;
+        }
+        lru_unlink(c, v);
+        ht_delete(c, (u64)ht_find(c, c->tag[v]));
+        c->freelist[c->nfree++] = v;
+        c->size--;
+    }
+    i64 s = c->freelist[--c->nfree];
+    c->tag[s] = t;
+    c->dirty[s] = write ? 1 : 0;
+    lru_push_mru(c, s);
+    ht_insert(c, t, s);
+    c->size++;
+    return 0;
+}
+
+static void cache_load(Cache *c, const i64 *tags, const u8 *dirty, i64 m,
+                       i64 line_bytes) {
+    i64 wb = -1;
+    for (i64 i = 0; i < m; i++)
+        cache_access(c, tags[i], dirty[i] != 0, line_bytes, &wb);
+    /* state reconstruction is not traffic */
+    c->hits = c->misses = c->evictions = c->dirty_evictions = 0;
+}
+
+static i64 cache_dump(const Cache *c, i64 *tags, u8 *dirty) {
+    i64 n = 0;
+    for (i64 s = c->head; s >= 0; s = c->nxt[s]) {
+        tags[n] = c->tag[s];
+        dirty[n] = c->dirty[s];
+        n++;
+    }
+    return n;
+}
+
+typedef struct {
+    i64 *cyc; i64 *addr; u8 *wr;
+    i64 n, capn;
+} Events;
+
+static int emit(Events *e, i64 cyc, i64 addr, int wr) {
+    if (e->n >= e->capn) return -1;
+    e->cyc[e->n] = cyc;
+    e->addr[e->n] = addr;
+    e->wr[e->n] = (u8)wr;
+    e->n++;
+    return 0;
+}
+
+/* Fused MAC + VN drive over one run-compressed line-index sequence.
+ *
+ * idx[i] is the metadata line index of run i; MAC tag = mac_base + idx,
+ * VN tag = vn_base + idx, VN leaf = leaf_base + idx.  A non-positive
+ * mac_cap/vn_cap disables that side (callers bias tag bases so the
+ * single-cache drives reuse this entry point).  The VN walk visits
+ * levels 1..n_levels for leaf = leaf_base + line / leaf_div, with node
+ * tag ``node_base[l-1] + (leaf / node_div[l-1]) * node_ratio``.
+ *
+ * Returns 0 on success, 1 when an event buffer overflowed (caller
+ * retries with larger buffers), -1 on allocation failure.
+ */
+int drive_fused(
+    const i64 *idx, const u8 *writes, const i64 *cycles, i64 n,
+    i64 line_bytes,
+    i64 mac_base, i64 mac_cap,
+    const i64 *mac_init_tags, const u8 *mac_init_dirty, i64 mac_init_len,
+    i64 vn_base, i64 vn_cap, i64 leaf_base, i64 leaf_div,
+    const i64 *vn_init_tags, const u8 *vn_init_dirty, i64 vn_init_len,
+    i64 n_levels, const i64 *node_base, const i64 *node_div, i64 node_ratio,
+    i64 *mac_ev_cyc, i64 *mac_ev_addr, u8 *mac_ev_wr, i64 mac_ev_cap,
+    i64 *mac_ev_n,
+    i64 *vn_ev_cyc, i64 *vn_ev_addr, u8 *vn_ev_wr, i64 vn_ev_cap,
+    i64 *vn_ev_n,
+    i64 *stats,
+    i64 *mac_state_tags, u8 *mac_state_dirty, i64 *mac_state_len,
+    i64 *vn_state_tags, u8 *vn_state_dirty, i64 *vn_state_len)
+{
+    Cache mac, vn;
+    int rc = 0;
+    int use_mac = mac_cap > 0, use_vn = vn_cap > 0;
+    Events mev = {mac_ev_cyc, mac_ev_addr, mac_ev_wr, 0, mac_ev_cap};
+    Events vev = {vn_ev_cyc, vn_ev_addr, vn_ev_wr, 0, vn_ev_cap};
+
+    if (use_mac) {
+        if (cache_init(&mac, mac_cap, mac_init_len + n) < 0)
+            return -1;
+        cache_load(&mac, mac_init_tags, mac_init_dirty, mac_init_len,
+                   line_bytes);
+    }
+    if (use_vn) {
+        if (cache_init(&vn, vn_cap,
+                       vn_init_len + n * (n_levels + 1)) < 0) {
+            if (use_mac) cache_free(&mac);
+            return -1;
+        }
+        cache_load(&vn, vn_init_tags, vn_init_dirty, vn_init_len,
+                   line_bytes);
+    }
+
+    for (i64 i = 0; i < n && rc == 0; i++) {
+        i64 line = idx[i];
+        int wr = writes[i] != 0;
+        i64 cyc = cycles[i];
+        if (use_mac) {
+            i64 wb = -1;
+            if (!cache_access(&mac, mac_base + line, wr, line_bytes, &wb)) {
+                if (emit(&mev, cyc, (mac_base + line) * line_bytes, 0) < 0
+                        || (wb >= 0 && emit(&mev, cyc, wb, 1) < 0)) {
+                    rc = 1;
+                    break;
+                }
+            }
+        }
+        if (use_vn) {
+            i64 wb = -1;
+            if (cache_access(&vn, vn_base + line, wr, line_bytes, &wb))
+                continue;
+            if (wb >= 0 && emit(&vev, cyc, wb, 1) < 0) { rc = 1; break; }
+            if (emit(&vev, cyc, (vn_base + line) * line_bytes, 0) < 0) {
+                rc = 1;
+                break;
+            }
+            i64 leaf = leaf_base + line / leaf_div;
+            for (i64 l = 0; l < n_levels; l++) {
+                i64 ntag = node_base[l] + (leaf / node_div[l]) * node_ratio;
+                wb = -1;
+                if (cache_access(&vn, ntag, wr, line_bytes, &wb))
+                    break;
+                if (wb >= 0 && emit(&vev, cyc, wb, 1) < 0) { rc = 1; break; }
+                if (emit(&vev, cyc, ntag * line_bytes, 0) < 0) {
+                    rc = 1;
+                    break;
+                }
+            }
+        }
+    }
+
+    *mac_ev_n = mev.n;
+    *vn_ev_n = vev.n;
+    if (use_mac) {
+        stats[0] = mac.hits; stats[1] = mac.misses;
+        stats[2] = mac.evictions; stats[3] = mac.dirty_evictions;
+        *mac_state_len = cache_dump(&mac, mac_state_tags, mac_state_dirty);
+        cache_free(&mac);
+    } else {
+        stats[0] = stats[1] = stats[2] = stats[3] = 0;
+        *mac_state_len = 0;
+    }
+    if (use_vn) {
+        stats[4] = vn.hits; stats[5] = vn.misses;
+        stats[6] = vn.evictions; stats[7] = vn.dirty_evictions;
+        *vn_state_len = cache_dump(&vn, vn_state_tags, vn_state_dirty);
+        cache_free(&vn);
+    } else {
+        stats[4] = stats[5] = stats[6] = stats[7] = 0;
+        *vn_state_len = 0;
+    }
+    return rc;
+}
+
+/* Completion-time carry of the reference DRAM model: the bus/bank
+ * ready-time recurrence of DramSim.simulate, float64 semantics
+ * identical to the Python loop (IEEE max/add in the same order). */
+double dram_completion(const double *arrivals, const i64 *banks,
+                       const double *service, i64 n, double burst,
+                       i64 nbanks)
+{
+    double *bank_ready = (double *)calloc((size_t)nbanks, sizeof(double));
+    double bus_free = 0.0, completion = 0.0;
+    if (!bank_ready)
+        return -1.0;
+    for (i64 i = 0; i < n; i++) {
+        i64 b = banks[i];
+        double ready = arrivals[i];
+        if (bank_ready[b] > ready) ready = bank_ready[b];
+        if (bus_free > ready) ready = bus_free;
+        double finish = ready + service[i];
+        bus_free = ready + burst;
+        bank_ready[b] = finish;
+        if (finish > completion) completion = finish;
+    }
+    free(bank_ready);
+    return completion;
+}

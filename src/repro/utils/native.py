@@ -1,0 +1,344 @@
+"""On-demand compiled native kernels (optional accelerators).
+
+The vectorized reuse-distance engine (:mod:`repro.protection.reuse_engine`)
+removes the per-access Python cost of the metadata cache drives, but two
+carries stay irreducibly sequential: the VN integrity-tree walk (a
+data-dependent state machine, reachable offline only through fixpoint
+iteration) and the reference DRAM model's bus/bank ready-time
+recurrence.  When a C compiler is available this module builds
+``_native_kernels.c`` — direct transcriptions of the reference scalar
+loops — and the hot paths run those carries in native code instead.
+
+Everything degrades gracefully: no compiler (or
+``REPRO_NO_NATIVE_KERNEL=1``) means :func:`available` is False and the
+callers use the pure numpy engine / Python carries, with the VN
+fixpoint falling back to the scalar oracle.  All tiers are pinned
+bit-identical by the equivalence suites in
+``tests/protection/test_reuse_engine.py`` and ``tests/dram``.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import platform
+import shutil
+import subprocess
+import sys
+import tempfile
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+_SOURCE = os.path.join(os.path.dirname(__file__), "_native_kernels.c")
+
+_lib = None
+_load_attempted = False
+
+_i64p = ctypes.POINTER(ctypes.c_int64)
+_u8p = ctypes.POINTER(ctypes.c_uint8)
+_i64 = ctypes.c_int64
+
+
+def _cache_dir() -> Optional[str]:
+    """Private, ownership-verified directory for compiled kernels.
+
+    The ``.so`` here gets ``ctypes.CDLL``-loaded, so the directory must
+    not be writable by other users: it is created mode 0700 and both
+    ownership and permissions are re-verified (a pre-planted
+    world-writable directory in a shared tmp must not be trusted).
+    Returns ``None`` when no trustworthy location exists — the callers
+    then fall back to the pure Python tiers.
+    """
+    root = os.environ.get("REPRO_KERNEL_CACHE")
+    if not root:
+        base = os.environ.get("XDG_CACHE_HOME",
+                              os.path.join(os.path.expanduser("~"), ".cache"))
+        root = os.path.join(base, "repro-kernel")
+        if not os.path.isdir(os.path.dirname(root)):
+            uid = os.getuid() if hasattr(os, "getuid") else "u"
+            root = os.path.join(tempfile.gettempdir(), f"repro-kernel-{uid}")
+    try:
+        os.makedirs(root, mode=0o700, exist_ok=True)
+        if hasattr(os, "getuid"):
+            info = os.stat(root)
+            if info.st_uid != os.getuid() or info.st_mode & 0o022:
+                return None
+    except OSError:
+        return None
+    return root
+
+
+def _build() -> Optional[str]:
+    compiler = None
+    for cand in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if cand and shutil.which(cand):
+            compiler = cand
+            break
+    if compiler is None:
+        return None
+    flags = ["-O3", "-march=native", "-shared", "-fPIC"]
+    # -march=native binaries are host-specific: fold the CPU identity
+    # into the cache key so a shared cache dir (or an image baked on a
+    # different microarchitecture) never loads an ISA-incompatible .so.
+    cpu = f"{platform.machine()}|{platform.processor()}"
+    try:
+        with open("/proc/cpuinfo") as handle:
+            for line in handle:
+                if line.startswith(("model name", "flags")):
+                    cpu += line
+    except OSError:
+        pass
+    with open(_SOURCE, "rb") as handle:
+        digest = hashlib.sha256(handle.read() + " ".join(flags).encode()
+                                + cpu.encode()).hexdigest()[:16]
+    cache_dir = _cache_dir()
+    if cache_dir is None:
+        return None
+    suffix = "dylib" if sys.platform == "darwin" else "so"
+    target = os.path.join(cache_dir, f"_native_kernels-{digest}.{suffix}")
+    if os.path.exists(target):
+        return target
+    fd, tmp = tempfile.mkstemp(suffix=f".{suffix}", dir=cache_dir)
+    os.close(fd)
+    cmd = [compiler, *flags, _SOURCE, "-o", tmp]
+    try:
+        subprocess.run(cmd, check=True, capture_output=True, timeout=120)
+        os.replace(tmp, target)      # atomic: concurrent builders collapse
+    except Exception:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        return None
+    return target
+
+
+def _load():
+    global _lib, _load_attempted
+    if _load_attempted:
+        return _lib
+    _load_attempted = True
+    if os.environ.get("REPRO_NO_NATIVE_KERNEL"):
+        return None
+    try:
+        path = _build()
+        if path is None:
+            return None
+        lib = ctypes.CDLL(path)
+        lib.dram_completion.restype = ctypes.c_double
+        lib.dram_completion.argtypes = [
+            ctypes.POINTER(ctypes.c_double), _i64p,
+            ctypes.POINTER(ctypes.c_double), _i64, ctypes.c_double, _i64,
+        ]
+        lib.drive_fused.restype = ctypes.c_int
+        lib.drive_fused.argtypes = [
+            _i64p, _u8p, _i64p, _i64,                       # idx/writes/cycles
+            _i64,                                           # line_bytes
+            _i64, _i64, _i64p, _u8p, _i64,                  # mac side
+            _i64, _i64, _i64, _i64, _i64p, _u8p, _i64,      # vn side
+            _i64, _i64p, _i64p, _i64,                       # walk spec
+            _i64p, _i64p, _u8p, _i64, _i64p,                # mac events
+            _i64p, _i64p, _u8p, _i64, _i64p,                # vn events
+            _i64p,                                          # stats
+            _i64p, _u8p, _i64p,                             # mac state
+            _i64p, _u8p, _i64p,                             # vn state
+        ]
+        _lib = lib
+    except Exception:
+        _lib = None
+    return _lib
+
+
+def available() -> bool:
+    return _load() is not None
+
+
+def _p64(arr: np.ndarray):
+    return arr.ctypes.data_as(_i64p)
+
+
+def _pu8(arr: np.ndarray):
+    return arr.ctypes.data_as(_u8p)
+
+
+_EMPTY64 = np.empty(0, np.int64)
+_EMPTY8 = np.empty(0, np.uint8)
+
+
+def _as_state(items) -> Tuple[np.ndarray, np.ndarray]:
+    """(tags, dirty) arrays from a tag map, pair list, or array pair."""
+    if isinstance(items, tuple) and len(items) == 2 \
+            and isinstance(items[0], np.ndarray):
+        return (np.ascontiguousarray(items[0], dtype=np.int64),
+                np.ascontiguousarray(items[1], dtype=np.uint8))
+    n = len(items)
+    if not n:
+        return _EMPTY64, _EMPTY8
+    if hasattr(items, "keys"):
+        return (np.fromiter(items.keys(), np.int64, n),
+                np.fromiter(items.values(), np.uint8, n))
+    tags, dirty = zip(*items)
+    return (np.asarray(tags, dtype=np.int64),
+            np.asarray(dirty, dtype=np.uint8))
+
+
+#: Reused output buffers (the kernel runs are serial within a process;
+#: results are copied out before the next call).
+_scratch_bufs = {}
+
+
+def _scratch(name: str, size: int, dtype) -> np.ndarray:
+    buf = _scratch_bufs.get(name)
+    if buf is None or len(buf) < size:
+        buf = np.empty(max(size, 4096), dtype)
+        _scratch_bufs[name] = buf
+    return buf
+
+
+class DriveOutput:
+    """Events, stats and final state for one cache from a kernel run."""
+
+    __slots__ = ("ev_cycles", "ev_addrs", "ev_writes", "hits", "misses",
+                 "evictions", "dirty_evictions", "state_tags", "state_dirty")
+
+    def __init__(self, cyc, addr, wr, stats, state_tags, state_dirty):
+        self.ev_cycles = cyc
+        self.ev_addrs = addr
+        self.ev_writes = wr
+        self.hits, self.misses, self.evictions, self.dirty_evictions = \
+            (int(v) for v in stats)
+        self.state_tags = state_tags
+        self.state_dirty = state_dirty
+
+    @property
+    def state(self):
+        """(tag, dirty) pairs in LRU order (compatibility view)."""
+        return list(zip(self.state_tags.tolist(),
+                        (self.state_dirty != 0).tolist()))
+
+
+def fused_drive(idx: np.ndarray, writes: np.ndarray, cycles: np.ndarray,
+                line_bytes: int,
+                mac: Optional[Tuple[int, int, Sequence]] = None,
+                vn: Optional[Tuple[int, int, int, int, Sequence,
+                                   Sequence, Sequence, int]] = None,
+                ) -> Optional[Tuple[Optional[DriveOutput],
+                                    Optional[DriveOutput]]]:
+    """Drive MAC and/or VN caches over one run sequence in native code.
+
+    ``mac`` is ``(tag_base, capacity_lines, init_state)``; ``vn`` is
+    ``(tag_base, capacity_lines, leaf_base, leaf_div, init_state,
+    node_base_tags, node_divs, node_ratio)`` where ``init_state`` is an
+    iterable of
+    ``(tag, dirty)`` in LRU order.  Returns ``None`` when the kernel is
+    unavailable, otherwise ``(mac_output, vn_output)``.
+    """
+    lib = _load()
+    if lib is None:
+        return None
+    n = len(idx)
+    idx = np.ascontiguousarray(idx, dtype=np.int64)
+    writes = np.ascontiguousarray(writes, dtype=np.uint8)
+    cycles = np.ascontiguousarray(cycles, dtype=np.int64)
+
+    if mac is not None:
+        mac_base, mac_cap, mac_init = mac
+        mac_it, mac_id = _as_state(mac_init)
+    else:
+        mac_base, mac_cap = 0, 0
+        mac_it, mac_id = _EMPTY64, _EMPTY8
+    if vn is not None:
+        vn_base, vn_cap, leaf_base, leaf_div, vn_init, node_base, \
+            node_div, ratio = vn
+        vn_it, vn_id = _as_state(vn_init)
+        node_base = np.ascontiguousarray(node_base, dtype=np.int64)
+        node_div = np.ascontiguousarray(node_div, dtype=np.int64)
+        levels = len(node_base)
+    else:
+        vn_base, vn_cap, leaf_base, leaf_div, ratio, levels = 0, 0, 0, 1, 1, 0
+        vn_it, vn_id = _EMPTY64, _EMPTY8
+        node_base = node_div = _EMPTY64
+
+    mac_ev_cap = 2 * n + 16
+    vn_ev_cap = 2 * n + 16
+    vn_ev_hard = 2 * n * (levels + 1) + 16
+    mac_state_cap = max(1, min(mac_cap, len(mac_it) + n)) if mac else 1
+    vn_state_cap = max(1, min(vn_cap, len(vn_it) + n * (levels + 1))) \
+        if vn else 1
+
+    while True:
+        m_cyc = _scratch("mc", mac_ev_cap, np.int64)
+        m_addr = _scratch("ma", mac_ev_cap, np.int64)
+        m_wr = _scratch("mw", mac_ev_cap, np.uint8)
+        v_cyc = _scratch("vc", vn_ev_cap, np.int64)
+        v_addr = _scratch("va", vn_ev_cap, np.int64)
+        v_wr = _scratch("vw", vn_ev_cap, np.uint8)
+        m_n = _i64(0)
+        v_n = _i64(0)
+        stats = np.zeros(8, np.int64)
+        ms_t = np.empty(mac_state_cap, np.int64)
+        ms_d = np.empty(mac_state_cap, np.uint8)
+        vs_t = np.empty(vn_state_cap, np.int64)
+        vs_d = np.empty(vn_state_cap, np.uint8)
+        ms_n = _i64(0)
+        vs_n = _i64(0)
+        rc = lib.drive_fused(
+            _p64(idx), _pu8(writes), _p64(cycles), n, line_bytes,
+            mac_base, mac_cap if mac else 0, _p64(mac_it), _pu8(mac_id),
+            len(mac_it),
+            vn_base, vn_cap if vn else 0, leaf_base, leaf_div,
+            _p64(vn_it), _pu8(vn_id), len(vn_it),
+            levels, _p64(node_base), _p64(node_div), ratio,
+            _p64(m_cyc), _p64(m_addr), _pu8(m_wr), mac_ev_cap,
+            ctypes.byref(m_n),
+            _p64(v_cyc), _p64(v_addr), _pu8(v_wr), vn_ev_cap,
+            ctypes.byref(v_n),
+            _p64(stats),
+            _p64(ms_t), _pu8(ms_d), ctypes.byref(ms_n),
+            _p64(vs_t), _pu8(vs_d), ctypes.byref(vs_n),
+        )
+        if rc == 1 and vn_ev_cap < vn_ev_hard:
+            vn_ev_cap = vn_ev_hard
+            continue
+        if rc != 0:
+            return None
+        break
+
+    mac_out = vn_out = None
+    if mac is not None:
+        k = m_n.value
+        mac_out = DriveOutput(m_cyc[:k].copy(), m_addr[:k].copy(),
+                              m_wr[:k].copy(), stats[:4],
+                              ms_t[:ms_n.value].copy(),
+                              ms_d[:ms_n.value].copy())
+    if vn is not None:
+        k = v_n.value
+        vn_out = DriveOutput(v_cyc[:k].copy(), v_addr[:k].copy(),
+                             v_wr[:k].copy(), stats[4:],
+                             vs_t[:vs_n.value].copy(),
+                             vs_d[:vs_n.value].copy())
+    return mac_out, vn_out
+
+
+def dram_completion(arrivals: np.ndarray, banks: np.ndarray,
+                    service: np.ndarray, burst: float,
+                    nbanks: int) -> Optional[float]:
+    """Native completion-time carry of the reference DRAM model.
+
+    Float64 semantics identical to the Python loop; returns ``None``
+    when the kernel is unavailable (caller runs the Python carry).
+    """
+    lib = _load()
+    if lib is None or len(arrivals) == 0:
+        return None
+    arrivals = np.ascontiguousarray(arrivals, dtype=np.float64)
+    banks = np.ascontiguousarray(banks, dtype=np.int64)
+    service = np.ascontiguousarray(service, dtype=np.float64)
+    f64p = ctypes.POINTER(ctypes.c_double)
+    out = lib.dram_completion(
+        arrivals.ctypes.data_as(f64p), _p64(banks),
+        service.ctypes.data_as(f64p), len(arrivals),
+        float(burst), int(nbanks))
+    return None if out < 0 else float(out)

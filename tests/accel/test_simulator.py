@@ -170,3 +170,37 @@ class TestResidencyRules:
         run = sim.run(Topology("t", [layer]))
         ifmap_bytes = run.layers[0].trace.bytes_by_kind()[AccessKind.IFMAP]
         assert ifmap_bytes > layer.ifmap_bytes
+
+
+class TestBandedWalkPaths:
+    """The batched column builder and the small-grid scalar walk emit
+    byte-identical range sequences."""
+
+    def test_batched_matches_scalar_on_large_grid(self):
+        from repro.accel.layout import AddressMap
+        from repro.accel.trace import Trace
+        from repro.tiling.tile import SramBudget, plan_tiling
+
+        sim = AcceleratorSim(SystolicArray(8, 8), SramBudget.split(24 << 10))
+        topology = Topology("t", [conv("c1", 66, 66, 3, 3, 8, 48),
+                                  conv("c2", 64, 64, 3, 3, 48, 64)])
+        address_map = AddressMap(topology)
+        checked = 0
+        for layer_id, layer in enumerate(topology):
+            plan = plan_tiling(layer, sim.budget)
+            if plan.is_k_tiled:
+                continue
+            outer, inner = ((plan.num_n_tiles, plan.num_m_tiles)
+                            if plan.n_outer
+                            else (plan.num_m_tiles, plan.num_n_tiles))
+            if outer * inner < 16:
+                continue   # both names would take the same path
+            batched, scalar = Trace(), Trace()
+            c1 = sim._walk_banded(layer, layer_id, plan, address_map,
+                                  1000, batched)
+            c2 = sim._walk_banded_small(layer, layer_id, plan, address_map,
+                                        1000, scalar)
+            assert c1 == c2
+            assert batched.ranges == scalar.ranges
+            checked += 1
+        assert checked  # the config must actually exercise a large grid

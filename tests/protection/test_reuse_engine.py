@@ -1,0 +1,239 @@
+"""Equivalence of the LRU drive tiers against the OrderedDict oracle.
+
+The vectorized reuse-distance engine and the compiled drive kernel must
+be *bit-identical* to :class:`repro.utils.lru.LruCache` — same hit/miss
+classification, same eviction victims and dirty bits, same emitted
+miss/writeback streams, same final contents — on adversarial tag
+streams: capacity-1 caches, all-hit working sets, all-conflict sweeps,
+interleaved dirty/clean runs, warm starts, and flushes mid-stream.
+"""
+
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+
+from repro.accel.trace import AccessKind, Trace, TraceRange
+from repro.integrity.caches import MetadataCache
+from repro.protection import reuse_engine
+from repro.protection.layout import MetadataLayout
+from repro.protection.metadata_model import (
+    CacheTrafficResult,
+    MacTableModel,
+    VnTreeModel,
+    process_mac_vn,
+)
+from repro.utils import native
+
+
+def oracle_drive(tags, writes, capacity, init=()):
+    """Reference LRU drive over plain scalars (the OrderedDict model)."""
+    lines = OrderedDict(init)
+    hits, evictions = [], []
+    for i, (tag, write) in enumerate(zip(tags, writes)):
+        if tag in lines:
+            hits.append(True)
+            lines.move_to_end(tag)
+            if write:
+                lines[tag] = True
+        else:
+            hits.append(False)
+            if len(lines) >= capacity:
+                victim, dirty = lines.popitem(last=False)
+                evictions.append((i, victim, bool(dirty)))
+            lines[tag] = bool(write)
+    return np.asarray(hits, bool), evictions, list(lines.items())
+
+
+def assert_engine_matches_oracle(tags, writes, capacity, init=()):
+    want_hit, want_ev, want_state = oracle_drive(tags, writes, capacity, init)
+    got = reuse_engine.drive(
+        np.asarray(tags, np.int64), np.asarray(writes, bool), capacity,
+        [t for t, _ in init], [d for _, d in init])
+    np.testing.assert_array_equal(got.hit, want_hit)
+    got_ev = [(int(p), int(t), bool(d)) for p, t, d in
+              zip(got.evict_pos, got.victim_tag, got.victim_dirty)]
+    assert got_ev == want_ev
+    assert list(zip(got.state_tags.tolist(),
+                    got.state_dirty.tolist())) == want_state
+
+
+class TestEngineVsOracle:
+    def test_randomized_streams(self):
+        rng = np.random.default_rng(2025)
+        for _ in range(300):
+            n = int(rng.integers(0, 400))
+            ntags = int(rng.integers(1, 60))
+            capacity = int(rng.integers(1, 40))
+            tags = rng.integers(0, ntags, n)
+            writes = rng.integers(0, 2, n).astype(bool)
+            k = int(rng.integers(0, capacity + 1))
+            pool = rng.permutation(ntags + 30)[:k]
+            init = [(int(t), bool(rng.integers(0, 2))) for t in pool]
+            assert_engine_matches_oracle(tags, writes, capacity, init)
+
+    @pytest.mark.parametrize("capacity", [1, 2, 7, 64])
+    def test_adversarial_patterns(self, capacity):
+        rng = np.random.default_rng(capacity)
+        n = 300
+        patterns = {
+            "all_same": np.zeros(n, np.int64),
+            "all_distinct": np.arange(n),
+            "all_hits": np.arange(n) % max(1, capacity - 1) if capacity > 1
+            else np.zeros(n, np.int64),
+            "all_conflict_sweep": np.arange(n) % (capacity + 1),
+            "pingpong": (np.arange(n) // 2) % (capacity + 2),
+        }
+        for tags in patterns.values():
+            for writes in (np.zeros(n, bool), np.ones(n, bool),
+                           rng.integers(0, 2, n).astype(bool)):
+                assert_engine_matches_oracle(tags, writes, capacity)
+
+    def test_interleaved_dirty_clean(self):
+        # Alternating dirty/clean touches of two working sets that
+        # alternately fit and thrash.
+        tags = np.concatenate([np.tile(np.arange(4), 8),
+                               np.arange(64), np.tile(np.arange(4), 8)])
+        writes = (np.arange(len(tags)) % 3 == 0)
+        for capacity in (1, 4, 8, 32):
+            assert_engine_matches_oracle(tags, writes, capacity)
+
+
+def _random_stream(seed, n=80):
+    rng = np.random.default_rng(seed)
+    trace = Trace([
+        TraceRange(int(rng.integers(0, 5_000)), int(rng.integers(0, 1 << 18)),
+                   int(rng.integers(1, 3_000)), bool(rng.integers(0, 2)),
+                   AccessKind.IFMAP, int(rng.integers(0, 3)),
+                   int(rng.integers(0, 200)))
+        for _ in range(n)
+    ])
+    return trace.sorted_blocks()
+
+
+def _drive_models(layout, stream, mac_bytes, vn_bytes, flush_between):
+    """One fused drive (+ optional mid-stream flush + second drive)."""
+    mac = MacTableModel(layout, MetadataCache(mac_bytes))
+    vn = VnTreeModel(layout, MetadataCache(vn_bytes))
+    mac_out, vn_out = CacheTrafficResult(), CacheTrafficResult()
+    process_mac_vn(mac, vn, stream, mac_out, vn_out)
+    if flush_between:
+        mac.flush(99_999, mac_out)
+        vn.flush(99_999, vn_out)
+    process_mac_vn(mac, vn, stream, mac_out, vn_out)
+    return mac, vn, mac_out, vn_out
+
+
+def _snapshot(mac, vn, mac_out, vn_out):
+    stats = []
+    for cache in (mac.cache, vn.cache):
+        s = cache.stats
+        stats.append((s.hits, s.misses, s.evictions, s.dirty_evictions,
+                      s.flushed_lines, s.flush_writebacks))
+    return (
+        stats,
+        [list(o.stream_cycles) for o in (mac_out, vn_out)],
+        [list(o.stream_addrs) for o in (mac_out, vn_out)],
+        [list(o.stream_writes) for o in (mac_out, vn_out)],
+        [o.misses for o in (mac_out, vn_out)],
+        list(mac.cache.raw_lines.items()),
+        list(vn.cache.raw_lines.items()),
+    )
+
+
+class TestTierEquivalence:
+    """Kernel, engine and scalar oracle produce identical traffic."""
+
+    @pytest.mark.parametrize("flush_between", [False, True])
+    def test_fused_drive_tiers_agree(self, monkeypatch, flush_between):
+        layout = MetadataLayout(64)
+        for seed in range(8):
+            stream = _random_stream(seed)
+            snaps = {}
+            # kernel tier (skipped silently when no compiler exists —
+            # the engine tier is then the production path anyway)
+            if native.available():
+                snaps["kernel"] = _snapshot(*_drive_models(
+                    layout, stream, 512, 1024, flush_between))
+            with monkeypatch.context() as patch:
+                patch.setattr(native, "fused_drive",
+                              lambda *a, **k: None)
+                snaps["engine"] = _snapshot(*_drive_models(
+                    layout, stream, 512, 1024, flush_between))
+                patch.setattr(
+                    reuse_engine, "drive_vn_tree", lambda *a, **k: None)
+                snaps["scalar_vn"] = _snapshot(*_drive_models(
+                    layout, stream, 512, 1024, flush_between))
+            reference = snaps.pop("engine")
+            for name, snap in snaps.items():
+                assert snap == reference, f"{name} diverges from engine"
+
+    def test_single_cache_models_tiers_agree(self, monkeypatch):
+        layout = MetadataLayout(512)   # coarse units + tree still exact
+        for seed in (11, 12):
+            stream = _random_stream(seed)
+            results = {}
+            for tier in ("kernel", "engine"):
+                with monkeypatch.context() as patch:
+                    if tier == "engine":
+                        patch.setattr(native, "fused_drive",
+                                      lambda *a, **k: None)
+                    elif not native.available():
+                        continue
+                    mac = MacTableModel(layout, MetadataCache(512))
+                    vn = VnTreeModel(layout, MetadataCache(2048))
+                    mo, vo = CacheTrafficResult(), CacheTrafficResult()
+                    mac.process(stream, mo)
+                    vn.process(stream, vo)
+                    results[tier] = (
+                        list(mo.stream_addrs), list(vo.stream_addrs),
+                        list(mo.stream_cycles), list(vo.stream_cycles),
+                        list(mo.stream_writes), list(vo.stream_writes),
+                        list(mac.cache.raw_lines.items()),
+                        list(vn.cache.raw_lines.items()))
+            if len(results) == 2:
+                assert results["kernel"] == results["engine"]
+
+    def test_vn_fixpoint_fallback_is_exact(self, monkeypatch):
+        """Force the fixpoint to give up: the scalar oracle takes over
+        and the traffic is still identical to the unconstrained run."""
+        layout = MetadataLayout(64)
+        stream = _random_stream(21)
+
+        def run():
+            vn = VnTreeModel(layout, MetadataCache(1024))
+            out = CacheTrafficResult()
+            vn.process(stream, out)
+            return (list(out.stream_addrs), list(out.stream_writes),
+                    out.misses, list(vn.cache.raw_lines.items()))
+
+        with monkeypatch.context() as patch:
+            patch.setattr(native, "fused_drive", lambda *a, **k: None)
+            want = run()
+            patch.setattr(reuse_engine, "drive_vn_tree",
+                          lambda *a, **k: None)
+            got = run()
+        assert got == want
+
+
+class TestVnFixpointConvergence:
+    def test_converges_on_streaming_patterns(self):
+        """Sweep-style streams (the zoo workloads' shape) settle in a
+        handful of rounds — the engine path, not the scalar fallback."""
+        layout = MetadataLayout(64)
+        lb = 64
+        vn_base = layout.vn_line_addr(0) // lb
+        rng = np.random.default_rng(3)
+        sweep = np.concatenate([np.arange(600) for _ in range(4)])
+        jitter = rng.integers(0, 3, len(sweep))
+        tags = vn_base + sweep + jitter
+        writes = rng.integers(0, 2, len(tags)).astype(bool)
+
+        def node_tags(level, rid):
+            leaf = tags[rid] - vn_base
+            return (layout.tree_node_addr(0, level) // lb) + leaf // (8 ** level)
+
+        out = reuse_engine.drive_vn_tree(tags, writes, 256,
+                                         layout.tree_levels, node_tags)
+        assert out is not None
+        assert out.iterations <= 12

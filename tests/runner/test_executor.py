@@ -121,7 +121,7 @@ class TestDrainFinished:
     def test_finished_cells_recovered_and_persisted(self):
         requests, futures, records, completed = self._setup()
         persisted = []
-        GridExecutor._drain_finished(
+        GridExecutor(jobs=2)._drain_finished(
             futures, requests, records, completed,
             lambda index, request, record: persisted.append(index))
         assert completed == {0: {"workload": "lenet"}}
@@ -133,7 +133,7 @@ class TestDrainFinished:
         requests, futures, records, completed = self._setup()
         completed[0] = records[0] = {"workload": "lenet"}
         persisted = []
-        GridExecutor._drain_finished(
+        GridExecutor(jobs=2)._drain_finished(
             futures, requests, records, completed,
             lambda index, request, record: persisted.append(index))
         assert persisted == []
@@ -144,6 +144,65 @@ class TestDrainFinished:
         def explode(index, request, record):
             raise OSError("disk full during drain")
 
-        GridExecutor._drain_finished(futures, requests, records, completed,
-                                     explode)
+        GridExecutor(jobs=2)._drain_finished(futures, requests, records,
+                                             completed, explode)
         assert completed == {0: {"workload": "lenet"}}  # still recovered
+
+    def test_drain_fires_progress_with_updated_counts(self):
+        """Regression: a worker failure mid-drain used to leave progress
+        observers with stale ``completed`` counts — recovered cells were
+        persisted but never announced."""
+        requests, futures, records, completed = self._setup()
+        seen = []
+        executor = GridExecutor(
+            jobs=2, progress=lambda done, total, req: seen.append((done,
+                                                                   total)))
+        executor._drain_finished(futures, requests, records, completed,
+                                 None)
+        assert seen == [(1, 3)]
+
+    def test_drain_progress_errors_are_best_effort(self):
+        requests, futures, records, completed = self._setup()
+
+        def bad_progress(done, total, request):
+            raise RuntimeError("progress pipe closed")
+
+        executor = GridExecutor(jobs=2, progress=bad_progress)
+        executor._drain_finished(futures, requests, records, completed,
+                                 None)
+        assert completed == {0: {"workload": "lenet"}}
+
+
+class TestMonotoneProgress:
+    """Progress counts never regress, even when a worker raises and the
+    executor drains finished cells on the failure path."""
+
+    def test_worker_failure_keeps_progress_monotone(self):
+        seen = []
+        requests = grid() + [EvalRequest(npu_config("edge"), "nonexistent",
+                                         SCHEMES)]
+        executor = GridExecutor(
+            jobs=2, progress=lambda done, total, req: seen.append(done))
+        with pytest.raises(KeyError):
+            executor.run(requests)
+        assert seen == sorted(seen)
+        assert len(seen) == len(set(seen))  # strictly increasing
+
+    def test_serial_resume_continues_from_drained_counts(self):
+        """A pool that dies after completing some cells resumes serially
+        with progress continuing from the drained count."""
+        seen = []
+        executor = GridExecutor(
+            jobs=2, progress=lambda done, total, req: seen.append(done))
+        requests = grid()
+
+        def dying_pool(reqs, on_result, completed):
+            record = run_cell(reqs[0].payload())
+            completed[0] = record
+            executor._notify(len(completed), len(reqs), reqs[0])
+            raise OSError("pool lost")
+
+        executor._run_pool = dying_pool
+        records = executor.run(requests, on_result=None)
+        assert [r["workload"] for r in records] == ["lenet", "dlrm", "ncf"]
+        assert seen == [1, 2, 3]
