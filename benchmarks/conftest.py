@@ -16,6 +16,7 @@ from typing import Dict
 
 import pytest
 
+from repro import obs
 from repro.core.metrics import ComparisonResult
 from repro.models.zoo import WORKLOADS, WORKLOAD_ABBREVIATIONS
 from repro.protection import SCHEME_NAMES
@@ -36,6 +37,10 @@ _STORE_DIR = os.environ.get(
 _SERVICE = EvalService(store=ResultStore(_STORE_DIR),
                        jobs=int(os.environ.get("REPRO_JOBS", "0"))
                        or default_jobs())
+
+# $REPRO_TRACE=<path> profiles the whole benchmark session (trace +
+# metrics summary written at interpreter exit) — no code changes needed.
+obs.init_from_env()
 
 
 def _sweep(npu_name: str) -> Dict[str, ComparisonResult]:

@@ -35,6 +35,7 @@ from typing import List, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.accel.layout import AddressMap
 from repro.accel.systolic import SystolicArray
 from repro.accel.trace import AccessKind, Trace, kind_code
@@ -109,7 +110,9 @@ class AcceleratorSim:
         results: List[LayerResult] = []
         cursor = 0
         for layer_id, layer in enumerate(topology):
-            result = self.run_layer(layer, layer_id, address_map, cursor)
+            with obs.span("accel.layer", layer=layer_id,
+                          layer_name=layer.name):
+                result = self.run_layer(layer, layer_id, address_map, cursor)
             results.append(result)
             cursor += result.compute_cycles
         return ModelRun(topology=topology, array=self.array,

@@ -9,7 +9,15 @@ Commands:
   parallel, disk-cached evaluation service, with CSV/JSON export.
 - ``cache`` — inspect (``stats``) or empty (``clear``) the on-disk
   result store behind ``sweep``.
+- ``report`` — render the slowest cells/stages and the counter totals
+  from a profile captured with ``sweep --profile`` (or $REPRO_TRACE).
 - ``attack`` — run the SECA and RePA demonstrations.
+
+Profiling: ``sweep --profile out.trace.json`` records every span and
+counter through :mod:`repro.obs` and writes a Chrome trace-event file
+(open it in Perfetto) plus an ``out.metrics.json`` summary; setting
+``REPRO_TRACE=out.trace.json`` does the same for any command without
+flags.
 """
 
 from __future__ import annotations
@@ -22,6 +30,7 @@ import sys
 import time
 from typing import List, Optional
 
+from repro import obs
 from repro.core.config import npu_config
 from repro.core.metrics import compare_schemes
 from repro.core.pipeline import Pipeline
@@ -175,6 +184,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
         workloads = [with_batch_tag(w) for w in (workloads or WORKLOADS)]
     store = _make_store(args)
+    recorder = obs.enable() if args.profile else obs.get()
     runner = SweepRunner(
         scheme_names=args.schemes, jobs=args.jobs, store=store,
         cell_progress=lambda done, total, request: print(
@@ -182,7 +192,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr))
 
     started = time.time()
-    results = runner.sweep(args.npu, workloads=workloads)
+    with obs.span("sweep", npu=args.npu,
+                  workloads=len(workloads) if workloads else len(WORKLOADS)):
+        results = runner.sweep(args.npu, workloads=workloads)
     elapsed = time.time() - started
 
     names = list(results)
@@ -223,6 +235,59 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
         print(f"wrote {args.json}")
+    if args.profile:
+        from repro.obs import export
+
+        export.write_chrome_trace(recorder, args.profile)
+        metrics_path = export.metrics_path_for(args.profile)
+        export.write_metrics_summary(recorder, metrics_path)
+        print(f"wrote {args.profile} (open in Perfetto) and {metrics_path}")
+        if args.profile_events:
+            export.write_jsonl(recorder, args.profile_events)
+            print(f"wrote {args.profile_events}")
+        obs.disable()
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs import report as obs_report
+    from repro.obs.export import load_chrome_trace
+
+    try:
+        trace = load_chrome_trace(args.trace)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read trace {args.trace!r}: {exc}",
+              file=sys.stderr)
+        return 2
+
+    ms = "{:.3f}"
+    stage_rows = obs_report.stage_rows(trace)
+    if stage_rows:
+        print("=== stages (by total wall time) ===")
+        print(format_table(
+            ["span", "count", "total ms", "mean ms", "max ms"],
+            stage_rows, float_fmt=ms))
+    cells = obs_report.cell_rows(trace, top=args.top)
+    if cells:
+        print(f"\n=== slowest {len(cells)} grid cells ===")
+        print(format_table(["workload", "npu", "wall ms", "pid"],
+                           cells, float_fmt=ms))
+    slowest = obs_report.slowest_rows(trace, name=args.span, top=args.top)
+    if slowest:
+        scope = f"{args.span!r} spans" if args.span else "spans"
+        print(f"\n=== slowest {len(slowest)} {scope} ===")
+        print(format_table(["span", "ms", "pid", "args"], slowest,
+                           float_fmt=ms))
+    counters = obs_report.counter_rows(trace)
+    if counters:
+        print("\n=== counters ===")
+        print(format_table(["counter", "total"], counters))
+    gauges = obs_report.gauge_rows(trace)
+    if gauges:
+        print("\n=== gauges (final) ===")
+        print(format_table(["gauge", "value"], gauges, float_fmt=ms))
+    if not (stage_rows or cells or counters):
+        print("trace contains no repro spans or counters")
     return 0
 
 
@@ -338,6 +403,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "$REPRO_CACHE_DIR or ~/.cache/repro)")
     sweep_p.add_argument("--no-cache", action="store_true",
                          help="skip the on-disk result store")
+    sweep_p.add_argument("--profile", metavar="TRACE.json",
+                         help="record spans/counters and write a Chrome "
+                              "trace-event file (plus a .metrics.json "
+                              "summary next to it)")
+    sweep_p.add_argument("--profile-events", metavar="EVENTS.jsonl",
+                         help="with --profile: also write the raw JSONL "
+                              "event log")
     sweep_p.set_defaults(func=_cmd_sweep)
 
     cache_p = sub.add_parser("cache", help="manage the on-disk result store")
@@ -354,12 +426,26 @@ def build_parser() -> argparse.ArgumentParser:
     desc_p.add_argument("--seq", type=int, help=seq_help)
     desc_p.set_defaults(func=_cmd_describe)
 
+    report_p = sub.add_parser(
+        "report", help="slowest cells/stages from a captured profile")
+    report_p.add_argument("trace", help="Chrome trace-event file written by "
+                                        "sweep --profile or $REPRO_TRACE")
+    report_p.add_argument("--top", type=int, default=10,
+                          help="rows per slowest-spans table (default 10)")
+    report_p.add_argument("--span", metavar="NAME",
+                          help="restrict the slowest-spans table to one "
+                               "span name (e.g. protect.layer)")
+    report_p.set_defaults(func=_cmd_report)
+
     sub.add_parser("attack", help="run the SECA/RePA demonstrations") \
         .set_defaults(func=_cmd_attack)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    # $REPRO_TRACE=<path> profiles any command without flags (the trace
+    # and metrics summary are written at interpreter exit).
+    obs.init_from_env()
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.accel.simulator import AcceleratorSim, ModelRun
 from repro.core.config import NpuConfig
 from repro.dram.simulator import DramResult, DramSim
@@ -126,7 +127,8 @@ class Pipeline:
 
     def simulate_model(self, topology: Topology) -> ModelRun:
         """Stage 1 only — reusable across schemes."""
-        return self.accelerator.run(topology)
+        with obs.span("accel", workload=topology.name, npu=self.npu.name):
+            return self.accelerator.run(topology)
 
     def run(self, topology: Topology, scheme: ProtectionScheme,
             model_run: Optional[ModelRun] = None) -> SchemeRun:
@@ -135,44 +137,57 @@ class Pipeline:
         # Each layer's expanded base block stream is memoized on its
         # trace, so when ``model_run`` is shared across schemes (the
         # sweep path) the expansion happens once, not once per scheme.
-        protections = scheme.protect_model(run)
+        with obs.span("protect", scheme=scheme.name, workload=topology.name):
+            protections = scheme.protect_model(run)
         engine = scheme.crypto_engine()
 
         # All layers' DRAM streams are independent (cold memory system
         # per layer), so the fast model serves them in one batched call.
-        if self.use_fast_dram:
-            dram_results = self.dram.simulate_fast_batch_parts(
-                [(p.data_stream, p.metadata_stream) for p in protections])
-        else:
-            dram_results = [self.dram.simulate(p.combined_stream)
-                            for p in protections]
+        with obs.span("dram", scheme=scheme.name, workload=topology.name,
+                      layers=len(protections)):
+            if self.use_fast_dram:
+                dram_results = self.dram.simulate_fast_batch_parts(
+                    [(p.data_stream, p.metadata_stream) for p in protections])
+            else:
+                dram_results = []
+                for p in protections:
+                    with obs.span("dram.layer", layer=p.layer_id,
+                                  scheme=scheme.name):
+                        dram_results.append(
+                            self.dram.simulate(p.combined_stream))
 
         timings: List[LayerTiming] = []
-        for protection, dram_result in zip(protections, dram_results):
-            layer_id = protection.layer_id
-            if layer_id < len(run.layers) and len(protection.data_stream):
-                compute = float(run.layers[layer_id].compute_cycles)
-                name = run.layers[layer_id].layer.name
-            else:
-                compute = 0.0
-                name = f"(flush:{layer_id})"
+        with obs.span("crypto", scheme=scheme.name, workload=topology.name):
+            for protection, dram_result in zip(protections, dram_results):
+                layer_id = protection.layer_id
+                # A flush record is explicit (``is_flush``): a real
+                # layer whose data stream happens to be empty keeps its
+                # name and its compute cycles instead of degenerating
+                # into a zero-compute ``(flush:N)`` row.
+                if not protection.is_flush and layer_id < len(run.layers):
+                    compute = float(run.layers[layer_id].compute_cycles)
+                    name = run.layers[layer_id].layer.name
+                else:
+                    compute = 0.0
+                    name = f"(flush:{layer_id})"
 
-            crypto = 0.0
-            if engine is not None and protection.crypto_bytes:
-                # Throughput-limited OTP generation; the pipeline latency
-                # (engine fill) is hidden under communication.
-                crypto = protection.crypto_bytes / engine.bytes_per_cycle
+                crypto = 0.0
+                if engine is not None and protection.crypto_bytes:
+                    # Throughput-limited OTP generation; the pipeline
+                    # latency (engine fill) is hidden under
+                    # communication.
+                    crypto = protection.crypto_bytes / engine.bytes_per_cycle
 
-            timings.append(LayerTiming(
-                layer_id=layer_id,
-                layer_name=name,
-                compute_cycles=compute,
-                dram_cycles=dram_result.busy_cycles,
-                crypto_cycles=crypto,
-                data_bytes=protection.data_bytes,
-                metadata_bytes=protection.metadata_bytes,
-                row_hit_rate=dram_result.row_hit_rate,
-            ))
+                timings.append(LayerTiming(
+                    layer_id=layer_id,
+                    layer_name=name,
+                    compute_cycles=compute,
+                    dram_cycles=dram_result.busy_cycles,
+                    crypto_cycles=crypto,
+                    data_bytes=protection.data_bytes,
+                    metadata_bytes=protection.metadata_bytes,
+                    row_hit_rate=dram_result.row_hit_rate,
+                ))
         return SchemeRun(npu=self.npu, workload=topology.name,
                          scheme_name=scheme.name, layers=timings,
                          model_run=run, batch=topology.batch,

@@ -1,0 +1,166 @@
+"""Exporters for the flight recorder: JSONL, metrics JSON, Chrome trace.
+
+Three formats, one :class:`~repro.obs.recorder.Recorder` source:
+
+- :func:`write_jsonl` — one JSON object per line, every span / counter /
+  gauge sample in recording order; greppable, streamable, diff-able.
+- :func:`write_metrics_summary` — one aggregated JSON document: final
+  counter totals, final gauge values, and per-span-name aggregates
+  (count, total/mean/max duration).
+- :func:`write_chrome_trace` — the Chrome trace-event format (JSON
+  object form), so a whole sweep opens in Perfetto / ``chrome://tracing``
+  as one file: spans become complete (``"ph": "X"``) events, gauge
+  samples become counter (``"ph": "C"``) tracks, and the metrics
+  summary rides along under ``otherData`` where trace viewers ignore it
+  but ``repro report`` finds it.
+
+Timestamps are monotonic-clock seconds in the recorder and microsecond
+integers in the trace file, per the trace-event spec.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs.recorder import Recorder
+
+
+def _span_aggregates(spans: List[Dict[str, Any]]) -> Dict[str, Dict[str, Any]]:
+    """Per-span-name aggregates over raw span events."""
+    stats: Dict[str, Dict[str, Any]] = {}
+    for event in spans:
+        entry = stats.setdefault(event["name"], {
+            "count": 0, "total_s": 0.0, "max_s": 0.0})
+        entry["count"] += 1
+        entry["total_s"] += event["dur"]
+        entry["max_s"] = max(entry["max_s"], event["dur"])
+    for entry in stats.values():
+        entry["mean_s"] = entry["total_s"] / entry["count"]
+    return stats
+
+
+def metrics_summary(recorder: Recorder) -> Dict[str, Any]:
+    """Aggregated metrics document: counters, gauges, span rollups."""
+    snapshot = recorder.snapshot()
+    return {
+        "counters": dict(sorted(snapshot["counters"].items())),
+        "gauges": dict(sorted(snapshot["gauges"].items())),
+        "spans": _span_aggregates(snapshot["spans"]),
+    }
+
+
+def iter_jsonl_events(recorder: Recorder) -> Iterator[Dict[str, Any]]:
+    """Every recorded event as a flat dict with a ``kind`` discriminator."""
+    snapshot = recorder.snapshot()
+    for event in snapshot["spans"]:
+        yield {"kind": "span", **event}
+    for sample in snapshot["gauge_samples"]:
+        yield {"kind": "gauge", **sample}
+    for name, value in sorted(snapshot["counters"].items()):
+        yield {"kind": "counter", "name": name, "value": value}
+
+
+def write_jsonl(recorder: Recorder, path: str) -> None:
+    """Write the JSONL event log (one JSON object per line)."""
+    with open(path, "w") as handle:
+        for event in iter_jsonl_events(recorder):
+            handle.write(json.dumps(event, sort_keys=True))
+            handle.write("\n")
+
+
+def write_metrics_summary(recorder: Recorder, path: str) -> None:
+    """Write the aggregated metrics-summary JSON."""
+    with open(path, "w") as handle:
+        json.dump(metrics_summary(recorder), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def metrics_path_for(trace_path: str) -> str:
+    """Conventional metrics-summary path next to a trace file:
+    ``out.trace.json -> out.metrics.json``, ``out.json ->
+    out.metrics.json``, anything else gets ``.metrics.json`` appended."""
+    for suffix in (".trace.json", ".json"):
+        if trace_path.endswith(suffix):
+            return trace_path[: -len(suffix)] + ".metrics.json"
+    return trace_path + ".metrics.json"
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event format
+
+
+def chrome_trace(recorder: Recorder) -> Dict[str, Any]:
+    """The recorder as a Chrome trace-event JSON object.
+
+    ``traceEvents`` carries metadata (process names), complete spans and
+    counter tracks; ``otherData`` carries the metrics summary (ignored
+    by viewers, consumed by ``repro report``).
+    """
+    snapshot = recorder.snapshot()
+    events: List[Dict[str, Any]] = []
+    origin = snapshot["origin_pid"]
+    pids = {origin}
+    for event in snapshot["spans"]:
+        pids.add(event["pid"])
+    for sample in snapshot["gauge_samples"]:
+        pids.add(sample["pid"])
+    for pid in sorted(pids):
+        role = "main" if pid == origin else "worker"
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": f"repro {role} (pid {pid})"},
+        })
+    for event in snapshot["spans"]:
+        events.append({
+            "name": event["name"],
+            "cat": event["name"].split(".", 1)[0],
+            "ph": "X",
+            "ts": int(event["ts"] * 1e6),
+            "dur": int(event["dur"] * 1e6),
+            "pid": event["pid"],
+            "tid": event["tid"],
+            "args": event["args"],
+        })
+    for sample in snapshot["gauge_samples"]:
+        events.append({
+            "name": sample["name"],
+            "ph": "C",
+            "ts": int(sample["ts"] * 1e6),
+            "pid": sample["pid"],
+            "tid": 0,
+            "args": {"value": sample["value"]},
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"repro_metrics": metrics_summary(recorder)},
+    }
+
+
+def write_chrome_trace(recorder: Recorder, path: str) -> None:
+    """Write the Chrome trace-event file (open it in Perfetto)."""
+    with open(path, "w") as handle:
+        json.dump(chrome_trace(recorder), handle, separators=(",", ":"))
+        handle.write("\n")
+
+
+def load_chrome_trace(path: str) -> Dict[str, Any]:
+    """Read back a trace written by :func:`write_chrome_trace` (also
+    accepts the bare JSON-array form of the trace-event format)."""
+    with open(path) as handle:
+        data = json.load(handle)
+    if isinstance(data, list):
+        data = {"traceEvents": data, "otherData": {}}
+    if "traceEvents" not in data:
+        raise ValueError(f"{path} is not a Chrome trace-event file")
+    return data
+
+
+def span_events(trace: Dict[str, Any],
+                name: Optional[str] = None) -> List[Dict[str, Any]]:
+    """Complete (``"ph": "X"``) events from a loaded trace, optionally
+    filtered by span name."""
+    return [event for event in trace["traceEvents"]
+            if event.get("ph") == "X"
+            and (name is None or event.get("name") == name)]

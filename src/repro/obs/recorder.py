@@ -1,0 +1,257 @@
+"""In-process flight recorder: spans, counters and gauges.
+
+One :class:`Recorder` collects three kinds of telemetry:
+
+- **spans** — named wall-clock intervals (``time.monotonic``) with
+  arbitrary key/value arguments, opened with :func:`span` as a context
+  manager;
+- **counters** — monotonically increasing totals (:func:`incr`), e.g.
+  cache hits or kernel selections;
+- **gauges** — last-value-wins level samples (:func:`gauge`), e.g. the
+  current size of a memo; every sample is also kept with its timestamp
+  so exporters can render the gauge as a timeline.
+
+The module-level API (:func:`span` / :func:`incr` / :func:`gauge`)
+routes to one process-global recorder installed with :func:`enable` (or
+:func:`install`).  With no recorder installed every call is **strictly
+a no-op**: :func:`span` returns a shared singleton whose
+``__enter__``/``__exit__`` do nothing, and :func:`incr`/:func:`gauge`
+return after a single ``None`` check — the instrumented hot paths pay
+one attribute load when tracing is off.
+
+Recorders cross process boundaries as plain dicts: a worker records
+into a private recorder, ships :meth:`Recorder.snapshot` back inside
+its result payload, and the parent merges it with :func:`absorb`.  On
+Linux ``CLOCK_MONOTONIC`` is machine-wide, so worker span timestamps
+land on the same timeline as the parent's.
+
+Setting ``$REPRO_TRACE=<path>`` and calling :func:`init_from_env`
+(the CLI and the benchmark harness both do) enables tracing for the
+whole process and writes a Chrome trace-event file plus a metrics
+summary at interpreter exit — profiles without code changes.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+#: Environment variable naming the Chrome-trace output path for
+#: :func:`init_from_env`.
+TRACE_ENV = "REPRO_TRACE"
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager returned while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class _Span:
+    """An open span; records itself into the recorder on ``__exit__``."""
+
+    __slots__ = ("_recorder", "name", "args", "_start")
+
+    def __init__(self, recorder: "Recorder", name: str,
+                 args: Dict[str, Any]):
+        self._recorder = recorder
+        self.name = name
+        self.args = args
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = time.monotonic()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        end = time.monotonic()
+        self._recorder._add_span(self.name, self._start, end, self.args)
+        return False
+
+
+class Recorder:
+    """Collects spans, counters and gauges for one process (or worker).
+
+    Thread-safe: the serial executor path and worker processes are
+    single-threaded, but callbacks and future consumers may not be, so
+    every mutation takes a (cheap, uncontended) lock.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.origin_pid = os.getpid()
+        #: Each span: ``{"name", "ts", "dur", "pid", "tid", "args"}``
+        #: with ``ts``/``dur`` in seconds on the monotonic clock.
+        self.spans: List[Dict[str, Any]] = []
+        self.counters: Dict[str, int] = {}
+        #: Latest value per gauge name.
+        self.gauges: Dict[str, float] = {}
+        #: Every gauge sample: ``{"name", "ts", "value", "pid"}``.
+        self.gauge_samples: List[Dict[str, Any]] = []
+
+    # -- recording --
+
+    def span(self, name: str, **args: Any) -> _Span:
+        return _Span(self, name, args)
+
+    def _add_span(self, name: str, start: float, end: float,
+                  args: Dict[str, Any]) -> None:
+        event = {
+            "name": name,
+            "ts": start,
+            "dur": end - start,
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+            "args": args,
+        }
+        with self._lock:
+            self.spans.append(event)
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + int(amount)
+
+    def gauge(self, name: str, value: float) -> None:
+        sample = {"name": name, "ts": time.monotonic(),
+                  "value": float(value), "pid": os.getpid()}
+        with self._lock:
+            self.gauges[name] = float(value)
+            self.gauge_samples.append(sample)
+
+    # -- marshalling across process boundaries --
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-dict view, picklable and JSON-safe, for :func:`absorb`."""
+        with self._lock:
+            return {
+                "origin_pid": self.origin_pid,
+                "spans": list(self.spans),
+                "counters": dict(self.counters),
+                "gauges": dict(self.gauges),
+                "gauge_samples": list(self.gauge_samples),
+            }
+
+    def absorb(self, snapshot: Dict[str, Any]) -> None:
+        """Merge a worker's :meth:`snapshot`: spans and gauge samples are
+        appended (they carry their own pid), counters are summed, and
+        gauge latest-values are taken per (pid-agnostic) name with
+        last-write-wins — the timeline in ``gauge_samples`` keeps the
+        full history."""
+        with self._lock:
+            self.spans.extend(snapshot.get("spans", ()))
+            for name, value in snapshot.get("counters", {}).items():
+                self.counters[name] = self.counters.get(name, 0) + int(value)
+            self.gauges.update(snapshot.get("gauges", {}))
+            self.gauge_samples.extend(snapshot.get("gauge_samples", ()))
+
+
+# ---------------------------------------------------------------------------
+# process-global recorder
+
+_active: Optional[Recorder] = None
+
+
+def enabled() -> bool:
+    """True when a recorder is installed (module API records into it)."""
+    return _active is not None
+
+
+def get() -> Optional[Recorder]:
+    return _active
+
+
+def install(recorder: Optional[Recorder]) -> Optional[Recorder]:
+    """Install ``recorder`` as the process-global target (``None``
+    disables tracing); returns the previously installed recorder so
+    callers can restore it."""
+    global _active
+    previous = _active
+    _active = recorder
+    return previous
+
+
+def enable() -> Recorder:
+    """Install (and return) a fresh recorder unless one is active."""
+    global _active
+    if _active is None:
+        _active = Recorder()
+    return _active
+
+
+def disable() -> Optional[Recorder]:
+    """Uninstall and return the active recorder (``None`` if none)."""
+    return install(None)
+
+
+def span(name: str, **args: Any):
+    """Open a span on the active recorder; a shared no-op when disabled."""
+    recorder = _active
+    if recorder is None:
+        return NOOP_SPAN
+    return _Span(recorder, name, args)
+
+
+def incr(name: str, amount: int = 1) -> None:
+    """Add ``amount`` to a counter on the active recorder (no-op when
+    disabled)."""
+    recorder = _active
+    if recorder is not None:
+        recorder.incr(name, amount)
+
+
+def gauge(name: str, value: float) -> None:
+    """Sample a gauge on the active recorder (no-op when disabled)."""
+    recorder = _active
+    if recorder is not None:
+        recorder.gauge(name, value)
+
+
+def absorb(snapshot: Dict[str, Any]) -> None:
+    """Merge a worker snapshot into the active recorder (no-op when
+    disabled — the worker traced, the parent does not care)."""
+    recorder = _active
+    if recorder is not None:
+        recorder.absorb(snapshot)
+
+
+# ---------------------------------------------------------------------------
+# environment hook
+
+
+def init_from_env() -> Optional[Recorder]:
+    """Enable tracing when ``$REPRO_TRACE`` names an output path.
+
+    Registers an ``atexit`` exporter that writes the Chrome trace to
+    that path and the aggregated metrics summary next to it (see
+    :func:`repro.obs.export.metrics_path_for`), so any entry point —
+    CLI, benchmarks, CI — captures a profile without code changes.
+    Idempotent: an already-active recorder is returned untouched.
+    """
+    path = os.environ.get(TRACE_ENV)
+    if not path:
+        return _active
+    if _active is not None:
+        return _active
+    recorder = enable()
+    import atexit
+
+    atexit.register(_export_env_trace, recorder, path)
+    return recorder
+
+
+def _export_env_trace(recorder: Recorder, path: str) -> None:
+    from repro.obs import export
+
+    export.write_chrome_trace(recorder, path)
+    export.write_metrics_summary(recorder, export.metrics_path_for(path))

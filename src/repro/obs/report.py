@@ -1,0 +1,80 @@
+"""Aggregation behind ``repro report``: tables from a trace file.
+
+Consumes the Chrome trace-event file written by
+:func:`repro.obs.export.write_chrome_trace` and produces plain rows for
+:func:`repro.utils.report.format_table` — stage rollups, the top-N
+slowest grid cells, the top-N slowest individual spans, and the final
+counter totals embedded in the trace's ``otherData`` block.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.obs.export import span_events
+
+#: Span name the grid executor wraps one whole cell evaluation in.
+CELL_SPAN = "cell"
+
+
+def _ms(event: Dict[str, Any]) -> float:
+    return event.get("dur", 0) / 1000.0
+
+
+def stage_rows(trace: Dict[str, Any]) -> List[Sequence]:
+    """Per-span-name rollup: count, total/mean/max milliseconds.
+
+    Sorted by total time descending — the first row is where the sweep
+    spent its wall clock.
+    """
+    stats: Dict[str, List[float]] = {}
+    for event in span_events(trace):
+        entry = stats.setdefault(event["name"], [0, 0.0, 0.0])
+        entry[0] += 1
+        entry[1] += _ms(event)
+        entry[2] = max(entry[2], _ms(event))
+    rows = [[name, count, total, total / count, peak]
+            for name, (count, total, peak) in stats.items()]
+    rows.sort(key=lambda row: row[2], reverse=True)
+    return rows
+
+
+def _arg_string(event: Dict[str, Any]) -> str:
+    args = event.get("args") or {}
+    return " ".join(f"{key}={value}" for key, value in sorted(args.items()))
+
+
+def slowest_rows(trace: Dict[str, Any], name: str = None,
+                 top: int = 10) -> List[Sequence]:
+    """The ``top`` slowest spans (optionally restricted to one name):
+    name, duration ms, pid, and the span's arguments."""
+    events = sorted(span_events(trace, name=name),
+                    key=lambda event: event.get("dur", 0), reverse=True)
+    return [[event["name"], _ms(event), event.get("pid", 0),
+             _arg_string(event)] for event in events[:top]]
+
+
+def cell_rows(trace: Dict[str, Any], top: int = 10) -> List[Sequence]:
+    """The ``top`` slowest grid cells: workload, npu, duration ms, pid."""
+    events = sorted(span_events(trace, name=CELL_SPAN),
+                    key=lambda event: event.get("dur", 0), reverse=True)
+    rows = []
+    for event in events[:top]:
+        args = event.get("args") or {}
+        rows.append([args.get("workload", "?"), args.get("npu", "?"),
+                     _ms(event), event.get("pid", 0)])
+    return rows
+
+
+def counter_rows(trace: Dict[str, Any]) -> List[Sequence]:
+    """Final counter totals from the embedded metrics summary."""
+    metrics = (trace.get("otherData") or {}).get("repro_metrics") or {}
+    return [[name, value]
+            for name, value in sorted(metrics.get("counters", {}).items())]
+
+
+def gauge_rows(trace: Dict[str, Any]) -> List[Sequence]:
+    """Final gauge values from the embedded metrics summary."""
+    metrics = (trace.get("otherData") or {}).get("repro_metrics") or {}
+    return [[name, value]
+            for name, value in sorted(metrics.get("gauges", {}).items())]

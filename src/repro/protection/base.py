@@ -8,6 +8,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.accel.simulator import LayerResult, ModelRun
 from repro.accel.trace import (
     AccessKind,
@@ -57,6 +58,7 @@ class LayerProtection:
     mac_computations: int = 0           # hash-engine invocations
     overfetch_blocks: int = 0           # data blocks fetched only for verification
     aes_invocations: int = 0            # AES core operations (energy model)
+    is_flush: bool = False              # end-of-model metadata drain, not a layer
 
     @property
     def combined_stream(self) -> BlockStream:
@@ -152,12 +154,17 @@ class ProtectionScheme(abc.ABC):
             return None
         return LayerProtection(layer_id=self._last_layer,
                                data_stream=empty_stream(),
-                               metadata_stream=out.to_stream(self._last_layer))
+                               metadata_stream=out.to_stream(self._last_layer),
+                               is_flush=True)
 
     def protect_model(self, run: ModelRun) -> List[LayerProtection]:
         """Convenience: run the whole model through the scheme."""
         self.begin_model(run)
-        results = [self.protect_layer(layer) for layer in run.layers]
+        results = []
+        for layer in run.layers:
+            with obs.span("protect.layer", scheme=self.name,
+                          layer=layer.layer_id):
+                results.append(self.protect_layer(layer))
         tail = self.finish_model()
         if tail is not None:
             results.append(tail)

@@ -32,6 +32,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.accel.trace import (
     AccessKind,
     BlockStream,
@@ -344,6 +345,7 @@ class VnTreeModel:
                         out: CacheTrafficResult) -> None:
         """The ``OrderedDict`` oracle drive (exact for any stream); used
         when the VN fixpoint does not settle on an adversarial stream."""
+        obs.incr("reuse.vn_scalar_fallback")
         od = self.cache.raw_lines
         cap = self.cache.capacity_lines
         lb = self.cache.line_bytes
@@ -505,6 +507,8 @@ class SharedTrafficModel:
             got = CacheTrafficResult()
             self.inner.process(stream, got)
             self.store(layer_id, got)
+        else:
+            obs.incr("shared_traffic.replays")
         return got
 
     def flush(self, cycle: int, out: CacheTrafficResult) -> None:

@@ -51,6 +51,7 @@ from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.utils.sorting import stable_order
 
 _POS_SENTINEL = -1
@@ -178,6 +179,7 @@ def _classify_hits(prev: np.ndarray, nxt: np.ndarray,
     hit = (winlen <= C) | (D_before <= C)   # winlen here is window + 1
     np.logical_and(hit, ~is_first, out=hit)
     amb = np.flatnonzero(~hit & ~is_first)
+    obs.incr("reuse.tier.cheap_filter", n - len(amb))
     if not len(amb):
         return hit
 
@@ -212,7 +214,9 @@ def _classify_hits(prev: np.ndarray, nxt: np.ndarray,
     hit[amb[cnt_hi < C]] = True
     unresolved = ~((cnt_hi < C) | (cnt_lo >= C))
     res = amb[unresolved]
+    obs.incr("reuse.tier.histogram", len(amb) - len(res))
     if len(res):
+        obs.incr("reuse.tier.fenwick_residual", len(res))
         inside = _dominance_le_le(link_start, link_end, prev[res], res)
         g = ub1[unresolved] - inside + g_last[unresolved]
         hit[res[(D_before[res] - 1 - g) < C]] = True
@@ -488,8 +492,10 @@ def drive_vn_tree(vn_tags: np.ndarray, writes: np.ndarray, capacity: int,
             po = np.concatenate([off[bb.po], po_inj])
             result = _finalize(prev, nxt, po, tags, writes[rid], hit,
                                capacity, prefix=0)
+            obs.incr("reuse.vn_fixpoint_rounds", it + 1)
             return VnDriveResult(result, rid, tags, it + 1)
         depth = new_depth
+    obs.incr("reuse.vn_fixpoint_unsettled")
     return None
 
 

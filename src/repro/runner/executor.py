@@ -15,11 +15,13 @@ serial in-process execution with identical results and callbacks.
 from __future__ import annotations
 
 import os
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, as_completed, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.config import NpuConfig
 from repro.core.metrics import compare_schemes
 from repro.core.pipeline import Pipeline
@@ -42,11 +44,18 @@ class EvalRequest:
     scheme_names: Tuple[str, ...]
 
     def payload(self) -> Dict[str, Any]:
-        """Picklable wire form handed to worker processes."""
+        """Picklable wire form handed to worker processes.
+
+        ``trace`` tells the worker whether the submitting process is
+        recording: a traced worker records into a private recorder and
+        ships the snapshot back inside the result record (under
+        ``_obs``), so the process boundary does not lose worker spans.
+        """
         return {
             "npu": npu_to_dict(self.npu),
             "workload": self.workload,
             "schemes": list(self.scheme_names),
+            "trace": obs.enabled(),
         }
 
 
@@ -61,25 +70,74 @@ class _CallbackError(Exception):
 
 
 #: Per-worker pipeline memo — stage 1 state is reusable across cells
-#: that land on the same worker with the same NPU.
-_worker_pipelines: Dict[str, Pipeline] = {}
+#: that land on the same worker with the same NPU.  LRU-capped: a
+#: heterogeneous-NPU grid (many distinct configs cycling through one
+#: worker) must not grow the memo unboundedly.
+_worker_pipelines: "OrderedDict[str, Pipeline]" = OrderedDict()
+
+#: Distinct NPU configs held per worker before the least recent is
+#: dropped.  Grids run a handful of NPUs; anything past that is churn.
+PIPELINE_MEMO_CAP = 4
+
+
+def _memoized_pipeline(payload_npu: Dict[str, Any]) -> Pipeline:
+    """The worker's pipeline for this NPU config, LRU-memoized."""
+    key = repr(sorted(payload_npu.items()))
+    pipeline = _worker_pipelines.get(key)
+    if pipeline is None:
+        pipeline = _worker_pipelines[key] = Pipeline(npu_from_dict(payload_npu))
+        while len(_worker_pipelines) > PIPELINE_MEMO_CAP:
+            _worker_pipelines.popitem(last=False)
+            obs.incr("executor.pipeline_memo_evictions")
+    else:
+        _worker_pipelines.move_to_end(key)
+    obs.gauge("executor.pipeline_memo_size", len(_worker_pipelines))
+    return pipeline
 
 
 def run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Evaluate one grid cell; module-level so process pools can pickle it."""
-    npu = npu_from_dict(payload["npu"])
-    key = repr(sorted(payload["npu"].items()))
-    pipeline = _worker_pipelines.get(key)
-    if pipeline is None:
-        pipeline = _worker_pipelines[key] = Pipeline(npu)
-    result = compare_schemes(pipeline, get_workload(payload["workload"]),
-                             payload["schemes"])
-    return comparison_to_dict(result)
+    """Evaluate one grid cell; module-level so process pools can pickle it.
+
+    When the payload asks for tracing (``trace``), the cell records
+    into a private recorder — whatever recorder the process had active
+    is restored afterwards — and the snapshot travels back to the
+    submitter under the record's ``_obs`` key (stripped and absorbed by
+    :class:`GridExecutor` before the record is persisted or returned).
+    The ``cell`` span wraps the whole evaluation, so its duration is
+    the cell's wall time on the worker that ran it.
+    """
+    local = obs.Recorder() if payload.get("trace") else None
+    previous = obs.install(local) if local is not None else None
+    try:
+        with obs.span("cell", workload=payload["workload"],
+                      npu=payload["npu"]["name"],
+                      schemes=",".join(payload["schemes"])):
+            pipeline = _memoized_pipeline(payload["npu"])
+            result = compare_schemes(pipeline,
+                                     get_workload(payload["workload"]),
+                                     payload["schemes"])
+            record = comparison_to_dict(result)
+    finally:
+        if local is not None:
+            obs.install(previous)
+    if local is not None:
+        record["_obs"] = local.snapshot()
+    return record
 
 
 def default_jobs() -> int:
     """A sensible worker count: CPU count capped at 8."""
     return min(os.cpu_count() or 1, 8)
+
+
+def _ingest(record: Dict[str, Any]) -> Dict[str, Any]:
+    """Strip a worker's telemetry snapshot off a result record and merge
+    it into this process's recorder.  Runs before the record is
+    persisted or returned, so stored records never carry ``_obs``."""
+    snapshot = record.pop("_obs", None)
+    if snapshot is not None:
+        obs.absorb(snapshot)
+    return record
 
 
 class GridExecutor:
@@ -110,7 +168,8 @@ class GridExecutor:
             except _CallbackError as exc:
                 raise exc.__cause__  # caller failure, not a pool problem
             except (OSError, ImportError, PermissionError, BrokenProcessPool):
-                pass  # no subprocess support here; fall through to serial
+                # No subprocess support here; fall through to serial.
+                obs.incr("executor.pool_fallbacks")
         return self._run_serial(requests, on_result, completed)
 
 
@@ -128,7 +187,8 @@ class GridExecutor:
             if index in completed:
                 records.append(completed[index])
                 continue
-            record = run_cell(request.payload())
+            record = _ingest(run_cell(request.payload()))
+            obs.incr("executor.cells_serial")
             if on_result is not None:
                 on_result(index, request, record)
             done += 1
@@ -142,6 +202,7 @@ class GridExecutor:
                   ) -> List[Dict[str, Any]]:
         records: List[Optional[Dict[str, Any]]] = [None] * len(requests)
         workers = min(self.jobs, len(requests))
+        obs.gauge("executor.pool_workers", workers)
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
                 pool.submit(run_cell, request.payload()): index
@@ -150,7 +211,8 @@ class GridExecutor:
             try:
                 for future in as_completed(futures):
                     index = futures[future]
-                    record = future.result()
+                    record = _ingest(future.result())
+                    obs.incr("executor.cells_pool")
                     records[index] = record
                     completed[index] = record
                     try:
@@ -196,7 +258,8 @@ class GridExecutor:
                 continue
             if future.exception() is not None:
                 continue
-            record = future.result()
+            record = _ingest(future.result())
+            obs.incr("executor.cells_pool")
             records[index] = record
             completed[index] = record
             if on_result is not None:

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
+from repro import obs
 from repro.core.config import NpuConfig, npu_config
 from repro.core.metrics import ComparisonResult
 from repro.models.zoo import WORKLOADS
@@ -64,12 +65,17 @@ class EvalService:
         miss_indices: List[int] = []
         seen_keys: Dict[str, int] = {}
         for index, (request, key) in enumerate(zip(requests, keys)):
-            if key in self._memo or key in seen_keys:
+            if key in self._memo:
+                obs.incr("service.memo_hits")
+                continue
+            if key in seen_keys:
+                obs.incr("service.batch_deduped")
                 continue
             record = self.store.get(key) if self.store is not None else None
             if record is not None:
                 try:
                     self._memo[key] = comparison_from_dict(record)
+                    obs.incr("service.disk_hits")
                     continue
                 except RecordError:
                     # Stale schema: recompute and overwrite — and make
@@ -79,13 +85,17 @@ class EvalService:
             miss_indices.append(index)
 
         if miss_indices:
+            obs.incr("service.computed", len(miss_indices))
+
             def persist(position: int, _request: EvalRequest,
                         record: Dict[str, Any]) -> None:
                 if self.store is not None:
                     self.store.put(keys[miss_indices[position]], record)
 
             misses = [requests[i] for i in miss_indices]
-            records = self.executor.run(misses, on_result=persist)
+            with obs.span("service.evaluate", batch=len(requests),
+                          computed=len(miss_indices)):
+                records = self.executor.run(misses, on_result=persist)
             for index, record in zip(miss_indices, records):
                 self._memo[keys[index]] = comparison_from_dict(record)
 

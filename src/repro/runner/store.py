@@ -18,14 +18,21 @@ Per-session hit/miss counters are merged into a persistent
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterable, Optional
+from typing import Any, Dict, Iterable, Iterator, Optional
 
+try:
+    import fcntl
+except ImportError:  # non-POSIX platform: stats merges go unlocked
+    fcntl = None
+
+from repro import obs
 from repro.core.config import NpuConfig
 from repro.runner.records import SCHEMA_VERSION, npu_to_dict
 
@@ -33,10 +40,12 @@ from repro.runner.records import SCHEMA_VERSION, npu_to_dict
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 #: Sources that cannot affect evaluation results: the caching machinery
-#: itself and the presentation-only CLI. Everything else is hashed —
-#: deliberately conservative, so an ambiguous module over-invalidates
-#: the store rather than risking stale results.
-_NON_RESULT_DIRS = {"runner", "__pycache__"}
+#: itself, the observability layer (spans and counters never change
+#: what the pipeline computes) and the presentation-only CLI.
+#: Everything else is hashed — deliberately conservative, so an
+#: ambiguous module over-invalidates the store rather than risking
+#: stale results.
+_NON_RESULT_DIRS = {"runner", "obs", "__pycache__"}
 _NON_RESULT_FILES = {"cli.py"}
 
 _code_version_cache: Optional[str] = None
@@ -150,16 +159,20 @@ class ResultStore:
                 record = json.load(handle)
         except FileNotFoundError:
             self.stats.misses += 1
+            obs.incr("store.misses")
             return None
         except (json.JSONDecodeError, OSError):
             self.stats.misses += 1
             self.stats.evictions += 1
+            obs.incr("store.misses")
+            obs.incr("store.evictions")
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
         self.stats.hits += 1
+        obs.incr("store.hits")
         return record
 
     def put(self, key: str, record: Dict[str, Any]) -> None:
@@ -178,6 +191,7 @@ class ResultStore:
                 pass
             raise
         self.stats.puts += 1
+        obs.incr("store.puts")
 
     def demote_hit(self, key: str) -> None:
         """Reclassify the last hit on ``key`` as a miss and evict it.
@@ -194,6 +208,7 @@ class ResultStore:
             self.stats.hits -= 1
             self.stats.misses += 1
         self.stats.evictions += 1
+        obs.incr("store.demotions")
         try:
             self._path(key).unlink()
         except OSError:
@@ -236,13 +251,40 @@ class ResultStore:
                 path.unlink()
             except OSError:
                 pass
-        try:
-            self._stats_path().unlink()
-        except OSError:
-            pass
+        for path in (self._stats_path(), self._lock_path()):
+            try:
+                path.unlink()
+            except OSError:
+                pass
         return removed
 
     # -- persistent statistics --
+
+    def _lock_path(self) -> Path:
+        return self.root / "stats.lock"
+
+    @contextlib.contextmanager
+    def _stats_lock(self) -> Iterator[None]:
+        """Inter-process mutex around the ``stats.json`` read-modify-write.
+
+        ``flush_stats`` merges session counters into the persistent
+        file; two concurrent sweeps flushing unlocked race the
+        read-modify-write and silently lose counters.  An ``flock`` on a
+        sidecar lock file (never on ``stats.json`` itself, which is
+        replaced atomically and would orphan the lock) serializes the
+        merge.  On platforms without ``fcntl`` the merge proceeds
+        unlocked, exactly as before.
+        """
+        if fcntl is None:
+            yield
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        with open(self._lock_path(), "a") as handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
 
     def _load_persistent(self) -> Dict[str, Any]:
         try:
@@ -254,35 +296,43 @@ class ResultStore:
         return data
 
     def flush_stats(self) -> None:
-        """Merge this session's counters into ``stats.json`` and reset."""
+        """Merge this session's counters into ``stats.json`` and reset.
+
+        The read-modify-write runs under :meth:`_stats_lock`, so
+        concurrent sweeps (or a future eval server's writers) merge
+        rather than clobber each other's counters.
+        """
         if not self.stats.requests and not self.stats.puts:
             return
-        data = self._load_persistent()
-        lifetime = data["lifetime"]
-        for name, value in self.stats.as_dict().items():
-            lifetime[name] = lifetime.get(name, 0) + value
-        data["last_run"] = self.stats.as_dict()
-        self.root.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(data, handle, indent=2, sort_keys=True)
-            os.replace(tmp, self._stats_path())
-        except BaseException:
+        with self._stats_lock():
+            data = self._load_persistent()
+            lifetime = data["lifetime"]
+            for name, value in self.stats.as_dict().items():
+                lifetime[name] = lifetime.get(name, 0) + value
+            data["last_run"] = self.stats.as_dict()
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(data, handle, indent=2, sort_keys=True)
+                os.replace(tmp, self._stats_path())
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
         self.stats = CacheStats()
 
     def summary(self) -> StoreSummary:
         data = self._load_persistent()
+        orphans = self.orphan_tmp_count()
+        obs.gauge("store.orphan_tmp", orphans)
         return StoreSummary(
             root=str(self.root),
             entries=self.entries(),
             total_bytes=self.size_bytes(),
-            orphan_tmp=self.orphan_tmp_count(),
+            orphan_tmp=orphans,
             lifetime=data.get("lifetime", {}),
             last_run=data.get("last_run", {}),
         )

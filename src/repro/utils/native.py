@@ -31,6 +31,8 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
+
 _SOURCE = os.path.join(os.path.dirname(__file__), "_native_kernels.c")
 
 _lib = None
@@ -237,6 +239,7 @@ def fused_drive(idx: np.ndarray, writes: np.ndarray, cycles: np.ndarray,
     """
     lib = _load()
     if lib is None:
+        obs.incr("native.drive.python_fallback")
         return None
     n = len(idx)
     idx = np.ascontiguousarray(idx, dtype=np.int64)
@@ -303,8 +306,10 @@ def fused_drive(idx: np.ndarray, writes: np.ndarray, cycles: np.ndarray,
             vn_ev_cap = vn_ev_hard
             continue
         if rc != 0:
+            obs.incr("native.drive.python_fallback")
             return None
         break
+    obs.incr("native.drive.kernel")
 
     mac_out = vn_out = None
     if mac is not None:
@@ -332,7 +337,10 @@ def dram_completion(arrivals: np.ndarray, banks: np.ndarray,
     """
     lib = _load()
     if lib is None or len(arrivals) == 0:
+        if len(arrivals):
+            obs.incr("native.dram.python_fallback")
         return None
+    obs.incr("native.dram.kernel")
     arrivals = np.ascontiguousarray(arrivals, dtype=np.float64)
     banks = np.ascontiguousarray(banks, dtype=np.int64)
     service = np.ascontiguousarray(service, dtype=np.float64)

@@ -87,6 +87,31 @@ class TestSweep:
         csv_traffic = next(float(r[2]) for r in rows[1:] if r[0] == "traffic")
         assert payload["metrics"]["traffic"]["seda"][0] == csv_traffic
 
+    def test_sweep_profile_writes_trace_and_metrics(self, tmp_path,
+                                                    capsys):
+        from repro import obs
+        from repro.obs.export import load_chrome_trace, span_events
+
+        trace_path = tmp_path / "sweep.trace.json"
+        events_path = tmp_path / "sweep.events.jsonl"
+        assert main(["sweep", "--npu", "edge", "--workloads", "let",
+                     "--schemes", "seda", "--no-cache",
+                     "--profile", str(trace_path),
+                     "--profile-events", str(events_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Perfetto" in out
+        assert not obs.enabled()  # profiling is scoped to the command
+
+        trace = load_chrome_trace(str(trace_path))
+        assert len(span_events(trace, name="cell")) == 1
+        assert len(span_events(trace, name="sweep")) == 1
+        metrics = json.loads(
+            (tmp_path / "sweep.metrics.json").read_text())
+        assert metrics["spans"]["cell"]["count"] == 1
+        kinds = {json.loads(line)["kind"]
+                 for line in events_path.read_text().splitlines()}
+        assert "span" in kinds
+
     def test_cache_clear(self, tmp_path, capsys):
         cache = str(tmp_path / "cache")
         main(["sweep", "--npu", "edge", "--workloads", "let",
@@ -94,6 +119,42 @@ class TestSweep:
         capsys.readouterr()
         assert main(["cache", "clear", "--cache-dir", cache]) == 0
         assert "removed 1 cached results" in capsys.readouterr().out
+
+
+class TestReport:
+    def _trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "sweep.trace.json"
+        assert main(["sweep", "--npu", "edge", "--workloads", "let",
+                     "dlrm", "--schemes", "seda", "--no-cache",
+                     "--profile", str(trace_path)]) == 0
+        capsys.readouterr()
+        return trace_path
+
+    def test_report_renders_tables(self, tmp_path, capsys):
+        trace_path = self._trace(tmp_path, capsys)
+        assert main(["report", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "stages (by total wall time)" in out
+        assert "grid cells" in out
+        assert "lenet" in out and "dlrm" in out
+        assert "counters" in out
+
+    def test_report_span_filter_and_top(self, tmp_path, capsys):
+        trace_path = self._trace(tmp_path, capsys)
+        assert main(["report", str(trace_path), "--span", "protect",
+                     "--top", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "protect" in out
+
+    def test_report_rejects_non_trace_file(self, tmp_path, capsys):
+        bogus = tmp_path / "not_a_trace.json"
+        bogus.write_text(json.dumps({"hello": 1}))
+        assert main(["report", str(bogus)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_report_missing_file_is_error(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "absent.json")]) == 2
+        assert "error" in capsys.readouterr().err
 
 
 class TestAttack:

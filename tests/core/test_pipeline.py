@@ -91,8 +91,44 @@ class TestBottleneckTieBreak:
         assert self._timing(100.0, 100.0, 100.0).bottleneck == "compute"
 
 
+class _EmptyStreamScheme:
+    """A degenerate scheme: real layers that emit no DRAM traffic at
+    all.  Before ``LayerProtection.is_flush`` the pipeline classified
+    these by their empty data streams and mislabelled them as
+    ``(flush:N)`` rows with zero compute."""
+
+    name = "empty-stream"
+
+    def protect_model(self, run):
+        from repro.protection.base import LayerProtection, empty_stream
+        return [LayerProtection(layer_id=layer.layer_id,
+                                data_stream=empty_stream(),
+                                metadata_stream=empty_stream())
+                for layer in run.layers]
+
+    def crypto_engine(self):
+        return None
+
+
 class TestFlushAccounting:
     def test_sgx_flush_layer_present(self, pipeline, topology):
         """Dirty metadata evictions at end-of-model become a tail entry."""
         run = pipeline.run(topology, make_scheme("sgx-64b"))
         assert len(run.layers) >= len(topology)
+
+    def test_flush_tail_is_explicit(self, pipeline, topology):
+        run = pipeline.run(topology, make_scheme("sgx-64b"))
+        for timing in run.layers[len(topology):]:
+            assert timing.layer_name.startswith("(flush:")
+            assert timing.compute_cycles == 0.0
+
+    def test_real_layer_with_empty_streams_keeps_identity(self, pipeline,
+                                                          topology):
+        """A real layer whose streams happen to be empty is not a flush:
+        it keeps its name and its compute cycles."""
+        run = pipeline.run(topology, _EmptyStreamScheme())
+        assert [t.layer_name for t in run.layers] == \
+            [layer.name for layer in topology]
+        for timing in run.layers:
+            assert timing.compute_cycles > 0.0
+            assert not timing.layer_name.startswith("(flush:")

@@ -1,0 +1,17 @@
+"""Every obs test starts and ends with tracing disabled.
+
+The module-level API routes through one process-global recorder; a test
+that enables tracing and forgets to disable it would silently contaminate
+every later test's counters.  This fixture makes the hygiene automatic.
+"""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off():
+    previous = obs.install(None)
+    yield
+    obs.install(previous)

@@ -1,0 +1,136 @@
+"""Exporters: JSONL, metrics summary, Chrome trace round-trips."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import export
+
+
+def populated_recorder():
+    recorder = obs.Recorder()
+    previous = obs.install(recorder)
+    try:
+        with obs.span("cell", workload="lenet", npu="edge"):
+            with obs.span("protect.layer", layer=0):
+                pass
+            with obs.span("protect.layer", layer=1):
+                pass
+        obs.incr("store.hits", 3)
+        obs.gauge("memo", 2)
+        obs.gauge("memo", 4)
+    finally:
+        obs.install(previous)
+    return recorder
+
+
+class TestMetricsSummary:
+    def test_structure(self):
+        summary = export.metrics_summary(populated_recorder())
+        assert summary["counters"] == {"store.hits": 3}
+        assert summary["gauges"] == {"memo": 4.0}
+        layer = summary["spans"]["protect.layer"]
+        assert layer["count"] == 2
+        assert layer["total_s"] == pytest.approx(
+            layer["mean_s"] * 2)
+        assert layer["max_s"] <= layer["total_s"]
+        assert summary["spans"]["cell"]["count"] == 1
+
+    def test_write_is_valid_json(self, tmp_path):
+        path = tmp_path / "m.json"
+        export.write_metrics_summary(populated_recorder(), str(path))
+        assert json.loads(path.read_text())["counters"] == {"store.hits": 3}
+
+
+class TestJsonl:
+    def test_every_event_kind_present(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        export.write_jsonl(populated_recorder(), str(path))
+        events = [json.loads(line)
+                  for line in path.read_text().splitlines()]
+        kinds = {event["kind"] for event in events}
+        assert kinds == {"span", "gauge", "counter"}
+        assert sum(e["kind"] == "span" for e in events) == 3
+        assert sum(e["kind"] == "gauge" for e in events) == 2
+        counter, = [e for e in events if e["kind"] == "counter"]
+        assert counter == {"kind": "counter", "name": "store.hits",
+                           "value": 3}
+
+
+class TestMetricsPathFor:
+    def test_trace_json_suffix(self):
+        assert export.metrics_path_for("out.trace.json") == \
+            "out.metrics.json"
+
+    def test_plain_json_suffix(self):
+        assert export.metrics_path_for("out.json") == "out.metrics.json"
+
+    def test_other_suffix_appends(self):
+        assert export.metrics_path_for("out.bin") == \
+            "out.bin.metrics.json"
+
+
+class TestChromeTrace:
+    def test_event_kinds_and_units(self):
+        trace = export.chrome_trace(populated_recorder())
+        events = trace["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        counters = [e for e in events if e["ph"] == "C"]
+        assert len(meta) == 1  # single-process recorder
+        assert meta[0]["args"]["name"].startswith("repro main")
+        assert len(spans) == 3
+        assert len(counters) == 2  # one per gauge sample
+        for event in spans:
+            assert isinstance(event["ts"], int)  # microsecond integers
+            assert isinstance(event["dur"], int)
+        cell, = [e for e in spans if e["name"] == "cell"]
+        assert cell["cat"] == "cell"
+        layer = [e for e in spans if e["name"] == "protect.layer"][0]
+        assert layer["cat"] == "protect"  # category = name prefix
+
+    def test_absorbed_worker_pid_named_worker(self):
+        parent = populated_recorder()
+        worker_snapshot = populated_recorder().snapshot()
+        for event in worker_snapshot["spans"]:
+            event["pid"] = parent.origin_pid + 1
+        parent.absorb(worker_snapshot)
+        trace = export.chrome_trace(parent)
+        names = {e["pid"]: e["args"]["name"]
+                 for e in trace["traceEvents"] if e["ph"] == "M"}
+        assert names[parent.origin_pid].startswith("repro main")
+        assert names[parent.origin_pid + 1].startswith("repro worker")
+
+    def test_metrics_ride_along_in_other_data(self):
+        trace = export.chrome_trace(populated_recorder())
+        metrics = trace["otherData"]["repro_metrics"]
+        assert metrics["counters"] == {"store.hits": 3}
+
+    def test_write_load_roundtrip(self, tmp_path):
+        path = tmp_path / "t.trace.json"
+        export.write_chrome_trace(populated_recorder(), str(path))
+        trace = export.load_chrome_trace(str(path))
+        assert len(export.span_events(trace)) == 3
+
+    def test_load_accepts_bare_array_form(self, tmp_path):
+        path = tmp_path / "array.json"
+        path.write_text(json.dumps(
+            [{"name": "s", "ph": "X", "ts": 0, "dur": 5,
+              "pid": 1, "tid": 1}]))
+        trace = export.load_chrome_trace(str(path))
+        assert len(export.span_events(trace)) == 1
+        assert trace["otherData"] == {}
+
+    def test_load_rejects_non_trace_json(self, tmp_path):
+        path = tmp_path / "not_a_trace.json"
+        path.write_text(json.dumps({"counters": {}}))
+        with pytest.raises(ValueError, match="trace-event"):
+            export.load_chrome_trace(str(path))
+
+    def test_span_events_filters_by_name(self, tmp_path):
+        path = tmp_path / "t.trace.json"
+        export.write_chrome_trace(populated_recorder(), str(path))
+        trace = export.load_chrome_trace(str(path))
+        assert len(export.span_events(trace, name="protect.layer")) == 2
+        assert export.span_events(trace, name="missing") == []

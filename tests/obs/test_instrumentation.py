@@ -1,0 +1,205 @@
+"""The instrumented stack records what it claims to record.
+
+Pipeline stage spans, executor cell spans across the serial / pool /
+fallback paths, worker-snapshot marshalling through ``_obs``, and the
+service-level cache counters.
+"""
+
+import pytest
+
+from repro import obs
+from repro.core.config import npu_config
+from repro.core.pipeline import Pipeline
+from repro.models.layer import conv, gemm
+from repro.models.topology import Topology
+from repro.protection import make_scheme
+from repro.runner.executor import EvalRequest, GridExecutor, run_cell
+from repro.runner.service import EvalService
+
+SCHEMES = ("mgx-64b", "seda")
+
+
+@pytest.fixture
+def topology():
+    return Topology("obs-pipe", [
+        conv("c1", 18, 18, 3, 3, 3, 8),
+        gemm("fc", 1, 8 * 16 * 16, 10),
+    ])
+
+
+def grid():
+    edge = npu_config("edge")
+    return [EvalRequest(edge, "lenet", SCHEMES),
+            EvalRequest(edge, "dlrm", SCHEMES),
+            EvalRequest(edge, "ncf", SCHEMES)]
+
+
+def span_names(recorder):
+    return [event["name"] for event in recorder.spans]
+
+
+class TestPipelineSpans:
+    def test_stage_spans_per_scheme_and_layer(self, test_npu, topology):
+        recorder = obs.enable()
+        Pipeline(test_npu).run(topology, make_scheme("seda"))
+        names = span_names(recorder)
+        assert names.count("accel") == 1
+        assert names.count("accel.layer") == len(topology)
+        assert names.count("protect") == 1
+        assert names.count("protect.layer") == len(topology)
+        assert names.count("dram") == 1
+        assert names.count("crypto") == 1
+
+    def test_slow_dram_path_records_per_layer_spans(self, test_npu,
+                                                    topology):
+        recorder = obs.enable()
+        pipeline = Pipeline(test_npu, use_fast_dram=False)
+        run = pipeline.run(topology, make_scheme("sgx-64b"))
+        names = span_names(recorder)
+        # One dram.layer span per protection record (incl. flush tail).
+        assert names.count("dram.layer") == len(run.layers)
+
+    def test_untraced_run_records_nothing(self, test_npu, topology):
+        Pipeline(test_npu).run(topology, make_scheme("seda"))
+        assert obs.get() is None  # nothing installed, nothing leaked
+
+
+class TestCellMarshalling:
+    def test_traced_payload_ships_obs_snapshot(self):
+        obs.enable()
+        record = run_cell(grid()[0].payload())
+        snapshot = record["_obs"]
+        names = [event["name"] for event in snapshot["spans"]]
+        cell, = [e for e in snapshot["spans"] if e["name"] == "cell"]
+        assert cell["args"]["workload"] == "lenet"
+        assert names.count("protect") == len(SCHEMES) + 1  # + baseline
+
+    def test_cell_span_covers_its_stage_spans(self):
+        obs.enable()
+        snapshot = run_cell(grid()[0].payload())["_obs"]
+        cell, = [e for e in snapshot["spans"] if e["name"] == "cell"]
+        stage_total = sum(e["dur"] for e in snapshot["spans"]
+                          if e["name"] in ("accel", "protect", "dram",
+                                           "crypto"))
+        # Stages are disjoint sub-intervals of the cell.
+        assert cell["dur"] >= stage_total * 0.99
+
+    def test_untraced_payload_ships_nothing(self):
+        record = run_cell(grid()[0].payload())
+        assert "_obs" not in record
+
+    def test_parent_recorder_restored_after_cell(self):
+        parent = obs.enable()
+        run_cell(grid()[0].payload())
+        assert obs.get() is parent
+        # The cell recorded privately; the parent saw none of it.
+        assert parent.spans == []
+
+
+class TestExecutorIngestion:
+    def test_serial_run_absorbs_every_cell(self):
+        recorder = obs.enable()
+        records = GridExecutor(jobs=1).run(grid())
+        assert all("_obs" not in record for record in records)
+        cells = [e for e in recorder.spans if e["name"] == "cell"]
+        assert sorted(c["args"]["workload"] for c in cells) == \
+            ["dlrm", "lenet", "ncf"]
+        assert recorder.counters["executor.cells_serial"] == 3
+
+    def test_pool_run_absorbs_every_cell(self):
+        recorder = obs.enable()
+        records = GridExecutor(jobs=2).run(grid())
+        assert all("_obs" not in record for record in records)
+        cells = [e for e in recorder.spans if e["name"] == "cell"]
+        assert sorted(c["args"]["workload"] for c in cells) == \
+            ["dlrm", "lenet", "ncf"]
+        assert recorder.counters["executor.cells_pool"] == 3
+        assert recorder.gauges["executor.pool_workers"] == 2.0
+
+    def test_pool_fallback_neither_drops_nor_duplicates(self, monkeypatch):
+        recorder = obs.enable()
+        executor = GridExecutor(jobs=2)
+
+        def boom(requests, on_result, completed):
+            raise OSError("no processes here")
+
+        monkeypatch.setattr(executor, "_run_pool", boom)
+        executor.run(grid())
+        cells = [e for e in recorder.spans if e["name"] == "cell"]
+        assert sorted(c["args"]["workload"] for c in cells) == \
+            ["dlrm", "lenet", "ncf"]
+        assert recorder.counters["executor.pool_fallbacks"] == 1
+        assert recorder.counters["executor.cells_serial"] == 3
+
+    def test_partial_pool_then_serial_resume_keeps_spans_exact(self):
+        """A pool that dies after finishing one cell: the resume must
+        not re-record that cell's spans nor lose the others'."""
+        from repro.runner.executor import _ingest
+
+        recorder = obs.enable()
+        executor = GridExecutor(jobs=2)
+        requests = grid()
+
+        def dying_pool(reqs, on_result, completed):
+            completed[0] = _ingest(run_cell(reqs[0].payload()))
+            raise OSError("pool lost")
+
+        executor._run_pool = dying_pool
+        records = executor.run(requests)
+        assert [r["workload"] for r in records] == ["lenet", "dlrm",
+                                                    "ncf"]
+        cells = [e for e in recorder.spans if e["name"] == "cell"]
+        workloads = [c["args"]["workload"] for c in cells]
+        assert sorted(workloads) == ["dlrm", "lenet", "ncf"]
+        assert len(workloads) == len(set(workloads))  # no duplicates
+
+    def test_drain_finished_absorbs_worker_snapshots(self):
+        """Cells recovered on the failure path keep their telemetry."""
+        from concurrent.futures import Future
+
+        recorder = obs.enable()
+        worker = obs.Recorder()
+        previous = obs.install(worker)
+        try:
+            with obs.span("cell", workload="lenet", npu="edge",
+                          schemes="seda"):
+                pass
+        finally:
+            obs.install(previous)
+        future = Future()
+        future.set_result({"workload": "lenet",
+                           "_obs": worker.snapshot()})
+        requests = grid()
+        records = [None] * len(requests)
+        completed = {}
+        GridExecutor(jobs=2)._drain_finished(
+            {future: 0}, requests, records, completed, None)
+        assert "_obs" not in completed[0]
+        cells = [e for e in recorder.spans if e["name"] == "cell"]
+        assert len(cells) == 1
+        assert recorder.counters["executor.cells_pool"] == 1
+
+
+class TestServiceCounters:
+    def test_memo_disk_and_compute_paths_counted(self, tmp_path):
+        from repro.runner.store import ResultStore
+
+        recorder = obs.enable()
+        request = EvalService.request("edge", "lenet", SCHEMES)
+
+        service = EvalService(store=ResultStore(tmp_path / "cache"))
+        service.evaluate([request, request])  # compute + batch dedupe
+        assert recorder.counters["service.computed"] == 1
+        assert recorder.counters["service.batch_deduped"] == 1
+
+        service.evaluate([request])  # in-memory memo
+        assert recorder.counters["service.memo_hits"] == 1
+
+        fresh = EvalService(store=ResultStore(tmp_path / "cache"))
+        fresh.evaluate([request])  # same store, cold memo
+        assert recorder.counters["service.disk_hits"] == 1
+        assert recorder.counters["service.computed"] == 1  # unchanged
+
+        evaluate_span, = [e for e in recorder.spans
+                          if e["name"] == "service.evaluate"]
+        assert evaluate_span["args"] == {"batch": 2, "computed": 1}

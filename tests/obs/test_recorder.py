@@ -1,0 +1,191 @@
+"""Recorder unit behaviour: no-op discipline, recording, merging, env hook."""
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.recorder import NOOP_SPAN
+
+
+class TestDisabled:
+    def test_span_is_the_shared_noop_singleton(self):
+        assert obs.span("anything", layer=1) is NOOP_SPAN
+        with obs.span("anything"):
+            pass  # enter/exit must be valid on the singleton
+
+    def test_incr_gauge_absorb_are_noops(self):
+        obs.incr("c", 5)
+        obs.gauge("g", 1.0)
+        obs.absorb({"counters": {"c": 5}, "spans": [{"name": "x"}]})
+        assert obs.get() is None
+        assert not obs.enabled()
+
+    def test_disabled_overhead_is_negligible(self):
+        # Loose sanity bound, not a benchmark: 50k disabled
+        # span+incr+gauge round-trips must cost microseconds each at
+        # most — each call is one None check.
+        start = time.monotonic()
+        for _ in range(50_000):
+            with obs.span("hot", layer=1):
+                pass
+            obs.incr("hot")
+            obs.gauge("level", 1)
+        assert time.monotonic() - start < 2.0
+
+
+class TestLifecycle:
+    def test_enable_installs_and_is_idempotent(self):
+        first = obs.enable()
+        assert obs.enabled()
+        assert obs.get() is first
+        assert obs.enable() is first  # no silent recorder swap
+
+    def test_install_returns_previous_for_restore(self):
+        outer = obs.enable()
+        inner = obs.Recorder()
+        assert obs.install(inner) is outer
+        assert obs.get() is inner
+        assert obs.install(outer) is inner
+        assert obs.get() is outer
+
+    def test_disable_uninstalls_and_returns_recorder(self):
+        recorder = obs.enable()
+        assert obs.disable() is recorder
+        assert not obs.enabled()
+        assert obs.disable() is None
+
+
+class TestRecording:
+    def test_span_event_shape(self):
+        recorder = obs.enable()
+        with obs.span("stage", layer=3, scheme="seda"):
+            pass
+        (event,) = recorder.spans
+        assert event["name"] == "stage"
+        assert event["args"] == {"layer": 3, "scheme": "seda"}
+        assert event["pid"] == os.getpid()
+        assert event["tid"] == threading.get_ident()
+        assert event["dur"] >= 0.0
+
+    def test_nested_spans_both_recorded_child_first(self):
+        recorder = obs.enable()
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        assert [e["name"] for e in recorder.spans] == ["inner", "outer"]
+        inner, outer = recorder.spans
+        assert outer["dur"] >= inner["dur"]
+        assert outer["ts"] <= inner["ts"]
+
+    def test_span_recorded_even_when_body_raises(self):
+        recorder = obs.enable()
+        with pytest.raises(ValueError):
+            with obs.span("failing"):
+                raise ValueError("boom")
+        assert [e["name"] for e in recorder.spans] == ["failing"]
+
+    def test_counters_accumulate(self):
+        recorder = obs.enable()
+        obs.incr("hits")
+        obs.incr("hits", 4)
+        obs.incr("misses")
+        assert recorder.counters == {"hits": 5, "misses": 1}
+
+    def test_gauges_keep_latest_and_full_timeline(self):
+        recorder = obs.enable()
+        obs.gauge("memo", 1)
+        obs.gauge("memo", 3)
+        obs.gauge("workers", 8)
+        assert recorder.gauges == {"memo": 3.0, "workers": 8.0}
+        assert [s["value"] for s in recorder.gauge_samples
+                if s["name"] == "memo"] == [1.0, 3.0]
+
+
+class TestSnapshotAbsorb:
+    def _populated(self):
+        recorder = obs.Recorder()
+        previous = obs.install(recorder)
+        try:
+            with obs.span("cell", workload="lenet"):
+                pass
+            obs.incr("store.hits", 2)
+            obs.gauge("memo", 4)
+        finally:
+            obs.install(previous)
+        return recorder
+
+    def test_snapshot_is_json_safe(self):
+        snapshot = self._populated().snapshot()
+        json.dumps(snapshot)  # must not raise
+        assert snapshot["origin_pid"] == os.getpid()
+        assert len(snapshot["spans"]) == 1
+        assert snapshot["counters"] == {"store.hits": 2}
+
+    def test_snapshot_is_a_copy(self):
+        recorder = self._populated()
+        snapshot = recorder.snapshot()
+        snapshot["spans"].append({"name": "bogus"})
+        snapshot["counters"]["store.hits"] = 99
+        assert len(recorder.spans) == 1
+        assert recorder.counters["store.hits"] == 2
+
+    def test_absorb_merges_worker_snapshot(self):
+        parent = self._populated()
+        worker = self._populated()
+        parent.absorb(worker.snapshot())
+        assert len(parent.spans) == 2            # appended
+        assert parent.counters == {"store.hits": 4}  # summed
+        assert parent.gauges == {"memo": 4.0}    # last write wins
+        assert len(parent.gauge_samples) == 2    # timeline keeps both
+
+    def test_module_absorb_routes_to_active_recorder(self):
+        recorder = obs.enable()
+        obs.absorb(self._populated().snapshot())
+        assert recorder.counters == {"store.hits": 2}
+
+
+class TestEnvHook:
+    def test_no_env_var_means_no_recorder(self, monkeypatch):
+        monkeypatch.delenv(obs.TRACE_ENV, raising=False)
+        assert obs.init_from_env() is None
+        assert not obs.enabled()
+
+    def test_env_var_enables_and_registers_exporter(self, monkeypatch,
+                                                    tmp_path):
+        import atexit
+
+        trace_path = tmp_path / "run.trace.json"
+        monkeypatch.setenv(obs.TRACE_ENV, str(trace_path))
+        registered = []
+        monkeypatch.setattr(atexit, "register",
+                            lambda fn, *a: registered.append((fn, a)))
+
+        recorder = obs.init_from_env()
+        assert obs.get() is recorder
+        with obs.span("stage"):
+            pass
+
+        # Run the registered exporter as interpreter exit would.
+        (fn, fn_args), = registered
+        fn(*fn_args)
+        trace = json.loads(trace_path.read_text())
+        assert any(e.get("name") == "stage"
+                   for e in trace["traceEvents"])
+        metrics = json.loads(
+            (tmp_path / "run.metrics.json").read_text())
+        assert metrics["spans"]["stage"]["count"] == 1
+
+    def test_idempotent_when_already_tracing(self, monkeypatch, tmp_path):
+        import atexit
+
+        monkeypatch.setenv(obs.TRACE_ENV, str(tmp_path / "t.json"))
+        registered = []
+        monkeypatch.setattr(atexit, "register",
+                            lambda fn, *a: registered.append(fn))
+        first = obs.init_from_env()
+        assert obs.init_from_env() is first
+        assert len(registered) == 1  # exporter not registered twice

@@ -1,0 +1,75 @@
+"""Report aggregation: trace file -> tables behind ``repro report``."""
+
+from repro import obs
+from repro.obs import export, report
+
+
+def loaded_trace(tmp_path):
+    recorder = obs.Recorder()
+    previous = obs.install(recorder)
+    try:
+        for workload, npu in (("lenet", "edge"), ("dlrm", "edge")):
+            with obs.span("cell", workload=workload, npu=npu,
+                          schemes="seda"):
+                with obs.span("protect", scheme="seda",
+                              workload=workload):
+                    pass
+        obs.incr("executor.cells_serial", 2)
+        obs.gauge("executor.pipeline_memo_size", 1)
+    finally:
+        obs.install(previous)
+    path = tmp_path / "t.trace.json"
+    export.write_chrome_trace(recorder, str(path))
+    return export.load_chrome_trace(str(path))
+
+
+class TestStageRows:
+    def test_rollup_counts_and_sort(self, tmp_path):
+        rows = report.stage_rows(loaded_trace(tmp_path))
+        by_name = {row[0]: row for row in rows}
+        assert by_name["cell"][1] == 2
+        assert by_name["protect"][1] == 2
+        totals = [row[2] for row in rows]
+        assert totals == sorted(totals, reverse=True)
+        for name, count, total, mean, peak in rows:
+            assert mean <= total and peak <= total
+
+
+class TestSlowestRows:
+    def test_top_limit_and_descending(self, tmp_path):
+        rows = report.slowest_rows(loaded_trace(tmp_path), top=3)
+        assert len(rows) == 3
+        durations = [row[1] for row in rows]
+        assert durations == sorted(durations, reverse=True)
+
+    def test_name_filter(self, tmp_path):
+        rows = report.slowest_rows(loaded_trace(tmp_path),
+                                   name="protect", top=10)
+        assert len(rows) == 2
+        assert all(row[0] == "protect" for row in rows)
+        assert "scheme=seda" in rows[0][3]  # args rendered
+
+
+class TestCellRows:
+    def test_workload_npu_extracted(self, tmp_path):
+        rows = report.cell_rows(loaded_trace(tmp_path), top=10)
+        assert {(row[0], row[1]) for row in rows} == \
+            {("lenet", "edge"), ("dlrm", "edge")}
+
+    def test_top_truncates(self, tmp_path):
+        assert len(report.cell_rows(loaded_trace(tmp_path), top=1)) == 1
+
+
+class TestMetricRows:
+    def test_counters_from_other_data(self, tmp_path):
+        rows = report.counter_rows(loaded_trace(tmp_path))
+        assert rows == [["executor.cells_serial", 2]]
+
+    def test_gauges_from_other_data(self, tmp_path):
+        rows = report.gauge_rows(loaded_trace(tmp_path))
+        assert rows == [["executor.pipeline_memo_size", 1.0]]
+
+    def test_bare_trace_yields_no_rows(self, tmp_path):
+        trace = {"traceEvents": [], "otherData": {}}
+        assert report.counter_rows(trace) == []
+        assert report.gauge_rows(trace) == []

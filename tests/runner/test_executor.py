@@ -91,6 +91,68 @@ class TestParallel:
             GridExecutor(jobs=2).run(bad)
 
 
+class TestPipelineMemoCap:
+    """The per-worker pipeline memo is LRU-capped: a heterogeneous-NPU
+    grid cycling through one worker must not grow it unboundedly."""
+
+    @staticmethod
+    def _payload_npu(name):
+        from repro.runner.records import npu_to_dict
+        config = npu_config("edge")
+        payload = npu_to_dict(config)
+        payload["name"] = name
+        return payload
+
+    @pytest.fixture(autouse=True)
+    def _clean_memo(self):
+        from repro.runner import executor
+        saved = dict(executor._worker_pipelines)
+        executor._worker_pipelines.clear()
+        yield
+        executor._worker_pipelines.clear()
+        executor._worker_pipelines.update(saved)
+
+    def test_size_never_exceeds_cap(self):
+        from repro.runner import executor
+        for i in range(executor.PIPELINE_MEMO_CAP + 3):
+            executor._memoized_pipeline(self._payload_npu(f"npu-{i}"))
+            assert len(executor._worker_pipelines) <= \
+                executor.PIPELINE_MEMO_CAP
+
+    def test_repeat_config_reuses_pipeline(self):
+        from repro.runner import executor
+        payload = self._payload_npu("npu-a")
+        first = executor._memoized_pipeline(payload)
+        assert executor._memoized_pipeline(payload) is first
+
+    def test_recently_used_survives_eviction(self):
+        from repro.runner import executor
+        hot = self._payload_npu("hot")
+        kept = executor._memoized_pipeline(hot)
+        for i in range(executor.PIPELINE_MEMO_CAP - 1):
+            executor._memoized_pipeline(self._payload_npu(f"cold-{i}"))
+        # Touch the oldest entry, then overflow: the LRU victim must be
+        # cold-0, not the freshly touched one.
+        assert executor._memoized_pipeline(hot) is kept
+        executor._memoized_pipeline(self._payload_npu("overflow"))
+        assert executor._memoized_pipeline(hot) is kept
+
+    def test_evictions_and_size_reported(self):
+        from repro import obs
+        from repro.runner import executor
+        recorder = obs.install(obs.Recorder())
+        try:
+            for i in range(executor.PIPELINE_MEMO_CAP + 2):
+                executor._memoized_pipeline(self._payload_npu(f"n-{i}"))
+            active = obs.get()
+            assert active.counters[
+                "executor.pipeline_memo_evictions"] == 2
+            assert active.gauges["executor.pipeline_memo_size"] == \
+                float(executor.PIPELINE_MEMO_CAP)
+        finally:
+            obs.install(recorder)
+
+
 class TestDrainFinished:
     """Regression: a mid-grid worker failure used to drop cells that had
     already finished but were not yet yielded by as_completed, so resume

@@ -175,3 +175,55 @@ class TestStats:
         store.flush_stats()
         with open(store.root / "stats.json") as handle:
             assert "lifetime" in json.load(handle)
+
+
+class TestStatsLocking:
+    """flush_stats merges under an inter-process flock; concurrent
+    flushers must never lose counters to the read-modify-write race."""
+
+    def test_lock_file_created_and_cleared(self, store):
+        store.get("aa" * 32)
+        store.flush_stats()
+        assert (store.root / "stats.lock").exists()
+        store.clear()
+        assert not (store.root / "stats.lock").exists()
+        assert not (store.root / "stats.json").exists()
+
+    def test_concurrent_flushes_merge_every_counter(self, tmp_path):
+        import threading
+
+        root = tmp_path / "cache"
+        flushers, per_flusher = 8, 25
+        barrier = threading.Barrier(flushers)
+        errors = []
+
+        def flusher():
+            # Each thread models an independent sweep process with its
+            # own ResultStore over the same directory.
+            local = ResultStore(root)
+            try:
+                barrier.wait()
+                for _ in range(per_flusher):
+                    local.stats.hits += 1
+                    local.flush_stats()
+            except Exception as exc:  # pragma: no cover - diagnostics
+                errors.append(exc)
+
+        threads = [threading.Thread(target=flusher)
+                   for _ in range(flushers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        lifetime = ResultStore(root).summary().lifetime
+        assert lifetime["hits"] == flushers * per_flusher
+
+    def test_flush_works_without_fcntl(self, store, monkeypatch):
+        from repro.runner import store as store_module
+
+        monkeypatch.setattr(store_module, "fcntl", None)
+        store.get("aa" * 32)
+        store.flush_stats()
+        assert store.summary().lifetime["misses"] == 1
+        assert not (store.root / "stats.lock").exists()
