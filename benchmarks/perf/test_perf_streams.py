@@ -15,8 +15,11 @@ from repro.core.config import npu_config
 from repro.core.pipeline import Pipeline
 from repro.dram.simulator import DramSim
 from repro.dram.timing import SERVER_DRAM
-from repro.models.zoo import get_workload
+from repro.models.zoo import WORKLOADS, get_workload
 from repro.protection import SCHEME_NAMES, make_scheme
+from repro.runner.service import EvalService
+from repro.tiling import plan_tiling, search_optblk_model
+from repro.tiling.optblk import DEFAULT_CANDIDATES
 
 
 @pytest.fixture(scope="module")
@@ -119,3 +122,67 @@ def test_e2e_scheme_sweep_cell(benchmark, perf_record):
     runs = benchmark(cell)
     assert len(runs) == 1 + len(SCHEME_NAMES)
     perf_record("e2e_cell_server_resnet18", benchmark)
+
+
+def test_protect_model_sgx64_gpt2_s4096(benchmark, perf_record):
+    """Long-sequence stress: the s4096 decode step's metadata drives
+    are the heaviest single protect_model call in the zoo."""
+    pipeline = Pipeline(npu_config("server"))
+    gpt2_run = pipeline.simulate_model(get_workload("gpt2@s4096"))
+
+    def protect():
+        gpt2_run.scheme_memo.clear()
+        return make_scheme("sgx-64b").protect_model(gpt2_run)
+
+    protections = benchmark(protect)
+    assert sum(p.metadata_bytes for p in protections) > 0
+    perf_record("protect_model_sgx64_gpt2_s4096", benchmark)
+
+
+def test_e2e_cell_gpt2_s4096(benchmark, perf_record):
+    """Full sweep cell on the long-sequence transformer — the case the
+    chunked trace core keeps inside the pinned residency budget."""
+    npu = npu_config("server")
+    topology = get_workload("gpt2@s4096")
+
+    def cell():
+        pipeline = Pipeline(npu)
+        run = pipeline.simulate_model(topology)
+        return [pipeline.run(topology, make_scheme(name), model_run=run)
+                for name in ["baseline"] + SCHEME_NAMES]
+
+    runs = benchmark.pedantic(cell, rounds=3, iterations=1)
+    assert len(runs) == 1 + len(SCHEME_NAMES)
+    perf_record("e2e_cell_gpt2_s4096", benchmark)
+
+
+def test_optblk_search_zoo(benchmark, perf_record):
+    """Vectorized optBlk search across every zoo workload's layers in
+    one numpy pass (the scalar per-layer loop is the 'before')."""
+    budget = npu_config("server").sram_budget()
+    pairs = [(layer, plan_tiling(layer, budget))
+             for name in WORKLOADS
+             for layer in get_workload(name).layers]
+
+    choices = benchmark(search_optblk_model, pairs)
+    assert len(choices) == len(pairs)
+    assert all(c.block_bytes in DEFAULT_CANDIDATES for c in choices)
+    perf_record("optblk_search_zoo", benchmark)
+
+
+def test_sweep_zoo_b16_wall(benchmark, perf_record):
+    """Wall clock of a full-zoo batch-16 sweep: one full simulation per
+    workload (the b1 probes), every @b16 record served by the analytic
+    derivation — the zoo-sweep-in-seconds hot path."""
+    specs = [f"{name}@b16" for name in WORKLOADS]
+
+    def sweep():
+        service = EvalService()
+        results = service.sweep("server", workloads=specs)
+        assert service.derived_hits == len(specs)
+        assert service.derived_fallbacks == 0
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert len(results) == len(specs)
+    perf_record("sweep_zoo_b16_wall", benchmark)

@@ -5,8 +5,9 @@ Layout (matching the evaluation setup's 16 GB protected memory):
 - ``WEIGHTS``    at 0x0_0000_0000 — all model weights, packed per layer.
 - ``ACT_A``      at 0x1_0000_0000 — activation ping buffer.
 - ``ACT_B``      at 0x1_8000_0000 — activation pong buffer.
-- ``KV``         at 0x1_C000_0000 — per-layer KV-cache slabs (attention
-  K^T/V operands; each image of a batch owns its own slab).
+- ``KV``         at 0x1_C000_0000 — KV-cache slabs (attention K^T/V
+  operands), image-major: each image of a batch owns one slab holding
+  every attention layer's KV state at a batch-invariant offset.
 - ``METADATA``   at 0x2_0000_0000 — MAC tables, VN tables, integrity-tree
   levels (protection schemes carve this region further).
 
@@ -36,6 +37,15 @@ METADATA_BASE = 0x2_0000_0000
 
 _TENSOR_ALIGN = 4096
 
+#: Default per-image slab stride quantum: one full DRAM row-set of the
+#: default memory geometry (4 channels x 16 banks x 2 KiB rows). A
+#: stride that is a multiple of this advances every bank's row index by
+#: the same whole number while keeping the channel, bank and in-row
+#: phase of image 0 — the invariant that makes per-channel DRAM request
+#: *and row-conflict* counts exactly affine in the batch size, which
+#: the analytic ``@bN`` derivation (:mod:`repro.analytic`) relies on.
+IMAGE_SLAB_ALIGN = 128 << 10
+
 
 @dataclass(frozen=True)
 class Region:
@@ -54,48 +64,103 @@ class Region:
 
 
 class AddressMap:
-    """Concrete tensor addresses for one topology."""
+    """Concrete tensor addresses for one topology.
 
-    def __init__(self, topology: Topology):
+    ``image_align`` sets the per-image slab stride quantum: image ``i``
+    of a batched tensor lives at ``base + i * align_up(bytes_per_image,
+    image_align)``. The default aligns every image to a full DRAM
+    row-set (:data:`IMAGE_SLAB_ALIGN`), which keeps each image on the
+    same DRAM block/channel/bank/protection-unit phase as image 0 and
+    advances its rows uniformly — the property that makes batched
+    traffic an exact per-image replica all the way down to row-conflict
+    counts, which the analytic ``@bN`` derivation (:mod:`repro.analytic`)
+    relies on. ``image_align=1`` packs images back-to-back (the pre-v4
+    layout).
+    """
+
+    def __init__(self, topology: Topology,
+                 image_align: int = IMAGE_SLAB_ALIGN):
+        if image_align <= 0:
+            raise ValueError(f"image_align must be positive, got {image_align}")
         self.topology = topology
+        self.image_align = image_align
         self._weight_base: Dict[int, int] = {}
-        self._kv_base: Dict[int, int] = {}
+        self._kv_offset: Dict[int, int] = {}
         cursor = WEIGHT_BASE
-        kv_cursor = KV_BASE
+        kv_cursor = 0  # offset inside one per-image KV slab
+        kv_batch = 1
         for idx, layer in enumerate(topology):
             if layer.kv:
-                # KV-state operands live in the KV region; each image's
-                # slab (kv_bytes_per_image) is packed consecutively.
-                self._kv_base[idx] = kv_cursor
-                kv_cursor += align_up(layer.kv_bytes, _TENSOR_ALIGN)
+                # KV-state operands live in the KV region, image-major:
+                # one slab per image holds every attention layer's KV
+                # state. Layer offsets inside the slab are functions of
+                # the topology alone — never of the batch size — so a
+                # layer's image-0 KV addresses are identical across
+                # batch sizes (the analytic ``@bN`` derivation anchors
+                # cache-simulated metadata traffic on that invariance),
+                # and every KV access of image ``i`` is image 0's
+                # shifted by ``i * kv_image_stride``.
+                self._kv_offset[idx] = kv_cursor
+                kv_cursor += align_up(layer.kv_bytes_per_image,
+                                      _TENSOR_ALIGN)
+                kv_batch = max(kv_batch, layer.batch)
             else:
                 self._weight_base[idx] = cursor
                 cursor += align_up(layer.weight_bytes, _TENSOR_ALIGN)
         self.weights_end = cursor
-        self.kv_end = kv_cursor
+        #: Bytes of KV state one image owns (its slab's packed extent).
+        self.kv_image_bytes = kv_cursor
+        #: Address distance between consecutive images' KV slabs.
+        self.kv_image_stride = self.image_stride(kv_cursor)
+        self.kv_end = KV_BASE + (
+            self.batch_extent(kv_cursor, kv_batch) if self._kv_offset else 0)
         if cursor > ACT_A_BASE:
             raise ValueError(
                 f"{topology.name}: weights ({cursor} B) overflow the weight region"
             )
-        if kv_cursor > METADATA_BASE:
+        if self.kv_end > METADATA_BASE:
             raise ValueError(
-                f"{topology.name}: KV caches ({kv_cursor - KV_BASE} B) "
+                f"{topology.name}: KV caches ({self.kv_end - KV_BASE} B) "
                 f"overflow the KV region")
         # The KV region is carved out of the activation space only when
         # the topology actually has KV layers; CNN-only models keep the
         # full pong extent up to the metadata base.
-        act_limit = KV_BASE if self._kv_base else METADATA_BASE
-        max_act = align_up(max(1, topology.max_activation_bytes), _TENSOR_ALIGN)
+        act_limit = KV_BASE if self._kv_offset else METADATA_BASE
+        max_act = 1
+        for layer in topology:
+            max_act = max(
+                max_act,
+                self.batch_extent(layer.ifmap_bytes_per_image, layer.batch),
+                self.batch_extent(layer.ofmap_bytes_per_image, layer.batch))
+        max_act = align_up(max_act, _TENSOR_ALIGN)
         if ACT_B_BASE + max_act > act_limit:
             raise ValueError(f"{topology.name}: activations overflow their region")
         self._act_bytes = max_act
+
+    def image_stride(self, bytes_per_image: int) -> int:
+        """Address distance between consecutive images of one tensor."""
+        if bytes_per_image <= 0:
+            return 0
+        return align_up(bytes_per_image, self.image_align)
+
+    def batch_extent(self, bytes_per_image: int, batch: int) -> int:
+        """Total region span of a batched tensor (strided slabs)."""
+        if bytes_per_image <= 0 or batch <= 0:
+            return 0
+        return ((batch - 1) * self.image_stride(bytes_per_image)
+                + bytes_per_image)
 
     def weight_addr(self, layer_id: int) -> int:
         return self._weight_base[layer_id]
 
     def kv_addr(self, layer_id: int) -> int:
-        """Image-0 KV slab of a ``kv=True`` layer (images pack behind it)."""
-        return self._kv_base[layer_id]
+        """Image-0 KV state of a ``kv=True`` layer.
+
+        The offset inside the per-image slab depends only on the
+        topology, never on the batch size; image ``i`` reads the same
+        state at ``kv_addr + i * kv_image_stride``.
+        """
+        return KV_BASE + self._kv_offset[layer_id]
 
     def ifmap_addr(self, layer_id: int) -> int:
         """Layer i's ifmap buffer: ping for even i, pong for odd."""

@@ -100,13 +100,20 @@ class ModelRun:
 class AcceleratorSim:
     """SCALE-Sim-style simulator for one accelerator configuration."""
 
-    def __init__(self, array: SystolicArray, budget: SramBudget):
+    def __init__(self, array: SystolicArray, budget: SramBudget,
+                 image_align: int = None):
         self.array = array
         self.budget = budget
+        #: Per-image slab alignment forwarded to :class:`AddressMap`;
+        #: ``None`` keeps the layout default (DRAM row-set aligned slabs).
+        self.image_align = image_align
 
     def run(self, topology: Topology) -> ModelRun:
         """Simulate ``topology`` end to end."""
-        address_map = AddressMap(topology)
+        if self.image_align is None:
+            address_map = AddressMap(topology)
+        else:
+            address_map = AddressMap(topology, image_align=self.image_align)
         results: List[LayerResult] = []
         cursor = 0
         for layer_id, layer in enumerate(topology):
@@ -134,20 +141,24 @@ class AcceleratorSim:
         # instead of re-running the Python tile loops per image.
         total_cycles = image_cycles * layer.batch
         if layer.batch > 1:
-            trace = self._replicate_batch(trace, layer, plan, image_cycles)
+            trace = self._replicate_batch(trace, layer, plan, image_cycles,
+                                          address_map)
         return LayerResult(layer=layer, layer_id=layer_id, plan=plan,
                            compute_cycles=total_cycles,
                            start_cycle=start_cycle, trace=trace)
 
     @staticmethod
     def _replicate_batch(trace: Trace, layer: Layer, plan: TilingPlan,
-                         image_cycles: int) -> Trace:
+                         image_cycles: int,
+                         address_map: AddressMap) -> Trace:
         """Columnar batch expansion of an image-0 trace.
 
         Image ``i``'s schedule is image 0's with a per-kind address
         shift (each image reads/writes its own activation slab, weights
-        stay put) and an ``i * image_cycles`` issue shift. Weights that
-        are fully resident on chip (banded schedule, single filter
+        stay put) and an ``i * image_cycles`` issue shift. The per-kind
+        shift is the address map's aligned image stride, so every image
+        lands on the same block/channel/protection-unit phase. Weights
+        that are fully resident on chip (banded schedule, single filter
         group) are fetched by image 0 only; streamed weights re-load
         every image.
         """
@@ -157,12 +168,12 @@ class AcceleratorSim:
             trace.buf.arrays()
         addr_shift = np.zeros(len(kinds), np.int64)
         addr_shift[kinds == kind_code(AccessKind.IFMAP)] = \
-            layer.ifmap_bytes_per_image
+            address_map.image_stride(layer.ifmap_bytes_per_image)
         addr_shift[kinds == kind_code(AccessKind.OFMAP)] = \
-            layer.ofmap_bytes_per_image
+            address_map.image_stride(layer.ofmap_bytes_per_image)
         # Each image reads its own KV slab — never resident across images.
         addr_shift[kinds == kind_code(AccessKind.KVCACHE)] = \
-            layer.kv_bytes_per_image
+            address_map.kv_image_stride
         weight_resident = (not plan.is_k_tiled and plan.num_n_tiles == 1
                            and not layer.kv)
         keep = (kinds != kind_code(AccessKind.WEIGHT)

@@ -14,6 +14,18 @@ Block expansion is fully vectorized (repeat + cumsum, no per-range
 loop) and memoized per trace revision, so every consumer of one layer's
 expanded stream in a scheme sweep shares a single expansion.
 
+Columns grow in fixed-size **chunks** (:data:`CHUNK_ROWS` rows once a
+buffer outgrows its small-trace tier): appends never reallocate the
+whole column, and sealed chunks are immutable. With
+``$REPRO_TRACE_SPILL_DIR`` set, sealed chunks are rewritten to
+memory-mapped scratch files in that directory (unlinked immediately, so
+nothing litters on a crash) and their RAM is released back to the OS —
+long-sequence transformer cells (gpt2@s4096+) stay RAM-bounded while
+the trace remains fully addressable. Module-level accounting tracks the
+resident column bytes of every live buffer; new highs are published as
+the ``trace.peak_resident_bytes`` gauge in :mod:`repro.obs` (see
+:func:`resident_trace_bytes` / :func:`peak_trace_bytes`).
+
 BlockStreams are treated as immutable once built: transformations
 (:meth:`BlockStream.sorted_by_cycle`, :meth:`BlockStream.concat`)
 return new streams, which is what makes the memoized sharing safe.
@@ -22,12 +34,14 @@ return new streams, which is what makes the memoized sharing safe.
 from __future__ import annotations
 
 import enum
-from array import array
+import os
+import tempfile
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.utils.bitops import align_down
 from repro.utils.sorting import stable_order
 
@@ -207,26 +221,118 @@ def expand_ranges(cycles: np.ndarray, addrs: np.ndarray, nbytes: np.ndarray,
     )
 
 
-class RangeBuffer:
-    """Columnar (structure-of-arrays) store of trace ranges.
+#: Rows per sealed column chunk.  42 bytes/row across the seven columns
+#: puts one sealed chunk at ~2.7 MiB — big enough that chunk bookkeeping
+#: is noise, small enough that the spill tier keeps residency flat.
+CHUNK_ROWS = 1 << 16
 
-    Appends go to compact ``array`` columns; numpy views are snapshotted
-    lazily and cached until the next append. Byte totals are maintained
-    incrementally so accounting is O(1) regardless of trace length.
+#: First allocation of a buffer's active chunk.  Most traces (per-layer
+#: selections, unit-test fixtures) never leave this tier; the active
+#: chunk grows geometrically up to :data:`CHUNK_ROWS` before sealing.
+_MIN_CHUNK_ROWS = 1 << 10
+
+#: Environment variable naming the spill directory for sealed chunks.
+SPILL_DIR_ENV = "REPRO_TRACE_SPILL_DIR"
+
+#: (dtype per column) — cycles, addrs, nbytes, writes, kinds,
+#: layer_ids, durations.  ``writes`` is stored as int8 and exposed as
+#: bool by :meth:`RangeBuffer.arrays` (a free ``view``, not a copy).
+_COLUMN_DTYPES = (np.int64, np.int64, np.int64, np.int8, np.int8,
+                  np.int64, np.int64)
+
+# -- module-level residency accounting --------------------------------------
+# One process-wide tally of the column bytes held in RAM by every live
+# RangeBuffer.  Spilled chunks leave the tally (their pages are
+# file-backed and reclaimable); buffer destruction returns the rest.
+_TOTALS = {"resident": 0, "peak": 0, "spilled": 0}
+
+
+def _account(delta: int) -> None:
+    _TOTALS["resident"] += delta
+    if _TOTALS["resident"] > _TOTALS["peak"]:
+        _TOTALS["peak"] = _TOTALS["resident"]
+        obs.gauge("trace.peak_resident_bytes", _TOTALS["peak"])
+
+
+def resident_trace_bytes() -> int:
+    """Column bytes currently held in RAM across all live traces."""
+    return _TOTALS["resident"]
+
+
+def peak_trace_bytes() -> int:
+    """High-water mark of :func:`resident_trace_bytes` (also published
+    as the ``trace.peak_resident_bytes`` gauge on every new high)."""
+    return _TOTALS["peak"]
+
+
+def spilled_trace_bytes() -> int:
+    """Cumulative column bytes rewritten to spill files this process."""
+    return _TOTALS["spilled"]
+
+
+def reset_peak_trace_bytes() -> int:
+    """Restart the peak at the current residency; returns the new peak.
+
+    Lets a caller scope the high-water mark to one region of interest
+    (the peak-memory regression test brackets a single sweep cell)."""
+    _TOTALS["peak"] = _TOTALS["resident"]
+    obs.gauge("trace.peak_resident_bytes", _TOTALS["peak"])
+    return _TOTALS["peak"]
+
+
+def _spill_chunk(cols: Tuple[np.ndarray, ...]) -> Optional[Tuple[np.ndarray, ...]]:
+    """Rewrite one sealed chunk to an anonymous memory-mapped file.
+
+    Returns read-only mmap-backed views, or ``None`` when no spill
+    directory is configured.  The scratch file is unlinked immediately
+    after mapping, so spills never outlive the process even on a crash.
+    """
+    spill_dir = os.environ.get(SPILL_DIR_ENV)
+    if not spill_dir:
+        return None
+    os.makedirs(spill_dir, exist_ok=True)
+    fd, path = tempfile.mkstemp(prefix="repro-trace-", suffix=".chunk",
+                                dir=spill_dir)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            for col in cols:
+                handle.write(np.ascontiguousarray(col).tobytes())
+        raw = np.memmap(path, dtype=np.uint8, mode="r")
+    finally:
+        os.unlink(path)
+    views = []
+    offset = 0
+    for col in cols:
+        views.append(raw[offset:offset + col.nbytes].view(col.dtype))
+        offset += col.nbytes
+    return tuple(views)
+
+
+class RangeBuffer:
+    """Columnar (structure-of-arrays) store of trace ranges, chunked.
+
+    Appends land in a per-buffer *active* chunk (numpy, geometric growth
+    up to :data:`CHUNK_ROWS` rows); full chunks are sealed immutable and
+    — when ``$REPRO_TRACE_SPILL_DIR`` is set — rewritten to unlinked
+    memory-mapped scratch files so their RAM is reclaimable.  Numpy
+    snapshots are assembled lazily and cached until the next append.
+    Byte totals are maintained incrementally so accounting is O(1)
+    regardless of trace length.
     """
 
-    __slots__ = ("cycles", "addrs", "nbytes", "writes", "kinds",
-                 "layer_ids", "durations", "read_bytes", "write_bytes",
-                 "kind_bytes", "version", "_arrays", "_arrays_version")
+    __slots__ = ("_chunks", "_active", "_fill", "_cap", "_owned",
+                 "read_bytes", "write_bytes", "kind_bytes", "version",
+                 "_arrays", "_arrays_version", "__weakref__")
 
     def __init__(self) -> None:
-        self.cycles = array("q")
-        self.addrs = array("q")
-        self.nbytes = array("q")
-        self.writes = array("b")
-        self.kinds = array("b")
-        self.layer_ids = array("q")
-        self.durations = array("q")
+        #: Sealed, immutable chunks (tuples of 7 parallel arrays, each
+        #: exactly CHUNK_ROWS rows; possibly mmap-backed when spilled).
+        self._chunks: List[Tuple[np.ndarray, ...]] = []
+        self._active: Optional[Tuple[np.ndarray, ...]] = None
+        self._fill = 0
+        self._cap = 0
+        #: RAM bytes this buffer has charged to the module tally.
+        self._owned = 0
         self.read_bytes = 0
         self.write_bytes = 0
         self.kind_bytes = [0] * len(_KIND_LIST)
@@ -235,17 +341,77 @@ class RangeBuffer:
         self._arrays_version = -1
 
     def __len__(self) -> int:
-        return len(self.addrs)
+        return len(self._chunks) * CHUNK_ROWS + self._fill
+
+    def __del__(self) -> None:
+        try:
+            _account(-self._owned)
+        except Exception:
+            pass  # interpreter teardown: module globals may be gone
+
+    # -- chunk management --
+
+    def _charge(self, delta: int) -> None:
+        self._owned += delta
+        _account(delta)
+
+    def _alloc_active(self, rows: int) -> None:
+        self._active = tuple(np.empty(rows, dtype)
+                             for dtype in _COLUMN_DTYPES)
+        self._cap = rows
+        self._charge(sum(col.nbytes for col in self._active))
+
+    def _seal_active(self) -> None:
+        """Move the (full, CHUNK_ROWS-sized) active chunk to the sealed
+        list, spilling it if a spill directory is configured."""
+        chunk = self._active
+        self._active = None
+        self._fill = 0
+        self._cap = 0
+        spilled = _spill_chunk(chunk)
+        if spilled is not None:
+            chunk_bytes = sum(col.nbytes for col in chunk)
+            self._charge(-chunk_bytes)
+            _TOTALS["spilled"] += chunk_bytes
+            obs.incr("trace.spilled_chunks")
+            obs.gauge("trace.spilled_bytes", _TOTALS["spilled"])
+            chunk = spilled
+        self._chunks.append(chunk)
+
+    def _make_room(self) -> None:
+        """Ensure the active chunk has at least one free row."""
+        if self._cap == 0:
+            self._alloc_active(_MIN_CHUNK_ROWS)
+            return
+        if self._cap < CHUNK_ROWS:
+            # Small-trace tier: grow geometrically in place.
+            grown_rows = min(self._cap * 4, CHUNK_ROWS)
+            old = self._active
+            old_bytes = sum(col.nbytes for col in old)
+            self._alloc_active(grown_rows)
+            for dst, src in zip(self._active, old):
+                dst[:self._fill] = src[:self._fill]
+            self._charge(-old_bytes)
+        else:
+            self._seal_active()
+            self._alloc_active(CHUNK_ROWS)
+
+    # -- appends --
 
     def append(self, cycle: int, addr: int, nbytes: int, write: bool,
                kind_code: int, layer_id: int, duration: int) -> None:
-        self.cycles.append(cycle)
-        self.addrs.append(addr)
-        self.nbytes.append(nbytes)
-        self.writes.append(1 if write else 0)
-        self.kinds.append(kind_code)
-        self.layer_ids.append(layer_id)
-        self.durations.append(duration)
+        if self._fill == self._cap:
+            self._make_room()
+        row = self._fill
+        cols = self._active
+        cols[0][row] = cycle
+        cols[1][row] = addr
+        cols[2][row] = nbytes
+        cols[3][row] = 1 if write else 0
+        cols[4][row] = kind_code
+        cols[5][row] = layer_id
+        cols[6][row] = duration
+        self._fill = row + 1
         if write:
             self.write_bytes += nbytes
         else:
@@ -257,45 +423,84 @@ class RangeBuffer:
                        nbytes: np.ndarray, writes: np.ndarray,
                        kind_codes: np.ndarray, layer_ids: np.ndarray,
                        durations: np.ndarray) -> None:
-        """Bulk append of parallel columns (one C-level copy each)."""
-        self.cycles.frombytes(
-            np.ascontiguousarray(cycles, np.int64).tobytes())
-        self.addrs.frombytes(np.ascontiguousarray(addrs, np.int64).tobytes())
-        self.nbytes.frombytes(
-            np.ascontiguousarray(nbytes, np.int64).tobytes())
-        wr = np.ascontiguousarray(writes)
+        """Bulk append of parallel columns (chunk-sized C-level copies)."""
+        nbytes = np.ascontiguousarray(nbytes, np.int64)
+        total = len(nbytes)
+        if total == 0:
+            return
+        wr = np.asarray(writes)
         if wr.dtype != np.int8:
             wr = wr.astype(bool).astype(np.int8)
-        self.writes.frombytes(wr.tobytes())
         kc = np.ascontiguousarray(kind_codes, np.int8)
-        self.kinds.frombytes(kc.tobytes())
-        self.layer_ids.frombytes(
-            np.ascontiguousarray(layer_ids, np.int64).tobytes())
-        self.durations.frombytes(
-            np.ascontiguousarray(durations, np.int64).tobytes())
-        wmask = wr != 0
-        total_write = int(nbytes[wmask].sum())
+        src = (np.ascontiguousarray(cycles, np.int64),
+               np.ascontiguousarray(addrs, np.int64),
+               nbytes, wr, kc,
+               np.ascontiguousarray(layer_ids, np.int64),
+               np.ascontiguousarray(durations, np.int64))
+        pos = 0
+        while pos < total:
+            if self._fill == self._cap:
+                self._make_room()
+            take = min(self._cap - self._fill, total - pos)
+            row = self._fill
+            for dst, col in zip(self._active, src):
+                dst[row:row + take] = col[pos:pos + take]
+            self._fill = row + take
+            pos += take
+        total_write = int(nbytes[wr != 0].sum())
         self.write_bytes += total_write
         self.read_bytes += int(nbytes.sum()) - total_write
         for code in np.unique(kc):
             self.kind_bytes[code] += int(nbytes[kc == code].sum())
         self.version += 1
 
+    # -- snapshots --
+
+    def iter_parts(self):
+        """Yield the column tuples of every sealed chunk, then the live
+        rows of the active chunk — zero-copy views, append-ordered."""
+        for chunk in self._chunks:
+            yield chunk
+        if self._fill:
+            yield tuple(col[:self._fill] for col in self._active)
+
     def arrays(self) -> Tuple[np.ndarray, ...]:
         """Numpy snapshot ``(cycles, addrs, nbytes, writes, kinds,
-        layer_ids, durations)``, cached per revision."""
+        layer_ids, durations)``, cached per revision.  ``writes`` comes
+        back as bool.  With a single resident part the columns are
+        zero-copy views of the store; multi-chunk (or spilled) buffers
+        concatenate — consumers must treat the snapshot as read-only.
+        """
         if self._arrays_version != self.version:
-            self._arrays = (
-                np.array(self.cycles, dtype=np.int64),
-                np.array(self.addrs, dtype=np.int64),
-                np.array(self.nbytes, dtype=np.int64),
-                np.array(self.writes, dtype=bool),
-                np.array(self.kinds, dtype=np.int8),
-                np.array(self.layer_ids, dtype=np.int64),
-                np.array(self.durations, dtype=np.int64),
-            )
+            parts = list(self.iter_parts())
+            if not parts:
+                cols = tuple(np.empty(0, dtype)
+                             for dtype in _COLUMN_DTYPES)
+            elif len(parts) == 1:
+                cols = parts[0]
+            else:
+                cols = tuple(np.concatenate([part[i] for part in parts])
+                             for i in range(len(_COLUMN_DTYPES)))
+            self._arrays = (cols[0], cols[1], cols[2], cols[3].view(bool),
+                            cols[4], cols[5], cols[6])
             self._arrays_version = self.version
         return self._arrays
+
+
+def _stream_bytes(value: object) -> int:
+    """Resident bytes of a memoized value, when it is a block stream.
+
+    Expanded block streams — not the compact range columns — dominate a
+    long-sequence cell's footprint, so the residency gauge charges them
+    for as long as a trace's memo keeps them alive.
+    """
+    if not isinstance(value, BlockStream):
+        return 0
+    total = (value.cycles.nbytes + value.addrs.nbytes
+             + value.writes.nbytes + value.layer_ids.nbytes)
+    if value.kinds is not None:
+        total += value.kinds.nbytes
+    return total
 
 
 class Trace:
@@ -307,13 +512,22 @@ class Trace:
     :class:`RangeBuffer` columns.
     """
 
-    __slots__ = ("buf", "_memo")
+    __slots__ = ("buf", "_memo", "_memo_owned", "__weakref__")
 
     def __init__(self, ranges: Optional[Iterable[TraceRange]] = None):
         self.buf = RangeBuffer()
         self._memo: Dict[object, object] = {}
+        #: Resident bytes of memoized block streams charged to the
+        #: module tally (returned when the trace is collected).
+        self._memo_owned = 0
         if ranges:
             self.extend(ranges)
+
+    def __del__(self) -> None:
+        try:
+            _account(-self._memo_owned)
+        except Exception:
+            pass  # interpreter teardown: module globals may be gone
 
     def __len__(self) -> int:
         return len(self.buf)
@@ -378,39 +592,16 @@ class Trace:
         merged = Trace()
         buf = merged.buf
         for trace in traces:
-            src = trace.buf
-            buf.cycles.extend(src.cycles)
-            buf.addrs.extend(src.addrs)
-            buf.nbytes.extend(src.nbytes)
-            buf.writes.extend(src.writes)
-            buf.kinds.extend(src.kinds)
-            buf.layer_ids.extend(src.layer_ids)
-            buf.durations.extend(src.durations)
-            buf.read_bytes += src.read_bytes
-            buf.write_bytes += src.write_bytes
-            for code, total in enumerate(src.kind_bytes):
-                buf.kind_bytes[code] += total
-        buf.version += 1
+            for part in trace.buf.iter_parts():
+                buf.extend_columns(*part)
         return merged
 
     @classmethod
     def _from_arrays(cls, cycles, addrs, nbytes, writes, kinds, layer_ids,
                      durations) -> "Trace":
         trace = cls()
-        buf = trace.buf
-        buf.cycles.extend(cycles.tolist())
-        buf.addrs.extend(addrs.tolist())
-        buf.nbytes.extend(nbytes.tolist())
-        buf.writes.extend(writes.astype(np.int8).tolist())
-        buf.kinds.extend(kinds.tolist())
-        buf.layer_ids.extend(layer_ids.tolist())
-        buf.durations.extend(durations.tolist())
-        write_total = int(nbytes[writes].sum())
-        buf.write_bytes = write_total
-        buf.read_bytes = int(nbytes.sum()) - write_total
-        for code in range(len(_KIND_LIST)):
-            buf.kind_bytes[code] = int(nbytes[kinds == code].sum())
-        buf.version += 1
+        trace.buf.extend_columns(cycles, addrs, nbytes, writes, kinds,
+                                 layer_ids, durations)
         return trace
 
     # -- per-range view (compatibility) --
@@ -423,13 +614,15 @@ class Trace:
         columnar store — append through :meth:`add`/:meth:`emit`.
         """
         def build() -> List[TraceRange]:
-            buf = self.buf
+            cycles, addrs, nbytes, writes, kinds, layer_ids, durations = \
+                self.buf.arrays()
             return [
-                TraceRange(cycle, addr, nbytes, bool(write),
+                TraceRange(cycle, addr, count, write,
                            _KIND_LIST[kind], layer_id, duration)
-                for cycle, addr, nbytes, write, kind, layer_id, duration
-                in zip(buf.cycles, buf.addrs, buf.nbytes, buf.writes,
-                       buf.kinds, buf.layer_ids, buf.durations)
+                for cycle, addr, count, write, kind, layer_id, duration
+                in zip(cycles.tolist(), addrs.tolist(), nbytes.tolist(),
+                       writes.tolist(), kinds.tolist(), layer_ids.tolist(),
+                       durations.tolist())
             ]
         return list(self.memo("ranges", build))
 
@@ -445,6 +638,12 @@ class Trace:
         if entry is not None and entry[0] == self.buf.version:
             return entry[1]
         value = build()
+        delta = _stream_bytes(value)
+        if entry is not None:
+            delta -= _stream_bytes(entry[1])
+        if delta:
+            self._memo_owned += delta
+            _account(delta)
         self._memo[key] = (self.buf.version, value)
         return value
 

@@ -1,0 +1,32 @@
+"""Closed-form derivation of batched (``@bN``) sweep cells.
+
+PR 3 made batched traces exact per-image replicas of the image-0
+schedule, and the v4 address layout strides those replicas by whole
+DRAM row-sets so every image keeps the channel/bank/in-row phase (and
+protection-unit phase) of image 0. Under that layout, every integer
+quantity a cell record is built from — stream lengths, crypto bytes,
+per-channel DRAM request and row-conflict counts, compute cycles — is
+an affine function of the batch size from batch 2 onward (cache-
+filtered metadata runs image 0 cold; plain schemes are affine from
+batch 1), so a ``@bN`` record can be *derived* from small probes
+instead of simulated: the plane simulates batches 1, 2 and 3, verifies
+the affine law holds exactly (and falls back to full simulation when
+it does not), then extrapolates the integers from the batch-2 anchor
+to N and recomputes every float through the same expressions the
+pipeline uses. Derived records are bit-identical to simulated ones and
+carry ``derived_from`` provenance.
+"""
+
+from repro.analytic.derive import (
+    MIN_DERIVE_BATCH,
+    PROBE_BATCHES,
+    derivable,
+    derive_cell,
+)
+
+__all__ = [
+    "MIN_DERIVE_BATCH",
+    "PROBE_BATCHES",
+    "derivable",
+    "derive_cell",
+]

@@ -187,6 +187,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     recorder = obs.enable() if args.profile else obs.get()
     runner = SweepRunner(
         scheme_names=args.schemes, jobs=args.jobs, store=store,
+        derive=not args.no_derive,
         cell_progress=lambda done, total, request: print(
             f"  [{done}/{total}] computed {request.workload} on {args.npu}",
             file=sys.stderr))
@@ -206,16 +207,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             ["scheme"] + names + ["avg"],
             [[scheme] + values for scheme, values in table.items()]))
 
+    derived = runner.service.derived_hits
+    fallbacks = runner.service.derived_fallbacks
+    derive_note = f", {derived} derived analytically" if derived else ""
+    if fallbacks:
+        derive_note += f", {fallbacks} derive fallbacks"
     if store is not None:
         last = store.summary().last_run
         served = last.get("hits", 0)
         total = served + last.get("misses", 0)
         print(f"\n{total} grid cells in {elapsed:.1f}s "
-              f"({served} served from cache, {total - served} computed, "
-              f"jobs={args.jobs})")
+              f"({served} served from cache, {total - served} computed"
+              f"{derive_note}, jobs={args.jobs})")
     else:
         print(f"\n{len(names)} grid cells in {elapsed:.1f}s "
-              f"(cache disabled, jobs={args.jobs})")
+              f"(cache disabled{derive_note}, jobs={args.jobs})")
 
     if args.csv:
         with open(args.csv, "w", newline="") as handle:
@@ -403,6 +409,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "$REPRO_CACHE_DIR or ~/.cache/repro)")
     sweep_p.add_argument("--no-cache", action="store_true",
                          help="skip the on-disk result store")
+    sweep_p.add_argument("--no-derive", action="store_true",
+                         help="force full simulation of every cell "
+                              "(skip the analytic @bN derivation)")
     sweep_p.add_argument("--profile", metavar="TRACE.json",
                          help="record spans/counters and write a Chrome "
                               "trace-event file (plus a .metrics.json "

@@ -59,18 +59,30 @@ class ComparisonResult:
 
 def compare_schemes(pipeline: Pipeline, topology: Topology,
                     scheme_names: Iterable[str],
-                    schemes: Optional[Dict[str, ProtectionScheme]] = None) -> ComparisonResult:
+                    schemes: Optional[Dict[str, ProtectionScheme]] = None,
+                    collect: Optional[Dict[str, list]] = None) -> ComparisonResult:
     """Run the baseline plus every named scheme over one workload.
 
     The accelerator simulation (stage 1) runs once and is shared across
-    schemes — only the protection and DRAM stages differ.
+    schemes — only the protection and DRAM stages differ. ``collect``,
+    when given, is filled with one ``(protection, dram_result)`` row
+    list per scheme (the baseline under key ``"baseline"``) — the probe
+    data the analytic ``@bN`` derivation consumes.
     """
     model_run = pipeline.simulate_model(topology)
-    baseline = pipeline.run(topology, make_scheme("baseline"), model_run=model_run)
+
+    def rows(name: str) -> Optional[list]:
+        if collect is None:
+            return None
+        return collect.setdefault(name, [])
+
+    baseline = pipeline.run(topology, make_scheme("baseline"),
+                            model_run=model_run, collect=rows("baseline"))
     runs: Dict[str, SchemeRun] = {}
     for name in scheme_names:
         scheme = schemes[name] if schemes and name in schemes else make_scheme(name)
-        runs[name] = pipeline.run(topology, scheme, model_run=model_run)
+        runs[name] = pipeline.run(topology, scheme, model_run=model_run,
+                                  collect=rows(name))
     return ComparisonResult(
         npu_name=pipeline.npu.name,
         workload=topology.name,

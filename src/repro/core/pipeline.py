@@ -119,9 +119,12 @@ class SchemeRun:
 class Pipeline:
     """Accelerator -> protection -> DRAM evaluation pipeline for one NPU."""
 
-    def __init__(self, npu: NpuConfig, use_fast_dram: bool = True):
+    def __init__(self, npu: NpuConfig, use_fast_dram: bool = True,
+                 image_align: int = None):
         self.npu = npu
-        self.accelerator = AcceleratorSim(npu.systolic_array(), npu.sram_budget())
+        self.accelerator = AcceleratorSim(npu.systolic_array(),
+                                          npu.sram_budget(),
+                                          image_align=image_align)
         self.dram = DramSim(npu.dram_config(), npu.freq_ghz)
         self.use_fast_dram = use_fast_dram
 
@@ -131,8 +134,14 @@ class Pipeline:
             return self.accelerator.run(topology)
 
     def run(self, topology: Topology, scheme: ProtectionScheme,
-            model_run: Optional[ModelRun] = None) -> SchemeRun:
-        """Full pipeline for one workload under one protection scheme."""
+            model_run: Optional[ModelRun] = None,
+            collect: Optional[list] = None) -> SchemeRun:
+        """Full pipeline for one workload under one protection scheme.
+
+        ``collect``, when given, receives one ``(protection,
+        dram_result)`` pair per timing row — the integer stream/channel
+        quantities the analytic ``@bN`` derivation extrapolates from.
+        """
         run = model_run if model_run is not None else self.simulate_model(topology)
         # Each layer's expanded base block stream is memoized on its
         # trace, so when ``model_run`` is shared across schemes (the
@@ -143,18 +152,34 @@ class Pipeline:
 
         # All layers' DRAM streams are independent (cold memory system
         # per layer), so the fast model serves them in one batched call.
-        with obs.span("dram", scheme=scheme.name, workload=topology.name,
-                      layers=len(protections)):
-            if self.use_fast_dram:
-                dram_results = self.dram.simulate_fast_batch_parts(
-                    [(p.data_stream, p.metadata_stream) for p in protections])
-            else:
-                dram_results = []
-                for p in protections:
-                    with obs.span("dram.layer", layer=p.layer_id,
-                                  scheme=scheme.name):
-                        dram_results.append(
-                            self.dram.simulate(p.combined_stream))
+        # Registry schemes memoize their protection rows on the run
+        # (see ProtectionScheme.protect_model), so the DRAM results for
+        # those exact stream objects are memoized alongside them — a
+        # re-run of the same (run, scheme, NPU) cell skips both stages.
+        scheme_key = getattr(scheme, "_protect_memo_key", None)
+        dram_key = (("dram_results", scheme_key, self.npu.name,
+                     self.use_fast_dram) if scheme_key is not None else None)
+        dram_results = (run.scheme_memo.get(dram_key)
+                        if dram_key is not None else None)
+        if dram_results is None:
+            with obs.span("dram", scheme=scheme.name, workload=topology.name,
+                          layers=len(protections)):
+                if self.use_fast_dram:
+                    dram_results = self.dram.simulate_fast_batch_parts(
+                        [(p.data_stream, p.metadata_stream)
+                         for p in protections])
+                else:
+                    dram_results = []
+                    for p in protections:
+                        with obs.span("dram.layer", layer=p.layer_id,
+                                      scheme=scheme.name):
+                            dram_results.append(
+                                self.dram.simulate(p.combined_stream))
+            if dram_key is not None:
+                run.scheme_memo[dram_key] = dram_results
+
+        if collect is not None:
+            collect.extend(zip(protections, dram_results))
 
         timings: List[LayerTiming] = []
         with obs.span("crypto", scheme=scheme.name, workload=topology.name):

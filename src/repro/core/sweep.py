@@ -39,15 +39,19 @@ class SweepRunner:
     def __init__(self, scheme_names: Optional[List[str]] = None,
                  jobs: int = 1, store: Optional[ResultStore] = None,
                  cache_dir: Optional[str] = None,
-                 cell_progress: Optional[CellProgressFn] = None):
+                 cell_progress: Optional[CellProgressFn] = None,
+                 derive: bool = True):
         self.scheme_names = list(scheme_names or SCHEME_NAMES)
+        #: False forces full simulation of every cell (``--no-derive``).
+        self.derive = derive
         if store is None and cache_dir is not None:
             store = ResultStore(cache_dir)
         self.service = EvalService(store=store, jobs=jobs,
                                    progress=cell_progress)
 
     def compare(self, npu_name: str, workload: str) -> ComparisonResult:
-        return self.service.compare(npu_name, workload, self.scheme_names)
+        return self.service.compare(npu_name, workload, self.scheme_names,
+                                    derive=self.derive)
 
     def sweep(self, npu_name: str,
               workloads: Optional[Iterable[str]] = None,
@@ -66,7 +70,8 @@ class SweepRunner:
             if progress is not None:
                 progress(npu_name, workload)
             requests.append(
-                self.service.request(npu_name, workload, self.scheme_names))
+                self.service.request(npu_name, workload, self.scheme_names,
+                                     derive=self.derive))
         return dict(zip(names, self.service.evaluate(requests)))
 
     # -- aggregation helpers --

@@ -25,7 +25,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.accel.trace import BlockStream
-from repro.dram.mapping import AddressMapping
+from repro.dram.mapping import AddressMapping, _shift_of
 from repro.dram.timing import DramConfig
 from repro.utils import native
 from repro.utils.sorting import stable_order
@@ -46,6 +46,9 @@ class DramResult:
     completion_cycle: Optional[float]  # reference model only
     per_channel_requests: List[int]
     per_channel_busy: List[float]
+    #: Row-conflict counts per channel — the integer inputs the analytic
+    #: ``@bN`` derivation extrapolates before recomputing busy time.
+    per_channel_row_misses: Optional[List[int]] = None
 
     @property
     def row_hit_rate(self) -> float:
@@ -70,6 +73,12 @@ class DramSim:
         self._burst_cyc = config.to_cycles(config.burst_ns, freq_ghz)
         self._miss_cyc = config.to_cycles(
             config.timing.row_miss_penalty_ns, freq_ghz)
+        shifts = (_shift_of(config.block_bytes), _shift_of(config.channels),
+                  _shift_of(config.blocks_per_row),
+                  _shift_of(config.banks_per_channel))
+        #: Power-of-two mapping shifts for the fused native geometry
+        #: kernel; None disables it (exotic non-power-of-two configs).
+        self._geom_shifts = shifts if min(shifts) >= 0 else None
 
     @staticmethod
     def _conflict_mask(sorted_bank: np.ndarray,
@@ -126,7 +135,8 @@ class DramSim:
         n = len(stream)
         if n == 0:
             return DramResult(0, 0, 0, 0.0, 0.0,
-                              [0] * cfg.channels, [0.0] * cfg.channels)
+                              [0] * cfg.channels, [0.0] * cfg.channels,
+                              [0] * cfg.channels)
         cyc_bits = max(1, int(stream.cycles.max()).bit_length())
         order = stable_order(stream.cycles, cyc_bits)
         cycles = stream.cycles[order]
@@ -165,6 +175,7 @@ class DramSim:
             completion_cycle=completion,
             per_channel_requests=counts.tolist(),
             per_channel_busy=busy.tolist(),
+            per_channel_row_misses=miss_counts.tolist(),
         )
 
     def _channel_completion(self, arrivals: np.ndarray, banks: np.ndarray,
@@ -236,7 +247,8 @@ class DramSim:
         n = len(stream)
         if n == 0:
             return DramResult(0, 0, 0, 0.0, None,
-                              [0] * cfg.channels, [0.0] * cfg.channels)
+                              [0] * cfg.channels, [0.0] * cfg.channels,
+                              [0] * cfg.channels)
         channels, banks, rows = self.mapping.decompose(stream.addrs)
         global_bank = channels * cfg.banks_per_channel + banks
         miss_counts = self._bank_miss_counts(
@@ -259,6 +271,7 @@ class DramSim:
             completion_cycle=None,
             per_channel_requests=counts.tolist(),
             per_channel_busy=busy.tolist(),
+            per_channel_row_misses=miss_counts.tolist(),
         )
 
     def simulate_fast_batch(self, streams: List[BlockStream]) -> List[DramResult]:
@@ -286,9 +299,24 @@ class DramSim:
             return cached[1]
         if len(stream) and int(stream.cycles.max()) >= _KEY_SPAN:
             return None  # composite key would collide; caller falls back
+        n = len(stream)
+        if n and self._geom_shifts is not None \
+                and bool(np.all(stream.cycles[1:] >= stream.cycles[:-1])):
+            # Cycle-sorted stream under power-of-two mapping: one fused
+            # native pass yields the bank-sorted geometry (stable
+            # counting sort by bank preserves issue order) plus the
+            # per-channel counts _stream_counts would re-derive.
+            got = native.geom_counts(stream.addrs, stream.cycles,
+                                     self._geom_shifts, _KEY_SPAN,
+                                     cfg.channels)
+            if got is not None:
+                channel, gb_s, rows_s, key_s, req, con = got
+                geom = (channel, gb_s, rows_s, key_s)
+                stream._dram_geom = (key, geom)
+                stream._dram_counts = (geom, req, con)
+                return geom
         channels, banks, rows = self.mapping.decompose(stream.addrs)
         gb = channels * cfg.banks_per_channel + banks
-        n = len(stream)
         cyc_bits = max(1, int(stream.cycles.max()).bit_length()) if n else 1
         gb_bits = max(1, int(gb.max()).bit_length()) if n else 1
         idx_bits = max(1, int(n - 1).bit_length()) if n else 1
@@ -367,6 +395,24 @@ class DramSim:
             conflicts[k * nch:(k + 1) * nch] += con
         if not pair_rows:
             return requests, conflicts
+
+        # Native path: one merge scan per (data, metadata) entry, in
+        # place over the memoized geometry arrays — no concatenated
+        # copies, no composite-key packing, no overflow fallback.
+        if native.available():
+            req_ins = np.zeros(nseg * nch, np.int64)
+            con_ins = np.zeros(nseg * nch, np.int64)
+            for k in pair_rows:
+                geom_a = entries[k][0][1]
+                geom_b = entries[k][1][1]
+                sl = slice(k * nch, (k + 1) * nch)
+                if not native.insertion_scan(
+                        geom_a[3], None, geom_a[1], geom_a[2],
+                        geom_b[3], None, geom_b[1], geom_b[2],
+                        nbanks, bpc, req_ins[sl], con_ins[sl]):
+                    break
+            else:
+                return requests + req_ins, conflicts + con_ins
 
         # The first (data) part of every entry is shared by each scheme
         # in a sweep cell; cache its concatenated side keyed on the geom
@@ -550,7 +596,8 @@ class DramSim:
         results: List[Optional[DramResult]] = [
             None if size else DramResult(0, 0, 0, 0.0, None,
                                          [0] * cfg.channels,
-                                         [0.0] * cfg.channels)
+                                         [0.0] * cfg.channels,
+                                         [0] * cfg.channels)
             for size in sizes
         ]
         if not live:
@@ -614,5 +661,6 @@ class DramSim:
                 completion_cycle=None,
                 per_channel_requests=counts[pos].tolist(),
                 per_channel_busy=busy[pos].tolist(),
+                per_channel_row_misses=miss_counts[pos].tolist(),
             )
         return results  # type: ignore[return-value]

@@ -98,6 +98,13 @@ class ProtectionScheme(abc.ABC):
 
     name: str = "abstract"
 
+    #: True when metadata traffic is produced by LRU cache simulation
+    #: (image-periodic for batched layers): such traffic is affine in
+    #: the batch size only from image 1 onward — the first image runs
+    #: cold — so the analytic ``@bN`` derivation anchors these schemes'
+    #: rows at batch 2 instead of batch 1.
+    cache_filtered_metadata: bool = False
+
     #: Cache-backed traffic models (MAC table, VN tree) registered by
     #: :meth:`_reset_traffic_models`; flushed by the shared
     #: :meth:`finish_model`.
@@ -158,8 +165,23 @@ class ProtectionScheme(abc.ABC):
                                is_flush=True)
 
     def protect_model(self, run: ModelRun) -> List[LayerProtection]:
-        """Convenience: run the whole model through the scheme."""
+        """Convenience: run the whole model through the scheme.
+
+        For registry-built schemes (``make_scheme`` stamps a memo key;
+        ad-hoc instances with custom knobs carry none) the per-layer
+        rows are memoized on ``run.scheme_memo``: a scheme's output is a
+        pure function of (scheme config, model run), so protecting the
+        same run twice — even through a fresh instance of the same
+        registry scheme — returns the cached rows. :meth:`begin_model`
+        still executes on every call so model-sized state (engine
+        lanes) is valid afterwards.
+        """
         self.begin_model(run)
+        memo_key = getattr(self, "_protect_memo_key", None)
+        cached = (run.scheme_memo.get(memo_key)
+                  if memo_key is not None else None)
+        if cached is not None:
+            return list(cached)
         results = []
         for layer in run.layers:
             with obs.span("protect.layer", scheme=self.name,
@@ -168,4 +190,6 @@ class ProtectionScheme(abc.ABC):
         tail = self.finish_model()
         if tail is not None:
             results.append(tail)
-        return results
+        if memo_key is not None:
+            run.scheme_memo[memo_key] = results
+        return list(results)

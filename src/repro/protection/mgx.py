@@ -33,6 +33,8 @@ from repro.protection.sgx import DEFAULT_AES_ENGINES
 class MgxScheme(ProtectionScheme):
     """MGX-style protection: on-chip VNs, off-chip per-unit MACs."""
 
+    cache_filtered_metadata = True
+
     def __init__(self, unit_bytes: int = 64,
                  mac_cache_bytes: int = MAC_CACHE_BYTES,
                  aes_engines: int = DEFAULT_AES_ENGINES):
@@ -57,8 +59,10 @@ class MgxScheme(ProtectionScheme):
         data_stream, overfetch_blocks = expanded_data_stream(
             result.trace, self.unit_bytes)
 
-        mac_out = self._mac_model.process_layer(data_stream,
-                                                result.layer_id)
+        mac_out = self._mac_model.process_layer(
+            data_stream, result.layer_id, batch=result.layer.batch,
+            image_cycles=result.compute_cycles // result.layer.batch,
+            start_cycle=result.start_cycle)
 
         self._note_stream(data_stream, result.layer_id)
         return LayerProtection(

@@ -37,11 +37,22 @@ from repro.protection.base import (
     empty_stream,
 )
 from repro.protection.layout import MetadataLayout
-from repro.tiling.optblk import OptBlockChoice, search_optblk
+from repro.tiling.optblk import OptBlockChoice, search_optblk_model
 from repro.utils.bitops import ceil_div
 
 #: Where layer MACs live when stored off-chip (one 64 B line per layer).
 _LAYER_MAC_BASE = 0x2_F000_0000
+
+
+def lanes_for_peak(peak_bytes_per_cycle: float) -> int:
+    """B-AES lane count sized to a run's peak bandwidth demand.
+
+    Single source of truth for the fan-out rule: :meth:`SedaScheme.
+    begin_model` sizes real runs with it, and the analytic ``@bN``
+    derivation (:mod:`repro.analytic`) recomputes the engine of a
+    batched run it never simulates from the extrapolated peak demand.
+    """
+    return max(1, ceil_div(int(round(peak_bytes_per_cycle * 16)), 16 * 16))
 
 
 class SedaScheme(ProtectionScheme):
@@ -60,11 +71,10 @@ class SedaScheme(ProtectionScheme):
 
     def begin_model(self, run: ModelRun) -> None:
         # Size the B-AES fan-out to the peak per-layer bandwidth demand.
-        peak = run.peak_demand_bytes_per_cycle
-        self._lanes = max(1, ceil_div(int(round(peak * 16)), 16 * 16))
-        self._optblk = {
-            r.layer_id: search_optblk(r.layer, r.plan) for r in run.layers
-        }
+        self._lanes = lanes_for_peak(run.peak_demand_bytes_per_cycle)
+        choices = search_optblk_model([(r.layer, r.plan)
+                                       for r in run.layers])
+        self._optblk = dict(zip((r.layer_id for r in run.layers), choices))
 
     def optblk_choice(self, layer_id: int) -> OptBlockChoice:
         return self._optblk[layer_id]

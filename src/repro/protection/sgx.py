@@ -39,6 +39,7 @@ from repro.protection.metadata_model import (
     VnTreeModel,
     concat_to_stream,
     expanded_data_stream,
+    process_image_periodic,
     process_mac_vn,
 )
 
@@ -49,6 +50,8 @@ DEFAULT_AES_ENGINES = 4
 
 class SgxScheme(ProtectionScheme):
     """SGX-style protection at a configurable unit granularity."""
+
+    cache_filtered_metadata = True
 
     def __init__(self, unit_bytes: int = 64,
                  vn_cache_bytes: int = VN_CACHE_BYTES,
@@ -79,19 +82,30 @@ class SgxScheme(ProtectionScheme):
             raise RuntimeError("begin_model must be called before protect_layer")
         data_stream, overfetch_blocks = expanded_data_stream(
             result.trace, self.unit_bytes)
+        batch = result.layer.batch
+        image_cycles = result.compute_cycles // batch
+        start_cycle = result.start_cycle
 
         vn_out = CacheTrafficResult()
         mac_out = self._mac_model.peek(result.layer_id)
         if mac_out is None:
             # First scheme through this cell: drive both tables in one
             # fused pass (they share run boundaries) and publish the
-            # MAC traffic for MGX to replay.
+            # MAC traffic for MGX to replay. Batched layers go through
+            # the image-periodic wrapper: two images of real cache
+            # simulation, the steady increment replicated for the rest.
             mac_out = CacheTrafficResult()
-            process_mac_vn(self._mac_model.inner, self._vn_model,
-                           data_stream, mac_out, vn_out)
+            process_image_periodic(
+                lambda sub: process_mac_vn(self._mac_model.inner,
+                                           self._vn_model, sub,
+                                           mac_out, vn_out),
+                data_stream, batch, image_cycles, (mac_out, vn_out),
+                start_cycle)
             self._mac_model.store(result.layer_id, mac_out)
         else:
-            self._vn_model.process(data_stream, vn_out)
+            process_image_periodic(
+                lambda sub: self._vn_model.process(sub, vn_out),
+                data_stream, batch, image_cycles, (vn_out,), start_cycle)
 
         self._note_stream(data_stream, result.layer_id)
         return LayerProtection(

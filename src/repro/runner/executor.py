@@ -22,11 +22,18 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
+from repro.analytic import MIN_DERIVE_BATCH, derive_cell
 from repro.core.config import NpuConfig
 from repro.core.metrics import compare_schemes
 from repro.core.pipeline import Pipeline
-from repro.models.zoo import get_workload
+from repro.models.zoo import (
+    canonical_workload_name,
+    format_workload_spec,
+    get_workload,
+    parse_workload_spec,
+)
 from repro.runner.records import comparison_to_dict, npu_from_dict, npu_to_dict
+from repro.runner.store import fingerprint
 
 #: (completed, total, request) — fired as each grid cell finishes.
 ProgressFn = Callable[[int, int, "EvalRequest"], None]
@@ -37,11 +44,16 @@ ResultFn = Callable[[int, "EvalRequest", Dict[str, Any]], None]
 
 @dataclass(frozen=True)
 class EvalRequest:
-    """One grid cell: every scheme on one (NPU, workload) pair."""
+    """One grid cell: every scheme on one (NPU, workload) pair.
+
+    ``derive=False`` forces full simulation even for cells the analytic
+    plane could serve (``repro sweep --no-derive``).
+    """
 
     npu: NpuConfig
     workload: str
     scheme_names: Tuple[str, ...]
+    derive: bool = True
 
     def payload(self) -> Dict[str, Any]:
         """Picklable wire form handed to worker processes.
@@ -56,6 +68,7 @@ class EvalRequest:
             "workload": self.workload,
             "schemes": list(self.scheme_names),
             "trace": obs.enabled(),
+            "derive": self.derive,
         }
 
 
@@ -95,8 +108,45 @@ def _memoized_pipeline(payload_npu: Dict[str, Any]) -> Pipeline:
     return pipeline
 
 
+def _derived_record(pipeline: Pipeline,
+                    payload: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+    """Serve the cell from the analytic plane when possible.
+
+    A successful derivation returns the target-batch record stamped
+    with ``derived_from=<b1 fingerprint>`` plus, under the transient
+    ``_siblings`` key, the probes' batch-1 record keyed by that same
+    fingerprint — the service persists absent siblings so the b1 cell
+    never needs recomputing.  Returns ``None`` (and counts a fallback)
+    when the workload is below :data:`MIN_DERIVE_BATCH` or any of the
+    derivation's exactness checks fail.
+    """
+    base, batch, seq = parse_workload_spec(payload["workload"])
+    if batch < MIN_DERIVE_BATCH:
+        return None
+    derived = derive_cell(pipeline, payload["workload"], payload["schemes"])
+    if derived is None:
+        obs.incr("executor.derive_fallbacks")
+        return None
+    record, b1_record = derived
+    b1_spec = format_workload_spec(canonical_workload_name(base), 1, seq)
+    b1_key = fingerprint(npu_from_dict(payload["npu"]), b1_spec,
+                         payload["schemes"])
+    record["derived_from"] = b1_key
+    record["_siblings"] = {b1_key: b1_record}
+    obs.incr("executor.derived_cells")
+    return record
+
+
 def run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Evaluate one grid cell; module-level so process pools can pickle it.
+
+    Batched cells (``@bN`` with ``N >= MIN_DERIVE_BATCH``) are served
+    from the analytic plane when its exactness checks pass — probe
+    batches are simulated, the target batch never is — unless the
+    payload carries ``derive=False``.  A cell that attempted derivation
+    but fell back to full simulation carries the transient
+    ``_derive_fallback`` marker so the service's counters can tell the
+    difference.
 
     When the payload asks for tracing (``trace``), the cell records
     into a private recorder — whatever recorder the process had active
@@ -113,10 +163,21 @@ def run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
                       npu=payload["npu"]["name"],
                       schemes=",".join(payload["schemes"])):
             pipeline = _memoized_pipeline(payload["npu"])
-            result = compare_schemes(pipeline,
-                                     get_workload(payload["workload"]),
-                                     payload["schemes"])
-            record = comparison_to_dict(result)
+            record = None
+            if payload.get("derive", True):
+                record = _derived_record(pipeline, payload)
+                attempted = record is None and \
+                    parse_workload_spec(payload["workload"])[1] \
+                    >= MIN_DERIVE_BATCH
+            else:
+                attempted = False
+            if record is None:
+                result = compare_schemes(pipeline,
+                                         get_workload(payload["workload"]),
+                                         payload["schemes"])
+                record = comparison_to_dict(result)
+                if attempted:
+                    record["_derive_fallback"] = True
     finally:
         if local is not None:
             obs.install(previous)

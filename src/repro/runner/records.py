@@ -32,7 +32,16 @@ from repro.core.pipeline import LayerTiming, SchemeRun
 #: traffic for attention workloads moved) and the serial/fractional
 #: crypto-engine cycle math was fixed, so v2 results must be demoted,
 #: not served; scheme runs additionally carry ``seq``.
-SCHEMA_VERSION = 3
+#: v4: the derived-cell layout and metadata model — batched tensors
+#: stride by whole DRAM row-sets (``align_up(bytes_per_image, 128
+#: KiB)``) instead of packing raw, KV slabs became image-major (layer
+#: offsets batch-invariant), and SGX/MGX metadata caches simulate two
+#: images and replicate the steady-state increment (image-periodic
+#: model), so every ``@bN`` (N > 1) result moved; together these make
+#: batched traffic exactly affine in N, which is what lets the analytic
+#: plane derive ``@bN`` records (stamped ``derived_from``) from probe
+#: runs of their b1 siblings. v3 results must be demoted, not served.
+SCHEMA_VERSION = 4
 
 
 class RecordError(ValueError):

@@ -38,17 +38,23 @@ class EvalService:
         self.store = store
         self.executor = GridExecutor(jobs=jobs, progress=progress)
         self._memo: Dict[str, ComparisonResult] = {}
+        #: Computed cells served from the analytic plane this session.
+        self.derived_hits = 0
+        #: Cells that attempted derivation but fell back to simulation.
+        self.derived_fallbacks = 0
 
     # -- request construction --
 
     @staticmethod
     def request(npu: Any, workload: str,
-                scheme_names: Optional[Iterable[str]] = None) -> EvalRequest:
+                scheme_names: Optional[Iterable[str]] = None,
+                derive: bool = True) -> EvalRequest:
         """Build a grid cell from an NPU name or :class:`NpuConfig`."""
         if not isinstance(npu, NpuConfig):
             npu = npu_config(npu)
         return EvalRequest(npu=npu, workload=workload,
-                           scheme_names=tuple(scheme_names or SCHEME_NAMES))
+                           scheme_names=tuple(scheme_names or SCHEME_NAMES),
+                           derive=derive)
 
     # -- evaluation --
 
@@ -89,7 +95,23 @@ class EvalService:
 
             def persist(position: int, _request: EvalRequest,
                         record: Dict[str, Any]) -> None:
+                # Analytic-plane bookkeeping: strip the transient keys
+                # (they must never reach the store or the memo), count
+                # served-vs-fallback, and persist the probes' batch-1
+                # sibling record under its own fingerprint so the b1
+                # cell is a disk hit forever after.
+                siblings = record.pop("_siblings", None)
+                fallback = record.pop("_derive_fallback", False)
+                if record.get("derived_from"):
+                    self.derived_hits += 1
+                    obs.incr("service.derived_hits")
+                elif fallback:
+                    self.derived_fallbacks += 1
+                    obs.incr("service.derived_fallbacks")
                 if self.store is not None:
+                    for sibling_key, sibling in (siblings or {}).items():
+                        if not self.store.contains(sibling_key):
+                            self.store.put(sibling_key, sibling)
                     self.store.put(keys[miss_indices[position]], record)
 
             misses = [requests[i] for i in miss_indices]
@@ -104,15 +126,18 @@ class EvalService:
         return [self._memo[key] for key in keys]
 
     def compare(self, npu: Any, workload: str,
-                scheme_names: Optional[Iterable[str]] = None) -> ComparisonResult:
+                scheme_names: Optional[Iterable[str]] = None,
+                derive: bool = True) -> ComparisonResult:
         """One grid cell."""
-        return self.evaluate([self.request(npu, workload, scheme_names)])[0]
+        return self.evaluate(
+            [self.request(npu, workload, scheme_names, derive=derive)])[0]
 
     def sweep(self, npu: Any, workloads: Optional[Iterable[str]] = None,
-              scheme_names: Optional[Iterable[str]] = None
-              ) -> Dict[str, ComparisonResult]:
+              scheme_names: Optional[Iterable[str]] = None,
+              derive: bool = True) -> Dict[str, ComparisonResult]:
         """Every workload on one NPU; returns workload -> comparison."""
         names = list(workloads or WORKLOADS)
         results = self.evaluate(
-            [self.request(npu, w, scheme_names) for w in names])
+            [self.request(npu, w, scheme_names, derive=derive)
+             for w in names])
         return dict(zip(names, results))

@@ -16,7 +16,11 @@ on (Section III-C):
 from repro.tiling.tile import SramBudget, TilingPlan, plan_tiling
 from repro.tiling.overlap import OverlapReport, analyze_overlap
 from repro.tiling.patterns import TilingPattern, pattern_of, patterns_compatible
-from repro.tiling.optblk import OptBlockChoice, search_optblk
+from repro.tiling.optblk import (
+    OptBlockChoice,
+    search_optblk,
+    search_optblk_model,
+)
 
 __all__ = [
     "SramBudget",
@@ -29,4 +33,5 @@ __all__ = [
     "patterns_compatible",
     "OptBlockChoice",
     "search_optblk",
+    "search_optblk_model",
 ]

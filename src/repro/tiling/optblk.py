@@ -19,13 +19,18 @@ fetched, counting straddle-induced re-verifications.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from functools import lru_cache
+from typing import List, Sequence, Tuple
+
+import numpy as np
 
 from repro.models.layer import Layer, ELEMENT_BYTES
 from repro.tiling.tile import TilingPlan
-from repro.utils.bitops import ceil_div
 
 DEFAULT_CANDIDATES = (64, 128, 256, 512, 1024, 2048, 4096)
+
+#: One DRAM burst — the smallest addressable authentication granule.
+BURST_BYTES = 64
 
 
 @dataclass(frozen=True)
@@ -44,6 +49,7 @@ class OptBlockChoice:
         return self.straddle_blocks == 0
 
 
+@lru_cache(maxsize=4096)
 def _tile_span_bytes(plan: TilingPlan, layer: Layer) -> int:
     """Contiguous bytes one ifmap tile occupies in the row-major tensor.
 
@@ -53,6 +59,10 @@ def _tile_span_bytes(plan: TilingPlan, layer: Layer) -> int:
     tile walk *revisits* — the full Tm x K band (tall-skinny tiles
     included) — so the span is the M-tile's whole row extent, not the
     K sliver.
+
+    Memoized per (plan, layer): a sweep re-derives the same plans for
+    every scheme and probe batch of a cell, and both are frozen
+    dataclasses, so the span is computed once per distinct pair.
     """
     row_bytes = layer.ifmap_w * layer.channels * ELEMENT_BYTES
     if plan.is_k_tiled:
@@ -61,22 +71,62 @@ def _tile_span_bytes(plan: TilingPlan, layer: Layer) -> int:
     return max(row_bytes, rows * row_bytes)
 
 
-def _cost(block_bytes: int, tile_bytes: int, tensor_bytes: int,
-          boundaries: int) -> tuple:
-    """(mac_computations, straddles, blocks) for one candidate size.
+def search_optblk_model(
+        layers_plans: Sequence[Tuple[Layer, TilingPlan]],
+        candidates: Sequence[int] = DEFAULT_CANDIDATES,
+) -> List[OptBlockChoice]:
+    """Search every layer of a topology in one vectorized pass.
 
-    ``boundaries`` counts adjacent-tile boundaries over the whole layer
-    (per-image boundaries times the batch — every image's band sequence
-    re-crosses them).
+    Evaluates the full ``candidates x layers`` cost matrix with numpy
+    (block counts, straddle penalties, MAC totals) and picks each
+    layer's argmin — identical choices to per-layer
+    :func:`search_optblk`, including the tie-break toward the larger
+    block, without the per-candidate Python loop.
     """
-    blocks = ceil_div(tensor_bytes, block_bytes)
-    if boundaries <= 0:
-        return blocks, 0, blocks
+    if not candidates:
+        raise ValueError("candidates must be non-empty")
+    cand = np.sort(np.asarray(candidates, dtype=np.int64))
+    if int(cand[0]) <= 0:
+        raise ValueError("candidate block sizes must be positive")
+    if not layers_plans:
+        return []
+    tile = np.array([_tile_span_bytes(plan, layer)
+                     for layer, plan in layers_plans], np.int64)
+    # Whole-batch verified footprint: the ifmap plus, for attention
+    # layers, the per-sequence KV stream (K^T/V operands are data that
+    # must be authenticated exactly like the ifmap; they stream
+    # sequentially, so they add blocks but no straddle boundaries).
+    tensor = np.array([layer.ifmap_bytes + layer.kv_bytes
+                       for layer, _ in layers_plans], np.int64)
+    # Adjacent-tile boundaries over the whole layer (per-image
+    # boundaries times the batch — every image's band sequence
+    # re-crosses them).
+    boundaries = np.array([max(0, plan.num_m_tiles - 1) * layer.batch
+                           for layer, plan in layers_plans], np.int64)
+
+    blocks = -(-tensor[:, None] // cand[None, :])        # ceil-div
     # A block straddles a tile boundary when the tile span is not a
     # multiple of the block size; each boundary then costs one extra
     # verification of the shared block.
-    straddles = 0 if tile_bytes % block_bytes == 0 else boundaries
-    return blocks + straddles, straddles, blocks
+    straddles = np.where(
+        (boundaries[:, None] > 0) & (tile[:, None] % cand[None, :] != 0),
+        boundaries[:, None], 0)
+    macs = blocks + straddles
+    # Per-layer argmin with ties toward the larger block: argmin over
+    # the candidate axis reversed returns the *last* (largest) minimum.
+    pick = cand.size - 1 - np.argmin(macs[:, ::-1], axis=1)
+    rows = np.arange(len(layers_plans))
+    return [
+        OptBlockChoice(
+            layer_name=layer.name,
+            block_bytes=int(cand[col]),
+            blocks_per_layer=int(blocks[row, col]),
+            mac_computations=int(macs[row, col]),
+            straddle_blocks=int(straddles[row, col]),
+            candidates_evaluated=len(candidates),
+        )
+        for (layer, _), row, col in zip(layers_plans, rows, pick)
+    ]
 
 
 def search_optblk(layer: Layer, plan: TilingPlan,
@@ -84,47 +134,39 @@ def search_optblk(layer: Layer, plan: TilingPlan,
     """Pick the authentication block size minimizing MAC computations.
 
     Ties break toward the larger block (fewer MACs to fold and store).
+    Single-layer convenience wrapper over :func:`search_optblk_model`.
     """
-    if not candidates:
-        raise ValueError("candidates must be non-empty")
-    tile_bytes = _tile_span_bytes(plan, layer)
-    # Whole-batch verified footprint: the ifmap plus, for attention
-    # layers, the per-sequence KV stream (K^T/V operands are data that
-    # must be authenticated exactly like the ifmap; they stream
-    # sequentially, so they add blocks but no straddle boundaries).
-    tensor_bytes = layer.ifmap_bytes + layer.kv_bytes
-    boundaries = max(0, plan.num_m_tiles - 1) * layer.batch
-
-    best = None
-    for block_bytes in sorted(candidates):
-        if block_bytes <= 0:
-            raise ValueError("candidate block sizes must be positive")
-        macs, straddles, blocks = _cost(block_bytes, tile_bytes,
-                                        tensor_bytes, boundaries)
-        key = (macs, -block_bytes)
-        if best is None or key < best[0]:
-            best = (key, block_bytes, macs, straddles, blocks)
-
-    _, block_bytes, macs, straddles, blocks = best
-    return OptBlockChoice(
-        layer_name=layer.name,
-        block_bytes=block_bytes,
-        blocks_per_layer=blocks,
-        mac_computations=macs,
-        straddle_blocks=straddles,
-        candidates_evaluated=len(candidates),
-    )
+    return search_optblk_model([(layer, plan)], candidates)[0]
 
 
 def aligned_block_for_tiles(tile_bytes: int,
                             candidates: Sequence[int] = DEFAULT_CANDIDATES) -> int:
-    """Largest candidate dividing ``tile_bytes`` (64 if none divides).
+    """Largest straddle-free block for a tile span.
 
-    Helper for tests and ablations: a block that divides the tile span
-    exactly can never straddle.
+    Contract: returns the largest candidate that divides ``tile_bytes``
+    exactly (such a block can never straddle a tile boundary).  When no
+    candidate divides the span — non-power-of-two spans under a sparse
+    candidate set — the result is the span's **burst-aligned floor**:
+    the largest power of two dividing ``tile_bytes``, clamped to
+    ``[BURST_BYTES, max(candidates)]``.  That is the finest granule
+    DRAM can serve that still aligns with the span whenever its
+    two-adic alignment allows; spans with alignment below one burst
+    degenerate to ``BURST_BYTES`` itself, where straddling is
+    unavoidable.  (The historical behaviour returned
+    ``min(candidates)`` even when a smaller aligned power of two
+    existed below the candidate set.)
     """
-    best = min(candidates)
-    for block_bytes in sorted(candidates):
-        if tile_bytes % block_bytes == 0:
+    if not candidates:
+        raise ValueError("candidates must be non-empty")
+    if tile_bytes <= 0:
+        raise ValueError("tile_bytes must be positive")
+    best = 0
+    for block_bytes in candidates:
+        if block_bytes <= 0:
+            raise ValueError("candidate block sizes must be positive")
+        if tile_bytes % block_bytes == 0 and block_bytes > best:
             best = block_bytes
-    return best
+    if best:
+        return best
+    lowbit = tile_bytes & -tile_bytes
+    return max(BURST_BYTES, min(lowbit, max(candidates)))

@@ -326,3 +326,124 @@ double dram_completion(const double *arrivals, const i64 *banks,
     free(bank_ready);
     return completion;
 }
+
+/* ---- batched DRAM fast model ------------------------------------- */
+
+/* Data element following one metadata insertion run re-evaluates its
+ * conflict flag against the run's last row.  `lv` is the run's last
+ * metadata index, `f` the insertion point (index of that data
+ * element), `gbo` the run's segment-offset bank. */
+#define SEG(arr, idx) ((arr) ? (arr)[(idx)] : 0)
+
+static void follower_fix(i64 lv, i64 f, i64 gbo, const i64 *seg_a,
+                         const i64 *gb_a, const i64 *rows_a,
+                         const i64 *rows_b, i64 na, i64 nbanks, i64 bpc,
+                         i64 *conflicts)
+{
+    if (f >= na || gb_a[f] + SEG(seg_a, f) * nbanks != gbo)
+        return;
+    int had_prev = (f > 0) && (gb_a[f - 1] + SEG(seg_a, f - 1) * nbanks == gbo);
+    int old_flag = had_prev ? (rows_a[f] != rows_a[f - 1]) : 1;
+    int new_flag = rows_a[f] != rows_b[lv];
+    conflicts[gbo / bpc] += (i64)new_flag - (i64)old_flag;
+}
+
+/* Exact per-(segment, channel) request/conflict counts for metadata
+ * insertions into bank-sorted data streams: the merge scan behind
+ * DramSim._insertion_counts, one pass instead of searchsorted plus a
+ * dozen fancy-indexing passes.  Both sides are (segment, key)-sorted;
+ * ties resolve data-before-metadata (searchsorted side="right").
+ * NULL segment arrays mean a single segment (the per-entry call shape,
+ * which skips the concatenated copies entirely).  Adds into
+ * caller-zeroed requests/conflicts[nseg * channels]. */
+int insertion_scan(const i64 *key_a, const i64 *seg_a, const i64 *gb_a,
+                   const i64 *rows_a, i64 na,
+                   const i64 *key_b, const i64 *seg_b, const i64 *gb_b,
+                   const i64 *rows_b, i64 nb,
+                   i64 nbanks, i64 bpc, i64 *requests, i64 *conflicts)
+{
+    i64 i = 0;                 /* insertion point: # data elems <= key */
+    i64 prev_ins = -1, prev_gbo = -1;
+    for (i64 j = 0; j < nb; j++) {
+        i64 sb = SEG(seg_b, j), kb = key_b[j];
+        while (i < na && (SEG(seg_a, i) < sb
+                          || (SEG(seg_a, i) == sb && key_a[i] <= kb)))
+            i++;
+        i64 gbo = gb_b[j] + sb * nbanks;
+        requests[gbo / bpc]++;
+        int flag;
+        if (j == 0 || i != prev_ins || gbo != prev_gbo) {
+            /* new insertion run: close the previous one */
+            if (j > 0)
+                follower_fix(j - 1, prev_ins, prev_gbo, seg_a, gb_a,
+                             rows_a, rows_b, na, nbanks, bpc, conflicts);
+            int same_prev = (i > 0)
+                && (gb_a[i - 1] + SEG(seg_a, i - 1) * nbanks == gbo);
+            flag = same_prev ? (rows_b[j] != rows_a[i - 1]) : 1;
+        } else {
+            flag = rows_b[j] != rows_b[j - 1];
+        }
+        conflicts[gbo / bpc] += flag;
+        prev_ins = i;
+        prev_gbo = gbo;
+    }
+    if (nb > 0)
+        follower_fix(nb - 1, prev_ins, prev_gbo, seg_a, gb_a, rows_a,
+                     rows_b, na, nbanks, bpc, conflicts);
+    return 0;
+}
+
+/* Fused geometry pass for a cycle-sorted stream under power-of-two
+ * mapping: address decomposition, stable counting sort by global bank
+ * (input order within a bank is already issue order), composite sort
+ * keys, and per-channel request/conflict counts — everything
+ * DramSim._sorted_geom + _stream_counts produce, in two passes.
+ * Outputs: channel[n] (input order), gb/rows/key[n] (bank-sorted),
+ * requests/conflicts[channels] (caller-zeroed). */
+int geom_counts(const i64 *addrs, const i64 *cycles, i64 n,
+                i64 block_shift, i64 channel_shift, i64 col_shift,
+                i64 bank_shift, i64 key_span,
+                i64 *channel_out, i64 *gb_out, i64 *rows_out, i64 *key_out,
+                i64 *requests, i64 *conflicts)
+{
+    i64 channels = (i64)1 << channel_shift;
+    i64 banks = (i64)1 << bank_shift;
+    i64 nbanks = channels * banks;
+    i64 *gb_tmp = (i64 *)malloc((size_t)(2 * n) * sizeof(i64));
+    i64 *offs = (i64 *)calloc((size_t)nbanks + 1, sizeof(i64));
+    if (!gb_tmp || !offs) {
+        free(gb_tmp);
+        free(offs);
+        return -1;
+    }
+    i64 *row_tmp = gb_tmp + n;
+    for (i64 k = 0; k < n; k++) {
+        i64 block = addrs[k] >> block_shift;
+        i64 ch = block & (channels - 1);
+        i64 local = block >> channel_shift;
+        i64 bank = (local >> col_shift) & (banks - 1);
+        i64 gb = ch * banks + bank;
+        channel_out[k] = ch;
+        gb_tmp[k] = gb;
+        row_tmp[k] = local >> (col_shift + bank_shift);
+        offs[gb + 1]++;
+        requests[ch]++;
+    }
+    for (i64 g = 0; g < nbanks; g++)
+        offs[g + 1] += offs[g];
+    for (i64 k = 0; k < n; k++) {
+        i64 g = gb_tmp[k];
+        i64 pos = offs[g]++;
+        gb_out[pos] = g;
+        rows_out[pos] = row_tmp[k];
+        key_out[pos] = g * key_span + cycles[k];
+    }
+    for (i64 k = 0; k < n; k++) {
+        if (k == 0 || gb_out[k] != gb_out[k - 1]
+                || rows_out[k] != rows_out[k - 1])
+            conflicts[gb_out[k] >> bank_shift]++;
+    }
+    free(gb_tmp);
+    free(offs);
+    return 0;
+}

@@ -134,6 +134,19 @@ def _load():
             ctypes.POINTER(ctypes.c_double), _i64p,
             ctypes.POINTER(ctypes.c_double), _i64, ctypes.c_double, _i64,
         ]
+        lib.insertion_scan.restype = ctypes.c_int
+        lib.insertion_scan.argtypes = [
+            _i64p, _i64p, _i64p, _i64p, _i64,               # data side
+            _i64p, _i64p, _i64p, _i64p, _i64,               # metadata side
+            _i64, _i64, _i64p, _i64p,                       # geometry, outs
+        ]
+        lib.geom_counts.restype = ctypes.c_int
+        lib.geom_counts.argtypes = [
+            _i64p, _i64p, _i64,                             # addrs/cycles
+            _i64, _i64, _i64, _i64, _i64,                   # shifts, span
+            _i64p, _i64p, _i64p, _i64p,                     # geometry outs
+            _i64p, _i64p,                                   # count outs
+        ]
         lib.drive_fused.restype = ctypes.c_int
         lib.drive_fused.argtypes = [
             _i64p, _u8p, _i64p, _i64,                       # idx/writes/cycles
@@ -325,6 +338,75 @@ def fused_drive(idx: np.ndarray, writes: np.ndarray, cycles: np.ndarray,
                              vs_t[:vs_n.value].copy(),
                              vs_d[:vs_n.value].copy())
     return mac_out, vn_out
+
+
+def _c64(arr: np.ndarray) -> np.ndarray:
+    """Contiguous int64 view (free for the internal int64 arrays; a
+    uint64 address array reinterprets without copying)."""
+    arr = np.ascontiguousarray(arr)
+    if arr.dtype == np.int64:
+        return arr
+    if arr.dtype == np.uint64:
+        return arr.view(np.int64)
+    return arr.astype(np.int64)
+
+
+def insertion_scan(key_a, seg_a, gb_a, rows_a, key_b, seg_b, gb_b, rows_b,
+                   nbanks: int, bpc: int,
+                   requests: np.ndarray, conflicts: np.ndarray) -> bool:
+    """Native merge scan behind ``DramSim._insertion_counts``.
+
+    Both sides must be (segment, key)-sorted; ``seg_a``/``seg_b`` may be
+    None for the single-segment per-entry shape (which needs none of
+    the concatenated copies the packed numpy scan builds).  Adds
+    metadata request and conflict counts into ``requests``/``conflicts``
+    in place; returns False when the kernel is unavailable (caller runs
+    the numpy scan).
+    """
+    lib = _load()
+    if lib is None:
+        return False
+    rc = lib.insertion_scan(
+        _p64(_c64(key_a)), None if seg_a is None else _p64(_c64(seg_a)),
+        _p64(_c64(gb_a)), _p64(_c64(rows_a)), len(key_a),
+        _p64(_c64(key_b)), None if seg_b is None else _p64(_c64(seg_b)),
+        _p64(_c64(gb_b)), _p64(_c64(rows_b)), len(key_b),
+        int(nbanks), int(bpc), _p64(requests), _p64(conflicts))
+    if rc == 0:
+        obs.incr("native.dram_batch.kernel")
+        return True
+    return False
+
+
+def geom_counts(addrs: np.ndarray, cycles: np.ndarray,
+                shifts: Tuple[int, int, int, int], key_span: int,
+                channels: int):
+    """Fused decompose + bank counting-sort + per-channel counts for a
+    cycle-sorted stream (``DramSim._sorted_geom`` + ``_stream_counts``
+    in one native pass).  Returns ``(channel, gb_sorted, rows_sorted,
+    key_sorted, requests, conflicts)`` or ``None`` when unavailable.
+    """
+    lib = _load()
+    n = len(addrs)
+    if lib is None or n == 0:
+        return None
+    block_shift, channel_shift, col_shift, bank_shift = shifts
+    channel = np.empty(n, np.int64)
+    gb_s = np.empty(n, np.int64)
+    rows_s = np.empty(n, np.int64)
+    key_s = np.empty(n, np.int64)
+    requests = np.zeros(channels, np.int64)
+    conflicts = np.zeros(channels, np.int64)
+    rc = lib.geom_counts(
+        _p64(_c64(addrs)), _p64(_c64(cycles)), n,
+        int(block_shift), int(channel_shift), int(col_shift),
+        int(bank_shift), int(key_span),
+        _p64(channel), _p64(gb_s), _p64(rows_s), _p64(key_s),
+        _p64(requests), _p64(conflicts))
+    if rc != 0:
+        return None
+    obs.incr("native.dram_geom.kernel")
+    return channel, gb_s, rows_s, key_s, requests, conflicts
 
 
 def dram_completion(arrivals: np.ndarray, banks: np.ndarray,

@@ -96,14 +96,20 @@ class TestKvBatching:
             assert kv_many == self.BATCH * kv_one
 
     def test_each_image_reads_its_own_slab(self):
-        batched = _sim().run(_decode_topology(batch=self.BATCH))
+        topo = _decode_topology(batch=self.BATCH)
+        batched = _sim().run(topo)
+        stride = batched.address_map.kv_image_stride
         result = batched.layers[0]
         per_image = result.layer.kv_bytes_per_image
         starts = sorted({r.addr for r in result.trace.ranges
                          if r.kind is AccessKind.KVCACHE})
         base = starts[0]
-        images = {(addr - base) // per_image for addr in starts}
+        # Image i's KV state is image 0's shifted by i whole slab
+        # strides; within a slab, a layer touches only its own extent.
+        images = {(addr - base) // stride for addr in starts}
         assert images == set(range(self.BATCH))
+        for addr in starts:
+            assert (addr - base) % stride < per_image
 
     def test_plan_weight_traffic_matches_kv_trace(self):
         batched = _sim().run(_decode_topology(batch=self.BATCH))

@@ -103,9 +103,13 @@ class TestBatchReplication:
     """The columnar batch expansion must equal an explicit per-image
     re-walk: image 0's ranges plus per-kind-shifted copies."""
 
-    def _reference(self, base_result, layer, batch, weight_resident):
-        shift_for = {AccessKind.IFMAP: layer.ifmap_bytes_per_image,
-                     AccessKind.OFMAP: layer.ofmap_bytes_per_image}
+    def _reference(self, base_result, layer, batch, weight_resident, amap):
+        # Images are strided by the address map's aligned slab stride,
+        # not the raw per-image footprint (see AddressMap.image_stride).
+        shift_for = {
+            AccessKind.IFMAP: amap.image_stride(layer.ifmap_bytes_per_image),
+            AccessKind.OFMAP: amap.image_stride(layer.ofmap_bytes_per_image),
+        }
         expected = []
         for image in range(batch):
             for r in base_result.trace.ranges:
@@ -132,9 +136,11 @@ class TestBatchReplication:
                 layer_args["channels"], layer_args["filters"])
         sim = AcceleratorSim(SystolicArray(8, 8), budget)
         base = sim.run(Topology("t", [mk_conv("c", *args)])).layers[0]
-        got = sim.run(Topology("t", [mk_conv("c", *args, batch=3)])).layers[0]
+        batched_run = sim.run(Topology("t", [mk_conv("c", *args, batch=3)]))
+        got = batched_run.layers[0]
         resident = base.plan.num_n_tiles == 1
-        expected = self._reference(base, got.layer, 3, resident)
+        expected = self._reference(base, got.layer, 3, resident,
+                                   batched_run.address_map)
         got_ranges = [(r.cycle, r.addr, r.nbytes, r.write, r.kind, r.duration)
                       for r in got.trace.ranges]
         assert got_ranges == expected
@@ -143,10 +149,12 @@ class TestBatchReplication:
         sim = AcceleratorSim(SystolicArray(32, 32), SramBudget.split(128 << 10))
         base = sim.run(Topology("k", [gemm("fc", 256, 8192, 1024)])).layers[0]
         batched_layer = gemm("fc", 256, 8192, 1024, batch=2)
-        got = sim.run(Topology("k", [batched_layer])).layers[0]
+        batched_run = sim.run(Topology("k", [batched_layer]))
+        got = batched_run.layers[0]
         assert got.plan.is_k_tiled
         expected = self._reference(base, batched_layer, 2,
-                                   weight_resident=False)
+                                   weight_resident=False,
+                                   amap=batched_run.address_map)
         got_ranges = [(r.cycle, r.addr, r.nbytes, r.write, r.kind, r.duration)
                       for r in got.trace.ranges]
         assert got_ranges == expected

@@ -157,6 +157,57 @@ class TestBatchedFastModel:
         assert results[1].requests == 2
 
 
+class TestNativeBatchTiers:
+    """The native batched-model kernels (fused geometry pass, insertion
+    merge scan) must match the pure numpy tier bit for bit."""
+
+    def _part_lists(self, seed):
+        rng = np.random.default_rng(seed)
+        part_lists = []
+        for _ in range(6):
+            n = int(rng.integers(1, 1200))
+            m = int(rng.integers(0, 400))
+            # Cycle-sorted data part (the geom_counts fast path) plus an
+            # unsorted metadata part (the packed-sort path), like the
+            # pipeline's (data, metadata) entries.
+            data = _stream(rng.integers(0, 1 << 22, n).astype(np.uint64) * 64,
+                           cycles=np.sort(rng.integers(0, 4_000, n)),
+                           writes=rng.integers(0, 2, n).astype(bool))
+            parts = [data]
+            if m:
+                parts.append(_stream(
+                    rng.integers(0, 1 << 22, m).astype(np.uint64) * 64,
+                    cycles=rng.integers(0, 4_000, m),
+                    writes=rng.integers(0, 2, m).astype(bool)))
+            part_lists.append(parts)
+        return part_lists
+
+    @pytest.mark.parametrize("seed", [3, 11, 29])
+    def test_native_matches_numpy(self, seed, monkeypatch):
+        from repro.utils import native
+        if not native.available():
+            pytest.skip("no native kernel in this environment")
+        sim = DramSim(SERVER_DRAM, freq_ghz=1.0)
+        got = sim.simulate_fast_batch_parts(self._part_lists(seed))
+        monkeypatch.setattr(native, "available", lambda: False)
+        monkeypatch.setattr(native, "geom_counts", lambda *a, **k: None)
+        sim = DramSim(SERVER_DRAM, freq_ghz=1.0)
+        want = sim.simulate_fast_batch_parts(self._part_lists(seed))
+        for g, w in zip(got, want):
+            assert g == w
+
+    def test_native_matches_reference_model(self):
+        """End to end against the event-driven model: the native batch
+        tier classifies hits/misses exactly."""
+        sim = DramSim(SERVER_DRAM, freq_ghz=1.0)
+        part_lists = self._part_lists(17)
+        batch = sim.simulate_fast_batch_parts(part_lists)
+        for parts, got in zip(part_lists, batch):
+            ref = sim.simulate(BlockStream.concat(parts))
+            assert got.row_misses == ref.row_misses
+            assert got.per_channel_requests == ref.per_channel_requests
+
+
 class TestBandwidthScaling:
     def test_busy_scales_with_bandwidth(self):
         addrs = np.arange(4096, dtype=np.uint64) * 64

@@ -111,7 +111,7 @@ class TestSeqThroughTheService:
         assert stats["misses"] == 1
         assert stats["evictions"] == 1
         fresh = ResultStore(tmp_path).get(key)
-        assert fresh["schema_version"] == SCHEMA_VERSION == 3
+        assert fresh["schema_version"] == SCHEMA_VERSION == 4
         assert fresh["runs"]["seda"]["seq"] == 64
 
 

@@ -2,11 +2,13 @@
 
 import pytest
 
-from repro.models.layer import conv
+from repro.models.layer import conv, gemm
 from repro.tiling.optblk import (
+    BURST_BYTES,
     DEFAULT_CANDIDATES,
     aligned_block_for_tiles,
     search_optblk,
+    search_optblk_model,
 )
 from repro.tiling.tile import SramBudget, plan_tiling
 
@@ -76,10 +78,63 @@ class TestBatchedSearch:
         assert choice.is_straddle_free
 
 
+class TestVectorizedModelSearch:
+    def test_matches_per_layer_search(self):
+        """One numpy pass over all layers == the scalar per-layer search."""
+        layers = [
+            conv("c0", 64, 64, 3, 3, 16, 8),
+            conv("c1", 100, 100, 3, 3, 24, 16, batch=4),
+            conv("c2", 32, 32, 3, 3, 8, 8),
+            gemm("fc", 512, 512, 1000),
+        ]
+        pairs = [(layer, _plan(layer, 64 << 10)) for layer in layers]
+        batch = search_optblk_model(pairs)
+        assert batch == [search_optblk(layer, plan) for layer, plan in pairs]
+
+    def test_empty_model(self):
+        assert search_optblk_model([]) == []
+
+    def test_validates_candidates(self):
+        layer = conv("c", 16, 16, 3, 3, 4, 8)
+        with pytest.raises(ValueError):
+            search_optblk_model([(layer, _plan(layer))], candidates=())
+        with pytest.raises(ValueError):
+            search_optblk_model([(layer, _plan(layer))], candidates=(0,))
+
+
 class TestAlignedHelper:
     def test_divisor_found(self):
         assert aligned_block_for_tiles(4096) == 4096
         assert aligned_block_for_tiles(1536) == 512
 
-    def test_fallback_to_minimum(self):
-        assert aligned_block_for_tiles(1000) == 64  # 1000 % 64 != 0 -> min
+    def test_non_power_of_two_spans(self):
+        # 2560 = 512 * 5: the largest dividing candidate wins.
+        assert aligned_block_for_tiles(2560) == 512
+        # 1920 = 128 * 15: 256 does not divide, 128 does.
+        assert aligned_block_for_tiles(1920) == 128
+        # 8064 = 2^7 * 63: dividing candidates stop at 128.
+        assert aligned_block_for_tiles(8064) == 128
+
+    def test_burst_aligned_floor_below_candidate_set(self):
+        """When no candidate divides, the span's two-adic alignment is
+        the answer — not ``min(candidates)``, which may straddle while a
+        smaller aligned power of two exists."""
+        # 1920 aligns to 128; with only {256, 512} on offer the floor
+        # is 128, not the old (straddling) min(candidates) == 256.
+        assert aligned_block_for_tiles(1920, candidates=(256, 512)) == 128
+        # Alignment above the candidate cap clamps to max(candidates).
+        assert aligned_block_for_tiles(4096, candidates=(256, 512)) == 512
+
+    def test_degenerates_to_burst(self):
+        # 1000 = 8 * 125: alignment (8) is below one burst — no
+        # burst-aligned block can avoid straddling; floor to the burst.
+        assert aligned_block_for_tiles(1000) == BURST_BYTES
+        assert aligned_block_for_tiles(999) == BURST_BYTES
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            aligned_block_for_tiles(4096, candidates=())
+        with pytest.raises(ValueError):
+            aligned_block_for_tiles(0)
+        with pytest.raises(ValueError):
+            aligned_block_for_tiles(4096, candidates=(0,))
