@@ -31,7 +31,7 @@ it as a distinct traffic class.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -101,7 +101,7 @@ class AcceleratorSim:
     """SCALE-Sim-style simulator for one accelerator configuration."""
 
     def __init__(self, array: SystolicArray, budget: SramBudget,
-                 image_align: int = None):
+                 image_align: Optional[int] = None):
         self.array = array
         self.budget = budget
         #: Per-image slab alignment forwarded to :class:`AddressMap`;
@@ -117,6 +117,8 @@ class AcceleratorSim:
         results: List[LayerResult] = []
         cursor = 0
         for layer_id, layer in enumerate(topology):
+            # One span per layer is the sanctioned stage granularity.
+            # repro: allow(obs-noop-discipline)
             with obs.span("accel.layer", layer=layer_id,
                           layer_name=layer.name):
                 result = self.run_layer(layer, layer_id, address_map, cursor)

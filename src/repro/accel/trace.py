@@ -287,6 +287,8 @@ def _spill_chunk(cols: Tuple[np.ndarray, ...]) -> Optional[Tuple[np.ndarray, ...
     directory is configured.  The scratch file is unlinked immediately
     after mapping, so spills never outlive the process even on a crash.
     """
+    # Spill location changes where scratch bytes live, never a result.
+    # repro: allow(fingerprint-purity)
     spill_dir = os.environ.get(SPILL_DIR_ENV)
     if not spill_dir:
         return None
@@ -620,6 +622,9 @@ class Trace:
                 TraceRange(cycle, addr, count, write,
                            _KIND_LIST[kind], layer_id, duration)
                 for cycle, addr, count, write, kind, layer_id, duration
+                # Deliberate boundary materialization: the compatibility
+                # view is built once per revision and memoized.
+                # repro: allow(hot-path-hygiene)
                 in zip(cycles.tolist(), addrs.tolist(), nbytes.tolist(),
                        writes.tolist(), kinds.tolist(), layer_ids.tolist(),
                        durations.tolist())

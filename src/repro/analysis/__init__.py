@@ -1,0 +1,17 @@
+"""Static analysis over the repro tree: ``repro check``.
+
+Repo-specific invariants that generic linters cannot see — fingerprint
+purity, pinned record schemas, native/Python tier parity, recorder
+discipline, hot-path hygiene — expressed as AST rules with allowlist
+pragmas.  See :mod:`repro.analysis.engine` for the entry point and
+``README.md`` ("Static analysis & correctness gates") for the catalog.
+"""
+
+from repro.analysis.engine import (  # noqa: F401
+    JSON_SCHEMA_VERSION,
+    CheckResult,
+    list_rules,
+    render_text,
+    run_check,
+)
+from repro.analysis.findings import Finding  # noqa: F401

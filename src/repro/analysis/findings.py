@@ -1,0 +1,49 @@
+"""Findings: what a lint rule reports.
+
+A :class:`Finding` is one violation of one rule at one source location.
+Findings are plain, ordered, JSON-friendly values — the engine sorts
+them by ``(path, line, rule)`` so output is deterministic across runs
+and machines, and ``repro check --json`` serializes them verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one ``file:line``.
+
+    ``hint`` says how to fix it (or how to allowlist it when the code is
+    intentional); it is rule-provided, never empty in shipped rules.
+    """
+
+    path: str      # repo-root-relative, POSIX separators
+    line: int      # 1-based
+    rule: str
+    message: str
+    hint: str = ""
+    col: int = 0   # 0-based, matching ``ast`` column offsets
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    def render(self) -> str:
+        """One human-readable line: ``path:line: [rule] message``."""
+        text = f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text

@@ -1,0 +1,117 @@
+"""Rule registry: how lint rules declare themselves.
+
+A rule subclasses :class:`FileRule` (checked per selected file) or
+:class:`ProjectRule` (checked once per run against the whole tree) and
+registers with the :func:`register` decorator.  Every rule carries a
+kebab-case ``name`` (what pragmas and ``--rule`` refer to), a one-line
+``description`` (what ``repro check --list-rules`` prints) and a
+``seed_violation`` spec — the known-bad edit the CI smoke step injects
+into a scratch tree to prove the rule still fires (a rule whose seed no
+longer trips it has silently gone no-op).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Type
+
+from repro.analysis.context import FileContext, Project
+from repro.analysis.findings import Finding
+
+
+@dataclass(frozen=True)
+class SeedViolation:
+    """One known-bad edit for the seed-violation smoke.
+
+    ``append`` is source text appended to ``path`` in a scratch copy of
+    the tree; ``replace``/``replacement`` instead rewrite one exact
+    occurrence.  After the edit, the owning rule must report at least
+    one finding in ``path``.
+    """
+
+    path: str
+    append: str = ""
+    replace: str = ""
+    replacement: str = ""
+
+
+class Rule:
+    """Base interface; use :class:`FileRule` or :class:`ProjectRule`."""
+
+    name: str = ""
+    description: str = ""
+    seed_violation: Optional[SeedViolation] = None
+
+    def run(self, project: Project) -> List[Finding]:
+        raise NotImplementedError
+
+
+class FileRule(Rule):
+    """A rule checked independently against each selected file."""
+
+    def select(self, rel_path: str) -> bool:
+        raise NotImplementedError
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def run(self, project: Project) -> List[Finding]:
+        findings: List[Finding] = []
+        for rel_path in project.python_files():
+            if not self.select(rel_path):
+                continue
+            ctx = project.context(rel_path)
+            if ctx.tree is None:     # syntax errors are reported once,
+                continue             # by the engine, not per rule
+            findings.extend(self.check(ctx))
+        return findings
+
+
+class ProjectRule(Rule):
+    """A rule checked once against the whole tree (cross-file facts)."""
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def run(self, project: Project) -> List[Finding]:
+        return list(self.check_project(project))
+
+
+#: name -> rule instance, in registration order.
+RULES: Dict[str, Rule] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and register one rule."""
+    rule = rule_cls()
+    if not rule.name:
+        raise ValueError(f"{rule_cls.__name__} has no name")
+    if rule.name in RULES:
+        raise ValueError(f"duplicate rule name {rule.name!r}")
+    RULES[rule.name] = rule
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    _load_builtin_rules()
+    return list(RULES.values())
+
+
+def get_rules(names: Optional[Sequence[str]] = None) -> List[Rule]:
+    """Rules selected by ``names`` (all when ``None``); unknown names
+    raise ``KeyError`` listing what exists."""
+    _load_builtin_rules()
+    if names is None:
+        return list(RULES.values())
+    selected = []
+    for name in names:
+        if name not in RULES:
+            raise KeyError(
+                f"unknown rule {name!r}; known: {sorted(RULES)}")
+        selected.append(RULES[name])
+    return selected
+
+
+def _load_builtin_rules() -> None:
+    # Importing the package registers every shipped rule exactly once.
+    import repro.analysis.rules  # noqa: F401

@@ -1,0 +1,15 @@
+"""Built-in ``repro check`` rules.
+
+Importing this package registers every shipped rule (each module's
+``@register`` decorator runs at import).  Add a new rule by dropping a
+module here and importing it below; ``repro check --list-rules`` and the
+CI seed-violation smoke pick it up automatically.
+"""
+
+from repro.analysis.rules import (  # noqa: F401
+    fingerprint_purity,
+    hot_path,
+    obs_discipline,
+    schema_guard,
+    tier_parity,
+)

@@ -1,0 +1,107 @@
+"""hot-path-hygiene: no Python loops over trace columns in the
+vectorized planes.
+
+The whole performance story of the simulator is that traces live as
+parallel numpy columns (``addrs`` / ``cycles`` / ``writes`` / ...) and
+every per-access computation is a column operation.  A Python ``for``
+over a column — usually via ``.tolist()`` — reintroduces the
+interpreter into an O(accesses) path and silently undoes orders of
+magnitude.  Where a scalar loop is *the point* (the reference scalar
+oracle, an irreducible carry pinned by an equivalence suite, a
+boundary materialization measured to be cheap), it carries a line
+pragma saying so.
+
+The rule looks only at the **iterable expression** of ``for`` loops and
+comprehensions in the vectorized planes; loop bodies and ordinary
+iteration (``for layer in layers``) are out of scope, keeping false
+positives near zero.  It fires when the iterable:
+
+- calls ``.tolist()`` anywhere (incl. inside ``zip(...)``), or
+- is a bare trace column (a name or attribute ending in one of the
+  known column names), or
+- calls ``np.nditer`` / ``enumerate`` over such a column.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import FileRule, SeedViolation, register
+
+_SCOPES = ("src/repro/accel/", "src/repro/dram/", "src/repro/protection/",
+           "src/repro/analytic/")
+
+#: The trace-column vocabulary of the vectorized planes.
+_COLUMNS = {"addrs", "cycles", "writes", "kinds", "layer_ids", "durations",
+            "arrivals", "banks", "service"}
+
+
+def _terminal_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _column_iteration(iterable: ast.expr) -> Optional[str]:
+    """Why this iterable is a hot-path violation, or None if it's fine."""
+    for node in ast.walk(iterable):
+        if isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr == "tolist":
+            return "materializes a column with .tolist() for iteration"
+    name = _terminal_name(iterable)
+    if name in _COLUMNS:
+        return f"iterates trace column {name!r} element-wise"
+    if isinstance(iterable, ast.Call):
+        func_name = _terminal_name(iterable.func)
+        if func_name in ("enumerate", "nditer") and iterable.args:
+            inner = _terminal_name(iterable.args[0])
+            if inner in _COLUMNS:
+                return (f"iterates trace column {inner!r} element-wise "
+                        f"via {func_name}()")
+    return None
+
+
+@register
+class HotPathRule(FileRule):
+    name = "hot-path-hygiene"
+    description = ("no Python-level for loops over trace columns "
+                   "(.tolist() iteration) in the vectorized planes; "
+                   "pragma the intentional scalar carries")
+    seed_violation = SeedViolation(
+        path="src/repro/accel/trace.py",
+        append=("\n\ndef _smoke_scan(addrs):\n"
+                "    peak = 0\n"
+                "    for addr in addrs.tolist():\n"
+                "        peak = max(peak, addr)\n"
+                "    return peak\n"))
+
+    def select(self, rel_path: str) -> bool:
+        return rel_path.startswith(_SCOPES)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        assert ctx.tree is not None
+        for node in ast.walk(ctx.tree):
+            iterables: List[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iterables.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iterables.extend(gen.iter for gen in node.generators)
+            for iterable in iterables:
+                why = _column_iteration(iterable)
+                if why is not None:
+                    findings.append(Finding(
+                        path=ctx.rel_path, line=iterable.lineno,
+                        col=iterable.col_offset, rule=self.name,
+                        message=f"{why} in a vectorized plane",
+                        hint="express it as a column operation, or mark "
+                             "an intentional scalar carry with '# repro: "
+                             "allow(hot-path-hygiene)'"))
+        return findings

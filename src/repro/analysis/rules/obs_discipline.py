@@ -1,0 +1,88 @@
+"""obs-noop-discipline: no recorder calls inside per-access hot loops.
+
+The flight recorder's module API (``obs.span`` / ``obs.incr`` /
+``obs.gauge`` / ``obs.absorb``) is a strict no-op while disabled, but a
+no-op *call* still costs a global load, an attribute lookup and a frame
+— per access, that is exactly the Python-level overhead the vectorized
+planes exist to remove, and with recording enabled a per-access counter
+floods the trace beyond use.  The discipline: instrument at stage
+granularity (per layer, per batch, per drive), never per element.
+
+The rule scopes to the simulation planes (``accel/``, ``dram/``,
+``protection/``) and flags any recorder call — an attribute chain rooted
+at ``obs`` or a ``recorder``-named object — lexically inside a ``for`` /
+``while`` / comprehension within the same function.  Sanctioned
+stage-granularity loops (one span per *layer*) carry a line pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import FileRule, SeedViolation, register
+
+_SCOPES = ("src/repro/accel/", "src/repro/dram/", "src/repro/protection/")
+_ROOTS = {"obs", "recorder", "_recorder", "rec"}
+_LOOP_NODES = (ast.For, ast.AsyncFor, ast.While, ast.ListComp, ast.SetComp,
+               ast.DictComp, ast.GeneratorExp)
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def _recorder_chain(func: ast.expr) -> str:
+    """Dotted text of an attribute chain rooted in a recorder name,
+    or '' when the call is not a recorder call."""
+    parts: List[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name) and node.id in _ROOTS and parts:
+        return ".".join([node.id, *reversed(parts)])
+    return ""
+
+
+@register
+class ObsDisciplineRule(FileRule):
+    name = "obs-noop-discipline"
+    description = ("no recorder calls inside loops in the simulation "
+                   "planes (accel/, dram/, protection/); spans only at "
+                   "stage granularity")
+    seed_violation = SeedViolation(
+        path="src/repro/dram/simulator.py",
+        append=("\n\ndef _smoke_counted_scan(addrs):\n"
+                "    total = 0\n"
+                "    for addr in addrs:\n"
+                "        obs.incr(\"dram.smoke_scan\")\n"
+                "        total += addr\n"
+                "    return total\n"))
+
+    def select(self, rel_path: str) -> bool:
+        return rel_path.startswith(_SCOPES)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        assert ctx.tree is not None
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _recorder_chain(node.func)
+            if not chain:
+                continue
+            for ancestor in ctx.ancestors(node):
+                if isinstance(ancestor, _FUNC_NODES):
+                    break     # loops outside our function don't count
+                if isinstance(ancestor, _LOOP_NODES):
+                    findings.append(Finding(
+                        path=ctx.rel_path, line=node.lineno,
+                        col=node.col_offset, rule=self.name,
+                        message=f"recorder call {chain}(...) inside a "
+                                f"loop in a simulation plane",
+                        hint="hoist to stage granularity (count once "
+                             "after the loop), or allowlist a sanctioned "
+                             "per-stage loop with '# repro: "
+                             "allow(obs-noop-discipline)'"))
+                    break
+        return findings

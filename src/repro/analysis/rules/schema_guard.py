@@ -1,0 +1,103 @@
+"""schema-guard: serialized record layout is pinned; changes must bump.
+
+The result store keys cached comparisons by fingerprint and trusts
+``SCHEMA_VERSION`` to reject stale layouts.  History shows the failure
+mode this rule exists for (see the v2/v3/v4 notes in
+``runner/records.py``): a serializer gains or loses a field, the version
+stays put, and old records deserialize into silently wrong objects.
+
+The guard re-extracts ``SCHEMA_VERSION`` and every ``*_to_dict`` key set
+from the live AST and compares against the pinned
+``analysis/schema_manifest.json``:
+
+- fields changed, version unchanged → **bump SCHEMA_VERSION** (the real
+  bug this rule is for);
+- version changed, or fields changed alongside a bump → the manifest is
+  stale: regenerate it (``python -m repro.analysis.schema_manifest``)
+  so the new layout becomes the pinned one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.analysis import schema_manifest
+from repro.analysis.findings import Finding
+from repro.analysis.registry import ProjectRule, SeedViolation, register
+from repro.analysis.context import Project
+
+_REGEN_HINT = ("regenerate the pinned manifest: "
+               "python -m repro.analysis.schema_manifest")
+
+
+def _def_line(project: Project, func_name: str) -> int:
+    """Line of ``def func_name`` in records.py (1 if it vanished)."""
+    ctx = project.context(schema_manifest.RECORDS_PATH)
+    source = ctx.source
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        if text.lstrip().startswith(f"def {func_name}("):
+            return lineno
+    return 1
+
+
+@register
+class SchemaGuardRule(ProjectRule):
+    name = "schema-guard"
+    description = ("serialized record field sets are pinned in "
+                   "analysis/schema_manifest.json; changing them "
+                   "without bumping SCHEMA_VERSION fails")
+    seed_violation = SeedViolation(
+        path="src/repro/runner/records.py",
+        replace='        "layers": [layer_timing_to_dict(t) '
+                'for t in run.layers],',
+        replacement='        "layers": [layer_timing_to_dict(t) '
+                    'for t in run.layers],\n        "smoke": 0,')
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        path = schema_manifest.RECORDS_PATH
+        if not project.has_file(path):
+            return [Finding(
+                path=path, line=1, rule=self.name,
+                message="records module is missing entirely",
+                hint="the store cannot round-trip results without it")]
+        ctx = project.context(path)
+        if ctx.tree is None:
+            return []     # parse-error is the engine's finding
+        live = schema_manifest.extract_manifest(ctx.tree)
+        pinned = schema_manifest.load_manifest()
+
+        findings: List[Finding] = []
+        live_version = live["schema_version"]
+        pinned_version = pinned["schema_version"]
+        version_bumped = live_version != pinned_version
+
+        live_records = live["records"]
+        pinned_records = pinned["records"]
+        for func_name in sorted(set(live_records) | set(pinned_records)):
+            live_keys = live_records.get(func_name)
+            pinned_keys = pinned_records.get(func_name)
+            if live_keys == pinned_keys:
+                continue
+            line = _def_line(project, func_name)
+            if version_bumped:
+                findings.append(Finding(
+                    path=path, line=line, rule=self.name,
+                    message=f"{func_name} fields changed and "
+                            f"SCHEMA_VERSION was bumped, but the pinned "
+                            f"manifest still records the old layout",
+                    hint=_REGEN_HINT))
+            else:
+                findings.append(Finding(
+                    path=path, line=line, rule=self.name,
+                    message=f"{func_name} serialized fields changed "
+                            f"(pinned {pinned_keys!r}, live {live_keys!r}) "
+                            f"without bumping SCHEMA_VERSION",
+                    hint="old stored records would decode into wrong "
+                         "objects; bump SCHEMA_VERSION, then " + _REGEN_HINT))
+        if version_bumped and not findings:
+            findings.append(Finding(
+                path=path, line=1, rule=self.name,
+                message=f"SCHEMA_VERSION is {live_version!r} but the "
+                        f"pinned manifest records {pinned_version!r}",
+                hint=_REGEN_HINT))
+        return findings

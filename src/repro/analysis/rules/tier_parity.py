@@ -1,0 +1,183 @@
+"""tier-parity: every native kernel entry point keeps its slow twins.
+
+The native kernels are *optional accelerators*: correctness is owned by
+the pure-Python/numpy tiers, and the equivalence suites pin all tiers
+bit-identical.  That contract only holds if it is closed — a new kernel
+entry point shipped without a registered fallback (or without an
+equivalence test exercising its name) is a silent fork of the model.
+
+Concretely, for every public function in ``repro/utils/native.py`` that
+takes arguments and calls ``_load()``:
+
+- it must be a key in the module's ``FALLBACKS`` manifest;
+- every fallback target (``"pkg.module:QualName"``) must resolve to a
+  real function or method in the live tree;
+- its name must appear in at least one file under ``tests/`` (the
+  equivalence suite that pins the tiers together).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.analysis.context import Project
+from repro.analysis.findings import Finding
+from repro.analysis.registry import ProjectRule, SeedViolation, register
+
+NATIVE_PATH = "src/repro/utils/native.py"
+
+
+def _entry_points(tree: ast.Module) -> Dict[str, int]:
+    """Public arg-taking top-level functions that call ``_load()``."""
+    entries: Dict[str, int] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        if node.name.startswith("_"):
+            continue
+        if not (node.args.args or node.args.posonlyargs
+                or node.args.kwonlyargs or node.args.vararg):
+            continue     # available() probes; it accelerates nothing
+        calls_load = any(
+            isinstance(sub, ast.Call) and isinstance(sub.func, ast.Name)
+            and sub.func.id == "_load"
+            for sub in ast.walk(node))
+        if calls_load:
+            entries[node.name] = node.lineno
+    return entries
+
+
+def _fallback_manifest(tree: ast.Module) -> Optional[Dict[str, List[str]]]:
+    """The literal ``FALLBACKS`` dict, or None if absent/non-literal."""
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(isinstance(t, ast.Name) and t.id == "FALLBACKS"
+                   for t in node.targets):
+            continue
+        try:
+            value = ast.literal_eval(node.value)
+        except ValueError:
+            return None
+        if isinstance(value, dict):
+            return {str(k): [str(v) for v in targets]
+                    for k, targets in value.items()}
+        return None
+    return None
+
+
+def _resolve_target(project: Project, target: str) -> bool:
+    """Does ``pkg.module:Qual.name`` name a real function/method?"""
+    if ":" not in target:
+        return False
+    module, qualname = target.split(":", 1)
+    rel_path = "src/" + module.replace(".", "/") + ".py"
+    if not project.has_file(rel_path):
+        return False
+    tree = project.context(rel_path).tree
+    if tree is None:
+        return False
+    scope: Iterable[ast.stmt] = tree.body
+    parts = qualname.split(".")
+    for i, part in enumerate(parts):
+        found = None
+        for node in scope:
+            if isinstance(node, (ast.FunctionDef, ast.ClassDef)) \
+                    and node.name == part:
+                found = node
+                break
+        if found is None:
+            return False
+        if i == len(parts) - 1:
+            return isinstance(found, ast.FunctionDef)
+        if not isinstance(found, ast.ClassDef):
+            return False
+        scope = found.body
+    return False
+
+
+def _tested_names(project: Project) -> Set[str]:
+    names: Set[str] = set()
+    for rel_path in project.python_files():
+        if not rel_path.startswith("tests/"):
+            continue
+        for match in re.finditer(r"[A-Za-z_][A-Za-z0-9_]*",
+                                 project.context(rel_path).source):
+            names.add(match.group(0))
+    return names
+
+
+@register
+class TierParityRule(ProjectRule):
+    name = "tier-parity"
+    description = ("every native kernel entry point has registered "
+                   "pure-Python fallbacks and an equivalence test "
+                   "naming it in tests/")
+    seed_violation = SeedViolation(
+        path=NATIVE_PATH,
+        append=("\n\ndef smoke_kernel(x: int) -> Optional[int]:\n"
+                "    lib = _load()\n"
+                "    return None if lib is None else x\n"))
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        if not project.has_file(NATIVE_PATH):
+            return []
+        tree = project.context(NATIVE_PATH).tree
+        if tree is None:
+            return []
+        entries = _entry_points(tree)
+        manifest = _fallback_manifest(tree)
+        findings: List[Finding] = []
+        if manifest is None:
+            findings.append(Finding(
+                path=NATIVE_PATH, line=1, rule=self.name,
+                message="no literal FALLBACKS manifest mapping each "
+                        "kernel entry point to its pure-Python tiers",
+                hint="add FALLBACKS = {entry: ['pkg.module:Qual.name', "
+                     "...]} near the top of native.py"))
+            manifest = {}
+
+        tested = _tested_names(project)
+        for entry, lineno in sorted(entries.items()):
+            targets = manifest.get(entry)
+            if targets is None:
+                if manifest:
+                    findings.append(Finding(
+                        path=NATIVE_PATH, line=lineno, rule=self.name,
+                        message=f"kernel entry point {entry}() is not in "
+                                f"the FALLBACKS manifest",
+                        hint="register its pure-Python/numpy fallback "
+                             "tier(s) so the slow path stays owned"))
+            else:
+                if not targets:
+                    findings.append(Finding(
+                        path=NATIVE_PATH, line=lineno, rule=self.name,
+                        message=f"kernel entry point {entry}() registers "
+                                f"an empty fallback list",
+                        hint="a kernel with no slow tier cannot be "
+                             "equivalence-checked"))
+                for target in targets:
+                    if not _resolve_target(project, target):
+                        findings.append(Finding(
+                            path=NATIVE_PATH, line=lineno, rule=self.name,
+                            message=f"fallback {target!r} for {entry}() "
+                                    f"does not resolve to a function",
+                            hint="fix the 'pkg.module:Qual.name' path in "
+                                 "FALLBACKS"))
+            if entry not in tested:
+                findings.append(Finding(
+                    path=NATIVE_PATH, line=lineno, rule=self.name,
+                    message=f"kernel entry point {entry}() is never "
+                            f"named under tests/",
+                    hint="add an equivalence test pinning the kernel "
+                         "against its fallback tier"))
+        # Manifest entries for kernels that no longer exist rot too.
+        for entry in sorted(set(manifest) - set(entries)):
+            findings.append(Finding(
+                path=NATIVE_PATH, line=1, rule=self.name,
+                message=f"FALLBACKS registers {entry!r} but no such "
+                        f"kernel entry point exists",
+                hint="remove the stale manifest entry"))
+        return findings

@@ -1,0 +1,103 @@
+"""Extraction and regeneration of the serialized-record manifest.
+
+``schema_manifest.json`` pins two facts about
+``src/repro/runner/records.py``: the value of ``SCHEMA_VERSION`` and the
+exact key set each ``*_to_dict`` serializer emits.  The ``schema-guard``
+rule re-extracts both from the live tree on every ``repro check`` run
+and compares; see :mod:`repro.analysis.rules.schema_guard` for the
+verdict logic.
+
+Regenerate after an *intentional* schema change (new field + version
+bump) with::
+
+    python -m repro.analysis.schema_manifest
+
+The manifest is extracted from the AST, not by importing the module, so
+it works on any checkout — including the scratch copies the CI
+seed-violation smoke mutates into deliberately broken states.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+#: The module whose serializers are pinned.
+RECORDS_PATH = "src/repro/runner/records.py"
+
+#: Where the pinned manifest lives (shipped inside the package).
+MANIFEST_PATH = Path(__file__).with_name("schema_manifest.json")
+
+
+def _dict_literal_keys(node: ast.AST) -> Optional[List[str]]:
+    """Constant string keys of a dict literal, or None if not one."""
+    if not isinstance(node, ast.Dict):
+        return None
+    keys = []
+    for key in node.keys:
+        if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+            return None
+        keys.append(key.value)
+    return keys
+
+
+def extract_manifest(tree: ast.Module) -> Dict[str, Any]:
+    """Pull ``{"schema_version": ..., "records": {fn: [keys]}}`` from the
+    parsed records module.
+
+    Every top-level ``*_to_dict`` function is expected to serialize via a
+    single ``return {literal}``; a function that stops doing so extracts
+    as ``None``, which never equals a pinned key list — the guard then
+    fails with a regenerate hint instead of silently losing coverage.
+    """
+    version: Optional[int] = None
+    records: Dict[str, Optional[List[str]]] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) \
+                        and target.id == "SCHEMA_VERSION" \
+                        and isinstance(node.value, ast.Constant):
+                    version = node.value.value
+        elif isinstance(node, ast.FunctionDef) \
+                and node.name.endswith("_to_dict"):
+            keys: Optional[List[str]] = None
+            returns = [n for n in ast.walk(node)
+                       if isinstance(n, ast.Return) and n.value is not None]
+            if len(returns) == 1:
+                keys = _dict_literal_keys(returns[0].value)
+            records[node.name] = keys
+    return {"schema_version": version, "records": records}
+
+
+def extract_from_root(root: Path) -> Dict[str, Any]:
+    source = (Path(root) / RECORDS_PATH).read_text(encoding="utf-8")
+    return extract_manifest(ast.parse(source, filename=RECORDS_PATH))
+
+
+def load_manifest() -> Dict[str, Any]:
+    with open(MANIFEST_PATH, encoding="utf-8") as handle:
+        loaded: Dict[str, Any] = json.load(handle)
+    return loaded
+
+
+def write_manifest(manifest: Dict[str, Any]) -> None:
+    MANIFEST_PATH.write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parents[3]
+    manifest = extract_from_root(root)
+    write_manifest(manifest)
+    print(f"wrote {MANIFEST_PATH} "
+          f"(schema_version={manifest['schema_version']}, "
+          f"{len(manifest['records'])} serializers)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

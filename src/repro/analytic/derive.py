@@ -51,7 +51,12 @@ import numpy as np
 from repro import obs
 from repro.accel.simulator import ModelRun
 from repro.core.metrics import ComparisonResult, compare_schemes
-from repro.core.pipeline import LayerTiming, Pipeline, SchemeRun
+from repro.core.pipeline import (
+    CollectedRow,
+    LayerTiming,
+    Pipeline,
+    SchemeRun,
+)
 from repro.dram.timing import DramConfig
 from repro.models.topology import Topology
 from repro.models.zoo import (
@@ -63,7 +68,16 @@ from repro.models.zoo import (
 from repro.protection import make_scheme
 from repro.protection.seda import lanes_for_peak
 from repro.crypto.engine import CryptoEngineModel, bandwidth_aware_engine
-from repro.tiling.tile import plan_tiling
+from repro.tiling.tile import TilingPlan, plan_tiling
+
+# The affine integer vectors: one ``Tuple[int, ...]`` per timing row.
+# Returns/storage use the concrete list; parameters take the covariant
+# ``Sequence`` so narrower vectors (e.g. the per-layer ``(compute,
+# bytes)`` pairs of ``_model_ints``) pass through unchanged.
+IntRows = List[Tuple[int, ...]]
+IntRowsLike = Sequence[Tuple[int, ...]]
+# The batch-invariant (layer_id, is_flush) shape of a scheme's rows.
+RowIdentity = Tuple[Tuple[int, bool], ...]
 
 
 def _comparison_to_dict(result: ComparisonResult) -> Dict[str, Any]:
@@ -99,7 +113,7 @@ _PLAN_STRUCTURE_FIELDS = (
 )
 
 
-def _plan_signature(plan) -> Tuple:
+def _plan_signature(plan: TilingPlan) -> Tuple[Any, ...]:
     return tuple(getattr(plan, name) for name in _PLAN_STRUCTURE_FIELDS)
 
 
@@ -141,14 +155,14 @@ def _cache_filtered(name: str) -> bool:
 
 # -- integer quantity extraction ---------------------------------------------
 
-def _row_identity(rows) -> Tuple:
+def _row_identity(rows: Sequence[CollectedRow]) -> RowIdentity:
     """Batch-invariant shape of one scheme's timing rows."""
     return tuple((p.layer_id, p.is_flush) for p, _ in rows)
 
 
-def _row_ints(rows) -> List[Tuple[int, ...]]:
+def _row_ints(rows: Sequence[CollectedRow]) -> IntRows:
     """The affine integer vector of one scheme's timing rows."""
-    out = []
+    out: IntRows = []
     for protection, dram in rows:
         misses = dram.per_channel_row_misses
         if misses is None:
@@ -164,13 +178,14 @@ def _model_ints(model_run: ModelRun) -> List[Tuple[int, int]]:
     return [(r.compute_cycles, r.trace.total_bytes) for r in model_run.layers]
 
 
-def _extrapolate(anchor, delta, steps: int):
+def _extrapolate(anchor: IntRowsLike, delta: IntRowsLike,
+                 steps: int) -> IntRows:
     """``q(2 + steps) = q(2) + steps * Δ`` over nested int tuples."""
     return [tuple(a + steps * d for a, d in zip(row_a, row_d))
             for row_a, row_d in zip(anchor, delta)]
 
 
-def _diff(q2, q1):
+def _diff(q2: IntRowsLike, q1: IntRowsLike) -> IntRows:
     return [tuple(a - b for a, b in zip(row2, row1))
             for row2, row1 in zip(q2, q1)]
 
@@ -187,7 +202,8 @@ def _scheme_engine(name: str, peak: float) -> Optional[CryptoEngineModel]:
 
 
 def _assemble_scheme_run(pipeline: Pipeline, topology: Topology,
-                         scheme_name: str, identity, ints,
+                         scheme_name: str, identity: RowIdentity,
+                         ints: IntRowsLike,
                          layer_names: Sequence[str],
                          compute_at_n: Sequence[int],
                          peak: float) -> SchemeRun:
@@ -244,8 +260,12 @@ def _assemble_scheme_run(pipeline: Pipeline, topology: Topology,
 
 
 def _assemble_record(pipeline: Pipeline, topology: Topology,
-                     scheme_names: Sequence[str], identities, anchor, delta,
-                     model_anchor, model_delta, layer_names,
+                     scheme_names: Sequence[str],
+                     identities: Dict[str, RowIdentity],
+                     anchor: Dict[str, IntRows],
+                     delta: Dict[str, IntRows],
+                     model_anchor: IntRowsLike, model_delta: IntRowsLike,
+                     layer_names: Sequence[str],
                      n: int) -> Dict[str, Any]:
     """The full derived cell record at batch ``n``."""
     steps = n - PROBE_BATCHES[1]
@@ -294,17 +314,18 @@ def derive_cell(pipeline: Pipeline, workload_spec: str,
 
     with obs.span("analytic.derive", workload=workload_spec,
                   batch=batch):
-        probes: Dict[int, Tuple[ComparisonResult, Dict[str, list]]] = {}
+        probes: Dict[int, Tuple[ComparisonResult,
+                                Dict[str, List[CollectedRow]]]] = {}
         for n in PROBE_BATCHES:
             spec_n = format_workload_spec(canonical, n, seq)
-            collect: Dict[str, list] = {}
+            collect: Dict[str, List[CollectedRow]] = {}
             comparison = compare_schemes(pipeline, get_workload(spec_n),
                                          scheme_names, collect=collect)
             probes[n] = (comparison, collect)
 
         b1_run = probes[1][0].baseline.model_run
         b1_record = _comparison_to_dict(probes[1][0])
-        if not derivable(b1_run, pipeline.dram.config):
+        if b1_run is None or not derivable(b1_run, pipeline.dram.config):
             return None
 
         # The image-0 schedule must be the template at every batch: the
@@ -315,6 +336,8 @@ def derive_cell(pipeline: Pipeline, workload_spec: str,
         b1_sigs = [_plan_signature(r.plan) for r in b1_run.layers]
         for n in PROBE_BATCHES[1:]:
             run_n = probes[n][0].baseline.model_run
+            if run_n is None:
+                return None
             if [_plan_signature(r.plan) for r in run_n.layers] != b1_sigs:
                 return None
         topology_n = get_workload(
@@ -332,9 +355,9 @@ def derive_cell(pipeline: Pipeline, workload_spec: str,
         # rows are legitimately off the line and only anchor + delta
         # consistency at probes 2/3 is checkable (the bit-identity self
         # check below and the target's plan checks carry the rest).
-        identities: Dict[str, Tuple] = {}
-        anchor: Dict[str, list] = {}
-        delta: Dict[str, list] = {}
+        identities: Dict[str, RowIdentity] = {}
+        anchor: Dict[str, IntRows] = {}
+        delta: Dict[str, IntRows] = {}
         for name in all_names:
             rows = [probes[n][1].get(name, []) for n in PROBE_BATCHES]
             idents = [_row_identity(r) for r in rows]
@@ -363,8 +386,11 @@ def derive_cell(pipeline: Pipeline, workload_spec: str,
         # 3 checks the delta application on top).
         layer_names = [r.layer.name for r in b1_run.layers]
         for n in PROBE_BATCHES[1:]:
+            probe_run = probes[n][0].baseline.model_run
+            if probe_run is None:
+                return None
             assembled = _assemble_record(
-                pipeline, probes[n][0].baseline.model_run.topology,
+                pipeline, probe_run.topology,
                 scheme_names, identities, anchor, delta,
                 model_ints[1], model_d23, layer_names, n)
             if assembled != _comparison_to_dict(probes[n][0]):

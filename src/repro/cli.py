@@ -360,6 +360,31 @@ def _cmd_attack(_: argparse.Namespace) -> int:
                  and repa_weak.succeeded and not repa_strong.succeeded) else 1
 
 
+def _cmd_check(args) -> int:
+    from pathlib import Path
+
+    from repro import analysis
+    from repro.analysis.registry import get_rules
+
+    if args.list_rules:
+        for rule in analysis.list_rules():
+            print(f"{rule.name:24s} {rule.description}")
+        return 0
+    try:
+        if args.rule:
+            get_rules(args.rule)     # fail fast on a typoed --rule
+        result = analysis.run_check(Path(args.root),
+                                    rule_names=args.rule or None)
+    except (KeyError, FileNotFoundError) as exc:
+        print(f"error: {exc.args[0] if exc.args else exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2))
+    else:
+        print(analysis.render_text(result))
+    return 1 if result.findings else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="SeDA secure-accelerator simulation")
@@ -448,6 +473,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("attack", help="run the SECA/RePA demonstrations") \
         .set_defaults(func=_cmd_attack)
+
+    check_p = sub.add_parser(
+        "check", help="repo-specific invariant lints (static analysis)")
+    check_p.add_argument("--root", default=".",
+                         help="repository root to check (default: cwd)")
+    check_p.add_argument("--rule", action="append", metavar="NAME",
+                         help="run only this rule (repeatable; "
+                              "default: all)")
+    check_p.add_argument("--json", action="store_true",
+                         help="emit the stable JSON findings document")
+    check_p.add_argument("--list-rules", action="store_true",
+                         help="list registered rules and exit")
+    check_p.set_defaults(func=_cmd_check)
     return parser
 
 

@@ -8,6 +8,7 @@ four 64-bit DDR channels; element precision is one byte.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict
 
 from repro.accel.systolic import Dataflow, SystolicArray
 from repro.dram.timing import DramConfig
@@ -47,7 +48,7 @@ class NpuConfig:
         """Peak DRAM bandwidth expressed in bytes per accelerator cycle."""
         return self.bandwidth_gbps / self.freq_ghz
 
-    def table_row(self) -> dict:
+    def table_row(self) -> Dict[str, str]:
         """Table II row for this device."""
         return {
             "PE": f"{self.pe_rows} x {self.pe_cols} in systolic array",

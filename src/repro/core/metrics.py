@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
-from repro.core.pipeline import Pipeline, SchemeRun
+from repro.core.pipeline import CollectedRow, Pipeline, SchemeRun
 from repro.models.topology import Topology
 from repro.protection import make_scheme
 from repro.protection.base import ProtectionScheme
@@ -60,7 +60,8 @@ class ComparisonResult:
 def compare_schemes(pipeline: Pipeline, topology: Topology,
                     scheme_names: Iterable[str],
                     schemes: Optional[Dict[str, ProtectionScheme]] = None,
-                    collect: Optional[Dict[str, list]] = None) -> ComparisonResult:
+                    collect: Optional[Dict[str, List[CollectedRow]]] = None,
+                    ) -> ComparisonResult:
     """Run the baseline plus every named scheme over one workload.
 
     The accelerator simulation (stage 1) runs once and is shared across
@@ -71,7 +72,7 @@ def compare_schemes(pipeline: Pipeline, topology: Topology,
     """
     model_run = pipeline.simulate_model(topology)
 
-    def rows(name: str) -> Optional[list]:
+    def rows(name: str) -> Optional[List[CollectedRow]]:
         if collect is None:
             return None
         return collect.setdefault(name, [])

@@ -18,7 +18,7 @@ whichever resource saturates becomes the layer's critical path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro import obs
 from repro.accel.simulator import AcceleratorSim, ModelRun
@@ -26,6 +26,10 @@ from repro.core.config import NpuConfig
 from repro.dram.simulator import DramResult, DramSim
 from repro.models.topology import Topology
 from repro.protection.base import LayerProtection, ProtectionScheme
+
+# One probe row per timing row: the integer stream/channel quantities
+# the analytic ``@bN`` derivation extrapolates from.
+CollectedRow = Tuple[LayerProtection, DramResult]
 
 
 @dataclass
@@ -120,7 +124,7 @@ class Pipeline:
     """Accelerator -> protection -> DRAM evaluation pipeline for one NPU."""
 
     def __init__(self, npu: NpuConfig, use_fast_dram: bool = True,
-                 image_align: int = None):
+                 image_align: Optional[int] = None):
         self.npu = npu
         self.accelerator = AcceleratorSim(npu.systolic_array(),
                                           npu.sram_budget(),
@@ -135,7 +139,7 @@ class Pipeline:
 
     def run(self, topology: Topology, scheme: ProtectionScheme,
             model_run: Optional[ModelRun] = None,
-            collect: Optional[list] = None) -> SchemeRun:
+            collect: Optional[List[CollectedRow]] = None) -> SchemeRun:
         """Full pipeline for one workload under one protection scheme.
 
         ``collect``, when given, receives one ``(protection,

@@ -126,6 +126,8 @@ class SedaRuntime:
     def load_weights(self, seed: int = 1234) -> None:
         """Generate, encrypt and store every layer's weights; build the
         on-chip model MAC."""
+        # Seeded generator: weights are a pure function of `seed`.
+        # repro: allow(fingerprint-purity)
         rng = np.random.default_rng(seed)
         vn = self._vns.weight_vn()
         for layer_id, layer in enumerate(self.topology):

@@ -201,6 +201,10 @@ class DramSim:
         bank_ready = [0.0] * nbanks
         bus_free = 0.0
         completion = 0.0
+        # Reference scalar carry (the bus/bank recurrence is inherently
+        # sequential); the native kernel above is the fast tier and the
+        # equivalence suite pins both bit-identical.
+        # repro: allow(hot-path-hygiene)
         for arrival, bank, sv in zip(arrivals.tolist(), banks.tolist(),
                                      service.tolist()):
             ready = arrival

@@ -36,7 +36,7 @@ from __future__ import annotations
 import os
 import threading
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Union
 
 #: Environment variable naming the Chrome-trace output path for
 #: :func:`init_from_env`.
@@ -51,7 +51,7 @@ class _NoopSpan:
     def __enter__(self) -> "_NoopSpan":
         return self
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(self, *exc: object) -> bool:
         return False
 
 
@@ -74,7 +74,7 @@ class _Span:
         self._start = time.monotonic()
         return self
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(self, *exc: object) -> bool:
         end = time.monotonic()
         self._recorder._add_span(self.name, self._start, end, self.args)
         return False
@@ -194,7 +194,7 @@ def disable() -> Optional[Recorder]:
     return install(None)
 
 
-def span(name: str, **args: Any):
+def span(name: str, **args: Any) -> Union[_NoopSpan, _Span]:
     """Open a span on the active recorder; a shared no-op when disabled."""
     recorder = _active
     if recorder is None:

@@ -9,7 +9,7 @@ counter totals embedded in the trace's ``otherData`` block.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.obs.export import span_events
 
@@ -44,7 +44,7 @@ def _arg_string(event: Dict[str, Any]) -> str:
     return " ".join(f"{key}={value}" for key, value in sorted(args.items()))
 
 
-def slowest_rows(trace: Dict[str, Any], name: str = None,
+def slowest_rows(trace: Dict[str, Any], name: Optional[str] = None,
                  top: int = 10) -> List[Sequence]:
     """The ``top`` slowest spans (optionally restricted to one name):
     name, duration ms, pid, and the span's arguments."""

@@ -184,6 +184,8 @@ class ProtectionScheme(abc.ABC):
             return list(cached)
         results = []
         for layer in run.layers:
+            # One span per layer is the sanctioned stage granularity.
+            # repro: allow(obs-noop-discipline)
             with obs.span("protect.layer", scheme=self.name,
                           layer=layer.layer_id):
                 results.append(self.protect_layer(layer))

@@ -356,6 +356,10 @@ class VnTreeModel:
         walk = self._walk
         base_tag = self._vn_base_tag
         hits = misses = evictions = dirty = 0
+        # Scalar oracle tier: the data-dependent VN-tree walk state
+        # machine, kept as the reference the vectorized/native tiers are
+        # equivalence-tested against.
+        # repro: allow(hot-path-hygiene)
         for tag, wr, cyc in zip(tags.tolist(), writes.tolist(),
                                 cycles.tolist()):
             if tag in od:

@@ -492,6 +492,8 @@ def drive_vn_tree(vn_tags: np.ndarray, writes: np.ndarray, capacity: int,
             po = np.concatenate([off[bb.po], po_inj])
             result = _finalize(prev, nxt, po, tags, writes[rid], hit,
                                capacity, prefix=0)
+            # Fires once per drive (at convergence), not per round.
+            # repro: allow(obs-noop-discipline)
             obs.incr("reuse.vn_fixpoint_rounds", it + 1)
             return VnDriveResult(result, rid, tags, it + 1)
         depth = new_depth

@@ -19,7 +19,7 @@ from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, as_completed, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, cast
 
 from repro import obs
 from repro.analytic import MIN_DERIVE_BATCH, derive_cell
@@ -224,13 +224,22 @@ class GridExecutor:
         # retry must not recompute them or refire their callbacks.
         completed: Dict[int, Dict[str, Any]] = {}
         if self.jobs > 1 and len(requests) > 1:
+            # A _CallbackError wraps a failure of the *caller's*
+            # on_result, not a pool problem: unwrap and re-raise the
+            # original (outside the handler, so its context is not
+            # rewritten into an exception chain).
+            callback_failure: Optional[BaseException] = None
             try:
                 return self._run_pool(requests, on_result, completed)
             except _CallbackError as exc:
-                raise exc.__cause__  # caller failure, not a pool problem
+                if exc.__cause__ is None:   # defensive: always raised `from`
+                    raise
+                callback_failure = exc.__cause__
             except (OSError, ImportError, PermissionError, BrokenProcessPool):
                 # No subprocess support here; fall through to serial.
                 obs.incr("executor.pool_fallbacks")
+            if callback_failure is not None:
+                raise callback_failure
         return self._run_serial(requests, on_result, completed)
 
 
@@ -298,7 +307,8 @@ class GridExecutor:
                 self._drain_finished(futures, requests, records, completed,
                                      on_result)
                 raise
-        return records  # every slot is filled: as_completed drained all
+        # Every slot is filled: as_completed drained every future.
+        return cast(List[Dict[str, Any]], records)
 
     def _drain_finished(self, futures: Dict[Any, int],
                         requests: Sequence[EvalRequest],

@@ -16,7 +16,7 @@ it as a miss rather than deserializing garbage.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, List
 
 from repro.accel.systolic import Dataflow
 from repro.core.config import NpuConfig
@@ -48,6 +48,23 @@ class RecordError(ValueError):
     """A record could not be decoded (wrong schema, missing fields)."""
 
 
+def _require_mapping(value: Any, what: str) -> Dict[str, Any]:
+    """``value`` as a dict, or ``RecordError`` — a corrupt or truncated
+    payload (``null``, a list, a bare string) must read as a store miss,
+    never escape as ``AttributeError`` from ``.items()``."""
+    if not isinstance(value, dict):
+        raise RecordError(f"bad {what}: expected an object, "
+                          f"got {type(value).__name__}")
+    return value
+
+
+def _require_list(value: Any, what: str) -> List[Any]:
+    if not isinstance(value, list):
+        raise RecordError(f"bad {what}: expected a list, "
+                          f"got {type(value).__name__}")
+    return value
+
+
 # -- NpuConfig ---------------------------------------------------------------
 
 def npu_to_dict(npu: NpuConfig) -> Dict[str, Any]:
@@ -65,6 +82,7 @@ def npu_to_dict(npu: NpuConfig) -> Dict[str, Any]:
 
 
 def npu_from_dict(data: Dict[str, Any]) -> NpuConfig:
+    data = _require_mapping(data, "NPU record")
     try:
         return NpuConfig(
             name=data["name"],
@@ -97,6 +115,7 @@ def layer_timing_to_dict(timing: LayerTiming) -> Dict[str, Any]:
 
 
 def layer_timing_from_dict(data: Dict[str, Any]) -> LayerTiming:
+    data = _require_mapping(data, "layer-timing record")
     try:
         return LayerTiming(
             layer_id=data["layer_id"],
@@ -127,12 +146,15 @@ def scheme_run_to_dict(run: SchemeRun) -> Dict[str, Any]:
 
 
 def scheme_run_from_dict(data: Dict[str, Any]) -> SchemeRun:
+    data = _require_mapping(data, "scheme-run record")
     try:
         return SchemeRun(
             npu=npu_from_dict(data["npu"]),
             workload=data["workload"],
             scheme_name=data["scheme_name"],
-            layers=[layer_timing_from_dict(t) for t in data["layers"]],
+            layers=[layer_timing_from_dict(t)
+                    for t in _require_list(data["layers"],
+                                           "scheme-run layers")],
             model_run=None,
             batch=data.get("batch", 1),
             seq=data.get("seq"),
@@ -156,6 +178,7 @@ def comparison_to_dict(result: ComparisonResult) -> Dict[str, Any]:
 
 
 def comparison_from_dict(data: Dict[str, Any]) -> ComparisonResult:
+    data = _require_mapping(data, "comparison record")
     version = data.get("schema_version")
     if version != SCHEMA_VERSION:
         raise RecordError(
@@ -166,7 +189,9 @@ def comparison_from_dict(data: Dict[str, Any]) -> ComparisonResult:
             npu_name=data["npu_name"],
             workload=data["workload"],
             runs={name: scheme_run_from_dict(run)
-                  for name, run in data["runs"].items()},
+                  for name, run
+                  in _require_mapping(data["runs"],
+                                      "comparison runs").items()},
             baseline=scheme_run_from_dict(data["baseline"]),
         )
     except KeyError as exc:

@@ -25,12 +25,15 @@ import os
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterable, Iterator, Optional
+from types import ModuleType
+from typing import Any, Dict, Iterable, Iterator, List, Optional
 
 try:
-    import fcntl
+    import fcntl as _fcntl_mod
 except ImportError:  # non-POSIX platform: stats merges go unlocked
-    fcntl = None
+    fcntl: Optional[ModuleType] = None
+else:
+    fcntl = _fcntl_mod
 
 from repro import obs
 from repro.core.config import NpuConfig
@@ -53,6 +56,8 @@ _code_version_cache: Optional[str] = None
 
 def default_cache_dir() -> Path:
     """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    # The cache *location* never reaches a fingerprint or a result.
+    # repro: allow(fingerprint-purity)
     env = os.environ.get(CACHE_DIR_ENV)
     if env:
         return Path(env)
@@ -156,7 +161,10 @@ class ResultStore:
         path = self._path(key)
         try:
             with open(path) as handle:
-                record = json.load(handle)
+                record: Any = json.load(handle)
+            if not isinstance(record, dict):
+                raise json.JSONDecodeError("record is not an object",
+                                           doc="", pos=0)
         except FileNotFoundError:
             self.stats.misses += 1
             obs.incr("store.misses")
@@ -220,27 +228,31 @@ class ResultStore:
 
     # -- maintenance --
 
+    def _record_paths(self) -> List[Path]:
+        """Every stored record, in deterministic (sorted) order."""
+        return sorted(self.root.glob("??/*.json"))
+
     def entries(self) -> int:
-        return sum(1 for _ in self.root.glob("??/*.json"))
+        return len(self._record_paths())
 
     def size_bytes(self) -> int:
-        return sum(p.stat().st_size for p in self.root.glob("??/*.json"))
+        return sum(p.stat().st_size for p in self._record_paths())
 
-    def _orphan_tmp_paths(self) -> Iterable[Path]:
+    def _orphan_tmp_paths(self) -> List[Path]:
         """Leftover ``mkstemp`` files from crashed ``put()`` /
         ``flush_stats()`` calls — invisible to ``entries()`` /
         ``size_bytes()`` and swept by ``clear()``."""
-        yield from self.root.glob("*.tmp")
-        yield from self.root.glob("??/*.tmp")
+        return sorted(self.root.glob("*.tmp")) \
+            + sorted(self.root.glob("??/*.tmp"))
 
     def orphan_tmp_count(self) -> int:
-        return sum(1 for _ in self._orphan_tmp_paths())
+        return len(self._orphan_tmp_paths())
 
     def clear(self) -> int:
         """Delete every record (plus orphaned temp files and the stats
         file); returns the count of records removed."""
         removed = 0
-        for path in list(self.root.glob("??/*.json")):
+        for path in self._record_paths():
             try:
                 path.unlink()
                 removed += 1

@@ -14,8 +14,21 @@ Everything degrades gracefully: no compiler (or
 callers use the pure numpy engine / Python carries, with the VN
 fixpoint falling back to the scalar oracle.  All tiers are pinned
 bit-identical by the equivalence suites in
-``tests/protection/test_reuse_engine.py`` and ``tests/dram``.
+``tests/protection/test_reuse_engine.py`` and ``tests/dram``; the
+``FALLBACKS`` manifest below records which slow tier owns each kernel,
+and ``repro check``'s tier-parity rule fails the build if an entry
+point ships without one.
+
+Environment knobs (speed-only — every tier is pinned bit-identical, so
+none of these can change a result): ``REPRO_NO_NATIVE_KERNEL`` disables
+the kernels, ``REPRO_KERNEL_CACHE`` moves the build cache, ``CC`` picks
+the compiler, and ``REPRO_NATIVE_CFLAGS`` appends extra compiler flags
+(how CI builds the kernels under ``-fsanitize=address,undefined``; the
+flags are folded into the cache key, so instrumented and plain builds
+never collide).
 """
+# repro: allow-file(fingerprint-purity) -- env reads here select a
+# compute tier; the equivalence suites pin all tiers bit-identical.
 
 from __future__ import annotations
 
@@ -34,6 +47,28 @@ import numpy as np
 from repro import obs
 
 _SOURCE = os.path.join(os.path.dirname(__file__), "_native_kernels.c")
+
+#: Pure-Python/numpy tiers owning correctness for each kernel entry
+#: point, as ``"pkg.module:Qual.name"`` paths.  The tier-parity rule in
+#: ``repro check`` verifies every entry point is registered here, every
+#: path resolves, and an equivalence test in tests/ names the kernel.
+FALLBACKS = {
+    "fused_drive": [
+        "repro.protection.reuse_engine:drive",
+        "repro.protection.metadata_model:VnTreeModel._process_engine",
+    ],
+    "insertion_scan": [
+        "repro.dram.simulator:DramSim._insertion_counts",
+        "repro.dram.simulator:DramSim._merge_entries",
+    ],
+    "geom_counts": [
+        "repro.dram.simulator:DramSim._sorted_geom",
+        "repro.dram.simulator:DramSim._stream_counts",
+    ],
+    "dram_completion": [
+        "repro.dram.simulator:DramSim._channel_completion",
+    ],
+}
 
 _lib = None
 _load_attempted = False
@@ -81,6 +116,12 @@ def _build() -> Optional[str]:
     if compiler is None:
         return None
     flags = ["-O3", "-march=native", "-shared", "-fPIC"]
+    extra = os.environ.get("REPRO_NATIVE_CFLAGS")
+    if extra:
+        # e.g. "-fsanitize=address,undefined -fno-omit-frame-pointer".
+        # The flags are hashed into the cache key below, so instrumented
+        # builds never shadow (or get shadowed by) plain ones.
+        flags.extend(extra.split())
     # -march=native binaries are host-specific: fold the CPU identity
     # into the cache key so a shared cache dir (or an image baked on a
     # different microarchitecture) never loads an ISA-incompatible .so.

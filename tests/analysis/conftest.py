@@ -1,0 +1,28 @@
+"""Shared scratch-project builder for the analysis tests."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture
+def make_project(tmp_path):
+    """Build a throwaway checkout: ``make_project({rel_path: source})``.
+
+    Always creates ``src/repro/`` (what ``Project.validate`` demands);
+    sources are dedented so fixtures can be written inline.
+    """
+    def build(files) -> Path:
+        (tmp_path / "src" / "repro").mkdir(parents=True, exist_ok=True)
+        for rel, text in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(text), encoding="utf-8")
+        return tmp_path
+    return build
+
+
+@pytest.fixture(scope="session")
+def repo_root() -> Path:
+    return Path(__file__).resolve().parents[2]

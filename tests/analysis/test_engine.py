@@ -1,0 +1,122 @@
+"""Engine behavior: JSON document shape, sorting, engine pseudo-rules,
+rule selection, and the CLI wiring."""
+
+import json
+
+import pytest
+
+from repro.analysis.engine import (
+    JSON_SCHEMA_VERSION,
+    render_text,
+    run_check,
+)
+from repro.analysis.registry import get_rules
+from repro.cli import main as cli_main
+
+_IMPURE = """\
+    import time
+
+    STAMP = time.time()
+    """
+
+
+class TestJsonDocument:
+    def test_document_shape(self, make_project):
+        root = make_project({"src/repro/models/demo.py": _IMPURE})
+        doc = run_check(root, rule_names=["fingerprint-purity"]).as_dict()
+        assert doc["schema"] == JSON_SCHEMA_VERSION
+        assert doc["root"] == str(root.resolve())
+        assert doc["rules"] == ["fingerprint-purity"]
+        assert doc["counts"] == {"fingerprint-purity": 1}
+        (finding,) = doc["findings"]
+        assert set(finding) == {"rule", "path", "line", "col",
+                                "message", "hint"}
+        assert finding["path"] == "src/repro/models/demo.py"
+        assert finding["line"] == 3
+        # The document must be JSON-serializable as-is.
+        json.loads(json.dumps(doc))
+
+    def test_findings_are_sorted(self, make_project):
+        root = make_project({
+            "src/repro/models/b.py": _IMPURE,
+            "src/repro/models/a.py": _IMPURE,
+        })
+        result = run_check(root, rule_names=["fingerprint-purity"])
+        paths = [f.path for f in result.findings]
+        assert paths == sorted(paths)
+
+
+class TestEngineRules:
+    def test_unknown_pragma_rule_is_reported(self, make_project):
+        root = make_project({"src/repro/models/demo.py": """\
+            x = 1  # repro: allow(no-such-rule)
+            """})
+        result = run_check(root, rule_names=["fingerprint-purity"])
+        (finding,) = result.findings
+        assert finding.rule == "bad-pragma"
+        assert "no-such-rule" in finding.message
+
+    def test_syntax_error_is_reported(self, make_project):
+        root = make_project({"src/repro/models/demo.py": """\
+            def broken(:
+            """})
+        result = run_check(root, rule_names=["fingerprint-purity"])
+        assert any(f.rule == "parse-error" for f in result.findings)
+
+    def test_unknown_rule_selection_raises(self, make_project):
+        root = make_project({})
+        with pytest.raises(KeyError, match="no-such-rule"):
+            run_check(root, rule_names=["no-such-rule"])
+
+    def test_registry_rejects_unknown_names(self):
+        with pytest.raises(KeyError):
+            get_rules(["no-such-rule"])
+
+
+class TestRenderText:
+    def test_clean_run_says_clean(self, make_project):
+        root = make_project({"src/repro/models/demo.py": "x = 1\n"})
+        text = render_text(run_check(root,
+                                     rule_names=["fingerprint-purity"]))
+        assert "clean" in text
+
+    def test_findings_render_with_location_and_count(self, make_project):
+        root = make_project({"src/repro/models/demo.py": _IMPURE})
+        text = render_text(run_check(root,
+                                     rule_names=["fingerprint-purity"]))
+        assert "src/repro/models/demo.py:3:" in text
+        assert "[fingerprint-purity]" in text
+        assert "1 finding(s)" in text
+
+
+class TestCli:
+    def test_check_clean_exit_zero(self, make_project, capsys):
+        root = make_project({"src/repro/models/demo.py": "x = 1\n"})
+        rc = cli_main(["check", "--root", str(root),
+                       "--rule", "fingerprint-purity"])
+        assert rc == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_check_findings_exit_one_and_json(self, make_project, capsys):
+        root = make_project({"src/repro/models/demo.py": _IMPURE})
+        rc = cli_main(["check", "--root", str(root),
+                       "--rule", "fingerprint-purity", "--json"])
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == JSON_SCHEMA_VERSION
+        assert doc["counts"] == {"fingerprint-purity": 1}
+
+    def test_check_unknown_rule_exit_two(self, make_project, capsys):
+        root = make_project({})
+        rc = cli_main(["check", "--root", str(root),
+                       "--rule", "no-such-rule"])
+        assert rc == 2
+        assert "no-such-rule" in capsys.readouterr().err
+
+    def test_list_rules_names_every_rule(self, capsys):
+        rc = cli_main(["check", "--list-rules"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in ("fingerprint-purity", "schema-guard", "tier-parity",
+                     "obs-noop-discipline", "hot-path-hygiene"):
+            assert name in out

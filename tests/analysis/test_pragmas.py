@@ -1,0 +1,57 @@
+"""Pragma parsing: comment-token extraction and coverage semantics."""
+
+from repro.analysis.pragmas import parse_pragmas
+
+
+class TestLinePragmas:
+    def test_trailing_pragma_covers_its_line(self):
+        index = parse_pragmas("x = 1  # repro: allow(some-rule)\n")
+        assert index.allows("some-rule", 1)
+        assert not index.allows("some-rule", 3)
+        assert not index.allows("other-rule", 1)
+
+    def test_standalone_pragma_covers_line_below(self):
+        source = "# repro: allow(some-rule)\nx = 1\ny = 2\n"
+        index = parse_pragmas(source)
+        assert index.allows("some-rule", 1)
+        assert index.allows("some-rule", 2)
+        assert not index.allows("some-rule", 3)
+
+    def test_multiple_rules_one_pragma(self):
+        index = parse_pragmas("x = 1  # repro: allow(rule-a, rule-b)\n")
+        assert index.allows("rule-a", 1)
+        assert index.allows("rule-b", 1)
+
+    def test_prose_after_pragma_is_tolerated(self):
+        index = parse_pragmas(
+            "x = 1  # repro: allow(rule-a) -- sanctioned because reasons\n")
+        assert index.allows("rule-a", 1)
+
+
+class TestFilePragmas:
+    def test_file_pragma_covers_every_line(self):
+        source = "# repro: allow-file(rule-a)\nx = 1\n\n\ny = 2\n"
+        index = parse_pragmas(source)
+        assert index.allows("rule-a", 1)
+        assert index.allows("rule-a", 5)
+        assert not index.allows("rule-b", 5)
+
+
+class TestRobustness:
+    def test_pragma_text_in_string_literal_is_ignored(self):
+        source = 's = "# repro: allow(rule-a)"\nx = 1\n'
+        index = parse_pragmas(source)
+        assert not index.allows("rule-a", 1)
+        assert not index.allows("rule-a", 2)
+        assert index.mentions == []
+
+    def test_mentions_record_every_named_rule(self):
+        source = ("x = 1  # repro: allow(rule-a)\n"
+                  "# repro: allow-file(rule-b)\n")
+        index = parse_pragmas(source)
+        assert (1, "rule-a") in index.mentions
+        assert (2, "rule-b") in index.mentions
+
+    def test_plain_comments_are_not_pragmas(self):
+        index = parse_pragmas("# allow(rule-a)\n# repro: todo\nx = 1\n")
+        assert index.mentions == []

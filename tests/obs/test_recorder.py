@@ -73,9 +73,8 @@ class TestRecording:
 
     def test_nested_spans_both_recorded_child_first(self):
         recorder = obs.enable()
-        with obs.span("outer"):
-            with obs.span("inner"):
-                pass
+        with obs.span("outer"), obs.span("inner"):
+            pass
         assert [e["name"] for e in recorder.spans] == ["inner", "outer"]
         inner, outer = recorder.spans
         assert outer["dur"] >= inner["dur"]
@@ -83,9 +82,8 @@ class TestRecording:
 
     def test_span_recorded_even_when_body_raises(self):
         recorder = obs.enable()
-        with pytest.raises(ValueError):
-            with obs.span("failing"):
-                raise ValueError("boom")
+        with pytest.raises(ValueError), obs.span("failing"):
+            raise ValueError("boom")
         assert [e["name"] for e in recorder.spans] == ["failing"]
 
     def test_counters_accumulate(self):

@@ -10,10 +10,9 @@ def loaded_trace(tmp_path):
     try:
         for workload, npu in (("lenet", "edge"), ("dlrm", "edge")):
             with obs.span("cell", workload=workload, npu=npu,
-                          schemes="seda"):
-                with obs.span("protect", scheme="seda",
-                              workload=workload):
-                    pass
+                          schemes="seda"), \
+                    obs.span("protect", scheme="seda", workload=workload):
+                pass
         obs.incr("executor.cells_serial", 2)
         obs.gauge("executor.pipeline_memo_size", 1)
     finally:

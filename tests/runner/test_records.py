@@ -96,3 +96,42 @@ class TestComparisonRoundTrip:
         del record["schema_version"]
         with pytest.raises(RecordError):
             comparison_from_dict(record)
+
+
+class TestMalformedPayloads:
+    """Corrupt container shapes must decode as RecordError (a store
+    miss), never escape as AttributeError/TypeError."""
+
+    def test_null_record_rejected(self):
+        with pytest.raises(RecordError, match="expected an object"):
+            comparison_from_dict(None)
+
+    def test_null_runs_rejected(self, comparison):
+        record = comparison_to_dict(comparison)
+        record["runs"] = None
+        with pytest.raises(RecordError, match="comparison runs"):
+            comparison_from_dict(record)
+
+    def test_list_runs_rejected(self, comparison):
+        record = comparison_to_dict(comparison)
+        record["runs"] = list(record["runs"].values())
+        with pytest.raises(RecordError, match="expected an object"):
+            comparison_from_dict(record)
+
+    def test_null_layers_rejected(self, comparison):
+        record = scheme_run_to_dict(comparison.baseline)
+        record["layers"] = None
+        with pytest.raises(RecordError, match="expected a list"):
+            scheme_run_from_dict(record)
+
+    def test_null_npu_rejected(self, comparison):
+        record = scheme_run_to_dict(comparison.baseline)
+        record["npu"] = None
+        with pytest.raises(RecordError, match="NPU record"):
+            scheme_run_from_dict(record)
+
+    def test_string_layer_rejected(self, comparison):
+        record = scheme_run_to_dict(comparison.baseline)
+        record["layers"] = ["not-a-layer"]
+        with pytest.raises(RecordError, match="layer-timing"):
+            scheme_run_from_dict(record)
