@@ -1,0 +1,38 @@
+"""Whole-program effect inference over ``src/repro``.
+
+Public surface for the rules and the CLI:
+
+- :func:`repro.analysis.effects.infer.get_analysis` — memoized
+  whole-program pass for a :class:`~repro.analysis.context.Project`;
+- :mod:`repro.analysis.effects.manifest` — pinned
+  ``effects_manifest.json`` build/load/regenerate;
+- :mod:`repro.analysis.effects.model` — effect vocabulary.
+"""
+
+from repro.analysis.effects.infer import (
+    EffectAnalysis,
+    analyze_project,
+    classify_call,
+    get_analysis,
+)
+from repro.analysis.effects.model import (
+    ALL_EFFECTS,
+    FILESYSTEM_EFFECTS,
+    FS_MUTATION_EFFECTS,
+    PROCESS_EFFECTS,
+    FunctionEffects,
+    module_name_for,
+)
+
+__all__ = [
+    "ALL_EFFECTS",
+    "EffectAnalysis",
+    "FILESYSTEM_EFFECTS",
+    "FS_MUTATION_EFFECTS",
+    "FunctionEffects",
+    "PROCESS_EFFECTS",
+    "analyze_project",
+    "classify_call",
+    "get_analysis",
+    "module_name_for",
+]

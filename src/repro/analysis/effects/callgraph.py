@@ -1,0 +1,293 @@
+"""Module indexing and best-effort call resolution over ``src/repro``.
+
+The graph is built purely from ASTs (no imports are executed), so it
+works on any checkout — including the deliberately broken scratch trees
+the seed-violation smoke mutates.  Resolution is *best-effort and
+under-approximate*: an edge is only added when the callee can be
+identified statically —
+
+- bare names defined in the same module or bound by ``import`` /
+  ``from ... import`` chains (re-exports are followed);
+- ``self.method()`` / ``cls.method()`` within a class, walking base
+  classes when those resolve;
+- ``module.function()`` through module-object bindings;
+- class constructions, resolved to ``Class.__init__`` when defined.
+
+Calls through arbitrary objects (``store.put(...)`` where ``store`` is
+a parameter) stay unresolved; effects that matter for the shipped rules
+come either from ``self``/module-level calls (which do resolve) or from
+*external* calls (``os``, ``tempfile``, ...), which the inference pass
+turns into direct effects rather than edges.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
+
+from repro.analysis.context import Project
+from repro.analysis.effects.model import module_name_for
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module as the effect analysis sees it."""
+
+    name: str
+    rel_path: str
+    #: ``"f"`` / ``"Class.method"`` -> definition node.
+    functions: Dict[str, FunctionNode] = field(default_factory=dict)
+    classes: Dict[str, ast.ClassDef] = field(default_factory=dict)
+    #: binding name -> (module, symbol-or-None); collected from every
+    #: import statement in the file, including function-local ones.
+    imports: Dict[str, Tuple[str, Optional[str]]] = field(
+        default_factory=dict)
+    #: Module-level statements (defs excluded) for the ``<module>``
+    #: pseudo-function.
+    toplevel: List[ast.stmt] = field(default_factory=list)
+
+    def external_origin(self, name: str) -> Optional[str]:
+        """Dotted external origin of a binding (``"os"``,
+        ``"os.replace"``), or ``None`` for unbound / repro-internal."""
+        binding = self.imports.get(name)
+        if binding is None:
+            return None
+        module, symbol = binding
+        if module == "repro" or module.startswith("repro."):
+            return None
+        return module if symbol is None else f"{module}.{symbol}"
+
+
+def _package_parts(name: str, rel_path: str) -> List[str]:
+    parts = name.split(".")
+    if rel_path.endswith("/__init__.py"):
+        return parts
+    return parts[:-1]
+
+
+def _collect_imports(info: ModuleInfo, tree: ast.Module) -> None:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    info.imports[alias.asname] = (alias.name, None)
+                else:
+                    first = alias.name.split(".")[0]
+                    info.imports[first] = (first, None)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base = _package_parts(info.name, info.rel_path)
+                if node.level - 1:
+                    base = base[:-(node.level - 1)]
+                target = ".".join(base + (node.module.split(".")
+                                          if node.module else []))
+            else:
+                target = node.module or ""
+            if not target:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                info.imports[alias.asname or alias.name] = \
+                    (target, alias.name)
+
+
+def _collect_aliases(info: ModuleInfo, stmts: List[ast.stmt]) -> None:
+    """Propagate import bindings through simple top-level aliases
+    (``import fcntl as _mod`` … ``fcntl = _mod``, including inside
+    ``try``/``if`` guards — the optional-dependency idiom)."""
+    for node in stmts:
+        if isinstance(node, ast.If):
+            _collect_aliases(info, node.body)
+            _collect_aliases(info, node.orelse)
+        elif isinstance(node, ast.Try):
+            _collect_aliases(info, node.body)
+            for handler in node.handlers:
+                _collect_aliases(info, handler.body)
+            _collect_aliases(info, node.orelse)
+            _collect_aliases(info, node.finalbody)
+        elif isinstance(node, ast.Assign) \
+                and isinstance(node.value, ast.Name):
+            binding = info.imports.get(node.value.id)
+            if binding is not None:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        info.imports[target.id] = binding
+        elif isinstance(node, ast.AnnAssign) \
+                and isinstance(node.value, ast.Name) \
+                and isinstance(node.target, ast.Name):
+            binding = info.imports.get(node.value.id)
+            if binding is not None:
+                info.imports[node.target.id] = binding
+
+
+def _collect_definitions(info: ModuleInfo, tree: ast.Module) -> None:
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.functions[node.name] = node
+        elif isinstance(node, ast.ClassDef):
+            info.classes[node.name] = node
+            for stmt in node.body:
+                if isinstance(stmt, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                    info.functions[f"{node.name}.{stmt.name}"] = stmt
+        else:
+            info.toplevel.append(node)
+
+
+class CallGraph:
+    """Indexed modules plus symbol/method/call resolution."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+
+    # -- construction --
+
+    @classmethod
+    def build(cls, project: Project) -> "CallGraph":
+        graph = cls()
+        for rel_path in project.python_files():
+            if not rel_path.startswith("src/repro/"):
+                continue
+            tree = project.context(rel_path).tree
+            if tree is None:        # parse errors are the engine's job
+                continue
+            info = ModuleInfo(name=module_name_for(rel_path),
+                              rel_path=rel_path)
+            _collect_imports(info, tree)
+            _collect_aliases(info, tree.body)
+            _collect_definitions(info, tree)
+            graph.modules[info.name] = info
+        return graph
+
+    # -- resolution --
+
+    def resolve_symbol(self, module: str, name: str,
+                       _seen: Optional[FrozenSet[Tuple[str, str]]] = None,
+                       ) -> Optional[Tuple[str, str, str]]:
+        """``(defining_module, local_name, kind)`` for ``name`` as seen
+        from ``module``; ``kind`` is ``"function"``, ``"class"`` or
+        ``"module"`` (``local_name`` empty).  Follows ``from``-import
+        re-export chains with cycle protection."""
+        seen = _seen or frozenset()
+        if (module, name) in seen:
+            return None
+        info = self.modules.get(module)
+        if info is None:
+            return None
+        if name in info.functions:
+            return (module, name, "function")
+        if name in info.classes:
+            return (module, name, "class")
+        binding = info.imports.get(name)
+        if binding is None:
+            return None
+        target_module, symbol = binding
+        if symbol is None:
+            return (target_module, "", "module") \
+                if target_module in self.modules else None
+        submodule = f"{target_module}.{symbol}"
+        if submodule in self.modules:
+            return (submodule, "", "module")
+        return self.resolve_symbol(target_module, symbol,
+                                   seen | {(module, name)})
+
+    def resolve_method(self, module: str, class_name: str, attr: str,
+                       _seen: Optional[FrozenSet[Tuple[str, str]]] = None,
+                       ) -> Optional[str]:
+        """Qualname of ``class_name.attr`` in ``module``, walking base
+        classes (when they resolve) like a static MRO."""
+        seen = _seen or frozenset()
+        if (module, class_name) in seen:
+            return None
+        info = self.modules.get(module)
+        cls = info.classes.get(class_name) if info is not None else None
+        if info is None or cls is None:
+            return None
+        local = f"{class_name}.{attr}"
+        if local in info.functions:
+            return f"{module}:{local}"
+        for base in cls.bases:
+            located = self._locate_class(module, base)
+            if located is None:
+                continue
+            resolved = self.resolve_method(
+                located[0], located[1], attr,
+                seen | {(module, class_name)})
+            if resolved is not None:
+                return resolved
+        return None
+
+    def _locate_class(self, module: str,
+                      base: ast.expr) -> Optional[Tuple[str, str]]:
+        if isinstance(base, ast.Name):
+            sym = self.resolve_symbol(module, base.id)
+        elif isinstance(base, ast.Attribute) \
+                and isinstance(base.value, ast.Name):
+            holder = self.resolve_symbol(module, base.value.id)
+            if holder is None or holder[2] != "module":
+                return None
+            sym = self.resolve_symbol(holder[0], base.attr)
+        else:
+            return None
+        if sym is not None and sym[2] == "class":
+            return (sym[0], sym[1])
+        return None
+
+    def resolve_call(self, module: str, class_name: Optional[str],
+                     node: ast.Call) -> Optional[str]:
+        """Qualname of the repro-internal callee, or ``None``."""
+        func = node.func
+        if isinstance(func, ast.Name):
+            sym = self.resolve_symbol(module, func.id)
+            if sym is None or sym[2] == "module":
+                return None
+            if sym[2] == "function":
+                return f"{sym[0]}:{sym[1]}"
+            return self.resolve_method(sym[0], sym[1], "__init__")
+        if isinstance(func, ast.Attribute) \
+                and isinstance(func.value, ast.Name):
+            holder_name = func.value.id
+            if holder_name in ("self", "cls") and class_name is not None:
+                return self.resolve_method(module, class_name, func.attr)
+            sym = self.resolve_symbol(module, holder_name)
+            if sym is None:
+                return None
+            if sym[2] == "module":
+                target = self.resolve_symbol(sym[0], func.attr)
+                if target is None or target[2] == "module":
+                    return None
+                if target[2] == "function":
+                    return f"{target[0]}:{target[1]}"
+                return self.resolve_method(target[0], target[1],
+                                           "__init__")
+            if sym[2] == "class":
+                return self.resolve_method(sym[0], sym[1], func.attr)
+        return None
+
+    # -- reachability --
+
+    def owner_functions(self, module: str) -> List[str]:
+        info = self.modules.get(module)
+        if info is None:
+            return []
+        return [f"{module}:{name}" for name in info.functions]
+
+
+def reachable(calls: Dict[str, Tuple[str, ...]],
+              roots: List[str]) -> Set[str]:
+    """Transitive closure of ``roots`` over a ``qualname -> callees``
+    adjacency map (roots included)."""
+    seen: Set[str] = set()
+    stack = [root for root in roots if root in calls]
+    seen.update(stack)
+    while stack:
+        current = stack.pop()
+        for callee in calls.get(current, ()):
+            if callee not in seen and callee in calls:
+                seen.add(callee)
+                stack.append(callee)
+    return seen

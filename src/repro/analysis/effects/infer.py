@@ -1,0 +1,299 @@
+"""Direct-effect extraction and transitive (fixpoint) propagation.
+
+Direct effects come from syntactic evidence alone: calls into the
+well-known effectful corners of the standard library (``os``,
+``tempfile``, ``shutil``, ``subprocess``, ``fcntl``, builtin ``open``),
+duck-typed ``Path``/file method names, ``os.environ`` access and
+``global`` declarations.  Calls the resolver can identify as
+repro-internal become call-graph edges instead; the fixpoint then
+propagates callee effects to callers until nothing changes, so a
+function's ``transitive`` set answers "may this call chain touch the
+filesystem / spawn a process / take a lock?" without any rule walking
+the graph itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from weakref import WeakKeyDictionary
+
+from repro.analysis.context import Project
+from repro.analysis.effects.callgraph import (
+    CallGraph,
+    FunctionNode,
+    ModuleInfo,
+    reachable,
+)
+from repro.analysis.effects.model import (
+    ENV_READ,
+    FS_READ,
+    FS_RENAME,
+    FS_UNLINK,
+    FS_WRITE,
+    FunctionEffects,
+    GLOBAL_WRITE,
+    LOCK_ACQUIRE,
+    LOCK_RELEASE,
+    PROCESS_SPAWN,
+)
+
+#: Fully-qualified external callables with a known effect.
+_EXTERNAL_EFFECTS: Dict[str, str] = {
+    "os.replace": FS_RENAME, "os.rename": FS_RENAME,
+    "os.renames": FS_RENAME,
+    "os.link": FS_WRITE, "os.symlink": FS_WRITE,
+    "os.unlink": FS_UNLINK, "os.remove": FS_UNLINK,
+    "os.rmdir": FS_UNLINK, "os.removedirs": FS_UNLINK,
+    "os.mkdir": FS_WRITE, "os.makedirs": FS_WRITE,
+    "os.utime": FS_WRITE, "os.write": FS_WRITE,
+    "os.truncate": FS_WRITE, "os.chmod": FS_WRITE,
+    "os.listdir": FS_READ, "os.scandir": FS_READ,
+    "os.stat": FS_READ, "os.lstat": FS_READ, "os.read": FS_READ,
+    "os.path.exists": FS_READ, "os.path.isfile": FS_READ,
+    "os.path.isdir": FS_READ, "os.path.getmtime": FS_READ,
+    "os.path.getatime": FS_READ, "os.path.getsize": FS_READ,
+    "os.getenv": ENV_READ,
+    "os.fork": PROCESS_SPAWN, "os.system": PROCESS_SPAWN,
+    "os.popen": PROCESS_SPAWN, "os.kill": PROCESS_SPAWN,
+    "os.execv": PROCESS_SPAWN, "os.execvp": PROCESS_SPAWN,
+    "os.spawnv": PROCESS_SPAWN,
+    "tempfile.mkstemp": FS_WRITE, "tempfile.mkdtemp": FS_WRITE,
+    "tempfile.NamedTemporaryFile": FS_WRITE,
+    "tempfile.TemporaryFile": FS_WRITE,
+    "tempfile.TemporaryDirectory": FS_WRITE,
+    "shutil.rmtree": FS_UNLINK, "shutil.move": FS_RENAME,
+    "shutil.copy": FS_WRITE, "shutil.copy2": FS_WRITE,
+    "shutil.copyfile": FS_WRITE, "shutil.copytree": FS_WRITE,
+    "concurrent.futures.ProcessPoolExecutor": PROCESS_SPAWN,
+}
+
+#: Any call into these modules spawns/controls processes.
+_SPAWN_MODULES = {"subprocess", "multiprocessing"}
+
+#: Duck-typed method names with an unambiguous filesystem meaning
+#: (``Path`` and file objects).  Deliberately excludes names with
+#: common non-filesystem homonyms (``replace`` and ``rename`` are
+#: ``str`` methods; the ``os.*`` forms above cover the real ones).
+_METHOD_EFFECTS: Dict[str, str] = {
+    "read_text": FS_READ, "read_bytes": FS_READ,
+    "write_text": FS_WRITE, "write_bytes": FS_WRITE,
+    "touch": FS_WRITE, "mkdir": FS_WRITE,
+    "hardlink_to": FS_WRITE, "symlink_to": FS_WRITE,
+    "unlink": FS_UNLINK, "rmdir": FS_UNLINK,
+    "glob": FS_READ, "rglob": FS_READ, "iterdir": FS_READ,
+    "stat": FS_READ, "lstat": FS_READ, "exists": FS_READ,
+    "is_file": FS_READ, "is_dir": FS_READ, "is_symlink": FS_READ,
+}
+
+#: ``os.open`` flag names implying a mutating open.
+_WRITE_FLAGS = {"O_WRONLY", "O_RDWR", "O_CREAT", "O_APPEND",
+                "O_TRUNC", "O_EXCL"}
+
+
+def dotted_origin(info: ModuleInfo, node: ast.expr) -> Optional[str]:
+    """External dotted path of an attribute chain (``os.path.exists``),
+    or ``None`` when the root is not an external import binding."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    origin = info.external_origin(current.id)
+    if origin is None:
+        return None
+    parts.reverse()
+    return ".".join([origin, *parts]) if parts else origin
+
+
+def _call_mode_argument(node: ast.Call, index: int) -> Optional[ast.expr]:
+    if len(node.args) > index:
+        return node.args[index]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            return keyword.value
+    return None
+
+
+def _open_effect(node: ast.Call, mode_index: int = 1) -> str:
+    """``open``-family classification from the mode argument."""
+    mode = _call_mode_argument(node, mode_index)
+    if mode is None:
+        return FS_READ
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return FS_WRITE if any(c in "wax+" for c in mode.value) \
+            else FS_READ
+    return FS_WRITE     # dynamic mode: assume the worst
+
+
+def _os_open_effect(node: ast.Call) -> str:
+    for arg in node.args[1:] + [kw.value for kw in node.keywords]:
+        for sub in ast.walk(arg):
+            if isinstance(sub, ast.Attribute) and sub.attr in _WRITE_FLAGS:
+                return FS_WRITE
+            if isinstance(sub, ast.Name) and sub.id in _WRITE_FLAGS:
+                return FS_WRITE
+    return FS_READ
+
+
+def _flock_effect(node: ast.Call) -> Optional[str]:
+    for arg in node.args + [kw.value for kw in node.keywords]:
+        for sub in ast.walk(arg):
+            name = sub.attr if isinstance(sub, ast.Attribute) \
+                else sub.id if isinstance(sub, ast.Name) else ""
+            if name in ("LOCK_EX", "LOCK_SH"):
+                return LOCK_ACQUIRE
+            if name == "LOCK_UN":
+                return LOCK_RELEASE
+    return LOCK_ACQUIRE     # flock with unrecognizable flags: assume acquire
+
+
+def classify_call(info: ModuleInfo, node: ast.Call) -> List[str]:
+    """Direct effects of one call expression (empty for pure/unknown).
+
+    Shared with the lock-discipline rule, which needs per-site
+    filesystem effect kinds rather than per-function sets.
+    """
+    func = node.func
+    origin: Optional[str] = None
+    if isinstance(func, ast.Name):
+        if func.id == "open":
+            return [_open_effect(node)]
+        origin = info.external_origin(func.id)
+    elif isinstance(func, ast.Attribute):
+        origin = dotted_origin(info, func)
+        if origin is None:
+            if func.attr == "open":
+                return [_open_effect(node)]
+            effect = _METHOD_EFFECTS.get(func.attr)
+            return [effect] if effect else []
+    if origin is None:
+        return []
+    if origin == "os.open":
+        return [_os_open_effect(node)]
+    if origin in ("os.fdopen", "io.open"):
+        return [_open_effect(node)]
+    if origin in ("fcntl.flock", "fcntl.lockf"):
+        effect = _flock_effect(node)
+        return [effect] if effect else []
+    known = _EXTERNAL_EFFECTS.get(origin)
+    if known is not None:
+        return [known]
+    if origin.split(".")[0] in _SPAWN_MODULES:
+        return [PROCESS_SPAWN]
+    return []
+
+
+def _extract(info: ModuleInfo, graph: CallGraph, qualname: str,
+             class_name: Optional[str],
+             body: Iterable[ast.stmt], lineno: int,
+             rel_path: str) -> FunctionEffects:
+    sites: Dict[str, List[int]] = {}
+    calls: List[str] = []
+    seen_calls: Set[str] = set()
+
+    def note(effect: str, line: int) -> None:
+        sites.setdefault(effect, []).append(line)
+
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                for effect in classify_call(info, node):
+                    note(effect, node.lineno)
+                callee = graph.resolve_call(info.name, class_name, node)
+                if callee is not None and callee not in seen_calls:
+                    seen_calls.add(callee)
+                    calls.append(callee)
+            elif isinstance(node, ast.Attribute):
+                if node.attr == "environ" \
+                        and isinstance(node.value, ast.Name) \
+                        and info.external_origin(node.value.id) == "os":
+                    note(ENV_READ, node.lineno)
+            elif isinstance(node, ast.Global):
+                note(GLOBAL_WRITE, node.lineno)
+    return FunctionEffects(
+        qualname=qualname, rel_path=rel_path, lineno=lineno,
+        direct=frozenset(sites), calls=tuple(calls), sites=sites)
+
+
+@dataclass
+class EffectAnalysis:
+    """The whole-program result: call graph plus per-function effects."""
+
+    graph: CallGraph
+    functions: Dict[str, FunctionEffects]
+
+    def module_functions(self, module: str) -> List[FunctionEffects]:
+        return [fe for fe in self.functions.values()
+                if fe.module == module]
+
+    def module_summary(self, module: str,
+                       ) -> Tuple[FrozenSet[str], FrozenSet[str]]:
+        """``(direct, transitive)`` effect union over a module."""
+        direct: Set[str] = set()
+        transitive: Set[str] = set()
+        for fe in self.module_functions(module):
+            direct |= fe.direct
+            transitive |= fe.transitive
+        return frozenset(direct), frozenset(transitive)
+
+    def reachable_from(self, roots: Iterable[str]) -> Set[str]:
+        """Qualnames reachable from ``roots`` through resolved calls
+        (roots included when they exist)."""
+        adjacency = {q: fe.calls for q, fe in self.functions.items()}
+        return reachable(adjacency, list(roots))
+
+
+def analyze_project(project: Project) -> EffectAnalysis:
+    """Run the whole-program effect inference over ``src/repro``."""
+    graph = CallGraph.build(project)
+    functions: Dict[str, FunctionEffects] = {}
+    for info in graph.modules.values():
+        for local_name, node in info.functions.items():
+            class_name = local_name.split(".")[0] \
+                if "." in local_name else None
+            functions[f"{info.name}:{local_name}"] = _extract(
+                info, graph, f"{info.name}:{local_name}", class_name,
+                _function_body(node), node.lineno, info.rel_path)
+        if info.toplevel:
+            functions[f"{info.name}:<module>"] = _extract(
+                info, graph, f"{info.name}:<module>", None,
+                info.toplevel, 1, info.rel_path)
+
+    # Fixpoint: transitive = direct ∪ callees' transitive.
+    transitive: Dict[str, Set[str]] = {
+        q: set(fe.direct) for q, fe in functions.items()}
+    changed = True
+    while changed:
+        changed = False
+        for qualname, fe in functions.items():
+            current = transitive[qualname]
+            before = len(current)
+            for callee in fe.calls:
+                callee_effects = transitive.get(callee)
+                if callee_effects:
+                    current |= callee_effects
+            if len(current) != before:
+                changed = True
+    for qualname, fe in functions.items():
+        fe.transitive = frozenset(transitive[qualname])
+    return EffectAnalysis(graph=graph, functions=functions)
+
+
+def _function_body(node: FunctionNode) -> List[ast.stmt]:
+    return list(node.body)
+
+
+_CACHE: "WeakKeyDictionary[Project, EffectAnalysis]" = WeakKeyDictionary()
+
+
+def get_analysis(project: Project) -> EffectAnalysis:
+    """Per-project memo: the three effect rules (and ``repro check
+    --effects``) share one inference pass per run."""
+    analysis = _CACHE.get(project)
+    if analysis is None:
+        analysis = _CACHE[project] = analyze_project(project)
+    return analysis

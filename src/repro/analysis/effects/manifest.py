@@ -1,0 +1,96 @@
+"""Build, load and regenerate the pinned effects manifest.
+
+``effects_manifest.json`` summarizes the whole-program effect inference
+at module granularity: for every module under ``src/repro``, the union
+of its functions' *direct* effects and the union of their *transitive*
+effects (direct ∪ everything reachable through the resolved call
+graph).  The ``effect-budget`` rule pins the pure packages'
+(:data:`PURE_PACKAGES`) entries; CI regenerates the whole file and
+fails on drift, so any new side effect anywhere in the tree is a
+one-line reviewable diff.
+
+Regenerate after an intentional effect change with::
+
+    python -m repro.analysis.effects.manifest
+
+Like the schema manifest, extraction is AST-only — no repro module is
+imported — so it works on deliberately broken scratch checkouts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Tuple
+
+from repro.analysis.context import Project
+from repro.analysis.effects.infer import EffectAnalysis, analyze_project
+
+#: Packages that must stay free of filesystem and process effects.
+#: These hold the paper's closed-form math (roofline analytics, tiling
+#: search, protection/integrity models); a file or subprocess effect in
+#: any of them is a layering bug by definition.
+PURE_PACKAGES: Tuple[str, ...] = (
+    "repro.analytic",
+    "repro.integrity",
+    "repro.protection",
+    "repro.tiling",
+)
+
+#: Where the pinned manifest lives (shipped inside the package).
+MANIFEST_PATH = Path(__file__).with_name("effects_manifest.json")
+
+#: Manifest layout version (bump on structural changes).
+MANIFEST_FORMAT = 1
+
+
+def module_package(module: str) -> str:
+    """Top two dotted components (``repro.runner.store`` ->
+    ``repro.runner``; bare ``repro`` stays ``repro``)."""
+    return ".".join(module.split(".")[:2])
+
+
+def build_manifest(analysis: EffectAnalysis) -> Dict[str, Any]:
+    modules: Dict[str, Dict[str, Any]] = {}
+    for name in sorted(analysis.graph.modules):
+        direct, transitive = analysis.module_summary(name)
+        modules[name] = {
+            "direct": sorted(direct),
+            "transitive": sorted(transitive),
+        }
+    return {
+        "format": MANIFEST_FORMAT,
+        "pure_packages": list(PURE_PACKAGES),
+        "modules": modules,
+    }
+
+
+def extract_from_root(root: Path) -> Dict[str, Any]:
+    project = Project(Path(root))
+    return build_manifest(analyze_project(project))
+
+
+def load_manifest() -> Dict[str, Any]:
+    with open(MANIFEST_PATH, encoding="utf-8") as handle:
+        loaded: Dict[str, Any] = json.load(handle)
+    return loaded
+
+
+def write_manifest(manifest: Dict[str, Any]) -> None:
+    MANIFEST_PATH.write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parents[4]
+    manifest = extract_from_root(root)
+    write_manifest(manifest)
+    print(f"wrote {MANIFEST_PATH} "
+          f"({len(manifest['modules'])} modules, "
+          f"{len(manifest['pure_packages'])} pinned-pure packages)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

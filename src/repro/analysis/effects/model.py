@@ -1,0 +1,82 @@
+"""Effect vocabulary and per-function effect records.
+
+An *effect* is a coarse, named class of side effect a function may
+perform — filesystem reads/writes/renames/unlinks, lock acquire and
+release, environment reads, module-global mutation, and process
+spawning.  The inference pass (:mod:`repro.analysis.effects.infer`)
+extracts *direct* effects from each function's AST and propagates them
+transitively through the call graph; rules then ask questions like
+"does anything reachable from a store mutator open a file for write?"
+without re-deriving the facts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Tuple
+
+FS_READ = "fs_read"
+FS_WRITE = "fs_write"
+FS_RENAME = "fs_rename"
+FS_UNLINK = "fs_unlink"
+LOCK_ACQUIRE = "lock_acquire"
+LOCK_RELEASE = "lock_release"
+ENV_READ = "env_read"
+GLOBAL_WRITE = "global_write"
+PROCESS_SPAWN = "process_spawn"
+
+#: Every effect the analysis tracks, in canonical order.
+ALL_EFFECTS: Tuple[str, ...] = (
+    FS_READ, FS_WRITE, FS_RENAME, FS_UNLINK,
+    LOCK_ACQUIRE, LOCK_RELEASE,
+    ENV_READ, GLOBAL_WRITE, PROCESS_SPAWN,
+)
+
+#: Effects that touch the filesystem in any way.
+FILESYSTEM_EFFECTS: FrozenSet[str] = frozenset(
+    {FS_READ, FS_WRITE, FS_RENAME, FS_UNLINK})
+
+#: Effects that mutate the filesystem (everything but pure reads).
+FS_MUTATION_EFFECTS: FrozenSet[str] = frozenset(
+    {FS_WRITE, FS_RENAME, FS_UNLINK})
+
+#: Effects that create or signal other processes.
+PROCESS_EFFECTS: FrozenSet[str] = frozenset({PROCESS_SPAWN})
+
+
+@dataclass
+class FunctionEffects:
+    """Inferred facts about one function (or one module's top level).
+
+    ``qualname`` is ``"repro.pkg.module:Class.method"`` (methods),
+    ``"repro.pkg.module:function"`` (module-level functions) or
+    ``"repro.pkg.module:<module>"`` (top-level statements).  ``calls``
+    lists the repro-internal callees the resolver identified; calls
+    into external modules surface as direct effects instead of edges.
+    ``sites`` maps each direct effect to the 1-based source lines that
+    produce it, so rules can report findings at the offending line.
+    """
+
+    qualname: str
+    rel_path: str
+    lineno: int
+    direct: FrozenSet[str] = frozenset()
+    calls: Tuple[str, ...] = ()
+    transitive: FrozenSet[str] = frozenset()
+    sites: Dict[str, List[int]] = field(default_factory=dict)
+
+    @property
+    def module(self) -> str:
+        return self.qualname.split(":", 1)[0]
+
+
+def module_name_for(rel_path: str) -> str:
+    """Dotted module name for a repo-relative source path.
+
+    ``src/repro/runner/store.py`` -> ``repro.runner.store``;
+    ``src/repro/obs/__init__.py`` -> ``repro.obs``.
+    """
+    parts = rel_path[len("src/"):-len(".py")].split("/")
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)

@@ -7,8 +7,11 @@ CI seed-violation smoke pick it up automatically.
 """
 
 from repro.analysis.rules import (  # noqa: F401
+    atomic_write,
+    effect_budget,
     fingerprint_purity,
     hot_path,
+    lock_discipline,
     obs_discipline,
     schema_guard,
     tier_parity,

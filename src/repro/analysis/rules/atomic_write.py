@@ -1,0 +1,173 @@
+"""atomic-write-discipline: store files are published, never written.
+
+A reader of the result store is lock-free; that only works if no code
+path ever exposes a half-written file under the store root.  The
+protocol is *write-aside, publish-atomically*: the body goes to a
+``tempfile.mkstemp`` sibling, and the only way it becomes visible is
+one atomic ``os.link`` / ``os.replace``.  This rule checks the protocol
+statically over the effect analysis:
+
+- no function defined in ``runner/store.py`` — and no function
+  reachable from the store's mutators anywhere in the tree — may open a
+  file for writing directly (builtin ``open`` with a mutating mode,
+  ``.write_text`` / ``.write_bytes``);
+- ``os.fdopen`` in write mode is allowed only in a function that also
+  calls ``tempfile.mkstemp`` (writing the temp side is the protocol);
+- a function that creates a temp file must also publish it: an
+  ``os.replace`` / ``os.link`` in the same function, or a call to a
+  store-internal helper whose transitive effects include a rename.
+
+Functions whose name contains ``_lock`` are exempt: the sidecar lock
+protocol (``open(lock_path, "a")`` for ``flock``; ``O_CREAT | O_EXCL``
+for the fallback) touches lock files, not records, and is checked by
+``lock-discipline`` instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Tuple
+
+from repro.analysis.context import Project
+from repro.analysis.effects.callgraph import FunctionNode
+from repro.analysis.effects.infer import (
+    EffectAnalysis,
+    _open_effect,
+    get_analysis,
+)
+from repro.analysis.effects.model import FS_RENAME, FS_WRITE
+from repro.analysis.findings import Finding
+from repro.analysis.registry import ProjectRule, SeedViolation, register
+
+#: The module whose write discipline is enforced.
+STORE_MODULE = "repro.runner.store"
+STORE_PATH = "src/repro/runner/store.py"
+
+#: Public entry points that mutate the store; everything reachable from
+#: them inherits the discipline.
+MUTATOR_ROOTS = (
+    f"{STORE_MODULE}:ResultStore.put",
+    f"{STORE_MODULE}:ResultStore.clear",
+    f"{STORE_MODULE}:ResultStore.flush_stats",
+    f"{STORE_MODULE}:ResultStore.demote_hit",
+)
+
+_HINT = ("write to a tempfile.mkstemp sibling and publish with one "
+         "atomic os.replace/os.link; see README 'Concurrency model of "
+         "the ResultStore'")
+
+
+def _is_lock_function(qualname: str) -> bool:
+    return "_lock" in qualname.rsplit(":", 1)[-1].rsplit(".", 1)[-1]
+
+
+def _callee_attr(node: ast.Call) -> str:
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    return ""
+
+
+def _scan_function(node: FunctionNode) -> Tuple[
+        List[Tuple[int, str]], bool, bool, Optional[int]]:
+    """``(direct_write_opens, has_mkstemp, has_publish, mkstemp_line)``
+    for one function body."""
+    write_opens: List[Tuple[int, str]] = []
+    has_mkstemp = False
+    has_publish = False
+    mkstemp_line: Optional[int] = None
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Call):
+            continue
+        attr = _callee_attr(sub)
+        if attr == "open" and _open_effect(sub) == FS_WRITE:
+            write_opens.append((sub.lineno, "open() in write mode"))
+        elif attr == "fdopen":
+            if _open_effect(sub) == FS_WRITE:
+                write_opens.append((sub.lineno,
+                                    "os.fdopen() in write mode"))
+        elif attr in ("write_text", "write_bytes"):
+            write_opens.append((sub.lineno, f".{attr}()"))
+        elif attr == "mkstemp":
+            has_mkstemp = True
+            mkstemp_line = mkstemp_line or sub.lineno
+        elif attr in ("replace", "link", "rename"):
+            has_publish = True
+    return write_opens, has_mkstemp, has_publish, mkstemp_line
+
+
+def _publishes_via_callee(analysis: EffectAnalysis,
+                          qualname: str) -> bool:
+    fe = analysis.functions.get(qualname)
+    if fe is None:
+        return False
+    for callee in fe.calls:
+        callee_fe = analysis.functions.get(callee)
+        if callee_fe is not None and FS_RENAME in callee_fe.transitive:
+            return True
+    return False
+
+
+@register
+class AtomicWriteRule(ProjectRule):
+    name = "atomic-write-discipline"
+    description = ("store files are written via mkstemp + atomic "
+                   "publish; no direct open-for-write in store.py or "
+                   "reachable from store mutators")
+    seed_violation = SeedViolation(
+        path=STORE_PATH,
+        append='\n\ndef _smoke_fast_put(store: "ResultStore", key: str,\n'
+               '                    record: Dict[str, Any]) -> None:\n'
+               '    path = store._path(key)\n'
+               '    with open(path, "w") as handle:\n'
+               '        json.dump(record, handle)\n')
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        if not project.has_file(STORE_PATH):
+            return [Finding(
+                path=STORE_PATH, line=1, rule=self.name,
+                message="result store module is missing entirely",
+                hint="the runner cannot cache results without it")]
+        analysis = get_analysis(project)
+        store = analysis.graph.modules.get(STORE_MODULE)
+        if store is None:
+            return []     # parse-error is the engine's finding
+
+        in_scope = set(analysis.graph.owner_functions(STORE_MODULE))
+        in_scope |= analysis.reachable_from(MUTATOR_ROOTS)
+
+        findings: List[Finding] = []
+        for qualname in sorted(in_scope):
+            fe = analysis.functions.get(qualname)
+            if fe is None or _is_lock_function(qualname):
+                continue
+            info = analysis.graph.modules.get(fe.module)
+            if info is None:
+                continue
+            local = qualname.split(":", 1)[1]
+            node = info.functions.get(local)
+            if node is None:
+                continue
+            write_opens, has_mkstemp, has_publish, mkstemp_line = \
+                _scan_function(node)
+            for lineno, what in write_opens:
+                if what.startswith("os.fdopen") and has_mkstemp:
+                    continue     # writing the temp side is the protocol
+                findings.append(Finding(
+                    path=fe.rel_path, line=lineno, rule=self.name,
+                    message=f"{local} writes a file directly via {what}"
+                            f"; a concurrent reader can observe the "
+                            f"half-written state",
+                    hint=_HINT))
+            if has_mkstemp and not has_publish \
+                    and not _publishes_via_callee(analysis, qualname):
+                findings.append(Finding(
+                    path=fe.rel_path, line=mkstemp_line or fe.lineno,
+                    rule=self.name,
+                    message=f"{local} creates a temp file but neither "
+                            f"publishes it (os.replace/os.link) nor "
+                            f"calls a publishing helper",
+                    hint="an unpublished temp file is an orphan the "
+                         "sweep must age out; " + _HINT))
+        return findings

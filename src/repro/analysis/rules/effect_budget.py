@@ -1,0 +1,130 @@
+"""effect-budget: the paper's math packages stay effect-free.
+
+``analytic``, ``integrity``, ``protection`` and ``tiling`` hold the
+closed-form models the reproduction is built on (rooflines, MAC/DRAM
+analytics, protection-overhead math, tiling search).  They are pure by
+design: every result they produce is a function of their arguments, so
+the store's fingerprints stay honest and any function can run under the
+evaluation service with no sandboxing questions.  A filesystem or
+subprocess effect creeping into one of them is a layering bug by
+definition — caching, persistence and process fan-out belong to
+``runner/``.
+
+The rule checks the *direct* (module-local) effects of every function
+in the pinned-pure packages against the banned set, and pins those
+packages' manifest entries so a regression is a reviewable one-line
+diff: a pure-package entry in ``effects_manifest.json`` that no longer
+matches the live tree is reported with a regenerate hint.  (Transitive
+effects are deliberately out of scope here: ``protection`` may call the
+optional native-kernel loader, whose compilation effects live — and are
+budgeted — in ``utils``.)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.analysis.context import Project
+from repro.analysis.effects import manifest as effects_manifest
+from repro.analysis.effects.infer import get_analysis
+from repro.analysis.effects.model import (
+    FILESYSTEM_EFFECTS,
+    PROCESS_EFFECTS,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.registry import ProjectRule, SeedViolation, register
+
+#: Effects a pinned-pure package may never perform directly.
+BANNED_EFFECTS = frozenset(FILESYSTEM_EFFECTS | PROCESS_EFFECTS)
+
+_MANIFEST_REL = "src/repro/analysis/effects/effects_manifest.json"
+
+_REGEN_HINT = ("regenerate the pinned manifest: "
+               "python -m repro.analysis.effects.manifest")
+
+
+def _in_pure_package(module: str) -> bool:
+    return effects_manifest.module_package(module) \
+        in effects_manifest.PURE_PACKAGES
+
+
+@register
+class EffectBudgetRule(ProjectRule):
+    name = "effect-budget"
+    description = ("pure packages (analytic/integrity/protection/"
+                   "tiling) perform no filesystem or process effects; "
+                   "their manifest entries are pinned")
+    seed_violation = SeedViolation(
+        path="src/repro/tiling/optblk.py",
+        append='\n\ndef _smoke_dump_plan(plan, path):\n'
+               '    with open(path, "w") as handle:\n'
+               '        handle.write(repr(plan))\n')
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        analysis = get_analysis(project)
+        findings: List[Finding] = []
+
+        # 1. The budget itself: no banned direct effect in any function
+        #    of a pinned-pure package, reported at the offending line.
+        for qualname in sorted(analysis.functions):
+            fe = analysis.functions[qualname]
+            if not _in_pure_package(fe.module):
+                continue
+            banned = fe.direct & BANNED_EFFECTS
+            for effect in sorted(banned):
+                lines = fe.sites.get(effect, [fe.lineno])
+                for lineno in lines:
+                    findings.append(Finding(
+                        path=fe.rel_path, line=lineno, rule=self.name,
+                        message=f"{qualname.split(':', 1)[1]} performs "
+                                f"a {effect} effect inside pure "
+                                f"package "
+                                f"{effects_manifest.module_package(fe.module)}",
+                        hint="pure packages compute; persistence and "
+                             "process fan-out belong to runner/ — "
+                             "move the effect behind an injected "
+                             "callback or into the runner layer"))
+
+        # 2. Manifest pinning for the pure packages: drift between the
+        #    live inference and the committed manifest must be explicit.
+        try:
+            pinned = effects_manifest.load_manifest()
+        except (FileNotFoundError, ValueError):
+            findings.append(Finding(
+                path=_MANIFEST_REL, line=1, rule=self.name,
+                message="pinned effects manifest is missing or "
+                        "unreadable",
+                hint=_REGEN_HINT))
+            return findings
+        pinned_modules = pinned.get("modules", {})
+        live_modules = {name for name in analysis.graph.modules
+                        if _in_pure_package(name)}
+        pinned_pure = {name for name in pinned_modules
+                       if _in_pure_package(name)}
+        for name in sorted(live_modules | pinned_pure):
+            if name not in live_modules:
+                findings.append(Finding(
+                    path=_MANIFEST_REL, line=1, rule=self.name,
+                    message=f"manifest pins pure module {name} which "
+                            f"no longer exists",
+                    hint=_REGEN_HINT))
+                continue
+            live_direct, _ = analysis.module_summary(name)
+            entry = pinned_modules.get(name)
+            if entry is None:
+                findings.append(Finding(
+                    path=_MANIFEST_REL, line=1, rule=self.name,
+                    message=f"pure module {name} is missing from the "
+                            f"pinned manifest",
+                    hint=_REGEN_HINT))
+            elif sorted(live_direct) != entry.get("direct"):
+                info = analysis.graph.modules[name]
+                findings.append(Finding(
+                    path=info.rel_path, line=1, rule=self.name,
+                    message=f"direct effects of pure module {name} "
+                            f"drifted from the pinned manifest "
+                            f"(pinned {entry.get('direct')!r}, live "
+                            f"{sorted(live_direct)!r})",
+                    hint="if the change is intentional and still "
+                         "within budget, " + _REGEN_HINT))
+        return findings

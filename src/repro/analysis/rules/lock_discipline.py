@@ -1,0 +1,323 @@
+"""lock-discipline: shared-file read-modify-writes hold their lock.
+
+The store has exactly two cross-process read-modify-write resources,
+each with a dedicated sidecar lock (see README "Concurrency model of
+the ResultStore"):
+
+- **stats** — the ``stats.json`` merge (load, add session counters,
+  write back) must run under ``with self._stats_lock():``;
+- **records-index** — enumerate-and-mass-delete maintenance (walking
+  ``_record_paths()`` / the orphan-``.tmp`` lists and unlinking what
+  was enumerated) must run under ``with self._writer_lock():``.
+
+Per-record operations (``get``, ``put``, ``demote_hit``) are atomic on
+a single file and deliberately lock-free; they carry neither marker and
+are never flagged.
+
+The rule tags each function in ``runner/store.py`` with resource
+*read* and *write* markers — tracking simple taint through assignments
+and ``for`` targets, so ``for p in self._record_paths(): p.unlink()``
+is recognized as an index mutation — and flags any function holding
+both markers for a resource when a marker site is not lexically inside
+the matching ``with`` block.  A private helper whose every call site
+(within the store) sits inside the right ``with`` block is discharged.
+
+It also enforces the lock *protocol* itself: ``_stats_lock`` /
+``_writer_lock`` / ``_sidecar_lock`` may only be entered via ``with``
+(a bare call leaks the acquisition), and every ``fcntl.flock``
+exclusive acquire must live in a ``*_lock*`` contextmanager with the
+matching ``LOCK_UN`` in a ``finally``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.analysis.context import FileContext, Project
+from repro.analysis.effects.callgraph import FunctionNode, ModuleInfo
+from repro.analysis.effects.infer import get_analysis
+from repro.analysis.findings import Finding
+from repro.analysis.registry import ProjectRule, SeedViolation, register
+from repro.analysis.rules.atomic_write import STORE_MODULE, STORE_PATH
+
+#: resource -> (lock contextmanager name, enumeration/read markers).
+_STATS = "stats"
+_INDEX = "records-index"
+_LOCK_FOR = {_STATS: "_stats_lock", _INDEX: "_writer_lock"}
+
+#: Calls that *read* each resource.
+_STATS_READERS = {"_load_persistent"}
+#: Calls that enumerate the record index (their results are tainted).
+_INDEX_ENUMERATORS = {"_record_paths", "_orphan_tmp_paths",
+                      "_split_orphan_tmp_paths"}
+#: The stats file marker: any call producing its path.
+_STATS_PATH = "_stats_path"
+
+#: Lock contextmanagers that must only ever be entered via ``with``.
+_LOCK_CMS = {"_stats_lock", "_writer_lock", "_sidecar_lock"}
+
+
+def _attr_name(node: ast.expr) -> str:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _mentions_call(node: ast.AST, names: Set[str]) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call) and _attr_name(sub.func) in names:
+            return True
+    return False
+
+
+class _FunctionTags:
+    """Marker lines per resource for one function."""
+
+    def __init__(self) -> None:
+        self.reads: Dict[str, List[int]] = {_STATS: [], _INDEX: []}
+        self.writes: Dict[str, List[int]] = {_STATS: [], _INDEX: []}
+
+    def rmw_resources(self) -> List[str]:
+        return [resource for resource in (_STATS, _INDEX)
+                if self.reads[resource] and self.writes[resource]]
+
+
+def _collect_names(target: ast.expr, into: Set[str]) -> None:
+    for sub in ast.walk(target):
+        if isinstance(sub, ast.Name):
+            into.add(sub.id)
+
+
+def _tag_function(node: FunctionNode) -> _FunctionTags:
+    tags = _FunctionTags()
+    index_tainted: Set[str] = set()
+
+    # Pass 1: taint names bound (by assignment or ``for``) to record-
+    # index enumerations, transitively through plain name copies.
+    changed = True
+    while changed:
+        changed = False
+        for sub in ast.walk(node):
+            value: Optional[ast.expr] = None
+            targets: List[ast.expr] = []
+            if isinstance(sub, ast.Assign):
+                value, targets = sub.value, list(sub.targets)
+            elif isinstance(sub, ast.AnnAssign) and sub.value is not None:
+                value, targets = sub.value, [sub.target]
+            elif isinstance(sub, ast.For):
+                value, targets = sub.iter, [sub.target]
+            if value is None:
+                continue
+            tainted = _mentions_call(value, _INDEX_ENUMERATORS) or any(
+                isinstance(s, ast.Name) and s.id in index_tainted
+                for s in ast.walk(value))
+            if not tainted:
+                continue
+            before = len(index_tainted)
+            for target in targets:
+                _collect_names(target, index_tainted)
+            if len(index_tainted) != before:
+                changed = True
+
+    # Pass 2: classify call sites.
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Call):
+            continue
+        attr = _attr_name(sub.func)
+        if attr in _STATS_READERS:
+            tags.reads[_STATS].append(sub.lineno)
+        elif attr in _INDEX_ENUMERATORS:
+            tags.reads[_INDEX].append(sub.lineno)
+        elif attr == "open" and _mentions_call(sub, {_STATS_PATH}):
+            tags.reads[_STATS].append(sub.lineno)
+        elif attr in ("replace", "rename") \
+                and _mentions_call(sub, {_STATS_PATH}):
+            tags.writes[_STATS].append(sub.lineno)
+        elif attr in ("unlink", "remove"):
+            if _mentions_call(sub, {_STATS_PATH}):
+                tags.writes[_STATS].append(sub.lineno)
+            elif any(isinstance(s, ast.Name) and s.id in index_tainted
+                     for s in ast.walk(sub)):
+                tags.writes[_INDEX].append(sub.lineno)
+    return tags
+
+
+def _with_locks(ctx: FileContext, node: ast.AST) -> Set[str]:
+    """Names of store lock contextmanagers held (lexically) at ``node``."""
+    held: Set[str] = set()
+    for ancestor in ctx.ancestors(node):
+        if isinstance(ancestor, ast.With):
+            for item in ancestor.items:
+                expr = item.context_expr
+                if isinstance(expr, ast.Call):
+                    held.add(_attr_name(expr.func))
+    return held
+
+
+def _is_contextmanager(node: FunctionNode) -> bool:
+    for decorator in node.decorator_list:
+        if _attr_name(decorator) == "contextmanager":
+            return True
+    return False
+
+
+def _line_node(node: FunctionNode, lineno: int,
+               names: Set[str]) -> Optional[ast.Call]:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call) and sub.lineno == lineno \
+                and _attr_name(sub.func) in names:
+            return sub
+    return None
+
+
+@register
+class LockDisciplineRule(ProjectRule):
+    name = "lock-discipline"
+    description = ("stats.json merges run under _stats_lock and "
+                   "record-index maintenance under _writer_lock; "
+                   "locks are entered via with and never leaked")
+    seed_violation = SeedViolation(
+        path=STORE_PATH,
+        replace="        with self._stats_lock():\n"
+                "            data = self._load_persistent()",
+        replacement="        if True:\n"
+                    "            data = self._load_persistent()")
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        analysis = get_analysis(project)
+        store = analysis.graph.modules.get(STORE_MODULE)
+        if store is None or not project.has_file(STORE_PATH):
+            return []     # atomic-write already reports a missing store
+        ctx = project.context(STORE_PATH)
+        if ctx.tree is None:
+            return []
+
+        findings: List[Finding] = []
+        tags_by_function: Dict[str, _FunctionTags] = {
+            local: _tag_function(node)
+            for local, node in store.functions.items()}
+
+        for local, node in sorted(store.functions.items()):
+            short = local.rsplit(".", 1)[-1]
+            tags = tags_by_function[local]
+            # The lock implementation itself is exempt from the RMW
+            # check (it manages lock files, not protected resources)
+            # but still subject to the protocol checks below.
+            for resource in () if "_lock" in short \
+                    else tags.rmw_resources():
+                lock_name = _LOCK_FOR[resource]
+                unprotected = self._unprotected_sites(
+                    ctx, node, tags, resource, lock_name)
+                if not unprotected:
+                    continue
+                if short.startswith("_") and self._discharged(
+                        ctx, store, local, lock_name):
+                    continue
+                for lineno in unprotected:
+                    findings.append(Finding(
+                        path=STORE_PATH, line=lineno, rule=self.name,
+                        message=f"{local} read-modify-writes the "
+                                f"{resource} outside "
+                                f"'with self.{lock_name}():'; "
+                                f"concurrent writers lose updates",
+                        hint=f"wrap the whole {resource} RMW in "
+                             f"'with self.{lock_name}():' (see README "
+                             f"lock hierarchy)"))
+            findings.extend(self._bare_lock_calls(ctx, node, local))
+            findings.extend(self._flock_protocol(ctx, node, local,
+                                                 short))
+        return findings
+
+    def _unprotected_sites(self, ctx: FileContext, node: FunctionNode,
+                           tags: _FunctionTags, resource: str,
+                           lock_name: str) -> List[int]:
+        unprotected: List[int] = []
+        sites = tags.reads[resource] + tags.writes[resource]
+        for lineno in sorted(set(sites)):
+            call = _line_node(node, lineno, {"open", "replace",
+                                             "rename", "unlink",
+                                             "remove"}
+                              | _STATS_READERS | _INDEX_ENUMERATORS)
+            if call is None:
+                continue
+            if lock_name not in _with_locks(ctx, call):
+                unprotected.append(lineno)
+        return unprotected
+
+    def _discharged(self, ctx: FileContext, store: ModuleInfo,
+                    local: str, lock_name: str) -> bool:
+        """A private helper is fine if every store-internal call site
+        already holds the required lock."""
+        short = local.rsplit(".", 1)[-1]
+        call_sites: List[ast.Call] = []
+        for other_local, other_node in store.functions.items():
+            if other_local == local:
+                continue
+            for sub in ast.walk(other_node):
+                if isinstance(sub, ast.Call) \
+                        and _attr_name(sub.func) == short:
+                    call_sites.append(sub)
+        if not call_sites:
+            return False
+        return all(lock_name in _with_locks(ctx, call)
+                   for call in call_sites)
+
+    def _bare_lock_calls(self, ctx: FileContext, node: FunctionNode,
+                         local: str) -> List[Finding]:
+        findings: List[Finding] = []
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call) \
+                    or _attr_name(sub.func) not in _LOCK_CMS:
+                continue
+            parent = ctx.parents.get(sub)
+            entered_via_with = isinstance(parent, ast.withitem)
+            if not entered_via_with:
+                findings.append(Finding(
+                    path=STORE_PATH, line=sub.lineno, rule=self.name,
+                    message=f"{local} calls "
+                            f"{_attr_name(sub.func)}() outside a "
+                            f"'with' statement; the acquisition leaks "
+                            f"on any exception",
+                    hint="always 'with self.<lock>():' — never call "
+                         "lock contextmanagers bare"))
+        return findings
+
+    def _flock_protocol(self, ctx: FileContext, node: FunctionNode,
+                        local: str, short: str) -> List[Finding]:
+        acquires: List[ast.Call] = []
+        releases_in_finally = False
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call) \
+                    or _attr_name(sub.func) not in ("flock", "lockf"):
+                continue
+            flags = {_attr_name(s) for arg in sub.args
+                     for s in ast.walk(arg)}
+            if flags & {"LOCK_EX", "LOCK_SH"}:
+                acquires.append(sub)
+            elif "LOCK_UN" in flags:
+                for ancestor in ctx.ancestors(sub):
+                    if isinstance(ancestor, ast.Try) \
+                            and any(sub in ast.walk(stmt)
+                                    for stmt in ancestor.finalbody):
+                        releases_in_finally = True
+        findings: List[Finding] = []
+        for call in acquires:
+            if "_lock" not in short or not _is_contextmanager(node):
+                findings.append(Finding(
+                    path=STORE_PATH, line=call.lineno, rule=self.name,
+                    message=f"{local} takes an flock outside a "
+                            f"*_lock contextmanager",
+                    hint="centralize inter-process locking in the "
+                         "_sidecar_lock contextmanager"))
+            elif not releases_in_finally:
+                findings.append(Finding(
+                    path=STORE_PATH, line=call.lineno, rule=self.name,
+                    message=f"{local} acquires an flock without a "
+                            f"matching LOCK_UN in a finally block; "
+                            f"an exception leaks the lock",
+                    hint="release in 'finally:' so every exit path "
+                         "unlocks"))
+        return findings

@@ -216,6 +216,12 @@ class GridExecutor:
         makes interrupted sweeps resumable — each finished cell can be
         persisted before the grid completes); the returned list is
         always in request order.
+
+        Persisting callbacks may assume nothing about how many sweep
+        processes run concurrently: ``ResultStore.put`` publishes
+        atomically and is idempotent under same-fingerprint races, so a
+        resumed or duplicated grid re-persisting a cell is harmless by
+        contract, not by luck.
         """
         requests = list(requests)
         if not requests:

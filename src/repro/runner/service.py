@@ -110,6 +110,11 @@ class EvalService:
                     obs.incr("service.derived_fallbacks")
                 if self.store is not None:
                     for sibling_key, sibling in (siblings or {}).items():
+                        # contains() is an optimization, not a guard:
+                        # two processes can both see the key absent and
+                        # both put, and that is fine — publish is
+                        # first-wins atomic and the loser just counts a
+                        # dedupe (see ResultStore._publish).
                         if not self.store.contains(sibling_key):
                             self.store.put(sibling_key, sibling)
                     self.store.put(keys[miss_indices[position]], record)

@@ -1,19 +1,39 @@
-"""Content-addressed on-disk result store.
+"""Content-addressed on-disk result store, safe for concurrent writers.
 
 Each (NPU config, workload, scheme set, code version) evaluation is
 addressed by a SHA-256 fingerprint of its canonical JSON description;
 the record lives at ``<root>/<aa>/<fingerprint>.json`` (sharded by the
-first byte so no directory grows unbounded).  Writes go through a
-temporary file plus :func:`os.replace`, so a reader never observes a
-half-written record and concurrent writers of the same key simply race
-to an identical result.
+first byte so no directory grows unbounded).
+
+Concurrency model (enforced by the ``atomic-write-discipline`` and
+``lock-discipline`` rules of ``repro check``; see README "Concurrency
+model of the ResultStore"):
+
+- **Per-record atomic publish.**  ``put()`` writes the full body to a
+  ``mkstemp`` temp file in the target shard and publishes it with one
+  atomic ``os.link`` (falling back to ``os.replace`` on link-free
+  filesystems), so a reader never observes a half-written record.  Two
+  processes racing the same fingerprint publish identical bodies; the
+  first link wins and the loser counts a ``dedupe``, never a double
+  ``put`` — lifetime counters stay truthful under contention.
+- **Lock-free readers.**  ``get()`` touches only one record file and
+  needs no lock; a corrupt record (torn by a crash, stray edit) is
+  evicted and reported as a miss.
+- **stats.json merges under ``_stats_lock``.**  The read-modify-write
+  of the persistent counters is the one unavoidable RMW; it is
+  serialized on the ``stats.lock`` sidecar.
+- **Maintenance under ``_writer_lock``.**  ``clear()`` enumerates and
+  mass-deletes records — a multi-file read-modify-write of the record
+  index — so it holds the ``writer.lock`` sidecar.  The lock hierarchy
+  is writer.lock > stats.lock, always acquired in that order.
+- **Aged orphan sweeps.**  A leftover ``.tmp`` younger than
+  ``tmp_sweep_age`` may be another process's in-flight publish and is
+  never collected; only aged orphans (a crashed writer's leavings) are
+  swept.
 
 The code version folds a hash of the simulator's own sources into every
 fingerprint: editing any module that influences results invalidates the
 whole store automatically, with no manual versioning to forget.
-Per-session hit/miss counters are merged into a persistent
-``stats.json`` on :meth:`ResultStore.flush_stats`, which is what
-``repro cache stats`` reports.
 """
 
 from __future__ import annotations
@@ -23,14 +43,15 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from types import ModuleType
-from typing import Any, Dict, Iterable, Iterator, List, Optional
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 try:
     import fcntl as _fcntl_mod
-except ImportError:  # non-POSIX platform: stats merges go unlocked
+except ImportError:  # non-POSIX platform: O_EXCL spin-lock fallback
     fcntl: Optional[ModuleType] = None
 else:
     fcntl = _fcntl_mod
@@ -41,6 +62,13 @@ from repro.runner.records import SCHEMA_VERSION, npu_to_dict
 
 #: Environment override for the default store location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment override for the orphan-``.tmp`` sweep age threshold.
+TMP_SWEEP_AGE_ENV = "REPRO_TMP_SWEEP_AGE"
+
+#: Orphan ``.tmp`` files younger than this (seconds) are treated as
+#: live in-flight writes and skipped by every sweep.
+DEFAULT_TMP_SWEEP_AGE = 600.0
 
 #: Sources that cannot affect evaluation results: the caching machinery
 #: itself, the observability layer (spans and counters never change
@@ -62,6 +90,20 @@ def default_cache_dir() -> Path:
     if env:
         return Path(env)
     return Path.home() / ".cache" / "repro"
+
+
+def _default_tmp_sweep_age() -> float:
+    """``$REPRO_TMP_SWEEP_AGE`` if set, else ten minutes."""
+    # A maintenance knob: it decides when leftover temp files are
+    # garbage, never what any result contains.
+    # repro: allow(fingerprint-purity)
+    env = os.environ.get(TMP_SWEEP_AGE_ENV)
+    if env:
+        try:
+            return float(env)
+        except ValueError:
+            pass
+    return DEFAULT_TMP_SWEEP_AGE
 
 
 def code_version() -> str:
@@ -103,12 +145,18 @@ def fingerprint(npu: NpuConfig, workload: str,
 
 @dataclass
 class CacheStats:
-    """Counters for one store session."""
+    """Counters for one store session.
+
+    ``dedupes`` counts publishes lost to a same-fingerprint race: the
+    record this session computed was already published (identically) by
+    another writer.  The work was duplicated; the record was not.
+    """
 
     hits: int = 0
     misses: int = 0
     puts: int = 0
     evictions: int = 0
+    dedupes: int = 0
 
     @property
     def requests(self) -> int:
@@ -120,17 +168,27 @@ class CacheStats:
 
     def as_dict(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
-                "puts": self.puts, "evictions": self.evictions}
+                "puts": self.puts, "evictions": self.evictions,
+                "dedupes": self.dedupes}
 
 
 @dataclass
 class StoreSummary:
-    """What ``repro cache stats`` prints."""
+    """What ``repro cache stats`` prints.
+
+    ``orphan_tmp`` counts every leftover temp file; ``orphan_tmp_live``
+    is the subset younger than the sweep age (possibly another
+    process's in-flight publish — skipped by sweeps), and
+    ``orphan_tmp_sweepable`` the aged remainder the next ``clear()``
+    will collect.
+    """
 
     root: str
     entries: int
     total_bytes: int
     orphan_tmp: int = 0
+    orphan_tmp_live: int = 0
+    orphan_tmp_sweepable: int = 0
     lifetime: Dict[str, int] = field(default_factory=dict)
     last_run: Dict[str, int] = field(default_factory=dict)
 
@@ -138,9 +196,19 @@ class StoreSummary:
 class ResultStore:
     """Content-addressed JSON record store with atomic writes."""
 
-    def __init__(self, root: Optional[os.PathLike] = None):
+    #: A fallback (no-``fcntl``) sidecar lock older than this many
+    #: seconds is presumed leaked by a dead process and broken.
+    lock_stale_age: float = 10.0
+
+    #: Fallback spin-lock retry interval, seconds.
+    lock_spin_interval: float = 0.005
+
+    def __init__(self, root: Optional[os.PathLike] = None,
+                 tmp_sweep_age: Optional[float] = None):
         self.root = Path(root) if root is not None else default_cache_dir()
         self.stats = CacheStats()
+        self.tmp_sweep_age = tmp_sweep_age if tmp_sweep_age is not None \
+            else _default_tmp_sweep_age()
 
     # -- paths --
 
@@ -155,8 +223,10 @@ class ResultStore:
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """Record dict for ``key``, or ``None`` (counted as a miss).
 
-        A corrupt record (truncated write from a crashed process, stray
-        edit) is evicted and reported as a miss.
+        Lock-free: reads touch exactly one record file, which only ever
+        changes by atomic publish.  A corrupt record (truncated write
+        from a crashed process, stray edit) is evicted and reported as
+        a miss.
         """
         path = self._path(key)
         try:
@@ -183,23 +253,55 @@ class ResultStore:
         obs.incr("store.hits")
         return record
 
+    def _before_publish(self, key: str, tmp: str) -> None:
+        """Test seam: runs when the record body is durable in ``tmp``
+        and the atomic publish has not happened yet.  The concurrency
+        harness overrides it to force another writer (or a crash) into
+        exactly this window; production stores do nothing here."""
+
+    def _publish(self, key: str, tmp: str, path: Path) -> None:
+        """Atomically promote ``tmp`` to ``path``; first publisher wins.
+
+        ``os.link`` refuses to clobber, so whichever racer links first
+        owns the record; the loser's identical body is discarded and
+        counted as a ``dedupe``.  Filesystems without hard links fall
+        back to ``os.replace`` (last-wins, still atomic — racers carry
+        identical bodies, so only the counters could tell).
+        """
+        self._before_publish(key, tmp)
+        try:
+            os.link(tmp, path)
+        except FileExistsError:
+            os.unlink(tmp)
+            self.stats.dedupes += 1
+            obs.incr("store.dedupes")
+            return
+        except OSError:
+            os.replace(tmp, path)
+        else:
+            os.unlink(tmp)
+        self.stats.puts += 1
+        obs.incr("store.puts")
+
     def put(self, key: str, record: Dict[str, Any]) -> None:
-        """Atomically persist ``record`` under ``key``."""
+        """Atomically persist ``record`` under ``key``.
+
+        Safe under same-fingerprint races from any number of processes:
+        see :meth:`_publish`.
+        """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as handle:
                 json.dump(record, handle, separators=(",", ":"))
-            os.replace(tmp, path)
+            self._publish(key, tmp, path)
         except BaseException:
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
             raise
-        self.stats.puts += 1
-        obs.incr("store.puts")
 
     def demote_hit(self, key: str) -> None:
         """Reclassify the last hit on ``key`` as a miss and evict it.
@@ -236,67 +338,173 @@ class ResultStore:
         return len(self._record_paths())
 
     def size_bytes(self) -> int:
-        return sum(p.stat().st_size for p in self._record_paths())
+        total = 0
+        for path in self._record_paths():
+            try:
+                total += path.stat().st_size
+            except OSError:   # concurrently evicted/cleared
+                pass
+        return total
 
     def _orphan_tmp_paths(self) -> List[Path]:
-        """Leftover ``mkstemp`` files from crashed ``put()`` /
-        ``flush_stats()`` calls — invisible to ``entries()`` /
-        ``size_bytes()`` and swept by ``clear()``."""
+        """Every leftover ``mkstemp`` file, regardless of age —
+        crashed writers' leavings plus live in-flight publishes.
+        Invisible to ``entries()`` / ``size_bytes()``."""
         return sorted(self.root.glob("*.tmp")) \
             + sorted(self.root.glob("??/*.tmp"))
+
+    def _split_orphan_tmp_paths(self) -> Tuple[List[Path], List[Path]]:
+        """Partition orphan temp files into ``(sweepable, live)``.
+
+        Only files older than ``tmp_sweep_age`` are sweepable: a young
+        ``.tmp`` may be another process's publish in flight, and
+        collecting it would destroy a record mid-write.
+        """
+        # Wall-clock here compares file ages for garbage collection;
+        # nothing derived from it can reach a result or a fingerprint.
+        # repro: allow(fingerprint-purity)
+        cutoff = time.time() - self.tmp_sweep_age
+        sweepable: List[Path] = []
+        live: List[Path] = []
+        for path in self._orphan_tmp_paths():
+            try:
+                mtime = path.stat().st_mtime
+            except OSError:     # published or unlinked under us
+                continue
+            (sweepable if mtime <= cutoff else live).append(path)
+        return sweepable, live
 
     def orphan_tmp_count(self) -> int:
         return len(self._orphan_tmp_paths())
 
     def clear(self) -> int:
-        """Delete every record (plus orphaned temp files and the stats
-        file); returns the count of records removed."""
+        """Delete every record (plus aged orphan temp files and the
+        stats file); returns the count of records removed.
+
+        Runs under :meth:`_writer_lock`: enumerating and mass-deleting
+        the record index must not interleave with another maintenance
+        pass.  Live (younger than ``tmp_sweep_age``) temp files are
+        skipped — they may be a concurrent writer's in-flight publish.
+        """
         removed = 0
-        for path in self._record_paths():
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
-        for path in list(self._orphan_tmp_paths()):
-            try:
-                path.unlink()
-            except OSError:
-                pass
-        for path in (self._stats_path(), self._lock_path()):
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        with self._writer_lock():
+            for path in self._record_paths():
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            sweepable, live = self._split_orphan_tmp_paths()
+            swept = 0
+            for path in sweepable:
+                try:
+                    path.unlink()
+                    swept += 1
+                except OSError:
+                    pass
+            obs.incr("store.tmp_swept", swept)
+            obs.incr("store.tmp_skipped", len(live))
+            with self._stats_lock():
+                try:
+                    self._stats_path().unlink()
+                except OSError:
+                    pass
+        if fcntl is not None:
+            # The sidecar lock files are only meaningful under flock
+            # (the O_EXCL fallback deletes them on every release); with
+            # flock they persist, so a full clear sweeps them too.
+            for sidecar in (self._lock_path(),
+                            self._writer_lock_path()):
+                try:
+                    sidecar.unlink()
+                except OSError:
+                    pass
         return removed
 
-    # -- persistent statistics --
+    # -- locks --
 
     def _lock_path(self) -> Path:
         return self.root / "stats.lock"
 
+    def _writer_lock_path(self) -> Path:
+        return self.root / "writer.lock"
+
+    @contextlib.contextmanager
+    def _sidecar_lock(self, lock_path: Path) -> Iterator[None]:
+        """Inter-process mutex on a sidecar lock file.
+
+        With ``fcntl``, an ``flock`` on the (persistent) sidecar —
+        never on the protected file itself, which is replaced
+        atomically and would orphan the lock.  Without ``fcntl``, a
+        portable ``O_CREAT | O_EXCL`` spin-lock: creation is the atomic
+        acquire, unlink the release, and a lock file older than
+        ``lock_stale_age`` is presumed leaked by a dead process and
+        broken (counted on ``store.stale_locks_broken``).  The fallback
+        engaging at all is counted on ``store.lock_fallbacks`` — merges
+        are never silently unlocked.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        if fcntl is not None:
+            with open(lock_path, "a") as handle:
+                fcntl.flock(handle, fcntl.LOCK_EX)
+                try:
+                    yield
+                finally:
+                    fcntl.flock(handle, fcntl.LOCK_UN)
+            return
+        obs.incr("store.lock_fallbacks")
+        while True:
+            try:
+                fd = os.open(lock_path,
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                break
+            except FileExistsError:
+                try:
+                    # Maintenance-only clock use: lock staleness never
+                    # reaches a result.  # repro: allow(fingerprint-purity)
+                    age = time.time() - lock_path.stat().st_mtime
+                except OSError:
+                    continue     # released between open and stat; retry
+                if age > self.lock_stale_age:
+                    obs.incr("store.stale_locks_broken")
+                    with contextlib.suppress(OSError):
+                        lock_path.unlink()
+                else:
+                    # repro: allow(fingerprint-purity)
+                    time.sleep(self.lock_spin_interval)
+        try:
+            os.write(fd, str(os.getpid()).encode())
+            os.close(fd)
+            yield
+        finally:
+            with contextlib.suppress(OSError):
+                lock_path.unlink()
+
     @contextlib.contextmanager
     def _stats_lock(self) -> Iterator[None]:
-        """Inter-process mutex around the ``stats.json`` read-modify-write.
+        """Mutex around the ``stats.json`` read-modify-write.
 
         ``flush_stats`` merges session counters into the persistent
         file; two concurrent sweeps flushing unlocked race the
-        read-modify-write and silently lose counters.  An ``flock`` on a
-        sidecar lock file (never on ``stats.json`` itself, which is
-        replaced atomically and would orphan the lock) serializes the
-        merge.  On platforms without ``fcntl`` the merge proceeds
-        unlocked, exactly as before.
+        read-modify-write and silently lose counters.
         """
-        if fcntl is None:
+        with self._sidecar_lock(self._lock_path()):
             yield
-            return
-        self.root.mkdir(parents=True, exist_ok=True)
-        with open(self._lock_path(), "a") as handle:
-            fcntl.flock(handle, fcntl.LOCK_EX)
-            try:
-                yield
-            finally:
-                fcntl.flock(handle, fcntl.LOCK_UN)
+
+    @contextlib.contextmanager
+    def _writer_lock(self) -> Iterator[None]:
+        """Mutex around record-index maintenance (``clear()``).
+
+        Per-record publishes need no lock — they are single atomic
+        links — but enumerate-and-delete maintenance must not run twice
+        concurrently or interleave with another maintenance pass.
+        Lock hierarchy: ``_writer_lock`` before ``_stats_lock``, never
+        the reverse.
+        """
+        with self._sidecar_lock(self._writer_lock_path()):
+            yield
+
+    # -- persistent statistics --
 
     def _load_persistent(self) -> Dict[str, Any]:
         try:
@@ -311,10 +519,11 @@ class ResultStore:
         """Merge this session's counters into ``stats.json`` and reset.
 
         The read-modify-write runs under :meth:`_stats_lock`, so
-        concurrent sweeps (or a future eval server's writers) merge
-        rather than clobber each other's counters.
+        concurrent sweeps (or the eval server's writers) merge rather
+        than clobber each other's counters.
         """
-        if not self.stats.requests and not self.stats.puts:
+        if not self.stats.requests and not self.stats.puts \
+                and not self.stats.dedupes:
             return
         with self._stats_lock():
             data = self._load_persistent()
@@ -338,13 +547,15 @@ class ResultStore:
 
     def summary(self) -> StoreSummary:
         data = self._load_persistent()
-        orphans = self.orphan_tmp_count()
-        obs.gauge("store.orphan_tmp", orphans)
+        sweepable, live = self._split_orphan_tmp_paths()
+        obs.gauge("store.orphan_tmp", len(sweepable) + len(live))
         return StoreSummary(
             root=str(self.root),
             entries=self.entries(),
             total_bytes=self.size_bytes(),
-            orphan_tmp=orphans,
+            orphan_tmp=len(sweepable) + len(live),
+            orphan_tmp_live=len(live),
+            orphan_tmp_sweepable=len(sweepable),
             lifetime=data.get("lifetime", {}),
             last_run=data.get("last_run", {}),
         )

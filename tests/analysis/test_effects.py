@@ -1,0 +1,268 @@
+"""Unit tests for the whole-program effect inference.
+
+Everything here runs over throwaway scratch checkouts built with the
+shared ``make_project`` fixture, so the assertions pin the inference
+*mechanics* (classification, call resolution, fixpoint propagation,
+manifest layout) without depending on the live tree's contents.
+"""
+
+from pathlib import Path
+
+from repro.analysis.context import Project
+from repro.analysis.effects import (
+    ALL_EFFECTS,
+    analyze_project,
+    get_analysis,
+    module_name_for,
+)
+from repro.analysis.effects.manifest import (
+    MANIFEST_FORMAT,
+    PURE_PACKAGES,
+    build_manifest,
+    module_package,
+)
+from repro.analysis.effects.model import (
+    ENV_READ,
+    FS_READ,
+    FS_RENAME,
+    FS_UNLINK,
+    FS_WRITE,
+    GLOBAL_WRITE,
+    LOCK_ACQUIRE,
+    LOCK_RELEASE,
+    PROCESS_SPAWN,
+)
+
+
+def _analyze(root):
+    return analyze_project(Project(Path(root)))
+
+
+def _direct(analysis, qualname):
+    return analysis.functions[qualname].direct
+
+
+class TestDirectEffects:
+    def test_open_modes_and_os_calls(self, make_project):
+        root = make_project({"src/repro/demo.py": """\
+            import os
+
+            def reader(path):
+                with open(path) as handle:
+                    return handle.read()
+
+            def writer(path, text):
+                with open(path, "w") as handle:
+                    handle.write(text)
+
+            def publisher(tmp, final):
+                os.replace(tmp, final)
+
+            def remover(path):
+                os.unlink(path)
+            """})
+        analysis = _analyze(root)
+        assert _direct(analysis, "repro.demo:reader") == {FS_READ}
+        assert _direct(analysis, "repro.demo:writer") == {FS_WRITE}
+        assert _direct(analysis, "repro.demo:publisher") == {FS_RENAME}
+        assert _direct(analysis, "repro.demo:remover") == {FS_UNLINK}
+
+    def test_dynamic_open_mode_assumes_write(self, make_project):
+        root = make_project({"src/repro/demo.py": """\
+            def opener(path, mode):
+                return open(path, mode)
+            """})
+        analysis = _analyze(root)
+        assert _direct(analysis, "repro.demo:opener") == {FS_WRITE}
+
+    def test_path_methods_are_duck_typed(self, make_project):
+        root = make_project({"src/repro/demo.py": """\
+            def dump(path, text):
+                path.write_text(text)
+
+            def listing(root):
+                return sorted(root.glob("*.json"))
+
+            def renamer(src, dst):
+                # str.replace homonym: must NOT classify as a rename.
+                return src.replace("a", "b")
+            """})
+        analysis = _analyze(root)
+        assert _direct(analysis, "repro.demo:dump") == {FS_WRITE}
+        assert _direct(analysis, "repro.demo:listing") == {FS_READ}
+        assert _direct(analysis, "repro.demo:renamer") == frozenset()
+
+    def test_spawn_env_global_and_locks(self, make_project):
+        root = make_project({"src/repro/demo.py": """\
+            import fcntl
+            import os
+            import subprocess
+
+            COUNT = 0
+
+            def shell(cmd):
+                return subprocess.run(cmd)
+
+            def env_flag():
+                return os.environ.get("REPRO_FLAG")
+
+            def bump():
+                global COUNT
+                COUNT += 1
+
+            def lock(handle):
+                fcntl.flock(handle, fcntl.LOCK_EX)
+
+            def unlock(handle):
+                fcntl.flock(handle, fcntl.LOCK_UN)
+            """})
+        analysis = _analyze(root)
+        assert _direct(analysis, "repro.demo:shell") == {PROCESS_SPAWN}
+        assert _direct(analysis, "repro.demo:env_flag") == {ENV_READ}
+        assert _direct(analysis, "repro.demo:bump") == {GLOBAL_WRITE}
+        assert _direct(analysis, "repro.demo:lock") == {LOCK_ACQUIRE}
+        assert _direct(analysis, "repro.demo:unlock") == {LOCK_RELEASE}
+
+    def test_import_alias_chain_resolves(self, make_project):
+        # The optional-dependency idiom the store uses: the effectful
+        # module is imported under a private name and rebound at top
+        # level, possibly inside try/except.
+        root = make_project({"src/repro/demo.py": """\
+            try:
+                import fcntl as _fcntl_mod
+            except ImportError:
+                fcntl = None
+            else:
+                fcntl = _fcntl_mod
+
+            def lock(handle):
+                fcntl.flock(handle, fcntl.LOCK_EX)
+            """})
+        analysis = _analyze(root)
+        assert _direct(analysis, "repro.demo:lock") == {LOCK_ACQUIRE}
+
+
+class TestPropagation:
+    def test_transitive_crosses_modules(self, make_project):
+        root = make_project({
+            "src/repro/io_util.py": """\
+                import os
+
+                def publish(tmp, final):
+                    os.replace(tmp, final)
+                """,
+            "src/repro/front.py": """\
+                from repro.io_util import publish
+
+                def save(tmp, final):
+                    publish(tmp, final)
+
+                def pure(x):
+                    return x + 1
+                """,
+        })
+        analysis = _analyze(root)
+        save = analysis.functions["repro.front:save"]
+        assert save.direct == frozenset()
+        assert save.transitive == {FS_RENAME}
+        assert "repro.io_util:publish" in save.calls
+        pure = analysis.functions["repro.front:pure"]
+        assert pure.transitive == frozenset()
+
+    def test_recursion_reaches_fixpoint(self, make_project):
+        root = make_project({"src/repro/demo.py": """\
+            import os
+
+            def ping(n):
+                if n:
+                    return pong(n - 1)
+                return os.listdir(".")
+
+            def pong(n):
+                return ping(n)
+            """})
+        analysis = _analyze(root)
+        assert analysis.functions["repro.demo:ping"].transitive \
+            == {FS_READ}
+        assert analysis.functions["repro.demo:pong"].transitive \
+            == {FS_READ}
+
+    def test_method_calls_resolve_through_self(self, make_project):
+        root = make_project({"src/repro/demo.py": """\
+            import os
+
+            class Store:
+                def _sweep(self):
+                    os.unlink("x")
+
+                def clear(self):
+                    self._sweep()
+            """})
+        analysis = _analyze(root)
+        clear = analysis.functions["repro.demo:Store.clear"]
+        assert "repro.demo:Store._sweep" in clear.calls
+        assert clear.transitive == {FS_UNLINK}
+
+    def test_module_summary_and_reachability(self, make_project):
+        root = make_project({"src/repro/demo.py": """\
+            import os
+
+            def touch(path):
+                os.utime(path, None)
+
+            def entry(path):
+                touch(path)
+            """})
+        analysis = _analyze(root)
+        direct, transitive = analysis.module_summary("repro.demo")
+        assert direct == {FS_WRITE}
+        assert transitive == {FS_WRITE}
+        reached = analysis.reachable_from(["repro.demo:entry"])
+        assert "repro.demo:touch" in reached
+
+    def test_module_toplevel_gets_pseudo_function(self, make_project):
+        root = make_project({"src/repro/demo.py": """\
+            import os
+
+            STAMP = os.getenv("REPRO_STAMP")
+            """})
+        analysis = _analyze(root)
+        assert _direct(analysis, "repro.demo:<module>") == {ENV_READ}
+
+
+class TestManifest:
+    def test_build_layout(self, make_project):
+        root = make_project({"src/repro/demo.py": """\
+            import os
+
+            def sweep(path):
+                os.unlink(path)
+            """})
+        manifest = build_manifest(_analyze(root))
+        assert manifest["format"] == MANIFEST_FORMAT
+        assert manifest["pure_packages"] == list(PURE_PACKAGES)
+        entry = manifest["modules"]["repro.demo"]
+        assert entry["direct"] == [FS_UNLINK]
+        assert entry["transitive"] == [FS_UNLINK]
+        for module in manifest["modules"].values():
+            assert set(module["direct"]) <= set(ALL_EFFECTS)
+            assert set(module["transitive"]) <= set(ALL_EFFECTS)
+
+    def test_module_package_grouping(self):
+        assert module_package("repro.runner.store") == "repro.runner"
+        assert module_package("repro.tiling") == "repro.tiling"
+        assert module_package("repro") == "repro"
+
+    def test_module_name_for_paths(self):
+        assert module_name_for("src/repro/runner/store.py") \
+            == "repro.runner.store"
+        assert module_name_for("src/repro/tiling/__init__.py") \
+            == "repro.tiling"
+
+    def test_get_analysis_is_memoized(self, make_project):
+        root = make_project({"src/repro/demo.py": """\
+            def pure(x):
+                return x
+            """})
+        project = Project(Path(root))
+        assert get_analysis(project) is get_analysis(project)

@@ -1,11 +1,20 @@
 """ResultStore: hits, misses, fingerprints, atomicity, statistics."""
 
 import json
+import os
+import time
 
 import pytest
 
 from repro.core.config import npu_config
-from repro.runner.store import CacheStats, ResultStore, code_version, fingerprint
+from repro.runner.store import (
+    CacheStats,
+    DEFAULT_TMP_SWEEP_AGE,
+    ResultStore,
+    TMP_SWEEP_AGE_ENV,
+    code_version,
+    fingerprint,
+)
 
 RECORD = {"schema_version": 1, "payload": [1, 2, 3]}
 
@@ -127,22 +136,54 @@ class TestMaintenance:
 
     def test_orphan_tmp_files_reported_and_swept(self, store):
         """Regression: .tmp leftovers from crashed put()/flush_stats()
-        were invisible to entries()/size_bytes() and survived clear()."""
+        were invisible to entries()/size_bytes() and survived clear().
+        Aged orphans are swept; fresh ones may be a live writer's
+        in-flight publish and must survive."""
         store.put("aa" * 32, RECORD)
         shard_orphan = store.root / "aa" / "deadbeef.tmp"
         shard_orphan.write_text("{trunc")
         root_orphan = store.root / "cafef00d.tmp"
         root_orphan.write_text("{trunc")
+        live_orphan = store.root / "aa" / "inflight.tmp"
+        live_orphan.write_text("{part")
+
+        # Age two of the three past the sweep threshold.
+        stale = time.time() - store.tmp_sweep_age - 60
+        os.utime(shard_orphan, (stale, stale))
+        os.utime(root_orphan, (stale, stale))
 
         assert store.entries() == 1          # records only
         summary = store.summary()
-        assert summary.orphan_tmp == 2
+        assert summary.orphan_tmp == 3
+        assert summary.orphan_tmp_sweepable == 2
+        assert summary.orphan_tmp_live == 1
 
         removed = store.clear()
         assert removed == 1                  # return value counts records
         assert not shard_orphan.exists()
         assert not root_orphan.exists()
-        assert store.summary().orphan_tmp == 0
+        assert live_orphan.exists()          # never sweep a live write
+        summary = store.summary()
+        assert summary.orphan_tmp == 1
+        assert summary.orphan_tmp_sweepable == 0
+
+    def test_zero_sweep_age_collects_everything(self, tmp_path):
+        """tmp_sweep_age=0 restores the old eager behavior for tests
+        and operators who know no writer is live."""
+        store = ResultStore(tmp_path / "cache", tmp_sweep_age=0.0)
+        orphan = store.root / "aa"
+        orphan.mkdir(parents=True)
+        orphan = orphan / "leftover.tmp"
+        orphan.write_text("{trunc")
+        store.clear()
+        assert not orphan.exists()
+
+    def test_sweep_age_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TMP_SWEEP_AGE_ENV, "42.5")
+        assert ResultStore(tmp_path).tmp_sweep_age == 42.5
+        monkeypatch.setenv(TMP_SWEEP_AGE_ENV, "not-a-number")
+        assert ResultStore(tmp_path).tmp_sweep_age \
+            == DEFAULT_TMP_SWEEP_AGE
 
 
 class TestStats:
@@ -163,7 +204,8 @@ class TestStats:
         assert summary.lifetime["hits"] == 2
         assert summary.lifetime["misses"] == 1
         assert summary.last_run == {"hits": 1, "misses": 0,
-                                    "puts": 0, "evictions": 0}
+                                    "puts": 0, "evictions": 0,
+                                    "dedupes": 0}
         assert store.stats.requests == 0  # reset after flush
 
     def test_flush_is_noop_when_idle(self, store):
@@ -227,3 +269,45 @@ class TestStatsLocking:
         store.flush_stats()
         assert store.summary().lifetime["misses"] == 1
         assert not (store.root / "stats.lock").exists()
+
+    def test_fallback_spinlock_breaks_stale_lock(self, tmp_path,
+                                                 monkeypatch):
+        """A lock file leaked by a dead process must not wedge every
+        future flush: past lock_stale_age the fallback breaks it."""
+        from repro.runner import store as store_module
+
+        monkeypatch.setattr(store_module, "fcntl", None)
+        store = ResultStore(tmp_path / "cache")
+        store.root.mkdir(parents=True, exist_ok=True)
+        leaked = store.root / "stats.lock"
+        leaked.write_text("99999")
+        stale = time.time() - store.lock_stale_age - 5
+        os.utime(leaked, (stale, stale))
+
+        store.get("aa" * 32)
+        store.flush_stats()              # would spin forever unbroken
+        assert store.summary().lifetime["misses"] == 1
+        assert not leaked.exists()
+
+    def test_fallback_spinlock_waits_for_fresh_lock(self, tmp_path,
+                                                    monkeypatch):
+        """A *fresh* lock belongs to a live holder: the fallback spins
+        until the holder releases instead of breaking it."""
+        import threading
+
+        from repro.runner import store as store_module
+
+        monkeypatch.setattr(store_module, "fcntl", None)
+        store = ResultStore(tmp_path / "cache")
+        store.root.mkdir(parents=True, exist_ok=True)
+        held = store.root / "stats.lock"
+        held.write_text("1")             # fresh: mtime is now
+
+        releaser = threading.Timer(0.1, held.unlink)
+        releaser.start()
+        try:
+            store.get("aa" * 32)
+            store.flush_stats()          # blocks until the release
+        finally:
+            releaser.cancel()
+        assert store.summary().lifetime["misses"] == 1
