@@ -9,6 +9,7 @@ CI seed-violation smoke pick it up automatically.
 from repro.analysis.rules import (  # noqa: F401
     atomic_write,
     effect_budget,
+    fault_isolation,
     fingerprint_purity,
     hot_path,
     lock_discipline,

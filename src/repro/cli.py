@@ -45,6 +45,8 @@ from repro.models.zoo import (
     parse_workload_spec,
 )
 from repro.protection import SCHEME_NAMES, make_scheme
+from repro.runner.executor import SweepAborted
+from repro.runner.journal import SweepJournal
 from repro.runner.store import ResultStore
 from repro.utils.report import format_table, percent
 
@@ -184,21 +186,39 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
         workloads = [with_batch_tag(w) for w in (workloads or WORKLOADS)]
     store = _make_store(args)
+    if args.resume and store is None:
+        print("error: --resume needs the on-disk store (drop --no-cache)",
+              file=sys.stderr)
+        return 2
     recorder = obs.enable() if args.profile else obs.get()
     runner = SweepRunner(
         scheme_names=args.schemes, jobs=args.jobs, store=store,
         derive=not args.no_derive,
+        retries=args.retries, cell_timeout=args.cell_timeout,
+        tolerant=True, resume=args.resume, max_failures=args.max_failures,
         cell_progress=lambda done, total, request: print(
             f"  [{done}/{total}] computed {request.workload} on {args.npu}",
             file=sys.stderr))
 
     started = time.time()
-    with obs.span("sweep", npu=args.npu,
-                  workloads=len(workloads) if workloads else len(WORKLOADS)):
-        results = runner.sweep(args.npu, workloads=workloads)
+    try:
+        with obs.span("sweep", npu=args.npu,
+                      workloads=len(workloads) if workloads
+                      else len(WORKLOADS)):
+            results = runner.sweep(args.npu, workloads=workloads)
+    except SweepAborted as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        for cell in exc.failures:
+            print(f"  FAILED {cell.describe()}", file=sys.stderr)
+        return 1
     elapsed = time.time() - started
 
     names = list(results)
+    if not names:
+        print("error: every grid cell failed", file=sys.stderr)
+        for cell in runner.failures:
+            print(f"  FAILED {cell.describe()}", file=sys.stderr)
+        return 1
     tables = {metric: runner.figure_table(results, metric)
               for metric in args.metrics}
     for metric, table in tables.items():
@@ -212,6 +232,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     derive_note = f", {derived} derived analytically" if derived else ""
     if fallbacks:
         derive_note += f", {fallbacks} derive fallbacks"
+    if runner.failures:
+        derive_note += f", {len(runner.failures)} FAILED"
+    if runner.service.persist_errors:
+        derive_note += \
+            f", {runner.service.persist_errors} persist errors"
     if store is not None:
         last = store.summary().last_run
         served = last.get("hits", 0)
@@ -252,6 +277,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             export.write_jsonl(recorder, args.profile_events)
             print(f"wrote {args.profile_events}")
         obs.disable()
+    if runner.failures:
+        print(f"\n{len(runner.failures)} grid cell(s) FAILED "
+              f"(re-run with --resume to retry the transient ones):",
+              file=sys.stderr)
+        for cell in runner.failures:
+            print(f"  FAILED {cell.describe()}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -298,7 +330,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache_stats(args: argparse.Namespace) -> int:
-    summary = ResultStore(args.cache_dir).summary()
+    store = ResultStore(args.cache_dir)
+    summary = store.summary()
+    journal = SweepJournal(store.root)
+    journal_counts = journal.counts() if journal.exists() else {}
     lifetime, last = summary.lifetime, summary.last_run
     last_total = last.get("hits", 0) + last.get("misses", 0)
     last_rate = last.get("hits", 0) / last_total if last_total else 0.0
@@ -309,8 +344,12 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
         ["orphaned tmp files", summary.orphan_tmp],
         ["  live (in-flight)", summary.orphan_tmp_live],
         ["  sweepable (aged)", summary.orphan_tmp_sweepable],
+        ["quarantined records", summary.quarantined],
+        ["journal done cells", journal_counts.get("done", 0)],
+        ["journal failed cells", journal_counts.get("failed", 0)],
         ["lifetime hits", lifetime.get("hits", 0)],
         ["lifetime misses", lifetime.get("misses", 0)],
+        ["lifetime quarantined", lifetime.get("quarantined", 0)],
         ["last run hits", last.get("hits", 0)],
         ["last run misses", last.get("misses", 0)],
         ["last run hit rate", f"{last_rate * 100:.1f}%"],
@@ -320,8 +359,11 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
 
 def _cmd_cache_clear(args: argparse.Namespace) -> int:
     store = ResultStore(args.cache_dir)
+    quarantined = store.quarantined_count()
     removed = store.clear()
-    print(f"removed {removed} cached results from {store.root}")
+    SweepJournal(store.root).clear()
+    note = f" (plus {quarantined} quarantined)" if quarantined else ""
+    print(f"removed {removed} cached results{note} from {store.root}")
     return 0
 
 
@@ -473,6 +515,20 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--no-derive", action="store_true",
                          help="force full simulation of every cell "
                               "(skip the analytic @bN derivation)")
+    sweep_p.add_argument("--retries", type=int, default=1,
+                         help="extra attempts per cell after a transient "
+                              "failure (default 1; 0 disables retries)")
+    sweep_p.add_argument("--cell-timeout", type=float, metavar="SECONDS",
+                         help="wall-time bound per cell attempt; an "
+                              "attempt over budget counts as a "
+                              "transient failure")
+    sweep_p.add_argument("--resume", action="store_true",
+                         help="skip cells already journaled: finished "
+                              "cells are store hits, permanently failed "
+                              "ones are not re-attempted")
+    sweep_p.add_argument("--max-failures", type=int, metavar="N",
+                         help="abort the sweep once more than N cells "
+                              "have failed (default: never)")
     sweep_p.add_argument("--profile", metavar="TRACE.json",
                          help="record spans/counters and write a Chrome "
                               "trace-event file (plus a .metrics.json "

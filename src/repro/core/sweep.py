@@ -16,6 +16,7 @@ from typing import Callable, Dict, Iterable, List, Optional
 from repro.core.metrics import ComparisonResult
 from repro.models.zoo import WORKLOADS
 from repro.protection import SCHEME_NAMES
+from repro.runner.executor import FailedCell
 from repro.runner.executor import ProgressFn as CellProgressFn
 from repro.runner.service import EvalService
 from repro.runner.store import ResultStore
@@ -40,14 +41,26 @@ class SweepRunner:
                  jobs: int = 1, store: Optional[ResultStore] = None,
                  cache_dir: Optional[str] = None,
                  cell_progress: Optional[CellProgressFn] = None,
-                 derive: bool = True):
+                 derive: bool = True, retries: int = 0,
+                 cell_timeout: Optional[float] = None,
+                 tolerant: bool = False, resume: bool = False,
+                 max_failures: Optional[int] = None):
         self.scheme_names = list(scheme_names or SCHEME_NAMES)
         #: False forces full simulation of every cell (``--no-derive``).
         self.derive = derive
+        #: Per-cell failure policy (see EvalRequest.retries/timeout).
+        self.retries = retries
+        self.cell_timeout = cell_timeout
+        #: True → failed cells become FailedCell reports on
+        #: ``self.failures`` instead of aborting the sweep.
+        self.tolerant = tolerant
+        self.max_failures = max_failures
+        #: FailedCell reports from the most recent tolerant sweep.
+        self.failures: List[FailedCell] = []
         if store is None and cache_dir is not None:
             store = ResultStore(cache_dir)
         self.service = EvalService(store=store, jobs=jobs,
-                                   progress=cell_progress)
+                                   progress=cell_progress, resume=resume)
 
     def compare(self, npu_name: str, workload: str) -> ComparisonResult:
         return self.service.compare(npu_name, workload, self.scheme_names,
@@ -71,8 +84,15 @@ class SweepRunner:
                 progress(npu_name, workload)
             requests.append(
                 self.service.request(npu_name, workload, self.scheme_names,
-                                     derive=self.derive))
-        return dict(zip(names, self.service.evaluate(requests)))
+                                     derive=self.derive,
+                                     retries=self.retries,
+                                     timeout=self.cell_timeout))
+        if not self.tolerant:
+            return dict(zip(names, self.service.evaluate(requests)))
+        results, self.failures = self.service.evaluate_tolerant(
+            requests, max_failures=self.max_failures)
+        return {name: result for name, result in zip(names, results)
+                if result is not None}
 
     # -- aggregation helpers --
 

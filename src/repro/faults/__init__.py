@@ -1,0 +1,110 @@
+"""Fault-injection plane: deterministic, seeded failures at named sites.
+
+Production modules call the hooks here at their failure-prone seams
+(``fire`` at the top of a risky operation, ``corrupt_text`` on bytes
+read back from disk, ``should_fail`` at boolean capability probes).
+With no plan active every hook is a near-free no-op — one module
+attribute read — so the hooks are safe to leave in hot paths.
+
+A plan activates in one of two ways:
+
+- ``REPRO_FAULTS=<spec>`` in the environment (read lazily, once);
+- :func:`install` from a test (returns the previous plan for restore).
+
+This package is deliberately excluded from ``code_version()`` hashing
+(see ``_NON_RESULT_DIRS`` in :mod:`repro.runner.store`) and must never
+be imported by fingerprint-hashed modules — the ``fault-isolation``
+lint rule enforces that — so fault-injection code can evolve without
+invalidating every cached result.
+
+Known sites (grep for the literal to find the hook):
+
+=================  ====================================================
+``cell``           worker entry in ``run_cell`` (raise/kill/delay)
+``store.put``      ``ResultStore.put`` before publish (oserror)
+``store.read``     record text read back in ``ResultStore.get``
+                   (corrupt → exercises the quarantine path)
+``native.build``   native-kernel compile in ``utils/native.py`` (fail)
+``native.load``    native-kernel dlopen in ``utils/native.py`` (fail)
+``journal.append`` after a sweep-journal line lands (kill ``@N`` →
+                   simulates a mid-sweep SIGKILL with N durable lines)
+=================  ====================================================
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.faults.plan import (
+    FAULTS_ENV,
+    FaultInjected,
+    FaultPermanent,
+    FaultPlan,
+    FaultRule,
+    MODES,
+)
+
+__all__ = [
+    "FAULTS_ENV",
+    "FaultInjected",
+    "FaultPermanent",
+    "FaultPlan",
+    "FaultRule",
+    "MODES",
+    "active",
+    "corrupt_text",
+    "fire",
+    "install",
+    "should_fail",
+]
+
+_active: Optional[FaultPlan] = None
+_env_loaded = False
+
+
+def active() -> Optional[FaultPlan]:
+    """The active plan, if any; loads ``REPRO_FAULTS`` on first use."""
+    global _active, _env_loaded
+    if not _env_loaded:
+        _env_loaded = True
+        spec = os.environ.get(FAULTS_ENV)
+        if spec:
+            _active = FaultPlan.parse(spec)
+    return _active
+
+
+def install(plan: Optional[FaultPlan]) -> Optional[FaultPlan]:
+    """Test seam: activate ``plan`` (or deactivate with ``None``).
+
+    Returns the previously active plan so tests can restore it; also
+    pins the environment as "loaded" so a lingering ``REPRO_FAULTS``
+    cannot resurrect after ``install(None)``.
+    """
+    global _active, _env_loaded
+    previous = _active
+    _active = plan
+    _env_loaded = True
+    return previous
+
+
+def fire(site: str, key: str = "", attempt: int = 0) -> None:
+    """Apply any active push-mode faults at ``site`` (no-op otherwise)."""
+    plan = active()
+    if plan is not None:
+        plan.fire(site, key=key, attempt=attempt)
+
+
+def should_fail(site: str, key: str = "", attempt: int = 0) -> bool:
+    """True when an active ``fail``-mode rule triggers at ``site``."""
+    plan = active()
+    return plan is not None and plan.should_fail(site, key=key,
+                                                 attempt=attempt)
+
+
+def corrupt_text(site: str, key: str, text: str, attempt: int = 0) -> str:
+    """Pass ``text`` through any active ``corrupt`` rule at ``site``."""
+    plan = active()
+    if plan is None:
+        return text
+    return plan.corrupt_text(site, key, text, attempt=attempt)

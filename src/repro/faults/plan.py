@@ -1,0 +1,209 @@
+"""Deterministic, seeded fault-injection plans.
+
+A :class:`FaultPlan` is a list of rules, each binding a *site* (a
+dotted name a production module passes to :func:`repro.faults.fire`)
+to a failure *mode* with a trigger.  Plans are parsed from the
+``REPRO_FAULTS`` environment variable or installed programmatically via
+the :func:`repro.faults.install` test seam.
+
+Spec grammar (clauses separated by ``,``)::
+
+    seed=7,cell:raise:0.2,store.read:corrupt:0.3,journal.append:kill:@3
+
+- ``seed=N`` seeds the deterministic draws (default 0).
+- Every other clause is ``site:mode[:trigger[:arg]]``.
+- ``trigger`` is either a probability in ``[0, 1]`` (default ``1``) or
+  ``@N``: fire on exactly the N-th matching call in this process.
+- ``arg`` is a mode parameter (currently: sleep seconds for ``delay``).
+
+Modes:
+
+``raise``      raise :class:`FaultInjected` (classified transient)
+``permanent``  raise :class:`FaultPermanent` (classified permanent)
+``oserror``    raise ``OSError`` (what a flaky filesystem raises)
+``kill``       ``SIGKILL`` the current process — no cleanup, no excuses
+``delay``      sleep ``arg`` seconds (drives timeout paths)
+``corrupt``    garble text passed through :func:`corrupt_text`
+``fail``       make :func:`should_fail` answer True (boolean sites)
+
+Probabilistic draws are *content-addressed*, not stateful: the decision
+for ``(site, mode, key, attempt)`` is a pure function of the plan seed,
+so it is identical across processes, schedulers, and reruns — which is
+what lets the chaos suite assert bit-identical outcomes for a fixed
+seed.  Retries naturally re-draw because the attempt number changes.
+``@N`` triggers are per-process counters (used to kill a parent sweep
+after exactly N journal appends, say).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Modes applied by ``fire`` (the remaining two are pull-style:
+#: ``corrupt`` via ``corrupt_text`` and ``fail`` via ``should_fail``).
+_FIRE_MODES = ("delay", "oserror", "raise", "permanent", "kill")
+MODES = _FIRE_MODES + ("corrupt", "fail")
+
+
+class FaultInjected(Exception):
+    """An injected fault; classified *transient* by the executor."""
+
+
+class FaultPermanent(FaultInjected):
+    """An injected fault; classified *permanent* (retries are futile)."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One site/mode binding with its trigger."""
+
+    site: str
+    mode: str
+    #: Probability per call; ignored when ``nth`` is set.
+    rate: float = 1.0
+    #: Fire on exactly the nth matching call in this process.
+    nth: Optional[int] = None
+    #: Mode parameter (sleep seconds for ``delay``).
+    arg: float = 0.0
+
+    def spec(self) -> str:
+        trigger = f"@{self.nth}" if self.nth is not None else f"{self.rate:g}"
+        clause = f"{self.site}:{self.mode}:{trigger}"
+        if self.arg:
+            clause += f":{self.arg:g}"
+        return clause
+
+
+def _parse_rule(clause: str) -> FaultRule:
+    parts = clause.split(":")
+    if len(parts) < 2 or len(parts) > 4:
+        raise ValueError(
+            f"bad fault clause {clause!r}: want site:mode[:trigger[:arg]]")
+    site, mode = parts[0].strip(), parts[1].strip()
+    if not site:
+        raise ValueError(f"bad fault clause {clause!r}: empty site")
+    if mode not in MODES:
+        raise ValueError(
+            f"bad fault clause {clause!r}: unknown mode {mode!r} "
+            f"(known: {', '.join(MODES)})")
+    rate, nth = 1.0, None
+    if len(parts) >= 3:
+        trigger = parts[2].strip()
+        if trigger.startswith("@"):
+            nth = int(trigger[1:])
+            if nth < 1:
+                raise ValueError(
+                    f"bad fault clause {clause!r}: @N wants N >= 1")
+        else:
+            rate = float(trigger)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(
+                    f"bad fault clause {clause!r}: rate must be in [0, 1]")
+    arg = float(parts[3]) if len(parts) == 4 else 0.0
+    return FaultRule(site=site, mode=mode, rate=rate, nth=nth, arg=arg)
+
+
+@dataclass
+class FaultPlan:
+    """A seeded set of :class:`FaultRule` bindings.
+
+    The plan itself is cheap and immutable apart from the per-rule call
+    counters backing ``@N`` triggers (deliberately per-process state).
+    """
+
+    rules: Tuple[FaultRule, ...] = ()
+    seed: int = 0
+    _calls: Dict[int, int] = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse a ``REPRO_FAULTS`` spec string."""
+        seed = 0
+        rules: List[FaultRule] = []
+        for raw in spec.split(","):
+            clause = raw.strip()
+            if not clause:
+                continue
+            if clause.startswith("seed="):
+                seed = int(clause[len("seed="):])
+                continue
+            rules.append(_parse_rule(clause))
+        return cls(rules=tuple(rules), seed=seed)
+
+    def spec(self) -> str:
+        """The canonical spec string (parse/spec round-trips)."""
+        return ",".join([f"seed={self.seed}"]
+                        + [rule.spec() for rule in self.rules])
+
+    # -- trigger evaluation --
+
+    def _draw(self, rule_index: int, rule: FaultRule, key: str,
+              attempt: int) -> bool:
+        if rule.nth is not None:
+            count = self._calls.get(rule_index, 0) + 1
+            self._calls[rule_index] = count
+            return count == rule.nth
+        if rule.rate >= 1.0:
+            return True
+        if rule.rate <= 0.0:
+            return False
+        material = f"{self.seed}|{rule.site}|{rule.mode}|{key}|{attempt}"
+        digest = hashlib.sha256(material.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") / 2.0 ** 64 < rule.rate
+
+    def triggered(self, site: str, key: str = "",
+                  attempt: int = 0) -> List[FaultRule]:
+        """Rules at ``site`` whose trigger fires for this call."""
+        return [rule for index, rule in enumerate(self.rules)
+                if rule.site == site
+                and self._draw(index, rule, key, attempt)]
+
+    # -- site hooks (normally reached via the module-level wrappers) --
+
+    def fire(self, site: str, key: str = "", attempt: int = 0) -> None:
+        """Apply every push-mode rule that triggers at ``site``.
+
+        ``delay`` sleeps (and falls through: a delayed call can still be
+        killed or raised on by a later rule); the first raising/killing
+        rule ends the call.
+        """
+        for rule in self.triggered(site, key, attempt):
+            if rule.mode == "delay":
+                time.sleep(rule.arg or 0.01)
+            elif rule.mode == "oserror":
+                raise OSError(
+                    f"injected fault at {site} (key={key!r}, "
+                    f"attempt={attempt})")
+            elif rule.mode == "raise":
+                raise FaultInjected(
+                    f"injected fault at {site} (key={key!r}, "
+                    f"attempt={attempt})")
+            elif rule.mode == "permanent":
+                raise FaultPermanent(
+                    f"injected permanent fault at {site} (key={key!r})")
+            elif rule.mode == "kill":
+                os.kill(os.getpid(), signal.SIGKILL)
+
+    def should_fail(self, site: str, key: str = "", attempt: int = 0) -> bool:
+        """True when a ``fail``-mode rule triggers at ``site``."""
+        return any(rule.mode == "fail"
+                   for rule in self.triggered(site, key, attempt))
+
+    def corrupt_text(self, site: str, key: str, text: str,
+                     attempt: int = 0) -> str:
+        """Garble ``text`` when a ``corrupt``-mode rule triggers.
+
+        Truncates to half length and clips the tail mid-token — the
+        shape of a torn write — so JSON decoding reliably fails.
+        """
+        for rule in self.triggered(site, key, attempt):
+            if rule.mode == "corrupt":
+                return text[:max(1, len(text) // 2)].rstrip("}\n\" ")
+        return text

@@ -10,18 +10,51 @@ unpicklable crosses the process boundary.
 ``jobs <= 1`` (or a single-cell grid, or an environment where spawning
 processes fails — sandboxes, exotic interpreters) degrades gracefully to
 serial in-process execution with identical results and callbacks.
+
+Failure model (see README "Failure model"):
+
+- Every worker failure surfaces as a :class:`CellError` naming the
+  cell's workload/NPU/schemes and the attempt number, classified
+  transient or permanent.
+- :class:`EvalRequest` carries a per-cell retry/timeout policy:
+  transient failures retry up to ``retries`` times with exponential
+  backoff; a cell running past ``timeout`` seconds is interrupted on
+  the worker (``SIGALRM``) and classified transient.
+- A broken process pool (a worker SIGKILLed, say) is restarted up to
+  :attr:`GridExecutor.max_pool_restarts` times and only the unfinished
+  cells are resubmitted; after that the remainder degrades to serial.
+- With an ``on_failure`` callback installed the grid is
+  *fault-tolerant*: exhausted cells become :class:`FailedCell` outcomes
+  (``None`` in the returned list) instead of aborting the grid, and
+  ``max_failures`` bounds the blast radius via :class:`SweepAborted`.
+  Without one, the first exhausted cell raises — the historical
+  contract.
 """
 
 from __future__ import annotations
 
+import contextlib
+import logging
 import os
+import signal
+import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, as_completed, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, cast
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
-from repro import obs
+from repro import faults, obs
 from repro.analytic import MIN_DERIVE_BATCH, derive_cell
 from repro.core.config import NpuConfig
 from repro.core.metrics import compare_schemes
@@ -35,11 +68,20 @@ from repro.models.zoo import (
 from repro.runner.records import comparison_to_dict, npu_from_dict, npu_to_dict
 from repro.runner.store import fingerprint
 
-#: (completed, total, request) — fired as each grid cell finishes.
+_log = logging.getLogger(__name__)
+
+#: (completed, total, request) — fired as each grid cell resolves
+#: (success *or*, in fault-tolerant mode, terminal failure).
 ProgressFn = Callable[[int, int, "EvalRequest"], None]
 
 #: (index, request, record) — fired with each result, in completion order.
 ResultFn = Callable[[int, "EvalRequest", Dict[str, Any]], None]
+
+#: Fired once per cell whose attempts are exhausted (tolerant mode).
+FailureFn = Callable[["FailedCell"], None]
+
+#: Backoff delays are capped here regardless of attempt count.
+MAX_BACKOFF_SECONDS = 5.0
 
 
 @dataclass(frozen=True)
@@ -47,21 +89,31 @@ class EvalRequest:
     """One grid cell: every scheme on one (NPU, workload) pair.
 
     ``derive=False`` forces full simulation even for cells the analytic
-    plane could serve (``repro sweep --no-derive``).
+    plane could serve (``repro sweep --no-derive``).  ``retries`` is
+    the number of *extra* attempts allowed after a transient failure
+    (``retries=2`` → at most three attempts); ``timeout`` bounds one
+    attempt's wall time on the worker, in seconds; ``backoff`` is the
+    base of the exponential retry delay (attempt ``n`` retries after
+    ``backoff * 2**(n-2)`` seconds, capped).
     """
 
     npu: NpuConfig
     workload: str
     scheme_names: Tuple[str, ...]
     derive: bool = True
+    retries: int = 0
+    timeout: Optional[float] = None
+    backoff: float = 0.05
 
-    def payload(self) -> Dict[str, Any]:
+    def payload(self, attempt: int = 1) -> Dict[str, Any]:
         """Picklable wire form handed to worker processes.
 
         ``trace`` tells the worker whether the submitting process is
         recording: a traced worker records into a private recorder and
         ships the snapshot back inside the result record (under
         ``_obs``), so the process boundary does not lose worker spans.
+        ``attempt`` rides along so worker-side errors (and the fault
+        plane's deterministic draws) know which try this is.
         """
         return {
             "npu": npu_to_dict(self.npu),
@@ -69,7 +121,73 @@ class EvalRequest:
             "schemes": list(self.scheme_names),
             "trace": obs.enabled(),
             "derive": self.derive,
+            "timeout": self.timeout,
+            "attempt": attempt,
         }
+
+
+@dataclass(frozen=True)
+class FailedCell:
+    """Terminal outcome of one grid cell that exhausted its attempts.
+
+    ``kind`` is ``"transient"`` (retries ran out), ``"permanent"``
+    (retrying was pointless) or ``"journal"`` (skipped because a prior
+    sweep recorded a permanent failure; see ``from_journal``).
+    """
+
+    index: int
+    workload: str
+    npu: str
+    schemes: Tuple[str, ...]
+    error: str
+    kind: str
+    attempts: int
+    from_journal: bool = False
+
+    def describe(self) -> str:
+        source = ", from journal" if self.from_journal else ""
+        return (f"{self.workload} on {self.npu} "
+                f"[{','.join(self.schemes)}]: {self.error} "
+                f"({self.kind}, {self.attempts} attempt(s){source})")
+
+
+class CellError(Exception):
+    """A grid cell failed on a worker; names the cell and the attempt.
+
+    Crosses the process-pool boundary, so it must round-trip through
+    pickle with its metadata intact — pickling an exception keeps only
+    ``args`` by default (and ``__cause__`` never survives), hence the
+    explicit :meth:`__reduce__` and the original error being folded
+    into the message and ``transient`` flag on the worker side.
+    """
+
+    def __init__(self, message: str, workload: str = "", npu: str = "",
+                 schemes: Tuple[str, ...] = (), attempt: int = 1,
+                 transient: bool = False):
+        super().__init__(message)
+        self.workload = workload
+        self.npu = npu
+        self.schemes = tuple(schemes)
+        self.attempt = attempt
+        self.transient = transient
+
+    def __reduce__(self) -> Tuple[Any, Tuple[Any, ...]]:
+        return (type(self), (self.args[0] if self.args else "",
+                             self.workload, self.npu, self.schemes,
+                             self.attempt, self.transient))
+
+
+class CellTimeout(Exception):
+    """One attempt ran past its per-cell deadline (worker-side)."""
+
+
+class SweepAborted(RuntimeError):
+    """A fault-tolerant grid crossed its ``max_failures`` bound."""
+
+    def __init__(self, message: str,
+                 failures: Sequence[FailedCell] = ()):
+        super().__init__(message)
+        self.failures = list(failures)
 
 
 class _CallbackError(Exception):
@@ -80,6 +198,59 @@ class _CallbackError(Exception):
     failures, which are the only thing the serial fallback is meant to
     absorb.
     """
+
+
+#: Failure types worth retrying when raised raw (not via CellError) —
+#: resource pressure and IPC trouble, not logic errors.
+_TRANSIENT_TYPES: Tuple[type, ...] = (
+    BrokenProcessPool, OSError, EOFError, ConnectionError, MemoryError)
+
+
+def _is_transient(error: BaseException) -> bool:
+    """Parent-side failure classification (retry-worthy?)."""
+    if isinstance(error, CellError):
+        return error.transient
+    return isinstance(error, _TRANSIENT_TYPES)
+
+
+def _worker_transient(error: BaseException) -> bool:
+    """Worker-side classification, folded into :class:`CellError`.
+
+    Runs where the original exception object still exists (it does not
+    survive pickling), so injected faults can declare their own class.
+    """
+    if isinstance(error, faults.FaultPermanent):
+        return False
+    return isinstance(error, (faults.FaultInjected, CellTimeout,
+                              OSError, EOFError, ConnectionError,
+                              MemoryError))
+
+
+@contextlib.contextmanager
+def _cell_deadline(seconds: Optional[float]) -> Iterator[None]:
+    """Bound one attempt's wall time with ``SIGALRM``.
+
+    Pool workers run tasks on their main thread, so the alarm is
+    deliverable there as well as in serial in-process runs.  On
+    platforms without ``SIGALRM`` (Windows) or off the main thread the
+    deadline silently degrades to "no timeout" — a looser contract
+    beats a crashed worker.
+    """
+    if not seconds or not hasattr(signal, "SIGALRM") \
+            or threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _expired(signum: int, frame: Any) -> None:
+        raise CellTimeout(f"attempt exceeded the {seconds:g}s cell timeout")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 #: Per-worker pipeline memo — stage 1 state is reusable across cells
@@ -137,25 +308,8 @@ def _derived_record(pipeline: Pipeline,
     return record
 
 
-def run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Evaluate one grid cell; module-level so process pools can pickle it.
-
-    Batched cells (``@bN`` with ``N >= MIN_DERIVE_BATCH``) are served
-    from the analytic plane when its exactness checks pass — probe
-    batches are simulated, the target batch never is — unless the
-    payload carries ``derive=False``.  A cell that attempted derivation
-    but fell back to full simulation carries the transient
-    ``_derive_fallback`` marker so the service's counters can tell the
-    difference.
-
-    When the payload asks for tracing (``trace``), the cell records
-    into a private recorder — whatever recorder the process had active
-    is restored afterwards — and the snapshot travels back to the
-    submitter under the record's ``_obs`` key (stripped and absorbed by
-    :class:`GridExecutor` before the record is persisted or returned).
-    The ``cell`` span wraps the whole evaluation, so its duration is
-    the cell's wall time on the worker that ran it.
-    """
+def _evaluate_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """The happy-path body of :func:`run_cell` (no failure dressing)."""
     local = obs.Recorder() if payload.get("trace") else None
     previous = obs.install(local) if local is not None else None
     try:
@@ -186,6 +340,46 @@ def run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
     return record
 
 
+def run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Evaluate one grid cell; module-level so process pools can pickle it.
+
+    Batched cells (``@bN`` with ``N >= MIN_DERIVE_BATCH``) are served
+    from the analytic plane when its exactness checks pass — probe
+    batches are simulated, the target batch never is — unless the
+    payload carries ``derive=False``.  A cell that attempted derivation
+    but fell back to full simulation carries the transient
+    ``_derive_fallback`` marker so the service's counters can tell the
+    difference.
+
+    When the payload asks for tracing (``trace``), the cell records
+    into a private recorder — whatever recorder the process had active
+    is restored afterwards — and the snapshot travels back to the
+    submitter under the record's ``_obs`` key (stripped and absorbed by
+    :class:`GridExecutor` before the record is persisted or returned).
+    The ``cell`` span wraps the whole evaluation, so its duration is
+    the cell's wall time on the worker that ran it.
+
+    Any failure — including an attempt overrunning the payload's
+    ``timeout`` — is re-raised as a :class:`CellError` that names the
+    cell and the attempt and classifies itself transient/permanent, so
+    the submitting process never sees an anonymous traceback.
+    """
+    attempt = int(payload.get("attempt", 1))
+    cell_key = f"{payload['npu']['name']}:{payload['workload']}"
+    try:
+        with _cell_deadline(payload.get("timeout")):
+            faults.fire("cell", key=cell_key, attempt=attempt)
+            return _evaluate_cell(payload)
+    except Exception as error:
+        raise CellError(
+            f"cell {payload['workload']} on {payload['npu']['name']} "
+            f"(schemes {','.join(payload['schemes'])}, attempt {attempt}) "
+            f"failed: {type(error).__name__}: {error}",
+            workload=payload["workload"], npu=payload["npu"]["name"],
+            schemes=tuple(payload["schemes"]), attempt=attempt,
+            transient=_worker_transient(error)) from error
+
+
 def default_jobs() -> int:
     """A sensible worker count: CPU count capped at 8."""
     return min(os.cpu_count() or 1, 8)
@@ -204,18 +398,46 @@ def _ingest(record: Dict[str, Any]) -> Dict[str, Any]:
 class GridExecutor:
     """Run evaluation requests, in parallel when it pays off."""
 
+    #: Broken pools (a worker SIGKILLed or OOMed) are rebuilt and the
+    #: unfinished cells resubmitted this many times before the
+    #: remainder degrades to serial execution.
+    max_pool_restarts = 2
+
     def __init__(self, jobs: int = 1, progress: Optional[ProgressFn] = None):
         self.jobs = jobs
         self.progress = progress
+        # Per-run failure state; reset by run() and left readable
+        # afterwards (``failures``).
+        self._failed: Dict[int, FailedCell] = {}
+        self._failures: List[FailedCell] = []
+        self._attempts: Dict[int, int] = {}
+        self._on_failure: Optional[FailureFn] = None
+        self._max_failures: Optional[int] = None
+        self._callback_error_logged = False
+
+    @property
+    def failures(self) -> List[FailedCell]:
+        """Terminal cell failures from the most recent :meth:`run`."""
+        return list(self._failures)
 
     def run(self, requests: Sequence[EvalRequest],
-            on_result: Optional[ResultFn] = None) -> List[Dict[str, Any]]:
+            on_result: Optional[ResultFn] = None,
+            on_failure: Optional[FailureFn] = None,
+            max_failures: Optional[int] = None
+            ) -> List[Optional[Dict[str, Any]]]:
         """Evaluate every request; results are ordered like ``requests``.
 
         ``on_result`` fires per cell in *completion* order (that is what
         makes interrupted sweeps resumable — each finished cell can be
         persisted before the grid completes); the returned list is
         always in request order.
+
+        With ``on_failure`` the grid is fault-tolerant: a cell whose
+        attempts are exhausted yields a :class:`FailedCell` callback
+        and a ``None`` slot instead of aborting the run, and
+        ``max_failures`` (strictly more failures than this aborts with
+        :class:`SweepAborted`) bounds the blast radius.  Without it the
+        first exhausted cell raises, exactly as before retries existed.
 
         Persisting callbacks may assume nothing about how many sweep
         processes run concurrently: ``ResultStore.put`` publishes
@@ -224,6 +446,12 @@ class GridExecutor:
         contract, not by luck.
         """
         requests = list(requests)
+        self._failed = {}
+        self._failures = []
+        self._attempts = {}
+        self._on_failure = on_failure
+        self._max_failures = max_failures
+        self._callback_error_logged = False
         if not requests:
             return []
         # Cells finished before a mid-flight pool failure; the serial
@@ -242,81 +470,247 @@ class GridExecutor:
                     raise
                 callback_failure = exc.__cause__
             except (OSError, ImportError, PermissionError, BrokenProcessPool):
-                # No subprocess support here; fall through to serial.
+                # No (working) subprocess support here — either pools
+                # cannot be spawned at all or restarts were exhausted;
+                # fall through to serial for the unfinished remainder.
                 obs.incr("executor.pool_fallbacks")
             if callback_failure is not None:
                 raise callback_failure
         return self._run_serial(requests, on_result, completed)
 
+    # -- shared failure machinery --
+
+    def _resolved(self, completed: Dict[int, Dict[str, Any]]) -> int:
+        """Cells with a terminal outcome: a record or a FailedCell."""
+        return len(completed) + len(self._failed)
 
     def _notify(self, done: int, total: int, request: EvalRequest) -> None:
         if self.progress is not None:
             self.progress(done, total, request)
 
+    def _should_retry(self, request: EvalRequest, attempt: int,
+                      error: BaseException) -> bool:
+        """True when ``error`` on try ``attempt`` deserves another try."""
+        if attempt > request.retries or not _is_transient(error):
+            return False
+        obs.incr("executor.retries")
+        return True
+
+    @staticmethod
+    def _backoff_delay(request: EvalRequest, attempt: int) -> float:
+        """Delay before ``attempt`` (the upcoming try, >= 2) starts."""
+        if request.backoff <= 0 or attempt < 2:
+            return 0.0
+        return min(request.backoff * 2.0 ** (attempt - 2),
+                   MAX_BACKOFF_SECONDS)
+
+    def _finalize_failure(self, index: int, request: EvalRequest,
+                          attempt: int, error: BaseException,
+                          wrap_callbacks: bool = False) -> None:
+        """Record a terminal cell failure — or raise it, pre-retry style.
+
+        In fault-tolerant mode (``on_failure`` installed) the cell
+        becomes a :class:`FailedCell`; ``wrap_callbacks`` marks
+        callback exceptions as :class:`_CallbackError` on the pool path
+        so they are never mistaken for pool trouble.  Crossing
+        ``max_failures`` aborts the whole grid.
+        """
+        if self._on_failure is None:
+            raise error
+        cell = FailedCell(
+            index=index, workload=request.workload, npu=request.npu.name,
+            schemes=request.scheme_names,
+            error=f"{type(error).__name__}: {error}",
+            kind="transient" if _is_transient(error) else "permanent",
+            attempts=attempt)
+        self._failed[index] = cell
+        self._failures.append(cell)
+        obs.incr("executor.failed_cells")
+        try:
+            self._on_failure(cell)
+        except Exception as exc:
+            if wrap_callbacks:
+                raise _CallbackError() from exc
+            raise
+        if self._max_failures is not None \
+                and len(self._failures) > self._max_failures:
+            raise SweepAborted(
+                f"aborting after {len(self._failures)} failed cells "
+                f"(--max-failures {self._max_failures}); last: "
+                f"{cell.describe()}", self._failures)
+
+    def _count_callback_error(self, error: BaseException) -> None:
+        """Make a suppressed drain-path callback failure visible."""
+        obs.incr("executor.callback_errors")
+        if not self._callback_error_logged:
+            self._callback_error_logged = True
+            _log.warning(
+                "suppressed a callback error on the drain path (first "
+                "of possibly several; see executor.callback_errors): "
+                "%s: %s", type(error).__name__, error)
+
+    # -- execution strategies --
+
     def _run_serial(self, requests: Sequence[EvalRequest],
                     on_result: Optional[ResultFn],
                     completed: Dict[int, Dict[str, Any]]
-                    ) -> List[Dict[str, Any]]:
-        records: List[Dict[str, Any]] = []
-        done = len(completed)
+                    ) -> List[Optional[Dict[str, Any]]]:
+        records: List[Optional[Dict[str, Any]]] = []
+        total = len(requests)
         for index, request in enumerate(requests):
             if index in completed:
                 records.append(completed[index])
                 continue
-            record = _ingest(run_cell(request.payload()))
-            obs.incr("executor.cells_serial")
-            if on_result is not None:
-                on_result(index, request, record)
-            done += 1
-            self._notify(done, len(requests), request)
-            records.append(record)
+            if index in self._failed:
+                records.append(None)
+                continue
+            attempt = self._attempts.get(index, 0) + 1
+            while True:
+                try:
+                    record = _ingest(run_cell(request.payload(attempt=attempt)))
+                except Exception as error:
+                    self._attempts[index] = attempt
+                    if self._should_retry(request, attempt, error):
+                        time.sleep(self._backoff_delay(request, attempt + 1))
+                        attempt += 1
+                        continue
+                    # Raises in non-tolerant mode (legacy contract).
+                    self._finalize_failure(index, request, attempt, error)
+                    records.append(None)
+                    self._notify(self._resolved(completed), total, request)
+                    break
+                self._attempts[index] = attempt
+                obs.incr("executor.cells_serial")
+                completed[index] = record
+                if on_result is not None:
+                    on_result(index, request, record)
+                self._notify(self._resolved(completed), total, request)
+                records.append(record)
+                break
         return records
 
     def _run_pool(self, requests: Sequence[EvalRequest],
                   on_result: Optional[ResultFn],
                   completed: Dict[int, Dict[str, Any]]
-                  ) -> List[Dict[str, Any]]:
+                  ) -> List[Optional[Dict[str, Any]]]:
         records: List[Optional[Dict[str, Any]]] = [None] * len(requests)
-        workers = min(self.jobs, len(requests))
-        obs.gauge("executor.pool_workers", workers)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(run_cell, request.payload()): index
-                for index, request in enumerate(requests)
-            }
-            try:
-                for future in as_completed(futures):
-                    index = futures[future]
-                    record = _ingest(future.result())
-                    obs.incr("executor.cells_pool")
-                    records[index] = record
-                    completed[index] = record
-                    try:
-                        if on_result is not None:
-                            on_result(index, requests[index], record)
-                        self._notify(len(completed), len(requests),
-                                     requests[index])
-                    except Exception as exc:
-                        raise _CallbackError() from exc
-            except Exception:
-                # The grid failed mid-flight (a worker raised, or a
-                # caller callback did). Fail fast — cancel cells still
-                # in the queue so pool shutdown doesn't compute (and
-                # then discard) the rest of the grid — then wait for
-                # the in-flight ones and drain every finished cell into
-                # ``completed`` (persisting via on_result, best
-                # effort), so a serial fallback or a rerun resumes
-                # instead of recomputing.
+        for index, done_record in completed.items():
+            records[index] = done_record
+        pending: List[Tuple[int, int]] = [
+            (index, self._attempts.get(index, 0) + 1)
+            for index in range(len(requests))
+            if index not in completed and index not in self._failed]
+        restarts = 0
+        total = len(requests)
+        while pending:
+            # One backoff per retry round: sleeping per-future would
+            # serialize the pool, and every cell in the round shares
+            # the round's worst delay anyway.
+            delay = max((self._backoff_delay(requests[index], attempt)
+                         for index, attempt in pending if attempt > 1),
+                        default=0.0)
+            if delay > 0:
+                time.sleep(delay)
+            workers = min(self.jobs, len(pending))
+            obs.gauge("executor.pool_workers", workers)
+            retry_round: List[Tuple[int, int]] = []
+            broken: Optional[BaseException] = None
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(run_cell,
+                                requests[index].payload(attempt=attempt)):
+                        (index, attempt)
+                    for index, attempt in pending}
+                try:
+                    for future in as_completed(futures):
+                        index, attempt = futures[future]
+                        self._attempts[index] = attempt
+                        error = future.exception()
+                        if error is None:
+                            record = _ingest(future.result())
+                            obs.incr("executor.cells_pool")
+                            records[index] = record
+                            completed[index] = record
+                            try:
+                                if on_result is not None:
+                                    on_result(index, requests[index], record)
+                                self._notify(self._resolved(completed),
+                                             total, requests[index])
+                            except Exception as exc:
+                                raise _CallbackError() from exc
+                            continue
+                        if isinstance(error, BrokenProcessPool):
+                            # The pool is dead; every unfinished future
+                            # carries this same exception and nothing
+                            # says which cell (if any) killed it.
+                            broken = error
+                            break
+                        if self._should_retry(requests[index], attempt,
+                                              error):
+                            retry_round.append((index, attempt + 1))
+                            continue
+                        self._finalize_failure(index, requests[index],
+                                               attempt, error,
+                                               wrap_callbacks=True)
+                        try:
+                            self._notify(self._resolved(completed), total,
+                                         requests[index])
+                        except Exception as exc:
+                            raise _CallbackError() from exc
+                except BaseException:
+                    # The grid failed mid-flight (a worker exhausted its
+                    # attempts in non-tolerant mode, max_failures
+                    # tripped, or a caller callback raised).  Fail fast
+                    # — cancel cells still in the queue so pool
+                    # shutdown doesn't compute (and then discard) the
+                    # rest of the grid — then wait for the in-flight
+                    # ones and drain every finished cell into
+                    # ``completed`` (persisting via on_result, best
+                    # effort), so a serial fallback or a rerun resumes
+                    # instead of recomputing.
+                    for future in futures:
+                        future.cancel()
+                    wait(list(futures))
+                    self._drain_finished(futures, requests, records,
+                                         completed, on_result)
+                    raise
+                if broken is None:
+                    pending = retry_round
+                    continue
+                # Broken pool: drain what finished, count one transient
+                # attempt against every unfinished cell (the killer is
+                # among them but anonymous), then rebuild the pool for
+                # just those cells — or, restarts exhausted, re-raise so
+                # run() degrades the remainder to serial.
                 for future in futures:
                     future.cancel()
                 wait(list(futures))
                 self._drain_finished(futures, requests, records, completed,
                                      on_result)
-                raise
-        # Every slot is filled: as_completed drained every future.
-        return cast(List[Dict[str, Any]], records)
+                restarts += 1
+                obs.incr("executor.pool_restarts")
+                if restarts > self.max_pool_restarts:
+                    raise broken
+                retry_round = []
+                for index, attempt in futures.values():
+                    if index in completed or index in self._failed:
+                        continue
+                    self._attempts[index] = attempt
+                    if self._should_retry(requests[index], attempt, broken):
+                        retry_round.append((index, attempt + 1))
+                    else:
+                        self._finalize_failure(index, requests[index],
+                                               attempt, broken,
+                                               wrap_callbacks=True)
+                        try:
+                            self._notify(self._resolved(completed), total,
+                                         requests[index])
+                        except Exception as exc:
+                            raise _CallbackError() from exc
+                pending = retry_round
+        return records
 
-    def _drain_finished(self, futures: Dict[Any, int],
+    def _drain_finished(self, futures: Dict[Any, Any],
                         requests: Sequence[EvalRequest],
                         records: List[Optional[Dict[str, Any]]],
                         completed: Dict[int, Dict[str, Any]],
@@ -324,13 +718,18 @@ class GridExecutor:
         """Collect every successfully finished, not-yet-recorded future.
 
         Runs on the failure path, so callbacks are best-effort: a
-        callback that raises here must not mask the original error.
-        Progress fires with the *updated* ``completed`` count per
-        drained cell, so observers never see a stale total (and a
+        callback that raises here must not mask the original error —
+        but it must not vanish either, so every suppressed exception
+        counts on ``executor.callback_errors`` and the first one is
+        logged.  Progress fires with the *updated* ``completed`` count
+        per drained cell, so observers never see a stale total (and a
         subsequent serial resume continues monotonically from it).
         """
         total = len(requests)
-        for future, index in futures.items():
+        for future, slot in futures.items():
+            # Futures map to an index (legacy direct callers) or an
+            # (index, attempt) pair (the retry scheduler).
+            index = slot[0] if isinstance(slot, tuple) else slot
             if index in completed or not future.done() or future.cancelled():
                 continue
             if future.exception() is not None:
@@ -342,9 +741,10 @@ class GridExecutor:
             if on_result is not None:
                 try:
                     on_result(index, requests[index], record)
-                except Exception:
-                    pass
+                except Exception as exc:
+                    self._count_callback_error(exc)
             try:
-                self._notify(len(completed), total, requests[index])
-            except Exception:
-                pass
+                self._notify(self._resolved(completed), total,
+                             requests[index])
+            except Exception as exc:
+                self._count_callback_error(exc)

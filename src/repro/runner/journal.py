@@ -1,0 +1,144 @@
+"""Append-only sweep journal: fingerprint → done/failed, crash-safe.
+
+The journal lives next to the store (``<root>/journal.jsonl``) and
+records one JSON line per terminal cell outcome.  It exists for the
+questions the content-addressed store cannot answer: *which cells did a
+previous sweep already try and fail, and how hard?*  (Finished cells
+need no journal to be skipped — their records are store hits — but a
+``failed`` line is what lets ``repro sweep --resume`` skip a cell that
+is known-broken instead of burning its full retry budget again.)
+
+Durability model: each line is written with a single ``O_APPEND``
+``write(2)`` of one small buffer, which POSIX filesystems do not
+interleave at this size — so concurrent sweeps journaling into the same
+store produce intact lines in some order, and a SIGKILL can at worst
+lose the line being written, never corrupt an earlier one.  Replay is
+last-line-wins per fingerprint and skips undecodable lines (counting
+them), so a torn trailing line degrades to "one outcome forgotten", not
+a poisoned journal.
+
+This is deliberately the precursor of ROADMAP item 1's
+restart-surviving job queue: the journal is the persistent half (what
+happened), and the service's resume logic is the scheduling half (what
+to do about it).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Union
+
+from repro import faults, obs
+
+#: Journal file name, relative to the store root.
+JOURNAL_NAME = "journal.jsonl"
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """Last recorded outcome for one fingerprint."""
+
+    key: str
+    status: str          # "done" | "failed"
+    attempts: int = 1
+    workload: str = ""
+    kind: str = ""       # failure classification ("transient"/"permanent")
+    error: str = ""
+
+
+class SweepJournal:
+    """Append-only journal of terminal cell outcomes for one store."""
+
+    def __init__(self, root: Union[str, os.PathLike]):
+        self.path = Path(root) / JOURNAL_NAME
+        #: Undecodable lines seen by the last :meth:`replay` (a torn
+        #: trailing write from a killed sweep is the expected cause).
+        self.corrupt_lines = 0
+
+    # -- writing --
+
+    def record_done(self, key: str, attempts: int = 1,
+                    workload: str = "") -> None:
+        self._append({"fp": key, "status": "done", "attempts": attempts,
+                      "workload": workload})
+
+    def record_failed(self, key: str, attempts: int, workload: str = "",
+                      kind: str = "", error: str = "") -> None:
+        self._append({"fp": key, "status": "failed", "attempts": attempts,
+                      "workload": workload, "kind": kind,
+                      "error": error[:500]})
+
+    def _append(self, entry: Dict[str, object]) -> None:
+        line = json.dumps(entry, sort_keys=True,
+                          separators=(",", ":")) + "\n"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # One O_APPEND write per line: atomic at this size, and an
+        # open/write/close per record means a SIGKILLed sweep keeps
+        # every line it logged (the OS owns the buffer once write
+        # returns).
+        fd = os.open(self.path, os.O_CREAT | os.O_WRONLY | os.O_APPEND,
+                     0o644)
+        try:
+            os.write(fd, line.encode("utf-8"))
+        finally:
+            os.close(fd)
+        obs.incr("journal.appends")
+        # Fires *after* the line is durable, so an injected @N kill
+        # models a sweep dying with exactly N outcomes journaled.
+        faults.fire("journal.append", key=str(entry.get("fp", "")))
+
+    # -- reading --
+
+    def _lines(self) -> Iterator[str]:
+        try:
+            with open(self.path, encoding="utf-8") as handle:
+                yield from handle
+        except (FileNotFoundError, OSError):
+            return
+
+    def replay(self) -> Dict[str, JournalEntry]:
+        """Fingerprint → last recorded outcome (corrupt lines skipped)."""
+        self.corrupt_lines = 0
+        state: Dict[str, JournalEntry] = {}
+        for line in self._lines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                raw = json.loads(line)
+                key = raw["fp"]
+                status = raw["status"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                self.corrupt_lines += 1
+                obs.incr("journal.corrupt_lines")
+                continue
+            state[key] = JournalEntry(
+                key=key, status=status,
+                attempts=int(raw.get("attempts", 1)),
+                workload=str(raw.get("workload", "")),
+                kind=str(raw.get("kind", "")),
+                error=str(raw.get("error", "")))
+        return state
+
+    def entries(self) -> List[JournalEntry]:
+        """Replay, in stable (sorted-by-fingerprint) order."""
+        return [entry for _, entry in sorted(self.replay().items())]
+
+    def counts(self) -> Dict[str, int]:
+        """``{"done": N, "failed": M}`` after replay."""
+        counts = {"done": 0, "failed": 0}
+        for entry in self.replay().values():
+            counts[entry.status] = counts.get(entry.status, 0) + 1
+        return counts
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def clear(self) -> None:
+        try:
+            self.path.unlink()
+        except OSError:
+            pass

@@ -16,9 +16,11 @@ model of the ResultStore"):
   processes racing the same fingerprint publish identical bodies; the
   first link wins and the loser counts a ``dedupe``, never a double
   ``put`` — lifetime counters stay truthful under contention.
-- **Lock-free readers.**  ``get()`` touches only one record file and
-  needs no lock; a corrupt record (torn by a crash, stray edit) is
-  evicted and reported as a miss.
+- **Lock-free readers.**  ``get()`` touches only one record file, which
+  only ever changes by atomic publish; a corrupt record (torn by a
+  crash, stray edit, bit rot) is moved to the ``quarantine/`` sidecar
+  directory — preserved for forensics, counted, never silently
+  destroyed — and reported as a miss.
 - **stats.json merges under ``_stats_lock``.**  The read-modify-write
   of the persistent counters is the one unavoidable RMW; it is
   serialized on the ``stats.lock`` sidecar.
@@ -56,7 +58,7 @@ except ImportError:  # non-POSIX platform: O_EXCL spin-lock fallback
 else:
     fcntl = _fcntl_mod
 
-from repro import obs
+from repro import faults, obs
 from repro.core.config import NpuConfig
 from repro.runner.records import SCHEMA_VERSION, npu_to_dict
 
@@ -72,11 +74,13 @@ DEFAULT_TMP_SWEEP_AGE = 600.0
 
 #: Sources that cannot affect evaluation results: the caching machinery
 #: itself, the observability layer (spans and counters never change
-#: what the pipeline computes) and the presentation-only CLI.
+#: what the pipeline computes), the fault-injection plane (test-only
+#: failure scaffolding; the ``fault-isolation`` lint rule keeps it out
+#: of result-bearing modules) and the presentation-only CLI.
 #: Everything else is hashed — deliberately conservative, so an
 #: ambiguous module over-invalidates the store rather than risking
 #: stale results.
-_NON_RESULT_DIRS = {"runner", "obs", "__pycache__"}
+_NON_RESULT_DIRS = {"runner", "obs", "faults", "__pycache__"}
 _NON_RESULT_FILES = {"cli.py"}
 
 _code_version_cache: Optional[str] = None
@@ -157,6 +161,7 @@ class CacheStats:
     puts: int = 0
     evictions: int = 0
     dedupes: int = 0
+    quarantined: int = 0
 
     @property
     def requests(self) -> int:
@@ -169,7 +174,7 @@ class CacheStats:
     def as_dict(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
                 "puts": self.puts, "evictions": self.evictions,
-                "dedupes": self.dedupes}
+                "dedupes": self.dedupes, "quarantined": self.quarantined}
 
 
 @dataclass
@@ -180,7 +185,8 @@ class StoreSummary:
     is the subset younger than the sweep age (possibly another
     process's in-flight publish — skipped by sweeps), and
     ``orphan_tmp_sweepable`` the aged remainder the next ``clear()``
-    will collect.
+    will collect.  ``quarantined`` counts corrupt records currently
+    held in the ``quarantine/`` sidecar (swept by ``clear()``).
     """
 
     root: str
@@ -189,6 +195,7 @@ class StoreSummary:
     orphan_tmp: int = 0
     orphan_tmp_live: int = 0
     orphan_tmp_sweepable: int = 0
+    quarantined: int = 0
     lifetime: Dict[str, int] = field(default_factory=dict)
     last_run: Dict[str, int] = field(default_factory=dict)
 
@@ -218,6 +225,13 @@ class ResultStore:
     def _stats_path(self) -> Path:
         return self.root / "stats.json"
 
+    def quarantine_dir(self) -> Path:
+        """Sidecar directory holding corrupt records moved aside by
+        :meth:`get`.  Outside the ``??/`` record shards, so quarantined
+        files are invisible to ``entries()`` / ``size_bytes()`` and can
+        never be served as cache hits."""
+        return self.root / "quarantine"
+
     # -- record access --
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
@@ -225,13 +239,17 @@ class ResultStore:
 
         Lock-free: reads touch exactly one record file, which only ever
         changes by atomic publish.  A corrupt record (truncated write
-        from a crashed process, stray edit) is evicted and reported as
-        a miss.
+        from a crashed process, stray edit) is moved to the
+        ``quarantine/`` sidecar — preserved for inspection rather than
+        destroyed in place — counted on ``quarantined``, and reported
+        as a miss; the caller recomputes and republishes the key.
         """
         path = self._path(key)
         try:
             with open(path) as handle:
-                record: Any = json.load(handle)
+                text = handle.read()
+            record: Any = json.loads(
+                faults.corrupt_text("store.read", key, text))
             if not isinstance(record, dict):
                 raise json.JSONDecodeError("record is not an object",
                                            doc="", pos=0)
@@ -239,19 +257,41 @@ class ResultStore:
             self.stats.misses += 1
             obs.incr("store.misses")
             return None
-        except (json.JSONDecodeError, OSError):
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
             self.stats.misses += 1
-            self.stats.evictions += 1
+            self.stats.quarantined += 1
             obs.incr("store.misses")
-            obs.incr("store.evictions")
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            obs.incr("store.quarantined")
+            self._quarantine(path)
             return None
         self.stats.hits += 1
         obs.incr("store.hits")
         return record
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt record aside atomically; never raises.
+
+        ``os.replace`` is atomic within the filesystem, so concurrent
+        readers tripping over the same corrupt record race benignly:
+        one move wins, the others' fail with ``FileNotFoundError`` and
+        are ignored.  If the quarantine directory itself cannot be
+        created (read-only store, quota), fall back to unlinking so a
+        poisoned record cannot be re-served forever.
+        """
+        destination = self.quarantine_dir() / path.name
+        try:
+            self.quarantine_dir().mkdir(parents=True, exist_ok=True)
+            os.replace(path, destination)
+        except OSError:
+            with contextlib.suppress(OSError):
+                path.unlink()
+
+    def quarantined_paths(self) -> List[Path]:
+        """Every quarantined record, in deterministic (sorted) order."""
+        return sorted(self.quarantine_dir().glob("*.json"))
+
+    def quarantined_count(self) -> int:
+        return len(self.quarantined_paths())
 
     def _before_publish(self, key: str, tmp: str) -> None:
         """Test seam: runs when the record body is durable in ``tmp``
@@ -289,6 +329,7 @@ class ResultStore:
         Safe under same-fingerprint races from any number of processes:
         see :meth:`_publish`.
         """
+        faults.fire("store.put", key=key)
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
@@ -378,8 +419,9 @@ class ResultStore:
         return len(self._orphan_tmp_paths())
 
     def clear(self) -> int:
-        """Delete every record (plus aged orphan temp files and the
-        stats file); returns the count of records removed.
+        """Delete every record (plus quarantined records, aged orphan
+        temp files and the stats file); returns the count of records
+        removed.
 
         Runs under :meth:`_writer_lock`: enumerating and mass-deleting
         the record index must not interleave with another maintenance
@@ -404,6 +446,11 @@ class ResultStore:
                     pass
             obs.incr("store.tmp_swept", swept)
             obs.incr("store.tmp_skipped", len(live))
+            for path in self.quarantined_paths():
+                with contextlib.suppress(OSError):
+                    path.unlink()
+            with contextlib.suppress(OSError):
+                self.quarantine_dir().rmdir()
             with self._stats_lock():
                 try:
                     self._stats_path().unlink()
@@ -556,6 +603,7 @@ class ResultStore:
             orphan_tmp=len(sweepable) + len(live),
             orphan_tmp_live=len(live),
             orphan_tmp_sweepable=len(sweepable),
+            quarantined=self.quarantined_count(),
             lifetime=data.get("lifetime", {}),
             last_run=data.get("last_run", {}),
         )

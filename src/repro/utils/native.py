@@ -40,11 +40,12 @@ import shutil
 import subprocess
 import sys
 import tempfile
+import warnings
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro import obs
+from repro import faults, obs
 
 _SOURCE = os.path.join(os.path.dirname(__file__), "_native_kernels.c")
 
@@ -158,17 +159,40 @@ def _build() -> Optional[str]:
     return target
 
 
+def _degrade(reason: str) -> None:
+    """Make an unintentional native-tier loss visible, exactly once.
+
+    The numpy tier owns correctness (all tiers are pinned
+    bit-identical), so losing the kernels is a speed problem, not a
+    correctness one — but a silent 5-10x slowdown is how perf
+    regressions hide.  One warning plus a counter; the process then
+    stays on the numpy tier permanently (``_load_attempted`` latches).
+    """
+    obs.incr("native.degraded")
+    warnings.warn(
+        f"native kernels unavailable ({reason}); falling back to the "
+        f"bit-identical numpy tier for this process (slower; see the "
+        f"native.degraded counter)", RuntimeWarning, stacklevel=3)
+
+
 def _load():
     global _lib, _load_attempted
     if _load_attempted:
         return _lib
     _load_attempted = True
     if os.environ.get("REPRO_NO_NATIVE_KERNEL"):
+        # Deliberate opt-out: silent by design (CI and the equivalence
+        # suites flip this constantly).
         return None
     try:
+        if faults.should_fail("native.build"):
+            raise RuntimeError("injected native-kernel build failure")
         path = _build()
         if path is None:
+            _degrade("no usable C compiler or kernel cache directory")
             return None
+        if faults.should_fail("native.load"):
+            raise OSError("injected native-kernel load failure")
         lib = ctypes.CDLL(path)
         lib.dram_completion.restype = ctypes.c_double
         lib.dram_completion.argtypes = [
@@ -202,7 +226,8 @@ def _load():
             _i64p, _u8p, _i64p,                             # vn state
         ]
         _lib = lib
-    except Exception:
+    except Exception as exc:
+        _degrade(f"{type(exc).__name__}: {exc}")
         _lib = None
     return _lib
 

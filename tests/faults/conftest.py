@@ -1,0 +1,48 @@
+"""Chaos-suite fixtures: isolated fault plans and a private recorder."""
+
+import pytest
+
+from repro import faults, obs
+
+
+@pytest.fixture(autouse=True)
+def _isolated_faults():
+    """No fault plan leaks into or out of any test in this package."""
+    previous = faults.install(None)
+    yield
+    faults.install(previous)
+
+
+@pytest.fixture
+def plan():
+    """Install a plan parsed from a spec string; auto-restored."""
+
+    def _install(spec: str) -> faults.FaultPlan:
+        parsed = faults.FaultPlan.parse(spec)
+        faults.install(parsed)
+        return parsed
+
+    return _install
+
+
+@pytest.fixture
+def recorder():
+    """A private obs recorder active for the duration of the test."""
+    previous = obs.install(obs.Recorder())
+    try:
+        yield obs.get()
+    finally:
+        obs.install(previous)
+
+
+def find_seed(predicate, limit: int = 20000) -> int:
+    """Smallest seed whose deterministic draws satisfy ``predicate``.
+
+    Brute force is fine here: a draw is one sha256 of a short string,
+    and the chaos tests constrain a handful of (site, key, attempt)
+    triples — the search ends within a few hundred seeds in practice.
+    """
+    for seed in range(limit):
+        if predicate(seed):
+            return seed
+    raise AssertionError(f"no seed under {limit} satisfies the predicate")

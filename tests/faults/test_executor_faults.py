@@ -1,0 +1,245 @@
+"""GridExecutor under injected faults: retries, timeouts, tolerance,
+pool restarts, serial fallback."""
+
+from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro.core.config import npu_config
+from repro.faults import FaultPlan
+from repro.runner.executor import (
+    CellError,
+    EvalRequest,
+    GridExecutor,
+    SweepAborted,
+    run_cell,
+)
+
+from tests.faults.conftest import find_seed
+
+SCHEMES = ("mgx-64b", "seda")
+WORKLOADS = ("lenet", "dlrm", "ncf")
+
+
+def grid(retries=0, timeout=None):
+    edge = npu_config("edge")
+    return [EvalRequest(edge, w, SCHEMES, retries=retries, timeout=timeout)
+            for w in WORKLOADS]
+
+
+def cell_key(request):
+    return f"{request.npu.name}:{request.workload}"
+
+
+class TestRetries:
+    def test_transient_fault_retried_to_success(self, plan, recorder):
+        plan("cell:raise:@1")  # first cell attempt in-process fails
+        executor = GridExecutor(jobs=1)
+        records = executor.run(grid(retries=1)[:1])
+        assert records[0]["workload"] == "lenet"
+        assert executor._attempts[0] == 2
+        assert recorder.counters["executor.retries"] == 1
+        assert executor.failures == []
+
+    def test_transient_budget_exhausted(self, plan):
+        plan("cell:raise")  # every attempt fails, classified transient
+        failures = []
+        executor = GridExecutor(jobs=1)
+        records = executor.run(grid(retries=2)[:1], on_failure=failures.append)
+        assert records == [None]
+        [cell] = failures
+        assert cell.kind == "transient"
+        assert cell.attempts == 3  # 1 try + 2 retries
+        assert executor.failures == [cell]
+
+    def test_permanent_fault_never_retried(self, plan):
+        plan("cell:permanent")
+        failures = []
+        records = GridExecutor(jobs=1).run(grid(retries=5)[:1],
+                                           on_failure=failures.append)
+        assert records == [None]
+        [cell] = failures
+        assert cell.kind == "permanent"
+        assert cell.attempts == 1
+
+    def test_without_on_failure_first_failure_raises(self, plan):
+        plan("cell:permanent")
+        with pytest.raises(CellError, match="injected permanent fault"):
+            GridExecutor(jobs=1).run(grid()[:1])
+
+    def test_injected_error_names_the_cell_and_attempt(self, plan):
+        plan("cell:raise")
+        with pytest.raises(CellError) as info:
+            run_cell(grid()[0].payload(attempt=2))
+        assert info.value.workload == "lenet"
+        assert info.value.npu == "edge"
+        assert info.value.schemes == SCHEMES
+        assert info.value.attempt == 2
+        assert info.value.transient
+        assert "attempt 2" in str(info.value)
+
+
+class TestTimeout:
+    def test_slow_cell_times_out_transient(self, plan):
+        plan("cell:delay:1:5")  # 5s artificial latency per attempt
+        with pytest.raises(CellError, match="cell timeout") as info:
+            GridExecutor(jobs=1).run(grid(timeout=0.25)[:1])
+        assert info.value.transient
+
+    def test_timeout_disarmed_after_fast_cell(self, plan):
+        # A cell well under its deadline must not leave a pending alarm.
+        import signal
+        records = GridExecutor(jobs=1).run(grid(timeout=60.0)[:1])
+        assert records[0]["workload"] == "lenet"
+        assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
+
+
+class TestTolerantAccounting:
+    def test_seeded_partial_failure_exact_accounting(self, plan):
+        # Pick a seed where the plan's own deterministic draws predict
+        # exactly one failed cell, then check the executor agrees.
+        requests = grid()
+        keys = [cell_key(r) for r in requests]
+
+        def exactly_one(seed):
+            probe = FaultPlan.parse(f"seed={seed},cell:permanent:0.4")
+            return sum(bool(probe.triggered("cell", k, 1))
+                       for k in keys) == 1
+
+        seed = find_seed(exactly_one)
+        active = plan(f"seed={seed},cell:permanent:0.4")
+        predicted = [i for i, k in enumerate(keys)
+                     if active.triggered("cell", k, 1)]
+
+        failures = []
+        progress = []
+        executor = GridExecutor(
+            jobs=1, progress=lambda done, total, req: progress.append(done))
+        records = executor.run(requests, on_failure=failures.append)
+
+        assert [i for i, r in enumerate(records) if r is None] == predicted
+        assert [cell.index for cell in failures] == predicted
+        assert len([r for r in records if r is not None]) == 2
+        # Monotone progress: every cell resolves exactly once, in order.
+        assert progress == [1, 2, 3]
+
+    def test_max_failures_aborts_with_report(self, plan):
+        plan("cell:permanent")
+        failures = []
+        with pytest.raises(SweepAborted) as info:
+            GridExecutor(jobs=1).run(grid(), on_failure=failures.append,
+                                     max_failures=1)
+        assert len(info.value.failures) == 2  # the one allowed + the last
+        assert "--max-failures 1" in str(info.value)
+
+    def test_zero_max_failures_aborts_on_first(self, plan):
+        plan("cell:permanent")
+        with pytest.raises(SweepAborted):
+            GridExecutor(jobs=1).run(grid(), on_failure=lambda cell: None,
+                                     max_failures=0)
+
+
+class TestPoolRestart:
+    def test_sigkilled_worker_restarts_pool_and_completes(self, plan,
+                                                          recorder):
+        # Seed chosen so the kill draw fires for exactly one (cell,
+        # attempt) pair: lenet on its first attempt, nothing on the
+        # retry round — so the broken pool restarts once and finishes.
+        requests = grid(retries=1)
+        keys = [cell_key(r) for r in requests]
+
+        def only_lenet_attempt_one(seed):
+            probe = FaultPlan.parse(f"seed={seed},cell:kill:0.4")
+            draws = {(k, a): bool(probe.triggered("cell", k, a))
+                     for k in keys for a in range(1, 7)}
+            return draws[("edge:lenet", 1)] and \
+                sum(draws.values()) == 1
+
+        seed = find_seed(only_lenet_attempt_one)
+        plan(f"seed={seed},cell:kill:0.4")
+
+        executor = GridExecutor(jobs=2)
+        records = executor.run(requests)
+        assert [r["workload"] for r in records] == list(WORKLOADS)
+        assert executor.failures == []
+        assert recorder.counters["executor.pool_restarts"] == 1
+
+    def test_injected_broken_pool_falls_back_to_serial(self, monkeypatch,
+                                                       recorder):
+        # Restart budget exhausted (simulated): the executor must fall
+        # back to serial for the *unfinished* cells only, and the
+        # on_result callback of an already-completed cell never refires.
+        executor = GridExecutor(jobs=2)
+        fired = []
+
+        def breaking_pool(requests, on_result, completed):
+            record = run_cell(requests[0].payload())
+            record.pop("_obs", None)
+            completed[0] = record
+            if on_result is not None:
+                on_result(0, requests[0], record)
+            raise BrokenProcessPool("injected: restarts exhausted")
+
+        monkeypatch.setattr(executor, "_run_pool", breaking_pool)
+        records = executor.run(
+            grid(), on_result=lambda i, req, rec: fired.append(i))
+        assert [r["workload"] for r in records] == list(WORKLOADS)
+        assert fired == [0, 1, 2]  # exactly once per cell, no refires
+        assert recorder.counters["executor.pool_fallbacks"] == 1
+
+    def test_pool_worker_failure_partial_completion_serial_resume(
+            self, plan, monkeypatch):
+        # Pool dies after one cell completed *and* one cell failed
+        # terminally; the serial remainder must recompute only the
+        # genuinely unfinished cell.
+        executor = GridExecutor(jobs=2)
+        failures = []
+
+        def breaking_pool(requests, on_result, completed):
+            record = run_cell(requests[0].payload())
+            record.pop("_obs", None)
+            completed[0] = record
+            executor._finalize_failure(
+                1, requests[1], 1,
+                CellError("poisoned", workload=requests[1].workload,
+                          npu="edge", schemes=requests[1].scheme_names))
+            raise BrokenProcessPool("injected")
+
+        monkeypatch.setattr(executor, "_run_pool", breaking_pool)
+        records = executor.run(grid(), on_failure=failures.append)
+        assert records[0]["workload"] == "lenet"
+        assert records[1] is None
+        assert records[2]["workload"] == "ncf"
+        assert [cell.index for cell in failures] == [1]
+
+
+class TestDrainCallbackCounting:
+    @staticmethod
+    def _finished_future(record):
+        future = Future()
+        future.set_result(record)
+        return future
+
+    def test_drain_counts_and_logs_suppressed_callback_errors(
+            self, recorder, caplog):
+        executor = GridExecutor(jobs=2)
+        requests = grid()
+        futures = {
+            self._finished_future({"workload": "lenet"}): (0, 1),
+            self._finished_future({"workload": "dlrm"}): (1, 1),
+        }
+        records = [None] * len(requests)
+
+        def explode(index, request, record):
+            raise OSError("disk full during drain")
+
+        with caplog.at_level("WARNING", logger="repro.runner.executor"):
+            executor._drain_finished(futures, requests, records, {}, explode)
+        assert records[0] == {"workload": "lenet"}
+        assert records[1] == {"workload": "dlrm"}
+        assert recorder.counters["executor.callback_errors"] == 2
+        # Only the first suppressed error is logged.
+        messages = [r for r in caplog.records
+                    if "suppressed a callback error" in r.message]
+        assert len(messages) == 1

@@ -1,0 +1,175 @@
+"""FaultPlan: spec parsing, deterministic draws, modes, the test seam."""
+
+import json
+import time
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultInjected, FaultPermanent, FaultPlan, FaultRule
+
+
+class TestParsing:
+    def test_simple_clause_defaults(self):
+        plan = FaultPlan.parse("cell:raise")
+        assert plan.seed == 0
+        assert plan.rules == (FaultRule(site="cell", mode="raise"),)
+        assert plan.rules[0].rate == 1.0 and plan.rules[0].nth is None
+
+    def test_full_spec(self):
+        plan = FaultPlan.parse(
+            "seed=7,cell:raise:0.2,store.read:corrupt:0.3,"
+            "journal.append:kill:@3,cell:delay:1:0.5")
+        assert plan.seed == 7
+        assert len(plan.rules) == 4
+        assert plan.rules[0] == FaultRule("cell", "raise", rate=0.2)
+        assert plan.rules[2].nth == 3
+        assert plan.rules[3].arg == 0.5
+
+    def test_spec_round_trips(self):
+        spec = "seed=7,cell:raise:0.2,journal.append:kill:@3,cell:delay:1:0.5"
+        assert FaultPlan.parse(spec).spec() == spec
+        assert FaultPlan.parse(FaultPlan.parse(spec).spec()).rules == \
+            FaultPlan.parse(spec).rules
+
+    def test_blank_clauses_skipped(self):
+        assert FaultPlan.parse("").rules == ()
+        assert FaultPlan.parse(" , cell:raise , ").rules == \
+            (FaultRule("cell", "raise"),)
+
+    @pytest.mark.parametrize("bad", [
+        "cell",                   # no mode
+        "cell:explode",           # unknown mode
+        ":raise",                 # empty site
+        "cell:raise:1.5",         # rate out of range
+        "cell:raise:@0",          # @N wants N >= 1
+        "cell:raise:0.1:2:extra"  # too many parts
+    ])
+    def test_bad_clauses_rejected(self, bad):
+        with pytest.raises(ValueError, match="bad fault clause"):
+            FaultPlan.parse(bad)
+
+
+class TestDraws:
+    def test_same_seed_same_decisions(self):
+        a = FaultPlan.parse("seed=3,cell:raise:0.5")
+        b = FaultPlan.parse("seed=3,cell:raise:0.5")
+        keys = [f"edge:w{i}" for i in range(64)]
+        decisions = lambda p: [bool(p.triggered("cell", k, 1))  # noqa: E731
+                               for k in keys]
+        assert decisions(a) == decisions(b)
+
+    def test_different_seed_different_decisions(self):
+        keys = [f"edge:w{i}" for i in range(64)]
+        a = [bool(FaultPlan.parse("seed=1,cell:raise:0.5")
+                  .triggered("cell", k, 1)) for k in keys]
+        b = [bool(FaultPlan.parse("seed=2,cell:raise:0.5")
+                  .triggered("cell", k, 1)) for k in keys]
+        assert a != b
+
+    def test_attempt_changes_the_draw(self):
+        # Retries re-draw: across enough keys, some decision must flip
+        # between attempt 1 and attempt 2.
+        plan = FaultPlan.parse("seed=5,cell:raise:0.5")
+        flips = [k for k in (f"edge:w{i}" for i in range(64))
+                 if bool(plan.triggered("cell", k, 1))
+                 != bool(plan.triggered("cell", k, 2))]
+        assert flips
+
+    def test_rate_bounds(self):
+        always = FaultPlan.parse("cell:raise:1")
+        never = FaultPlan.parse("cell:raise:0")
+        for key in ("a", "b", "c"):
+            assert always.triggered("cell", key, 1)
+            assert not never.triggered("cell", key, 1)
+
+    def test_rate_roughly_respected(self):
+        plan = FaultPlan.parse("seed=11,cell:raise:0.2")
+        hits = sum(bool(plan.triggered("cell", f"k{i}", 1))
+                   for i in range(1000))
+        assert 130 <= hits <= 270  # 20% +- wide determinism margin
+
+    def test_nth_trigger_fires_exactly_once(self):
+        plan = FaultPlan.parse("cell:raise:@3")
+        fired = [bool(plan.triggered("cell", f"k{i}", 1)) for i in range(6)]
+        assert fired == [False, False, True, False, False, False]
+
+    def test_site_mismatch_never_triggers(self):
+        plan = FaultPlan.parse("cell:raise")
+        assert not plan.triggered("store.put", "k", 1)
+
+
+class TestModes:
+    def test_raise_is_transient_class(self):
+        with pytest.raises(FaultInjected):
+            FaultPlan.parse("cell:raise").fire("cell", key="k")
+
+    def test_permanent_is_a_subclass(self):
+        plan = FaultPlan.parse("cell:permanent")
+        with pytest.raises(FaultPermanent):
+            plan.fire("cell", key="k")
+        assert issubclass(FaultPermanent, FaultInjected)
+
+    def test_oserror(self):
+        with pytest.raises(OSError, match="injected fault at store.put"):
+            FaultPlan.parse("store.put:oserror").fire("store.put", key="k")
+
+    def test_delay_sleeps_then_falls_through(self):
+        plan = FaultPlan.parse("cell:delay:1:0.05")
+        start = time.monotonic()
+        plan.fire("cell", key="k")  # must not raise
+        assert time.monotonic() - start >= 0.04
+
+    def test_should_fail(self):
+        plan = FaultPlan.parse("native.build:fail")
+        assert plan.should_fail("native.build")
+        assert not plan.should_fail("native.load")
+
+    def test_corrupt_text_breaks_json(self):
+        plan = FaultPlan.parse("store.read:corrupt")
+        text = json.dumps({"schema_version": 1, "payload": [1, 2, 3]})
+        garbled = plan.corrupt_text("store.read", "k", text)
+        assert garbled != text
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(garbled)
+
+    def test_corrupt_text_passthrough_when_not_triggered(self):
+        plan = FaultPlan.parse("store.read:corrupt:0")
+        assert plan.corrupt_text("store.read", "k", "{}") == "{}"
+
+
+class TestModuleSeam:
+    def test_inactive_hooks_are_noops(self):
+        assert faults.active() is None
+        faults.fire("cell", key="k")  # must not raise
+        assert not faults.should_fail("native.build")
+        assert faults.corrupt_text("store.read", "k", "text") == "text"
+
+    def test_install_returns_previous(self):
+        first = FaultPlan.parse("cell:raise")
+        assert faults.install(first) is None
+        second = FaultPlan.parse("cell:delay")
+        assert faults.install(second) is first
+        assert faults.active() is second
+
+    def test_module_fire_routes_to_plan(self):
+        faults.install(FaultPlan.parse("cell:raise"))
+        with pytest.raises(FaultInjected):
+            faults.fire("cell", key="k")
+
+    def test_env_activation_is_lazy_and_once(self, monkeypatch):
+        monkeypatch.setattr(faults, "_active", None)
+        monkeypatch.setattr(faults, "_env_loaded", False)
+        monkeypatch.setenv(faults.FAULTS_ENV, "seed=9,cell:raise:0.5")
+        plan = faults.active()
+        assert plan is not None and plan.seed == 9
+        # A later env change is ignored: the spec is read exactly once.
+        monkeypatch.setenv(faults.FAULTS_ENV, "seed=1,cell:kill")
+        assert faults.active() is plan
+
+    def test_install_none_pins_env_out(self, monkeypatch):
+        monkeypatch.setattr(faults, "_active", None)
+        monkeypatch.setattr(faults, "_env_loaded", False)
+        monkeypatch.setenv(faults.FAULTS_ENV, "cell:raise")
+        faults.install(None)
+        assert faults.active() is None

@@ -1,0 +1,77 @@
+"""Mid-sweep SIGKILL + ``repro sweep --resume``: the acceptance pin.
+
+A real CLI sweep is killed via an injected ``journal.append:kill:@2``
+(SIGKILL with exactly two cells journaled); the resumed sweep must
+finish the grid while recomputing zero finished cells.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.runner.journal import SweepJournal
+from repro.runner.store import ResultStore
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+WORKLOADS = ["lenet", "dlrm", "ncf"]
+SCHEMES = ["mgx-64b", "seda"]
+
+
+def run_sweep(cache_dir, *extra, fault_spec=None, timeout=300):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    env.pop("REPRO_FAULTS", None)
+    if fault_spec is not None:
+        env["REPRO_FAULTS"] = fault_spec
+    command = [sys.executable, "-m", "repro.cli", "sweep",
+               "--npu", "edge", "--workloads", *WORKLOADS,
+               "--schemes", *SCHEMES, "--cache-dir", str(cache_dir),
+               *extra]
+    return subprocess.run(command, env=env, capture_output=True,
+                          text=True, timeout=timeout)
+
+
+class TestResumeAfterKill:
+    def test_sigkill_then_resume_recomputes_zero_finished_cells(
+            self, tmp_path):
+        cache = tmp_path / "cache"
+
+        killed = run_sweep(cache,
+                           fault_spec="journal.append:kill:@2")
+        assert killed.returncode == -signal.SIGKILL
+
+        # The kill fires after the second journal line is durable, and
+        # every record is published before its journal line: exactly
+        # two cells survived, intact.
+        journal = SweepJournal(cache)
+        store = ResultStore(cache)
+        assert journal.counts() == {"done": 2, "failed": 0}
+        assert store.entries() == 2
+        for line in journal.path.read_text().splitlines():
+            assert json.loads(line)["status"] == "done"
+
+        resumed = run_sweep(cache, "--resume")
+        assert resumed.returncode == 0, resumed.stderr
+
+        assert ResultStore(cache).entries() == len(WORKLOADS)
+        assert SweepJournal(cache).counts() == \
+            {"done": len(WORKLOADS), "failed": 0}
+        assert "2 served from cache, 1 computed" in resumed.stdout
+
+        # The killed run never flushed its stats, so the lifetime
+        # counters are exactly the resumed run's: two disk hits, one
+        # recompute, and — the acceptance pin — zero dedupe
+        # republishes, i.e. no finished cell was recomputed.
+        lifetime = ResultStore(cache).summary().lifetime
+        assert lifetime["hits"] == 2
+        assert lifetime["misses"] == 1
+        assert lifetime["puts"] == 1
+        assert lifetime["dedupes"] == 0
+
+    def test_resume_without_store_is_rejected(self, tmp_path):
+        result = run_sweep(tmp_path / "cache", "--resume", "--no-cache")
+        assert result.returncode == 2
+        assert "--resume needs the on-disk store" in result.stderr

@@ -5,7 +5,12 @@ from concurrent.futures import Future
 import pytest
 
 from repro.core.config import npu_config
-from repro.runner.executor import EvalRequest, GridExecutor, run_cell
+from repro.runner.executor import (
+    CellError,
+    EvalRequest,
+    GridExecutor,
+    run_cell,
+)
 
 SCHEMES = ("mgx-64b", "seda")
 
@@ -85,10 +90,16 @@ class TestParallel:
         assert [r["workload"] for r in records] == ["lenet", "dlrm", "ncf"]
 
     def test_worker_failure_propagates(self):
+        # Worker exceptions surface as CellError naming the cell (the
+        # raw KeyError does not survive pickling with context intact).
         bad = grid() + [EvalRequest(npu_config("edge"), "nonexistent",
                                     SCHEMES)]
-        with pytest.raises(KeyError, match="nonexistent"):
+        with pytest.raises(CellError, match="nonexistent") as info:
             GridExecutor(jobs=2).run(bad)
+        assert info.value.workload == "nonexistent"
+        assert info.value.npu == "edge"
+        assert info.value.attempt == 1
+        assert not info.value.transient  # a KeyError is permanent
 
 
 class TestPipelineMemoCap:
@@ -245,7 +256,7 @@ class TestMonotoneProgress:
                                          SCHEMES)]
         executor = GridExecutor(
             jobs=2, progress=lambda done, total, req: seen.append(done))
-        with pytest.raises(KeyError):
+        with pytest.raises(CellError):
             executor.run(requests)
         assert seen == sorted(seen)
         assert len(seen) == len(set(seen))  # strictly increasing

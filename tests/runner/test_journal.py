@@ -1,0 +1,87 @@
+"""SweepJournal: append-only outcomes, last-wins replay, torn lines."""
+
+import json
+
+import pytest
+
+from repro.runner.journal import JOURNAL_NAME, JournalEntry, SweepJournal
+
+
+@pytest.fixture
+def journal(tmp_path):
+    return SweepJournal(tmp_path)
+
+
+class TestRoundTrip:
+    def test_done_and_failed_round_trip(self, journal):
+        journal.record_done("aa" * 32, attempts=2, workload="lenet")
+        journal.record_failed("bb" * 32, attempts=3, workload="dlrm",
+                              kind="transient", error="CellError: boom")
+        state = journal.replay()
+        assert state["aa" * 32] == JournalEntry(
+            key="aa" * 32, status="done", attempts=2, workload="lenet")
+        assert state["bb" * 32] == JournalEntry(
+            key="bb" * 32, status="failed", attempts=3, workload="dlrm",
+            kind="transient", error="CellError: boom")
+
+    def test_last_line_wins(self, journal):
+        key = "cc" * 32
+        journal.record_failed(key, attempts=1, kind="transient")
+        journal.record_done(key, attempts=2)
+        assert journal.replay()[key].status == "done"
+        assert journal.counts() == {"done": 1, "failed": 0}
+
+    def test_counts(self, journal):
+        journal.record_done("aa" * 32)
+        journal.record_done("bb" * 32)
+        journal.record_failed("cc" * 32, attempts=1, kind="permanent")
+        assert journal.counts() == {"done": 2, "failed": 1}
+
+    def test_entries_sorted_by_fingerprint(self, journal):
+        journal.record_done("ff" * 32)
+        journal.record_done("aa" * 32)
+        assert [e.key for e in journal.entries()] == ["aa" * 32, "ff" * 32]
+
+    def test_empty_journal(self, journal):
+        assert not journal.exists()
+        assert journal.replay() == {}
+        assert journal.counts() == {"done": 0, "failed": 0}
+
+    def test_error_text_truncated(self, journal):
+        journal.record_failed("aa" * 32, attempts=1, error="x" * 2000)
+        assert len(journal.replay()["aa" * 32].error) == 500
+
+
+class TestDurability:
+    def test_one_json_line_per_outcome(self, journal):
+        journal.record_done("aa" * 32)
+        journal.record_failed("bb" * 32, attempts=1, kind="permanent")
+        lines = journal.path.read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            json.loads(line)  # every line individually decodable
+        assert journal.path.name == JOURNAL_NAME
+
+    def test_torn_trailing_line_skipped_and_counted(self, journal):
+        journal.record_done("aa" * 32)
+        journal.record_done("bb" * 32)
+        # Simulate a write torn mid-line by a SIGKILL.
+        with open(journal.path, "a") as handle:
+            handle.write('{"fp": "cc')
+        state = journal.replay()
+        assert set(state) == {"aa" * 32, "bb" * 32}
+        assert journal.corrupt_lines == 1
+
+    def test_non_object_lines_are_corrupt(self, journal):
+        journal.path.write_text('[1, 2]\n"text"\n{"fp": "aa", '
+                                '"status": "done"}\n')
+        state = journal.replay()
+        assert set(state) == {"aa"}
+        assert journal.corrupt_lines == 2
+
+    def test_clear_removes_file(self, journal):
+        journal.record_done("aa" * 32)
+        assert journal.exists()
+        journal.clear()
+        assert not journal.exists()
+        journal.clear()  # idempotent

@@ -70,13 +70,39 @@ class TestGetPut:
         assert store.contains(key)
         assert store.stats.requests == 0
 
-    def test_corrupt_record_is_evicted(self, store):
+    def test_corrupt_record_is_quarantined(self, store):
         key = "ef" * 32
         store.put(key, RECORD)
         store._path(key).write_text("{not json")
         assert store.get(key) is None
-        assert store.stats.evictions == 1
+        assert store.stats.quarantined == 1
+        assert store.stats.misses == 1
         assert not store.contains(key)
+        # The corrupt body is preserved for inspection, not destroyed.
+        [quarantined] = store.quarantined_paths()
+        assert quarantined.name == f"{key}.json"
+        assert quarantined.read_text() == "{not json"
+
+    def test_quarantined_record_recomputes_cleanly(self, store):
+        # The normal lifecycle: corrupt hit -> miss -> recompute ->
+        # republish -> clean hit, with the quarantined body retained.
+        key = "ab" * 32
+        store.put(key, RECORD)
+        store._path(key).write_text("garbage")
+        assert store.get(key) is None
+        store.put(key, RECORD)
+        assert store.get(key) == RECORD
+        assert store.quarantined_count() == 1
+
+    def test_clear_sweeps_quarantine(self, store):
+        key = "cd" * 32
+        store.put(key, RECORD)
+        store._path(key).write_text("garbage")
+        store.get(key)
+        assert store.quarantined_count() == 1
+        store.clear()
+        assert store.quarantined_count() == 0
+        assert not store.quarantine_dir().exists()
 
     def test_demote_hit(self, store):
         key = "12" * 32
@@ -205,7 +231,7 @@ class TestStats:
         assert summary.lifetime["misses"] == 1
         assert summary.last_run == {"hits": 1, "misses": 0,
                                     "puts": 0, "evictions": 0,
-                                    "dedupes": 0}
+                                    "dedupes": 0, "quarantined": 0}
         assert store.stats.requests == 0  # reset after flush
 
     def test_flush_is_noop_when_idle(self, store):
